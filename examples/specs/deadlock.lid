@@ -1,0 +1,15 @@
+# Half relay stations inside a loop with a stalling consumer: a potential
+# deadlock per the paper's static rule.  Under the unrefined protocol it
+# wedges; the refined protocol survives.
+#   lidtool deadlock examples/specs/deadlock.lid -f original --cure
+#   lidtool deadlock examples/specs/deadlock.lid -f optimized
+source src
+shell  tap tap
+shell  s1 identity
+shell  s2 identity
+sink   out pattern=2/4
+src.0 -> tap.1 : full
+tap.1 -> out.0
+tap.0 -> s1.0 : half
+s1.0 -> s2.0 : half
+s2.0 -> tap.0 : half

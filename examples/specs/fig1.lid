@@ -1,0 +1,15 @@
+# The paper's Fig. 1: reconvergent feed-forward topology.
+# Try:
+#   lidtool analyze  examples/specs/fig1.lid
+#   lidtool simulate examples/specs/fig1.lid -t 16
+#   lidtool equalize examples/specs/fig1.lid
+source src
+shell  A fork2
+shell  B identity
+shell  C adder
+sink   out
+src.0 -> A.0 : full
+A.0 -> C.0 : full
+A.1 -> B.0 : full
+B.0 -> C.1 : full
+C.0 -> out.0

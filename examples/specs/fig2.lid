@@ -1,0 +1,6 @@
+# The paper's Fig. 2: a feedback loop of two shells and two relay
+# stations; maximum throughput S/(S+R) = 1/2.
+shell A identity
+shell B identity
+A.0 -> B.0 : full
+B.0 -> A.0 : full

@@ -1,0 +1,14 @@
+# An SoC-ish pipeline with an unbalanced long interconnect to a
+# floating-point cluster; see examples/soc_pipeline.ml.
+source fetch
+shell  decode fork2
+shell  int_ex inc
+shell  fp_ex  delay2
+shell  commit adder
+sink   retire
+fetch.0  -> decode.0 : full
+decode.0 -> int_ex.0 : full
+decode.1 -> fp_ex.0  : full full full
+int_ex.0 -> commit.0 : full
+fp_ex.0  -> commit.1 : full
+commit.0 -> retire.0
