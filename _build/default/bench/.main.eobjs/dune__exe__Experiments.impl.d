@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Lid List Printf Random Sim Skeleton String Sys Topology Util Verify

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Emit Experiments Hashtbl Instance Lid List Printf Random Sim Skeleton Staged Sys Test Time Toolkit Topology Util Verify

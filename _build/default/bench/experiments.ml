@@ -1,0 +1,761 @@
+(* The paper's evaluation, regenerated.  One function per table/figure;
+   see DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+   recorded paper-vs-measured outcomes. *)
+
+module G = Topology.Generators
+module Net = Topology.Network
+module RS = Lid.Relay_station
+open Util
+
+(* ------------------------------------------------------------------ *)
+
+let e1_fig1 () =
+  section "E1 (Fig. 1)" "reconvergent feed-forward evolution";
+  Printf.printf
+    "paper: after the transient the output utters one invalid datum every 5\n\
+     cycles; throughput T = (m-i)/m = 4/5 with i = 1, m = 5.\n\n";
+  let net = G.fig1 () in
+  let engine = Skeleton.Engine.create net in
+  let trace = Skeleton.Trace.record ~cycles:16 engine in
+  print_endline (Skeleton.Trace.render trace);
+  let out_row = Skeleton.Trace.output_row trace ~sink:"out" in
+  Printf.printf "\nOut = %s\n"
+    (String.concat " " (List.map Lid.Token.to_string out_row));
+  Skeleton.Engine.reset engine;
+  (match Skeleton.Measure.analyze engine with
+  | Some r ->
+      let t = Skeleton.Measure.system_throughput r in
+      Printf.printf
+        "\nmeasured: transient %d, period %d, throughput %s  [formula 4/5 = \
+         0.8000: %s]\n"
+        r.transient r.period (f4 t)
+        (check_tag (close t 0.8))
+  | None -> print_endline "no steady state found");
+  let voids =
+    List.length (List.filter (fun t -> not (Lid.Token.is_valid t)) out_row)
+  in
+  Printf.printf "voids in the 16-cycle window: %d (transient + one per period)\n"
+    voids
+
+(* ------------------------------------------------------------------ *)
+
+let e2_fig2 () =
+  section "E2 (Fig. 2)" "feedback topology evolution";
+  Printf.printf
+    "paper: a loop of S shells and R relay stations sustains at most\n\
+     S valid data over S+R positions: T = S/(S+R) = 2/4 = 1/2 for Fig. 2.\n\n";
+  let net = G.fig2 () in
+  let engine = Skeleton.Engine.create net in
+  let trace = Skeleton.Trace.record ~cycles:10 engine in
+  print_endline (Skeleton.Trace.render trace);
+  Skeleton.Engine.reset engine;
+  match Skeleton.Measure.analyze engine with
+  | Some r ->
+      let t = Skeleton.Measure.system_throughput r in
+      Printf.printf "\nmeasured throughput %s  [S/(S+R) = 0.5000: %s]\n" (f4 t)
+        (check_tag (close t 0.5))
+  | None -> print_endline "no steady state found"
+
+(* ------------------------------------------------------------------ *)
+
+let e3_ff_throughput () =
+  section "E3" "reconvergent feed-forward throughput: T = (m-i)/m";
+  Printf.printf
+    "sweep of station counts on the two branches (short r_s; long r_h + r_t\n\
+     around shell B); every row compares the closed form, the elastic\n\
+     marked-graph bound, and the measured skeleton throughput.\n\n";
+  let rows =
+    List.filter_map
+      (fun (r_s, r_h, r_t) ->
+        let r_long = r_h + r_t in
+        if r_long < r_s then None
+        else begin
+          let net = G.reconvergent ~r_short:r_s ~r_long_head:r_h ~r_long_tail:r_t () in
+          let m, i = Topology.Analysis.ff_params ~r_short:r_s ~r_long ~shells_long:1 in
+          let formula = Topology.Analysis.ff_throughput ~m ~i in
+          let bound = Topology.Elastic.throughput_bound net in
+          let measured =
+            match measured_throughput net with Some (t, _) -> t | None -> nan
+          in
+          Some
+            [
+              Printf.sprintf "%d" r_s;
+              Printf.sprintf "%d+%d" r_h r_t;
+              Printf.sprintf "%d" m;
+              Printf.sprintf "%d" i;
+              f4 formula;
+              f4 bound;
+              f4 measured;
+              check_tag (close formula bound && close bound measured);
+            ]
+        end)
+      [
+        (1, 1, 1); (1, 2, 1); (1, 1, 2); (1, 2, 2); (2, 2, 1); (2, 2, 2);
+        (3, 2, 2); (1, 3, 2); (2, 3, 3); (4, 3, 2);
+      ]
+  in
+  table [ "r_short"; "r_long"; "m"; "i"; "(m-i)/m"; "elastic"; "measured"; "" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let e4_loop_throughput () =
+  section "E4" "feedback loop throughput: T = S/(S+R)";
+  let ring_net s r =
+    (* distribute r full stations over the loop's s channels *)
+    let base = r / s and extra = r mod s in
+    let b = Net.builder () in
+    let shells =
+      Array.init s (fun i ->
+          Net.add_shell b ~name:(Printf.sprintf "s%d" i) (Lid.Pearl.identity ()))
+    in
+    Array.iteri
+      (fun i sh ->
+        let k = base + if i < extra then 1 else 0 in
+        (* channels without a full station still need their minimum memory
+           element; a half station adds no forward latency, so S/(S+R)
+           counts full stations only *)
+        let st = if k = 0 then [ RS.Half ] else List.init k (fun _ -> RS.Full) in
+        ignore
+          (Net.connect b ~stations:st ~src:(sh, 0) ~dst:(shells.((i + 1) mod s), 0) ()))
+      shells;
+    Net.build b
+  in
+  let rows =
+    List.map
+      (fun (s, r) ->
+        let net = ring_net s r in
+        let formula = Topology.Analysis.loop_throughput ~s ~r in
+        let bound = Topology.Elastic.throughput_bound net in
+        let measured =
+          match measured_throughput net with Some (t, _) -> t | None -> nan
+        in
+        [
+          string_of_int s;
+          string_of_int r;
+          f4 formula;
+          f4 bound;
+          f4 measured;
+          check_tag (close formula bound && close bound measured);
+        ])
+      [ (2, 1); (2, 2); (2, 4); (3, 1); (3, 3); (4, 2); (5, 5); (6, 3); (8, 8) ]
+  in
+  table [ "S"; "R"; "S/(S+R)"; "elastic"; "measured"; "" ] rows;
+  Printf.printf
+    "\nhalf stations are latency-free and cost a loop nothing:\n";
+  let rows =
+    List.map
+      (fun s ->
+        let net = G.ring ~n_shells:s ~stations:[ RS.Half ] () in
+        [ string_of_int s; throughput_cell net ])
+      [ 2; 3; 5 ]
+  in
+  table [ "S (half stations)"; "measured" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let e5_composition () =
+  section "E5" "general topology: the slowest sub-topology dictates";
+  Printf.printf
+    "paper: a feed-forward combination of self-interacting loops slows down\n\
+     to the slowest subtopology, with no equalization needed.\n\n";
+  (* a slow loop (T=2/5) feeding a fast pipeline *)
+  let b = Net.builder () in
+  let src = Net.add_source b ~name:"src" () in
+  let tap = Net.add_shell b ~name:"tap" (G.tap_pearl ()) in
+  let loop1 = Net.add_shell b ~name:"l1" (Lid.Pearl.identity ()) in
+  let fast = Net.add_shell b ~name:"fast" (Lid.Pearl.identity ()) in
+  let sink = Net.add_sink b ~name:"out" () in
+  let fulls n = List.init n (fun _ -> RS.Full) in
+  let _ = Net.connect b ~src:(src, 0) ~dst:(tap, 1) () in
+  let _ = Net.connect b ~stations:(fulls 2) ~src:(tap, 0) ~dst:(loop1, 0) () in
+  let _ = Net.connect b ~stations:(fulls 1) ~src:(loop1, 0) ~dst:(tap, 0) () in
+  let _ = Net.connect b ~stations:(fulls 1) ~src:(tap, 1) ~dst:(fast, 0) () in
+  let _ = Net.connect b ~stations:[] ~src:(fast, 0) ~dst:(sink, 0) () in
+  let net = Net.build b in
+  let loop_bound = Topology.Analysis.loop_throughput ~s:2 ~r:3 in
+  (match measured_throughput net with
+  | Some (t, r) ->
+      Printf.printf
+        "loop bound S/(S+R) = %s; whole system measured %s  [%s]\n"
+        (f4 loop_bound) (f4 t)
+        (check_tag (close t loop_bound));
+      List.iter
+        (fun (id, rate) ->
+          Printf.printf "  %-6s rate %s\n" (Net.node net id).name (f4 rate))
+        r.node_throughput
+  | None -> print_endline "no steady state");
+  Printf.printf
+    "\nrandom feed-forward combinations of loops (elastic bound vs measured):\n";
+  let rng = Random.State.make [| 2004 |] in
+  let rows =
+    List.init 8 (fun i ->
+        let net =
+          G.random_loopy ~rng ~n_shells:(4 + (i mod 4)) ~extra_back_edges:2 ()
+        in
+        let bound = Topology.Elastic.throughput_bound net in
+        let measured =
+          match measured_throughput net with Some (t, _) -> t | None -> nan
+        in
+        [
+          Printf.sprintf "random #%d" (i + 1);
+          Printf.sprintf "%d" (List.length (Net.shells net));
+          f4 bound;
+          f4 measured;
+          check_tag (close bound measured);
+        ])
+  in
+  table [ "instance"; "shells"; "elastic"; "measured"; "" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let e6_equalization () =
+  section "E6" "path equalization";
+  Printf.printf
+    "paper: inserting enough spare relay stations to equalize converging\n\
+     paths recovers maximum throughput.  (Because these shells buffer only\n\
+     a single datum, full recovery also needs capacity slack on the\n\
+     shell-heavy branch - Equalize.optimize inserts both.)\n\n";
+  let rows =
+    List.map
+      (fun (name, net) ->
+        let before = Topology.Elastic.throughput_bound net in
+        let net', additions = Topology.Equalize.optimize net in
+        let spares =
+          List.fold_left
+            (fun acc (a : Topology.Equalize.addition) -> acc + a.spare)
+            0 additions
+        in
+        let after =
+          match measured_throughput net' with Some (t, _) -> t | None -> nan
+        in
+        [ name; f4 before; string_of_int spares; f4 after; check_tag (close after 1.0) ])
+      [
+        ("fig1 (1,1,1)", G.fig1 ());
+        ("fig1 (1,2,1)", G.fig1 ~r_to_b:2 ());
+        ("fig1 (1,2,2)", G.fig1 ~r_to_b:2 ~r_from_b:2 ());
+        ("fig1 (3,1,1)", G.fig1 ~r_direct:3 ());
+        ("recon (1,3,1)", G.reconvergent ~r_short:1 ~r_long_head:3 ~r_long_tail:1 ());
+      ]
+  in
+  table [ "network"; "T before"; "spares added"; "T after"; "" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let e7_transient () =
+  section "E7" "transient length is predictable";
+  Printf.printf
+    "paper: after a system-dependent number of cycles every part behaves\n\
+     periodically; the transient relates to the numbers of relay stations\n\
+     and shells and can be predicted upfront.\n\n";
+  let cases =
+    [
+      ("chain 2", G.chain ~n_shells:2 ());
+      ("chain 5", G.chain ~n_shells:5 ());
+      ("chain 10", G.chain ~n_shells:10 ());
+      ("tree d2", G.tree ~depth:2 ());
+      ("tree d4", G.tree ~depth:4 ());
+      ("fig1", G.fig1 ());
+      ("fig1 (1,3,2)", G.fig1 ~r_to_b:3 ~r_from_b:2 ());
+      ("fig2", G.fig2 ());
+      ("ring 6", G.ring ~n_shells:6 ());
+      ("tapped ring 4", G.ring_tapped ~n_shells:4 ());
+      ( "stalled chain",
+        G.chain ~n_shells:4
+          ~sink_pattern:(Topology.Pattern.periodic ~period:3 ~active:1 ())
+          () );
+    ]
+  in
+  let all_ok = ref true in
+  let rows =
+    List.map
+      (fun (name, net) ->
+        let bound = Topology.Analysis.transient_bound net in
+        let engine = Skeleton.Engine.create net in
+        match Skeleton.Measure.transient_and_period engine with
+        | Some (transient, period) ->
+            let ok = transient <= bound in
+            if not ok then all_ok := false;
+            [
+              name;
+              string_of_int transient;
+              string_of_int period;
+              string_of_int bound;
+              check_tag ok;
+            ]
+        | None ->
+            all_ok := false;
+            [ name; "?"; "?"; string_of_int bound; "no period" ])
+      cases
+  in
+  table [ "system"; "transient"; "period"; "predicted bound"; "" ] rows;
+  Printf.printf "\nall transients within the predicted bound: %s\n"
+    (check_tag !all_ok)
+
+(* ------------------------------------------------------------------ *)
+
+let e8_flavours () =
+  section "E8" "protocol refinement: discarding stops on void data";
+  Printf.printf
+    "paper: \"stops on invalid signals are discarded. The overall\n\
+     computation can get a significant speedup.\"  Three measurable faces:\n\n";
+  Printf.printf "(a) survival: random systems with half stations and stalling\n";
+  Printf.printf "    environments, simulated to steady state per flavour:\n\n";
+  let rng = Random.State.make [| 7 |] in
+  let n_cases = 120 in
+  let orig_dead = ref 0 and opt_dead = ref 0 and faster = ref 0 and equal = ref 0 in
+  for i = 1 to n_cases do
+    let pat () =
+      let period = 2 + Random.State.int rng 5 in
+      let active = 1 + Random.State.int rng (period - 1) in
+      Topology.Pattern.periodic ~period ~active ()
+    in
+    let stations = [ (if i mod 2 = 0 then RS.Half else RS.Full) ] in
+    let net =
+      if i mod 3 = 0 then
+        G.ring_tapped ~n_shells:(2 + (i mod 3)) ~stations ~sink_pattern:(pat ()) ()
+      else
+        G.chain ~n_shells:(1 + (i mod 4)) ~stations ~source_pattern:(pat ())
+          ~sink_pattern:(pat ()) ()
+    in
+    let t fl =
+      match measured_throughput ~flavour:fl net with
+      | Some (t, _) -> t
+      | None -> 0.
+    in
+    let t_opt = t Lid.Protocol.Optimized and t_orig = t Lid.Protocol.Original in
+    if t_orig = 0. then incr orig_dead;
+    if t_opt = 0. then incr opt_dead;
+    if t_opt -. t_orig > 1e-9 then incr faster
+    else if close t_opt t_orig then incr equal
+  done;
+  table
+    [ "flavour"; "deadlocked"; "of" ]
+    [
+      [ "original"; string_of_int !orig_dead; string_of_int n_cases ];
+      [ "optimized"; string_of_int !opt_dead; string_of_int n_cases ];
+    ];
+  Printf.printf
+    "\n(b) steady-state: optimized strictly faster in %d/%d cases (equal in\n\
+     %d; the strictly-faster cases are dominated by original-flavour\n\
+     deadlocks, i.e. throughput 0 vs > 0).\n"
+    !faster n_cases !equal;
+  Printf.printf "\n(c) transients on full-station chains with stalling sinks:\n";
+  let shorter = ref 0 and same = ref 0 and longer = ref 0 in
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 150 do
+    let period = 2 + Random.State.int rng 5 in
+    let active = 1 + Random.State.int rng (period - 1) in
+    let net =
+      G.chain ~n_shells:(1 + Random.State.int rng 4)
+        ~sink_pattern:(Topology.Pattern.periodic ~period ~active ())
+        ()
+    in
+    let tr fl =
+      let e = Skeleton.Engine.create ~flavour:fl net in
+      match Skeleton.Measure.transient_and_period e with
+      | Some (t, _) -> t
+      | None -> max_int
+    in
+    let o = tr Lid.Protocol.Original and p = tr Lid.Protocol.Optimized in
+    if p < o then incr shorter else if p = o then incr same else incr longer
+  done;
+  table
+    [ "optimized transient"; "count" ]
+    [
+      [ "shorter"; string_of_int !shorter ];
+      [ "equal"; string_of_int !same ];
+      [ "longer"; string_of_int !longer ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let e9_deadlock () =
+  section "E9" "liveness: static rules, skeleton decision, cures";
+  Printf.printf
+    "paper: feed-forward LIDs and full-station LIDs are deadlock free; half\n\
+     stations in loops are a potential deadlock, decided exactly by\n\
+     simulating the skeleton until the transient dies out, and cured by\n\
+     substituting a few relay stations.\n\n";
+  let half = [ RS.Half ] in
+  let stall = Topology.Pattern.periodic ~period:4 ~active:2 () in
+  let cases =
+    [
+      ("chain (ff)", G.chain ~n_shells:3 (), Lid.Protocol.Optimized);
+      ("fig1 (ff, reconv)", G.fig1 (), Lid.Protocol.Optimized);
+      ("fig2 (full loop)", G.fig2 (), Lid.Protocol.Optimized);
+      ("tapped ring, full", G.ring_tapped ~n_shells:3 ~sink_pattern:stall (), Lid.Protocol.Original);
+      ( "tapped ring, half (orig)",
+        G.ring_tapped ~n_shells:3 ~stations:half ~sink_pattern:stall (),
+        Lid.Protocol.Original );
+      ( "tapped ring, half (opt)",
+        G.ring_tapped ~n_shells:3 ~stations:half ~sink_pattern:stall (),
+        Lid.Protocol.Optimized );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, net, fl) ->
+        let verdict = Topology.Deadlock.static_verdict net in
+        let static =
+          match verdict with
+          | Topology.Deadlock.Safe_feedforward -> "safe (ff)"
+          | Topology.Deadlock.Safe_full_only -> "safe (full)"
+          | Topology.Deadlock.Potential _ -> "potential"
+        in
+        let d = Skeleton.Cure.decide ~flavour:fl net in
+        let sim = if d.deadlocked then "DEADLOCK" else "live" in
+        let exhaustive =
+          if Net.n_nodes net <= 8 then
+            match Verify.Closed.check_deadlock_free ~flavour:fl net with
+            | Verify.Reach.Live { states } -> Printf.sprintf "live (%d states)" states
+            | Verify.Reach.Wedged { trace } ->
+                Printf.sprintf "wedged @%d" (List.length trace - 1)
+          else "-"
+        in
+        [ name; Lid.Protocol.to_string fl; static; sim; exhaustive ])
+      cases
+  in
+  table [ "system"; "flavour"; "static rule"; "skeleton sim"; "exhaustive env search" ] rows;
+  Printf.printf "\ncure of the deadlocking instance (original flavour):\n";
+  let net = G.ring_tapped ~n_shells:3 ~stations:half ~sink_pattern:stall () in
+  (match Skeleton.Cure.cure ~flavour:Lid.Protocol.Original net with
+  | Skeleton.Cure.Cured { network; substitutions } ->
+      Printf.printf "  substituted %d half station(s) -> full; re-simulation: %s\n"
+        (List.length substitutions)
+        (if (Skeleton.Cure.decide ~flavour:Lid.Protocol.Original network).deadlocked
+         then "still dead"
+         else "live");
+      Printf.printf "  value streams preserved after cure: %s\n"
+        (match Skeleton.Equiv.check ~flavour:Lid.Protocol.Original network with
+        | Skeleton.Equiv.Equivalent _ -> "ok"
+        | Skeleton.Equiv.Divergent _ -> "BROKEN")
+  | Skeleton.Cure.Already_live -> print_endline "  already live"
+  | Skeleton.Cure.Not_cured -> print_endline "  NOT CURED");
+  Printf.printf
+    "\nnote: under the refined protocol the same systems never wedged in any\n\
+     of our exhaustive searches - the refinement strengthens the paper's\n\
+     conservative rule (see EXPERIMENTS.md).\n"
+
+(* ------------------------------------------------------------------ *)
+
+let e10_cost_nets () =
+  [
+    ("fig1", G.fig1 ());
+    ("soc-ish", G.reconvergent ~r_short:2 ~r_long_head:3 ~r_long_tail:2 ());
+    ("chain 10", G.chain ~n_shells:10 ~stations:[ RS.Full; RS.Full ] ());
+  ]
+
+let e10_cost_quick () =
+  section "E10" "skeleton simulation cost vs full RTL simulation";
+  Printf.printf
+    "paper: \"we are allowed to simulate just the skeleton of the system\n\
+     consisting of stop and valid signals, thus the simulation cost is\n\
+     absolutely negligible.\"  Wall-clock per simulated cycle (quick\n\
+     measurement; run `main.exe cost` for the rigorous bechamel version):\n\n";
+  let time_per_cycle f cycles =
+    let t0 = Sys.time () in
+    f cycles;
+    (Sys.time () -. t0) /. float_of_int cycles *. 1e6
+  in
+  let rows =
+    List.map
+      (fun (name, net) ->
+        let skeleton us =
+          let e = Skeleton.Engine.create net in
+          Skeleton.Engine.run e ~cycles:us
+        in
+        let rtl_cycle us =
+          let sim = Sim.Cycle_sim.create (Topology.Rtl_net.of_network net) in
+          for _ = 1 to us do
+            Sim.Cycle_sim.step sim
+          done
+        in
+        let rtl_event us =
+          let sim = Sim.Event_sim.create (Topology.Rtl_net.of_network net) in
+          for _ = 1 to us do
+            Sim.Event_sim.settle sim;
+            Sim.Event_sim.step sim
+          done
+        in
+        let sk = time_per_cycle skeleton 20_000 in
+        let rc = time_per_cycle rtl_cycle 4_000 in
+        let re = time_per_cycle rtl_event 4_000 in
+        [
+          name;
+          Printf.sprintf "%.2f us" sk;
+          Printf.sprintf "%.2f us" rc;
+          Printf.sprintf "%.2f us" re;
+          Printf.sprintf "%.1fx / %.1fx" (rc /. sk) (re /. sk);
+        ])
+      (e10_cost_nets ())
+  in
+  table
+    [ "system"; "skeleton"; "RTL (levelized)"; "RTL (event-driven)"; "RTL/skeleton" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let e11_verification () =
+  section "E11" "formal verification of the blocks (SMV substitute)";
+  Printf.printf
+    "paper: SMV checks that shells elaborate coherent data, produce outputs\n\
+     in order and skip none; relay stations produce outputs in order, skip\n\
+     none and keep them under stop - all under environment assumptions.\n\n";
+  let show_rs kind fl =
+    match Verify.Props.check_relay_station ~flavour:fl kind with
+    | Verify.Reach.Holds { states; transitions } ->
+        [
+          Printf.sprintf "%s relay station" (RS.kind_to_string kind);
+          Lid.Protocol.to_string fl;
+          "order, no-skip, hold-on-stop";
+          Printf.sprintf "HOLDS (%d states, %d transitions)" states transitions;
+        ]
+    | Verify.Reach.Fails { trace } ->
+        [
+          Printf.sprintf "%s relay station" (RS.kind_to_string kind);
+          Lid.Protocol.to_string fl;
+          "order, no-skip, hold-on-stop";
+          Printf.sprintf "FAILS (%d-step trace)" (List.length trace);
+        ]
+  in
+  let show_shell pearl fl label prop =
+    match Verify.Props.check_shell ~flavour:fl pearl with
+    | Verify.Reach.Holds { states; transitions } ->
+        [
+          label;
+          Lid.Protocol.to_string fl;
+          prop;
+          Printf.sprintf "HOLDS (%d states, %d transitions)" states transitions;
+        ]
+    | Verify.Reach.Fails { trace } ->
+        [ label; Lid.Protocol.to_string fl; prop;
+          Printf.sprintf "FAILS (%d-step trace)" (List.length trace) ]
+  in
+  let rows =
+    List.concat_map (fun fl -> [ show_rs RS.Full fl; show_rs RS.Half fl ]) Lid.Protocol.all
+    @ List.concat_map
+        (fun fl ->
+          [
+            show_shell Verify.Props.Identity fl "identity shell" "order, no-skip";
+            show_shell Verify.Props.Adder fl "adder shell" "coherence, order, no-skip";
+            show_shell Verify.Props.Accumulator fl "accumulator shell"
+              "state coherence (clock gating), order, no-skip";
+            show_shell Verify.Props.Fork fl "fork shell (2 outputs)"
+              "per-port order, no-skip, independent buffers";
+          ])
+        Lid.Protocol.all
+  in
+  let rtl_rows =
+    List.concat_map
+      (fun fl ->
+        List.map
+          (fun kind ->
+            match Verify.Props.check_relay_station_rtl ~flavour:fl kind with
+            | Verify.Reach.Holds { states; transitions } ->
+                [
+                  Printf.sprintf "%s relay station (generated RTL)"
+                    (RS.kind_to_string kind);
+                  Lid.Protocol.to_string fl;
+                  "order, no-skip, hold-on-stop";
+                  Printf.sprintf "HOLDS (%d states, %d transitions)" states
+                    transitions;
+                ]
+            | Verify.Reach.Fails { trace } ->
+                [
+                  Printf.sprintf "%s relay station (generated RTL)"
+                    (RS.kind_to_string kind);
+                  Lid.Protocol.to_string fl;
+                  "order, no-skip, hold-on-stop";
+                  Printf.sprintf "FAILS (%d)" (List.length trace);
+                ])
+          [ RS.Full; RS.Half ])
+      Lid.Protocol.all
+  in
+  table [ "block"; "flavour"; "properties"; "result" ] (rows @ rtl_rows);
+  Printf.printf
+    "\nsymbolic (BDD) reachability over the generated netlists (2-bit\n\
+     datapath), with structural invariants:\n\n";
+  let sym_row kind fl invariants =
+    let circ = Lid.Rtl_gen.relay_station ~flavour:fl ~data_width:2 kind in
+    let sym = Verify.Symbolic.of_circuit circ in
+    let count = Verify.Symbolic.reachable_count sym in
+    let iters = Verify.Symbolic.iterations sym in
+    let verdicts =
+      List.map
+        (fun (name, prop) ->
+          match Verify.Symbolic.check_invariant sym (prop sym) with
+          | Verify.Symbolic.Holds -> name ^ ": holds"
+          | Verify.Symbolic.Violation _ -> name ^ ": VIOLATED")
+        invariants
+    in
+    [
+      Printf.sprintf "%s station" (RS.kind_to_string kind);
+      Lid.Protocol.to_string fl;
+      Printf.sprintf "%.0f states, %d image steps" count iters;
+      (match verdicts with [] -> "-" | vs -> String.concat "; " vs);
+    ]
+  in
+  let full_invariants =
+    [
+      ( "aux=>main",
+        fun sym ->
+          let m = Verify.Symbolic.man sym in
+          Verify.Bdd.imp m
+            (Verify.Symbolic.reg_vector sym "v_aux_r").(0)
+            (Verify.Symbolic.reg_vector sym "v_main_r").(0) );
+      ( "stop<->aux",
+        fun sym ->
+          let m = Verify.Symbolic.man sym in
+          Verify.Bdd.iff m
+            (Verify.Symbolic.output_vector sym "stop_out").(0)
+            (Verify.Symbolic.reg_vector sym "v_aux_r").(0) );
+    ]
+  in
+  let half_orig_invariants =
+    [
+      ( "hold=>sreg",
+        fun sym ->
+          let m = Verify.Symbolic.man sym in
+          Verify.Bdd.imp m
+            (Verify.Symbolic.reg_vector sym "v_hold_r").(0)
+            (Verify.Symbolic.reg_vector sym "sreg_r").(0) );
+    ]
+  in
+  table
+    [ "block"; "flavour"; "reachable set"; "invariants" ]
+    [
+      sym_row RS.Full Lid.Protocol.Optimized full_invariants;
+      sym_row RS.Half Lid.Protocol.Optimized [];
+      sym_row RS.Half Lid.Protocol.Original half_orig_invariants;
+    ];
+  Printf.printf "\nseeded-bug mutants (the properties have teeth):\n\n";
+  let mutant name step =
+    List.map
+      (fun kind ->
+        match Verify.Props.check_relay_station ~step kind with
+        | Verify.Reach.Fails { trace } ->
+            [
+              name;
+              RS.kind_to_string kind;
+              Printf.sprintf "caught (%d-step counterexample)" (List.length trace - 1);
+            ]
+        | Verify.Reach.Holds _ -> [ name; RS.kind_to_string kind; "MISSED" ])
+      [ RS.Full; RS.Half ]
+  in
+  table
+    [ "mutant"; "station"; "verdict" ]
+    (mutant "drop datum on stop" Verify.Props.mutant_drop_on_stop
+    @ mutant "no hold on stop" Verify.Props.mutant_no_hold
+    @ mutant "duplicate delivery" Verify.Props.mutant_duplicate)
+
+(* ------------------------------------------------------------------ *)
+
+let e12_equivalence () =
+  section "E12" "latency equivalence: LID = zero-latency reference";
+  Printf.printf
+    "paper: a safe implementation behaves \"exactly as an equally connected\n\
+     system without shells and non-pipelined connections\".  Every sink's\n\
+     valid-value stream must be a prefix of the reference stream.\n\n";
+  let run name count make =
+    let checked = ref 0 and failed = ref 0 in
+    for i = 1 to count do
+      let net = make i in
+      match Skeleton.Equiv.check ~cycles:200 net with
+      | Skeleton.Equiv.Equivalent { checked = k } -> checked := !checked + k
+      | Skeleton.Equiv.Divergent _ -> incr failed
+    done;
+    [
+      name;
+      string_of_int count;
+      string_of_int !checked;
+      (if !failed = 0 then "all equivalent" else Printf.sprintf "%d FAILED" !failed);
+    ]
+  in
+  let rng = Random.State.make [| 42 |] in
+  let rows =
+    [
+      run "standard topologies" 5 (fun i ->
+          List.nth
+            [
+              G.chain ~n_shells:4 ();
+              G.fig1 ();
+              G.tree ~depth:3 ();
+              G.ring_tapped ~n_shells:3 ();
+              G.chain ~n_shells:3 ~stations:[ RS.Half ] ();
+            ]
+            (i - 1));
+      run "random DAGs" 40 (fun _ ->
+          G.random_dag ~rng ~n_shells:(3 + Random.State.int rng 5)
+            ~half_probability:0.3 ());
+      run "random loopy" 30 (fun _ ->
+          G.random_loopy ~rng ~n_shells:(3 + Random.State.int rng 4) ());
+      run "stuttering envs" 20 (fun i ->
+          G.chain ~n_shells:3
+            ~source_pattern:(Topology.Pattern.periodic ~period:(2 + (i mod 3)) ~active:1 ())
+            ~sink_pattern:(Topology.Pattern.periodic ~period:(2 + (i mod 4)) ~active:1 ())
+            ());
+    ]
+  in
+  table [ "family"; "instances"; "values compared"; "verdict" ] rows
+
+(* ------------------------------------------------------------------ *)
+
+let a1_attribution () =
+  section "A1 (ablation)" "stall attribution: where do the cycles go?";
+  Printf.printf
+    "per shell: cycles spent firing, gated by back-pressure (stop waves),\n\
+     or starved by void inputs, over one steady-state window - the\n\
+     designer-facing view of the Fig. 1 imbalance and its repair.\n\n";
+  let attribution name net =
+    let engine = Skeleton.Engine.create net in
+    match Skeleton.Measure.transient_and_period engine with
+    | None -> ()
+    | Some (_, period) ->
+        let window = 20 * period in
+        let base =
+          List.map
+            (fun (n : Net.node) ->
+              ( n,
+                Skeleton.Engine.fired_count engine n.id,
+                Skeleton.Engine.gated_count engine n.id,
+                Skeleton.Engine.starved_count engine n.id ))
+            (Net.shells net)
+        in
+        Skeleton.Engine.run engine ~cycles:window;
+        Printf.printf "%s (window %d cycles):\n" name window;
+        table
+          [ "shell"; "fired"; "gated"; "starved" ]
+          (List.map
+             (fun ((n : Net.node), f0, g0, s0) ->
+               [
+                 n.name;
+                 string_of_int (Skeleton.Engine.fired_count engine n.id - f0);
+                 string_of_int (Skeleton.Engine.gated_count engine n.id - g0);
+                 string_of_int (Skeleton.Engine.starved_count engine n.id - s0);
+               ])
+             base);
+        print_newline ()
+  in
+  attribution "fig1 (unbalanced: C starves on the long branch, A is gated)"
+    (G.fig1 ());
+  attribution "fig1 equalized (all cycles fire)"
+    (fst (Topology.Equalize.optimize (G.fig1 ())));
+  attribution "chain with a stalling sink (pure back-pressure)"
+    (G.chain ~n_shells:3
+       ~sink_pattern:(Topology.Pattern.periodic ~period:4 ~active:2 ())
+       ())
+
+let all_quick () =
+  e1_fig1 ();
+  e2_fig2 ();
+  e3_ff_throughput ();
+  e4_loop_throughput ();
+  e5_composition ();
+  e6_equalization ();
+  e7_transient ();
+  e8_flavours ();
+  e9_deadlock ();
+  e10_cost_quick ();
+  e11_verification ();
+  e12_equivalence ();
+  a1_attribution ()

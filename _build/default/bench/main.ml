@@ -1,0 +1,180 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4).
+
+   Usage:
+     main.exe              run E1..E12 (prints all tables)
+     main.exe e1 e4 ...    run selected experiments
+     main.exe cost         E10 with rigorous bechamel timing
+     main.exe list         list experiment ids *)
+
+let experiments =
+  [
+    ("e1", "Fig. 1 reconvergent evolution", Experiments.e1_fig1);
+    ("e2", "Fig. 2 feedback evolution", Experiments.e2_fig2);
+    ("e3", "(m-i)/m feed-forward sweep", Experiments.e3_ff_throughput);
+    ("e4", "S/(S+R) loop sweep", Experiments.e4_loop_throughput);
+    ("e5", "slowest subtopology dictates", Experiments.e5_composition);
+    ("e6", "path equalization", Experiments.e6_equalization);
+    ("e7", "transient predictability", Experiments.e7_transient);
+    ("e8", "protocol flavour ablation", Experiments.e8_flavours);
+    ("e9", "deadlock rules and cures", Experiments.e9_deadlock);
+    ("e10", "skeleton vs RTL cost (quick)", Experiments.e10_cost_quick);
+    ("e11", "block verification", Experiments.e11_verification);
+    ("e12", "latency equivalence", Experiments.e12_equivalence);
+    ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
+  ]
+
+(* --- library microbenchmarks: one Bechamel Test.make per core kernel --- *)
+
+let bechamel_perf () =
+  let open Bechamel in
+  let open Toolkit in
+  Util.section "PERF" "library kernel microbenchmarks (bechamel)";
+  let fig1 = Topology.Generators.fig1 () in
+  let big_ring = Topology.Generators.ring ~n_shells:64 () in
+  let rng = Random.State.make [| 5 |] in
+  let loopy = Topology.Generators.random_loopy ~rng ~n_shells:10 ~extra_back_edges:2 () in
+  let tests =
+    [
+      Test.make ~name:"skeleton-step/fig1"
+        (Staged.stage (fun () ->
+             let e = Skeleton.Engine.create fig1 in
+             Skeleton.Engine.run e ~cycles:500));
+      Test.make ~name:"skeleton-step/ring64"
+        (Staged.stage (fun () ->
+             let e = Skeleton.Engine.create big_ring in
+             Skeleton.Engine.run e ~cycles:100));
+      Test.make ~name:"elastic-mcr/fig1"
+        (Staged.stage (fun () ->
+             ignore (Topology.Elastic.throughput_bound fig1)));
+      Test.make ~name:"elastic-mcr/loopy10"
+        (Staged.stage (fun () ->
+             ignore (Topology.Elastic.throughput_bound loopy)));
+      Test.make ~name:"classify/loopy10"
+        (Staged.stage (fun () -> ignore (Topology.Classify.classify loopy)));
+      Test.make ~name:"equalize-optimize/fig1"
+        (Staged.stage (fun () -> ignore (Topology.Equalize.optimize fig1)));
+      Test.make ~name:"explicit-mc/full-rs"
+        (Staged.stage (fun () ->
+             ignore (Verify.Props.check_relay_station Lid.Relay_station.Full)));
+      Test.make ~name:"bdd-reach/full-rs"
+        (Staged.stage (fun () ->
+             let circ =
+               Lid.Rtl_gen.relay_station ~data_width:2 Lid.Relay_station.Full
+             in
+             let sym = Verify.Symbolic.of_circuit circ in
+             ignore (Verify.Symbolic.reachable_count sym)));
+      Test.make ~name:"rtl-elaborate/fig1"
+        (Staged.stage (fun () -> ignore (Topology.Rtl_net.of_network fig1)));
+      Test.make ~name:"vhdl-emit/fig1"
+        (Staged.stage (fun () ->
+             ignore (Emit.Vhdl.emit (Topology.Rtl_net.of_network fig1))));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"perf" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%12.0f" e
+        | _ -> "?"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Util.table [ "kernel"; "ns / run" ] (List.sort compare !rows)
+
+(* --- E10, rigorous: one Bechamel Test.make per simulator and system --- *)
+
+let bechamel_cost () =
+  let open Bechamel in
+  let open Toolkit in
+  Util.section "E10 (bechamel)" "skeleton vs RTL simulation cost";
+  let tests =
+    List.concat_map
+      (fun (name, net) ->
+        let skeleton =
+          Test.make
+            ~name:(name ^ "/skeleton")
+            (Staged.stage (fun () ->
+                 let e = Skeleton.Engine.create net in
+                 Skeleton.Engine.run e ~cycles:100))
+        in
+        let rtl_cycle =
+          let circ = Topology.Rtl_net.of_network net in
+          Test.make
+            ~name:(name ^ "/rtl-levelized")
+            (Staged.stage (fun () ->
+                 let sim = Sim.Cycle_sim.create circ in
+                 for _ = 1 to 100 do
+                   Sim.Cycle_sim.step sim
+                 done))
+        in
+        let rtl_event =
+          let circ = Topology.Rtl_net.of_network net in
+          Test.make
+            ~name:(name ^ "/rtl-event-driven")
+            (Staged.stage (fun () ->
+                 let sim = Sim.Event_sim.create circ in
+                 for _ = 1 to 100 do
+                   Sim.Event_sim.settle sim;
+                   Sim.Event_sim.step sim
+                 done))
+        in
+        [ skeleton; rtl_cycle; rtl_event ])
+      (Experiments.e10_cost_nets ())
+  in
+  let grouped = Test.make_grouped ~name:"cost" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  Printf.printf "\nnanoseconds per 100 simulated cycles (OLS estimate):\n\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%13.0f" e
+        | _ -> "?"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "?"
+      in
+      rows := [ name; est; r2 ] :: !rows)
+    results;
+  Util.table
+    [ "benchmark"; "ns / 100 cycles"; "r^2" ]
+    (List.sort compare !rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter (fun (_, _, f) -> f ()) experiments;
+      print_newline ()
+  | [ "list" ] ->
+      List.iter (fun (id, desc, _) -> Printf.printf "%-5s %s\n" id desc) experiments;
+      Printf.printf "%-5s %s\n" "cost" "E10 with bechamel timing";
+      Printf.printf "%-5s %s\n" "perf" "library kernel microbenchmarks"
+  | [ "cost" ] -> bechamel_cost ()
+  | [ "perf" ] -> bechamel_perf ()
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.find_opt (fun (i, _, _) -> i = id) experiments with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (try: main.exe list)\n" id;
+              exit 1)
+        ids

@@ -1,0 +1,44 @@
+(* Table rendering and measurement helpers shared by the experiments. *)
+
+let section id title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s - %s\n" id title;
+  Printf.printf "==============================================================\n"
+
+let table header rows =
+  let all = header :: rows in
+  let n_cols = List.length header in
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render cells =
+    "  "
+    ^ String.concat "  "
+        (List.mapi
+           (fun i c -> c ^ String.make (widths.(i) - String.length c) ' ')
+           cells)
+  in
+  print_endline (render header);
+  print_endline
+    ("  "
+    ^ String.concat "  "
+        (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  List.iter (fun r -> print_endline (render r)) rows
+
+let f4 x = Printf.sprintf "%.4f" x
+let frac (p, q) = Printf.sprintf "%d/%d" p q
+
+let measured_throughput ?flavour ?(max_cycles = 200_000) net =
+  let engine = Skeleton.Engine.create ?flavour net in
+  match Skeleton.Measure.analyze ~max_cycles engine with
+  | Some r -> Some (Skeleton.Measure.system_throughput r, r)
+  | None -> None
+
+let throughput_cell ?flavour net =
+  match measured_throughput ?flavour net with
+  | Some (t, _) -> f4 t
+  | None -> "n/a"
+
+let check_tag ok = if ok then "ok" else "MISMATCH"
+let close a b = abs_float (a -. b) < 1e-9

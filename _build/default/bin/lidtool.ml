@@ -1,0 +1,372 @@
+(* lidtool — command-line front end for the latency-insensitive design kit.
+
+   dune exec bin/lidtool.exe -- <command> ...   (try: lidtool --help) *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments.                                                    *)
+
+let network_arg =
+  let doc =
+    "Network description file (see `lidtool sample' for the format), or - \
+     for stdin."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let load_network path =
+  let text =
+    if path = "-" then In_channel.input_all In_channel.stdin
+    else In_channel.with_open_text path In_channel.input_all
+  in
+  match Topology.Spec.parse text with
+  | Ok net -> net
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+
+let flavour_arg =
+  let flavour_conv =
+    Arg.enum
+      [ ("optimized", Lid.Protocol.Optimized); ("original", Lid.Protocol.Original) ]
+  in
+  Arg.(
+    value
+    & opt flavour_conv Lid.Protocol.Optimized
+    & info [ "f"; "flavour" ] ~docv:"FLAVOUR"
+        ~doc:"Protocol flavour: $(b,optimized) (the paper's refinement, \
+              default) or $(b,original).")
+
+let lang_arg =
+  let lang_conv = Arg.enum [ ("vhdl", `Vhdl); ("verilog", `Verilog) ] in
+  Arg.(
+    value & opt lang_conv `Vhdl
+    & info [ "l"; "lang" ] ~docv:"LANG" ~doc:"Output HDL: vhdl or verilog.")
+
+let width_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "w"; "width" ] ~docv:"BITS" ~doc:"Datapath width in bits.")
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+
+let analyze_cmd =
+  let run file =
+    let net = load_network file in
+    Format.printf "%a@.@." Topology.Network.pp_summary net;
+    Format.printf "classification : %a@." Topology.Classify.pp
+      (Topology.Classify.classify net);
+    let el = Topology.Elastic.of_network net in
+    let tok, lat = Topology.Elastic.min_cycle_ratio el in
+    Format.printf "throughput     : %d/%d = %.4f (protocol bound)@." tok lat
+      (min 1.0 (float_of_int tok /. float_of_int lat));
+    Format.printf "env cap        : %.4f (source/sink duty cycles)@."
+      (Topology.Analysis.env_throughput_cap net);
+    Format.printf "transient bound: %d cycles@."
+      (Topology.Analysis.transient_bound net);
+    Format.printf "liveness       : %a@."
+      (Topology.Deadlock.pp_verdict net)
+      (Topology.Deadlock.static_verdict net);
+    if tok < lat then begin
+      let cyc = Topology.Elastic.critical_cycle el in
+      Format.printf "critical cycle : %s@."
+        (String.concat " -> "
+           (List.map (fun i -> el.Topology.Elastic.labels.(i)) cyc))
+    end
+  in
+  let term = Term.(const run $ network_arg) in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Classify a network and compute its analytic figures.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                             *)
+
+let simulate_cmd =
+  let cycles_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "t"; "trace" ] ~docv:"N" ~doc:"Print an N-cycle evolution trace first.")
+  in
+  let run file flavour trace_cycles =
+    let net = load_network file in
+    let engine = Skeleton.Engine.create ~flavour net in
+    if trace_cycles > 0 then begin
+      print_endline
+        (Skeleton.Trace.render (Skeleton.Trace.record ~cycles:trace_cycles engine));
+      Skeleton.Engine.reset engine
+    end;
+    match Skeleton.Measure.analyze engine with
+    | Some report ->
+        Format.printf "@.%a" (Skeleton.Measure.pp_report net) report;
+        Format.printf "system throughput: %.4f%s@."
+          (Skeleton.Measure.system_throughput report)
+          (if report.deadlocked then "  ** DEADLOCK **" else "");
+        let window = 20 * report.period in
+        let base =
+          List.map
+            (fun (n : Topology.Network.node) ->
+              ( n,
+                Skeleton.Engine.fired_count engine n.id,
+                Skeleton.Engine.gated_count engine n.id,
+                Skeleton.Engine.starved_count engine n.id ))
+            (Topology.Network.shells net)
+        in
+        Skeleton.Engine.run engine ~cycles:window;
+        Format.printf "@.stall attribution over %d steady-state cycles:@." window;
+        List.iter
+          (fun ((n : Topology.Network.node), f0, g0, s0) ->
+            Format.printf "  %-12s fired %4d  gated %4d  starved %4d@." n.name
+              (Skeleton.Engine.fired_count engine n.id - f0)
+              (Skeleton.Engine.gated_count engine n.id - g0)
+              (Skeleton.Engine.starved_count engine n.id - s0))
+          base
+    | None -> Format.printf "no periodic steady state found@."
+  in
+  let term = Term.(const run $ network_arg $ flavour_arg $ cycles_arg) in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run the protocol skeleton to steady state and report throughput.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* equalize                                                             *)
+
+let equalize_cmd =
+  let run file =
+    let net = load_network file in
+    let before = Topology.Elastic.throughput_bound net in
+    let net', additions = Topology.Equalize.optimize net in
+    Format.printf "throughput bound: %.4f -> %.4f@." before
+      (Topology.Elastic.throughput_bound net');
+    List.iter
+      (fun (a : Topology.Equalize.addition) ->
+        let e = Topology.Network.edge net' a.edge in
+        Format.printf "  +%d full station(s) on %s.%d -> %s.%d@." a.spare
+          (Topology.Network.node net' e.src.node).name e.src.port
+          (Topology.Network.node net' e.dst.node).name e.dst.port)
+      additions;
+    Format.printf "@.%s" (Topology.Spec.print net')
+  in
+  let term = Term.(const run $ network_arg) in
+  Cmd.v
+    (Cmd.info "equalize"
+       ~doc:"Insert spare relay stations to recover full throughput; print \
+             the resulting network.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* deadlock                                                             *)
+
+let deadlock_cmd =
+  let cure_arg =
+    Arg.(value & flag & info [ "cure" ] ~doc:"Search for a relay substitution cure.")
+  in
+  let run file flavour cure =
+    let net = load_network file in
+    Format.printf "static rule : %a@."
+      (Topology.Deadlock.pp_verdict net)
+      (Topology.Deadlock.static_verdict net);
+    let d = Skeleton.Cure.decide ~flavour net in
+    Format.printf "skeleton sim: %s@."
+      (if d.deadlocked then "DEADLOCK" else "live");
+    if cure && d.deadlocked then begin
+      match Skeleton.Cure.cure ~flavour net with
+      | Skeleton.Cure.Cured { network; substitutions } ->
+          Format.printf "cure        : %d substitution(s)@."
+            (List.length substitutions);
+          Format.printf "@.%s" (Topology.Spec.print network)
+      | Skeleton.Cure.Already_live -> ()
+      | Skeleton.Cure.Not_cured -> Format.printf "cure        : not found@."
+    end
+  in
+  let term = Term.(const run $ network_arg $ flavour_arg $ cure_arg) in
+  Cmd.v
+    (Cmd.info "deadlock"
+       ~doc:"Decide liveness (static rules + skeleton simulation); optionally cure.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* rtl                                                                  *)
+
+let rtl_cmd =
+  let optimize_arg =
+    Arg.(
+      value & flag
+      & info [ "O"; "optimize" ]
+          ~doc:"Run the netlist simplifier (constant folding, CSE) first.")
+  in
+  let run file flavour lang width optimize =
+    let net = load_network file in
+    let circ = Topology.Rtl_net.of_network ~flavour ~data_width:width net in
+    let circ =
+      if optimize then begin
+        let circ', report = Hdl.Simplify.with_report circ in
+        Format.eprintf "-- %a@." Hdl.Simplify.pp_report report;
+        circ'
+      end
+      else circ
+    in
+    Format.eprintf "-- %a@." Hdl.Circuit.pp_stats (Hdl.Circuit.stats circ);
+    print_string
+      (match lang with
+      | `Vhdl -> Emit.Vhdl.emit circ
+      | `Verilog -> Emit.Verilog.emit circ)
+  in
+  let term =
+    Term.(const run $ network_arg $ flavour_arg $ lang_arg $ width_arg $ optimize_arg)
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Elaborate the whole network to RTL and emit VHDL/Verilog.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* blocks                                                               *)
+
+let blocks_cmd =
+  let run flavour lang width =
+    let emit c =
+      print_string
+        (match lang with `Vhdl -> Emit.Vhdl.emit c | `Verilog -> Emit.Verilog.emit c);
+      print_newline ()
+    in
+    emit (Lid.Rtl_gen.relay_station ~flavour ~data_width:width Lid.Relay_station.Full);
+    emit (Lid.Rtl_gen.relay_station ~flavour ~data_width:width Lid.Relay_station.Half);
+    emit (Lid.Rtl_gen.identity_shell ~flavour ~data_width:width ());
+    emit (Lid.Rtl_gen.adder_shell ~flavour ~data_width:width ())
+  in
+  let term = Term.(const run $ flavour_arg $ lang_arg $ width_arg) in
+  Cmd.v
+    (Cmd.info "blocks"
+       ~doc:"Emit the protocol block library (relay stations and shells).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+
+let verify_cmd =
+  let run flavour =
+    let show name outcome =
+      match outcome with
+      | Verify.Reach.Holds { states; transitions } ->
+          Format.printf "%-22s HOLDS (%d states, %d transitions)@." name states
+            transitions
+      | Verify.Reach.Fails { trace } ->
+          Format.printf "%-22s FAILS (%d-step counterexample)@." name
+            (List.length trace - 1)
+    in
+    show "full relay station"
+      (Verify.Props.check_relay_station ~flavour Lid.Relay_station.Full);
+    show "half relay station"
+      (Verify.Props.check_relay_station ~flavour Lid.Relay_station.Half);
+    show "identity shell" (Verify.Props.check_shell ~flavour Verify.Props.Identity);
+    show "adder shell" (Verify.Props.check_shell ~flavour Verify.Props.Adder)
+  in
+  let term = Term.(const run $ flavour_arg) in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Model-check the paper's safety properties for all blocks.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* wave                                                                 *)
+
+let wave_cmd =
+  let cycles_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Number of cycles to dump.")
+  in
+  let run file flavour cycles =
+    let net = load_network file in
+    let engine = Skeleton.Engine.create ~flavour net in
+    Skeleton.Wave.record ~cycles engine ~out:stdout
+  in
+  let term = Term.(const run $ network_arg $ flavour_arg $ cycles_arg) in
+  Cmd.v
+    (Cmd.info "wave"
+       ~doc:"Dump the protocol skeleton's valid/stop/data activity as VCD              (view in GTKWave).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* testbench                                                            *)
+
+let testbench_cmd =
+  let cycles_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Checked window length.")
+  in
+  let run file flavour width cycles =
+    let net = load_network file in
+    print_string (Skeleton.Testbench.bundle ~flavour ~data_width:width ~cycles net)
+  in
+  let term =
+    Term.(const run $ network_arg $ flavour_arg $ width_arg $ cycles_arg)
+  in
+  Cmd.v
+    (Cmd.info "testbench"
+       ~doc:"Emit the network's RTL together with a self-checking VHDL              testbench (expected activity computed by the protocol skeleton).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                  *)
+
+let dot_cmd =
+  let run file =
+    let net = load_network file in
+    (* highlight the nodes of the analytic critical cycle, if any *)
+    let el = Topology.Elastic.of_network net in
+    let highlight =
+      List.filter_map
+        (fun i ->
+          let label = el.Topology.Elastic.labels.(i) in
+          match String.index_opt label '.' with
+          | Some k ->
+              let name = String.sub label 0 k in
+              List.find_map
+                (fun (n : Topology.Network.node) ->
+                  if n.name = name then Some n.id else None)
+                (Topology.Network.nodes net)
+          | None -> None)
+        (Topology.Elastic.critical_cycle el)
+    in
+    print_string (Topology.Dot.of_network ~highlight net)
+  in
+  let term = Term.(const run $ network_arg) in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Render the network as graphviz, highlighting the analytic              bottleneck cycle.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sample                                                               *)
+
+let sample_cmd =
+  let run () = print_string (Topology.Spec.print (Topology.Generators.fig1 ())) in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Print a sample network description (the paper's Fig. 1).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "lidtool" ~version:"1.0"
+      ~doc:"Latency-insensitive design toolkit (Casu & Macchiarulo, DATE 2004)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd;
+            simulate_cmd;
+            equalize_cmd;
+            deadlock_cmd;
+            rtl_cmd;
+            testbench_cmd;
+            wave_cmd;
+            blocks_cmd;
+            verify_cmd;
+            dot_cmd;
+            sample_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/deadlock_cure.ml: Format Lid List Skeleton Topology Verify

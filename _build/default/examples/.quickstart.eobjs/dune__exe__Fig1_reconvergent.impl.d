@@ -1,0 +1,1 @@
+examples/fig1_reconvergent.ml: Format Lid List Skeleton String Topology

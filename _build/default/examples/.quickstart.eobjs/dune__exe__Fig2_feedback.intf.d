@@ -1,0 +1,1 @@
+examples/fig2_feedback.mli:

@@ -1,0 +1,1 @@
+examples/rtl_export.ml: Bits Bitvec Emit Format Hdl Lid List Option Printf Random Sim String

@@ -1,0 +1,1 @@
+examples/soc_pipeline.ml: Format Lid List Skeleton Topology

@@ -1,0 +1,57 @@
+(* The paper's Fig. 1: "FeedForward Topology Evolution".
+
+   A fork shell A reaches join shell C along two reconvergent branches —
+   directly (1 relay station) and via shell B (2 relay stations).  The
+   imbalance i = 1 forces the longer branch to inject one void per period;
+   after the transient the output utters an invalid datum every 5 cycles,
+   so the throughput is T = (m - i)/m = 4/5.
+
+   Run with: dune exec examples/fig1_reconvergent.exe *)
+
+let () =
+  let net = Topology.Generators.fig1 () in
+  Format.printf "%a@." Topology.Network.pp_summary net;
+  let info = Topology.Classify.classify net in
+  Format.printf "topology: %a@.@." Topology.Classify.pp info;
+
+  Format.printf
+    "evolution (tokens on each output; * fired, ! stopped, n void):@.@.";
+  let engine = Skeleton.Engine.create net in
+  let trace = Skeleton.Trace.record ~cycles:16 engine in
+  print_endline (Skeleton.Trace.render trace);
+
+  let out_row = Skeleton.Trace.output_row trace ~sink:"out" in
+  Format.printf "@.Out = %s@."
+    (String.concat " "
+       (List.map Lid.Token.to_string out_row));
+
+  (* measured vs the paper's closed form *)
+  Skeleton.Engine.reset engine;
+  (match Skeleton.Measure.analyze engine with
+  | Some report ->
+      let m, i = Topology.Analysis.ff_params ~r_short:1 ~r_long:2 ~shells_long:1 in
+      Format.printf
+        "@.measured: period %d, throughput %.4f; paper formula (m=%d, i=%d): %.4f@."
+        report.period
+        (Skeleton.Measure.system_throughput report)
+        m i
+        (Topology.Analysis.ff_throughput ~m ~i)
+  | None -> assert false);
+
+  (* path equalization (plus capacity slack) restores T = 1 *)
+  let net', additions = Topology.Equalize.optimize net in
+  Format.printf "@.path equalization adds %d spare station(s): "
+    (List.fold_left (fun acc (a : Topology.Equalize.addition) -> acc + a.spare) 0 additions);
+  List.iter
+    (fun (a : Topology.Equalize.addition) ->
+      let e = Topology.Network.edge net' a.edge in
+      Format.printf "%s->%s +%d "
+        (Topology.Network.node net' e.src.node).name
+        (Topology.Network.node net' e.dst.node).name a.spare)
+    additions;
+  let engine' = Skeleton.Engine.create net' in
+  match Skeleton.Measure.analyze engine' with
+  | Some report ->
+      Format.printf "@.equalized throughput: %.4f@."
+        (Skeleton.Measure.system_throughput report)
+  | None -> assert false

@@ -1,0 +1,65 @@
+(* The motivating flow of the paper: an SoC whose modules are placed on a
+   die, where "long interconnects require more than one clock cycle".
+
+   We place a small media-style pipeline on a 10x10 die and synthesize the
+   latency-insensitive design at several clock targets: a faster clock
+   means shorter per-cycle signal reach, hence more relay stations on the
+   long wires.  The protocol keeps the system functionally identical at
+   every clock (latency equivalence), and the analysis reports how much
+   throughput each reconvergence costs until equalization repairs it.
+
+   Run with: dune exec examples/floorplan_flow.exe *)
+
+module F = Topology.Floorplan
+
+let build () =
+  let f = F.create () in
+  (* a DSP-ish pipeline with a long detour through a far-away coprocessor *)
+  let sensor = F.add_source f ~name:"sensor" ~x:0.0 ~y:0.0 () in
+  let split = F.add_shell f ~name:"split" ~x:1.0 ~y:0.0 (Lid.Pearl.fork2 ()) in
+  let filter = F.add_shell f ~name:"filter" ~x:2.0 ~y:0.5 (Lid.Pearl.map1 ~name:"inc" (fun v -> v + 1)) in
+  (* the coprocessor sits across the die *)
+  let coproc = F.add_shell f ~name:"coproc" ~x:9.0 ~y:8.0 (Lid.Pearl.map1 ~name:"square" (fun v -> v * v)) in
+  let merge = F.add_shell f ~name:"merge" ~x:3.0 ~y:1.0 (Lid.Pearl.adder ()) in
+  let dma = F.add_sink f ~name:"dma" ~x:4.0 ~y:1.0 () in
+  F.connect f ~src:(sensor, 0) ~dst:(split, 0);
+  F.connect f ~src:(split, 0) ~dst:(filter, 0);
+  F.connect f ~src:(split, 1) ~dst:(coproc, 0);
+  F.connect f ~src:(filter, 0) ~dst:(merge, 0);
+  F.connect f ~src:(coproc, 0) ~dst:(merge, 1);
+  F.connect f ~src:(merge, 0) ~dst:(dma, 0);
+  f
+
+let () =
+  Format.printf
+    "clock-target sweep: shorter reach = faster clock = more stations on\n\
+     the long wires (distance is Manhattan on a 10x10 die)\n@.";
+  List.iter
+    (fun reach ->
+      let f = build () in
+      let net, report = F.synthesize ~reach f in
+      Format.printf "-- reach %.1f --------------------------------------@."
+        reach;
+      Format.printf "%a" F.pp_report report;
+      let bound = Topology.Elastic.throughput_bound net in
+      let net_eq, adds = Topology.Equalize.optimize net in
+      let bound_eq = Topology.Elastic.throughput_bound net_eq in
+      let spares =
+        List.fold_left
+          (fun acc (a : Topology.Equalize.addition) -> acc + a.spare)
+          0 adds
+      in
+      Format.printf
+        "  throughput bound %.4f; after equalization (+%d spares): %.4f@."
+        bound spares bound_eq;
+      (match Skeleton.Equiv.check net with
+      | Skeleton.Equiv.Equivalent _ -> ()
+      | Skeleton.Equiv.Divergent m ->
+          Format.printf "  !! diverged at %s[%d]@." m.sink m.position);
+      Format.printf "@.")
+    [ 16.0; 8.0; 4.0; 2.0 ];
+  (* a picture of the tightest design *)
+  let f = build () in
+  let net, _ = F.synthesize ~reach:2.0 f in
+  print_endline "graphviz of the reach-2.0 design (pipe into `dot -Tsvg`):";
+  print_string (Topology.Dot.of_network net)

@@ -1,0 +1,77 @@
+(* RTL export: generate the paper's building blocks as synthesizable
+   netlists, emit VHDL and Verilog, and cross-check the RTL against the
+   abstract protocol FSM cycle by cycle.
+
+   Run with: dune exec examples/rtl_export.exe
+   (writes half_relay_station.vhd / .v etc. into the working directory) *)
+
+open Bitvec
+
+let save name text =
+  let oc = open_out name in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" name (String.length text)
+
+let lockstep kind cycles =
+  let circ = Lid.Rtl_gen.relay_station ~data_width:8 kind in
+  let sim = Sim.Cycle_sim.create circ in
+  let rng = Random.State.make [| 2024 |] in
+  let st = ref (Lid.Relay_station.initial kind) in
+  let pres = ref Lid.Token.void in
+  let seq = ref 0 in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    let stop_up = Lid.Relay_station.stop_upstream !st in
+    (match !pres with
+    | Lid.Token.Valid _ when stop_up -> () (* environment holds under stop *)
+    | _ ->
+        if Random.State.bool rng then begin
+          pres := Lid.Token.valid (!seq land 0xff);
+          incr seq
+        end
+        else pres := Lid.Token.void);
+    let stop_in = Random.State.bool rng in
+    let out_abs = Lid.Relay_station.present !st ~input:!pres in
+    Sim.Cycle_sim.poke sim "in_valid" (Bits.of_bool (Lid.Token.is_valid !pres));
+    Sim.Cycle_sim.poke sim "in_data"
+      (Bits.of_int ~width:8 (Option.value ~default:0 (Lid.Token.value_opt !pres)));
+    Sim.Cycle_sim.poke sim "stop_in" (Bits.of_bool stop_in);
+    let rtl_valid = Bits.lsb (Sim.Cycle_sim.peek_output sim "out_valid") in
+    let rtl_data = Bits.to_int (Sim.Cycle_sim.peek_output sim "out_data") in
+    let rtl_stop = Bits.lsb (Sim.Cycle_sim.peek_output sim "stop_out") in
+    if
+      rtl_valid <> Lid.Token.is_valid out_abs
+      || rtl_stop <> stop_up
+      || (rtl_valid && rtl_data <> Lid.Token.value out_abs)
+    then ok := false;
+    st := Lid.Relay_station.step !st ~input:!pres ~stop_in;
+    Sim.Cycle_sim.step sim
+  done;
+  !ok
+
+let () =
+  let blocks =
+    [
+      ( "full_relay_station",
+        Lid.Rtl_gen.relay_station ~data_width:32 Lid.Relay_station.Full );
+      ( "half_relay_station",
+        Lid.Rtl_gen.relay_station ~data_width:32 Lid.Relay_station.Half );
+      ("identity_shell", Lid.Rtl_gen.identity_shell ~data_width:32 ());
+      ("adder_shell", Lid.Rtl_gen.adder_shell ~data_width:32 ());
+      ("accumulator_shell", Lid.Rtl_gen.accumulator_shell ~data_width:32 ());
+    ]
+  in
+  List.iter
+    (fun (name, circ) ->
+      Format.printf "%-20s %a@." name Hdl.Circuit.pp_stats (Hdl.Circuit.stats circ);
+      save (name ^ ".vhd") (Emit.Vhdl.emit circ);
+      save (name ^ ".v") (Emit.Verilog.emit circ))
+    blocks;
+  print_newline ();
+  List.iter
+    (fun kind ->
+      Printf.printf "RTL vs abstract FSM lockstep (%s, 5000 random cycles): %s\n"
+        (Lid.Relay_station.kind_to_string kind)
+        (if lockstep kind 5000 then "OK" else "MISMATCH"))
+    [ Lid.Relay_station.Full; Lid.Relay_station.Half ]

@@ -1,0 +1,1 @@
+lib/bitvec/bits.ml: Array Bytes Format List Printf Seq Stdlib String

@@ -1,0 +1,272 @@
+(* Bit vectors stored lsb-first in a [bytes]; the unused high bits of the
+   last byte are kept at zero so that [equal]/[compare]/hashing can work on
+   the raw bytes. *)
+
+type t = { width : int; data : Bytes.t }
+
+let nbytes width = (width + 7) / 8
+
+let check_width w = if w < 1 then invalid_arg "Bits: width must be >= 1"
+
+(* Mask away the unused bits of the top byte. *)
+let normalize t =
+  let rem = t.width land 7 in
+  if rem <> 0 then begin
+    let last = nbytes t.width - 1 in
+    let m = (1 lsl rem) - 1 in
+    Bytes.set_uint8 t.data last (Bytes.get_uint8 t.data last land m)
+  end;
+  t
+
+let zero w =
+  check_width w;
+  { width = w; data = Bytes.make (nbytes w) '\000' }
+
+let ones w =
+  check_width w;
+  normalize { width = w; data = Bytes.make (nbytes w) '\255' }
+
+let width t = t.width
+
+let get t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.get: index out of range";
+  Bytes.get_uint8 t.data (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let set_bit data i b =
+  let byte = Bytes.get_uint8 data (i lsr 3) in
+  let mask = 1 lsl (i land 7) in
+  Bytes.set_uint8 data (i lsr 3) (if b then byte lor mask else byte land lnot mask)
+
+let init w f =
+  let t = zero w in
+  for i = 0 to w - 1 do
+    if f i then set_bit t.data i true
+  done;
+  t
+
+let of_int ~width:w n =
+  check_width w;
+  init w (fun i -> if i >= 62 then n < 0 else (n lsr i) land 1 = 1)
+
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let of_string s =
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+  in
+  let digits =
+    match digits with
+    | '0' :: 'b' :: rest -> rest
+    | ds -> ds
+  in
+  let n = List.length digits in
+  if n = 0 then invalid_arg "Bits.of_string: empty literal";
+  let t = zero n in
+  List.iteri
+    (fun j c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set_bit t.data (n - 1 - j) true
+      | _ -> invalid_arg "Bits.of_string: expected only 0, 1, _")
+    digits;
+  t
+
+let of_bool_array a =
+  if Array.length a = 0 then invalid_arg "Bits.of_bool_array: empty array";
+  init (Array.length a) (fun i -> a.(i))
+
+let random ~width:w rng =
+  check_width w;
+  init w (fun _ -> rng 2 = 1)
+
+let to_bool_array t = Array.init t.width (get t)
+
+let to_int t =
+  let v = ref 0 in
+  for i = t.width - 1 downto 0 do
+    if get t i then
+      if i >= 62 then invalid_arg "Bits.to_int: value does not fit in an int"
+      else v := !v lor (1 lsl i)
+  done;
+  !v
+
+let to_signed_int t =
+  if t.width > 62 then invalid_arg "Bits.to_signed_int: width > 62";
+  let v = to_int t in
+  if get t (t.width - 1) then v - (1 lsl t.width) else v
+
+let to_string t = String.init t.width (fun j -> if get t (t.width - 1 - j) then '1' else '0')
+
+let is_zero t =
+  let rec loop i = i >= Bytes.length t.data || (Bytes.get_uint8 t.data i = 0 && loop (i + 1)) in
+  loop 0
+
+let is_ones t =
+  let rec loop i = i >= t.width || (get t i && loop (i + 1)) in
+  loop 0
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to t.width - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let msb t = get t (t.width - 1)
+let lsb t = get t 0
+
+let same_width name a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" name a.width b.width)
+
+let map2 name f a b =
+  same_width name a b;
+  let r = zero a.width in
+  for i = 0 to Bytes.length r.data - 1 do
+    Bytes.set_uint8 r.data i (f (Bytes.get_uint8 a.data i) (Bytes.get_uint8 b.data i) land 0xff)
+  done;
+  normalize r
+
+let logand a b = map2 "logand" ( land ) a b
+let logor a b = map2 "logor" ( lor ) a b
+let logxor a b = map2 "logxor" ( lxor ) a b
+
+let lognot a =
+  let r = zero a.width in
+  for i = 0 to Bytes.length r.data - 1 do
+    Bytes.set_uint8 r.data i (lnot (Bytes.get_uint8 a.data i) land 0xff)
+  done;
+  normalize r
+
+let add a b =
+  same_width "add" a b;
+  let r = zero a.width in
+  let carry = ref 0 in
+  for i = 0 to Bytes.length r.data - 1 do
+    let s = Bytes.get_uint8 a.data i + Bytes.get_uint8 b.data i + !carry in
+    Bytes.set_uint8 r.data i (s land 0xff);
+    carry := s lsr 8
+  done;
+  normalize r
+
+let sub a b =
+  same_width "sub" a b;
+  let r = zero a.width in
+  let borrow = ref 0 in
+  for i = 0 to Bytes.length r.data - 1 do
+    let s = Bytes.get_uint8 a.data i - Bytes.get_uint8 b.data i - !borrow in
+    Bytes.set_uint8 r.data i (s land 0xff);
+    borrow := if s < 0 then 1 else 0
+  done;
+  normalize r
+
+let neg a = add (lognot a) (of_int ~width:a.width 1)
+
+let mul a b =
+  same_width "mul" a b;
+  let w = a.width in
+  let r = zero w in
+  let nb = Bytes.length r.data in
+  (* Schoolbook byte-wise multiplication, truncated to [nb] bytes. *)
+  for i = 0 to nb - 1 do
+    let carry = ref 0 in
+    let ai = Bytes.get_uint8 a.data i in
+    if ai <> 0 then
+      for j = 0 to nb - 1 - i do
+        let idx = i + j in
+        let s = Bytes.get_uint8 r.data idx + (ai * Bytes.get_uint8 b.data j) + !carry in
+        Bytes.set_uint8 r.data idx (s land 0xff);
+        carry := s lsr 8
+      done
+  done;
+  normalize r
+
+let equal a b = a.width = b.width && Bytes.equal a.data b.data
+
+let compare a b =
+  same_width "compare" a b;
+  let rec loop i =
+    if i < 0 then 0
+    else
+      let x = Bytes.get_uint8 a.data i and y = Bytes.get_uint8 b.data i in
+      if x <> y then Stdlib.compare x y else loop (i - 1)
+  in
+  loop (Bytes.length a.data - 1)
+
+let ult a b = compare a b < 0
+let ule a b = compare a b <= 0
+
+let slt a b =
+  same_width "slt" a b;
+  match (msb a, msb b) with
+  | true, false -> true
+  | false, true -> false
+  | _ -> ult a b
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bits.shift_left: negative shift";
+  init t.width (fun i -> i >= n && get t (i - n))
+
+let shift_right_logical t n =
+  if n < 0 then invalid_arg "Bits.shift_right_logical: negative shift";
+  init t.width (fun i -> i + n < t.width && get t (i + n))
+
+let shift_right_arith t n =
+  if n < 0 then invalid_arg "Bits.shift_right_arith: negative shift";
+  let sign = msb t in
+  init t.width (fun i -> if i + n < t.width then get t (i + n) else sign)
+
+let concat ~msb ~lsb =
+  init (msb.width + lsb.width) (fun i ->
+      if i < lsb.width then get lsb i else get msb (i - lsb.width))
+
+let select t ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= t.width then invalid_arg "Bits.select: bad range";
+  init (hi - lo + 1) (fun i -> get t (lo + i))
+
+let zero_extend t ~width:w =
+  if w < t.width then invalid_arg "Bits.zero_extend: narrowing";
+  init w (fun i -> i < t.width && get t i)
+
+let sign_extend t ~width:w =
+  if w < t.width then invalid_arg "Bits.sign_extend: narrowing";
+  let sign = msb t in
+  init w (fun i -> if i < t.width then get t i else sign)
+
+let resize t ~width:w =
+  check_width w;
+  init w (fun i -> i < t.width && get t i)
+
+let reduce_or t = not (is_zero t)
+let reduce_and t = is_ones t
+let reduce_xor t = popcount t land 1 = 1
+
+let mux ~sel cases =
+  let n = List.length cases in
+  if n = 0 then invalid_arg "Bits.mux: no cases";
+  (match cases with
+  | c0 :: rest -> List.iter (fun c -> same_width "mux" c0 c) rest
+  | [] -> ());
+  let low_width = min sel.width 30 in
+  let high_set =
+    sel.width > 30
+    && not (is_zero (select sel ~hi:(sel.width - 1) ~lo:low_width))
+  in
+  let idx =
+    if high_set then n - 1
+    else min (to_int (select sel ~hi:(low_width - 1) ~lo:0)) (n - 1)
+  in
+  List.nth cases idx
+
+let pp fmt t = Format.fprintf fmt "%d'b%s" t.width (to_string t)
+
+let to_hex t =
+  let nibbles = (t.width + 3) / 4 in
+  String.init nibbles (fun j ->
+      let lo = (nibbles - 1 - j) * 4 in
+      let v = ref 0 in
+      for k = 3 downto 0 do
+        let i = lo + k in
+        v := (!v lsl 1) lor (if i < t.width && get t i then 1 else 0)
+      done;
+      "0123456789abcdef".[!v])

@@ -1,0 +1,117 @@
+(** Fixed-width bit vectors.
+
+    [Bits.t] is the value domain of the HDL: an immutable vector of [width]
+    bits, [width >= 1].  Bit 0 is the least significant bit.  All binary
+    operations require operands of equal width and raise [Invalid_argument]
+    otherwise; arithmetic is modulo [2^width]. *)
+
+type t
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector of width [w]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] takes the low [width] bits of [n] (two's complement
+    for negative [n]). *)
+
+val of_bool : bool -> t
+(** 1-bit vector: [true] is [1], [false] is [0]. *)
+
+val of_string : string -> t
+(** [of_string s] parses a binary literal, msb first, e.g. ["1010"].
+    An optional ["0b"] prefix and [_] separators are accepted.
+    Width is the number of binary digits.  Raises [Invalid_argument] on the
+    empty string or other characters. *)
+
+val of_bool_array : bool array -> t
+(** [of_bool_array a] has width [Array.length a]; [a.(i)] is bit [i] (lsb
+    first). *)
+
+val random : width:int -> (int -> int) -> t
+(** [random ~width rng] draws each 30-bit chunk from [rng bound]. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+val get : t -> int -> bool
+val to_int : t -> int
+(** Value as a non-negative OCaml [int].  Raises [Invalid_argument] if the
+    value does not fit in 62 bits. *)
+
+val to_signed_int : t -> int
+(** Two's-complement value.  Raises [Invalid_argument] if [width > 62]. *)
+
+val to_string : t -> string
+(** Binary digits, msb first. *)
+
+val to_bool_array : t -> bool array
+val is_zero : t -> bool
+val is_ones : t -> bool
+val popcount : t -> int
+val msb : t -> bool
+val lsb : t -> bool
+
+(** {1 Bitwise operations} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Product modulo [2^width]; both operands must have the same width. *)
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Unsigned comparison; widths must match. *)
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+
+(** {1 Shifts} *)
+
+val shift_left : t -> int -> t
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+(** {1 Structure} *)
+
+val concat : msb:t -> lsb:t -> t
+(** [concat ~msb ~lsb] has width [width msb + width lsb]; [lsb] occupies the
+    low bits. *)
+
+val select : t -> hi:int -> lo:int -> t
+(** [select t ~hi ~lo] extracts bits [lo..hi] inclusive.
+    Requires [0 <= lo <= hi < width t]. *)
+
+val zero_extend : t -> width:int -> t
+val sign_extend : t -> width:int -> t
+val resize : t -> width:int -> t
+(** Zero-extend or truncate to [width]. *)
+
+val reduce_or : t -> bool
+val reduce_and : t -> bool
+val reduce_xor : t -> bool
+
+val mux : sel:t -> t list -> t
+(** [mux ~sel cases] picks [List.nth cases (to_int sel)]; out-of-range
+    selectors pick the last case.  [cases] must be non-empty and of equal
+    widths. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_hex : t -> string

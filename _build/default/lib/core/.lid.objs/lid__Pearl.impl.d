@@ -1,0 +1,1 @@
+lib/core/pearl.ml: Array Format Option Printf String

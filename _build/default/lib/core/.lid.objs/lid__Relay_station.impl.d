@@ -1,0 +1,1 @@
+lib/core/relay_station.ml: Format List Protocol Token

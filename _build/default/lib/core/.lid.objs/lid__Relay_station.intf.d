@@ -1,0 +1,1 @@
+lib/core/relay_station.mli: Format Protocol Token

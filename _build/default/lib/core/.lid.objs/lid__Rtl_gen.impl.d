@@ -1,0 +1,1 @@
+lib/core/rtl_gen.ml: Bits Bitvec Hdl List Option Printf Protocol Relay_station

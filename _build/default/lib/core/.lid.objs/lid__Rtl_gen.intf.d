@@ -1,0 +1,1 @@
+lib/core/rtl_gen.mli: Bits Bitvec Hdl Protocol Relay_station

@@ -1,0 +1,1 @@
+lib/core/shell.ml: Array Format Pearl Protocol String Token

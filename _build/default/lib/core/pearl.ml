@@ -1,0 +1,100 @@
+type t = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  init_state : int array;
+  initial_output : int array;
+  f : int array -> int array -> int array * int array;
+}
+
+let create ~name ~n_inputs ~n_outputs ?(init_state = [||]) ~initial_output f =
+  if n_inputs < 0 || n_outputs < 1 then
+    invalid_arg "Pearl.create: need n_inputs >= 0 and n_outputs >= 1";
+  if Array.length initial_output <> n_outputs then
+    invalid_arg "Pearl.create: initial_output arity mismatch";
+  { name; n_inputs; n_outputs; init_state; initial_output; f }
+
+let counter ?(start = 0) () =
+  create ~name:"counter" ~n_inputs:0 ~n_outputs:1
+    ~init_state:[| start + 1 |] ~initial_output:[| start |]
+    (fun state _ -> ([| state.(0) + 1 |], [| state.(0) |]))
+
+let identity () =
+  create ~name:"identity" ~n_inputs:1 ~n_outputs:1 ~initial_output:[| 0 |]
+    (fun state inputs -> (state, [| inputs.(0) |]))
+
+let delay_chain ?name k =
+  if k < 0 then invalid_arg "Pearl.delay_chain: negative depth";
+  if k = 0 then identity ()
+  else
+    let name = Option.value name ~default:(Printf.sprintf "delay%d" k) in
+    create ~name ~n_inputs:1 ~n_outputs:1 ~init_state:(Array.make k 0)
+      ~initial_output:[| 0 |]
+      (fun state inputs ->
+        let state' = Array.append (Array.sub state 1 (k - 1)) [| inputs.(0) |] in
+        (state', [| state.(0) |]))
+
+let combine ?(name = "combine") g =
+  create ~name ~n_inputs:2 ~n_outputs:1 ~initial_output:[| 0 |]
+    (fun state inputs -> (state, [| g inputs.(0) inputs.(1) |]))
+
+let adder () = combine ~name:"adder" ( + )
+
+let accumulator () =
+  create ~name:"accumulator" ~n_inputs:1 ~n_outputs:1 ~init_state:[| 0 |]
+    ~initial_output:[| 0 |]
+    (fun state inputs ->
+      let acc = state.(0) + inputs.(0) in
+      ([| acc |], [| acc |]))
+
+let fork2 () =
+  create ~name:"fork2" ~n_inputs:1 ~n_outputs:2 ~initial_output:[| 0; 0 |]
+    (fun state inputs -> (state, [| inputs.(0); inputs.(0) |]))
+
+let map1 ?(name = "map1") g =
+  create ~name ~n_inputs:1 ~n_outputs:1 ~initial_output:[| 0 |]
+    (fun state inputs -> (state, [| g inputs.(0) |]))
+
+let square () = map1 ~name:"square" (fun v -> v * v)
+let inc () = map1 ~name:"inc" (fun v -> v + 1)
+
+let tap () =
+  create ~name:"tap" ~n_inputs:2 ~n_outputs:2 ~initial_output:[| 0; 0 |]
+    (fun state inputs ->
+      let v = inputs.(0) + inputs.(1) in
+      (state, [| v; v |]))
+
+let of_name name =
+  match name with
+  | "identity" -> Some (identity ())
+  | "inc" -> Some (inc ())
+  | "square" -> Some (square ())
+  | "adder" -> Some (adder ())
+  | "diff" -> Some (combine ~name:"diff" ( - ))
+  | "fork2" -> Some (fork2 ())
+  | "tap" -> Some (tap ())
+  | "accumulator" -> Some (accumulator ())
+  | "counter" -> Some (counter ())
+  | _ ->
+      if String.length name > 5 && String.sub name 0 5 = "delay" then
+        match int_of_string_opt (String.sub name 5 (String.length name - 5)) with
+        | Some k when k >= 0 -> Some (delay_chain ~name k)
+        | _ -> None
+      else None
+
+let standard_names =
+  [
+    "identity"; "inc"; "square"; "adder"; "diff"; "fork2"; "tap";
+    "accumulator"; "counter"; "delayN";
+  ]
+
+let apply p ~state ~inputs =
+  if Array.length inputs <> p.n_inputs then
+    invalid_arg (Printf.sprintf "Pearl.apply %s: input arity" p.name);
+  let state', outputs = p.f state inputs in
+  if Array.length outputs <> p.n_outputs then
+    invalid_arg (Printf.sprintf "Pearl.apply %s: output arity" p.name);
+  (state', outputs)
+
+let pp fmt p =
+  Format.fprintf fmt "%s(%d->%d)" p.name p.n_inputs p.n_outputs

@@ -1,0 +1,70 @@
+(** Pearls: the functional modules that shells encapsulate.
+
+    A pearl is a deterministic Moore machine over integer data: its visible
+    outputs are registered, so at cycle 0 it presents [initial_output] and
+    afterwards the outputs computed from the inputs it consumed one firing
+    earlier.  In the zero-latency reference design a pearl fires every
+    cycle; inside a shell it fires only when the protocol allows. *)
+
+type t = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  init_state : int array;
+  initial_output : int array;  (** presented before the first firing *)
+  f : int array -> int array -> int array * int array;
+      (** [f state inputs] is [(state', outputs)];  [Array.length inputs =
+          n_inputs] and the result must have [n_outputs] outputs. *)
+}
+
+val create :
+  name:string ->
+  n_inputs:int ->
+  n_outputs:int ->
+  ?init_state:int array ->
+  initial_output:int array ->
+  (int array -> int array -> int array * int array) ->
+  t
+
+(** {1 A small standard library of pearls} *)
+
+val counter : ?start:int -> unit -> t
+(** 0-input, 1-output source emitting [start, start+1, ...]; initial output
+    [start]. *)
+
+val identity : unit -> t
+(** 1-input, 1-output repeater; initial output 0. *)
+
+val delay_chain : ?name:string -> int -> t
+(** [delay_chain k]: 1-input, 1-output pearl whose output is the input
+    delayed by [k] firings (internal pipeline of depth [k], initialized to
+    zero). [k >= 0]; [delay_chain 0] is {!identity}. *)
+
+val adder : unit -> t
+(** 2-input, 1-output sum. *)
+
+val accumulator : unit -> t
+(** 1-input, 1-output running sum. *)
+
+val fork2 : unit -> t
+(** 1-input, 2-output copy. *)
+
+val combine : ?name:string -> (int -> int -> int) -> t
+(** 2-input, 1-output pointwise combination. *)
+
+val map1 : ?name:string -> (int -> int) -> t
+(** 1-input, 1-output pointwise function. *)
+
+val apply : t -> state:int array -> inputs:int array -> int array * int array
+(** [apply p ~state ~inputs] runs [p.f] and validates arities; raises
+    [Invalid_argument] on violation. *)
+
+val of_name : string -> t option
+(** Standard-library lookup: ["identity"], ["inc"], ["square"], ["adder"],
+    ["diff"], ["fork2"], ["tap"], ["accumulator"], ["counter"], ["delayN"]
+    (e.g. ["delay3"]).  These are exactly the pearls {!Rtl_gen} /
+    [Topology.Rtl_net] can also map to hardware. *)
+
+val standard_names : string list
+
+val pp : Format.formatter -> t -> unit

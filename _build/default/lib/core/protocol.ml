@@ -1,0 +1,5 @@
+type flavour = Original | Optimized
+
+let all = [ Original; Optimized ]
+let to_string = function Original -> "original" | Optimized -> "optimized"
+let pp fmt f = Format.pp_print_string fmt (to_string f)

@@ -1,0 +1,21 @@
+(** Protocol flavours.
+
+    The paper employs "a slight variant of the original protocol": in
+    Carloni's original formulation the stop signal is back-propagated by a
+    stalled shell on all of its input channels regardless of the validity of
+    the data standing there, and a stop received on any output channel
+    stalls the shell even if that output currently carries a void.  In the
+    paper's refinement, stops on invalid (void) signals are discarded, which
+    raises throughput and keeps void/stop management local.
+
+    The flavour parameterizes the {e shell} FSM; relay stations assert stop
+    purely from their own occupancy in both flavours (they are the memory
+    elements that make the protocol safe either way). *)
+
+type flavour =
+  | Original  (** stops processed regardless of data validity *)
+  | Optimized  (** stops on void data are discarded (the paper's variant) *)
+
+val all : flavour list
+val to_string : flavour -> string
+val pp : Format.formatter -> flavour -> unit

@@ -1,0 +1,84 @@
+type kind = Full | Half
+
+let kind_to_string = function Full -> "full" | Half -> "half"
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+let capacity = function Full -> 2 | Half -> 1
+let forward_latency = function Full -> 1 | Half -> 0
+
+(* Invariant for [Full_state]: [aux] valid implies [main] valid. *)
+type state =
+  | Full_state of { main : Token.t; aux : Token.t }
+  | Half_state of { hold : Token.t; sreg : bool }
+      (* [sreg]: delayed copy of the incoming stop, used only under the
+         [Original] flavour *)
+
+let initial = function
+  | Full -> Full_state { main = Token.void; aux = Token.void }
+  | Half -> Half_state { hold = Token.void; sreg = false }
+
+let kind = function Full_state _ -> Full | Half_state _ -> Half
+
+let occupancy = function
+  | Full_state { main; aux } ->
+      (if Token.is_valid main then 1 else 0) + if Token.is_valid aux then 1 else 0
+  | Half_state { hold; _ } -> if Token.is_valid hold then 1 else 0
+
+let present state ~input =
+  match state with
+  | Full_state { main; _ } -> main
+  | Half_state { hold; sreg } ->
+      (* While the registered stop is asserted the producer was told its
+         datum is not consumed, so it must not be forwarded either (it
+         would be delivered twice). *)
+      if Token.is_valid hold then hold else if sreg then Token.void else input
+
+let stop_upstream = function
+  | Full_state { aux; _ } -> Token.is_valid aux
+  | Half_state { hold; sreg } -> Token.is_valid hold || sreg
+
+let step ?(flavour = Protocol.Optimized) state ~input ~stop_in =
+  match state with
+  | Full_state { main; aux } ->
+      (* [take]: a valid datum is arriving and we did not assert stop this
+         cycle, so the producer considers it consumed — we must store it. *)
+      let take = Token.is_valid input && not (Token.is_valid aux) in
+      let consumed = Token.is_valid main && not stop_in in
+      let main', aux' =
+        match (Token.is_valid main, consumed, Token.is_valid aux) with
+        | false, _, _ -> ((if take then input else Token.void), Token.void)
+        | true, true, true -> (aux, Token.void)
+        | true, true, false -> ((if take then input else Token.void), Token.void)
+        | true, false, false -> (main, if take then input else Token.void)
+        | true, false, true -> (main, aux)
+      in
+      Full_state { main = main'; aux = aux' }
+  | Half_state { hold; sreg } ->
+      let sreg' =
+        match flavour with
+        | Protocol.Original -> stop_in
+        | Protocol.Optimized -> false
+      in
+      if Token.is_valid hold then
+        (* Producer is held by our registered stop; the datum leaves when
+           the consumer releases stop. *)
+        Half_state { hold = (if stop_in then hold else Token.void); sreg = sreg' }
+      else if (not sreg) && Token.is_valid input && stop_in then
+        (* The passing datum was not consumed downstream: capture it. *)
+        Half_state { hold = input; sreg = sreg' }
+      else Half_state { hold = Token.void; sreg = sreg' }
+
+let tokens = function
+  | Full_state { main; aux } ->
+      List.filter Token.is_valid [ main; aux ]
+  | Half_state { hold; _ } -> List.filter Token.is_valid [ hold ]
+
+let map_tokens f = function
+  | Full_state { main; aux } -> Full_state { main = f main; aux = f aux }
+  | Half_state { hold; sreg } -> Half_state { hold = f hold; sreg }
+
+let pp fmt state =
+  match state with
+  | Full_state { main; aux } ->
+      Format.fprintf fmt "RS[%a|%a]" Token.pp main Token.pp aux
+  | Half_state { hold; sreg } ->
+      Format.fprintf fmt "HRS[%a%s]" Token.pp hold (if sreg then "|s" else "")

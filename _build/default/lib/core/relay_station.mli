@@ -1,0 +1,74 @@
+(** Relay stations.
+
+    A relay station pipelines a long channel while complying with the
+    latency-insensitive protocol.  The paper distinguishes:
+
+    - the {b full} relay station — two data registers; a pipeline stage of
+      forward latency 1 and storage capacity 2 (the second register absorbs
+      the datum in flight while an asserted stop travels one cycle
+      upstream); its output is a pure function of its state (Moore);
+    - the {b half} relay station — one data register; forward latency 0
+      (combinational pass-through when empty); when a stop arrives while a
+      valid datum is passing, the register captures it and stop is asserted
+      upstream one cycle later.  This is the minimum memory element that
+      must separate two shells, because the stop signal cannot be
+      back-propagated combinationally through a shell.
+
+    Relay stations are initialized empty ("with non valid outputs", as the
+    paper requires); shells are initialized with valid outputs.
+
+    In both flavours of the protocol the relay station asserts stop upstream
+    purely from its own occupancy — the station never loses or duplicates a
+    datum provided its environment keeps inputs stable under asserted stop
+    (the environment assumption the paper verifies blocks under). *)
+
+type kind = Full | Half
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+val capacity : kind -> int
+(** Storage slots: 2 for full, 1 for half. *)
+
+val forward_latency : kind -> int
+(** 1 for full, 0 for half. *)
+
+type state
+
+val initial : kind -> state
+val kind : state -> kind
+
+val occupancy : state -> int
+(** Number of valid data currently stored. *)
+
+val present : state -> input:Token.t -> Token.t
+(** The token driven on the output this cycle.  A full station ignores
+    [input] (Moore); a half station passes [input] through when empty
+    (Mealy). *)
+
+val stop_upstream : state -> bool
+(** The stop the station asserts toward its producer this cycle (a function
+    of state only — i.e. a registered signal, which is the whole point). *)
+
+val step :
+  ?flavour:Protocol.flavour -> state -> input:Token.t -> stop_in:bool -> state
+(** One clock edge. [input] is the producer-side token, [stop_in] the
+    consumer-side stop observed this cycle.
+
+    The flavour (default [Optimized]) selects the half station's stop
+    discipline: under [Optimized], stop is asserted upstream only while a
+    datum is actually held (stops arriving on void traffic are discarded);
+    under [Original], the incoming stop is back-propagated regardless of
+    data validity, one cycle delayed — faithful to the pre-refinement
+    protocol, and the source of the loop deadlocks the paper discusses.
+    Full stations assert stop purely from occupancy in both flavours. *)
+
+val tokens : state -> Token.t list
+(** Stored valid tokens, output-first — for trace rendering and state
+    hashing. *)
+
+val map_tokens : (Token.t -> Token.t) -> state -> state
+(** Apply [f] to every stored token (valid or void), preserving control
+    state — used by the verifier to abstract payloads away. *)
+
+val pp : Format.formatter -> state -> unit

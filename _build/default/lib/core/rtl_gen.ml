@@ -1,0 +1,231 @@
+open Bitvec
+open Hdl.Signal
+
+let bit0 = Bits.of_bool false
+let bit1 = Bits.of_bool true
+
+type port = { valid : Hdl.Signal.t; data : Hdl.Signal.t }
+
+let relay_station_fragment ?(flavour = Protocol.Optimized) kind
+    ~input:{ valid = in_valid; data = in_data } ~stop_in =
+  let data_width = width in_data in
+  let out_valid, out_data, stop_out =
+    match kind with
+    | Relay_station.Full ->
+        let v_main = wire ~name:"v_main" 1 in
+        let v_aux = wire ~name:"v_aux" 1 in
+        let d_aux = wire ~name:"d_aux" data_width in
+        let take = in_valid &: ~:v_aux in
+        let consumed = v_main &: ~:stop_in in
+        let v_main' = mux2 v_main (mux2 consumed (v_aux |: take) vdd) take in
+        let v_aux' = v_main &: ~:consumed &: (take |: v_aux) in
+        let d_main_next d_main =
+          mux2 v_main (mux2 consumed (mux2 v_aux d_aux in_data) d_main) in_data
+        in
+        let d_main =
+          reg_fb ~name:"d_main" ~reset:(Bits.zero data_width) ~width:data_width
+            d_main_next
+        in
+        let d_aux_next cur = mux2 (v_main &: ~:consumed &: take &: ~:v_aux) in_data cur in
+        assign v_main (reg ~name:"v_main_r" ~reset:bit0 v_main');
+        assign v_aux (reg ~name:"v_aux_r" ~reset:bit0 v_aux');
+        assign d_aux
+          (reg_fb ~name:"d_aux_r" ~reset:(Bits.zero data_width) ~width:data_width
+             d_aux_next);
+        (v_main, d_main, v_aux)
+    | Relay_station.Half ->
+        let v_hold = wire ~name:"v_hold" 1 in
+        let sreg = wire ~name:"sreg" 1 in
+        let pass_ok =
+          match flavour with Protocol.Optimized -> vdd | Protocol.Original -> ~:sreg
+        in
+        let capture = ~:v_hold &: pass_ok &: in_valid &: stop_in in
+        let v_hold' = mux2 v_hold stop_in capture in
+        let d_hold =
+          reg_fb ~name:"d_hold" ~reset:(Bits.zero data_width) ~width:data_width
+            (fun cur -> mux2 capture in_data cur)
+        in
+        assign v_hold (reg ~name:"v_hold_r" ~reset:bit0 v_hold');
+        (match flavour with
+        | Protocol.Original -> assign sreg (reg ~name:"sreg_r" ~reset:bit0 stop_in)
+        | Protocol.Optimized -> assign sreg gnd);
+        let out_valid = v_hold |: (pass_ok &: in_valid) in
+        let out_data = mux2 v_hold d_hold in_data in
+        let stop_out = v_hold |: sreg in
+        (out_valid, out_data, stop_out)
+  in
+  (* The registers above latch unconditionally; the mux trees encode the
+     hold conditions, exactly like the abstract FSM. *)
+  ({ valid = out_valid; data = out_data }, stop_out)
+
+let relay_station ?(flavour = Protocol.Optimized) ?name ~data_width kind =
+  let name =
+    Option.value name
+      ~default:
+        (Printf.sprintf "%s_relay_station_%s"
+           (Relay_station.kind_to_string kind)
+           (Protocol.to_string flavour))
+  in
+  let in_valid = input "in_valid" 1 in
+  let in_data = input "in_data" data_width in
+  let stop_in = input "stop_in" 1 in
+  let out, stop_out =
+    relay_station_fragment ~flavour kind
+      ~input:{ valid = in_valid; data = in_data }
+      ~stop_in
+  in
+  Hdl.Circuit.create ~name
+    ~inputs:[ in_valid; in_data; stop_in ]
+    ~outputs:
+      [
+        output "out_valid" out.valid;
+        output "out_data" out.data;
+        output "stop_out" stop_out;
+      ]
+
+type shell_spec = {
+  name : string;
+  data_width : int;
+  n_inputs : int;
+  n_outputs : int;
+  initial_outputs : Bits.t list;
+  datapath : fire:Hdl.Signal.t -> Hdl.Signal.t list -> Hdl.Signal.t list;
+}
+
+let shell_fragment ?(flavour = Protocol.Optimized) spec ~inputs ~stop_ins =
+  if List.length spec.initial_outputs <> spec.n_outputs then
+    invalid_arg "Rtl_gen.shell: initial_outputs arity mismatch";
+  if List.length inputs <> spec.n_inputs then
+    invalid_arg "Rtl_gen.shell_fragment: input arity mismatch";
+  if List.length stop_ins <> spec.n_outputs then
+    invalid_arg "Rtl_gen.shell_fragment: stop arity mismatch";
+  let in_valids = List.map (fun p -> p.valid) inputs in
+  let in_datas = List.map (fun p -> p.data) inputs in
+  let v_bufs =
+    List.init spec.n_outputs (fun o -> wire ~name:(Printf.sprintf "v_buf_%d" o) 1)
+  in
+  let all_valid =
+    List.fold_left ( &: ) vdd in_valids
+  in
+  let gated =
+    List.fold_left ( |: ) gnd
+      (List.map2
+         (fun stop v_buf ->
+           match flavour with
+           | Protocol.Original -> stop
+           | Protocol.Optimized -> stop &: v_buf)
+         stop_ins v_bufs)
+  in
+  let fire = all_valid &: ~:gated in
+  let pearl_outs = spec.datapath ~fire in_datas in
+  if List.length pearl_outs <> spec.n_outputs then
+    invalid_arg "Rtl_gen.shell: datapath arity mismatch";
+  List.iteri
+    (fun o po ->
+      if width po <> spec.data_width then
+        invalid_arg (Printf.sprintf "Rtl_gen.shell: output %d width" o))
+    pearl_outs;
+  (* output buffers: valid flags reset to 1, data to the initial outputs —
+     the paper's initialization convention for shells *)
+  List.iteri
+    (fun o v_buf ->
+      let stop = List.nth stop_ins o in
+      assign v_buf
+        (reg
+           ~name:(Printf.sprintf "v_buf_%d_r" o)
+           ~reset:bit1
+           (mux2 fire vdd (v_buf &: stop))))
+    v_bufs;
+  let d_bufs =
+    List.mapi
+      (fun o po ->
+        reg
+          ~name:(Printf.sprintf "d_buf_%d" o)
+          ~enable:fire
+          ~reset:(List.nth spec.initial_outputs o)
+          po)
+      pearl_outs
+  in
+  let stop_outs =
+    List.map
+      (fun in_valid ->
+        match flavour with
+        | Protocol.Original -> ~:fire
+        | Protocol.Optimized -> ~:fire &: in_valid)
+      in_valids
+  in
+  let out_ports =
+    List.map2 (fun v d -> { valid = v; data = d }) v_bufs d_bufs
+  in
+  (out_ports, stop_outs)
+
+let shell ?(flavour = Protocol.Optimized) spec =
+  let in_valids =
+    List.init spec.n_inputs (fun i -> input (Printf.sprintf "in_valid_%d" i) 1)
+  in
+  let in_datas =
+    List.init spec.n_inputs (fun i ->
+        input (Printf.sprintf "in_data_%d" i) spec.data_width)
+  in
+  let stop_ins =
+    List.init spec.n_outputs (fun o -> input (Printf.sprintf "stop_in_%d" o) 1)
+  in
+  let inputs =
+    List.map2 (fun v d -> { valid = v; data = d }) in_valids in_datas
+  in
+  let out_ports, stop_outs = shell_fragment ~flavour spec ~inputs ~stop_ins in
+  let outputs =
+    List.mapi (fun o p -> output (Printf.sprintf "out_valid_%d" o) p.valid) out_ports
+    @ List.mapi (fun o p -> output (Printf.sprintf "out_data_%d" o) p.data) out_ports
+    @ List.mapi (fun i s -> output (Printf.sprintf "stop_out_%d" i) s) stop_outs
+  in
+  Hdl.Circuit.create
+    ~name:(Printf.sprintf "%s_shell_%s" spec.name (Protocol.to_string flavour))
+    ~inputs:(in_valids @ in_datas @ stop_ins)
+    ~outputs
+
+let identity_shell ?flavour ~data_width () =
+  shell ?flavour
+    {
+      name = "identity";
+      data_width;
+      n_inputs = 1;
+      n_outputs = 1;
+      initial_outputs = [ Bits.zero data_width ];
+      datapath = (fun ~fire:_ ins -> ins);
+    }
+
+let adder_shell ?flavour ~data_width () =
+  shell ?flavour
+    {
+      name = "adder";
+      data_width;
+      n_inputs = 2;
+      n_outputs = 1;
+      initial_outputs = [ Bits.zero data_width ];
+      datapath =
+        (fun ~fire:_ ins ->
+          match ins with [ a; b ] -> [ a +: b ] | _ -> assert false);
+    }
+
+let accumulator_shell ?flavour ~data_width () =
+  shell ?flavour
+    {
+      name = "accumulator";
+      data_width;
+      n_inputs = 1;
+      n_outputs = 1;
+      initial_outputs = [ Bits.zero data_width ];
+      datapath =
+        (fun ~fire ins ->
+          match ins with
+          | [ x ] ->
+              (* running sum, clock-gated on [fire] *)
+              let acc =
+                reg_fb ~name:"acc" ~enable:fire ~reset:(Bits.zero data_width)
+                  ~width:data_width (fun acc -> acc +: x)
+              in
+              (* the pearl's visible output is the post-firing sum *)
+              [ acc +: x ]
+          | _ -> assert false);
+    }

@@ -1,0 +1,74 @@
+(** RTL implementations of the protocol blocks.
+
+    These generate, on our structural HDL IR, the same FSMs that
+    {!Relay_station} and {!Shell} define abstractly — the paper's "details
+    of the RTL implementation of relay stations as FSM's, and of the
+    shells".  The test suite locksteps each circuit against its abstract
+    model cycle by cycle; {!Emit} renders them as VHDL or Verilog.
+
+    Port conventions (all circuits share an implicit clock; registers carry
+    initialization values, as in the paper's simulation setup):
+
+    - relay station: inputs [in_valid], [in_data], [stop_in] (from the
+      consumer side); outputs [out_valid], [out_data], [stop_out] (toward
+      the producer);
+    - shell: inputs [in_valid_i], [in_data_i] per input channel and
+      [stop_in_o] per output channel; outputs [out_valid_o], [out_data_o]
+      and [stop_out_i]. *)
+
+open Bitvec
+
+type port = { valid : Hdl.Signal.t; data : Hdl.Signal.t }
+(** A forward channel bundle. *)
+
+val relay_station_fragment :
+  ?flavour:Protocol.flavour ->
+  Relay_station.kind ->
+  input:port ->
+  stop_in:Hdl.Signal.t ->
+  port * Hdl.Signal.t
+(** In-circuit relay station: returns the consumer-side port and the stop
+    asserted toward the producer.  [stop_in] may be a yet-undriven wire,
+    which is how larger structures close their backward paths. *)
+
+val relay_station :
+  ?flavour:Protocol.flavour ->
+  ?name:string ->
+  data_width:int ->
+  Relay_station.kind ->
+  Hdl.Circuit.t
+
+type shell_spec = {
+  name : string;
+  data_width : int;
+  n_inputs : int;
+  n_outputs : int;
+  initial_outputs : Bits.t list;  (** per output; length [n_outputs] *)
+  datapath : fire:Hdl.Signal.t -> Hdl.Signal.t list -> Hdl.Signal.t list;
+      (** the pearl: combinational function of the consumed inputs; any
+          internal state must be registers enabled by [fire] (clock
+          gating) *)
+}
+
+val shell_fragment :
+  ?flavour:Protocol.flavour ->
+  shell_spec ->
+  inputs:port list ->
+  stop_ins:Hdl.Signal.t list ->
+  port list * Hdl.Signal.t list
+(** In-circuit shell: returns the output ports and the per-input
+    back-pressure stops. *)
+
+val shell : ?flavour:Protocol.flavour -> shell_spec -> Hdl.Circuit.t
+
+val identity_shell :
+  ?flavour:Protocol.flavour -> data_width:int -> unit -> Hdl.Circuit.t
+(** 1-in/1-out repeater shell (initial output 0). *)
+
+val adder_shell :
+  ?flavour:Protocol.flavour -> data_width:int -> unit -> Hdl.Circuit.t
+(** 2-in/1-out sum shell (initial output 0). *)
+
+val accumulator_shell :
+  ?flavour:Protocol.flavour -> data_width:int -> unit -> Hdl.Circuit.t
+(** 1-in/1-out running-sum shell: demonstrates clock-gated pearl state. *)

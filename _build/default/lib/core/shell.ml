@@ -1,0 +1,71 @@
+type t = { flavour : Protocol.flavour; pearl : Pearl.t }
+
+let create ~flavour pearl = { flavour; pearl }
+let pearl t = t.pearl
+let flavour t = t.flavour
+
+type state = { pearl_state : int array; out_buf : Token.t array }
+
+let initial t =
+  {
+    pearl_state = Array.copy t.pearl.Pearl.init_state;
+    out_buf = Array.map Token.valid t.pearl.Pearl.initial_output;
+  }
+
+let present s o = s.out_buf.(o)
+let presented s = Array.copy s.out_buf
+
+let check_arities t ~inputs ~out_stops =
+  if Array.length inputs <> t.pearl.Pearl.n_inputs then
+    invalid_arg "Shell: input arity mismatch";
+  if Array.length out_stops <> t.pearl.Pearl.n_outputs then
+    invalid_arg "Shell: output arity mismatch"
+
+let fires t s ~inputs ~out_stops =
+  check_arities t ~inputs ~out_stops;
+  let all_valid = Array.for_all Token.is_valid inputs in
+  let gated = ref false in
+  Array.iteri
+    (fun o stop ->
+      if stop then
+        match t.flavour with
+        | Protocol.Original -> gated := true
+        | Protocol.Optimized ->
+            if Token.is_valid s.out_buf.(o) then gated := true)
+    out_stops;
+  all_valid && not !gated
+
+let input_stops t s ~inputs ~out_stops =
+  let fire = fires t s ~inputs ~out_stops in
+  Array.map
+    (fun tok ->
+      if fire then false
+      else
+        match t.flavour with
+        | Protocol.Original -> true
+        | Protocol.Optimized -> Token.is_valid tok)
+    inputs
+
+let step t s ~inputs ~out_stops =
+  let fire = fires t s ~inputs ~out_stops in
+  if fire then begin
+    let data = Array.map Token.value inputs in
+    let pearl_state', outputs =
+      Pearl.apply t.pearl ~state:s.pearl_state ~inputs:data
+    in
+    { pearl_state = pearl_state'; out_buf = Array.map Token.valid outputs }
+  end
+  else
+    let out_buf =
+      Array.mapi
+        (fun o tok ->
+          if Token.is_valid tok && out_stops.(o) then tok else Token.void)
+        s.out_buf
+    in
+    { s with out_buf }
+
+let pearl_state s = Array.copy s.pearl_state
+
+let pp fmt s =
+  Format.fprintf fmt "shell{out=[%s]}"
+    (String.concat ";" (Array.to_list (Array.map Token.to_string s.out_buf)))

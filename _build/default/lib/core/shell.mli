@@ -1,0 +1,62 @@
+(** Shells: protocol wrappers around pearls.
+
+    A shell performs the three functions the paper lists:
+
+    - {b data validation} — each output channel carries a valid bit telling
+      whether the datum standing there has still to be consumed;
+    - {b back pressure} — when the pearl cannot fire, the shell sends stop
+      upstream (under the [Optimized] flavour, only on inputs that currently
+      carry valid data);
+    - {b clock gating} — a shell waiting for data or stopped keeps its state
+      (the pearl does not advance).
+
+    The shell itself stores no stop signal: its input-side stops are a
+    combinational function of this cycle's conditions.  This is exactly why
+    at least one (half) relay station must sit between two shells — the
+    shell's output registers plus the relay station's storage provide the
+    memory that makes the one-cycle stop round-trip safe.
+
+    Firing rule: the pearl fires iff every input channel presents a valid
+    token and no {e relevant} stop is asserted on its outputs.  Under
+    [Optimized], a stop on an output currently holding a void is not
+    relevant (it is discarded); under [Original] any asserted stop gates
+    the shell.  On firing, all inputs are consumed, the pearl state
+    advances, and every output buffer is reloaded; outputs that were valid
+    and not stopped were consumed by downstream in the same cycle, voids
+    are overwritten harmlessly, and valid-and-stopped outputs prevent
+    firing altogether — so no datum is ever overwritten before use.
+
+    Shell output buffers initialize {e valid} (with the pearl's
+    [initial_output]); relay stations initialize void — the paper's
+    initialization convention. *)
+
+type t
+
+val create : flavour:Protocol.flavour -> Pearl.t -> t
+val pearl : t -> Pearl.t
+val flavour : t -> Protocol.flavour
+
+type state
+
+val initial : t -> state
+
+val present : state -> int -> Token.t
+(** [present s o] is the token on output port [o] this cycle (Moore). *)
+
+val presented : state -> Token.t array
+
+val fires : t -> state -> inputs:Token.t array -> out_stops:bool array -> bool
+(** Whether the pearl fires this cycle given the tokens standing on its
+    input channels and the stops observed on its output channels. *)
+
+val input_stops :
+  t -> state -> inputs:Token.t array -> out_stops:bool array -> bool array
+(** The back-pressure the shell asserts on each input channel this cycle
+    (combinational). *)
+
+val step :
+  t -> state -> inputs:Token.t array -> out_stops:bool array -> state
+(** One clock edge. *)
+
+val pearl_state : state -> int array
+val pp : Format.formatter -> state -> unit

@@ -1,0 +1,16 @@
+type t = Void | Valid of int
+
+let void = Void
+let valid v = Valid v
+let is_valid = function Valid _ -> true | Void -> false
+
+let value = function
+  | Valid v -> v
+  | Void -> invalid_arg "Token.value: void token"
+
+let value_opt = function Valid v -> Some v | Void -> None
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let to_string = function Valid v -> string_of_int v | Void -> "n"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,26 @@
+(** Channel tokens.
+
+    Every forward channel of a latency-insensitive design carries either a
+    valid datum or a "void" (the [valid] wire deasserted).  Data are modelled
+    as OCaml [int]s — the protocol is data-independent, and integer payloads
+    (typically sequence numbers) make ordering and loss violations
+    observable. *)
+
+type t = Void | Valid of int
+
+val void : t
+val valid : int -> t
+val is_valid : t -> bool
+
+val value : t -> int
+(** Raises [Invalid_argument] on [Void]. *)
+
+val value_opt : t -> int option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Valid tokens print as their value, void as ["n"] — the notation of the
+    paper's Fig. 1/Fig. 2. *)
+
+val to_string : t -> string

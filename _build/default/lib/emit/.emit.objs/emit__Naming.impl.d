@@ -1,0 +1,1 @@
+lib/emit/naming.ml: Array Buffer Hashtbl Hdl List Printf String

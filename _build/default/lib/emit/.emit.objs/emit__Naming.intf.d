@@ -1,0 +1,1 @@
+lib/emit/naming.mli: Hdl

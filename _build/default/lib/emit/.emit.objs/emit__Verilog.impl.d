@@ -1,0 +1,1 @@
+lib/emit/verilog.ml: Array Bits Bitvec Buffer Hdl List Naming Printf String

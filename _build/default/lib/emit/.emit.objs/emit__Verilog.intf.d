@@ -1,0 +1,1 @@
+lib/emit/verilog.mli: Hdl

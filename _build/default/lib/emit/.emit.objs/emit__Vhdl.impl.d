@@ -1,0 +1,1 @@
+lib/emit/vhdl.ml: Array Bits Bitvec Buffer Hdl List Naming Printf String

@@ -1,0 +1,1 @@
+lib/emit/vhdl.mli: Hdl

@@ -1,0 +1,48 @@
+(* Shared identifier table for the HDL emitters: inputs and outputs keep
+   their (sanitized) declared names, every other node gets "n<uid>". *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" || not ((s.[0] >= 'a' && s.[0] <= 'z') || (s.[0] >= 'A' && s.[0] <= 'Z'))
+  then "s_" ^ s
+  else s
+
+type t = (int, string) Hashtbl.t
+
+let build circuit : t =
+  let tbl = Hashtbl.create 64 in
+  let used = Hashtbl.create 64 in
+  let claim id name =
+    let name = if Hashtbl.mem used name then Printf.sprintf "%s_u%d" name id else name in
+    Hashtbl.replace used name ();
+    Hashtbl.replace tbl id name
+  in
+  List.iter
+    (fun s -> claim (Hdl.Signal.uid s) (sanitize (Hdl.Signal.name_of s)))
+    (Hdl.Circuit.inputs circuit @ Hdl.Circuit.outputs circuit);
+  (* keep user-declared register and wire names where possible *)
+  Array.iter
+    (fun s ->
+      let id = Hdl.Signal.uid s in
+      if not (Hashtbl.mem tbl id) then
+        match s with
+        | Hdl.Signal.Reg { name = Some n; _ } | Hdl.Signal.Wire { name = Some n; _ }
+          ->
+            claim id (sanitize n)
+        | _ -> ())
+    (Hdl.Circuit.nodes circuit);
+  Array.iter
+    (fun s ->
+      let id = Hdl.Signal.uid s in
+      if not (Hashtbl.mem tbl id) then claim id (Printf.sprintf "n%d" id))
+    (Hdl.Circuit.nodes circuit);
+  tbl
+
+let name (t : t) s = Hashtbl.find t (Hdl.Signal.uid s)

@@ -1,0 +1,12 @@
+(** Identifier assignment shared by the HDL emitters: inputs, outputs and
+    named internal nodes keep their (sanitized) declared names; everything
+    else becomes ["n<uid>"].  Clashes are uniquified. *)
+
+val sanitize : string -> string
+(** Replace characters illegal in VHDL/Verilog identifiers and guard
+    against leading digits. *)
+
+type t
+
+val build : Hdl.Circuit.t -> t
+val name : t -> Hdl.Signal.t -> string

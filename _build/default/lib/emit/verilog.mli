@@ -1,0 +1,8 @@
+(** Verilog-2001 netlist emitter.
+
+    One module per circuit; an implicit [clk] port clocks every register;
+    register initial values are emitted as [initial] blocks (simulation
+    style, matching the paper's event-driven simulation setup). *)
+
+val emit : Hdl.Circuit.t -> string
+val write : out_channel -> Hdl.Circuit.t -> unit

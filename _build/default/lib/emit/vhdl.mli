@@ -1,0 +1,10 @@
+(** VHDL-93 netlist emitter.
+
+    Renders an elaborated circuit as one entity/architecture pair using
+    [ieee.numeric_std].  All ports and signals are [std_logic_vector]s; an
+    implicit rising-edge clock port [clk] drives every register.  Register
+    initial values are emitted as signal defaults — the simulation-oriented
+    style the paper's VHDL blocks used. *)
+
+val emit : Hdl.Circuit.t -> string
+val write : out_channel -> Hdl.Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/hdl/circuit.ml: Array Format Hashtbl List Printf Signal String

@@ -1,0 +1,1 @@
+lib/hdl/circuit.mli: Format Signal

@@ -1,0 +1,1 @@
+lib/hdl/ops.ml: Bits Bitvec Signal

@@ -1,0 +1,1 @@
+lib/hdl/ops.mli: Bits Bitvec Signal

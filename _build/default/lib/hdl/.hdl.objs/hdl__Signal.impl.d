@@ -1,0 +1,1 @@
+lib/hdl/signal.ml: Bits Bitvec Format List Printf

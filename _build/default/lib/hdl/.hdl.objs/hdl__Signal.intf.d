@@ -1,0 +1,1 @@
+lib/hdl/signal.mli: Bits Bitvec Format

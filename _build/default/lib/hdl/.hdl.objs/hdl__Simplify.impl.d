@@ -1,0 +1,1 @@
+lib/hdl/simplify.ml: Bits Bitvec Circuit Format Hashtbl List Ops Option Signal

@@ -1,0 +1,1 @@
+lib/hdl/simplify.mli: Circuit Format

@@ -1,0 +1,155 @@
+type t = {
+  name : string;
+  inputs : Signal.t list;
+  outputs : Signal.t list;
+  nodes : Signal.t array;
+  comb_order : Signal.t array;
+  regs : Signal.t array;
+}
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_regs : int;
+  n_comb : int;
+  reg_bits : int;
+}
+
+let check_no_duplicate_names what signals =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let n = Signal.name_of s in
+      if Hashtbl.mem tbl n then
+        invalid_arg (Printf.sprintf "Circuit: duplicate %s name %S" what n);
+      Hashtbl.add tbl n ())
+    signals
+
+(* Depth-first traversal over all edges (combinational and sequential),
+   collecting every reachable node and validating local well-formedness. *)
+let collect_reachable outputs =
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let rec visit s =
+    let id = Signal.uid s in
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      (match s with
+      | Signal.Wire { driver = None; _ } ->
+          invalid_arg
+            (Printf.sprintf "Circuit: wire %S has no driver" (Signal.name_of s))
+      | Signal.Reg { d = None; _ } ->
+          invalid_arg
+            (Printf.sprintf "Circuit: register %S has no data input"
+               (Signal.name_of s))
+      | _ -> ());
+      List.iter visit (Signal.deps s);
+      List.iter visit (Signal.sequential_deps s);
+      acc := s :: !acc
+    end
+  in
+  List.iter visit outputs;
+  !acc
+
+(* Topological sort of combinational nodes; White/Gray/Black DFS.  A gray
+   hit is a combinational cycle. *)
+let topo_sort nodes =
+  let color = Hashtbl.create 256 in
+  let order = ref [] in
+  let rec visit path s =
+    let id = Signal.uid s in
+    match Hashtbl.find_opt color id with
+    | Some `Black -> ()
+    | Some `Gray ->
+        let cycle =
+          List.map Signal.name_of (s :: path) |> String.concat " <- "
+        in
+        invalid_arg ("Circuit: combinational cycle: " ^ cycle)
+    | None ->
+        if Signal.is_comb_source s then Hashtbl.replace color id `Black
+        else begin
+          Hashtbl.replace color id `Gray;
+          List.iter (visit (s :: path)) (Signal.deps s);
+          Hashtbl.replace color id `Black;
+          order := s :: !order
+        end
+  in
+  List.iter (visit []) nodes;
+  List.rev !order
+
+let create ~name ~inputs ~outputs =
+  List.iter
+    (fun s ->
+      match s with
+      | Signal.Wire { name = Some _; _ } -> ()
+      | _ -> invalid_arg "Circuit: outputs must be named wires")
+    outputs;
+  List.iter
+    (fun s ->
+      match s with
+      | Signal.Input _ -> ()
+      | _ -> invalid_arg "Circuit: inputs must be Input signals")
+    inputs;
+  check_no_duplicate_names "input" inputs;
+  check_no_duplicate_names "output" outputs;
+  let reachable = collect_reachable outputs in
+  let declared = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.add declared (Signal.uid s) ()) inputs;
+  List.iter
+    (fun s ->
+      match s with
+      | Signal.Input { name = n; _ } when not (Hashtbl.mem declared (Signal.uid s))
+        ->
+          invalid_arg
+            (Printf.sprintf "Circuit: reachable input %S not declared" n)
+      | _ -> ())
+    reachable;
+  let comb_roots =
+    outputs
+    @ List.concat_map
+        (fun s ->
+          match s with Signal.Reg _ -> Signal.sequential_deps s | _ -> [])
+        reachable
+  in
+  let comb_order = topo_sort comb_roots in
+  let regs =
+    List.filter (fun s -> match s with Signal.Reg _ -> true | _ -> false) reachable
+  in
+  {
+    name;
+    inputs;
+    outputs;
+    nodes = Array.of_list reachable;
+    comb_order = Array.of_list comb_order;
+    regs = Array.of_list regs;
+  }
+
+let name t = t.name
+let inputs t = t.inputs
+let outputs t = t.outputs
+let comb_order t = t.comb_order
+let regs t = t.regs
+let nodes t = t.nodes
+
+let find_by_name signals n =
+  match List.find_opt (fun s -> Signal.name_of s = n) signals with
+  | Some s -> s
+  | None -> raise Not_found
+
+let find_input t n = find_by_name t.inputs n
+let find_output t n = find_by_name t.outputs n
+
+let stats t =
+  {
+    n_inputs = List.length t.inputs;
+    n_outputs = List.length t.outputs;
+    n_regs = Array.length t.regs;
+    n_comb = Array.length t.comb_order;
+    reg_bits =
+      Array.fold_left (fun acc r -> acc + Signal.width r) 0 t.regs;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "inputs=%d outputs=%d regs=%d (%d bits) comb-nodes=%d" s.n_inputs
+    s.n_outputs s.n_regs s.reg_bits s.n_comb

@@ -1,0 +1,46 @@
+(** Elaborated circuits.
+
+    [create] closes a signal graph over its reachable nodes, checks
+    well-formedness (all wires driven, all registers bound, no combinational
+    cycles) and computes the evaluation order used by the simulators and the
+    HDL emitters. *)
+
+type t
+
+val create : name:string -> inputs:Signal.t list -> outputs:Signal.t list -> t
+(** [create ~name ~inputs ~outputs] elaborates the graph reachable from
+    [outputs] (through both combinational and register inputs).
+
+    Raises [Invalid_argument] if:
+    - an output is not a named wire;
+    - a reachable wire has no driver, or a register has no bound [d];
+    - a combinational cycle exists (the message lists the cycle);
+    - a reachable [Input] node is missing from [inputs];
+    - two inputs/outputs share a name. *)
+
+val name : t -> string
+val inputs : t -> Signal.t list
+val outputs : t -> Signal.t list
+
+val comb_order : t -> Signal.t array
+(** All non-source reachable nodes, topologically sorted so that each node
+    appears after its combinational dependencies. *)
+
+val regs : t -> Signal.t array
+val nodes : t -> Signal.t array
+
+val find_input : t -> string -> Signal.t
+(** Raises [Not_found]. *)
+
+val find_output : t -> string -> Signal.t
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_regs : int;
+  n_comb : int;
+  reg_bits : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

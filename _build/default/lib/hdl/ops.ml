@@ -1,0 +1,26 @@
+(* Bit-level semantics of the IR operators; shared by the simulators and
+   the constant folder. *)
+
+open Bitvec
+
+let unop (op : Signal.unary_op) a =
+  match op with
+  | Signal.Op_not -> Bits.lognot a
+  | Signal.Op_neg -> Bits.neg a
+  | Signal.Op_reduce_or -> Bits.of_bool (Bits.reduce_or a)
+  | Signal.Op_reduce_and -> Bits.of_bool (Bits.reduce_and a)
+  | Signal.Op_reduce_xor -> Bits.of_bool (Bits.reduce_xor a)
+
+let binop (op : Signal.binary_op) a b =
+  match op with
+  | Signal.Op_add -> Bits.add a b
+  | Signal.Op_sub -> Bits.sub a b
+  | Signal.Op_mul -> Bits.mul a b
+  | Signal.Op_and -> Bits.logand a b
+  | Signal.Op_or -> Bits.logor a b
+  | Signal.Op_xor -> Bits.logxor a b
+  | Signal.Op_eq -> Bits.of_bool (Bits.equal a b)
+  | Signal.Op_ne -> Bits.of_bool (not (Bits.equal a b))
+  | Signal.Op_ult -> Bits.of_bool (Bits.ult a b)
+  | Signal.Op_ule -> Bits.of_bool (Bits.ule a b)
+  | Signal.Op_slt -> Bits.of_bool (Bits.slt a b)

@@ -1,0 +1,8 @@
+(** Bit-level semantics of the IR operators — the single source of truth
+    shared by the simulators ({!Sim}) and the constant folder
+    ({!Simplify}). *)
+
+open Bitvec
+
+val unop : Signal.unary_op -> Bits.t -> Bits.t
+val binop : Signal.binary_op -> Bits.t -> Bits.t -> Bits.t

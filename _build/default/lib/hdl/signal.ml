@@ -1,0 +1,274 @@
+open Bitvec
+
+type unary_op = Op_not | Op_neg | Op_reduce_or | Op_reduce_and | Op_reduce_xor
+
+type binary_op =
+  | Op_add
+  | Op_sub
+  | Op_mul
+  | Op_and
+  | Op_or
+  | Op_xor
+  | Op_eq
+  | Op_ne
+  | Op_ult
+  | Op_ule
+  | Op_slt
+
+type t =
+  | Const of { id : int; bits : Bits.t }
+  | Input of { id : int; name : string; width : int }
+  | Wire of { id : int; width : int; mutable driver : t option; name : string option }
+  | Unop of { id : int; op : unary_op; a : t; width : int }
+  | Binop of { id : int; op : binary_op; a : t; b : t; width : int }
+  | Mux of { id : int; sel : t; cases : t list; width : int }
+  | Concat of { id : int; parts : t list; width : int }
+  | Select of { id : int; a : t; hi : int; lo : int }
+  | Reg of {
+      id : int;
+      width : int;
+      mutable d : t option;
+      mutable enable : t option;
+      reset_value : Bits.t;
+      name : string option;
+    }
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let uid = function
+  | Const { id; _ }
+  | Input { id; _ }
+  | Wire { id; _ }
+  | Unop { id; _ }
+  | Binop { id; _ }
+  | Mux { id; _ }
+  | Concat { id; _ }
+  | Select { id; _ }
+  | Reg { id; _ } ->
+      id
+
+let width = function
+  | Const { bits; _ } -> Bits.width bits
+  | Input { width; _ }
+  | Wire { width; _ }
+  | Unop { width; _ }
+  | Binop { width; _ }
+  | Mux { width; _ }
+  | Concat { width; _ }
+  | Reg { width; _ } ->
+      width
+  | Select { hi; lo; _ } -> hi - lo + 1
+
+let deps = function
+  | Const _ | Input _ | Reg _ -> []
+  | Wire { driver; _ } -> ( match driver with None -> [] | Some d -> [ d ])
+  | Unop { a; _ } -> [ a ]
+  | Binop { a; b; _ } -> [ a; b ]
+  | Mux { sel; cases; _ } -> sel :: cases
+  | Concat { parts; _ } -> parts
+  | Select { a; _ } -> [ a ]
+
+let sequential_deps = function
+  | Reg { d; enable; _ } ->
+      let add acc = function None -> acc | Some s -> s :: acc in
+      add (add [] enable) d
+  | Const _ | Input _ | Wire _ | Unop _ | Binop _ | Mux _ | Concat _ | Select _
+    ->
+      []
+
+let const bits = Const { id = next_id (); bits }
+let consti ~width n = const (Bits.of_int ~width n)
+let vdd = const (Bits.of_bool true)
+let gnd = const (Bits.of_bool false)
+
+let input name w =
+  if w < 1 then invalid_arg "Signal.input: width must be >= 1";
+  Input { id = next_id (); name; width = w }
+
+let wire ?name w =
+  if w < 1 then invalid_arg "Signal.wire: width must be >= 1";
+  Wire { id = next_id (); width = w; driver = None; name }
+
+let assign w driver =
+  match w with
+  | Wire r ->
+      if r.driver <> None then invalid_arg "Signal.assign: wire already driven";
+      if width driver <> r.width then
+        invalid_arg
+          (Printf.sprintf "Signal.assign: width mismatch (%d vs %d)" r.width
+             (width driver));
+      r.driver <- Some driver
+  | _ -> invalid_arg "Signal.assign: not a wire"
+
+let output name s =
+  let w = wire ~name (width s) in
+  assign w s;
+  w
+
+let same_width name a b =
+  if width a <> width b then
+    invalid_arg
+      (Printf.sprintf "Signal.%s: width mismatch (%d vs %d)" name (width a)
+         (width b))
+
+let unop op a ~width = Unop { id = next_id (); op; a; width }
+
+let binop name op a b ~width =
+  same_width name a b;
+  Binop { id = next_id (); op; a; b; width }
+
+let ( ~: ) a = unop Op_not a ~width:(width a)
+let negate a = unop Op_neg a ~width:(width a)
+let ( &: ) a b = binop "(&:)" Op_and a b ~width:(width a)
+let ( |: ) a b = binop "(|:)" Op_or a b ~width:(width a)
+let ( ^: ) a b = binop "(^:)" Op_xor a b ~width:(width a)
+let ( +: ) a b = binop "(+:)" Op_add a b ~width:(width a)
+let ( -: ) a b = binop "(-:)" Op_sub a b ~width:(width a)
+let ( *: ) a b = binop "( *: )" Op_mul a b ~width:(width a)
+let ( ==: ) a b = binop "(==:)" Op_eq a b ~width:1
+let ( <>: ) a b = binop "(<>:)" Op_ne a b ~width:1
+let ( <: ) a b = binop "(<:)" Op_ult a b ~width:1
+let ( <=: ) a b = binop "(<=:)" Op_ule a b ~width:1
+let slt a b = binop "slt" Op_slt a b ~width:1
+let reduce_or a = unop Op_reduce_or a ~width:1
+let reduce_and a = unop Op_reduce_and a ~width:1
+let reduce_xor a = unop Op_reduce_xor a ~width:1
+
+let mux sel cases =
+  match cases with
+  | [] -> invalid_arg "Signal.mux: no cases"
+  | c0 :: rest ->
+      List.iter (fun c -> same_width "mux" c0 c) rest;
+      Mux { id = next_id (); sel; cases; width = width c0 }
+
+let mux2 sel on_true on_false =
+  if width sel <> 1 then invalid_arg "Signal.mux2: selector must be 1 bit";
+  mux sel [ on_false; on_true ]
+
+let concat_msb parts =
+  if parts = [] then invalid_arg "Signal.concat_msb: no parts";
+  let w = List.fold_left (fun acc p -> acc + width p) 0 parts in
+  Concat { id = next_id (); parts; width = w }
+
+let select a ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= width a then
+    invalid_arg "Signal.select: bad range";
+  Select { id = next_id (); a; hi; lo }
+
+let bit a i = select a ~hi:i ~lo:i
+
+let zero_extend a ~width:w =
+  if w < width a then invalid_arg "Signal.zero_extend: narrowing"
+  else if w = width a then a
+  else concat_msb [ const (Bits.zero (w - width a)); a ]
+
+let sign_extend a ~width:w =
+  if w < width a then invalid_arg "Signal.sign_extend: narrowing"
+  else if w = width a then a
+  else
+    let sign = select a ~hi:(width a - 1) ~lo:(width a - 1) in
+    let rec copies n acc = if n = 0 then acc else copies (n - 1) (sign :: acc) in
+    concat_msb (copies (w - width a) [ a ])
+
+let repeat s n =
+  if n < 1 then invalid_arg "Signal.repeat: need n >= 1";
+  concat_msb (List.init n (fun _ -> s))
+
+let msb a = bit a (width a - 1)
+let lsb a = bit a 0
+
+let sll a n =
+  if n < 0 then invalid_arg "Signal.sll: negative shift";
+  let w = width a in
+  if n = 0 then a
+  else if n >= w then const (Bits.zero w)
+  else concat_msb [ select a ~hi:(w - 1 - n) ~lo:0; const (Bits.zero n) ]
+
+let srl a n =
+  if n < 0 then invalid_arg "Signal.srl: negative shift";
+  let w = width a in
+  if n = 0 then a
+  else if n >= w then const (Bits.zero w)
+  else concat_msb [ const (Bits.zero n); select a ~hi:(w - 1) ~lo:n ]
+
+let sra a n =
+  if n < 0 then invalid_arg "Signal.sra: negative shift";
+  let w = width a in
+  if n = 0 then a
+  else
+    let sign = msb a in
+    if n >= w then repeat sign w
+    else concat_msb [ repeat sign n; select a ~hi:(w - 1) ~lo:n ]
+
+let reg ?name ?enable ~reset d =
+  if Bits.width reset <> width d then
+    invalid_arg "Signal.reg: reset width mismatch";
+  (match enable with
+  | Some e when width e <> 1 -> invalid_arg "Signal.reg: enable must be 1 bit"
+  | _ -> ());
+  Reg
+    { id = next_id (); width = width d; d = Some d; enable; reset_value = reset; name }
+
+let reg_unbound ?name ~reset () =
+  Reg
+    {
+      id = next_id ();
+      width = Bits.width reset;
+      d = None;
+      enable = None;
+      reset_value = reset;
+      name;
+    }
+
+let reg_assign r ~d =
+  match r with
+  | Reg rr ->
+      if rr.d <> None then invalid_arg "Signal.reg_assign: already bound";
+      if width d <> rr.width then invalid_arg "Signal.reg_assign: width mismatch";
+      rr.d <- Some d
+  | _ -> invalid_arg "Signal.reg_assign: not a register"
+
+let reg_set_enable r ~enable =
+  match r with
+  | Reg rr ->
+      if rr.enable <> None then invalid_arg "Signal.reg_set_enable: already set";
+      if width enable <> 1 then invalid_arg "Signal.reg_set_enable: enable must be 1 bit";
+      rr.enable <- Some enable
+  | _ -> invalid_arg "Signal.reg_set_enable: not a register"
+
+let reg_fb ?name ?enable ~reset ~width:w f =
+  if Bits.width reset <> w then invalid_arg "Signal.reg_fb: reset width mismatch";
+  let r =
+    Reg { id = next_id (); width = w; d = None; enable; reset_value = reset; name }
+  in
+  reg_assign r ~d:(f r);
+  r
+
+let name_of s =
+  match s with
+  | Input { name; _ } -> name
+  | Wire { name = Some n; _ } | Reg { name = Some n; _ } -> n
+  | _ -> Printf.sprintf "_%d" (uid s)
+
+let is_comb_source = function
+  | Const _ | Input _ | Reg _ -> true
+  | Wire _ | Unop _ | Binop _ | Mux _ | Concat _ | Select _ -> false
+
+let pp_kind fmt s =
+  let k =
+    match s with
+    | Const _ -> "const"
+    | Input _ -> "input"
+    | Wire _ -> "wire"
+    | Unop _ -> "unop"
+    | Binop _ -> "binop"
+    | Mux _ -> "mux"
+    | Concat _ -> "concat"
+    | Select _ -> "select"
+    | Reg _ -> "reg"
+  in
+  Format.pp_print_string fmt k

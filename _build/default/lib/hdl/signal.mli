@@ -1,0 +1,154 @@
+(** Structural RTL signals.
+
+    A signal is a node in a directed graph of combinational operators,
+    registers, inputs and constants.  Registers and wires have mutable
+    drivers so that feedback (sequential loops) can be built; a {!Circuit}
+    later checks that every wire is driven and that no purely combinational
+    cycle exists. *)
+
+open Bitvec
+
+type unary_op = Op_not | Op_neg | Op_reduce_or | Op_reduce_and | Op_reduce_xor
+
+type binary_op =
+  | Op_add
+  | Op_sub
+  | Op_mul
+  | Op_and
+  | Op_or
+  | Op_xor
+  | Op_eq
+  | Op_ne
+  | Op_ult
+  | Op_ule
+  | Op_slt
+
+type t =
+  | Const of { id : int; bits : Bits.t }
+  | Input of { id : int; name : string; width : int }
+  | Wire of { id : int; width : int; mutable driver : t option; name : string option }
+  | Unop of { id : int; op : unary_op; a : t; width : int }
+  | Binop of { id : int; op : binary_op; a : t; b : t; width : int }
+  | Mux of { id : int; sel : t; cases : t list; width : int }
+  | Concat of { id : int; parts : t list; width : int }
+      (** [parts] are listed msb-first. *)
+  | Select of { id : int; a : t; hi : int; lo : int }
+  | Reg of {
+      id : int;
+      width : int;
+      mutable d : t option;
+      mutable enable : t option;
+      reset_value : Bits.t;
+      name : string option;
+    }
+
+val uid : t -> int
+val width : t -> int
+
+val deps : t -> t list
+(** Combinational dependencies: for a register this is [[]] (its current
+    value is state, not a function of this cycle's inputs); for a wire it is
+    its driver. *)
+
+val sequential_deps : t -> t list
+(** For a register: its [d] and [enable] signals.  Empty otherwise. *)
+
+(** {1 Constructors} *)
+
+val const : Bits.t -> t
+val consti : width:int -> int -> t
+val vdd : t
+(** The constant 1-bit [1].  (A fresh node per use of [vdd] is not needed;
+    this is a shared constant.) *)
+
+val gnd : t
+
+val input : string -> int -> t
+val wire : ?name:string -> int -> t
+
+val assign : t -> t -> unit
+(** [assign w driver] sets the driver of wire [w].  Raises if [w] is not a
+    wire, is already driven, or on width mismatch. *)
+
+val output : string -> t -> t
+(** [output name s] is a named wire driven by [s] — convenient for circuit
+    outputs. *)
+
+(** {1 Operators} *)
+
+val ( ~: ) : t -> t
+val negate : t -> t
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( <: ) : t -> t -> t
+val ( <=: ) : t -> t -> t
+val slt : t -> t -> t
+val reduce_or : t -> t
+val reduce_and : t -> t
+val reduce_xor : t -> t
+
+val mux : t -> t list -> t
+(** [mux sel cases]: all cases must share a width; a selector value beyond
+    the last case selects the last case. *)
+
+val mux2 : t -> t -> t -> t
+(** [mux2 sel on_true on_false]; [sel] must be 1 bit wide. *)
+
+val concat_msb : t list -> t
+val select : t -> hi:int -> lo:int -> t
+val bit : t -> int -> t
+val zero_extend : t -> width:int -> t
+val sign_extend : t -> width:int -> t
+
+val repeat : t -> int -> t
+(** [repeat s n] concatenates [n >= 1] copies of [s]. *)
+
+val msb : t -> t
+val lsb : t -> t
+
+val sll : t -> int -> t
+(** Left shift by a constant, zero fill; shifts of [width] or more give
+    zero. *)
+
+val srl : t -> int -> t
+val sra : t -> int -> t
+
+(** {1 Registers} *)
+
+val reg : ?name:string -> ?enable:t -> reset:Bits.t -> t -> t
+(** [reg ~enable ~reset d] is a D flip-flop with synchronous enable
+    (default: always enabled) and reset value [reset] (the simulation /
+    emission model uses an implicit global clock and an initial value). *)
+
+val reg_fb :
+  ?name:string -> ?enable:t -> reset:Bits.t -> width:int -> (t -> t) -> t
+(** [reg_fb ~reset ~width f] builds a register whose next value is
+    [f current_value] — the standard feedback idiom. *)
+
+val reg_unbound : ?name:string -> reset:Bits.t -> unit -> t
+(** A register with no data input yet; bind it later with {!reg_assign}
+    (and optionally {!reg_set_enable}).  Used by netlist transformations
+    that must rebuild sequential cycles. *)
+
+val reg_assign : t -> d:t -> unit
+(** Late binding of a register's data input (for feedback built by hand).
+    Raises if already bound or on width mismatch. *)
+
+val reg_set_enable : t -> enable:t -> unit
+
+(** {1 Naming and traversal} *)
+
+val name_of : t -> string
+(** A printable name: the declared name if any, otherwise ["_<uid>"]. *)
+
+val is_comb_source : t -> bool
+(** True for constants, inputs and registers: nodes whose cycle-[t] value
+    does not depend on other cycle-[t] values. *)
+
+val pp_kind : Format.formatter -> t -> unit

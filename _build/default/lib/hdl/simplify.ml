@@ -1,0 +1,206 @@
+open Bitvec
+module S = Signal
+
+type key =
+  | K_const of int * string
+  | K_un of S.unary_op * int
+  | K_bin of S.binary_op * int * int
+  | K_mux of int * int list
+  | K_cat of int list
+  | K_sel of int * int * int
+
+let const_of (s : S.t) =
+  match s with S.Const { bits; _ } -> Some bits | _ -> None
+
+(* chase wire drivers without entering registers *)
+let rec syntactic_root (s : S.t) =
+  match s with S.Wire { driver = Some d; _ } -> syntactic_root d | _ -> s
+
+let circuit c =
+  let memo : (int, S.t) Hashtbl.t = Hashtbl.create 256 in
+  let cse : (key, S.t) Hashtbl.t = Hashtbl.create 256 in
+  let share key build =
+    match Hashtbl.find_opt cse key with
+    | Some s -> s
+    | None ->
+        let s = build () in
+        Hashtbl.replace cse key s;
+        s
+  in
+  let const bits =
+    share (K_const (Bits.width bits, Bits.to_string bits)) (fun () -> S.const bits)
+  in
+  let is_zero s = match const_of s with Some b -> Bits.is_zero b | None -> false in
+  let is_ones s = match const_of s with Some b -> Bits.is_ones b | None -> false in
+  let is_one s =
+    match const_of s with
+    | Some b -> (not (Bits.is_zero b)) && Bits.is_zero (Bits.shift_right_logical b 1)
+    | None -> false
+  in
+  let rec go (s : S.t) =
+    match Hashtbl.find_opt memo (S.uid s) with
+    | Some s' -> s'
+    | None ->
+        let s' = rewrite s in
+        Hashtbl.replace memo (S.uid s) s';
+        s'
+  and rewrite (s : S.t) =
+    match s with
+    | S.Input _ -> s
+    | S.Const { bits; _ } -> const bits
+    | S.Wire { driver = Some d; _ } -> go d
+    | S.Wire { driver = None; _ } -> invalid_arg "Simplify: undriven wire"
+    | S.Reg { d = Some d; enable; reset_value; name; _ } -> (
+        (* an enable syntactically tied to 0 freezes the register *)
+        match Option.map syntactic_root enable with
+        | Some (S.Const { bits; _ }) when Bits.is_zero bits -> const reset_value
+        | _ ->
+            let fresh = S.reg_unbound ?name ~reset:reset_value () in
+            Hashtbl.replace memo (S.uid s) fresh;
+            S.reg_assign fresh ~d:(go d);
+            (match enable with
+            | None -> ()
+            | Some e ->
+                let e' = go e in
+                if is_ones e' then () else S.reg_set_enable fresh ~enable:e');
+            fresh)
+    | S.Reg { d = None; _ } -> invalid_arg "Simplify: unbound register"
+    | S.Unop { op; a; _ } -> (
+        let a = go a in
+        match const_of a with
+        | Some bits -> const (Ops.unop op bits)
+        | None -> (
+            match (op, a) with
+            | S.Op_not, S.Unop { op = S.Op_not; a = inner; _ } -> inner
+            | (S.Op_reduce_or | S.Op_reduce_and | S.Op_reduce_xor), _
+              when S.width a = 1 ->
+                a
+            | _ -> share (K_un (op, S.uid a)) (fun () -> mk_unop op a)))
+    | S.Binop { op; a; b; _ } -> binop op (go a) (go b)
+    | S.Mux { sel; cases; _ } -> (
+        let sel = go sel in
+        let cases = List.map go cases in
+        match const_of sel with
+        | Some bits ->
+            let n = List.length cases in
+            let idx =
+              let w = Bits.width bits in
+              if w > 30 && Bits.reduce_or (Bits.select bits ~hi:(w - 1) ~lo:30)
+              then n - 1
+              else min (Bits.to_int (Bits.resize bits ~width:(min w 30))) (n - 1)
+            in
+            List.nth cases idx
+        | None -> (
+            match cases with
+            | first :: rest when List.for_all (fun c -> S.uid c = S.uid first) rest
+              ->
+                first
+            | _ ->
+                share
+                  (K_mux (S.uid sel, List.map S.uid cases))
+                  (fun () -> S.mux sel cases)))
+    | S.Concat { parts; _ } -> (
+        let parts = List.map go parts in
+        match parts with
+        | [ p ] -> p
+        | _ ->
+            if List.for_all (fun p -> const_of p <> None) parts then
+              const
+                (List.fold_left
+                   (fun acc p ->
+                     match (acc, const_of p) with
+                     | None, Some b -> Some b
+                     | Some acc, Some b -> Some (Bits.concat ~msb:acc ~lsb:b)
+                     | _, None -> assert false)
+                   None parts
+                |> Option.get)
+            else share (K_cat (List.map S.uid parts)) (fun () -> S.concat_msb parts))
+    | S.Select { a; hi; lo; _ } -> (
+        let a = go a in
+        if lo = 0 && hi = S.width a - 1 then a
+        else
+          match const_of a with
+          | Some bits -> const (Bits.select bits ~hi ~lo)
+          | None ->
+              share (K_sel (S.uid a, hi, lo)) (fun () -> S.select a ~hi ~lo))
+  and mk_unop op a =
+    match op with
+    | S.Op_not -> S.( ~: ) a
+    | S.Op_neg -> S.negate a
+    | S.Op_reduce_or -> S.reduce_or a
+    | S.Op_reduce_and -> S.reduce_and a
+    | S.Op_reduce_xor -> S.reduce_xor a
+  and binop op a b =
+    let default () = share (K_bin (op, S.uid a, S.uid b)) (fun () -> raw_binop op a b) in
+    match (const_of a, const_of b) with
+    | Some ba, Some bb -> const (Ops.binop op ba bb)
+    | _ -> (
+        let same = S.uid a = S.uid b in
+        match op with
+        | S.Op_and ->
+            if is_zero a || is_zero b then const (Bits.zero (S.width a))
+            else if is_ones a then b
+            else if is_ones b then a
+            else if same then a
+            else default ()
+        | S.Op_or ->
+            if is_ones a || is_ones b then const (Bits.ones (S.width a))
+            else if is_zero a then b
+            else if is_zero b then a
+            else if same then a
+            else default ()
+        | S.Op_xor ->
+            if is_zero a then b
+            else if is_zero b then a
+            else if same then const (Bits.zero (S.width a))
+            else default ()
+        | S.Op_add ->
+            if is_zero a then b else if is_zero b then a else default ()
+        | S.Op_sub ->
+            if is_zero b then a
+            else if same then const (Bits.zero (S.width a))
+            else default ()
+        | S.Op_mul ->
+            if is_zero a || is_zero b then const (Bits.zero (S.width a))
+            else if is_one a then b
+            else if is_one b then a
+            else default ()
+        | S.Op_eq -> if same then const (Bits.of_bool true) else default ()
+        | S.Op_ne -> if same then const (Bits.of_bool false) else default ()
+        | S.Op_ult -> if same then const (Bits.of_bool false) else default ()
+        | S.Op_ule -> if same then const (Bits.of_bool true) else default ()
+        | S.Op_slt -> if same then const (Bits.of_bool false) else default ())
+  and raw_binop op a b =
+    match op with
+    | S.Op_add -> S.( +: ) a b
+    | S.Op_sub -> S.( -: ) a b
+    | S.Op_mul -> S.( *: ) a b
+    | S.Op_and -> S.( &: ) a b
+    | S.Op_or -> S.( |: ) a b
+    | S.Op_xor -> S.( ^: ) a b
+    | S.Op_eq -> S.( ==: ) a b
+    | S.Op_ne -> S.( <>: ) a b
+    | S.Op_ult -> S.( <: ) a b
+    | S.Op_ule -> S.( <=: ) a b
+    | S.Op_slt -> S.slt a b
+  in
+  let outputs =
+    List.map
+      (fun o ->
+        match o with
+        | S.Wire { driver = Some d; _ } -> S.output (S.name_of o) (go d)
+        | _ -> invalid_arg "Simplify: output is not a driven wire")
+      (Circuit.outputs c)
+  in
+  Circuit.create ~name:(Circuit.name c) ~inputs:(Circuit.inputs c) ~outputs
+
+type report = { before : Circuit.stats; after : Circuit.stats }
+
+let with_report c =
+  let c' = circuit c in
+  ({ before = Circuit.stats c; after = Circuit.stats c' } : report)
+  |> fun r -> (c', r)
+
+let pp_report fmt r =
+  Format.fprintf fmt "before: %a@.after:  %a" Circuit.pp_stats r.before
+    Circuit.pp_stats r.after

@@ -1,0 +1,22 @@
+(** Netlist optimization.
+
+    Rewrites a circuit bottom-up with:
+    - constant folding (operators over constants evaluate at elaboration);
+    - algebraic identities ([a & 0], [a + 0], [mux] with constant selector,
+      double negation, full-range selects, ...);
+    - common-subexpression elimination (structurally identical operator
+      nodes are shared);
+    - register pruning (an enable tied to 0 freezes the register at its
+      reset value, which then folds onward); wires are collapsed into
+      their drivers.
+
+    Inputs keep their identity, outputs keep their names, registers keep
+    their reset values — the simplified circuit is cycle-for-cycle
+    equivalent to the original (a qcheck property in the test suite). *)
+
+val circuit : Circuit.t -> Circuit.t
+
+type report = { before : Circuit.stats; after : Circuit.stats }
+
+val with_report : Circuit.t -> Circuit.t * report
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/sim/cycle_sim.ml: Array Bits Bitvec Eval Hashtbl Hdl List Printf

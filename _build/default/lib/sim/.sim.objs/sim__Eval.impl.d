@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Bits Bitvec Hdl List

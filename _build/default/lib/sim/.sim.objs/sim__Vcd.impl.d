@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Bits Bitvec Char Hdl List Printf String

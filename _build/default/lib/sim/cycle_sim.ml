@@ -1,0 +1,86 @@
+open Bitvec
+
+type t = {
+  circuit : Hdl.Circuit.t;
+  values : (int, Bits.t) Hashtbl.t; (* signal uid -> current value *)
+  mutable dirty : bool;
+  mutable cycles : int;
+}
+
+let reset_registers t =
+  Array.iter
+    (fun r ->
+      match r with
+      | Hdl.Signal.Reg { reset_value; _ } ->
+          Hashtbl.replace t.values (Hdl.Signal.uid r) reset_value
+      | _ -> ())
+    (Hdl.Circuit.regs t.circuit)
+
+let create circuit =
+  let t = { circuit; values = Hashtbl.create 256; dirty = true; cycles = 0 } in
+  List.iter
+    (fun i ->
+      Hashtbl.replace t.values (Hdl.Signal.uid i) (Bits.zero (Hdl.Signal.width i)))
+    (Hdl.Circuit.inputs circuit);
+  Array.iter
+    (fun s ->
+      match s with
+      | Hdl.Signal.Const { bits; _ } ->
+          Hashtbl.replace t.values (Hdl.Signal.uid s) bits
+      | _ -> ())
+    (Hdl.Circuit.nodes circuit);
+  reset_registers t;
+  t
+
+let circuit t = t.circuit
+
+let lookup t s =
+  match Hashtbl.find_opt t.values (Hdl.Signal.uid s) with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Cycle_sim: no value for signal %S" (Hdl.Signal.name_of s))
+
+let settle t =
+  if t.dirty then begin
+    let look s = lookup t s in
+    Array.iter
+      (fun s -> Hashtbl.replace t.values (Hdl.Signal.uid s) (Eval.comb_node ~lookup:look s))
+      (Hdl.Circuit.comb_order t.circuit);
+    t.dirty <- false
+  end
+
+let poke t name v =
+  let i = Hdl.Circuit.find_input t.circuit name in
+  if Bits.width v <> Hdl.Signal.width i then
+    invalid_arg (Printf.sprintf "Cycle_sim.poke %S: width mismatch" name);
+  Hashtbl.replace t.values (Hdl.Signal.uid i) v;
+  t.dirty <- true
+
+let peek t s =
+  settle t;
+  lookup t s
+
+let peek_output t name = peek t (Hdl.Circuit.find_output t.circuit name)
+
+let step t =
+  settle t;
+  let regs = Hdl.Circuit.regs t.circuit in
+  let nexts =
+    Array.map
+      (fun r ->
+        Eval.reg_next ~lookup:(lookup t) ~current:(lookup t r) r)
+      regs
+  in
+  Array.iteri
+    (fun i r -> Hashtbl.replace t.values (Hdl.Signal.uid r) nexts.(i))
+    regs;
+  t.cycles <- t.cycles + 1;
+  t.dirty <- true
+
+let reset t =
+  reset_registers t;
+  t.cycles <- 0;
+  t.dirty <- true
+
+let cycle_count t = t.cycles

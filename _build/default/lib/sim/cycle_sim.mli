@@ -1,0 +1,36 @@
+(** Levelized cycle-accurate simulator.
+
+    Evaluates the combinational nodes of a circuit in topological order once
+    per clock cycle, then commits all registers simultaneously — the
+    standard "compiled" simulation strategy. *)
+
+open Bitvec
+
+type t
+
+val create : Hdl.Circuit.t -> t
+(** Registers take their reset values; inputs start at zero. *)
+
+val circuit : t -> Hdl.Circuit.t
+
+val poke : t -> string -> Bits.t -> unit
+(** Set an input by name.  Raises [Not_found] on unknown input,
+    [Invalid_argument] on width mismatch. *)
+
+val peek : t -> Hdl.Signal.t -> Bits.t
+(** Value of any reachable signal in the current (settled) cycle. *)
+
+val peek_output : t -> string -> Bits.t
+
+val settle : t -> unit
+(** Recompute combinational values from current inputs and register state.
+    [peek]/[peek_output] settle automatically; an explicit call is only
+    useful for timing measurements. *)
+
+val step : t -> unit
+(** Settle, then advance registers by one clock edge. *)
+
+val reset : t -> unit
+(** Return all registers to their reset values (inputs are kept). *)
+
+val cycle_count : t -> int

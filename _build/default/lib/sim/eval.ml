@@ -1,0 +1,35 @@
+(* Shared single-node evaluation semantics used by both simulation kernels.
+   [lookup] returns the current value of a dependency. *)
+
+open Bitvec
+
+let unop = Hdl.Ops.unop
+let binop = Hdl.Ops.binop
+
+let comb_node ~lookup (s : Hdl.Signal.t) =
+  match s with
+  | Const _ | Input _ | Reg _ ->
+      invalid_arg "Eval.comb_node: not a combinational node"
+  | Wire { driver = Some d; _ } -> lookup d
+  | Wire { driver = None; _ } -> invalid_arg "Eval.comb_node: undriven wire"
+  | Unop { op; a; _ } -> unop op (lookup a)
+  | Binop { op; a; b; _ } -> binop op (lookup a) (lookup b)
+  | Mux { sel; cases; _ } -> Bits.mux ~sel:(lookup sel) (List.map lookup cases)
+  | Concat { parts; _ } ->
+      let rec cat = function
+        | [] -> invalid_arg "Eval.comb_node: empty concat"
+        | [ p ] -> lookup p
+        | p :: rest -> Bits.concat ~msb:(lookup p) ~lsb:(cat rest)
+      in
+      cat parts
+  | Select { a; hi; lo; _ } -> Bits.select (lookup a) ~hi ~lo
+
+(* Next-state of a register given this cycle's settled values. *)
+let reg_next ~lookup ~current (s : Hdl.Signal.t) =
+  match s with
+  | Reg { d = Some d; enable; _ } ->
+      let enabled =
+        match enable with None -> true | Some e -> Bits.reduce_or (lookup e)
+      in
+      if enabled then lookup d else current
+  | _ -> invalid_arg "Eval.reg_next: not a bound register"

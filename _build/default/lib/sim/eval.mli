@@ -1,0 +1,15 @@
+(** Shared single-node evaluation semantics for the simulation kernels. *)
+
+open Bitvec
+
+val unop : Hdl.Signal.unary_op -> Bits.t -> Bits.t
+val binop : Hdl.Signal.binary_op -> Bits.t -> Bits.t -> Bits.t
+
+val comb_node : lookup:(Hdl.Signal.t -> Bits.t) -> Hdl.Signal.t -> Bits.t
+(** The cycle-[t] value of a combinational node, given the settled values
+    of its dependencies.  Raises [Invalid_argument] on sources
+    (constants, inputs, registers) and undriven wires. *)
+
+val reg_next :
+  lookup:(Hdl.Signal.t -> Bits.t) -> current:Bits.t -> Hdl.Signal.t -> Bits.t
+(** A register's next value from this cycle's settled [d] and [enable]. *)

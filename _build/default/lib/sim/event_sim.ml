@@ -1,0 +1,155 @@
+open Bitvec
+
+type t = {
+  circuit : Hdl.Circuit.t;
+  values : (int, Bits.t) Hashtbl.t;
+  fanout : (int, Hdl.Signal.t list) Hashtbl.t; (* uid -> dependent comb nodes *)
+  queue : Hdl.Signal.t Queue.t;
+  in_queue : (int, unit) Hashtbl.t;
+  mutable cycles : int;
+  mutable events : int;
+}
+
+let add_fanout t src node =
+  let id = Hdl.Signal.uid src in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.fanout id) in
+  Hashtbl.replace t.fanout id (node :: cur)
+
+let schedule t node =
+  let id = Hdl.Signal.uid node in
+  if not (Hashtbl.mem t.in_queue id) then begin
+    Hashtbl.add t.in_queue id ();
+    Queue.add node t.queue
+  end
+
+let schedule_fanout t src =
+  match Hashtbl.find_opt t.fanout (Hdl.Signal.uid src) with
+  | None -> ()
+  | Some nodes -> List.iter (schedule t) nodes
+
+let reset_registers t =
+  Array.iter
+    (fun r ->
+      match r with
+      | Hdl.Signal.Reg { reset_value; _ } ->
+          let id = Hdl.Signal.uid r in
+          let changed =
+            match Hashtbl.find_opt t.values id with
+            | Some v -> not (Bits.equal v reset_value)
+            | None -> true
+          in
+          Hashtbl.replace t.values id reset_value;
+          if changed then schedule_fanout t r
+      | _ -> ())
+    (Hdl.Circuit.regs t.circuit)
+
+let create circuit =
+  let t =
+    {
+      circuit;
+      values = Hashtbl.create 256;
+      fanout = Hashtbl.create 256;
+      queue = Queue.create ();
+      in_queue = Hashtbl.create 64;
+      cycles = 0;
+      events = 0;
+    }
+  in
+  Array.iter
+    (fun s -> List.iter (fun d -> add_fanout t d s) (Hdl.Signal.deps s))
+    (Hdl.Circuit.comb_order circuit);
+  List.iter
+    (fun i ->
+      Hashtbl.replace t.values (Hdl.Signal.uid i) (Bits.zero (Hdl.Signal.width i)))
+    (Hdl.Circuit.inputs circuit);
+  Array.iter
+    (fun s ->
+      match s with
+      | Hdl.Signal.Const { bits; _ } ->
+          Hashtbl.replace t.values (Hdl.Signal.uid s) bits
+      | _ -> ())
+    (Hdl.Circuit.nodes circuit);
+  (* give every combinational node a placeholder value so that lookups are
+     total regardless of the order in which events drain *)
+  Array.iter
+    (fun s ->
+      Hashtbl.replace t.values (Hdl.Signal.uid s)
+        (Bits.zero (Hdl.Signal.width s)))
+    (Hdl.Circuit.comb_order circuit);
+  reset_registers t;
+  (* Initial settling: every combinational node is an event once. *)
+  Array.iter (schedule t) (Hdl.Circuit.comb_order circuit);
+  t
+
+let circuit t = t.circuit
+
+let lookup t s =
+  match Hashtbl.find_opt t.values (Hdl.Signal.uid s) with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Event_sim: no value for signal %S" (Hdl.Signal.name_of s))
+
+let settle t =
+  while not (Queue.is_empty t.queue) do
+    let node = Queue.pop t.queue in
+    Hashtbl.remove t.in_queue (Hdl.Signal.uid node);
+    t.events <- t.events + 1;
+    let v = Eval.comb_node ~lookup:(lookup t) node in
+    let id = Hdl.Signal.uid node in
+    let changed =
+      match Hashtbl.find_opt t.values id with
+      | Some old -> not (Bits.equal old v)
+      | None -> true
+    in
+    if changed then begin
+      Hashtbl.replace t.values id v;
+      schedule_fanout t node
+    end
+  done
+
+let poke t name v =
+  let i = Hdl.Circuit.find_input t.circuit name in
+  if Bits.width v <> Hdl.Signal.width i then
+    invalid_arg (Printf.sprintf "Event_sim.poke %S: width mismatch" name);
+  let id = Hdl.Signal.uid i in
+  let changed =
+    match Hashtbl.find_opt t.values id with
+    | Some old -> not (Bits.equal old v)
+    | None -> true
+  in
+  Hashtbl.replace t.values id v;
+  if changed then schedule_fanout t i
+
+let peek t s =
+  settle t;
+  lookup t s
+
+let peek_output t name = peek t (Hdl.Circuit.find_output t.circuit name)
+
+let step t =
+  settle t;
+  let regs = Hdl.Circuit.regs t.circuit in
+  let nexts =
+    Array.map
+      (fun r -> Eval.reg_next ~lookup:(lookup t) ~current:(lookup t r) r)
+      regs
+  in
+  Array.iteri
+    (fun i r ->
+      let id = Hdl.Signal.uid r in
+      let old = Hashtbl.find t.values id in
+      if not (Bits.equal old nexts.(i)) then begin
+        Hashtbl.replace t.values id nexts.(i);
+        schedule_fanout t r
+      end)
+    regs;
+  t.cycles <- t.cycles + 1
+
+let reset t =
+  reset_registers t;
+  settle t;
+  t.cycles <- 0
+
+let cycle_count t = t.cycles
+let event_count t = t.events

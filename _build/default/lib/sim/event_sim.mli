@@ -1,0 +1,26 @@
+(** Event-driven simulator.
+
+    Delta-cycle kernel in the style of classic VHDL simulators: a change on
+    a signal schedules exactly its fan-out for re-evaluation, and the
+    process repeats until the net settles.  Produces cycle-for-cycle the
+    same values as {!Cycle_sim} (a cross-check used by the test suite), but
+    touches only the active part of the design — the paper's simulations
+    were run on such a kernel. *)
+
+open Bitvec
+
+type t
+
+val create : Hdl.Circuit.t -> t
+val circuit : t -> Hdl.Circuit.t
+val poke : t -> string -> Bits.t -> unit
+val peek : t -> Hdl.Signal.t -> Bits.t
+val peek_output : t -> string -> Bits.t
+val settle : t -> unit
+val step : t -> unit
+val reset : t -> unit
+val cycle_count : t -> int
+
+val event_count : t -> int
+(** Total number of node re-evaluations since creation/reset — the activity
+    measure an event-driven simulator's cost is proportional to. *)

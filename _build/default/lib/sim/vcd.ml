@@ -1,0 +1,62 @@
+open Bitvec
+
+type tracked = {
+  signal : Hdl.Signal.t;
+  code : string;
+  mutable last : Bits.t option;
+}
+
+type t = { out : out_channel; tracked : tracked list }
+
+(* VCD identifier codes: printable ASCII 33..126, shortest-first. *)
+let code_of_index i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create ~out ~design signals =
+  Printf.fprintf out "$date today $end\n";
+  Printf.fprintf out "$version lid-repro vcd writer $end\n";
+  Printf.fprintf out "$timescale 1ns $end\n";
+  Printf.fprintf out "$scope module %s $end\n" design;
+  let tracked =
+    List.mapi
+      (fun i (name, signal) ->
+        let code = code_of_index i in
+        Printf.fprintf out "$var wire %d %s %s $end\n" (Hdl.Signal.width signal)
+          code name;
+        { signal; code; last = None })
+      signals
+  in
+  Printf.fprintf out "$upscope $end\n$enddefinitions $end\n";
+  { out; tracked }
+
+let write_value t tr v =
+  if Bits.width v = 1 then
+    Printf.fprintf t.out "%c%s\n" (if Bits.lsb v then '1' else '0') tr.code
+  else Printf.fprintf t.out "b%s %s\n" (Bits.to_string v) tr.code
+
+let sample t ~time ~peek =
+  let changes =
+    List.filter
+      (fun tr ->
+        let v = peek tr.signal in
+        match tr.last with
+        | Some old when Bits.equal old v -> false
+        | _ ->
+            tr.last <- Some v;
+            true)
+      t.tracked
+  in
+  if changes <> [] then begin
+    Printf.fprintf t.out "#%d\n" time;
+    List.iter
+      (fun tr -> match tr.last with Some v -> write_value t tr v | None -> ())
+      changes
+  end
+
+let close t = flush t.out

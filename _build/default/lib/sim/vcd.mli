@@ -1,0 +1,17 @@
+(** Minimal VCD (Value Change Dump) waveform writer.
+
+    Tracks a chosen set of signals of a running simulation and emits a
+    standard [.vcd] file viewable in GTKWave. *)
+
+type t
+
+val create :
+  out:out_channel -> design:string -> (string * Hdl.Signal.t) list -> t
+(** [create ~out ~design signals] writes the VCD header for the given
+    [(display-name, signal)] pairs. *)
+
+val sample : t -> time:int -> peek:(Hdl.Signal.t -> Bitvec.Bits.t) -> unit
+(** Record the current value of every tracked signal at [time] (only
+    changes are written, per the VCD format). *)
+
+val close : t -> unit

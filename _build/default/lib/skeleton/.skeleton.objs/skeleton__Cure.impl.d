@@ -1,0 +1,1 @@
+lib/skeleton/cure.ml: Engine Lid List Measure Option Stdlib Topology

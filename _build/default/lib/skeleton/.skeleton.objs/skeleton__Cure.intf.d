@@ -1,0 +1,1 @@
+lib/skeleton/cure.mli: Lid Measure Topology

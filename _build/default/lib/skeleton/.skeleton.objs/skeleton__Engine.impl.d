@@ -1,0 +1,1 @@
+lib/skeleton/engine.ml: Array Buffer Char Lid List Printf Topology

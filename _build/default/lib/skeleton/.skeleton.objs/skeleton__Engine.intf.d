@@ -1,0 +1,1 @@
+lib/skeleton/engine.mli: Lid Topology

@@ -1,0 +1,1 @@
+lib/skeleton/equiv.ml: Engine Reference Topology

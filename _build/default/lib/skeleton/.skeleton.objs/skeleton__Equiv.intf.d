@@ -1,0 +1,1 @@
+lib/skeleton/equiv.mli: Engine Lid Reference Topology

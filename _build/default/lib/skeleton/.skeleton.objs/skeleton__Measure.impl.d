@@ -1,0 +1,1 @@
+lib/skeleton/measure.ml: Engine Format Hashtbl List Topology

@@ -1,0 +1,1 @@
+lib/skeleton/measure.mli: Engine Format Topology

@@ -1,0 +1,1 @@
+lib/skeleton/reference.ml: Array Lid List Topology

@@ -1,0 +1,1 @@
+lib/skeleton/reference.mli: Topology

@@ -1,0 +1,1 @@
+lib/skeleton/testbench.ml: Array Buffer Emit Engine Lid List Option Printf Topology

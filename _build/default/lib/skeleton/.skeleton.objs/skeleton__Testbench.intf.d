@@ -1,0 +1,1 @@
+lib/skeleton/testbench.mli: Lid Topology

@@ -1,0 +1,1 @@
+lib/skeleton/trace.ml: Array Engine Lid List Printf String

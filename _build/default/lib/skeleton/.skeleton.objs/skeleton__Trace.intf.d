@@ -1,0 +1,1 @@
+lib/skeleton/trace.mli: Engine Lid

@@ -1,0 +1,1 @@
+lib/skeleton/wave.ml: Char Engine Filename In_channel Lid List Option Printf String Sys Topology

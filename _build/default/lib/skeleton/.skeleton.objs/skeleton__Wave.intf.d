@@ -1,0 +1,1 @@
+lib/skeleton/wave.mli: Engine

@@ -1,0 +1,75 @@
+module Net = Topology.Network
+
+type decision = {
+  verdict : Topology.Deadlock.verdict;
+  simulated : Measure.report option;
+  deadlocked : bool;
+}
+
+let default_budget net = (4 * Topology.Analysis.transient_bound net) + 1000
+
+let decide ?flavour ?max_cycles net =
+  let verdict = Topology.Deadlock.static_verdict net in
+  if Topology.Deadlock.is_statically_safe verdict then
+    { verdict; simulated = None; deadlocked = false }
+  else begin
+    let max_cycles = Option.value max_cycles ~default:(default_budget net) in
+    let engine = Engine.create ?flavour net in
+    match Measure.analyze ~max_cycles engine with
+    | Some report ->
+        { verdict; simulated = Some report; deadlocked = report.deadlocked }
+    | None ->
+        (* No periodicity within budget: treat conservatively as stuck. *)
+        { verdict; simulated = None; deadlocked = true }
+  end
+
+type substitution = { edge : Net.edge_id; station_index : int }
+
+type cure_result =
+  | Already_live
+  | Cured of { network : Net.t; substitutions : substitution list }
+  | Not_cured
+
+let half_stations_on_loops net =
+  match Topology.Deadlock.static_verdict net with
+  | Topology.Deadlock.Safe_feedforward | Topology.Deadlock.Safe_full_only -> []
+  | Topology.Deadlock.Potential { half_in_loops } ->
+      let loop_nodes =
+        List.concat_map fst half_in_loops |> List.sort_uniq Stdlib.compare
+      in
+      List.concat_map
+        (fun (e : Net.edge) ->
+          if List.mem e.src.node loop_nodes && List.mem e.dst.node loop_nodes
+          then
+            List.mapi (fun i k -> (i, k)) e.stations
+            |> List.filter_map (fun (i, k) ->
+                   if k = Lid.Relay_station.Half then
+                     Some { edge = e.id; station_index = i }
+                   else None)
+          else [])
+        (Net.edges net)
+
+let substitute net { edge; station_index } =
+  let e = Net.edge net edge in
+  let stations =
+    List.mapi
+      (fun i k -> if i = station_index then Lid.Relay_station.Full else k)
+      e.stations
+  in
+  Net.with_stations net edge stations
+
+let cure ?flavour ?max_cycles net =
+  if not (decide ?flavour ?max_cycles net).deadlocked then Already_live
+  else begin
+    let rec go net applied =
+      match half_stations_on_loops net with
+      | [] -> Not_cured
+      | candidate :: _ ->
+          let net' = substitute net candidate in
+          let applied = candidate :: applied in
+          if not (decide ?flavour ?max_cycles net').deadlocked then
+            Cured { network = net'; substitutions = List.rev applied }
+          else go net' applied
+    in
+    go net []
+  end

@@ -1,0 +1,39 @@
+(** Deadlock decision and low-intrusive cures.
+
+    The paper's procedure: apply the static rules; when they leave a
+    potential deadlock (half relay stations in loops), simulate the
+    skeleton until the transient dies out — "either the deadlock will show,
+    or will be forever avoided".  When it shows, the remedy is "adding /
+    substituting few relay stations": we search for a minimal set of
+    half-to-full substitutions on loop channels that removes the
+    deadlock. *)
+
+type decision = {
+  verdict : Topology.Deadlock.verdict;
+  simulated : Measure.report option;
+      (** [None] when the static rules already guarantee liveness *)
+  deadlocked : bool;
+}
+
+val decide :
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_cycles:int ->
+  Topology.Network.t ->
+  decision
+(** [max_cycles] defaults to {!Topology.Analysis.transient_bound} plus
+    slack; the skeleton's periodicity makes the answer exact. *)
+
+type substitution = { edge : Topology.Network.edge_id; station_index : int }
+
+type cure_result =
+  | Already_live
+  | Cured of { network : Topology.Network.t; substitutions : substitution list }
+  | Not_cured
+
+val cure :
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_cycles:int ->
+  Topology.Network.t ->
+  cure_result
+(** Greedily upgrades half stations on loops to full stations until the
+    skeleton simulation reports liveness. *)

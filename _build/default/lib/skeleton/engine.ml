@@ -1,0 +1,424 @@
+module Token = Lid.Token
+module Net = Topology.Network
+
+exception Combinational_stop_cycle of string
+
+type source_state = {
+  src_pattern : Topology.Pattern.t;
+  src_start : int;
+  mutable next_val : int;
+  mutable buf : Token.t;
+}
+
+type sink_state = {
+  snk_pattern : Topology.Pattern.t;
+  mutable consumed_rev : int list;
+  mutable consumed_n : int;
+}
+
+type node_impl =
+  | I_shell of { shell : Lid.Shell.t; mutable st : Lid.Shell.state }
+  | I_source of source_state
+  | I_sink of sink_state
+
+type t = {
+  net : Net.t;
+  flavour : Lid.Protocol.flavour;
+  impls : node_impl array;
+  rs : Lid.Relay_station.state array array; (* edge id -> chain states *)
+  fired : int array;
+  gated : int array; (* cycles lost to back-pressure, per node *)
+  starved : int array; (* cycles lost waiting for void inputs, per node *)
+  env_period : int;
+  mutable cycle : int;
+  (* per-cycle scratch, rebuilt by [resolve] *)
+  seg : Token.t array array; (* edge id -> m+1 forward tokens *)
+  dst_token : Token.t array;
+  out_stops : bool array option array; (* node id -> stops seen per out port *)
+  fire : fire_state array;
+}
+
+and fire_state = F_unknown | F_in_progress | F_done of bool
+
+let make_impl flavour (n : Net.node) =
+  match n.kind with
+  | Net.Shell pearl ->
+      let shell = Lid.Shell.create ~flavour pearl in
+      I_shell { shell; st = Lid.Shell.initial shell }
+  | Net.Source { pattern; start } ->
+      I_source
+        { src_pattern = pattern; src_start = start; next_val = start + 1;
+          buf = Token.valid start }
+  | Net.Sink { pattern } ->
+      I_sink { snk_pattern = pattern; consumed_rev = []; consumed_n = 0 }
+
+let create ?(flavour = Lid.Protocol.Optimized) net =
+  let nodes = Array.of_list (Net.nodes net) in
+  {
+    net;
+    flavour;
+    impls = Array.map (make_impl flavour) nodes;
+    rs =
+      Array.of_list
+        (List.map
+           (fun (e : Net.edge) ->
+             Array.of_list (List.map Lid.Relay_station.initial e.stations))
+           (Net.edges net));
+    fired = Array.make (Array.length nodes) 0;
+    gated = Array.make (Array.length nodes) 0;
+    starved = Array.make (Array.length nodes) 0;
+    env_period = Net.env_period net;
+    cycle = 0;
+    seg =
+      Array.of_list
+        (List.map
+           (fun (e : Net.edge) ->
+             Array.make (List.length e.stations + 1) Token.void)
+           (Net.edges net));
+    dst_token = Array.make (Net.n_edges net) Token.void;
+    out_stops = Array.make (Array.length nodes) None;
+    fire = Array.make (Array.length nodes) F_unknown;
+  }
+
+let network t = t.net
+let flavour t = t.flavour
+let cycle t = t.cycle
+
+let reset t =
+  Array.iteri
+    (fun i n -> t.impls.(i) <- make_impl t.flavour n)
+    (Array.of_list (Net.nodes t.net));
+  List.iteri
+    (fun i (e : Net.edge) ->
+      t.rs.(i) <- Array.of_list (List.map Lid.Relay_station.initial e.stations))
+    (Net.edges t.net);
+  Array.fill t.fired 0 (Array.length t.fired) 0;
+  Array.fill t.gated 0 (Array.length t.gated) 0;
+  Array.fill t.starved 0 (Array.length t.starved) 0;
+  t.cycle <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-cycle wire resolution.                                          *)
+
+let presented_token t node port =
+  match t.impls.(node) with
+  | I_shell { st; _ } -> Lid.Shell.present st port
+  | I_source { buf; _ } -> buf
+  | I_sink _ -> invalid_arg "Engine: sink has no outputs"
+
+let forward_tokens t =
+  List.iter
+    (fun (e : Net.edge) ->
+      let seg = t.seg.(e.id) in
+      seg.(0) <- presented_token t e.src.node e.src.port;
+      Array.iteri
+        (fun j st ->
+          seg.(j + 1) <- Lid.Relay_station.present st ~input:seg.(j))
+        t.rs.(e.id);
+      t.dst_token.(e.id) <- seg.(Array.length seg - 1))
+    (Net.edges t.net)
+
+let sink_stalls pattern ~cycle = Topology.Pattern.active pattern ~cycle
+
+(* Recursive fire/stop resolution.  [fire_of] computes whether a shell-like
+   node fires this cycle; station-less channels make it depend on the
+   downstream node's fire decision. *)
+let rec fire_of t node =
+  match t.fire.(node) with
+  | F_done f -> f
+  | F_in_progress ->
+      raise
+        (Combinational_stop_cycle
+           (Printf.sprintf
+              "combinational stop cycle through %S: a loop of station-less \
+               channels between shells"
+              (Net.node t.net node).name))
+  | F_unknown ->
+      t.fire.(node) <- F_in_progress;
+      let stops = out_stops_of t node in
+      let f =
+        match t.impls.(node) with
+        | I_shell { shell; st } ->
+            let inputs =
+              Array.map
+                (fun (e : Net.edge) -> t.dst_token.(e.id))
+                (Net.in_edges t.net node)
+            in
+            Lid.Shell.fires shell st ~inputs ~out_stops:stops
+        | I_source s ->
+            let active = Topology.Pattern.active s.src_pattern ~cycle:t.cycle in
+            let gated =
+              stops.(0)
+              &&
+              (match t.flavour with
+              | Lid.Protocol.Original -> true
+              | Lid.Protocol.Optimized -> Token.is_valid s.buf)
+            in
+            active && not gated
+        | I_sink _ -> false
+      in
+      t.fire.(node) <- F_done f;
+      f
+
+(* The stop each output port of [node] observes this cycle. *)
+and out_stops_of t node =
+  match t.out_stops.(node) with
+  | Some stops -> stops
+  | None ->
+      let stops =
+        Array.map (fun (e : Net.edge) -> consumer_stop t e) (Net.out_edges t.net node)
+      in
+      t.out_stops.(node) <- Some stops;
+      stops
+
+(* The stop asserted by the consumer side of channel [e]'s last segment. *)
+and consumer_stop t (e : Net.edge) =
+  if t.rs.(e.id) <> [||] then Lid.Relay_station.stop_upstream t.rs.(e.id).(0)
+  else dst_stop t e
+
+(* The stop asserted by the node at the destination of [e] (reached either
+   directly or by the last relay station of the chain). *)
+and dst_stop t (e : Net.edge) =
+  match t.impls.(e.dst.node) with
+  | I_sink s -> sink_stalls s.snk_pattern ~cycle:t.cycle
+  | I_shell _ ->
+      let fired = fire_of t e.dst.node in
+      if fired then false
+      else (
+        match t.flavour with
+        | Lid.Protocol.Original -> true
+        | Lid.Protocol.Optimized -> Token.is_valid t.dst_token.(e.id))
+  | I_source _ -> invalid_arg "Engine: source has no inputs"
+
+let resolve t =
+  Array.fill t.fire 0 (Array.length t.fire) F_unknown;
+  Array.fill t.out_stops 0 (Array.length t.out_stops) None;
+  forward_tokens t;
+  Array.iteri (fun node _ ->
+      match t.impls.(node) with
+      | I_shell _ | I_source _ -> ignore (fire_of t node)
+      | I_sink _ -> ())
+    t.impls
+
+(* ------------------------------------------------------------------ *)
+(* Clock edge.                                                         *)
+
+let commit t =
+  (* Relay station chains: stop seen by station j is the (pre-step) stop of
+     station j+1, or the consumer stop for the last station. *)
+  List.iter
+    (fun (e : Net.edge) ->
+      let chain = t.rs.(e.id) in
+      let m = Array.length chain in
+      if m > 0 then begin
+        let stop_in =
+          Array.init m (fun j ->
+              if j = m - 1 then dst_stop t e
+              else Lid.Relay_station.stop_upstream chain.(j + 1))
+        in
+        for j = 0 to m - 1 do
+          chain.(j) <-
+            Lid.Relay_station.step ~flavour:t.flavour chain.(j)
+              ~input:t.seg.(e.id).(j) ~stop_in:stop_in.(j)
+        done
+      end)
+    (Net.edges t.net);
+  (* Shells, sources, sinks. *)
+  Array.iteri
+    (fun node impl ->
+      match impl with
+      | I_shell sh ->
+          let inputs =
+            Array.map
+              (fun (e : Net.edge) -> t.dst_token.(e.id))
+              (Net.in_edges t.net node)
+          in
+          let out_stops = out_stops_of t node in
+          if fire_of t node then t.fired.(node) <- t.fired.(node) + 1
+          else begin
+            (* attribute the lost cycle: back-pressure beats starvation
+               when both hold (the stop is what the designer can fix) *)
+            let stopped =
+              Array.exists2
+                (fun stop tok ->
+                  stop
+                  &&
+                  match t.flavour with
+                  | Lid.Protocol.Original -> true
+                  | Lid.Protocol.Optimized -> Token.is_valid tok)
+                out_stops
+                (Lid.Shell.presented sh.st)
+            in
+            if stopped then t.gated.(node) <- t.gated.(node) + 1
+            else if not (Array.for_all Token.is_valid inputs) then
+              t.starved.(node) <- t.starved.(node) + 1
+          end;
+          sh.st <- Lid.Shell.step sh.shell sh.st ~inputs ~out_stops
+      | I_source s ->
+          let stops = out_stops_of t node in
+          if fire_of t node then begin
+            t.fired.(node) <- t.fired.(node) + 1;
+            s.buf <- Token.valid s.next_val;
+            s.next_val <- s.next_val + 1
+          end
+          else if Token.is_valid s.buf && stops.(0) then ()
+          else s.buf <- Token.void
+      | I_sink s ->
+          let e = (Net.in_edges t.net node).(0) in
+          let tok = t.dst_token.(e.id) in
+          if Token.is_valid tok && not (sink_stalls s.snk_pattern ~cycle:t.cycle)
+          then begin
+            s.consumed_rev <- Token.value tok :: s.consumed_rev;
+            s.consumed_n <- s.consumed_n + 1
+          end)
+    t.impls;
+  t.cycle <- t.cycle + 1
+
+let step t =
+  resolve t;
+  commit t
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Observation.                                                        *)
+
+let fired_count t node = t.fired.(node)
+let gated_count t node = t.gated.(node)
+let starved_count t node = t.starved.(node)
+
+let sink_values t node =
+  match t.impls.(node) with
+  | I_sink s -> List.rev s.consumed_rev
+  | _ -> invalid_arg "Engine.sink_values: not a sink"
+
+let sink_count t node =
+  match t.impls.(node) with
+  | I_sink s -> s.consumed_n
+  | _ -> invalid_arg "Engine.sink_count: not a sink"
+
+let signature t =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun impl ->
+      match impl with
+      | I_shell { st; _ } ->
+          Array.iter
+            (fun tok -> Buffer.add_char buf (if Token.is_valid tok then 'v' else '.'))
+            (Lid.Shell.presented st)
+      | I_source s ->
+          Buffer.add_char buf (if Token.is_valid s.buf then 'V' else '_')
+      | I_sink _ -> Buffer.add_char buf 'k')
+    t.impls;
+  Array.iter
+    (fun chain ->
+      Buffer.add_char buf '/';
+      Array.iter
+        (fun st ->
+          Buffer.add_char buf (Char.chr (Char.code '0' + Lid.Relay_station.occupancy st)))
+        chain)
+    t.rs;
+  Buffer.add_string buf (Printf.sprintf "@%d" (t.cycle mod t.env_period));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+type snapshot = {
+  snap_cycle : int;
+  node_out : (string * Token.t array) list;
+  node_fired : (string * bool) list;
+  node_stopped : (string * bool) list;
+  rs_contents : (string * Token.t list) list;
+  chan_dst : (Net.edge_id * Token.t * bool) list;
+  sink_got : (string * Token.t) list;
+}
+
+let snapshot_next t =
+  resolve t;
+  let name n = (Net.node t.net n).name in
+  let node_out, node_fired, node_stopped =
+    Array.to_list t.impls
+    |> List.mapi (fun i impl -> (i, impl))
+    |> List.filter_map (fun (i, impl) ->
+           match impl with
+           | I_shell { st; _ } ->
+               let stops = out_stops_of t i in
+               let bufs = Lid.Shell.presented st in
+               let gated =
+                 Array.exists2
+                   (fun s tok ->
+                     s
+                     &&
+                     match t.flavour with
+                     | Lid.Protocol.Original -> true
+                     | Lid.Protocol.Optimized -> Token.is_valid tok)
+                   stops bufs
+               in
+               Some ((name i, bufs), (name i, fire_of t i), (name i, gated))
+           | I_source s ->
+               let stops = out_stops_of t i in
+               let gated =
+                 stops.(0)
+                 &&
+                 (match t.flavour with
+                 | Lid.Protocol.Original -> true
+                 | Lid.Protocol.Optimized -> Token.is_valid s.buf)
+               in
+               Some ((name i, [| s.buf |]), (name i, fire_of t i), (name i, gated))
+           | I_sink _ -> None)
+    |> fun triples ->
+    ( List.map (fun (a, _, _) -> a) triples,
+      List.map (fun (_, b, _) -> b) triples,
+      List.map (fun (_, _, c) -> c) triples )
+  in
+  let rs_contents =
+    List.map
+      (fun (e : Net.edge) ->
+        let label =
+          Printf.sprintf "%s->%s" (name e.src.node) (name e.dst.node)
+        in
+        ( label,
+          Array.to_list t.rs.(e.id)
+          |> List.concat_map Lid.Relay_station.tokens ))
+      (Net.edges t.net)
+  in
+  let chan_dst =
+    List.map
+      (fun (e : Net.edge) -> (e.id, t.dst_token.(e.id), dst_stop t e))
+      (Net.edges t.net)
+  in
+  let sink_got =
+    Array.to_list t.impls
+    |> List.mapi (fun i impl -> (i, impl))
+    |> List.filter_map (fun (i, impl) ->
+           match impl with
+           | I_sink s ->
+               let e = (Net.in_edges t.net i).(0) in
+               let tok = t.dst_token.(e.id) in
+               let got =
+                 if
+                   Token.is_valid tok
+                   && not (sink_stalls s.snk_pattern ~cycle:t.cycle)
+                 then tok
+                 else Token.void
+               in
+               Some (name i, got)
+           | _ -> None)
+  in
+  let snap =
+    {
+      snap_cycle = t.cycle;
+      node_out;
+      node_fired;
+      node_stopped;
+      rs_contents;
+      chan_dst;
+      sink_got;
+    }
+  in
+  commit t;
+  snap

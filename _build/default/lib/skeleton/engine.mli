@@ -1,0 +1,79 @@
+(** Cycle-accurate simulator of a LID network at protocol granularity.
+
+    This is the paper's "skeleton" simulator: it tracks valid/stop wires and
+    token payloads of shells, sources, sinks and relay stations, without any
+    RTL overhead — the paper argues that simulating just this skeleton until
+    the transient dies out is enough to decide deadlock, and that its cost
+    is negligible compared to full RTL simulation (our experiment E10).
+
+    Within one clock cycle the engine resolves:
+
+    - forward token wires: shell/source outputs are registered (Moore);
+      full relay stations are Moore; half relay stations pass through
+      combinationally when empty — resolved producer-to-consumer along each
+      channel;
+    - backward stop wires: relay stations and sinks assert stop from their
+      own state (registered); shells forward back-pressure combinationally,
+      which is resolved recursively across station-less channels.  A cycle
+      of station-less channels raises {!Combinational_stop_cycle} — the
+      situation the paper's minimum-memory theorem outlaws. *)
+
+module Token = Lid.Token
+
+exception Combinational_stop_cycle of string
+
+type t
+
+val create : ?flavour:Lid.Protocol.flavour -> Topology.Network.t -> t
+(** Default flavour: [Optimized] (the paper's variant). *)
+
+val network : t -> Topology.Network.t
+val flavour : t -> Lid.Protocol.flavour
+val cycle : t -> int
+
+val step : t -> unit
+val run : t -> cycles:int -> unit
+val reset : t -> unit
+
+(** {1 Observation} *)
+
+val fired_count : t -> Topology.Network.node_id -> int
+(** Cumulative number of firings of a shell or source. *)
+
+val gated_count : t -> Topology.Network.node_id -> int
+(** Cycles a shell lost to back-pressure (a relevant stop on a valid
+    output) — where in the system the stop waves bite. *)
+
+val starved_count : t -> Topology.Network.node_id -> int
+(** Cycles a shell lost waiting for void inputs (and not gated). *)
+
+val sink_values : t -> Topology.Network.node_id -> int list
+(** Values consumed by a sink so far, oldest first. *)
+
+val sink_count : t -> Topology.Network.node_id -> int
+
+val signature : t -> string
+(** Skeleton state: the valid/void occupancy of every buffer and relay
+    station plus the environment phase — {e not} the data values.  Two
+    cycles with equal signatures evolve identically at protocol level, so a
+    repeated signature proves periodicity. *)
+
+(** {1 Per-cycle wire-level snapshot (for trace rendering)} *)
+
+type snapshot = {
+  snap_cycle : int;
+  node_out : (string * Token.t array) list;  (** presented output tokens *)
+  node_fired : (string * bool) list;  (** shells and sources *)
+  node_stopped : (string * bool) list;
+      (** a relevant stop gated the node this cycle *)
+  rs_contents : (string * Token.t list) list;
+      (** per channel segment, producer-to-consumer *)
+  chan_dst : (Topology.Network.edge_id * Token.t * bool) list;
+      (** per channel: the token standing at the consumer side this cycle
+          and the stop the consumer asserts against it — the wire pair the
+          protocol invariants range over *)
+  sink_got : (string * Token.t) list;  (** what each sink consumed *)
+}
+
+val snapshot_next : t -> snapshot
+(** Resolve the current cycle's wires, capture a snapshot, and step. *)

@@ -1,0 +1,46 @@
+module Net = Topology.Network
+
+type mismatch = {
+  sink : string;
+  position : int;
+  expected : int option;
+  got : int;
+}
+
+type result = Equivalent of { checked : int } | Divergent of mismatch
+
+let compare_streams ~sink_name ~reference ~lid =
+  let rec go i ref_s lid_s =
+    match (ref_s, lid_s) with
+    | _, [] -> Ok i
+    | [], got :: _ ->
+        Error { sink = sink_name; position = i; expected = None; got }
+    | e :: ref_rest, got :: lid_rest ->
+        if e = got then go (i + 1) ref_rest lid_rest
+        else Error { sink = sink_name; position = i; expected = Some e; got }
+  in
+  go 0 reference lid
+
+let check_engine engine reference =
+  let net = Engine.network engine in
+  let rec across checked = function
+    | [] -> Equivalent { checked }
+    | (n : Net.node) :: rest -> (
+        match
+          compare_streams ~sink_name:n.name
+            ~reference:(Reference.sink_values reference n.id)
+            ~lid:(Engine.sink_values engine n.id)
+        with
+        | Ok k -> across (checked + k) rest
+        | Error m -> Divergent m)
+  in
+  across 0 (Net.sinks net)
+
+let check ?flavour ?(cycles = 300) net =
+  let engine = Engine.create ?flavour net in
+  Engine.run engine ~cycles;
+  let reference = Reference.create net in
+  (* The reference delivers one value per cycle, so [cycles] reference
+     cycles dominate whatever the LID managed to deliver. *)
+  Reference.run reference ~cycles;
+  check_engine engine reference

@@ -1,0 +1,29 @@
+(** Latency equivalence check.
+
+    "A LIP implementation is safe iff any composition of blocks will behave
+    in a latency insensitive sense exactly as an equally connected system
+    without shells and non-pipelined connections."  Concretely: at every
+    sink, the sequence of valid values the LID delivers must be a prefix of
+    the value sequence the zero-latency reference delivers. *)
+
+type mismatch = {
+  sink : string;
+  position : int;
+  expected : int option;  (** [None]: the LID produced surplus values *)
+  got : int;
+}
+
+type result = Equivalent of { checked : int } | Divergent of mismatch
+
+val check :
+  ?flavour:Lid.Protocol.flavour ->
+  ?cycles:int ->
+  Topology.Network.t ->
+  result
+(** Runs the LID for [cycles] (default 300) and the reference long enough,
+    then compares per sink.  [checked] is the total number of compared
+    values across sinks. *)
+
+val check_engine : Engine.t -> Reference.t -> result
+(** Compare two already-run simulations (engine and reference must be over
+    the same network). *)

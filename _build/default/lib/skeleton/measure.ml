@@ -1,0 +1,78 @@
+module Net = Topology.Network
+
+type report = {
+  transient : int;
+  period : int;
+  node_throughput : (Net.node_id * float) list;
+  sink_throughput : (Net.node_id * float) list;
+  deadlocked : bool;
+}
+
+let find_repeat ?(max_cycles = 100_000) engine =
+  let seen = Hashtbl.create 1024 in
+  let rec go () =
+    let s = Engine.signature engine in
+    match Hashtbl.find_opt seen s with
+    | Some first -> Some (first, Engine.cycle engine - first)
+    | None ->
+        if Engine.cycle engine - 0 > max_cycles then None
+        else begin
+          Hashtbl.add seen s (Engine.cycle engine);
+          Engine.step engine;
+          go ()
+        end
+  in
+  go ()
+
+let transient_and_period ?max_cycles engine = find_repeat ?max_cycles engine
+
+let analyze ?max_cycles engine =
+  match find_repeat ?max_cycles engine with
+  | None -> None
+  | Some (transient, period) ->
+      let net = Engine.network engine in
+      let shellish =
+        List.filter
+          (fun (n : Net.node) ->
+            match n.kind with Net.Shell _ | Net.Source _ -> true | Net.Sink _ -> false)
+          (Net.nodes net)
+      in
+      let sinks = Net.sinks net in
+      let fired0 = List.map (fun (n : Net.node) -> (n.id, Engine.fired_count engine n.id)) shellish in
+      let sunk0 = List.map (fun (n : Net.node) -> (n.id, Engine.sink_count engine n.id)) sinks in
+      Engine.run engine ~cycles:period;
+      let rate before count =
+        float_of_int (count - before) /. float_of_int period
+      in
+      let node_throughput =
+        List.map
+          (fun (id, before) -> (id, rate before (Engine.fired_count engine id)))
+          fired0
+      in
+      let sink_throughput =
+        List.map
+          (fun (id, before) -> (id, rate before (Engine.sink_count engine id)))
+          sunk0
+      in
+      let deadlocked =
+        node_throughput <> [] && List.for_all (fun (_, r) -> r = 0.) node_throughput
+      in
+      Some { transient; period; node_throughput; sink_throughput; deadlocked }
+
+let system_throughput r =
+  let net_rates = List.map snd r.node_throughput in
+  match net_rates with
+  | [] -> 0.
+  | x :: rest -> List.fold_left min x rest
+
+let pp_report net fmt r =
+  Format.fprintf fmt "transient=%d period=%d%s@." r.transient r.period
+    (if r.deadlocked then " DEADLOCK" else "");
+  List.iter
+    (fun (id, rate) ->
+      Format.fprintf fmt "  %-12s throughput %.4f@." (Net.node net id).name rate)
+    r.node_throughput;
+  List.iter
+    (fun (id, rate) ->
+      Format.fprintf fmt "  %-12s consumes   %.4f@." (Net.node net id).name rate)
+    r.sink_throughput

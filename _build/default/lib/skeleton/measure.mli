@@ -1,0 +1,33 @@
+(** Steady-state measurement by periodicity detection.
+
+    A closed LID system with periodic environments is a deterministic
+    finite-state machine at skeleton level, so its valid/stop behaviour is
+    eventually periodic — the paper's "after a number of clock cycles ...
+    each part of it behaves in a periodic fashion".  We detect the cycle by
+    hashing the skeleton signature, then measure throughput over exactly one
+    period. *)
+
+type report = {
+  transient : int;  (** first cycle of the periodic regime *)
+  period : int;
+  node_throughput : (Topology.Network.node_id * float) list;
+      (** firings per cycle over one period, for shells and sources *)
+  sink_throughput : (Topology.Network.node_id * float) list;
+      (** valid tokens consumed per cycle over one period *)
+  deadlocked : bool;
+      (** no shell or source fires at all during the periodic regime *)
+}
+
+val analyze : ?max_cycles:int -> Engine.t -> report option
+(** Runs the engine from its current state until the skeleton state repeats
+    (or [max_cycles], default 100_000, elapse — in which case [None]).
+    The engine is left somewhere inside the periodic regime. *)
+
+val system_throughput : report -> float
+(** Minimum firing rate over all shells and sources — the figure the paper
+    calls system throughput (in a connected steady state all nodes settle
+    to the same rate; the minimum is the conservative reading). *)
+
+val transient_and_period : ?max_cycles:int -> Engine.t -> (int * int) option
+
+val pp_report : Topology.Network.t -> Format.formatter -> report -> unit

@@ -1,0 +1,81 @@
+module Net = Topology.Network
+
+type node_state =
+  | R_shell of {
+      pearl : Lid.Pearl.t;
+      mutable st : int array;
+      mutable out : int array;
+    }
+  | R_source of { mutable next_val : int; mutable out : int }
+  | R_sink of { mutable got_rev : int list }
+
+type t = {
+  net : Net.t;
+  impls : node_state array;
+  mutable cycle : int;
+}
+
+let create net =
+  let impls =
+    Array.of_list
+      (List.map
+         (fun (n : Net.node) ->
+           match n.kind with
+           | Net.Shell pearl ->
+               R_shell
+                 {
+                   pearl;
+                   st = Array.copy pearl.Lid.Pearl.init_state;
+                   out = Array.copy pearl.Lid.Pearl.initial_output;
+                 }
+           | Net.Source { start; _ } ->
+               R_source { next_val = start + 1; out = start }
+           | Net.Sink _ -> R_sink { got_rev = [] })
+         (Net.nodes net))
+  in
+  { net; impls; cycle = 0 }
+
+let presented t node port =
+  match t.impls.(node) with
+  | R_shell s -> s.out.(port)
+  | R_source s -> s.out
+  | R_sink _ -> invalid_arg "Reference: sink has no outputs"
+
+let step t =
+  let input_values node =
+    Array.map
+      (fun (e : Net.edge) -> presented t e.src.node e.src.port)
+      (Net.in_edges t.net node)
+  in
+  let updates =
+    Array.mapi
+      (fun node impl ->
+        match impl with
+        | R_shell s ->
+            let st', out = Lid.Pearl.apply s.pearl ~state:s.st ~inputs:(input_values node) in
+            fun () ->
+              s.st <- st';
+              s.out <- out
+        | R_source s ->
+            fun () ->
+              s.out <- s.next_val;
+              s.next_val <- s.next_val + 1
+        | R_sink s ->
+            let v = (input_values node).(0) in
+            fun () -> s.got_rev <- v :: s.got_rev)
+      t.impls
+  in
+  Array.iter (fun f -> f ()) updates;
+  t.cycle <- t.cycle + 1
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+let cycle t = t.cycle
+
+let sink_values t node =
+  match t.impls.(node) with
+  | R_sink s -> List.rev s.got_rev
+  | _ -> invalid_arg "Reference.sink_values: not a sink"

@@ -1,0 +1,17 @@
+(** Zero-latency reference semantics.
+
+    The design a LID must be equivalent to: the same network with all relay
+    stations removed and ideal channels, where every pearl fires every
+    cycle.  Latency insensitivity (the paper's safety notion) says the LID
+    produces {e exactly the same value streams} at every sink, merely
+    spread over more cycles — checked by {!Equiv}. *)
+
+type t
+
+val create : Topology.Network.t -> t
+val step : t -> unit
+val run : t -> cycles:int -> unit
+val cycle : t -> int
+
+val sink_values : t -> Topology.Network.node_id -> int list
+(** One value per elapsed cycle, oldest first. *)

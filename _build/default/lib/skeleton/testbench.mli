@@ -1,0 +1,29 @@
+(** Self-checking VHDL testbenches.
+
+    The paper validated its implementation by simulating "a VHDL
+    description of all blocks" with an event-driven simulator.  This module
+    regenerates that flow for any network: the protocol skeleton computes
+    the expected cycle-by-cycle wire activity at every sink, and the
+    generated testbench drives the elaborated RTL (entity [lid_system],
+    see {!Topology.Rtl_net}) with the sinks' stall patterns while asserting
+    the expected [valid]/[data] sequences.  Any divergence between the
+    emitted hardware and the protocol model fails the VHDL simulation. *)
+
+val vhdl :
+  ?flavour:Lid.Protocol.flavour ->
+  ?data_width:int ->
+  ?cycles:int ->
+  Topology.Network.t ->
+  string
+(** The testbench entity ([lid_system_tb]) as VHDL-93 text; [cycles]
+    (default 64) is the length of the checked window.  Pair it with
+    [Emit.Vhdl.emit (Topology.Rtl_net.of_network net)] in one file set. *)
+
+val bundle :
+  ?flavour:Lid.Protocol.flavour ->
+  ?data_width:int ->
+  ?cycles:int ->
+  Topology.Network.t ->
+  string
+(** DUT then testbench, concatenated — a single self-contained file for a
+    VHDL simulator. *)

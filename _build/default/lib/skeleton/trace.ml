@@ -1,0 +1,58 @@
+type t = { snaps : Engine.snapshot list }
+
+let record ?(cycles = 16) engine =
+  { snaps = List.init cycles (fun _ -> Engine.snapshot_next engine) }
+
+let snapshots t = t.snaps
+
+let cell_of_tokens toks =
+  String.concat "," (List.map Lid.Token.to_string toks)
+
+let render t =
+  match t.snaps with
+  | [] -> ""
+  | first :: _ ->
+      let node_cols = List.map fst first.node_out in
+      let rs_cols = List.map fst first.rs_contents in
+      let sink_cols = List.map fst first.sink_got in
+      let header =
+        ("cycle" :: node_cols) @ rs_cols @ List.map (fun s -> s ^ "<=") sink_cols
+      in
+      let row snap =
+        let node_cell name =
+          let toks = List.assoc name snap.Engine.node_out in
+          let fired = List.assoc name snap.Engine.node_fired in
+          let stopped = List.assoc name snap.Engine.node_stopped in
+          Printf.sprintf "%s%s%s"
+            (cell_of_tokens (Array.to_list toks))
+            (if fired then "*" else "")
+            (if stopped then "!" else "")
+        in
+        let rs_cell name =
+          match List.assoc name snap.Engine.rs_contents with
+          | [] -> "-"
+          | toks -> cell_of_tokens toks
+        in
+        let sink_cell name =
+          Lid.Token.to_string (List.assoc name snap.Engine.sink_got)
+        in
+        (string_of_int snap.Engine.snap_cycle :: List.map node_cell node_cols)
+        @ List.map rs_cell rs_cols
+        @ List.map sink_cell sink_cols
+      in
+      let rows = header :: List.map row t.snaps in
+      let n_cols = List.length header in
+      let widths = Array.make n_cols 0 in
+      List.iter
+        (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+        rows;
+      let render_row cells =
+        String.concat "  "
+          (List.mapi
+             (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+             cells)
+      in
+      String.concat "\n" (List.map render_row rows)
+
+let output_row t ~sink =
+  List.map (fun s -> List.assoc sink s.Engine.sink_got) t.snaps

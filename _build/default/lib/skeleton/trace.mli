@@ -1,0 +1,21 @@
+(** Evolution traces in the style of the paper's Fig. 1 / Fig. 2.
+
+    Each row is one clock cycle; each shell/source column shows the tokens
+    standing on its outputs ("n" for void, as in the paper), decorated with
+    [*] when the node fires and [!] when a stop gates it; relay-station
+    columns show the stored tokens; sink columns show what was consumed. *)
+
+type t
+
+val record : ?cycles:int -> Engine.t -> t
+(** Advance the engine by [cycles] (default 16), recording a snapshot per
+    cycle. *)
+
+val render : t -> string
+(** An aligned ASCII table. *)
+
+val snapshots : t -> Engine.snapshot list
+
+val output_row : t -> sink:string -> Lid.Token.t list
+(** The consumption sequence of one sink across the recorded window
+    (["Out=..."] row of the paper's figures). *)

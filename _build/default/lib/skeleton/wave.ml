@@ -1,0 +1,90 @@
+module Net = Topology.Network
+module Token = Lid.Token
+
+type track = {
+  code_valid : string;
+  code_stop : string;
+  code_data : string;
+  mutable last : (bool * bool * int) option;
+}
+
+let code_of_index i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let record ?(cycles = 64) engine ~out =
+  let net = Engine.network engine in
+  let pr fmt = Printf.fprintf out fmt in
+  pr "$date today $end\n$version lid-repro skeleton waves $end\n";
+  pr "$timescale 1ns $end\n$scope module skeleton $end\n";
+  let next_code =
+    let c = ref 0 in
+    fun () ->
+      let s = code_of_index !c in
+      incr c;
+      s
+  in
+  let tracks =
+    List.map
+      (fun (e : Net.edge) ->
+        let label =
+          Printf.sprintf "%s_to_%s_e%d" (Net.node net e.src.node).name
+            (Net.node net e.dst.node).name e.id
+        in
+        let t =
+          {
+            code_valid = next_code ();
+            code_stop = next_code ();
+            code_data = next_code ();
+            last = None;
+          }
+        in
+        pr "$var wire 1 %s %s_valid $end\n" t.code_valid label;
+        pr "$var wire 1 %s %s_stop $end\n" t.code_stop label;
+        pr "$var wire 16 %s %s_data $end\n" t.code_data label;
+        (e.id, t))
+      (Net.edges net)
+  in
+  pr "$upscope $end\n$enddefinitions $end\n";
+  for time = 0 to cycles - 1 do
+    let snap = Engine.snapshot_next engine in
+    let changes = ref [] in
+    List.iter
+      (fun (eid, tok, stop) ->
+        let t = List.assoc eid tracks in
+        let valid = Token.is_valid tok in
+        let data = Option.value ~default:0 (Token.value_opt tok) land 0xffff in
+        match t.last with
+        | Some (v, s, d) when v = valid && s = stop && d = data -> ()
+        | _ ->
+            t.last <- Some (valid, stop, data);
+            changes := (t, valid, stop, data) :: !changes)
+      snap.Engine.chan_dst;
+    if !changes <> [] then begin
+      pr "#%d\n" time;
+      List.iter
+        (fun (t, valid, stop, data) ->
+          pr "%c%s\n" (if valid then '1' else '0') t.code_valid;
+          pr "%c%s\n" (if stop then '1' else '0') t.code_stop;
+          let bin =
+            String.init 16 (fun i -> if (data lsr (15 - i)) land 1 = 1 then '1' else '0')
+          in
+          pr "b%s %s\n" bin t.code_data)
+        !changes
+    end
+  done;
+  flush out
+
+let to_string ?cycles engine =
+  let path = Filename.temp_file "lid_wave" ".vcd" in
+  let oc = open_out path in
+  record ?cycles engine ~out:oc;
+  close_out oc;
+  let text = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  text

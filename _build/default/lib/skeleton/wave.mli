@@ -1,0 +1,12 @@
+(** Protocol-level waveforms.
+
+    Dumps the skeleton's wire activity — per channel: consumer-side
+    [valid], [stop] and the payload — as a standard VCD file, so the
+    Fig. 1/Fig. 2 evolutions can be inspected in GTKWave next to the RTL
+    simulation's waves. *)
+
+val record : ?cycles:int -> Engine.t -> out:out_channel -> unit
+(** Advance the engine [cycles] steps (default 64), writing one VCD sample
+    per cycle. *)
+
+val to_string : ?cycles:int -> Engine.t -> string

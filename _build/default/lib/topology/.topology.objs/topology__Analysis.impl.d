@@ -1,0 +1,1 @@
+lib/topology/analysis.ml: Classify Elastic Lid List Network Pattern

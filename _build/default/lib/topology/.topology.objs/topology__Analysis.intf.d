@@ -1,0 +1,1 @@
+lib/topology/analysis.mli: Network

@@ -1,0 +1,1 @@
+lib/topology/classify.ml: Array Format Hashtbl Int Lid List Network Queue Set Stdlib

@@ -1,0 +1,1 @@
+lib/topology/deadlock.ml: Classify Format List Network String

@@ -1,0 +1,1 @@
+lib/topology/deadlock.mli: Format Network

@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Buffer Format Lid List Network Pattern Printf String

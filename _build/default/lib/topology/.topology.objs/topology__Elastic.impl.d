@@ -1,0 +1,1 @@
+lib/topology/elastic.ml: Array Format Lid List Network Printf

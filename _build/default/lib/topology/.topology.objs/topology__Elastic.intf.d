@@ -1,0 +1,1 @@
+lib/topology/elastic.mli: Format Network

@@ -1,0 +1,1 @@
+lib/topology/equalize.ml: Array Classify Elastic Lid List Network Queue

@@ -1,0 +1,1 @@
+lib/topology/equalize.mli: Network

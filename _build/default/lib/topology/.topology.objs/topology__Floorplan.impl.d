@@ -1,0 +1,1 @@
+lib/topology/floorplan.ml: Format Lid List Network String

@@ -1,0 +1,1 @@
+lib/topology/floorplan.mli: Format Lid Network Pattern

@@ -1,0 +1,1 @@
+lib/topology/generators.ml: Array Lid List Network Pattern Printf Random

@@ -1,0 +1,1 @@
+lib/topology/generators.mli: Lid Network Pattern Random

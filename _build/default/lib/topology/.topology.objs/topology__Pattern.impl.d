@@ -1,0 +1,1 @@
+lib/topology/pattern.ml: Array Format String

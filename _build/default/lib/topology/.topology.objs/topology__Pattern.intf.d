@@ -1,0 +1,1 @@
+lib/topology/pattern.mli: Format

@@ -1,0 +1,1 @@
+lib/topology/rtl_net.ml: Array Bits Bitvec Hashtbl Hdl Lid List Network Pattern Printf String

@@ -1,0 +1,1 @@
+lib/topology/rtl_net.mli: Hdl Lid Network

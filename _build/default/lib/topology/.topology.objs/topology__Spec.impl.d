@@ -1,0 +1,1 @@
+lib/topology/spec.ml: Array Buffer Hashtbl In_channel Lid List Network Pattern Printf String

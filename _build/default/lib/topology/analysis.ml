@@ -1,0 +1,38 @@
+let loop_throughput ~s ~r =
+  if s < 1 then invalid_arg "Analysis.loop_throughput: need at least one shell";
+  float_of_int s /. float_of_int (s + r)
+
+let ff_throughput ~m ~i =
+  if m < 1 || i < 0 || i > m then invalid_arg "Analysis.ff_throughput: bad m/i";
+  float_of_int (m - i) /. float_of_int m
+
+let ff_params ~r_short ~r_long ~shells_long =
+  if r_long < r_short then invalid_arg "Analysis.ff_params: r_long < r_short";
+  (r_short + r_long + shells_long + 1, r_long - r_short)
+
+let throughput_bound = Elastic.throughput_bound
+
+let env_throughput_cap net =
+  List.fold_left
+    (fun acc (n : Network.node) ->
+      match n.kind with
+      | Network.Source { pattern; _ } -> min acc (Pattern.duty pattern)
+      | Network.Sink { pattern } -> min acc (1.0 -. Pattern.duty pattern)
+      | Network.Shell _ -> acc)
+    1.0 (Network.nodes net)
+
+let total_capacity net =
+  List.fold_left
+    (fun acc (e : Network.edge) ->
+      List.fold_left
+        (fun acc k -> acc + Lid.Relay_station.capacity k)
+        acc e.stations)
+    0 (Network.edges net)
+
+let transient_bound net =
+  let positions =
+    List.length (Network.shells net) + List.length (Network.sources net)
+  in
+  let env = Network.env_period net in
+  let longest = (Classify.classify net).longest_path in
+  (2 * (positions + total_capacity net) * env) + longest + env

@@ -1,0 +1,39 @@
+(** The paper's closed-form performance figures, plus general bounds.
+
+    The closed forms are special cases of {!Elastic.min_cycle_ratio}; the
+    benches check all three agree with skeleton measurements. *)
+
+val loop_throughput : s:int -> r:int -> float
+(** Feedback loop of [s] shells and [r] full relay stations:
+    [T = S / (S + R)] — at most [s] valid data circulate among [s + r]
+    positions. *)
+
+val ff_throughput : m:int -> i:int -> float
+(** Reconvergent feed-forward pair of branches: [T = (m - i) / m], where
+    [i] is the relay-station imbalance between the branches and [m] the
+    total number of relay stations in the virtual loop plus the shells on
+    the more-pipelined path (counting the forking shell's output stage,
+    not the joining shell). *)
+
+val ff_params :
+  r_short:int -> r_long:int -> shells_long:int -> int * int
+(** [(m, i)] for a two-branch reconvergence: [r_short]/[r_long] full
+    stations on the branches ([r_long >= r_short]), [shells_long]
+    intermediate shells on the long branch.  [m = r_short + r_long +
+    shells_long + 1] (the [+1] is the fork's output stage) and
+    [i = r_long - r_short]. *)
+
+val throughput_bound : Network.t -> float
+(** General analytic bound via the elastic marked graph (assumes free
+    environments). *)
+
+val env_throughput_cap : Network.t -> float
+(** The further cap imposed by source/sink duty cycles: the minimum duty
+    over all environment patterns. *)
+
+val transient_bound : Network.t -> int
+(** A predictable upper bound on the transient length, in cycles — the
+    paper's claim is that the transient "is related to the number of relay
+    stations and shells, and can be predicted upfront".  We use
+    [2 * (positions + capacity) * env_period + longest_path + env_period],
+    which experiment E7 validates against measured transients. *)

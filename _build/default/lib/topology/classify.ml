@@ -1,0 +1,209 @@
+module Net = Network
+
+type shape =
+  | Tree
+  | Reconvergent_feedforward
+  | Join_feedforward
+  | Single_loop
+  | General_cyclic
+
+type info = {
+  shape : shape;
+  cyclic : bool;
+  n_simple_cycles : int;
+  reconvergent_joins : Net.node_id list;
+  longest_path : int;
+}
+
+let shape_to_string = function
+  | Tree -> "tree"
+  | Reconvergent_feedforward -> "reconvergent feed-forward"
+  | Join_feedforward -> "join feed-forward"
+  | Single_loop -> "single loop"
+  | General_cyclic -> "general (with loops)"
+
+(* Successor node ids in the channel graph restricted to shell-like nodes
+   (sinks are drains and never on cycles; keep them for path length). *)
+let successors net id =
+  Array.to_list (Net.out_edges net id) |> List.map (fun (e : Net.edge) -> e.dst.node)
+
+let node_ids net = List.map (fun (n : Net.node) -> n.id) (Net.nodes net)
+
+let is_cyclic net =
+  let color = Hashtbl.create 16 in
+  let rec visit v =
+    match Hashtbl.find_opt color v with
+    | Some `Gray -> true
+    | Some `Black -> false
+    | None ->
+        Hashtbl.replace color v `Gray;
+        let c = List.exists visit (successors net v) in
+        Hashtbl.replace color v `Black;
+        c
+  in
+  List.exists visit (node_ids net)
+
+(* Simple-cycle enumeration by DFS from each root, only visiting nodes with
+   id >= root (Johnson-style canonicalization). *)
+let simple_cycles ?(limit = 1000) net =
+  let cycles = ref [] in
+  let n_found = ref 0 in
+  let rec dfs root path on_path v =
+    if !n_found < limit then
+      List.iter
+        (fun w ->
+          if w = root then begin
+            incr n_found;
+            if !n_found <= limit then cycles := List.rev path :: !cycles
+          end
+          else if w > root && not (List.mem w on_path) then
+            dfs root (w :: path) (w :: on_path) w)
+        (successors net v)
+  in
+  List.iter (fun root -> dfs root [ root ] [ root ] root) (node_ids net);
+  List.rev !cycles
+
+let loop_stations net cycle =
+  let arr = Array.of_list cycle in
+  let n = Array.length arr in
+  let full = ref 0 and half = ref 0 in
+  for i = 0 to n - 1 do
+    let u = arr.(i) and v = arr.((i + 1) mod n) in
+    let e =
+      Array.to_list (Net.out_edges net u)
+      |> List.find_opt (fun (e : Net.edge) -> e.dst.node = v)
+    in
+    match e with
+    | None -> invalid_arg "Classify.loop_stations: not a cycle of this network"
+    | Some e ->
+        List.iter
+          (function
+            | Lid.Relay_station.Full -> incr full
+            | Lid.Relay_station.Half -> incr half)
+          e.stations
+  done;
+  (!full, !half)
+
+(* Ancestor sets as bitsets over node ids; only valid on DAGs. *)
+let ancestor_sets net =
+  let n = Net.n_nodes net in
+  let anc = Array.make n [] in
+  let indeg = Array.make n 0 in
+  List.iter (fun (e : Net.edge) -> indeg.(e.dst.node) <- indeg.(e.dst.node) + 1) (Net.edges net);
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let module S = Set.Make (Int) in
+  let sets = Array.make n S.empty in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (e : Net.edge) ->
+        let w = e.dst.node in
+        sets.(w) <- S.union sets.(w) (S.add v sets.(v));
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (Net.out_edges net v)
+  done;
+  Array.iteri (fun i s -> anc.(i) <- S.elements s) sets;
+  (sets, anc)
+
+let reconvergent_joins net =
+  let module S = Set.Make (Int) in
+  let sets, _ = ancestor_sets net in
+  List.filter_map
+    (fun (n : Net.node) ->
+      let ins = Net.in_edges net n.id in
+      if Array.length ins < 2 then None
+      else begin
+        (* two input channels sharing an ancestor (or one feeding from the
+           other's ancestry) reconverge at [n] *)
+        let closure (e : Net.edge) = S.add e.src.node sets.(e.src.node) in
+        let found = ref false in
+        Array.iteri
+          (fun i ei ->
+            Array.iteri
+              (fun j ej ->
+                if i < j && not (S.is_empty (S.inter (closure ei) (closure ej)))
+                then found := true)
+              ins)
+          ins;
+        if !found then Some n.id else None
+      end)
+    (Net.nodes net)
+
+let longest_path net =
+  (* forward latency: 1 per producer output buffer + full stations *)
+  let n = Net.n_nodes net in
+  let dist = Array.make n 0 in
+  let indeg = Array.make n 0 in
+  List.iter (fun (e : Net.edge) -> indeg.(e.dst.node) <- indeg.(e.dst.node) + 1) (Net.edges net);
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let best = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (e : Net.edge) ->
+        let fulls =
+          List.length (List.filter (( = ) Lid.Relay_station.Full) e.stations)
+        in
+        let w = e.dst.node in
+        dist.(w) <- max dist.(w) (dist.(v) + 1 + fulls);
+        best := max !best dist.(w);
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (Net.out_edges net v)
+  done;
+  !best
+
+let classify ?(max_cycles = 1000) net =
+  let cyclic = is_cyclic net in
+  if cyclic then begin
+    let cycles = simple_cycles ~limit:max_cycles net in
+    let n_cycles = List.length cycles in
+    let nodes_on_cycles =
+      List.concat cycles |> List.sort_uniq Stdlib.compare |> List.length
+    in
+    let shellish =
+      List.length (Net.shells net) + List.length (Net.sources net)
+    in
+    let shape =
+      if n_cycles = 1 && nodes_on_cycles = shellish then Single_loop
+      else General_cyclic
+    in
+    {
+      shape;
+      cyclic = true;
+      n_simple_cycles = n_cycles;
+      reconvergent_joins = [];
+      longest_path = 0;
+    }
+  end
+  else begin
+    let joins = reconvergent_joins net in
+    let multi_in =
+      List.exists
+        (fun (n : Net.node) ->
+          (match n.kind with Net.Shell _ -> true | _ -> false)
+          && Array.length (Net.in_edges net n.id) >= 2)
+        (Net.nodes net)
+    in
+    let shape =
+      if joins <> [] then Reconvergent_feedforward
+      else if multi_in then Join_feedforward
+      else Tree
+    in
+    {
+      shape;
+      cyclic = false;
+      n_simple_cycles = 0;
+      reconvergent_joins = joins;
+      longest_path = longest_path net;
+    }
+  end
+
+let pp fmt i =
+  Format.fprintf fmt "%s (cycles=%d, reconvergent joins=%d, longest path=%d)"
+    (shape_to_string i.shape) i.n_simple_cycles
+    (List.length i.reconvergent_joins)
+    i.longest_path

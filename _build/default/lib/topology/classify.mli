@@ -1,0 +1,36 @@
+(** Topology classification, following the paper's taxonomy: trees,
+    reconvergent feed-forward graphs, feedback loops, and general
+    feed-forward combinations of self-interacting loops. *)
+
+type shape =
+  | Tree  (** feed-forward, every node has at most one input channel path *)
+  | Reconvergent_feedforward
+      (** a DAG in which two distinct paths from a common origin reconverge
+          — the implicit loops created by reverse-flowing stops *)
+  | Join_feedforward
+      (** a DAG with multi-input joins but no shared-origin reconvergence *)
+  | Single_loop  (** exactly one simple cycle and nothing else *)
+  | General_cyclic  (** loops combined with feed-forward structure *)
+
+type info = {
+  shape : shape;
+  cyclic : bool;
+  n_simple_cycles : int;  (** counted up to [max_cycles] *)
+  reconvergent_joins : Network.node_id list;
+      (** join shells reachable from a common ancestor along two disjoint
+          input channels *)
+  longest_path : int;
+      (** forward-latency length of the longest source-to-sink path
+          (shell output buffers plus full stations); 0 for cyclic graphs *)
+}
+
+val classify : ?max_cycles:int -> Network.t -> info
+val shape_to_string : shape -> string
+val pp : Format.formatter -> info -> unit
+
+val simple_cycles : ?limit:int -> Network.t -> Network.node_id list list
+(** Simple cycles of the channel graph over shell-like nodes (each cycle as
+    a node list), at most [limit] (default 1000). *)
+
+val loop_stations : Network.t -> Network.node_id list -> int * int
+(** [(full, half)] station counts along the cycle's channels. *)

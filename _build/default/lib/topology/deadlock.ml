@@ -1,0 +1,39 @@
+type verdict =
+  | Safe_feedforward
+  | Safe_full_only
+  | Potential of { half_in_loops : (Network.node_id list * int) list }
+
+let static_verdict net =
+  let info = Classify.classify net in
+  if not info.cyclic then Safe_feedforward
+  else begin
+    let cycles = Classify.simple_cycles net in
+    let with_half =
+      List.filter_map
+        (fun cycle ->
+          let _, half = Classify.loop_stations net cycle in
+          if half > 0 then Some (cycle, half) else None)
+        cycles
+    in
+    if with_half = [] then Safe_full_only
+    else Potential { half_in_loops = with_half }
+  end
+
+let is_statically_safe = function
+  | Safe_feedforward | Safe_full_only -> true
+  | Potential _ -> false
+
+let pp_verdict net fmt = function
+  | Safe_feedforward -> Format.pp_print_string fmt "safe (feed-forward topology)"
+  | Safe_full_only ->
+      Format.pp_print_string fmt "safe (loops contain only full relay stations)"
+  | Potential { half_in_loops } ->
+      Format.fprintf fmt "potential deadlock: %d loop(s) contain half relay stations:"
+        (List.length half_in_loops);
+      List.iter
+        (fun (cycle, half) ->
+          Format.fprintf fmt "@.  [%s] with %d half station(s)"
+            (String.concat " -> "
+               (List.map (fun id -> (Network.node net id).name) cycle))
+            half)
+        half_in_loops

@@ -1,0 +1,24 @@
+(** Static deadlock rules.
+
+    The paper's conclusions on liveness:
+
+    - any LID with a feed-forward topology (possibly reconvergent) is
+      deadlock free;
+    - any LID using only full relay stations is deadlock free;
+    - a LID mixing full and half relay stations has {e potential} deadlocks
+      iff half relay stations are present in loops.
+
+    The static verdict applies these rules syntactically; when the result
+    is [Potential], the paper's remedy is to simulate the skeleton up to
+    the transient's extinction (see {!Skeleton} / the [Cure] module), which
+    decides the question exactly. *)
+
+type verdict =
+  | Safe_feedforward  (** no loops at all *)
+  | Safe_full_only  (** loops exist but contain only full relay stations *)
+  | Potential of { half_in_loops : (Network.node_id list * int) list }
+      (** loops containing half stations, with the half count per loop *)
+
+val static_verdict : Network.t -> verdict
+val is_statically_safe : verdict -> bool
+val pp_verdict : Network.t -> Format.formatter -> verdict -> unit

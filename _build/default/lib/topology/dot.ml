@@ -1,0 +1,42 @@
+module Net = Network
+
+let of_network ?(highlight = []) net =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph lid {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+  List.iter
+    (fun (n : Net.node) ->
+      let shape, label =
+        match n.kind with
+        | Net.Shell pearl ->
+            ("box", Printf.sprintf "%s\\n(%s)" n.name pearl.Lid.Pearl.name)
+        | Net.Source { pattern; _ } ->
+            ( "ellipse",
+              Printf.sprintf "%s\\nsource %s" n.name
+                (Format.asprintf "%a" Pattern.pp pattern) )
+        | Net.Sink { pattern } ->
+            ( "ellipse",
+              Printf.sprintf "%s\\nsink %s" n.name
+                (Format.asprintf "%a" Pattern.pp pattern) )
+      in
+      let fill =
+        if List.mem n.id highlight then " style=filled fillcolor=lightsalmon"
+        else ""
+      in
+      pr "  n%d [shape=%s label=\"%s\"%s];\n" n.id shape label fill)
+    (Net.nodes net);
+  List.iter
+    (fun (e : Net.edge) ->
+      let label =
+        if e.stations = [] then ""
+        else
+          String.concat ""
+            (List.map
+               (function Lid.Relay_station.Full -> "F" | Lid.Relay_station.Half -> "H")
+               e.stations)
+      in
+      pr "  n%d -> n%d [label=\"%s\" taillabel=\"%d\" headlabel=\"%d\"];\n"
+        e.src.node e.dst.node label e.src.port e.dst.port)
+    (Net.edges net);
+  pr "}\n";
+  Buffer.contents buf

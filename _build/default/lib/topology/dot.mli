@@ -1,0 +1,9 @@
+(** Graphviz export of LID networks.
+
+    Shells are boxes, sources/sinks are ellipses, and each channel edge is
+    labelled with its relay chain ([F] = full, [H] = half).  Feed the
+    output to [dot -Tsvg]. *)
+
+val of_network : ?highlight:Network.node_id list -> Network.t -> string
+(** [highlight] nodes are filled (used to show critical cycles or
+    deadlocking loops). *)

@@ -1,0 +1,246 @@
+type origin =
+  | O_internal
+  | O_station of Network.edge_id * int * [ `Forward | `Backward ]
+  | O_buffer of Network.edge_id * [ `Forward | `Backward ]
+
+type edge = {
+  src : int;
+  dst : int;
+  tokens : int;
+  latency : int;
+  origin : origin;
+}
+
+type t = { n : int; edges : edge array; labels : string array }
+
+exception Zero_latency_cycle of string
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+
+(* Each channel is a chain of storage stages between the producer's and the
+   consumer's fire events: first the producer's output buffer, then each
+   relay station.  A stage spans two chain nodes with a forward edge
+   (initial tokens, forward latency) and a backward edge (bubbles, stop
+   latency); consecutive stages share a node, so no artificial zero-weight
+   wire cycles appear.  The node after the last stage is the consumer's
+   fire node itself. *)
+let of_network net =
+  let module Net = Network in
+  let labels = ref [] in
+  let count = ref 0 in
+  let fresh label =
+    let id = !count in
+    incr count;
+    labels := label :: !labels;
+    id
+  in
+  let nodes = Array.of_list (Net.nodes net) in
+  let fire = Array.map (fun (n : Net.node) -> fresh (n.name ^ ".fire")) nodes in
+  let edges = ref [] in
+  let add src dst tokens latency origin =
+    edges := { src; dst; tokens; latency; origin } :: !edges
+  in
+  (* A stage between nodes [a] and [b]: forward (tokens, latency), backward
+     (bubbles, stop latency). *)
+  let stage a b ~tokens ~latency ~bubbles ~stop_latency ~fwd ~bwd =
+    add a b tokens latency fwd;
+    add b a bubbles stop_latency bwd
+  in
+  List.iter
+    (fun (e : Net.edge) ->
+      let m = List.length e.stations in
+      let src_name = (Net.node net e.src.node).name in
+      let mid_label j = Printf.sprintf "%s.e%d.%d" src_name e.id j in
+      (* chain nodes: fire_src, after-buffer, after-station_1, ...,
+         after-station_m = fire_dst *)
+      let chain_node j =
+        if j = 0 then fire.(e.src.node)
+        else if j = m + 1 then fire.(e.dst.node)
+        else fresh (mid_label j)
+      in
+      let prev = ref (chain_node 0) in
+      for j = 1 to m + 1 do
+        let next = chain_node j in
+        (if j = 1 then
+           (* the producer's output buffer slot: starts full, combinational
+              back-pressure *)
+           stage !prev next ~tokens:1 ~latency:1 ~bubbles:0 ~stop_latency:0
+             ~fwd:(O_buffer (e.id, `Forward))
+             ~bwd:(O_buffer (e.id, `Backward))
+         else
+           let fwd = O_station (e.id, j - 2, `Forward) in
+           let bwd = O_station (e.id, j - 2, `Backward) in
+           match List.nth e.stations (j - 2) with
+           | Lid.Relay_station.Full ->
+               stage !prev next ~tokens:0 ~latency:1 ~bubbles:2 ~stop_latency:1
+                 ~fwd ~bwd
+           | Lid.Relay_station.Half ->
+               stage !prev next ~tokens:0 ~latency:0 ~bubbles:1 ~stop_latency:1
+                 ~fwd ~bwd);
+        prev := next
+      done)
+    (Net.edges net);
+  {
+    n = !count;
+    edges = Array.of_list (List.rev !edges);
+    labels = Array.of_list (List.rev !labels);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Zero-latency cycle detection (combinational loops).                 *)
+
+let check_zero_latency_cycles t =
+  let adj = Array.make t.n [] in
+  Array.iter
+    (fun e -> if e.latency = 0 then adj.(e.src) <- e.dst :: adj.(e.src))
+    t.edges;
+  let color = Array.make t.n 0 in
+  let rec visit v =
+    if color.(v) = 1 then
+      raise
+        (Zero_latency_cycle
+           (Printf.sprintf "latency-free cycle through %s" t.labels.(v)));
+    if color.(v) = 0 then begin
+      color.(v) <- 1;
+      List.iter visit adj.(v);
+      color.(v) <- 2
+    end
+  in
+  for v = 0 to t.n - 1 do
+    visit v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Negative-cycle oracle: does some cycle satisfy
+   [sum tokens * q - p * sum latency < 0], i.e. ratio < p/q ?           *)
+
+let bellman_ford t ~p ~q =
+  let dist = Array.make t.n 0 in
+  let pred = Array.make t.n (-1) in
+  let weight e = (e.tokens * q) - (p * e.latency) in
+  let changed = ref true in
+  let pass = ref 0 in
+  let last_updated = ref (-1) in
+  while !changed && !pass <= t.n do
+    changed := false;
+    Array.iteri
+      (fun ei e ->
+        let w = weight e in
+        if dist.(e.src) + w < dist.(e.dst) then begin
+          dist.(e.dst) <- dist.(e.src) + w;
+          pred.(e.dst) <- ei;
+          last_updated := e.dst;
+          changed := true
+        end)
+      t.edges;
+    incr pass
+  done;
+  if !changed then Some (pred, !last_updated) else None
+
+let has_negative_cycle t ~p ~q = bellman_ford t ~p ~q <> None
+
+(* Extract one cycle from the predecessor structure after a negative cycle
+   was detected. *)
+let extract_cycle t (pred, last_updated) =
+  (* [last_updated] was relaxed in the overflow pass, so walking its
+     predecessor chain n times is guaranteed to land on the cycle. *)
+  let start =
+    let x = ref last_updated in
+    for _ = 1 to t.n do
+      x := t.edges.(pred.(!x)).src
+    done;
+    !x
+  in
+  let rec collect v acc =
+    let e = t.edges.(pred.(v)) in
+    if e.src = start then e :: acc else collect e.src (e :: acc)
+  in
+  collect start []
+
+(* ------------------------------------------------------------------ *)
+(* Stern-Brocot search for the minimum cycle ratio.                    *)
+
+let total_latency t = Array.fold_left (fun acc e -> acc + e.latency) 0 t.edges
+
+(* Largest k in [1, cap] with [pred k]; requires [pred 1]. *)
+let gallop pred cap =
+  let rec double k = if 2 * k <= cap && pred (2 * k) then double (2 * k) else k in
+  let lo = double 1 in
+  let rec binary lo hi =
+    (* invariant: pred lo, not (pred hi) or hi > cap *)
+    if lo + 1 >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if mid <= cap && pred mid then binary mid hi else binary lo mid
+  in
+  binary lo (min (2 * lo) (cap + 1))
+
+let search_ratio t =
+  let lmax = max 1 (total_latency t) in
+  let neg p q = has_negative_cycle t ~p ~q in
+  if not (neg 1 1) then (1, 1)
+  else begin
+    (* Invariant: not (neg a b) — T* >= a/b;  neg c d — T* < c/d. *)
+    let rec descend (a, b) (c, d) =
+      if b + d > lmax then (a, b)
+      else if neg (a + c) (b + d) then begin
+        (* move hi left towards lo: hi_k = (c + k*a, d + k*b) *)
+        let cap = 1 + ((lmax - d) / max b 1) + 1 in
+        let k = gallop (fun k -> neg (c + (k * a)) (d + (k * b))) cap in
+        descend (a, b) (c + (k * a), d + (k * b))
+      end
+      else begin
+        (* move lo right towards hi: lo_k = (a + k*c, b + k*d) *)
+        let cap = 1 + ((lmax - b) / max d 1) + 1 in
+        let k = gallop (fun k -> not (neg (a + (k * c)) (b + (k * d)))) cap in
+        descend (a + (k * c), b + (k * d)) (c, d)
+      end
+    in
+    descend (0, 1) (1, 1)
+  end
+
+let critical_cycle_edges t =
+  check_zero_latency_cycles t;
+  let p, q = search_ratio t in
+  if (p, q) = (1, 1) then ((1, 1), [])
+  else begin
+    (* Probe strictly above T* but below every other representable ratio. *)
+    let lmax = max 1 (total_latency t) in
+    let p' = (p * 2 * lmax) + 1 and q' = q * 2 * lmax in
+    match bellman_ford t ~p:p' ~q:q' with
+    | None ->
+        (* Cannot happen: T* < p'/q' implies a negative cycle. *)
+        ((p, q), [])
+    | Some witness ->
+        let cycle = extract_cycle t witness in
+        let tok = List.fold_left (fun acc e -> acc + e.tokens) 0 cycle in
+        let lat = List.fold_left (fun acc e -> acc + e.latency) 0 cycle in
+        ((tok, lat), cycle)
+  end
+
+let min_cycle_ratio t = fst (critical_cycle_edges t)
+
+let critical_cycle t =
+  match snd (critical_cycle_edges t) with
+  | [] -> []
+  | edges -> List.map (fun e -> e.src) edges
+
+let critical_cycle_origins t =
+  let ratio, edges = critical_cycle_edges t in
+  (ratio, List.map (fun e -> e.origin) edges)
+
+let throughput t =
+  let tok, lat = min_cycle_ratio t in
+  if lat = 0 then 1.0 else min 1.0 (float_of_int tok /. float_of_int lat)
+
+let throughput_bound net = throughput (of_network net)
+
+let pp fmt t =
+  Format.fprintf fmt "elastic graph: %d nodes, %d edges@." t.n
+    (Array.length t.edges);
+  Array.iter
+    (fun e ->
+      Format.fprintf fmt "  %s -> %s (t=%d l=%d)@." t.labels.(e.src)
+        t.labels.(e.dst) e.tokens e.latency)
+    t.edges

@@ -1,0 +1,73 @@
+(** Analytic throughput model.
+
+    The protocol behaviour of a LID system is captured by a marked graph in
+    which every storage stage contributes a forward edge (carrying its
+    initial tokens and forward latency) and a backward edge (carrying its
+    spare capacity — "bubbles" — and its stop-registration latency):
+
+    - a shell or source output buffer: forward (latency 1, 1 token),
+      backward (latency 0, 0 bubbles) — its single slot starts full and its
+      back-pressure is combinational;
+    - a full relay station: forward (latency 1, 0 tokens), backward
+      (latency 1, 2 bubbles);
+    - a half relay station: forward (latency 0, 0 tokens), backward
+      (latency 1, 1 bubble).
+
+    System throughput is the minimum, over all directed cycles of this
+    graph, of (tokens on the cycle) / (latency of the cycle) — capped at 1
+    by the shell-internal cycles themselves.  This single computation
+    subsumes both closed forms of the paper: a feedback loop of [S] shells
+    and [R] full stations yields [S/(S+R)]; the virtual loop of a
+    reconvergent pair of branches yields [(m-i)/m].  Experiments E3-E5
+    check it against skeleton measurements. *)
+
+type origin =
+  | O_internal  (** a producer's output-buffer stage *)
+  | O_station of Network.edge_id * int * [ `Forward | `Backward ]
+      (** stage [i] of channel [e], traversed with or against the data flow *)
+  | O_buffer of Network.edge_id * [ `Forward | `Backward ]
+      (** the producer buffer stage of channel [e] *)
+
+type edge = {
+  src : int;
+  dst : int;
+  tokens : int;
+  latency : int;
+  origin : origin;
+}
+
+type t = {
+  n : int;
+  edges : edge array;
+  labels : string array;  (** printable node labels, length [n] *)
+}
+
+val of_network : Network.t -> t
+(** Assumes free environments (always-active sources, never-stalling
+    sinks); environment patterns further reduce real throughput. *)
+
+exception Zero_latency_cycle of string
+(** Raised by the ratio computation when a latency-free cycle exists — the
+    combinational-cycle situation that the relay-station requirement
+    forbids. *)
+
+val min_cycle_ratio : t -> int * int
+(** [(tokens, latency)] of a critical cycle, as an exact (not necessarily
+    reduced) fraction; [(1, 1)] when no cycle constrains the system below
+    throughput 1. *)
+
+val critical_cycle : t -> int list
+(** Node indices of one critical cycle (in order), or [[]] when throughput
+    is 1. *)
+
+val critical_cycle_origins : t -> (int * int) * origin list
+(** [(tokens, latency)] of a critical cycle together with the network
+    provenance of its edges — the handle {!Equalize.optimize} uses to pick
+    where to insert spare stations. *)
+
+val throughput : t -> float
+
+val throughput_bound : Network.t -> float
+(** [throughput (of_network net)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+module Net = Network
+
+type addition = { edge : Net.edge_id; spare : int }
+
+let fulls stations =
+  List.length (List.filter (( = ) Lid.Relay_station.Full) stations)
+
+let plan net =
+  if (Classify.classify net).cyclic then
+    invalid_arg "Equalize.plan: network contains loops; only feed-forward \
+                 paths are equalized";
+  let n = Net.n_nodes net in
+  let in_depth = Array.make n 0 in
+  let indeg = Array.make n 0 in
+  List.iter
+    (fun (e : Net.edge) -> indeg.(e.dst.node) <- indeg.(e.dst.node) + 1)
+    (Net.edges net);
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    Array.iter
+      (fun (e : Net.edge) ->
+        let w = e.dst.node in
+        let arrival = in_depth.(v) + 1 + fulls e.stations in
+        in_depth.(w) <- max in_depth.(w) arrival;
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (Net.out_edges net v)
+  done;
+  List.filter_map
+    (fun (e : Net.edge) ->
+      let arrival = in_depth.(e.src.node) + 1 + fulls e.stations in
+      let spare = in_depth.(e.dst.node) - arrival in
+      if spare > 0 then Some { edge = e.id; spare } else None)
+    (Net.edges net)
+
+let apply net additions =
+  List.fold_left
+    (fun net { edge; spare } ->
+      let e = Net.edge net edge in
+      let extra = List.init spare (fun _ -> Lid.Relay_station.Full) in
+      Net.with_stations net edge (e.stations @ extra))
+    net additions
+
+let equalize net =
+  let additions = plan net in
+  (apply net additions, additions)
+
+let add_one net eid =
+  let e = Net.edge net eid in
+  Net.with_stations net eid (e.stations @ [ Lid.Relay_station.Full ])
+
+let optimize ?(budget = 64) net =
+  if Elastic.min_cycle_ratio (Elastic.of_network net) = (1, 1) then (net, [])
+  else
+  let net0, base = equalize net in
+  let ratio n =
+    let tok, lat = Elastic.min_cycle_ratio (Elastic.of_network n) in
+    float_of_int tok /. float_of_int lat
+  in
+  let rec go net extra budget best =
+    let best_net, best_r, best_extra = best in
+    let el = Elastic.of_network net in
+    let (tok, lat), origins = Elastic.critical_cycle_origins el in
+    let r = float_of_int tok /. float_of_int lat in
+    let best =
+      if r > best_r then (net, r, extra) else (best_net, best_r, best_extra)
+    in
+    if tok >= lat || budget = 0 then best
+    else begin
+      (* prefer widening a relay chain the critical cycle crosses against
+         the data flow; fall back to a starved producer buffer's channel *)
+      let station_bwd =
+        List.filter_map
+          (function Elastic.O_station (e, _, `Backward) -> Some e | _ -> None)
+          origins
+      in
+      let buffer_bwd =
+        List.filter_map
+          (function Elastic.O_buffer (e, `Backward) -> Some e | _ -> None)
+          origins
+      in
+      match station_bwd @ buffer_bwd with
+      | [] -> best
+      | eid :: _ ->
+          let extra =
+            match List.partition (fun a -> a.edge = eid) extra with
+            | [ a ], rest -> { a with spare = a.spare + 1 } :: rest
+            | _, rest -> { edge = eid; spare = 1 } :: rest
+          in
+          go (add_one net eid) extra (budget - 1) best
+    end
+  in
+  let _, _, extra = go net0 [] budget (net0, ratio net0, []) in
+  let final = List.fold_left (fun n a -> Net.with_stations n a.edge
+      ((Net.edge n a.edge).stations
+       @ List.init a.spare (fun _ -> Lid.Relay_station.Full))) net0 extra in
+  (* merge the base (latency) additions with the capacity additions *)
+  let merged =
+    List.fold_left
+      (fun acc a ->
+        match List.partition (fun b -> b.edge = a.edge) acc with
+        | [ b ], rest -> { b with spare = b.spare + a.spare } :: rest
+        | _, rest -> a :: rest)
+      base extra
+  in
+  (final, merged)

@@ -1,0 +1,28 @@
+(** Path equalization.
+
+    "To get the maximum throughput from a feedforward arrangement, it is
+    necessary to insert enough spare relay stations to make all converging
+    paths of the same length."  This module computes, for a feed-forward
+    network, the minimal number of spare full relay stations to append to
+    each channel so that every join receives its inputs with equal forward
+    latency — after which the analytic throughput bound is 1. *)
+
+type addition = { edge : Network.edge_id; spare : int }
+
+val plan : Network.t -> addition list
+(** Raises [Invalid_argument] on cyclic networks (the paper's point is that
+    loops must {e not} be equalized: the protocol adapts instead). *)
+
+val apply : Network.t -> addition list -> Network.t
+val equalize : Network.t -> Network.t * addition list
+(** [plan] + [apply]. *)
+
+val optimize : ?budget:int -> Network.t -> Network.t * addition list
+(** Latency equalization alone leaves capacity-starved reconvergences below
+    throughput 1 when a branch runs through shells (which, in this paper's
+    simplified design, buffer a single datum and queue nothing).  [optimize]
+    starts from [equalize] and then greedily inserts spare full stations on
+    channels that the analytic critical cycle traverses against the data
+    flow, until the elastic bound reaches 1 or [budget] (default 64)
+    insertions have been tried.  Returns the best network found and all
+    additions relative to the input.  Raises on cyclic networks. *)

@@ -1,0 +1,122 @@
+module Net = Network
+
+type module_id = Net.node_id
+
+type placed = { x : float; y : float }
+
+type t = {
+  builder : Net.builder;
+  mutable coords : (module_id * placed) list;
+  mutable connections : ((module_id * int) * (module_id * int)) list; (* reversed *)
+}
+
+let create () = { builder = Net.builder (); coords = []; connections = [] }
+
+let place t id ~x ~y =
+  t.coords <- (id, { x; y }) :: t.coords;
+  id
+
+let add_shell t ?name ~x ~y pearl =
+  place t (Net.add_shell t.builder ?name pearl) ~x ~y
+
+let add_source t ?name ?start ?pattern ~x ~y () =
+  place t (Net.add_source t.builder ?name ?start ?pattern ()) ~x ~y
+
+let add_sink t ?name ?pattern ~x ~y () =
+  place t (Net.add_sink t.builder ?name ?pattern ()) ~x ~y
+
+let connect t ~src ~dst = t.connections <- (src, dst) :: t.connections
+
+type channel_report = {
+  src_name : string;
+  dst_name : string;
+  distance : float;
+  wire_cycles : int;
+  stations : Lid.Relay_station.kind list;
+}
+
+type report = {
+  reach : float;
+  channels : channel_report list;
+  full_stations : int;
+  half_stations : int;
+}
+
+let synthesize ~reach t =
+  if reach <= 0. then invalid_arg "Floorplan.synthesize: reach must be positive";
+  let coord id =
+    match List.assoc_opt id t.coords with
+    | Some p -> p
+    | None -> invalid_arg "Floorplan: module without coordinates"
+  in
+  let plans =
+    List.rev_map
+      (fun (((sn, _) as src), ((dn, _) as dst)) ->
+        let a = coord sn and b = coord dn in
+        let distance = abs_float (a.x -. b.x) +. abs_float (a.y -. b.y) in
+        let wire_cycles = max 1 (int_of_float (ceil (distance /. reach))) in
+        (src, dst, distance, wire_cycles))
+      t.connections
+  in
+  let channels = ref [] in
+  List.iter
+    (fun ((src, dst, distance, wire_cycles) :
+           (module_id * int) * (module_id * int) * float * int) ->
+      let stations =
+        if wire_cycles > 1 then
+          List.init (wire_cycles - 1) (fun _ -> Lid.Relay_station.Full)
+        else [ Lid.Relay_station.Half ]
+      in
+      channels := (src, dst, distance, wire_cycles, stations) :: !channels)
+    plans;
+  let channels = List.rev !channels in
+  List.iter
+    (fun (src, dst, _, _, stations) ->
+      ignore (Net.connect t.builder ~stations ~src ~dst ()))
+    channels;
+  let net = Net.build t.builder in
+  (* single-cycle channels into sinks do not need their half station; strip
+     them now that we can inspect node kinds *)
+  let net =
+    List.fold_left
+      (fun net (e : Net.edge) ->
+        match ((Net.node net e.dst.node).kind, e.stations) with
+        | Net.Sink _, [ Lid.Relay_station.Half ] -> Net.with_stations net e.id []
+        | _ -> net)
+      net (Net.edges net)
+  in
+  let channel_reports =
+    List.map2
+      (fun (_, _, distance, wire_cycles, _) (e : Net.edge) ->
+        {
+          src_name = (Net.node net e.src.node).name;
+          dst_name = (Net.node net e.dst.node).name;
+          distance;
+          wire_cycles;
+          stations = e.stations;
+        })
+      channels (Net.edges net)
+  in
+  let count k =
+    List.fold_left
+      (fun acc c -> acc + List.length (List.filter (( = ) k) c.stations))
+      0 channel_reports
+  in
+  ( net,
+    {
+      reach;
+      channels = channel_reports;
+      full_stations = count Lid.Relay_station.Full;
+      half_stations = count Lid.Relay_station.Half;
+    } )
+
+let pp_report fmt r =
+  Format.fprintf fmt "reach %.2f: %d full + %d half stations@." r.reach
+    r.full_stations r.half_stations;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %-10s -> %-10s dist %6.2f  %d cycle(s)  [%s]@."
+        c.src_name c.dst_name c.distance c.wire_cycles
+        (String.concat " "
+           (List.map Lid.Relay_station.kind_to_string c.stations)))
+    r.channels

@@ -1,0 +1,62 @@
+(** Floorplan-driven LID synthesis.
+
+    The paper's motivation: "the performance of future Systems-on-Chip will
+    be limited by the latency of long interconnects requiring more than one
+    clock cycle for the signals to propagate".  This module closes that
+    loop: given functional modules placed on a die and the distance a
+    signal can travel in one clock period ([reach]), it derives each
+    channel's wire latency from Manhattan distance and inserts the
+    corresponding relay stations:
+
+    - a wire needing [c] clock cycles gets [c - 1] full stations (splitting
+      it into [c] reach-sized segments);
+    - a single-cycle wire between two shells still needs its minimum memory
+      element and gets one latency-free half station;
+    - channels into sinks need nothing extra.
+
+    The result is an ordinary {!Network}, ready for analysis, equalization,
+    simulation and RTL emission — the "correct-by-construction" flow of the
+    LID methodology. *)
+
+type t
+type module_id = Network.node_id
+
+val create : unit -> t
+
+val add_shell :
+  t -> ?name:string -> x:float -> y:float -> Lid.Pearl.t -> module_id
+
+val add_source :
+  t ->
+  ?name:string ->
+  ?start:int ->
+  ?pattern:Pattern.t ->
+  x:float ->
+  y:float ->
+  unit ->
+  module_id
+
+val add_sink :
+  t -> ?name:string -> ?pattern:Pattern.t -> x:float -> y:float -> unit -> module_id
+
+val connect : t -> src:module_id * int -> dst:module_id * int -> unit
+
+type channel_report = {
+  src_name : string;
+  dst_name : string;
+  distance : float;  (** Manhattan *)
+  wire_cycles : int;  (** [ceil (distance / reach)], at least 1 *)
+  stations : Lid.Relay_station.kind list;
+}
+
+type report = {
+  reach : float;
+  channels : channel_report list;
+  full_stations : int;
+  half_stations : int;
+}
+
+val synthesize : reach:float -> t -> Network.t * report
+(** Raises [Invalid_argument] if [reach <= 0]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,227 @@
+open Lid.Relay_station
+
+let full_chain n = List.init n (fun _ -> Full)
+
+let fig1 ?(r_direct = 1) ?(r_to_b = 1) ?(r_from_b = 1) () =
+  let b = Network.builder () in
+  let src = Network.add_source b ~name:"src" () in
+  let a = Network.add_shell b ~name:"A" (Lid.Pearl.fork2 ()) in
+  let bn = Network.add_shell b ~name:"B" (Lid.Pearl.identity ()) in
+  let c = Network.add_shell b ~name:"C" (Lid.Pearl.adder ()) in
+  let sink = Network.add_sink b ~name:"out" () in
+  let _ = Network.connect b ~src:(src, 0) ~dst:(a, 0) () in
+  let _ =
+    Network.connect b ~stations:(full_chain r_direct) ~src:(a, 0) ~dst:(c, 0) ()
+  in
+  let _ =
+    Network.connect b ~stations:(full_chain r_to_b) ~src:(a, 1) ~dst:(bn, 0) ()
+  in
+  let _ =
+    Network.connect b ~stations:(full_chain r_from_b) ~src:(bn, 0) ~dst:(c, 1) ()
+  in
+  let _ = Network.connect b ~stations:[] ~src:(c, 0) ~dst:(sink, 0) () in
+  Network.build b
+
+let reconvergent ?(stations_kind = Full) ~r_short ~r_long_head ~r_long_tail () =
+  let chain n = List.init n (fun _ -> stations_kind) in
+  let b = Network.builder () in
+  let src = Network.add_source b ~name:"src" () in
+  let a = Network.add_shell b ~name:"A" (Lid.Pearl.fork2 ()) in
+  let bn = Network.add_shell b ~name:"B" (Lid.Pearl.identity ()) in
+  let c = Network.add_shell b ~name:"C" (Lid.Pearl.adder ()) in
+  let sink = Network.add_sink b ~name:"out" () in
+  let _ = Network.connect b ~src:(src, 0) ~dst:(a, 0) () in
+  let _ = Network.connect b ~stations:(chain (max 1 r_short)) ~src:(a, 0) ~dst:(c, 0) () in
+  let _ = Network.connect b ~stations:(chain (max 1 r_long_head)) ~src:(a, 1) ~dst:(bn, 0) () in
+  let _ = Network.connect b ~stations:(chain (max 1 r_long_tail)) ~src:(bn, 0) ~dst:(c, 1) () in
+  let _ = Network.connect b ~stations:[] ~src:(c, 0) ~dst:(sink, 0) () in
+  Network.build b
+
+let fig2 ?(stations_ab = 1) ?(stations_ba = 1) () =
+  let b = Network.builder () in
+  let a = Network.add_shell b ~name:"A" (Lid.Pearl.identity ()) in
+  let bn = Network.add_shell b ~name:"B" (Lid.Pearl.identity ()) in
+  let _ = Network.connect b ~stations:(full_chain stations_ab) ~src:(a, 0) ~dst:(bn, 0) () in
+  let _ = Network.connect b ~stations:(full_chain stations_ba) ~src:(bn, 0) ~dst:(a, 0) () in
+  Network.build b
+
+let chain ?(n_shells = 3) ?(stations = [ Full ]) ?(source_pattern = Pattern.always)
+    ?(sink_pattern = Pattern.never) () =
+  let b = Network.builder () in
+  let src = Network.add_source b ~name:"src" ~pattern:source_pattern () in
+  let shells =
+    List.init n_shells (fun i ->
+        Network.add_shell b ~name:(Printf.sprintf "s%d" i) (Lid.Pearl.identity ()))
+  in
+  let sink = Network.add_sink b ~name:"out" ~pattern:sink_pattern () in
+  let rec wire prev = function
+    | [] -> ignore (Network.connect b ~stations ~src:(prev, 0) ~dst:(sink, 0) ())
+    | s :: rest ->
+        ignore (Network.connect b ~stations ~src:(prev, 0) ~dst:(s, 0) ());
+        wire s rest
+  in
+  wire src shells;
+  Network.build b
+
+let tree ~depth ?(stations = [ Full ]) () =
+  if depth < 1 then invalid_arg "Generators.tree: depth must be >= 1";
+  let b = Network.builder () in
+  let src = Network.add_source b ~name:"src" () in
+  (* Build forks level by level; returns the open endpoints of a subtree. *)
+  let rec grow level parent_port =
+    if level = depth then begin
+      let sink = Network.add_sink b () in
+      ignore (Network.connect b ~stations ~src:parent_port ~dst:(sink, 0) ())
+    end
+    else begin
+      let f =
+        Network.add_shell b ~name:(Printf.sprintf "fork_l%d_%d" level (fst parent_port))
+          (Lid.Pearl.fork2 ())
+      in
+      ignore (Network.connect b ~stations ~src:parent_port ~dst:(f, 0) ());
+      grow (level + 1) (f, 0);
+      grow (level + 1) (f, 1)
+    end
+  in
+  grow 0 (src, 0);
+  Network.build b
+
+let ring ~n_shells ?(stations = [ Full ]) () =
+  if n_shells < 2 then invalid_arg "Generators.ring: need at least 2 shells";
+  let b = Network.builder () in
+  let shells =
+    Array.init n_shells (fun i ->
+        Network.add_shell b ~name:(Printf.sprintf "s%d" i) (Lid.Pearl.identity ()))
+  in
+  Array.iteri
+    (fun i s ->
+      let next = shells.((i + 1) mod n_shells) in
+      ignore (Network.connect b ~stations ~src:(s, 0) ~dst:(next, 0) ()))
+    shells;
+  Network.build b
+
+let tap_pearl () =
+  Lid.Pearl.create ~name:"tap" ~n_inputs:2 ~n_outputs:2 ~initial_output:[| 0; 0 |]
+    (fun state inputs ->
+      let v = inputs.(0) + inputs.(1) in
+      (state, [| v; v |]))
+
+let ring_tapped ~n_shells ?(stations = [ Full ]) ?(source_pattern = Pattern.always)
+    ?(sink_pattern = Pattern.never) () =
+  if n_shells < 2 then invalid_arg "Generators.ring_tapped: need at least 2 shells";
+  let b = Network.builder () in
+  let src = Network.add_source b ~name:"src" ~pattern:source_pattern () in
+  let sink = Network.add_sink b ~name:"out" ~pattern:sink_pattern () in
+  (* Shell 0 is the tap: input 0 from the loop, input 1 from the source;
+     output 0 to the loop, output 1 to the sink. *)
+  let tap = Network.add_shell b ~name:"tap" (tap_pearl ()) in
+  let shells =
+    Array.init (n_shells - 1) (fun i ->
+        Network.add_shell b ~name:(Printf.sprintf "s%d" (i + 1)) (Lid.Pearl.identity ()))
+  in
+  let _ = Network.connect b ~src:(src, 0) ~dst:(tap, 1) () in
+  let _ = Network.connect b ~stations:[] ~src:(tap, 1) ~dst:(sink, 0) () in
+  let loop_nodes = Array.append [| tap |] shells in
+  Array.iteri
+    (fun i s ->
+      let next = loop_nodes.((i + 1) mod Array.length loop_nodes) in
+      ignore (Network.connect b ~stations ~src:(s, 0) ~dst:(next, 0) ()))
+    loop_nodes;
+  Network.build b
+
+(* ------------------------------------------------------------------ *)
+(* Random instances.                                                   *)
+
+let random_stations rng ~max_stations ~half_probability =
+  let n = 1 + Random.State.int rng (max max_stations 1) in
+  List.init n (fun _ ->
+      if Random.State.float rng 1.0 < half_probability then Half else Full)
+
+let random_pearl rng =
+  match Random.State.int rng 6 with
+  | 0 -> Lid.Pearl.identity ()
+  | 1 -> Lid.Pearl.map1 ~name:"inc" (fun v -> v + 1)
+  | 2 -> Lid.Pearl.adder ()
+  | 3 -> Lid.Pearl.accumulator ()
+  | 4 -> Lid.Pearl.delay_chain 2
+  | _ -> Lid.Pearl.combine ~name:"diff" (fun a c -> a - c)
+
+let random_net ~rng ~n_shells ~back_edges ~max_stations ~half_probability =
+  let b = Network.builder () in
+  (* [avail] holds output endpoints not yet consumed. *)
+  let avail = ref [] in
+  let take_avail () =
+    match !avail with
+    | [] ->
+        let s = Network.add_source b () in
+        (s, 0)
+    | _ ->
+        let i = Random.State.int rng (List.length !avail) in
+        let ep = List.nth !avail i in
+        avail := List.filteri (fun j _ -> j <> i) !avail;
+        ep
+  in
+  let stations () = random_stations rng ~max_stations ~half_probability in
+  let reserved = ref [] in
+  let shell_ids = ref [] in
+  for k = 0 to n_shells - 1 do
+    let reserve_back = k < back_edges in
+    let pearl = if reserve_back then Lid.Pearl.adder () else random_pearl rng in
+    let id = Network.add_shell b pearl in
+    shell_ids := id :: !shell_ids;
+    let src0 = take_avail () in
+    ignore (Network.connect b ~stations:(stations ()) ~src:src0 ~dst:(id, 0) ());
+    if pearl.Lid.Pearl.n_inputs = 2 then
+      if reserve_back then reserved := (id, k) :: !reserved
+      else begin
+        let src1 = take_avail () in
+        ignore (Network.connect b ~stations:(stations ()) ~src:src1 ~dst:(id, 1) ())
+      end;
+    avail := (id, 0) :: !avail
+  done;
+  (* Keep one dangling output aside so the network always retains at least
+     one sink (otherwise small instances can be swallowed whole by the back
+     edges, leaving nothing observable). *)
+  let reserved_for_sink =
+    (* the oldest dangling output: least useful for closing loops *)
+    match List.rev !avail with
+    | [] -> None
+    | ep :: rest_rev ->
+        avail := List.rev rest_rev;
+        Some ep
+  in
+  (* Close loops: feed each reserved input from an available output of a
+     shell created no earlier than the joiner (so the edge points backward
+     or sideways), falling back to any available output. *)
+  List.iter
+    (fun (joiner, _) ->
+      let candidates =
+        List.filter (fun (n, _) -> n <> joiner && n >= joiner) !avail
+      in
+      let pool = if candidates = [] then List.filter (fun (n, _) -> n <> joiner) !avail else candidates in
+      let ep =
+        match pool with
+        | [] ->
+            let s = Network.add_source b () in
+            (s, 0)
+        | _ -> List.nth pool (Random.State.int rng (List.length pool))
+      in
+      avail := List.filter (fun e -> e <> ep) !avail;
+      ignore (Network.connect b ~stations:(stations ()) ~src:ep ~dst:(joiner, 1) ()))
+    (List.rev !reserved);
+  (match reserved_for_sink with Some ep -> avail := ep :: !avail | None -> ());
+  (* Every dangling output feeds a sink. *)
+  List.iter
+    (fun ep ->
+      let sink = Network.add_sink b () in
+      ignore (Network.connect b ~stations:[] ~src:ep ~dst:(sink, 0) ()))
+    !avail;
+  Network.build b
+
+let random_dag ~rng ~n_shells ?(max_stations = 3) ?(half_probability = 0.) () =
+  random_net ~rng ~n_shells ~back_edges:0 ~max_stations ~half_probability
+
+let random_loopy ~rng ~n_shells ?(extra_back_edges = 1) ?(max_stations = 3)
+    ?(half_probability = 0.) () =
+  random_net ~rng ~n_shells ~back_edges:extra_back_edges ~max_stations
+    ~half_probability

@@ -1,0 +1,87 @@
+(** Ready-made topologies: the paper's figures, the representative families
+    of its analysis section, and seeded random instances for property
+    testing. *)
+
+open Lid.Relay_station
+
+val fig1 : ?r_direct:int -> ?r_to_b:int -> ?r_from_b:int -> unit -> Network.t
+(** The paper's Fig. 1 "reconvergent inputs" system: a free-running source
+    feeds fork shell [A]; [A] reaches join shell [C] both directly (through
+    [r_direct] full relay stations, default 1) and via shell [B]
+    ([r_to_b] + [r_from_b] full stations, default 1 + 1); [C] feeds a sink.
+    With the defaults the relay-station imbalance is [i = 1] and the paper
+    predicts throughput [4/5]. *)
+
+val fig2 : ?stations_ab:int -> ?stations_ba:int -> unit -> Network.t
+(** The paper's Fig. 2 "feedback" system: shells [A] and [B] in a loop with
+    [stations_ab] (default 1) full stations on [A -> B] and [stations_ba]
+    (default 1) on [B -> A].  Closed system; maximum throughput
+    [S/(S+R) = 2/(2+R)]. *)
+
+val chain :
+  ?n_shells:int ->
+  ?stations:kind list ->
+  ?source_pattern:Pattern.t ->
+  ?sink_pattern:Pattern.t ->
+  unit ->
+  Network.t
+(** A pipeline: source -> [n_shells] identity shells -> sink, with the given
+    relay chain (default [[Full]]) on every channel. *)
+
+val tree : depth:int -> ?stations:kind list -> unit -> Network.t
+(** Complete binary distribution tree of fork shells, depth [depth] >= 1:
+    source at the root, [2^depth] sinks at the leaves.  The paper's simplest
+    topology — throughput 1, transient bounded by the longest path. *)
+
+val reconvergent :
+  ?stations_kind:kind ->
+  r_short:int ->
+  r_long_head:int ->
+  r_long_tail:int ->
+  unit ->
+  Network.t
+(** Generalized Fig. 1 with configurable station counts on the short branch
+    and the two segments of the long branch. *)
+
+val ring : n_shells:int -> ?stations:kind list -> unit -> Network.t
+(** [n_shells] >= 2 identity shells in a directed loop, [stations] (default
+    [[Full]]) on every loop channel.  A closed system: measure shell firing
+    rates rather than sink consumption. *)
+
+val tap_pearl : unit -> Lid.Pearl.t
+(** The 2-in/2-out pearl used by {!ring_tapped}: both outputs carry the sum
+    of the loop input and the external input. *)
+
+val ring_tapped :
+  n_shells:int ->
+  ?stations:kind list ->
+  ?source_pattern:Pattern.t ->
+  ?sink_pattern:Pattern.t ->
+  unit ->
+  Network.t
+(** A ring whose every channel carries [stations], where one loop shell
+    consumes from a source and one produces into a sink — the standard
+    open-loop workload for deadlock studies. *)
+
+val random_dag :
+  rng:Random.State.t ->
+  n_shells:int ->
+  ?max_stations:int ->
+  ?half_probability:float ->
+  unit ->
+  Network.t
+(** A random connected feed-forward network: sources feed a random DAG of
+    1- and 2-input shells; every dangling output feeds a sink.  Station
+    chains have 1..[max_stations] stations, each half with
+    [half_probability] (default 0). *)
+
+val random_loopy :
+  rng:Random.State.t ->
+  n_shells:int ->
+  ?extra_back_edges:int ->
+  ?max_stations:int ->
+  ?half_probability:float ->
+  unit ->
+  Network.t
+(** [random_dag] plus [extra_back_edges] (default 1) backward channels that
+    close loops (inserted by widening the pearls they touch). *)

@@ -1,0 +1,202 @@
+type node_id = int
+type edge_id = int
+
+type node_kind =
+  | Shell of Lid.Pearl.t
+  | Source of { pattern : Pattern.t; start : int }
+  | Sink of { pattern : Pattern.t }
+
+type node = { id : node_id; name : string; kind : node_kind }
+type endpoint = { node : node_id; port : int }
+
+type edge = {
+  id : edge_id;
+  src : endpoint;
+  dst : endpoint;
+  stations : Lid.Relay_station.kind list;
+}
+
+type t = {
+  nodes : node array;
+  edges : edge array;
+  in_edges : edge array array; (* node -> dst port -> edge *)
+  out_edges : edge array array; (* node -> src port -> edge *)
+}
+
+type builder = {
+  mutable b_nodes : node list; (* reversed *)
+  mutable b_edges : edge list; (* reversed *)
+  mutable n_node : int;
+  mutable n_edge : int;
+}
+
+let builder () = { b_nodes = []; b_edges = []; n_node = 0; n_edge = 0 }
+
+let add_node b name kind =
+  let id = b.n_node in
+  b.n_node <- id + 1;
+  b.b_nodes <- { id; name; kind } :: b.b_nodes;
+  id
+
+let add_shell b ?name pearl =
+  let name =
+    Option.value name ~default:(Printf.sprintf "%s_%d" pearl.Lid.Pearl.name b.n_node)
+  in
+  add_node b name (Shell pearl)
+
+let add_source b ?name ?(start = 0) ?(pattern = Pattern.always) () =
+  let name = Option.value name ~default:(Printf.sprintf "src_%d" b.n_node) in
+  add_node b name (Source { pattern; start })
+
+let add_sink b ?name ?(pattern = Pattern.never) () =
+  let name = Option.value name ~default:(Printf.sprintf "sink_%d" b.n_node) in
+  add_node b name (Sink { pattern })
+
+let connect b ?(stations = [ Lid.Relay_station.Full ]) ~src:(sn, sp) ~dst:(dn, dp)
+    () =
+  let id = b.n_edge in
+  b.n_edge <- id + 1;
+  b.b_edges <-
+    { id; src = { node = sn; port = sp }; dst = { node = dn; port = dp }; stations }
+    :: b.b_edges;
+  id
+
+let arity_in node =
+  match node.kind with
+  | Shell p -> p.Lid.Pearl.n_inputs
+  | Source _ -> 0
+  | Sink _ -> 1
+
+let arity_out node =
+  match node.kind with
+  | Shell p -> p.Lid.Pearl.n_outputs
+  | Source _ -> 1
+  | Sink _ -> 0
+
+let is_shell_like node =
+  match node.kind with Shell _ | Source _ -> true | Sink _ -> false
+
+let build ?(allow_direct = false) b =
+  let nodes = Array.of_list (List.rev b.b_nodes) in
+  let edges = Array.of_list (List.rev b.b_edges) in
+  let check_endpoint what ({ node; port } : endpoint) arity =
+    if node < 0 || node >= Array.length nodes then
+      invalid_arg (Printf.sprintf "Network.build: %s node %d does not exist" what node);
+    let a = arity nodes.(node) in
+    if port < 0 || port >= a then
+      invalid_arg
+        (Printf.sprintf "Network.build: %s port %d out of range for %S (arity %d)"
+           what port nodes.(node).name a)
+  in
+  Array.iter
+    (fun e ->
+      check_endpoint "source" e.src arity_out;
+      check_endpoint "destination" e.dst arity_in;
+      if
+        (not allow_direct)
+        && e.stations = []
+        && is_shell_like nodes.(e.src.node)
+        && (match nodes.(e.dst.node).kind with Shell _ -> true | _ -> false)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Network.build: channel %S -> %S between two shells has no relay \
+              station; the protocol requires at least one memory element \
+              (use a half relay station, or ~allow_direct to override)"
+             nodes.(e.src.node).name nodes.(e.dst.node).name))
+    edges;
+  let dummy =
+    {
+      id = -1;
+      src = { node = -1; port = -1 };
+      dst = { node = -1; port = -1 };
+      stations = [];
+    }
+  in
+  let in_edges = Array.map (fun n -> Array.make (arity_in n) dummy) nodes in
+  let out_edges = Array.map (fun n -> Array.make (arity_out n) dummy) nodes in
+  Array.iter
+    (fun e ->
+      if in_edges.(e.dst.node).(e.dst.port).id <> -1 then
+        invalid_arg
+          (Printf.sprintf "Network.build: input port %d of %S doubly connected"
+             e.dst.port nodes.(e.dst.node).name);
+      in_edges.(e.dst.node).(e.dst.port) <- e;
+      if out_edges.(e.src.node).(e.src.port).id <> -1 then
+        invalid_arg
+          (Printf.sprintf "Network.build: output port %d of %S doubly connected"
+             e.src.port nodes.(e.src.node).name);
+      out_edges.(e.src.node).(e.src.port) <- e)
+    edges;
+  Array.iteri
+    (fun i ports ->
+      Array.iteri
+        (fun p e ->
+          if e.id = -1 then
+            invalid_arg
+              (Printf.sprintf "Network.build: input port %d of %S unconnected" p
+                 nodes.(i).name))
+        ports)
+    in_edges;
+  Array.iteri
+    (fun i ports ->
+      Array.iteri
+        (fun p e ->
+          if e.id = -1 then
+            invalid_arg
+              (Printf.sprintf "Network.build: output port %d of %S unconnected" p
+                 nodes.(i).name))
+        ports)
+    out_edges;
+  { nodes; edges; in_edges; out_edges }
+
+let nodes t = Array.to_list t.nodes
+let edges t = Array.to_list t.edges
+let node t id = t.nodes.(id)
+let edge t id = t.edges.(id)
+let n_nodes t = Array.length t.nodes
+let n_edges t = Array.length t.edges
+let in_edges t id = t.in_edges.(id)
+let out_edges t id = t.out_edges.(id)
+
+let filter_kind t f = List.filter f (nodes t)
+let shells t = filter_kind t (fun n -> match n.kind with Shell _ -> true | _ -> false)
+let sources t = filter_kind t (fun n -> match n.kind with Source _ -> true | _ -> false)
+let sinks t = filter_kind t (fun n -> match n.kind with Sink _ -> true | _ -> false)
+
+let n_inputs_of t id = Array.length t.in_edges.(id)
+let n_outputs_of t id = Array.length t.out_edges.(id)
+
+let station_count t kind =
+  Array.fold_left
+    (fun acc e -> acc + List.length (List.filter (( = ) kind) e.stations))
+    0 t.edges
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let env_period t =
+  Array.fold_left
+    (fun acc n ->
+      match n.kind with
+      | Source { pattern; _ } | Sink { pattern } -> lcm acc (Pattern.period pattern)
+      | Shell _ -> acc)
+    1 t.nodes
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "network: %d shells, %d sources, %d sinks, %d channels, %d full + %d half \
+     relay stations"
+    (List.length (shells t))
+    (List.length (sources t))
+    (List.length (sinks t))
+    (n_edges t)
+    (station_count t Lid.Relay_station.Full)
+    (station_count t Lid.Relay_station.Half)
+
+let with_stations t eid stations =
+  let edges =
+    Array.map (fun e -> if e.id = eid then { e with stations } else e) t.edges
+  in
+  let replace arr = Array.map (Array.map (fun e -> edges.(e.id))) arr in
+  { t with edges; in_edges = replace t.in_edges; out_edges = replace t.out_edges }

@@ -1,0 +1,98 @@
+(** LID system graphs.
+
+    A network is a directed (possibly cyclic) graph of synchronous
+    processes, exactly the object the paper associates with a system:
+    shells (wrapping pearls), environment sources and sinks, and channels,
+    each channel carrying an ordered chain of relay stations.
+
+    The builder enforces the paper's minimum-memory theorem: since a shell
+    does not store incoming stop signals, every channel between two
+    shell-like producers (shells or sources) must contain at least one
+    (half or full) relay station.  [~allow_direct:true] lifts the check —
+    used by the test suite to demonstrate what goes wrong without it. *)
+
+type node_id = int
+type edge_id = int
+
+type node_kind =
+  | Shell of Lid.Pearl.t
+  | Source of { pattern : Pattern.t; start : int }
+      (** emits [start, start+1, ...] on the cycles where [pattern] is
+          active (and the protocol lets it) *)
+  | Sink of { pattern : Pattern.t }
+      (** asserts stop on the cycles where [pattern] is active *)
+
+type node = { id : node_id; name : string; kind : node_kind }
+
+type endpoint = { node : node_id; port : int }
+
+type edge = {
+  id : edge_id;
+  src : endpoint;
+  dst : endpoint;
+  stations : Lid.Relay_station.kind list;  (** producer-to-consumer order *)
+}
+
+type t
+
+(** {1 Building} *)
+
+type builder
+
+val builder : unit -> builder
+val add_shell : builder -> ?name:string -> Lid.Pearl.t -> node_id
+
+val add_source :
+  builder -> ?name:string -> ?start:int -> ?pattern:Pattern.t -> unit -> node_id
+
+val add_sink : builder -> ?name:string -> ?pattern:Pattern.t -> unit -> node_id
+
+val connect :
+  builder ->
+  ?stations:Lid.Relay_station.kind list ->
+  src:node_id * int ->
+  dst:node_id * int ->
+  unit ->
+  edge_id
+(** [connect b ~stations ~src:(n, port) ~dst:(m, port') ()] adds a channel.
+    [stations] defaults to [[Full]]. *)
+
+val build : ?allow_direct:bool -> builder -> t
+(** Validates and freezes the network.  Raises [Invalid_argument] when a
+    port is unconnected or doubly connected, a port index is out of range,
+    or (unless [allow_direct]) a shell/source output reaches a shell input
+    through a station-less channel. *)
+
+(** {1 Accessors} *)
+
+val nodes : t -> node list
+val edges : t -> edge list
+val node : t -> node_id -> node
+val edge : t -> edge_id -> edge
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val in_edges : t -> node_id -> edge array
+(** Indexed by destination port. *)
+
+val out_edges : t -> node_id -> edge array
+(** Indexed by source port. *)
+
+val shells : t -> node list
+val sources : t -> node list
+val sinks : t -> node list
+
+val n_inputs_of : t -> node_id -> int
+val n_outputs_of : t -> node_id -> int
+
+val station_count : t -> Lid.Relay_station.kind -> int
+val env_period : t -> int
+(** Least common multiple of all source/sink pattern periods. *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Surgery} *)
+
+val with_stations : t -> edge_id -> Lid.Relay_station.kind list -> t
+(** A copy of the network with one channel's relay chain replaced (used by
+    path equalization and deadlock cures). *)

@@ -1,0 +1,50 @@
+type t =
+  | Always
+  | Never
+  | Periodic of { period : int; active : int; phase : int }
+  | Word of bool array
+
+let always = Always
+let never = Never
+
+let periodic ?(phase = 0) ~period ~active () =
+  if period < 1 then invalid_arg "Pattern.periodic: period must be >= 1";
+  if active < 0 || active > period then
+    invalid_arg "Pattern.periodic: need 0 <= active <= period";
+  Periodic { period; active; phase }
+
+let word = function
+  | [] -> invalid_arg "Pattern.word: empty word"
+  | bits -> Word (Array.of_list bits)
+
+let active t ~cycle =
+  match t with
+  | Always -> true
+  | Never -> false
+  | Periodic { period; active; phase } ->
+      let c = (cycle + phase) mod period in
+      let c = if c < 0 then c + period else c in
+      c < active
+  | Word w -> w.(cycle mod Array.length w)
+
+let period = function
+  | Always | Never -> 1
+  | Periodic { period; _ } -> period
+  | Word w -> Array.length w
+
+let duty t =
+  let p = period t in
+  let n = ref 0 in
+  for c = 0 to p - 1 do
+    if active t ~cycle:c then incr n
+  done;
+  float_of_int !n /. float_of_int p
+
+let pp fmt = function
+  | Always -> Format.pp_print_string fmt "always"
+  | Never -> Format.pp_print_string fmt "never"
+  | Periodic { period; active; phase } ->
+      Format.fprintf fmt "%d/%d@%d" active period phase
+  | Word w ->
+      Format.pp_print_string fmt
+        (String.init (Array.length w) (fun i -> if w.(i) then '1' else '0'))

@@ -1,0 +1,30 @@
+(** Activity patterns for environment nodes (sources and sinks).
+
+    A pattern is a pure, periodic function of the cycle index, so the
+    environment is finite-state: its phase is part of the skeleton state
+    used for periodicity detection. *)
+
+type t =
+  | Always
+  | Never
+  | Periodic of { period : int; active : int; phase : int }
+      (** active for the first [active] cycles of every [period], shifted
+          by [phase]. *)
+  | Word of bool array  (** cyclically repeated activity word *)
+
+val always : t
+val never : t
+
+val periodic : ?phase:int -> period:int -> active:int -> unit -> t
+(** Raises [Invalid_argument] unless [0 <= active <= period] and
+    [period >= 1]. *)
+
+val word : bool list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val active : t -> cycle:int -> bool
+val period : t -> int
+val duty : t -> float
+(** Fraction of active cycles over one period. *)
+
+val pp : Format.formatter -> t -> unit

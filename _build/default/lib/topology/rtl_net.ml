@@ -1,0 +1,229 @@
+open Bitvec
+open Hdl.Signal
+module Net = Network
+module R = Lid.Rtl_gen
+
+let delay_depth name =
+  (* "delayN" or a user-specified name given to Pearl.delay_chain *)
+  if String.length name > 5 && String.sub name 0 5 = "delay" then
+    int_of_string_opt (String.sub name 5 (String.length name - 5))
+  else None
+
+(* RTL datapath for a standard-library pearl, plus its initial outputs. *)
+let datapath_of_pearl ~data_width (p : Lid.Pearl.t) =
+  let w = data_width in
+  let zero = Bits.zero w in
+  let init_list v = List.map (fun x -> Bits.of_int ~width:w x) v in
+  let simple f = (fun ~fire:_ ins -> f ins) in
+  let bad () =
+    invalid_arg
+      (Printf.sprintf
+         "Rtl_net: pearl %S has no RTL datapath (supported: identity, inc, \
+          adder, diff, fork2, tap, accumulator, counter, square, delayN)"
+         p.Lid.Pearl.name)
+  in
+  match p.Lid.Pearl.name with
+  | "identity" -> (simple (fun ins -> ins), [ zero ])
+  | "inc" ->
+      (simple (fun ins -> List.map (fun x -> x +: consti ~width:w 1) ins), [ zero ])
+  | "square" ->
+      (simple (fun ins -> List.map (fun x -> x *: x) ins), [ zero ])
+  | "adder" ->
+      ( simple (fun ins ->
+            match ins with [ a; b ] -> [ a +: b ] | _ -> bad ()),
+        [ zero ] )
+  | "diff" ->
+      ( simple (fun ins ->
+            match ins with [ a; b ] -> [ a -: b ] | _ -> bad ()),
+        [ zero ] )
+  | "fork2" ->
+      (simple (fun ins -> match ins with [ a ] -> [ a; a ] | _ -> bad ()), [ zero; zero ])
+  | "tap" ->
+      ( simple (fun ins ->
+            match ins with
+            | [ a; b ] ->
+                let v = a +: b in
+                [ v; v ]
+            | _ -> bad ()),
+        [ zero; zero ] )
+  | "accumulator" ->
+      ( (fun ~fire ins ->
+          match ins with
+          | [ x ] ->
+              let acc =
+                reg_fb ~name:"acc" ~enable:fire ~reset:zero ~width:w (fun acc ->
+                    acc +: x)
+              in
+              [ acc +: x ]
+          | _ -> bad ()),
+        [ zero ] )
+  | "counter" ->
+      let start = p.Lid.Pearl.initial_output.(0) in
+      ( (fun ~fire ins ->
+          match ins with
+          | [] ->
+              let cnt =
+                reg_fb ~name:"cnt" ~enable:fire
+                  ~reset:(Bits.of_int ~width:w (start + 1))
+                  ~width:w
+                  (fun cnt -> cnt +: consti ~width:w 1)
+              in
+              [ cnt ]
+          | _ -> bad ()),
+        init_list [ start ] )
+  | name -> (
+      match delay_depth name with
+      | Some k ->
+          ( (fun ~fire ins ->
+              match ins with
+              | [ x ] ->
+                  let rec stage i d =
+                    if i = 0 then d
+                    else stage (i - 1) (reg ~enable:fire ~reset:zero d)
+                  in
+                  (* k registers; the pearl's visible output is the value
+                     about to be latched into the buffer, i.e. the chain
+                     head of depth k *)
+                  [ stage k x ]
+              | _ -> bad ()),
+            [ zero ] )
+      | None -> bad ())
+
+let of_network ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16)
+    ?(name = "lid_system") net =
+  let nodes = Array.of_list (Net.nodes net) in
+  (* per-edge interface wires *)
+  let dst_port =
+    Array.of_list
+      (List.map
+         (fun (e : Net.edge) ->
+           {
+             R.valid = wire ~name:(Printf.sprintf "e%d_valid" e.id) 1;
+             R.data = wire ~name:(Printf.sprintf "e%d_data" e.id) data_width;
+           })
+         (Net.edges net))
+  in
+  let src_stop =
+    Array.of_list
+      (List.map
+         (fun (e : Net.edge) -> wire ~name:(Printf.sprintf "e%d_stop" e.id) 1)
+         (Net.edges net))
+  in
+  (* environment *)
+  let stall_inputs = Hashtbl.create 8 in
+  Array.iter
+    (fun (n : Net.node) ->
+      match n.kind with
+      | Net.Sink _ -> Hashtbl.replace stall_inputs n.id (input ("stall_" ^ n.name) 1)
+      | Net.Source { pattern; _ } ->
+          if pattern <> Pattern.always then
+            invalid_arg "Rtl_net: sources must use the Always pattern"
+      | Net.Shell _ -> ())
+    nodes;
+  (* shells and sources *)
+  let out_ports = Array.make (Array.length nodes) [||] in
+  let in_stops = Array.make (Array.length nodes) [||] in
+  Array.iter
+    (fun (n : Net.node) ->
+      let build pearl =
+        let datapath, initial_outputs =
+          datapath_of_pearl ~data_width pearl
+        in
+        let initial_outputs =
+          List.mapi
+            (fun o _ ->
+              Bits.of_int ~width:data_width pearl.Lid.Pearl.initial_output.(o))
+            initial_outputs
+        in
+        let spec =
+          {
+            R.name = pearl.Lid.Pearl.name;
+            data_width;
+            n_inputs = pearl.Lid.Pearl.n_inputs;
+            n_outputs = pearl.Lid.Pearl.n_outputs;
+            initial_outputs;
+            datapath;
+          }
+        in
+        let inputs =
+          Array.to_list
+            (Array.map (fun (e : Net.edge) -> dst_port.(e.id)) (Net.in_edges net n.id))
+        in
+        let stop_ins =
+          Array.to_list
+            (Array.map (fun (e : Net.edge) -> src_stop.(e.id)) (Net.out_edges net n.id))
+        in
+        let ports, stops = R.shell_fragment ~flavour spec ~inputs ~stop_ins in
+        out_ports.(n.id) <- Array.of_list ports;
+        in_stops.(n.id) <- Array.of_list stops
+      in
+      match n.kind with
+      | Net.Shell pearl -> build pearl
+      | Net.Source { start; _ } -> build (Lid.Pearl.counter ~start ())
+      | Net.Sink _ -> ())
+    nodes;
+  (* channels: relay chains plus the backward stop wiring *)
+  List.iter
+    (fun (e : Net.edge) ->
+      let dst_stop_sig =
+        match nodes.(e.dst.node).kind with
+        | Net.Sink _ -> Hashtbl.find stall_inputs e.dst.node
+        | Net.Shell _ | Net.Source _ -> in_stops.(e.dst.node).(e.dst.port)
+      in
+      let m = List.length e.stations in
+      let stop_wires =
+        Array.init m (fun j -> wire ~name:(Printf.sprintf "e%d_rs%d_stop" e.id j) 1)
+      in
+      let rec build j port ups =
+        if j = m then (port, List.rev ups)
+        else begin
+          let p, up =
+            R.relay_station_fragment ~flavour (List.nth e.stations j) ~input:port
+              ~stop_in:stop_wires.(j)
+          in
+          build (j + 1) p (up :: ups)
+        end
+      in
+      let final_port, ups =
+        build 0 out_ports.(e.src.node).(e.src.port) []
+      in
+      let ups = Array.of_list ups in
+      Array.iteri
+        (fun j w ->
+          assign w (if j = m - 1 then dst_stop_sig else ups.(j + 1)))
+        stop_wires;
+      assign dst_port.(e.id).R.valid final_port.R.valid;
+      assign dst_port.(e.id).R.data final_port.R.data;
+      assign src_stop.(e.id) (if m > 0 then ups.(0) else dst_stop_sig))
+    (Net.edges net);
+  (* circuit interface *)
+  let inputs = Hashtbl.fold (fun _ i acc -> i :: acc) stall_inputs [] in
+  let outputs =
+    List.concat_map
+      (fun (n : Net.node) ->
+        match n.kind with
+        | Net.Sink _ ->
+            let e = (Net.in_edges net n.id).(0) in
+            [
+              output ("valid_" ^ n.name) dst_port.(e.id).R.valid;
+              output ("data_" ^ n.name) dst_port.(e.id).R.data;
+            ]
+        | _ -> [])
+      (Net.nodes net)
+  in
+  (* closed systems (no sinks) still need observable anchors *)
+  let outputs =
+    if outputs <> [] then outputs
+    else
+      List.concat_map
+        (fun (n : Net.node) ->
+          match n.kind with
+          | Net.Shell _ ->
+              [
+                output ("probe_valid_" ^ n.name) out_ports.(n.id).(0).R.valid;
+                output ("probe_data_" ^ n.name) out_ports.(n.id).(0).R.data;
+              ]
+          | _ -> [])
+        (Net.nodes net)
+  in
+  Hdl.Circuit.create ~name ~inputs ~outputs

@@ -1,0 +1,30 @@
+(** Whole-network RTL elaboration.
+
+    Turns a LID network into one flat synchronous circuit: every shell,
+    source and relay station instantiated from {!Lid.Rtl_gen} fragments and
+    wired exactly as the network prescribes.  The result can be simulated
+    with either {!Sim} kernel (experiment E10 compares its cost against the
+    protocol skeleton) or emitted as VHDL/Verilog — the full "latency
+    insensitive design" artifact.
+
+    Circuit interface:
+    - input [stall_<sink>] (1 bit) per sink — the environment's stop;
+    - outputs [valid_<sink>] and [data_<sink>] per sink.
+
+    Sources must use the [Always] pattern (environment stutter belongs to
+    the testbench, i.e. the simulator driving the circuit); sink patterns
+    are likewise left to the testbench via the stall inputs.
+
+    Pearls are mapped to RTL datapaths by name; the pearls of
+    {!Lid.Pearl}'s standard library ([identity], [inc], [adder], [diff],
+    [fork2], [tap], [accumulator], [counter], [square], [delayN]) are
+    supported.  Raises [Invalid_argument] on an unknown pearl or a
+    non-[Always] source. *)
+
+val of_network :
+  ?flavour:Lid.Protocol.flavour ->
+  ?data_width:int ->
+  ?name:string ->
+  Network.t ->
+  Hdl.Circuit.t
+(** Default [data_width] is 16. *)

@@ -1,0 +1,202 @@
+module Net = Network
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Patterns.                                                           *)
+
+let parse_pattern s =
+  match s with
+  | "always" -> Pattern.always
+  | "never" -> Pattern.never
+  | _ ->
+      if String.length s > 1 && s.[0] = '%' then
+        let bits =
+          List.init
+            (String.length s - 1)
+            (fun i ->
+              match s.[i + 1] with
+              | '0' -> false
+              | '1' -> true
+              | c -> fail "bad pattern bit %c" c)
+        in
+        Pattern.word bits
+      else begin
+        (* ACTIVE/PERIOD[@PHASE] *)
+        let main, phase =
+          match String.index_opt s '@' with
+          | None -> (s, 0)
+          | Some i -> (
+              ( String.sub s 0 i,
+                match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+                | Some p -> p
+                | None -> fail "bad pattern phase in %S" s ))
+        in
+        match String.split_on_char '/' main with
+        | [ a; p ] -> (
+            match (int_of_string_opt a, int_of_string_opt p) with
+            | Some active, Some period -> (
+                try Pattern.periodic ~phase ~period ~active ()
+                with Invalid_argument m -> fail "%s" m)
+            | _ -> fail "bad pattern %S" s)
+        | _ -> fail "bad pattern %S (want always, never, A/P[@PH] or %%bits)" s
+      end
+
+let print_pattern p =
+  match p with
+  | Pattern.Always -> "always"
+  | Pattern.Never -> "never"
+  | Pattern.Periodic { period; active; phase } ->
+      if phase = 0 then Printf.sprintf "%d/%d" active period
+      else Printf.sprintf "%d/%d@%d" active period phase
+  | Pattern.Word w ->
+      "%"
+      ^ String.init (Array.length w) (fun i -> if w.(i) then '1' else '0')
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_kv words =
+  (* [start=N] [pattern=...] in any order *)
+  List.fold_left
+    (fun (start, pattern) w ->
+      match String.index_opt w '=' with
+      | Some i ->
+          let k = String.sub w 0 i
+          and v = String.sub w (i + 1) (String.length w - i - 1) in
+          (match k with
+          | "start" -> (
+              match int_of_string_opt v with
+              | Some n -> (Some n, pattern)
+              | None -> fail "bad start=%s" v)
+          | "pattern" -> (start, Some (parse_pattern v))
+          | _ -> fail "unknown attribute %S" k)
+      | None -> fail "expected key=value, got %S" w)
+    (None, None) words
+
+let parse_endpoint names s =
+  match String.rindex_opt s '.' with
+  | None -> fail "endpoint %S must be NAME.PORT" s
+  | Some i -> (
+      let name = String.sub s 0 i
+      and port = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Hashtbl.find_opt names name, int_of_string_opt port) with
+      | Some id, Some p -> (id, p)
+      | None, _ -> fail "unknown node %S" name
+      | _, None -> fail "bad port %S" port)
+
+let parse_station = function
+  | "full" -> Lid.Relay_station.Full
+  | "half" -> Lid.Relay_station.Half
+  | s -> fail "unknown station kind %S (want full or half)" s
+
+let parse ?allow_direct text =
+  let b = Net.builder () in
+  let names = Hashtbl.create 16 in
+  let declare name id =
+    if Hashtbl.mem names name then fail "duplicate node name %S" name;
+    Hashtbl.replace names name id
+  in
+  let parse_line line =
+    match split_words line with
+    | [] -> ()
+    | "source" :: name :: attrs ->
+        let start, pattern = parse_kv attrs in
+        declare name
+          (Net.add_source b ~name ?start ?pattern ())
+    | "shell" :: name :: pearl :: rest ->
+        if rest <> [] then fail "trailing words after shell declaration";
+        (match Lid.Pearl.of_name pearl with
+        | Some p -> declare name (Net.add_shell b ~name p)
+        | None ->
+            fail "unknown pearl %S (standard: %s)" pearl
+              (String.concat ", " Lid.Pearl.standard_names))
+    | "sink" :: name :: attrs ->
+        let start, pattern = parse_kv attrs in
+        if start <> None then fail "sinks have no start attribute";
+        declare name (Net.add_sink b ~name ?pattern ())
+    | words -> (
+        (* SRC.PORT -> DST.PORT [: stations] *)
+        let before_colon, stations =
+          let rec split acc = function
+            | [] -> (List.rev acc, [])
+            | ":" :: rest -> (List.rev acc, rest)
+            | w :: rest -> split (w :: acc) rest
+          in
+          split [] words
+        in
+        match before_colon with
+        | [ src; "->"; dst ] ->
+            let src = parse_endpoint names src in
+            let dst = parse_endpoint names dst in
+            let stations = List.map parse_station stations in
+            ignore (Net.connect b ~stations ~src ~dst ())
+        | _ -> fail "cannot parse %S" line)
+  in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  try
+    List.iteri
+      (fun i line ->
+        try parse_line (strip_comment line)
+        with Parse_error m -> fail "line %d: %s" (i + 1) m)
+      (String.split_on_char '\n' text);
+    try Ok (Net.build ?allow_direct b)
+    with Invalid_argument m -> Error m
+  with Parse_error m -> Error m
+
+let parse_exn ?allow_direct text =
+  match parse ?allow_direct text with
+  | Ok net -> net
+  | Error m -> invalid_arg ("Spec.parse: " ^ m)
+
+let load ?allow_direct path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ?allow_direct text
+  | exception Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+
+let print net =
+  let buf = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (n : Net.node) ->
+      match n.kind with
+      | Net.Source { pattern; start } ->
+          pr "source %s%s%s\n" n.name
+            (if start <> 0 then Printf.sprintf " start=%d" start else "")
+            (if pattern <> Pattern.always then
+               " pattern=" ^ print_pattern pattern
+             else "")
+      | Net.Shell pearl -> pr "shell  %s %s\n" n.name pearl.Lid.Pearl.name
+      | Net.Sink { pattern } ->
+          pr "sink   %s%s\n" n.name
+            (if pattern <> Pattern.never then
+               " pattern=" ^ print_pattern pattern
+             else ""))
+    (Net.nodes net);
+  List.iter
+    (fun (e : Net.edge) ->
+      pr "%s.%d -> %s.%d" (Net.node net e.src.node).name e.src.port
+        (Net.node net e.dst.node).name e.dst.port;
+      if e.stations <> [] then begin
+        pr " :";
+        List.iter
+          (fun k -> pr " %s" (Lid.Relay_station.kind_to_string k))
+          e.stations
+      end;
+      pr "\n")
+    (Net.edges net);
+  Buffer.contents buf

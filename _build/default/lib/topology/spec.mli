@@ -1,0 +1,44 @@
+(** A small textual description format for LID networks.
+
+    One declaration per line; [#] starts a comment.  Grammar:
+
+    {v
+    source  NAME [start=N] [pattern=PAT]
+    shell   NAME PEARL
+    sink    NAME [pattern=PAT]
+    SRC.PORT -> DST.PORT [: STATION ...]
+    v}
+
+    [PEARL] is a standard pearl name ({!Lid.Pearl.of_name}); [STATION] is
+    [full] or [half], listed producer-to-consumer (omitting the colon or
+    the list yields a direct channel); [PAT] is [always], [never],
+    [ACTIVE/PERIOD[@PHASE]] (e.g. [2/5@1]) or [%BITS] (e.g. [%10110],
+    cyclically repeated).
+
+    Example (the paper's Fig. 1):
+
+    {v
+    source src
+    shell  A fork2
+    shell  B identity
+    shell  C adder
+    sink   out
+    src.0 -> A.0 : full
+    A.0  -> C.0 : full
+    A.1  -> B.0 : full
+    B.0  -> C.1 : full
+    C.0  -> out.0
+    v} *)
+
+val parse : ?allow_direct:bool -> string -> (Network.t, string) result
+(** Parse a description.  The error string carries a line number. *)
+
+val parse_exn : ?allow_direct:bool -> string -> Network.t
+(** Raises [Invalid_argument] with the error message. *)
+
+val print : Network.t -> string
+(** Render a network back to the format; [parse (print net)] reconstructs
+    an isomorphic network provided all pearls are standard. *)
+
+val load : ?allow_direct:bool -> string -> (Network.t, string) result
+(** [load path] reads and parses a file. *)

@@ -1,0 +1,1 @@
+lib/verify/closed.ml: Array Buffer Char Fsm Lid List Option Reach Topology

@@ -1,0 +1,1 @@
+lib/verify/closed.mli: Fsm Lid Reach Topology

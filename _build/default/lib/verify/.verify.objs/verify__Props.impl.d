@@ -1,0 +1,1 @@
+lib/verify/props.ml: Array Bits Bitvec Format Fsm Lid List Option Printf Reach Rtl_model String

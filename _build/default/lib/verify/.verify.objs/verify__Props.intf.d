@@ -1,0 +1,1 @@
+lib/verify/props.mli: Format Lid Reach

@@ -1,0 +1,1 @@
+lib/verify/reach.ml: Array Fsm Hashtbl List Option Queue

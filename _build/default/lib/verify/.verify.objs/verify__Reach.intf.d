@@ -1,0 +1,1 @@
+lib/verify/reach.mli: Fsm

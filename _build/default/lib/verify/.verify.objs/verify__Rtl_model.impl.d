@@ -1,0 +1,1 @@
+lib/verify/rtl_model.ml: Array Bits Bitvec Hashtbl Hdl List Sim

@@ -1,0 +1,1 @@
+lib/verify/rtl_model.mli: Bits Bitvec Hdl

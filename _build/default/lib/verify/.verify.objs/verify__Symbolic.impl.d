@@ -1,0 +1,1 @@
+lib/verify/symbolic.ml: Array Bdd Bits Bitvec Hashtbl Hdl List

@@ -1,0 +1,202 @@
+(* Hash-consed ROBDDs with a memoized ternary [ite] kernel (Brace, Rudell,
+   Bryant).  Node 0 is false, node 1 is true; internal nodes start at 2.
+   The low/high children of node [n] live at [lo.(n)]/[hi.(n)] and its
+   variable at [level.(n)]; terminals carry level [max_int] so variable
+   comparisons need no special cases. *)
+
+type t = int
+
+type man = {
+  mutable level : int array;
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable next : int; (* next free node slot *)
+  unique : (int * int * int, int) Hashtbl.t; (* (level, lo, hi) -> node *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  quant_cache : (int, int) Hashtbl.t; (* per-operation scratch, cleared *)
+}
+
+let tru = 1
+let fls = 0
+let equal (a : t) (b : t) = a = b
+let is_true n = n = tru
+let is_false n = n = fls
+
+let create ?(size_hint = 1024) () =
+  let cap = max size_hint 16 in
+  let level = Array.make cap max_int in
+  let lo = Array.make cap 0 in
+  let hi = Array.make cap 0 in
+  (* terminals *)
+  level.(0) <- max_int;
+  level.(1) <- max_int;
+  {
+    level;
+    lo;
+    hi;
+    next = 2;
+    unique = Hashtbl.create cap;
+    ite_cache = Hashtbl.create cap;
+    quant_cache = Hashtbl.create 64;
+  }
+
+let grow m =
+  let cap = Array.length m.level * 2 in
+  let extend a fill =
+    let a' = Array.make cap fill in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  in
+  m.level <- extend m.level max_int;
+  m.lo <- extend m.lo 0;
+  m.hi <- extend m.hi 0
+
+(* the single node constructor: enforces reduction and sharing *)
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some n -> n
+    | None ->
+        if m.next >= Array.length m.level then grow m;
+        let n = m.next in
+        m.next <- n + 1;
+        m.level.(n) <- v;
+        m.lo.(n) <- lo;
+        m.hi.(n) <- hi;
+        Hashtbl.replace m.unique (v, lo, hi) n;
+        n
+
+let var m v =
+  if v < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m v fls tru
+
+let nvar m v =
+  if v < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk m v tru fls
+
+let top m f g h =
+  min m.level.(f) (min m.level.(g) m.level.(h))
+
+let cofactors m v n =
+  if m.level.(n) = v then (m.lo.(n), m.hi.(n)) else (n, n)
+
+let rec ite m f g h =
+  if f = tru then g
+  else if f = fls then h
+  else if g = h then g
+  else if g = tru && h = fls then f
+  else
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some n -> n
+    | None ->
+        let v = top m f g h in
+        let f0, f1 = cofactors m v f in
+        let g0, g1 = cofactors m v g in
+        let h0, h1 = cofactors m v h in
+        let lo = ite m f0 g0 h0 in
+        let hi = ite m f1 g1 h1 in
+        let n = mk m v lo hi in
+        Hashtbl.replace m.ite_cache key n;
+        n
+
+let not_ m f = ite m f fls tru
+let and_ m f g = ite m f g fls
+let or_ m f g = ite m f tru g
+let xor_ m f g = ite m f (not_ m g) g
+let imp m f g = ite m f g tru
+let iff m f g = ite m f g (not_ m g)
+
+let exists m vars f =
+  let in_vars = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace in_vars v ()) vars;
+  Hashtbl.reset m.quant_cache;
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt m.quant_cache f with
+      | Some n -> n
+      | None ->
+          let v = m.level.(f) in
+          let lo = go m.lo.(f) and hi = go m.hi.(f) in
+          let n = if Hashtbl.mem in_vars v then or_ m lo hi else mk m v lo hi in
+          Hashtbl.replace m.quant_cache f n;
+          n
+  in
+  go f
+
+let forall m vars f = not_ m (exists m vars (not_ m f))
+
+let rename m map f =
+  Hashtbl.reset m.quant_cache;
+  let last_seen = ref (-1) in
+  let rec go f =
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt m.quant_cache f with
+      | Some n -> n
+      | None ->
+          let v = map m.level.(f) in
+          ignore !last_seen;
+          let lo = go m.lo.(f) and hi = go m.hi.(f) in
+          (* monotonicity check: children levels must stay below v *)
+          let child_level n = if n < 2 then max_int else m.level.(n) in
+          if child_level lo <= v || child_level hi <= v then
+            invalid_arg "Bdd.rename: mapping is not order-preserving";
+          let n = mk m v lo hi in
+          Hashtbl.replace m.quant_cache f n;
+          n
+  in
+  go f
+
+let eval m f env =
+  let rec go f =
+    if f = tru then true
+    else if f = fls then false
+    else if env m.level.(f) then go m.hi.(f)
+    else go m.lo.(f)
+  in
+  go f
+
+let sat_count m ~n_vars f =
+  let memo = Hashtbl.create 64 in
+  (* counts over variables in [from, n_vars) *)
+  let rec go f from =
+    if from >= n_vars then if f = tru then 1.0 else if f = fls then 0.0 else
+        invalid_arg "Bdd.sat_count: variable out of range"
+    else if f < 2 then (if f = tru then 2.0 ** float_of_int (n_vars - from) else 0.0)
+    else
+      match Hashtbl.find_opt memo (f, from) with
+      | Some c -> c
+      | None ->
+          let v = m.level.(f) in
+          let c =
+            if v > from then 2.0 *. go f (from + 1)
+            else go m.lo.(f) (from + 1) +. go m.hi.(f) (from + 1)
+          in
+          Hashtbl.replace memo (f, from) c;
+          c
+  in
+  go f 0
+
+let any_sat m f =
+  if f = fls then raise Not_found;
+  let rec go f acc =
+    if f < 2 then List.rev acc
+    else if m.hi.(f) <> fls then go m.hi.(f) ((m.level.(f), true) :: acc)
+    else go m.lo.(f) ((m.level.(f), false) :: acc)
+  in
+  go f []
+
+let node_count m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      go m.lo.(f);
+      go m.hi.(f)
+    end
+  in
+  go f;
+  Hashtbl.length seen + if f < 2 then 1 else 2

@@ -1,0 +1,59 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small but complete ROBDD package in the style of the engines inside
+    SMV — hash-consed nodes, memoized [ite], quantification and
+    order-preserving renaming — used by {!Symbolic} for symbolic
+    reachability over circuits.
+
+    Variables are non-negative integers; the variable order is the natural
+    integer order (smaller index closer to the root). *)
+
+type man
+(** A manager owns the node store and operation caches. *)
+
+val create : ?size_hint:int -> unit -> man
+
+type t
+(** A node handle, canonical within its manager: structural equivalence is
+    handle equality. *)
+
+val tru : t
+val fls : t
+val equal : t -> t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+val var : man -> int -> t
+(** The function [fun env -> env v]. *)
+
+val nvar : man -> int -> t
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val imp : man -> t -> t -> t
+val iff : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over the given variables. *)
+
+val forall : man -> int list -> t -> t
+
+val rename : man -> (int -> int) -> t -> t
+(** Variable substitution; the mapping must be strictly monotone on the
+    variables occurring in the BDD (checked), so the result stays
+    ordered. *)
+
+val eval : man -> t -> (int -> bool) -> bool
+
+val sat_count : man -> n_vars:int -> t -> float
+(** Number of satisfying assignments over the variable universe
+    [0 .. n_vars-1]. *)
+
+val any_sat : man -> t -> (int * bool) list
+(** One satisfying partial assignment (empty for [tru]); raises
+    [Not_found] on [fls]. *)
+
+val node_count : man -> t -> int
+(** Nodes reachable from [t] (a size measure). *)

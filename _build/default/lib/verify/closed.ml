@@ -1,0 +1,223 @@
+module Token = Lid.Token
+module RS = Lid.Relay_station
+module Net = Topology.Network
+
+type choice = { src_active : bool array; sink_stall : bool array }
+
+type node_state =
+  | C_shell of Lid.Shell.state
+  | C_source of Token.t
+  | C_sink
+
+type state = {
+  nodes : node_state array;
+  rs : RS.state array array;
+  progressed : bool;  (** a shell fired in the transition producing this state *)
+}
+
+(* All data are the abstract value 0: only validity matters. *)
+let zero_token = Token.valid 0
+
+let initial_state ?(flavour = Lid.Protocol.Optimized) net =
+  let nodes =
+    Array.of_list
+      (List.map
+         (fun (n : Net.node) ->
+           match n.kind with
+           | Net.Shell pearl ->
+               C_shell (Lid.Shell.initial (Lid.Shell.create ~flavour pearl))
+           | Net.Source _ -> C_source zero_token
+           | Net.Sink _ -> C_sink)
+         (Net.nodes net))
+  in
+  let rs =
+    Array.of_list
+      (List.map
+         (fun (e : Net.edge) ->
+           Array.of_list (List.map RS.initial e.stations))
+         (Net.edges net))
+  in
+  { nodes; rs; progressed = false }
+
+(* One synchronous step under environment [choice]; mirrors
+   [Skeleton.Engine] at validity granularity (cross-checked by the test
+   suite). *)
+let step_state ~flavour net st choice =
+  let shells =
+    Array.of_list
+      (List.map
+         (fun (n : Net.node) ->
+           match n.kind with
+           | Net.Shell pearl -> Some (Lid.Shell.create ~flavour pearl)
+           | _ -> None)
+         (Net.nodes net))
+  in
+  let n_nodes = Array.length st.nodes in
+  let n_edges = Net.n_edges net in
+  let present node port =
+    match st.nodes.(node) with
+    | C_shell sh -> Lid.Shell.present sh port
+    | C_source buf -> buf
+    | C_sink -> invalid_arg "Closed: sink output"
+  in
+  let dst_token = Array.make n_edges Token.void in
+  let seg = Array.make n_edges [||] in
+  List.iter
+    (fun (e : Net.edge) ->
+      let chain = st.rs.(e.id) in
+      let s = Array.make (Array.length chain + 1) Token.void in
+      s.(0) <- present e.src.node e.src.port;
+      Array.iteri (fun j r -> s.(j + 1) <- RS.present r ~input:s.(j)) chain;
+      seg.(e.id) <- s;
+      dst_token.(e.id) <- s.(Array.length s - 1))
+    (Net.edges net);
+  let fire = Array.make n_nodes None in
+  let rec fire_of node =
+    match fire.(node) with
+    | Some (Some f) -> f
+    | Some None -> failwith "Closed: combinational stop cycle"
+    | None ->
+        fire.(node) <- Some None;
+        let f =
+          match st.nodes.(node) with
+          | C_shell sh ->
+              let shell = Option.get shells.(node) in
+              let inputs =
+                Array.map
+                  (fun (e : Net.edge) -> dst_token.(e.id))
+                  (Net.in_edges net node)
+              in
+              Lid.Shell.fires shell sh ~inputs ~out_stops:(out_stops node)
+          | C_source buf ->
+              let stop = (out_stops node).(0) in
+              let gated =
+                stop
+                &&
+                (match flavour with
+                | Lid.Protocol.Original -> true
+                | Lid.Protocol.Optimized -> Token.is_valid buf)
+              in
+              choice.src_active.(node) && not gated
+          | C_sink -> false
+        in
+        fire.(node) <- Some (Some f);
+        f
+  and out_stops node =
+    Array.map (fun (e : Net.edge) -> consumer_stop e) (Net.out_edges net node)
+  and consumer_stop (e : Net.edge) =
+    if st.rs.(e.id) <> [||] then RS.stop_upstream st.rs.(e.id).(0)
+    else dst_stop e
+  and dst_stop (e : Net.edge) =
+    match st.nodes.(e.dst.node) with
+    | C_sink -> choice.sink_stall.(e.dst.node)
+    | C_shell _ ->
+        if fire_of e.dst.node then false
+        else (
+          match flavour with
+          | Lid.Protocol.Original -> true
+          | Lid.Protocol.Optimized -> Token.is_valid dst_token.(e.id))
+    | C_source _ -> invalid_arg "Closed: source input"
+  in
+  Array.iteri
+    (fun node ns -> match ns with C_sink -> () | _ -> ignore (fire_of node))
+    st.nodes;
+  (* commit *)
+  let rs' =
+    Array.of_list
+      (List.map
+         (fun (e : Net.edge) ->
+           let chain = st.rs.(e.id) in
+           let m = Array.length chain in
+           Array.init m (fun j ->
+               let stop_in =
+                 if j = m - 1 then dst_stop e
+                 else RS.stop_upstream chain.(j + 1)
+               in
+               RS.step ~flavour chain.(j) ~input:seg.(e.id).(j) ~stop_in))
+         (Net.edges net))
+  in
+  let progressed = ref false in
+  let nodes' =
+    Array.mapi
+      (fun node ns ->
+        match ns with
+        | C_shell sh ->
+            let shell = Option.get shells.(node) in
+            let inputs =
+              Array.map
+                (fun (e : Net.edge) ->
+                  (* abstract values to 0 to keep the space finite *)
+                  if Token.is_valid dst_token.(e.id) then zero_token
+                  else Token.void)
+                (Net.in_edges net node)
+            in
+            if fire_of node then progressed := true;
+            C_shell (Lid.Shell.step shell sh ~inputs ~out_stops:(out_stops node))
+        | C_source buf ->
+            if fire_of node then C_source zero_token
+            else if Token.is_valid buf && (out_stops node).(0) then C_source buf
+            else C_source Token.void
+        | C_sink -> C_sink)
+      st.nodes
+  in
+  (* Normalize shell buffers to the abstract value too. *)
+  { nodes = nodes'; rs = rs'; progressed = !progressed }
+
+let normalize st =
+  let norm_tok t = if Token.is_valid t then zero_token else Token.void in
+  { st with rs = Array.map (Array.map (RS.map_tokens norm_tok)) st.rs }
+
+let validity_signature st =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun ns ->
+      match ns with
+      | C_shell sh ->
+          Array.iter
+            (fun tok -> Buffer.add_char buf (if Token.is_valid tok then 'v' else '.'))
+            (Lid.Shell.presented sh)
+      | C_source b -> Buffer.add_char buf (if Token.is_valid b then 'V' else '_')
+      | C_sink -> Buffer.add_char buf 'k')
+    st.nodes;
+  Array.iter
+    (fun chain ->
+      Buffer.add_char buf '/';
+      Array.iter
+        (fun r ->
+          Buffer.add_char buf (Char.chr (Char.code '0' + RS.occupancy r)))
+        chain)
+    st.rs;
+  Buffer.contents buf
+
+let fsm ?(flavour = Lid.Protocol.Optimized) net =
+  let sources = Net.sources net and sinks = Net.sinks net in
+  let n = Net.n_nodes net in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let r = subsets rest in
+        List.map (fun s -> x :: s) r @ r
+  in
+  let choices =
+    List.concat_map
+      (fun (act : Net.node list) ->
+        List.map
+          (fun (stl : Net.node list) ->
+            let src_active = Array.make n false in
+            let sink_stall = Array.make n false in
+            List.iter (fun (s : Net.node) -> src_active.(s.id) <- true) act;
+            List.iter (fun (s : Net.node) -> sink_stall.(s.id) <- true) stl;
+            { src_active; sink_stall })
+          (subsets sinks))
+      (subsets sources)
+  in
+  Fsm.create ~name:"closed LID system" ~initial:[ initial_state ~flavour net ]
+    ~inputs:(fun _ -> choices)
+    (fun st c -> normalize (step_state ~flavour net st c))
+
+let check_deadlock_free ?flavour ?max_states net =
+  Reach.check_progress ?max_states (fsm ?flavour net)
+    ~progress:(fun _ _ s' -> s'.progressed)
+
+let reachable_states ?flavour ?max_states net =
+  Reach.reachable_states ?max_states (fsm ?flavour net)

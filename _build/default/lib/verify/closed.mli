@@ -1,0 +1,39 @@
+(** Exhaustive liveness analysis of small LID systems.
+
+    The paper decides deadlock by simulating the skeleton under the given
+    environment.  This module goes further for small systems: it explores
+    {e all} environment behaviours (each cycle, every source may emit or
+    idle and every sink may stop or accept, nondeterministically) and
+    checks that from every reachable protocol state some continuation lets
+    a shell fire again.  [Live] is therefore a proof of deadlock freedom
+    for every environment; [Wedged] exhibits an adversarial schedule.
+
+    Data values are abstracted away (the skeleton argument: valid/stop
+    dynamics do not depend on payloads), so the model is finite.  Pearls
+    must be value-insensitive in the weak sense that their state stays
+    bounded on all-zero inputs — true of every pearl in {!Lid.Pearl}. *)
+
+type choice = { src_active : bool array; sink_stall : bool array }
+(** Indexed by node id; only source (resp. sink) slots are meaningful. *)
+
+type state
+
+val fsm :
+  ?flavour:Lid.Protocol.flavour ->
+  Topology.Network.t ->
+  (state, choice) Fsm.t
+
+val check_deadlock_free :
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_states:int ->
+  Topology.Network.t ->
+  (state, choice) Reach.liveness_outcome
+(** Progress = some shell fires. *)
+
+val validity_signature : state -> string
+(** The valid/void occupancy of every buffer and station — directly
+    comparable with {!Skeleton.Engine.signature} up to the environment
+    phase suffix (used by the cross-check tests). *)
+
+val reachable_states :
+  ?flavour:Lid.Protocol.flavour -> ?max_states:int -> Topology.Network.t -> int

@@ -1,0 +1,8 @@
+type ('s, 'i) t = {
+  name : string;
+  initial : 's list;
+  inputs : 's -> 'i list;
+  next : 's -> 'i -> 's;
+}
+
+let create ~name ~initial ~inputs next = { name; initial; inputs; next }

@@ -1,0 +1,17 @@
+(** Finite state machines for explicit-state verification.
+
+    A machine couples the system under verification with its environment:
+    [inputs s] enumerates the environment's nondeterministic choices
+    enabled in state [s], and [next] is the deterministic successor under a
+    given choice.  States must support structural equality and hashing. *)
+
+type ('s, 'i) t = {
+  name : string;
+  initial : 's list;
+  inputs : 's -> 'i list;
+  next : 's -> 'i -> 's;
+}
+
+val create :
+  name:string -> initial:'s list -> inputs:('s -> 'i list) -> ('s -> 'i -> 's) ->
+  ('s, 'i) t

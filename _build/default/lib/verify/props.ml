@@ -1,0 +1,330 @@
+module Token = Lid.Token
+module RS = Lid.Relay_station
+
+let modulus = 8
+
+type violation = string
+
+(* ------------------------------------------------------------------ *)
+(* Producer environment: introduces values [0, 1, 2, ...] (mod M) in
+   order, holds a valid presentation while the block stops it, and may
+   otherwise emit or idle freely.                                       *)
+
+type producer = { seq : int; pres : Token.t }
+
+let producer_init ~first = { seq = first; pres = Token.void }
+
+let producer_next p ~stopped ~emit =
+  if Token.is_valid p.pres && stopped then p
+  else if emit then { seq = (p.seq + 1) mod modulus; pres = Token.valid p.seq }
+  else { p with pres = Token.void }
+
+(* ------------------------------------------------------------------ *)
+(* Observer: order / no-skip / hold-on-stop on an output wire.          *)
+
+type observer = {
+  expect : int;
+  aux : int;  (** extra counter for value predictors that need history *)
+  last_out : Token.t;
+  last_stop : bool;
+}
+
+(* [next expect aux] yields the (expected value, aux) after a fresh valid
+   output was matched; kept outside the state so states stay pure data *)
+type predictor = int -> int -> int * int
+
+let observer_init = { expect = 0; aux = 0; last_out = Token.void; last_stop = false }
+
+let observe ~(next : predictor) ob ~out ~stop_in =
+  let fail msg = Error msg in
+  let continue ob = Ok { ob with last_out = out; last_stop = stop_in } in
+  if Token.is_valid ob.last_out && ob.last_stop then
+    (* the stopped datum must still be there *)
+    match out with
+    | Token.Void -> fail "output dropped on stop"
+    | Token.Valid v ->
+        if Token.equal out ob.last_out then continue ob
+        else fail (Printf.sprintf "output changed under stop (got %d)" v)
+  else
+    match out with
+    | Token.Void -> continue ob
+    | Token.Valid v ->
+        if v = ob.expect then
+          let expect, aux = next ob.expect ob.aux in
+          continue { ob with expect; aux }
+        else
+          fail
+            (Printf.sprintf "out of order: got %d, expected %d" v ob.expect)
+
+let counting_predictor ~advance : predictor =
+ fun expect aux -> ((expect + advance) mod modulus, aux)
+
+(* ------------------------------------------------------------------ *)
+(* Relay stations.                                                      *)
+
+type rs_step = RS.state -> input:Token.t -> stop_in:bool -> RS.state
+
+type rs_state = {
+  rs_prod : producer;
+  rs : RS.state;
+  rs_obs : observer;
+  rs_viol : violation option;
+}
+
+let pp_rs_state fmt s =
+  Format.fprintf fmt "prod=%a rs=%a expect=%d%s" Token.pp s.rs_prod.pres RS.pp
+    s.rs s.rs_obs.expect
+    (match s.rs_viol with None -> "" | Some v -> " VIOLATION: " ^ v)
+
+let rs_fsm ?(flavour = Lid.Protocol.Optimized) ?(step : rs_step option) kind =
+  let step =
+    match step with
+    | Some f -> f
+    | None -> fun st ~input ~stop_in -> RS.step ~flavour st ~input ~stop_in
+  in
+  let initial =
+    [
+      {
+        rs_prod = producer_init ~first:0;
+        rs = RS.initial kind;
+        rs_obs = observer_init;
+        rs_viol = None;
+      };
+    ]
+  in
+  let inputs s =
+    if s.rs_viol <> None then []
+    else List.concat_map (fun e -> [ (e, false); (e, true) ]) [ false; true ]
+  in
+  let next s (emit, stop_in) =
+    let stop_up = RS.stop_upstream s.rs in
+    let out = RS.present s.rs ~input:s.rs_prod.pres in
+    match observe ~next:(counting_predictor ~advance:1) s.rs_obs ~out ~stop_in with
+    | Error v -> { s with rs_viol = Some v }
+    | Ok obs ->
+        {
+          rs_prod = producer_next s.rs_prod ~stopped:stop_up ~emit;
+          rs = step s.rs ~input:s.rs_prod.pres ~stop_in;
+          rs_obs = obs;
+          rs_viol = None;
+        }
+  in
+  Fsm.create ~name:(RS.kind_to_string kind ^ " relay station") ~initial ~inputs
+    next
+
+let check_relay_station ?flavour ?step ?max_states kind =
+  Reach.check_invariant ?max_states (rs_fsm ?flavour ?step kind)
+    ~invariant:(fun s -> s.rs_viol = None)
+
+(* ------------------------------------------------------------------ *)
+(* Relay stations at RTL level: the same environment and observer, run
+   over the generated netlist via the pure circuit stepper.  With a
+   3-bit datapath the payload domain coincides with [modulus]. *)
+
+type rtl_rs_state = {
+  rr_prod : producer;
+  rr_regs : Rtl_model.state;
+  rr_obs : observer;
+  rr_viol : violation option;
+}
+
+let rtl_rs_fsm ?(flavour = Lid.Protocol.Optimized) kind =
+  let data_width = 3 in
+  assert (1 lsl data_width = modulus);
+  let circ = Lid.Rtl_gen.relay_station ~flavour ~data_width kind in
+  let model = Rtl_model.of_circuit circ in
+  let open Bitvec in
+  let wires pres stop_in =
+    [
+      ("in_valid", Bits.of_bool (Token.is_valid pres));
+      ( "in_data",
+        Bits.of_int ~width:data_width
+          (Option.value ~default:0 (Token.value_opt pres)) );
+      ("stop_in", Bits.of_bool stop_in);
+    ]
+  in
+  let initial =
+    [
+      {
+        rr_prod = producer_init ~first:0;
+        rr_regs = Rtl_model.initial model;
+        rr_obs = observer_init;
+        rr_viol = None;
+      };
+    ]
+  in
+  let inputs s =
+    if s.rr_viol <> None then []
+    else [ (false, false); (false, true); (true, false); (true, true) ]
+  in
+  let next s (emit, stop_in) =
+    let out_f = Rtl_model.outputs model s.rr_regs ~inputs:(wires s.rr_prod.pres stop_in) in
+    let out =
+      if Bits.lsb (out_f "out_valid") then Token.valid (Bits.to_int (out_f "out_data"))
+      else Token.void
+    in
+    let stop_up = Bits.lsb (out_f "stop_out") in
+    match observe ~next:(counting_predictor ~advance:1) s.rr_obs ~out ~stop_in with
+    | Error v -> { s with rr_viol = Some v }
+    | Ok obs ->
+        {
+          rr_prod = producer_next s.rr_prod ~stopped:stop_up ~emit;
+          rr_regs =
+            Rtl_model.step model s.rr_regs ~inputs:(wires s.rr_prod.pres stop_in);
+          rr_obs = obs;
+          rr_viol = None;
+        }
+  in
+  Fsm.create
+    ~name:(RS.kind_to_string kind ^ " relay station (RTL)")
+    ~initial ~inputs next
+
+let check_relay_station_rtl ?flavour ?max_states kind =
+  Reach.check_invariant ?max_states (rtl_rs_fsm ?flavour kind)
+    ~invariant:(fun s -> s.rr_viol = None)
+
+(* ------------------------------------------------------------------ *)
+(* Shells.                                                              *)
+
+type shell_pearl = Identity | Adder | Accumulator | Fork
+
+type shell_state = {
+  sh_prods : producer list;
+  sh : Lid.Shell.state;
+  sh_obs : observer list; (* one per output port *)
+  sh_viol : violation option;
+}
+
+let pp_shell_state fmt s =
+  Format.fprintf fmt "prods=[%s] %a expect=[%s]%s"
+    (String.concat ";"
+       (List.map (fun p -> Token.to_string p.pres) s.sh_prods))
+    Lid.Shell.pp s.sh
+    (String.concat ";" (List.map (fun o -> string_of_int o.expect) s.sh_obs))
+    (match s.sh_viol with None -> "" | Some v -> " VIOLATION: " ^ v)
+
+let rec bool_tuples = function
+  | 0 -> [ [] ]
+  | n ->
+      List.concat_map
+        (fun rest -> [ false :: rest; true :: rest ])
+        (bool_tuples (n - 1))
+
+let shell_fsm ~flavour pearl_kind =
+  let pearl, predictor =
+    match pearl_kind with
+    | Identity -> (Lid.Pearl.identity (), counting_predictor ~advance:1)
+    | Fork ->
+        (* the same ordered stream must appear on both output ports, even
+           though their buffers drain independently under mixed stops *)
+        (Lid.Pearl.fork2 (), counting_predictor ~advance:1)
+    | Adder ->
+        (* sum modulo [modulus], so the observer's modular arithmetic is
+           exact *)
+        ( Lid.Pearl.combine ~name:"mod-adder" (fun a b -> (a + b) mod modulus),
+          counting_predictor ~advance:2 )
+    | Accumulator ->
+        (* running sum modulo [modulus] of the stream 1,2,3,... — the k-th
+           firing must see exactly the k-th input, so this is an exhaustive
+           check of clock gating (a single spurious pearl tick breaks the
+           prediction) *)
+        ( Lid.Pearl.create ~name:"mod-accumulator" ~n_inputs:1 ~n_outputs:1
+            ~init_state:[| 0 |] ~initial_output:[| 0 |]
+            (fun st ins ->
+              let acc = (st.(0) + ins.(0)) mod modulus in
+              ([| acc |], [| acc |])),
+          fun expect aux ->
+            (* aux is the index of the next input to be consumed *)
+            ((expect + aux) mod modulus, (aux + 1) mod modulus) )
+  in
+  let shell = Lid.Shell.create ~flavour pearl in
+  let n_in = pearl.Lid.Pearl.n_inputs in
+  let n_out = pearl.Lid.Pearl.n_outputs in
+  let initial =
+    [
+      {
+        (* producers introduce 1,2,... — the shell's initial valid output
+           is the pearl's initial 0 *)
+        sh_prods = List.init n_in (fun _ -> producer_init ~first:1);
+        sh = Lid.Shell.initial shell;
+        sh_obs = List.init n_out (fun _ -> { observer_init with aux = 1 });
+        sh_viol = None;
+      };
+    ]
+  in
+  let emit_choices = bool_tuples n_in in
+  let stop_choices = bool_tuples n_out in
+  let choices =
+    List.concat_map
+      (fun emits -> List.map (fun stops -> (emits, stops)) stop_choices)
+      emit_choices
+  in
+  let inputs s = if s.sh_viol <> None then [] else choices in
+  let next s (emits, stops) =
+    let inputs_toks =
+      Array.of_list (List.map (fun p -> p.pres) s.sh_prods)
+    in
+    let out_stops = Array.of_list stops in
+    let observed =
+      List.mapi
+        (fun port ob ->
+          observe ~next:predictor ob ~out:(Lid.Shell.present s.sh port)
+            ~stop_in:out_stops.(port))
+        s.sh_obs
+    in
+    match
+      List.find_map (function Error v -> Some v | Ok _ -> None) observed
+    with
+    | Some v -> { s with sh_viol = Some v }
+    | None ->
+        let obs =
+          List.map (function Ok o -> o | Error _ -> assert false) observed
+        in
+        let in_stops =
+          Lid.Shell.input_stops shell s.sh ~inputs:inputs_toks ~out_stops
+        in
+        let prods' =
+          List.mapi
+            (fun i p ->
+              producer_next p ~stopped:in_stops.(i) ~emit:(List.nth emits i))
+            s.sh_prods
+        in
+        {
+          sh_prods = prods';
+          sh = Lid.Shell.step shell s.sh ~inputs:inputs_toks ~out_stops;
+          sh_obs = obs;
+          sh_viol = None;
+        }
+  in
+  Fsm.create
+    ~name:
+      (Printf.sprintf "%s shell (%s)"
+         (match pearl_kind with
+         | Identity -> "identity"
+         | Fork -> "fork"
+         | Adder -> "adder"
+         | Accumulator -> "accumulator")
+         (Lid.Protocol.to_string flavour))
+    ~initial ~inputs next
+
+let check_shell ?max_states ~flavour pearl_kind =
+  Reach.check_invariant ?max_states (shell_fsm ~flavour pearl_kind)
+    ~invariant:(fun s -> s.sh_viol = None)
+
+(* ------------------------------------------------------------------ *)
+(* Mutants.                                                             *)
+
+let mutant_drop_on_stop st ~input ~stop_in =
+  (* While the consumer stops, pretend nothing arrives: the in-flight datum
+     the producer already considers delivered is lost. *)
+  if stop_in then RS.step st ~input:Token.void ~stop_in
+  else RS.step st ~input ~stop_in
+
+let mutant_no_hold st ~input ~stop_in:_ =
+  (* Ignores back-pressure: releases the head even though the consumer did
+     not take it. *)
+  RS.step st ~input ~stop_in:false
+
+let mutant_duplicate st ~input ~stop_in:_ =
+  (* Never dequeues: the same datum is presented again after delivery. *)
+  RS.step st ~input ~stop_in:true

@@ -1,0 +1,92 @@
+(** The paper's verification properties, as explicit-state models.
+
+    For relay stations (both kinds), under an environment whose producer
+    keeps valid inputs stable while the station asserts stop and introduces
+    values in increasing order, and whose consumer stops nondeterministically:
+
+    - outputs appear in the correct order;
+    - no valid output is skipped (none lost, none duplicated);
+    - the output is kept on asserted stops.
+
+    For shells (identity and 2-input adder pearls), under producers obeying
+    the same assumption per input channel:
+
+    - the shell elaborates coherent data (the adder's k-th output is the
+      sum of the k-th input pair);
+    - outputs are produced in the correct order;
+    - no valid output is skipped.
+
+    Values are tracked modulo {!val-modulus}; with at most three data in
+    flight through any block the abstraction is exact.
+
+    Each [check_*] returns the {!Reach} outcome over the full product of
+    block, environment and observer. *)
+
+val modulus : int
+
+type violation = string
+(** Observer verdict carried in the state; [invariant] is its absence. *)
+
+(** {1 Relay stations} *)
+
+type rs_step =
+  Lid.Relay_station.state -> input:Lid.Token.t -> stop_in:bool ->
+  Lid.Relay_station.state
+(** The transition function under test — the real one or a mutant. *)
+
+type rs_state
+
+val pp_rs_state : Format.formatter -> rs_state -> unit
+
+val check_relay_station :
+  ?flavour:Lid.Protocol.flavour ->
+  ?step:rs_step ->
+  ?max_states:int ->
+  Lid.Relay_station.kind ->
+  (rs_state, bool * bool) Reach.safety_outcome
+(** Inputs are [(producer_emits, consumer_stops)] choices.  [flavour]
+    (default [Optimized]) selects the station's stop discipline; [step]
+    overrides the transition function entirely (for mutants). *)
+
+type rtl_rs_state
+
+val check_relay_station_rtl :
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_states:int ->
+  Lid.Relay_station.kind ->
+  (rtl_rs_state, bool * bool) Reach.safety_outcome
+(** The same properties, checked exhaustively over the {e generated RTL}
+    (3-bit datapath) via {!Rtl_model} — the abstract-FSM result extends to
+    the emitted netlists. *)
+
+(** {1 Shells} *)
+
+type shell_pearl = Identity | Adder | Accumulator | Fork
+
+type shell_state
+
+val pp_shell_state : Format.formatter -> shell_state -> unit
+
+val check_shell :
+  ?max_states:int ->
+  flavour:Lid.Protocol.flavour ->
+  shell_pearl ->
+  (shell_state, bool list * bool list) Reach.safety_outcome
+(** Inputs are [(producer_emits per input channel, consumer_stops per
+    output channel)] — for [Fork], the independent per-port stops
+    exhaustively exercise the mixed-stop buffer logic. *)
+
+(** {1 Mutants}
+
+    Deliberately broken relay stations; the test suite checks that
+    [check_relay_station ~step:(mutant)] finds a counterexample for each —
+    i.e. the properties have teeth. *)
+
+val mutant_drop_on_stop : rs_step
+(** Forgets the in-flight datum when stop arrives while full/passing. *)
+
+val mutant_no_hold : rs_step
+(** Releases its datum even when the consumer asserted stop. *)
+
+val mutant_duplicate : rs_step
+(** Keeps the datum after successful delivery (duplication). *)

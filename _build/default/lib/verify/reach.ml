@@ -1,0 +1,157 @@
+exception State_space_exceeded of int
+
+type ('s, 'i) trace = ('i option * 's) list
+
+type ('s, 'i) safety_outcome =
+  | Holds of { states : int; transitions : int }
+  | Fails of { trace : ('s, 'i) trace }
+
+type ('s, 'i) liveness_outcome =
+  | Live of { states : int }
+  | Wedged of { trace : ('s, 'i) trace }
+
+(* Exploration record: states numbered in discovery (BFS) order, with the
+   (predecessor id, input) that first produced each. *)
+type ('s, 'i) graph = {
+  states : 's array;
+  parent : (int * 'i) option array;
+  succ : (int * 'i) list array; (* successor id, input — forward edges *)
+  n : int;
+  n_transitions : int;
+}
+
+let explore ?(max_states = 1_000_000) (fsm : ('s, 'i) Fsm.t) =
+  let id_of = Hashtbl.create 4096 in
+  let states = ref [] in
+  let parent = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let add pred s =
+    match Hashtbl.find_opt id_of s with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        if id >= max_states then raise (State_space_exceeded max_states);
+        incr count;
+        Hashtbl.add id_of s id;
+        states := s :: !states;
+        parent := pred :: !parent;
+        Queue.add (id, s) queue;
+        id
+  in
+  List.iter (fun s -> ignore (add None s)) fsm.initial;
+  let succ_acc = Hashtbl.create 4096 in
+  let n_transitions = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id, s = Queue.pop queue in
+    let outgoing =
+      List.map
+        (fun i ->
+          let s' = fsm.next s i in
+          let id' = add (Some (id, i)) s' in
+          incr n_transitions;
+          (id', i))
+        (fsm.inputs s)
+    in
+    Hashtbl.replace succ_acc id outgoing
+  done;
+  let n = !count in
+  let states = Array.of_list (List.rev !states) in
+  let parent = Array.of_list (List.rev !parent) in
+  let succ = Array.make n [] in
+  Hashtbl.iter (fun id out -> succ.(id) <- out) succ_acc;
+  { states; parent; succ; n; n_transitions = !n_transitions }
+
+let trace_to g id =
+  let rec go id acc =
+    match g.parent.(id) with
+    | None -> (None, g.states.(id)) :: acc
+    | Some (pred, input) -> go pred ((Some input, g.states.(id)) :: acc)
+  in
+  go id []
+
+let check_invariant ?max_states fsm ~invariant =
+  (* Check states as they are produced, so counterexamples do not require
+     full exploration; reuse [explore] by wrapping the state type would
+     obscure traces, so do a dedicated BFS here. *)
+  let max_states = Option.value max_states ~default:1_000_000 in
+  let id_of = Hashtbl.create 4096 in
+  let states = ref [] and parent = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let violation = ref None in
+  let add pred s =
+    if !violation = None then
+      match Hashtbl.find_opt id_of s with
+      | Some _ -> ()
+      | None ->
+          let id = !count in
+          if id >= max_states then raise (State_space_exceeded max_states);
+          incr count;
+          Hashtbl.add id_of s id;
+          states := s :: !states;
+          parent := pred :: !parent;
+          if not (invariant s) then violation := Some id
+          else Queue.add (id, s) queue
+  in
+  List.iter (add None) fsm.Fsm.initial;
+  let n_transitions = ref 0 in
+  while (not (Queue.is_empty queue)) && !violation = None do
+    let id, s = Queue.pop queue in
+    List.iter
+      (fun i ->
+        incr n_transitions;
+        add (Some (id, i)) (fsm.Fsm.next s i))
+      (fsm.Fsm.inputs s)
+  done;
+  match !violation with
+  | None -> Holds { states = !count; transitions = !n_transitions }
+  | Some id ->
+      let states = Array.of_list (List.rev !states) in
+      let parent = Array.of_list (List.rev !parent) in
+      let rec go id acc =
+        match parent.(id) with
+        | None -> (None, states.(id)) :: acc
+        | Some (pred, input) -> go pred ((Some input, states.(id)) :: acc)
+      in
+      Fails { trace = go id [] }
+
+let check_progress ?max_states fsm ~progress =
+  let g = explore ?max_states fsm in
+  (* Mark states owning a progress transition, then close backwards. *)
+  let preds = Array.make g.n [] in
+  Array.iteri
+    (fun id out -> List.iter (fun (id', _) -> preds.(id') <- id :: preds.(id')) out)
+    g.succ;
+  let good = Array.make g.n false in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun id out ->
+      if
+        List.exists
+          (fun (id', i) -> progress g.states.(id) i g.states.(id'))
+          out
+      then begin
+        good.(id) <- true;
+        Queue.add id queue
+      end)
+    g.succ;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    List.iter
+      (fun p ->
+        if not good.(p) then begin
+          good.(p) <- true;
+          Queue.add p queue
+        end)
+      preds.(id)
+  done;
+  let wedged = ref None in
+  Array.iteri (fun id ok -> if (not ok) && !wedged = None then wedged := Some id) good;
+  match !wedged with
+  | None -> Live { states = g.n }
+  | Some id -> Wedged { trace = trace_to g id }
+
+let reachable_states ?max_states fsm =
+  let g = explore ?max_states fsm in
+  g.n

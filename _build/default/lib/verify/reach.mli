@@ -1,0 +1,38 @@
+(** Explicit-state reachability analysis (the SMV substitute).
+
+    Breadth-first exploration with predecessor tracking, so that safety
+    violations come with a shortest counterexample trace; liveness
+    ("progress is always eventually possible") is decided by a backward
+    closure over the reachable transition graph. *)
+
+exception State_space_exceeded of int
+
+type ('s, 'i) trace = ('i option * 's) list
+(** A run: the first element pairs [None] with an initial state, each later
+    element pairs the input applied with the state it produced. *)
+
+type ('s, 'i) safety_outcome =
+  | Holds of { states : int; transitions : int }
+  | Fails of { trace : ('s, 'i) trace }
+
+val check_invariant :
+  ?max_states:int ->
+  ('s, 'i) Fsm.t ->
+  invariant:('s -> bool) ->
+  ('s, 'i) safety_outcome
+(** Default [max_states]: 1_000_000.  Raises {!State_space_exceeded} when
+    exploration exceeds the bound without finding a violation. *)
+
+type ('s, 'i) liveness_outcome =
+  | Live of { states : int }
+  | Wedged of { trace : ('s, 'i) trace }
+      (** a reachable state from which no sequence of choices ever enables
+          a progress transition again *)
+
+val check_progress :
+  ?max_states:int ->
+  ('s, 'i) Fsm.t ->
+  progress:('s -> 'i -> 's -> bool) ->
+  ('s, 'i) liveness_outcome
+
+val reachable_states : ?max_states:int -> ('s, 'i) Fsm.t -> int

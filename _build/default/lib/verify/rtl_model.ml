@@ -1,0 +1,67 @@
+open Bitvec
+
+type t = {
+  circuit : Hdl.Circuit.t;
+  reg_index : (int, int) Hashtbl.t; (* reg uid -> state slot *)
+}
+
+type state = Bits.t array
+
+let of_circuit circuit =
+  let reg_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i r -> Hashtbl.replace reg_index (Hdl.Signal.uid r) i)
+    (Hdl.Circuit.regs circuit);
+  { circuit; reg_index }
+
+let initial t =
+  Array.map
+    (fun r ->
+      match r with
+      | Hdl.Signal.Reg { reset_value; _ } -> reset_value
+      | _ -> assert false)
+    (Hdl.Circuit.regs t.circuit)
+
+(* settle all combinational values for one cycle *)
+let settle t state ~inputs =
+  let values = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      let s = Hdl.Circuit.find_input t.circuit (fst i) in
+      if Bits.width (snd i) <> Hdl.Signal.width s then
+        invalid_arg "Rtl_model: input width mismatch";
+      Hashtbl.replace values (Hdl.Signal.uid s) (snd i))
+    inputs;
+  Array.iter
+    (fun s ->
+      match s with
+      | Hdl.Signal.Const { bits; _ } ->
+          Hashtbl.replace values (Hdl.Signal.uid s) bits
+      | _ -> ())
+    (Hdl.Circuit.nodes t.circuit);
+  Array.iter
+    (fun r ->
+      Hashtbl.replace values (Hdl.Signal.uid r)
+        state.(Hashtbl.find t.reg_index (Hdl.Signal.uid r)))
+    (Hdl.Circuit.regs t.circuit);
+  let lookup s =
+    match Hashtbl.find_opt values (Hdl.Signal.uid s) with
+    | Some v -> v
+    | None -> invalid_arg ("Rtl_model: no value for " ^ Hdl.Signal.name_of s)
+  in
+  Array.iter
+    (fun s ->
+      Hashtbl.replace values (Hdl.Signal.uid s) (Sim.Eval.comb_node ~lookup s))
+    (Hdl.Circuit.comb_order t.circuit);
+  lookup
+
+let outputs t state ~inputs =
+  let lookup = settle t state ~inputs in
+  fun name -> lookup (Hdl.Circuit.find_output t.circuit name)
+
+let step t state ~inputs =
+  let lookup = settle t state ~inputs in
+  Array.mapi
+    (fun i r ->
+      Sim.Eval.reg_next ~lookup ~current:state.(i) r)
+    (Hdl.Circuit.regs t.circuit)

@@ -1,0 +1,27 @@
+(** Pure functional semantics of an elaborated circuit.
+
+    The simulation kernels in {!Sim} are imperative; explicit-state model
+    checking needs immutable, hashable states.  This module compiles a
+    circuit into a pure stepper whose state is the vector of register
+    values — which lets {!Props.check_relay_station_rtl} explore the
+    {e generated netlists} exhaustively, closing the gap between the
+    verified abstract FSMs and the emitted hardware. *)
+
+open Bitvec
+
+type t
+
+val of_circuit : Hdl.Circuit.t -> t
+
+type state = Bits.t array
+(** Register values, in [Hdl.Circuit.regs] order. *)
+
+val initial : t -> state
+
+val outputs :
+  t -> state -> inputs:(string * Bits.t) list -> (string -> Bits.t)
+(** Combinational evaluation: the settled value of each named output under
+    the given input assignment.  Raises [Not_found] on unknown names. *)
+
+val step : t -> state -> inputs:(string * Bits.t) list -> state
+(** One clock edge. *)

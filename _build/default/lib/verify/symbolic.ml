@@ -1,0 +1,327 @@
+open Bitvec
+module S = Hdl.Signal
+
+type t = {
+  circuit : Hdl.Circuit.t;
+  man : Bdd.man;
+  n_state_bits : int;
+  reg_offset : (int, int) Hashtbl.t; (* reg uid -> bit offset *)
+  input_vars : (int, int) Hashtbl.t; (* input uid -> first variable *)
+  vectors : (int, Bdd.t array) Hashtbl.t; (* signal uid -> value bits *)
+  all_input_vars : int list;
+  mutable reached : Bdd.t option;
+  mutable iterations : int;
+}
+
+let cur_var offset bit = 2 * (offset + bit)
+let nxt_var offset bit = (2 * (offset + bit)) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Bit-blasting.                                                       *)
+
+let blast_add m a b ~carry_in =
+  let w = Array.length a in
+  let out = Array.make w Bdd.fls in
+  let carry = ref carry_in in
+  for i = 0 to w - 1 do
+    let axb = Bdd.xor_ m a.(i) b.(i) in
+    out.(i) <- Bdd.xor_ m axb !carry;
+    carry := Bdd.or_ m (Bdd.and_ m a.(i) b.(i)) (Bdd.and_ m !carry axb)
+  done;
+  out
+
+let blast_not m a = Array.map (Bdd.not_ m) a
+let blast_sub m a b = blast_add m a (blast_not m b) ~carry_in:Bdd.tru
+
+let blast_mul m a b =
+  let w = Array.length a in
+  let acc = ref (Array.make w Bdd.fls) in
+  for i = 0 to w - 1 do
+    (* partial product: (a << i) masked by b_i *)
+    let partial =
+      Array.init w (fun j -> if j < i then Bdd.fls else Bdd.and_ m b.(i) a.(j - i))
+    in
+    acc := blast_add m !acc partial ~carry_in:Bdd.fls
+  done;
+  !acc
+
+let blast_ult m a b =
+  let lt = ref Bdd.fls in
+  Array.iteri
+    (fun i ai ->
+      let e = Bdd.iff m ai b.(i) in
+      lt := Bdd.or_ m (Bdd.and_ m (Bdd.not_ m ai) b.(i)) (Bdd.and_ m e !lt))
+    a;
+  !lt
+
+let blast_eq m a b =
+  let acc = ref Bdd.tru in
+  Array.iteri (fun i ai -> acc := Bdd.and_ m !acc (Bdd.iff m ai b.(i))) a;
+  !acc
+
+let bit b = if b then Bdd.tru else Bdd.fls
+
+let blast_const bits = Array.init (Bits.width bits) (fun i -> bit (Bits.get bits i))
+
+(* equality of a vector against an integer constant *)
+let vector_is m vec value =
+  let acc = ref Bdd.tru in
+  Array.iteri
+    (fun i v ->
+      let want = (value lsr i) land 1 = 1 in
+      acc := Bdd.and_ m !acc (if want then v else Bdd.not_ m v))
+    vec;
+  !acc
+
+let build_vectors t =
+  let m = t.man in
+  let vec s = Hashtbl.find t.vectors (S.uid s) in
+  let set s v = Hashtbl.replace t.vectors (S.uid s) v in
+  (* sources *)
+  Array.iter
+    (fun s ->
+      match s with
+      | S.Const { bits; _ } -> set s (blast_const bits)
+      | S.Reg { width; _ } ->
+          let off = Hashtbl.find t.reg_offset (S.uid s) in
+          set s (Array.init width (fun i -> Bdd.var m (cur_var off i)))
+      | S.Input { width; _ } ->
+          let base = Hashtbl.find t.input_vars (S.uid s) in
+          set s (Array.init width (fun i -> Bdd.var m (base + i)))
+      | _ -> ())
+    (Hdl.Circuit.nodes t.circuit);
+  (* combinational nodes in topological order *)
+  Array.iter
+    (fun s ->
+      let v =
+        match s with
+        | S.Const _ | S.Input _ | S.Reg _ -> assert false
+        | S.Wire { driver = Some d; _ } -> vec d
+        | S.Wire { driver = None; _ } -> invalid_arg "Symbolic: undriven wire"
+        | S.Unop { op; a; _ } -> (
+            let a = vec a in
+            match op with
+            | S.Op_not -> blast_not m a
+            | S.Op_neg -> blast_sub m (Array.map (fun _ -> Bdd.fls) a) a
+            | S.Op_reduce_or ->
+                [| Array.fold_left (Bdd.or_ m) Bdd.fls a |]
+            | S.Op_reduce_and ->
+                [| Array.fold_left (Bdd.and_ m) Bdd.tru a |]
+            | S.Op_reduce_xor ->
+                [| Array.fold_left (Bdd.xor_ m) Bdd.fls a |])
+        | S.Binop { op; a; b; _ } -> (
+            let a = vec a and b = vec b in
+            match op with
+            | S.Op_add -> blast_add m a b ~carry_in:Bdd.fls
+            | S.Op_sub -> blast_sub m a b
+            | S.Op_mul -> blast_mul m a b
+            | S.Op_and -> Array.map2 (Bdd.and_ m) a b
+            | S.Op_or -> Array.map2 (Bdd.or_ m) a b
+            | S.Op_xor -> Array.map2 (Bdd.xor_ m) a b
+            | S.Op_eq -> [| blast_eq m a b |]
+            | S.Op_ne -> [| Bdd.not_ m (blast_eq m a b) |]
+            | S.Op_ult -> [| blast_ult m a b |]
+            | S.Op_ule -> [| Bdd.not_ m (blast_ult m b a) |]
+            | S.Op_slt ->
+                let flip v =
+                  let v = Array.copy v in
+                  v.(Array.length v - 1) <- Bdd.not_ m v.(Array.length v - 1);
+                  v
+                in
+                [| blast_ult m (flip a) (flip b) |])
+        | S.Mux { sel; cases; _ } ->
+            let sel = vec sel in
+            let cases = List.map vec cases in
+            let n = List.length cases in
+            let rec chain i = function
+              | [] -> assert false
+              | [ last ] -> last
+              | c :: rest ->
+                  let rest_v = chain (i + 1) rest in
+                  let cond = vector_is m sel i in
+                  ignore n;
+                  Array.init (Array.length c) (fun j ->
+                      Bdd.ite m cond c.(j) rest_v.(j))
+              in
+            chain 0 cases
+        | S.Concat { parts; _ } ->
+            (* parts are msb-first; bit arrays are lsb-first *)
+            Array.concat (List.rev_map vec parts)
+        | S.Select { a; hi; lo; _ } ->
+            let a = vec a in
+            Array.sub a lo (hi - lo + 1)
+      in
+      set s v)
+    (Hdl.Circuit.comb_order t.circuit)
+
+(* ------------------------------------------------------------------ *)
+
+let of_circuit circuit =
+  let man = Bdd.create ~size_hint:4096 () in
+  let reg_offset = Hashtbl.create 8 in
+  let n_state_bits =
+    Array.fold_left
+      (fun off r ->
+        Hashtbl.replace reg_offset (S.uid r) off;
+        off + S.width r)
+      0 (Hdl.Circuit.regs circuit)
+  in
+  let input_vars = Hashtbl.create 8 in
+  let all_input_vars = ref [] in
+  let next_input = ref (2 * n_state_bits) in
+  List.iter
+    (fun i ->
+      Hashtbl.replace input_vars (S.uid i) !next_input;
+      for v = !next_input to !next_input + S.width i - 1 do
+        all_input_vars := v :: !all_input_vars
+      done;
+      next_input := !next_input + S.width i)
+    (Hdl.Circuit.inputs circuit);
+  let t =
+    {
+      circuit;
+      man;
+      n_state_bits;
+      reg_offset;
+      input_vars;
+      vectors = Hashtbl.create 64;
+      all_input_vars = List.rev !all_input_vars;
+      reached = None;
+      iterations = 0;
+    }
+  in
+  build_vectors t;
+  t
+
+let man t = t.man
+
+let find_named signals name =
+  match
+    List.find_opt (fun s -> S.name_of s = name) signals
+  with
+  | Some s -> s
+  | None -> raise Not_found
+
+let signal_vector t s =
+  match Hashtbl.find_opt t.vectors (S.uid s) with
+  | Some v -> Array.copy v
+  | None -> invalid_arg "Symbolic.signal_vector: signal not in circuit"
+
+let input_vector t name = signal_vector t (Hdl.Circuit.find_input t.circuit name)
+let output_vector t name = signal_vector t (Hdl.Circuit.find_output t.circuit name)
+
+let reg_vector t name =
+  signal_vector t (find_named (Array.to_list (Hdl.Circuit.regs t.circuit)) name)
+
+(* transition relation and initial state *)
+let transition t =
+  let m = t.man in
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | S.Reg { d = Some d; enable; width; _ } ->
+          let off = Hashtbl.find t.reg_offset (S.uid r) in
+          let dv = Hashtbl.find t.vectors (S.uid d) in
+          let en =
+            match enable with
+            | None -> Bdd.tru
+            | Some e -> (Hashtbl.find t.vectors (S.uid e)).(0)
+          in
+          let acc = ref acc in
+          for i = 0 to width - 1 do
+            let cur = Bdd.var m (cur_var off i) in
+            let nxt = Bdd.var m (nxt_var off i) in
+            let next_val = Bdd.ite m en dv.(i) cur in
+            acc := Bdd.and_ m !acc (Bdd.iff m nxt next_val)
+          done;
+          !acc
+      | _ -> invalid_arg "Symbolic: unbound register")
+    Bdd.tru (Hdl.Circuit.regs t.circuit)
+
+let initial_states t =
+  let m = t.man in
+  Array.fold_left
+    (fun acc r ->
+      match r with
+      | S.Reg { reset_value; width; _ } ->
+          let off = Hashtbl.find t.reg_offset (S.uid r) in
+          let acc = ref acc in
+          for i = 0 to width - 1 do
+            let v = Bdd.var m (cur_var off i) in
+            acc :=
+              Bdd.and_ m !acc (if Bits.get reset_value i then v else Bdd.not_ m v)
+          done;
+          !acc
+      | _ -> acc)
+    Bdd.tru (Hdl.Circuit.regs t.circuit)
+
+let current_vars t = List.init t.n_state_bits (fun i -> 2 * i)
+
+let reachable t =
+  match t.reached with
+  | Some r -> r
+  | None ->
+      let m = t.man in
+      let trans = transition t in
+      let cur = current_vars t in
+      let quantified = cur @ t.all_input_vars in
+      (* rename next -> current: 2i+1 -> 2i, strictly monotone *)
+      let back v =
+        if v < 2 * t.n_state_bits then
+          if v land 1 = 1 then v - 1
+          else invalid_arg "Symbolic: current variable survived quantification"
+        else v
+      in
+      let image set =
+        Bdd.rename m back (Bdd.exists m quantified (Bdd.and_ m set trans))
+      in
+      let rec fixpoint reached frontier n =
+        if Bdd.is_false frontier then (reached, n)
+        else begin
+          let next = image frontier in
+          let fresh = Bdd.and_ m next (Bdd.not_ m reached) in
+          fixpoint (Bdd.or_ m reached fresh) fresh (n + 1)
+        end
+      in
+      let init = initial_states t in
+      let r, n = fixpoint init init 0 in
+      t.reached <- Some r;
+      t.iterations <- n;
+      r
+
+let reachable_count t =
+  let r = reachable t in
+  (* the reachable set ranges over current-state variables 0,2,4,...; count
+     over that sub-universe by halving out the unused odd slots *)
+  let full = Bdd.sat_count t.man ~n_vars:(2 * t.n_state_bits) r in
+  full /. (2.0 ** float_of_int t.n_state_bits)
+
+let iterations t = t.iterations
+
+type verdict =
+  | Holds
+  | Violation of { state : (string * Bits.t) list }
+
+let check_invariant t prop =
+  let m = t.man in
+  let bad =
+    Bdd.and_ m (reachable t) (Bdd.exists m t.all_input_vars (Bdd.not_ m prop))
+  in
+  if Bdd.is_false bad then Holds
+  else begin
+    let assignment = Bdd.any_sat m bad in
+    let value_of v =
+      match List.assoc_opt v assignment with Some b -> b | None -> false
+    in
+    let state =
+      Array.to_list (Hdl.Circuit.regs t.circuit)
+      |> List.map (fun r ->
+             let off = Hashtbl.find t.reg_offset (S.uid r) in
+             let bits =
+               Bits.of_bool_array
+                 (Array.init (S.width r) (fun i -> value_of (cur_var off i)))
+             in
+             (S.name_of r, bits))
+    in
+    Violation { state }
+  end

@@ -1,0 +1,47 @@
+(** Symbolic (BDD-based) reachability over circuits — the engine family SMV
+    itself belongs to.
+
+    A circuit's registers become interleaved current/next state variables,
+    its inputs free variables; every signal is bit-blasted into a vector of
+    BDDs and the transition relation is the conjunction of the registers'
+    update equations.  Reachability is the usual image-computation fixpoint,
+    and invariants are checked against the reachable set, yielding a
+    concrete witness state on violation.
+
+    The test suite cross-validates the reachable-state counts against
+    explicit enumeration via {!Rtl_model}, and E11 uses this engine to
+    verify structural invariants of the generated relay stations. *)
+
+type t
+
+val of_circuit : Hdl.Circuit.t -> t
+val man : t -> Bdd.man
+
+val input_vector : t -> string -> Bdd.t array
+(** The free variables of a named input (lsb first). *)
+
+val reg_vector : t -> string -> Bdd.t array
+(** The current-state variables of a named register. *)
+
+val output_vector : t -> string -> Bdd.t array
+(** A named output as functions of current state and inputs. *)
+
+val signal_vector : t -> Hdl.Signal.t -> Bdd.t array
+
+val reachable : t -> Bdd.t
+(** The set of reachable register states (over current-state variables);
+    computed once and cached. *)
+
+val reachable_count : t -> float
+val iterations : t -> int
+(** Image steps until the fixpoint (after {!reachable} ran). *)
+
+type verdict =
+  | Holds
+  | Violation of { state : (string * Bitvec.Bits.t) list }
+      (** a reachable register assignment falsifying the property (for some
+          input assignment) *)
+
+val check_invariant : t -> Bdd.t -> verdict
+(** The property may mention current-state and input variables; it must
+    hold for {e all} inputs in {e every} reachable state. *)

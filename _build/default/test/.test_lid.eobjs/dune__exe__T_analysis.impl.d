@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Array Lid List QCheck QCheck_alcotest Random Skeleton Topology

@@ -1,0 +1,1 @@
+test/t_bdd.ml: Alcotest Array Bits Bitvec Hashtbl Hdl Lid List Printf QCheck QCheck_alcotest Queue Random Verify

@@ -1,0 +1,1 @@
+test/t_bits.ml: Alcotest Bits Bitvec List Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/t_classify.ml: Alcotest Format Lid List Topology

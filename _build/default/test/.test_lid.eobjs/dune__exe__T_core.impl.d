@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Array Lid List

@@ -1,0 +1,1 @@
+test/t_cure_trace.ml: Alcotest Astring Lid List Skeleton String Topology

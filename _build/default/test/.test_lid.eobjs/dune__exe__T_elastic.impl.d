@@ -1,0 +1,1 @@
+test/t_elastic.ml: Alcotest Lid List Printf QCheck QCheck_alcotest Random Skeleton Topology

@@ -1,0 +1,1 @@
+test/t_emit.ml: Alcotest Astring Bits Bitvec Emit Hdl Lid List String

@@ -1,0 +1,1 @@
+test/t_floorplan.ml: Alcotest Astring Lid List Skeleton Topology

@@ -1,0 +1,1 @@
+test/t_hdl.ml: Alcotest Array Bits Bitvec Hdl List Sim String

@@ -1,0 +1,1 @@
+test/t_measure_equiv.ml: Alcotest Lid List Printf QCheck QCheck_alcotest Random Skeleton Topology

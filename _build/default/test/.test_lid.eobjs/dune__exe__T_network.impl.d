@@ -1,0 +1,1 @@
+test/t_network.ml: Alcotest Array Astring Lid List Random Topology

@@ -1,0 +1,1 @@
+test/t_pattern.ml: Alcotest Format List Topology

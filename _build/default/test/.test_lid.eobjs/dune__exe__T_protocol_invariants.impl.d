@@ -1,0 +1,1 @@
+test/t_protocol_invariants.ml: Alcotest Hashtbl Lid List Printf QCheck QCheck_alcotest Random Skeleton Topology

@@ -1,0 +1,1 @@
+test/t_relay_station.ml: Alcotest Lid List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/t_rtl_gen.ml: Alcotest Array Bits Bitvec Hdl Lid List Option Printf QCheck QCheck_alcotest Random Sim

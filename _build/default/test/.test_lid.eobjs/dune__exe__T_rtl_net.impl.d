@@ -1,0 +1,1 @@
+test/t_rtl_net.ml: Alcotest Astring Bits Bitvec Emit Hashtbl Hdl Lid List QCheck QCheck_alcotest Random Sim Skeleton String Topology

@@ -1,0 +1,1 @@
+test/t_scale.ml: Alcotest Array Bitvec Hdl Lid List Printf Random Sim Skeleton Topology

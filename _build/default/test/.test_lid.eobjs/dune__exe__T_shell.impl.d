@@ -1,0 +1,1 @@
+test/t_shell.ml: Alcotest Lid List

@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Astring Bits Bitvec Filename Hdl In_channel List Printf QCheck QCheck_alcotest Random Sim String Sys

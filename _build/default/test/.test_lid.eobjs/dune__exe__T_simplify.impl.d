@@ -1,0 +1,1 @@
+test/t_simplify.ml: Alcotest Bits Bitvec Hdl Lid List Printf QCheck QCheck_alcotest Random Sim

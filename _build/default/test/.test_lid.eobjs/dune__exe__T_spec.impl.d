@@ -1,0 +1,1 @@
+test/t_spec.ml: Alcotest Astring Emit Lid List Printf QCheck QCheck_alcotest Random Skeleton String Topology

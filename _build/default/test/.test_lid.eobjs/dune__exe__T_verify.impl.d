@@ -1,0 +1,1 @@
+test/t_verify.ml: Alcotest Array Bitvec Hdl Lid List Printf QCheck QCheck_alcotest Random Sim Skeleton String Topology Verify

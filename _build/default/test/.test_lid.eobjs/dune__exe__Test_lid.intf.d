@@ -1,0 +1,1 @@
+test/test_lid.mli:

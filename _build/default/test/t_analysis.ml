@@ -1,0 +1,127 @@
+(* Closed-form analysis, path equalization, static deadlock rules. *)
+
+module A = Topology.Analysis
+module G = Topology.Generators
+module Eq = Topology.Equalize
+
+let flt = Alcotest.(check (float 1e-9))
+
+let test_loop_throughput_formula () =
+  flt "2/(2+2)" 0.5 (A.loop_throughput ~s:2 ~r:2);
+  flt "3/(3+1)" 0.75 (A.loop_throughput ~s:3 ~r:1);
+  flt "no stations" 1.0 (A.loop_throughput ~s:4 ~r:0);
+  Alcotest.check_raises "s=0"
+    (Invalid_argument "Analysis.loop_throughput: need at least one shell")
+    (fun () -> ignore (A.loop_throughput ~s:0 ~r:1))
+
+let test_ff_throughput_formula () =
+  flt "fig1" 0.8 (A.ff_throughput ~m:5 ~i:1);
+  flt "balanced" 1.0 (A.ff_throughput ~m:6 ~i:0);
+  Alcotest.check_raises "bad i" (Invalid_argument "Analysis.ff_throughput: bad m/i")
+    (fun () -> ignore (A.ff_throughput ~m:3 ~i:4))
+
+let test_ff_params () =
+  Alcotest.(check (pair int int)) "fig1 params" (5, 1)
+    (A.ff_params ~r_short:1 ~r_long:2 ~shells_long:1)
+
+let test_transient_bound_positive () =
+  Alcotest.(check bool) "positive" true (A.transient_bound (G.fig1 ()) > 0)
+
+(* equalization *)
+
+let test_plan_balances_fig1 () =
+  let additions = Eq.plan (G.fig1 ()) in
+  (* the direct branch is 2 stations short in latency *)
+  Alcotest.(check int) "one channel touched" 1 (List.length additions);
+  Alcotest.(check int) "2 spares" 2 (List.hd additions).Eq.spare
+
+let test_plan_empty_on_balanced () =
+  Alcotest.(check int) "no additions" 0
+    (List.length (Eq.plan (G.chain ~n_shells:4 ())))
+
+let test_plan_rejects_loops () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Eq.plan (G.fig2 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_optimize_reaches_one () =
+  List.iter
+    (fun net ->
+      let net', _ = Eq.optimize net in
+      flt "bound 1" 1.0 (Topology.Elastic.throughput_bound net');
+      (* and the real system agrees *)
+      let engine = Skeleton.Engine.create net' in
+      match Skeleton.Measure.analyze engine with
+      | Some r -> flt "measured 1" 1.0 (Skeleton.Measure.system_throughput r)
+      | None -> Alcotest.fail "no steady state")
+    [
+      G.fig1 ();
+      G.fig1 ~r_to_b:2 ~r_from_b:2 ();
+      G.reconvergent ~r_short:1 ~r_long_head:3 ~r_long_tail:1 ();
+    ]
+
+let test_optimize_noop_when_already_full () =
+  let net = G.chain ~n_shells:3 () in
+  let _, additions = Eq.optimize net in
+  Alcotest.(check int) "untouched" 0 (List.length additions)
+
+let prop_optimize_random_dags =
+  QCheck.Test.make ~name:"optimize reaches throughput 1 on random DAGs"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 41 |] in
+      let net = Topology.Generators.random_dag ~rng ~n_shells:(3 + (seed mod 5)) () in
+      let net', _ = Eq.optimize ~budget:128 net in
+      Topology.Elastic.throughput_bound net' = 1.0)
+
+(* static deadlock rules *)
+
+let test_static_feedforward_safe () =
+  List.iter
+    (fun net ->
+      Alcotest.(check bool) "safe" true
+        (Topology.Deadlock.is_statically_safe (Topology.Deadlock.static_verdict net)))
+    [ G.chain ~n_shells:3 (); G.fig1 (); G.tree ~depth:3 () ]
+
+let test_static_full_only_safe () =
+  match Topology.Deadlock.static_verdict (G.fig2 ()) with
+  | Topology.Deadlock.Safe_full_only -> ()
+  | _ -> Alcotest.fail "expected Safe_full_only"
+
+let test_static_half_in_loop_flagged () =
+  let net = G.ring ~n_shells:3 ~stations:[ Lid.Relay_station.Half ] () in
+  match Topology.Deadlock.static_verdict net with
+  | Topology.Deadlock.Potential { half_in_loops } ->
+      Alcotest.(check int) "one loop" 1 (List.length half_in_loops);
+      Alcotest.(check int) "3 halves" 3 (snd (List.hd half_in_loops))
+  | _ -> Alcotest.fail "expected Potential"
+
+let test_static_half_off_loop_ok () =
+  (* halves on a feed-forward spur of a full-station loop are harmless *)
+  let net =
+    G.ring_tapped ~n_shells:3 ~stations:[ Lid.Relay_station.Full ] ()
+  in
+  let e0 = (Topology.Network.out_edges net 0).(0) in
+  ignore e0;
+  Alcotest.(check bool) "safe" true
+    (Topology.Deadlock.is_statically_safe (Topology.Deadlock.static_verdict net))
+
+let suite =
+  [
+    Alcotest.test_case "loop formula" `Quick test_loop_throughput_formula;
+    Alcotest.test_case "ff formula" `Quick test_ff_throughput_formula;
+    Alcotest.test_case "ff params" `Quick test_ff_params;
+    Alcotest.test_case "transient bound positive" `Quick test_transient_bound_positive;
+    Alcotest.test_case "plan balances fig1" `Quick test_plan_balances_fig1;
+    Alcotest.test_case "plan no-op when balanced" `Quick test_plan_empty_on_balanced;
+    Alcotest.test_case "plan rejects loops" `Quick test_plan_rejects_loops;
+    Alcotest.test_case "optimize reaches 1" `Quick test_optimize_reaches_one;
+    Alcotest.test_case "optimize no-op at 1" `Quick test_optimize_noop_when_already_full;
+    QCheck_alcotest.to_alcotest prop_optimize_random_dags;
+    Alcotest.test_case "static: feed-forward safe" `Quick test_static_feedforward_safe;
+    Alcotest.test_case "static: full-only safe" `Quick test_static_full_only_safe;
+    Alcotest.test_case "static: half in loop flagged" `Quick
+      test_static_half_in_loop_flagged;
+    Alcotest.test_case "static: half off loop ok" `Quick test_static_half_off_loop_ok;
+  ]

@@ -1,0 +1,246 @@
+(* The ROBDD package and the symbolic reachability engine. *)
+
+module B = Verify.Bdd
+open Bitvec
+
+let test_constants () =
+  let m = B.create () in
+  Alcotest.(check bool) "true" true (B.is_true B.tru);
+  Alcotest.(check bool) "false" true (B.is_false B.fls);
+  Alcotest.(check bool) "not true = false" true (B.is_false (B.not_ m B.tru))
+
+let test_canonicity () =
+  let m = B.create () in
+  let x = B.var m 0 and y = B.var m 1 in
+  (* same function built two ways shares the same node *)
+  let a = B.and_ m x y in
+  let b = B.not_ m (B.or_ m (B.not_ m x) (B.not_ m y)) in
+  Alcotest.(check bool) "De Morgan, canonical" true (B.equal a b);
+  Alcotest.(check bool) "x xor x = false" true (B.is_false (B.xor_ m x x));
+  Alcotest.(check bool) "x or !x = true" true (B.is_true (B.or_ m x (B.not_ m x)))
+
+let test_ite () =
+  let m = B.create () in
+  let x = B.var m 0 and y = B.var m 1 and z = B.var m 2 in
+  let f = B.ite m x y z in
+  Alcotest.(check bool) "ite eval 1" true (B.eval m f (fun v -> v = 0 || v = 1));
+  Alcotest.(check bool) "ite eval 0" false (B.eval m f (fun v -> v = 0));
+  Alcotest.(check bool) "ite eval else" true (B.eval m f (fun v -> v = 2))
+
+let test_quantifiers () =
+  let m = B.create () in
+  let x = B.var m 0 and y = B.var m 1 in
+  let f = B.and_ m x y in
+  Alcotest.(check bool) "exists x. x&y = y" true (B.equal (B.exists m [ 0 ] f) y);
+  Alcotest.(check bool) "forall x. x&y = false" true
+    (B.is_false (B.forall m [ 0 ] f));
+  Alcotest.(check bool) "forall x. x|!x" true
+    (B.is_true (B.forall m [ 0 ] (B.or_ m x (B.not_ m x))))
+
+let test_rename () =
+  let m = B.create () in
+  let f = B.and_ m (B.var m 1) (B.var m 3) in
+  let g = B.rename m (fun v -> v - 1) f in
+  Alcotest.(check bool) "renamed" true
+    (B.equal g (B.and_ m (B.var m 0) (B.var m 2)));
+  Alcotest.check_raises "non-monotone rejected"
+    (Invalid_argument "Bdd.rename: mapping is not order-preserving") (fun () ->
+      ignore (B.rename m (fun v -> 3 - v) f))
+
+let test_sat_count () =
+  let m = B.create () in
+  let x = B.var m 0 and y = B.var m 1 in
+  Alcotest.(check (float 1e-9)) "x over 2 vars" 2.0 (B.sat_count m ~n_vars:2 x);
+  Alcotest.(check (float 1e-9)) "x&y" 1.0 (B.sat_count m ~n_vars:2 (B.and_ m x y));
+  Alcotest.(check (float 1e-9)) "x|y" 3.0 (B.sat_count m ~n_vars:2 (B.or_ m x y));
+  Alcotest.(check (float 1e-9)) "true over 5" 32.0 (B.sat_count m ~n_vars:5 B.tru)
+
+let test_any_sat () =
+  let m = B.create () in
+  let f = B.and_ m (B.var m 0) (B.nvar m 2) in
+  let a = B.any_sat m f in
+  Alcotest.(check bool) "satisfies" true
+    (B.eval m f (fun v -> match List.assoc_opt v a with Some b -> b | None -> false));
+  Alcotest.check_raises "unsat" Not_found (fun () -> ignore (B.any_sat m B.fls))
+
+(* random expressions: BDD evaluation equals direct evaluation *)
+type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
+
+let rec gen_expr rng depth =
+  if depth = 0 || Random.State.int rng 4 = 0 then V (Random.State.int rng 5)
+  else
+    match Random.State.int rng 4 with
+    | 0 -> Not (gen_expr rng (depth - 1))
+    | 1 -> And (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | 2 -> Or (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    | _ -> Xor (gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+
+let rec eval_expr env = function
+  | V v -> env v
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+let rec bdd_expr m = function
+  | V v -> B.var m v
+  | Not e -> B.not_ m (bdd_expr m e)
+  | And (a, b) -> B.and_ m (bdd_expr m a) (bdd_expr m b)
+  | Or (a, b) -> B.or_ m (bdd_expr m a) (bdd_expr m b)
+  | Xor (a, b) -> B.xor_ m (bdd_expr m a) (bdd_expr m b)
+
+let prop_bdd_semantics =
+  QCheck.Test.make ~name:"BDD = direct evaluation (exhaustive over 5 vars)"
+    ~count:200 QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed; 81 |] in
+      let e = gen_expr rng 6 in
+      let m = B.create () in
+      let f = bdd_expr m e in
+      let ok = ref true in
+      for bits = 0 to 31 do
+        let env v = (bits lsr v) land 1 = 1 in
+        if B.eval m f env <> eval_expr env e then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic reachability.                                              *)
+
+let counter_circuit ~w ~limit () =
+  (* counts up to [limit] then wraps to 0 *)
+  let open Hdl.Signal in
+  let r =
+    reg_fb ~name:"cnt" ~reset:(Bits.zero w) ~width:w (fun r ->
+        mux2 (r ==: consti ~width:w limit) (consti ~width:w 0)
+          (r +: consti ~width:w 1))
+  in
+  Hdl.Circuit.create ~name:"cnt" ~inputs:[] ~outputs:[ output "q" r ]
+
+let test_reachable_counter () =
+  let sym = Verify.Symbolic.of_circuit (counter_circuit ~w:4 ~limit:9 ()) in
+  Alcotest.(check (float 1e-9)) "10 states" 10.0 (Verify.Symbolic.reachable_count sym);
+  Alcotest.(check bool) "iterations near diameter" true
+    (Verify.Symbolic.iterations sym >= 9)
+
+let test_reachable_with_inputs () =
+  (* an up/down saturating counter: inputs make the space richer *)
+  let open Hdl.Signal in
+  let up = input "up" 1 in
+  let w = 3 in
+  let r =
+    reg_fb ~name:"c" ~reset:(Bits.zero w) ~width:w (fun r ->
+        mux2 up
+          (mux2 (r ==: consti ~width:w 7) r (r +: consti ~width:w 1))
+          (mux2 (r ==: consti ~width:w 0) r (r -: consti ~width:w 1)))
+  in
+  let c = Hdl.Circuit.create ~name:"ud" ~inputs:[ up ] ~outputs:[ output "q" r ] in
+  let sym = Verify.Symbolic.of_circuit c in
+  Alcotest.(check (float 1e-9)) "all 8 states" 8.0 (Verify.Symbolic.reachable_count sym)
+
+(* cross-validation: symbolic count = explicit enumeration *)
+let explicit_count circ =
+  let model = Verify.Rtl_model.of_circuit circ in
+  let inputs = Hdl.Circuit.inputs circ in
+  let n_bits =
+    List.fold_left (fun acc i -> acc + Hdl.Signal.width i) 0 inputs
+  in
+  let assignments =
+    List.init (1 lsl n_bits) (fun k ->
+        let off = ref 0 in
+        List.map
+          (fun i ->
+            let w = Hdl.Signal.width i in
+            let v = (k lsr !off) land ((1 lsl w) - 1) in
+            off := !off + w;
+            (Hdl.Signal.name_of i, Bits.of_int ~width:w v))
+          inputs)
+  in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let add st =
+    let key = Array.to_list (Array.map Bits.to_string st) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      Queue.add st queue
+    end
+  in
+  add (Verify.Rtl_model.initial model);
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    List.iter (fun inputs -> add (Verify.Rtl_model.step model st ~inputs)) assignments
+  done;
+  Hashtbl.length seen
+
+let test_symbolic_equals_explicit_rs () =
+  List.iter
+    (fun (kind, fl) ->
+      let circ = Lid.Rtl_gen.relay_station ~flavour:fl ~data_width:2 kind in
+      let sym = Verify.Symbolic.of_circuit circ in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "%s/%s" (Lid.Relay_station.kind_to_string kind)
+           (Lid.Protocol.to_string fl))
+        (float_of_int (explicit_count circ))
+        (Verify.Symbolic.reachable_count sym))
+    [
+      (Lid.Relay_station.Full, Lid.Protocol.Optimized);
+      (Lid.Relay_station.Half, Lid.Protocol.Optimized);
+      (Lid.Relay_station.Half, Lid.Protocol.Original);
+    ]
+
+let test_rs_structural_invariants () =
+  let m_of = Verify.Symbolic.man in
+  (* full station: the skid slot is only ever occupied behind an occupied
+     main slot, and stop is exactly skid occupancy *)
+  let circ = Lid.Rtl_gen.relay_station ~data_width:2 Lid.Relay_station.Full in
+  let sym = Verify.Symbolic.of_circuit circ in
+  let m = m_of sym in
+  let v_main = (Verify.Symbolic.reg_vector sym "v_main_r").(0) in
+  let v_aux = (Verify.Symbolic.reg_vector sym "v_aux_r").(0) in
+  (match Verify.Symbolic.check_invariant sym (Verify.Bdd.imp m v_aux v_main) with
+  | Verify.Symbolic.Holds -> ()
+  | Verify.Symbolic.Violation _ -> Alcotest.fail "v_aux => v_main violated");
+  let stop_out = (Verify.Symbolic.output_vector sym "stop_out").(0) in
+  (match Verify.Symbolic.check_invariant sym (Verify.Bdd.iff m stop_out v_aux) with
+  | Verify.Symbolic.Holds -> ()
+  | Verify.Symbolic.Violation _ -> Alcotest.fail "stop_out <-> v_aux violated");
+  (* and a deliberately false property yields a witness *)
+  match Verify.Symbolic.check_invariant sym (Verify.Bdd.not_ m v_main) with
+  | Verify.Symbolic.Violation { state } ->
+      Alcotest.(check bool) "witness names registers" true
+        (List.mem_assoc "v_main_r" state)
+  | Verify.Symbolic.Holds -> Alcotest.fail "expected a violation"
+
+let test_half_original_invariant () =
+  (* the original half station never holds a datum without its stop
+     register set (the no-duplication argument) *)
+  let circ =
+    Lid.Rtl_gen.relay_station ~flavour:Lid.Protocol.Original ~data_width:2
+      Lid.Relay_station.Half
+  in
+  let sym = Verify.Symbolic.of_circuit circ in
+  let m = Verify.Symbolic.man sym in
+  let v_hold = (Verify.Symbolic.reg_vector sym "v_hold_r").(0) in
+  let sreg = (Verify.Symbolic.reg_vector sym "sreg_r").(0) in
+  match Verify.Symbolic.check_invariant sym (Verify.Bdd.imp m v_hold sreg) with
+  | Verify.Symbolic.Holds -> ()
+  | Verify.Symbolic.Violation _ -> Alcotest.fail "holding => sreg violated"
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "canonicity" `Quick test_canonicity;
+    Alcotest.test_case "ite" `Quick test_ite;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "sat_count" `Quick test_sat_count;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    QCheck_alcotest.to_alcotest prop_bdd_semantics;
+    Alcotest.test_case "reachable: counter" `Quick test_reachable_counter;
+    Alcotest.test_case "reachable: with inputs" `Quick test_reachable_with_inputs;
+    Alcotest.test_case "symbolic = explicit (relay stations)" `Quick
+      test_symbolic_equals_explicit_rs;
+    Alcotest.test_case "relay station invariants (symbolic)" `Quick
+      test_rs_structural_invariants;
+    Alcotest.test_case "original half invariant (symbolic)" `Quick
+      test_half_original_invariant;
+  ]

@@ -1,0 +1,210 @@
+open Bitvec
+
+let check_bits = Alcotest.testable Bits.pp Bits.equal
+
+let test_zero_ones () =
+  Alcotest.(check int) "zero width" 7 (Bits.width (Bits.zero 7));
+  Alcotest.(check bool) "zero is_zero" true (Bits.is_zero (Bits.zero 7));
+  Alcotest.(check bool) "ones is_ones" true (Bits.is_ones (Bits.ones 7));
+  Alcotest.(check bool) "ones not zero" false (Bits.is_zero (Bits.ones 7));
+  Alcotest.(check int) "popcount ones" 13 (Bits.popcount (Bits.ones 13))
+
+let test_width_validation () =
+  Alcotest.check_raises "zero width" (Invalid_argument "Bits: width must be >= 1")
+    (fun () -> ignore (Bits.zero 0));
+  Alcotest.check_raises "negative width" (Invalid_argument "Bits: width must be >= 1")
+    (fun () -> ignore (Bits.ones (-3)))
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun (w, n) ->
+      Alcotest.(check int)
+        (Printf.sprintf "roundtrip %d width %d" n w)
+        n
+        (Bits.to_int (Bits.of_int ~width:w n)))
+    [ (1, 0); (1, 1); (8, 255); (8, 170); (16, 40000); (31, 0x7fffffff); (62, 12345678901234) ]
+
+let test_of_int_truncates () =
+  Alcotest.check check_bits "256 in 8 bits is 0" (Bits.zero 8)
+    (Bits.of_int ~width:8 256);
+  Alcotest.(check int) "257 in 8 bits is 1" 1 (Bits.to_int (Bits.of_int ~width:8 257))
+
+let test_of_int_negative () =
+  Alcotest.(check int) "-1 in 8 bits" 255 (Bits.to_int (Bits.of_int ~width:8 (-1)));
+  Alcotest.(check int) "-1 signed" (-1) (Bits.to_signed_int (Bits.of_int ~width:8 (-1)));
+  Alcotest.(check int) "-128 signed" (-128) (Bits.to_signed_int (Bits.of_int ~width:8 128))
+
+let test_of_string () =
+  Alcotest.(check int) "1010" 10 (Bits.to_int (Bits.of_string "1010"));
+  Alcotest.(check int) "0b prefix" 5 (Bits.to_int (Bits.of_string "0b101"));
+  Alcotest.(check int) "underscores" 10 (Bits.to_int (Bits.of_string "10_10"));
+  Alcotest.(check int) "width" 4 (Bits.width (Bits.of_string "0011"));
+  Alcotest.check_raises "empty" (Invalid_argument "Bits.of_string: empty literal")
+    (fun () -> ignore (Bits.of_string ""));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Bits.of_string: expected only 0, 1, _") (fun () ->
+      ignore (Bits.of_string "10x1"))
+
+let test_to_string () =
+  Alcotest.(check string) "msb first" "1010" (Bits.to_string (Bits.of_int ~width:4 10));
+  Alcotest.(check string) "padded" "0001" (Bits.to_string (Bits.of_int ~width:4 1))
+
+let test_get_set_bounds () =
+  let b = Bits.of_int ~width:4 0b1010 in
+  Alcotest.(check bool) "bit 1" true (Bits.get b 1);
+  Alcotest.(check bool) "bit 0" false (Bits.get b 0);
+  Alcotest.(check bool) "msb" true (Bits.msb b);
+  Alcotest.(check bool) "lsb" false (Bits.lsb b);
+  Alcotest.check_raises "oob" (Invalid_argument "Bits.get: index out of range")
+    (fun () -> ignore (Bits.get b 4))
+
+let test_logic () =
+  let a = Bits.of_int ~width:8 0b11001100 and b = Bits.of_int ~width:8 0b10101010 in
+  Alcotest.(check int) "and" 0b10001000 (Bits.to_int (Bits.logand a b));
+  Alcotest.(check int) "or" 0b11101110 (Bits.to_int (Bits.logor a b));
+  Alcotest.(check int) "xor" 0b01100110 (Bits.to_int (Bits.logxor a b));
+  Alcotest.(check int) "not" 0b00110011 (Bits.to_int (Bits.lognot a))
+
+let test_width_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Bits.add: width mismatch (8 vs 4)") (fun () ->
+      ignore (Bits.add (Bits.zero 8) (Bits.zero 4)))
+
+let test_arith () =
+  Alcotest.(check int) "add" 300 (Bits.to_int (Bits.add (Bits.of_int ~width:16 100) (Bits.of_int ~width:16 200)));
+  Alcotest.(check int) "add wraps" 44
+    (Bits.to_int (Bits.add (Bits.of_int ~width:8 200) (Bits.of_int ~width:8 100)));
+  Alcotest.(check int) "sub" 100 (Bits.to_int (Bits.sub (Bits.of_int ~width:16 300) (Bits.of_int ~width:16 200)));
+  Alcotest.(check int) "sub wraps" 206
+    (Bits.to_int (Bits.sub (Bits.of_int ~width:8 100) (Bits.of_int ~width:8 150)));
+  Alcotest.(check int) "neg" 246 (Bits.to_int (Bits.neg (Bits.of_int ~width:8 10)));
+  Alcotest.(check int) "mul" 200 (Bits.to_int (Bits.mul (Bits.of_int ~width:16 10) (Bits.of_int ~width:16 20)));
+  Alcotest.(check int) "mul wraps" ((123 * 57) land 0xff)
+    (Bits.to_int (Bits.mul (Bits.of_int ~width:8 123) (Bits.of_int ~width:8 57)))
+
+let test_compare () =
+  let b8 = Bits.of_int ~width:8 in
+  Alcotest.(check bool) "ult" true (Bits.ult (b8 5) (b8 6));
+  Alcotest.(check bool) "ult eq" false (Bits.ult (b8 6) (b8 6));
+  Alcotest.(check bool) "ule eq" true (Bits.ule (b8 6) (b8 6));
+  Alcotest.(check bool) "slt neg" true (Bits.slt (b8 255) (b8 0));
+  Alcotest.(check bool) "slt pos" true (Bits.slt (b8 3) (b8 4));
+  Alcotest.(check bool) "slt mixed" false (Bits.slt (b8 3) (b8 128))
+
+let test_shifts () =
+  let b = Bits.of_int ~width:8 0b1001 in
+  Alcotest.(check int) "sll" 0b100100 (Bits.to_int (Bits.shift_left b 2));
+  Alcotest.(check int) "sll out" 0 (Bits.to_int (Bits.shift_left b 8));
+  Alcotest.(check int) "srl" 0b10 (Bits.to_int (Bits.shift_right_logical b 2));
+  let n = Bits.of_int ~width:8 0b10000001 in
+  Alcotest.(check int) "sra" 0b11100000 (Bits.to_int (Bits.shift_right_arith n 2))
+
+let test_concat_select () =
+  let hi = Bits.of_int ~width:4 0xA and lo = Bits.of_int ~width:4 0x5 in
+  let c = Bits.concat ~msb:hi ~lsb:lo in
+  Alcotest.(check int) "concat" 0xA5 (Bits.to_int c);
+  Alcotest.(check int) "select hi" 0xA (Bits.to_int (Bits.select c ~hi:7 ~lo:4));
+  Alcotest.(check int) "select lo" 0x5 (Bits.to_int (Bits.select c ~hi:3 ~lo:0));
+  Alcotest.(check int) "select mid" 0b1001 (Bits.to_int (Bits.select c ~hi:5 ~lo:2));
+  Alcotest.check_raises "bad range" (Invalid_argument "Bits.select: bad range")
+    (fun () -> ignore (Bits.select c ~hi:8 ~lo:0))
+
+let test_extend () =
+  let b = Bits.of_int ~width:4 0b1010 in
+  Alcotest.(check int) "zext" 0b1010 (Bits.to_int (Bits.zero_extend b ~width:8));
+  Alcotest.(check int) "sext" 0b11111010 (Bits.to_int (Bits.sign_extend b ~width:8));
+  Alcotest.(check int) "resize down" 0b10 (Bits.to_int (Bits.resize b ~width:2));
+  Alcotest.(check int) "resize up" 0b1010 (Bits.to_int (Bits.resize b ~width:6))
+
+let test_reduce () =
+  Alcotest.(check bool) "or zero" false (Bits.reduce_or (Bits.zero 5));
+  Alcotest.(check bool) "or some" true (Bits.reduce_or (Bits.of_int ~width:5 4));
+  Alcotest.(check bool) "and ones" true (Bits.reduce_and (Bits.ones 5));
+  Alcotest.(check bool) "and partial" false (Bits.reduce_and (Bits.of_int ~width:5 30));
+  Alcotest.(check bool) "xor odd" true (Bits.reduce_xor (Bits.of_int ~width:5 0b10110));
+  Alcotest.(check bool) "xor even" false (Bits.reduce_xor (Bits.of_int ~width:5 0b10010))
+
+let test_mux () =
+  let cases = List.map (Bits.of_int ~width:8) [ 10; 20; 30 ] in
+  let sel i = Bits.of_int ~width:4 i in
+  Alcotest.(check int) "mux 0" 10 (Bits.to_int (Bits.mux ~sel:(sel 0) cases));
+  Alcotest.(check int) "mux 2" 30 (Bits.to_int (Bits.mux ~sel:(sel 2) cases));
+  Alcotest.(check int) "mux clamp" 30 (Bits.to_int (Bits.mux ~sel:(sel 9) cases));
+  let wide_sel = Bits.ones 40 in
+  Alcotest.(check int) "mux wide clamp" 30 (Bits.to_int (Bits.mux ~sel:wide_sel cases))
+
+let test_hex () =
+  Alcotest.(check string) "hex" "a5" (Bits.to_hex (Bits.of_int ~width:8 0xa5));
+  Alcotest.(check string) "hex pad" "05" (Bits.to_hex (Bits.of_int ~width:8 5));
+  Alcotest.(check string) "hex 5 bits" "15" (Bits.to_hex (Bits.of_int ~width:5 0b10101))
+
+let test_wide () =
+  (* widths beyond one word *)
+  let a = Bits.ones 100 in
+  Alcotest.(check int) "popcount 100" 100 (Bits.popcount a);
+  let b = Bits.add a (Bits.of_int ~width:100 1) in
+  Alcotest.(check bool) "ones+1 wraps to zero" true (Bits.is_zero b);
+  let c = Bits.shift_left (Bits.of_int ~width:100 1) 99 in
+  Alcotest.(check bool) "msb set" true (Bits.msb c);
+  Alcotest.(check bool) "only one bit" true (Bits.popcount c = 1)
+
+(* property tests: agreement with OCaml int arithmetic on small widths *)
+let gen_pair w =
+  QCheck.pair (QCheck.int_bound ((1 lsl w) - 1)) (QCheck.int_bound ((1 lsl w) - 1))
+
+let prop name w f =
+  QCheck.Test.make ~name ~count:500 (gen_pair w) (fun (x, y) -> f x y)
+
+let mask w v = v land ((1 lsl w) - 1)
+
+let props =
+  let w = 13 in
+  let b v = Bits.of_int ~width:w v in
+  [
+    prop "add = int add mod 2^w" w (fun x y ->
+        Bits.to_int (Bits.add (b x) (b y)) = mask w (x + y));
+    prop "sub = int sub mod 2^w" w (fun x y ->
+        Bits.to_int (Bits.sub (b x) (b y)) = mask w (x - y));
+    prop "mul = int mul mod 2^w" w (fun x y ->
+        Bits.to_int (Bits.mul (b x) (b y)) = mask w (x * y));
+    prop "and" w (fun x y -> Bits.to_int (Bits.logand (b x) (b y)) = x land y);
+    prop "or" w (fun x y -> Bits.to_int (Bits.logor (b x) (b y)) = x lor y);
+    prop "xor" w (fun x y -> Bits.to_int (Bits.logxor (b x) (b y)) = x lxor y);
+    prop "ult = <" w (fun x y -> Bits.ult (b x) (b y) = (x < y));
+    prop "compare consistent with to_int" w (fun x y ->
+        Stdlib.compare x y = Bits.compare (b x) (b y));
+    prop "to_string/of_string roundtrip" w (fun x _ ->
+        Bits.equal (b x) (Bits.of_string (Bits.to_string (b x))));
+    prop "neg is two's complement" w (fun x _ ->
+        Bits.to_int (Bits.neg (b x)) = mask w (-x));
+    prop "lognot . lognot = id" w (fun x _ ->
+        Bits.equal (b x) (Bits.lognot (Bits.lognot (b x))));
+    prop "concat then select recovers parts" w (fun x y ->
+        let c = Bits.concat ~msb:(b x) ~lsb:(b y) in
+        Bits.to_int (Bits.select c ~hi:((2 * w) - 1) ~lo:w) = x
+        && Bits.to_int (Bits.select c ~hi:(w - 1) ~lo:0) = y);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "zero/ones" `Quick test_zero_ones;
+    Alcotest.test_case "width validation" `Quick test_width_validation;
+    Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+    Alcotest.test_case "of_int truncates" `Quick test_of_int_truncates;
+    Alcotest.test_case "negative ints" `Quick test_of_int_negative;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "get/bounds" `Quick test_get_set_bounds;
+    Alcotest.test_case "logic ops" `Quick test_logic;
+    Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_compare;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "concat/select" `Quick test_concat_select;
+    Alcotest.test_case "extend/resize" `Quick test_extend;
+    Alcotest.test_case "reductions" `Quick test_reduce;
+    Alcotest.test_case "mux" `Quick test_mux;
+    Alcotest.test_case "hex" `Quick test_hex;
+    Alcotest.test_case "wide vectors" `Quick test_wide;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,94 @@
+module C = Topology.Classify
+module G = Topology.Generators
+
+let shape =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (C.shape_to_string s))
+    ( = )
+
+let test_chain_is_tree () =
+  let info = C.classify (G.chain ~n_shells:3 ()) in
+  Alcotest.check shape "tree" C.Tree info.shape;
+  Alcotest.(check bool) "acyclic" false info.cyclic
+
+let test_tree_is_tree () =
+  let info = C.classify (G.tree ~depth:3 ()) in
+  Alcotest.check shape "tree" C.Tree info.shape
+
+let test_fig1_reconvergent () =
+  let info = C.classify (G.fig1 ()) in
+  Alcotest.check shape "reconvergent" C.Reconvergent_feedforward info.shape;
+  Alcotest.(check int) "one join" 1 (List.length info.reconvergent_joins)
+
+let test_fig2_single_loop () =
+  let info = C.classify (G.fig2 ()) in
+  Alcotest.check shape "single loop" C.Single_loop info.shape;
+  Alcotest.(check int) "one cycle" 1 info.n_simple_cycles
+
+let test_tapped_ring_general () =
+  let info = C.classify (G.ring_tapped ~n_shells:3 ()) in
+  Alcotest.(check bool) "cyclic" true info.cyclic;
+  Alcotest.check shape "general" C.General_cyclic info.shape
+
+let test_join_without_reconvergence () =
+  (* two independent sources joining: a join, but no shared origin *)
+  let b = Topology.Network.builder () in
+  let s1 = Topology.Network.add_source b ~name:"s1" () in
+  let s2 = Topology.Network.add_source b ~name:"s2" () in
+  let j = Topology.Network.add_shell b ~name:"j" (Lid.Pearl.adder ()) in
+  let k = Topology.Network.add_sink b () in
+  let _ = Topology.Network.connect b ~src:(s1, 0) ~dst:(j, 0) () in
+  let _ = Topology.Network.connect b ~src:(s2, 0) ~dst:(j, 1) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(j, 0) ~dst:(k, 0) () in
+  let info = C.classify (Topology.Network.build b) in
+  Alcotest.check shape "join but not reconvergent" C.Join_feedforward info.shape
+
+let test_longest_path () =
+  (* source -> 3 shells -> sink, one full station per channel:
+     4 producer stages + 4 stations *)
+  let info = C.classify (G.chain ~n_shells:3 ()) in
+  Alcotest.(check int) "longest path" 8 info.longest_path
+
+let test_simple_cycles_enumeration () =
+  let cycles = C.simple_cycles (G.fig2 ~stations_ab:2 ~stations_ba:1 ()) in
+  Alcotest.(check int) "one simple cycle" 1 (List.length cycles);
+  match cycles with
+  | [ cycle ] ->
+      let full, half = C.loop_stations (G.fig2 ~stations_ab:2 ~stations_ba:1 ()) cycle in
+      Alcotest.(check int) "3 full stations on the loop" 3 full;
+      Alcotest.(check int) "no halves" 0 half
+  | _ -> Alcotest.fail "expected exactly one cycle"
+
+let test_two_loops () =
+  (* ring of 4 with a chord creating a second loop *)
+  let b = Topology.Network.builder () in
+  let p () = Lid.Pearl.identity () in
+  let fork = Topology.Network.add_shell b ~name:"f" (Lid.Pearl.fork2 ()) in
+  let join =
+    Topology.Network.add_shell b ~name:"j"
+      (Lid.Pearl.combine ~name:"j" (fun a b -> a + b))
+  in
+  let mid = Topology.Network.add_shell b ~name:"m" (p ()) in
+  let st = [ Lid.Relay_station.Full ] in
+  (* j -> f; f -> j (short); f -> m -> j (long): two loops through f/j *)
+  let _ = Topology.Network.connect b ~stations:st ~src:(join, 0) ~dst:(fork, 0) () in
+  let _ = Topology.Network.connect b ~stations:st ~src:(fork, 0) ~dst:(join, 0) () in
+  let _ = Topology.Network.connect b ~stations:st ~src:(fork, 1) ~dst:(mid, 0) () in
+  let _ = Topology.Network.connect b ~stations:st ~src:(mid, 0) ~dst:(join, 1) () in
+  let net = Topology.Network.build b in
+  let info = C.classify net in
+  Alcotest.(check int) "two simple cycles" 2 info.n_simple_cycles;
+  Alcotest.check shape "general" C.General_cyclic info.shape
+
+let suite =
+  [
+    Alcotest.test_case "chain is a tree" `Quick test_chain_is_tree;
+    Alcotest.test_case "binary tree is a tree" `Quick test_tree_is_tree;
+    Alcotest.test_case "fig1 reconvergent" `Quick test_fig1_reconvergent;
+    Alcotest.test_case "fig2 single loop" `Quick test_fig2_single_loop;
+    Alcotest.test_case "tapped ring general" `Quick test_tapped_ring_general;
+    Alcotest.test_case "join vs reconvergence" `Quick test_join_without_reconvergence;
+    Alcotest.test_case "longest path" `Quick test_longest_path;
+    Alcotest.test_case "simple cycle enumeration" `Quick test_simple_cycles_enumeration;
+    Alcotest.test_case "multiple loops" `Quick test_two_loops;
+  ]

@@ -1,0 +1,94 @@
+(* Tokens, pearls, protocol. *)
+
+module Token = Lid.Token
+module Pearl = Lid.Pearl
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let test_token_basics () =
+  Alcotest.(check bool) "valid" true (Token.is_valid (Token.valid 3));
+  Alcotest.(check bool) "void" false (Token.is_valid Token.void);
+  Alcotest.(check int) "value" 3 (Token.value (Token.valid 3));
+  Alcotest.check_raises "value of void" (Invalid_argument "Token.value: void token")
+    (fun () -> ignore (Token.value Token.void));
+  Alcotest.(check (option int)) "value_opt" (Some 3) (Token.value_opt (Token.valid 3));
+  Alcotest.(check (option int)) "value_opt void" None (Token.value_opt Token.void)
+
+let test_token_printing () =
+  Alcotest.(check string) "valid prints value" "7" (Token.to_string (Token.valid 7));
+  Alcotest.(check string) "void prints n (paper notation)" "n"
+    (Token.to_string Token.void)
+
+let test_pearl_counter () =
+  let p = Pearl.counter ~start:5 () in
+  Alcotest.(check int) "initial output" 5 p.Pearl.initial_output.(0);
+  let st, out = Pearl.apply p ~state:p.Pearl.init_state ~inputs:[||] in
+  Alcotest.(check int) "first fired output" 6 out.(0);
+  let _, out2 = Pearl.apply p ~state:st ~inputs:[||] in
+  Alcotest.(check int) "second" 7 out2.(0)
+
+let test_pearl_identity () =
+  let p = Pearl.identity () in
+  let _, out = Pearl.apply p ~state:[||] ~inputs:[| 42 |] in
+  Alcotest.(check int) "repeats input" 42 out.(0)
+
+let test_pearl_delay_chain () =
+  let p = Pearl.delay_chain 3 in
+  let st = ref p.Pearl.init_state in
+  let outs = ref [] in
+  List.iter
+    (fun v ->
+      let st', out = Pearl.apply p ~state:!st ~inputs:[| v |] in
+      st := st';
+      outs := out.(0) :: !outs)
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "delayed by 3" [ 0; 0; 0; 1; 2 ] (List.rev !outs)
+
+let test_pearl_delay_zero_is_identity () =
+  let p = Pearl.delay_chain 0 in
+  Alcotest.(check string) "name" "identity" p.Pearl.name
+
+let test_pearl_adder_accumulator () =
+  let p = Pearl.adder () in
+  let _, out = Pearl.apply p ~state:[||] ~inputs:[| 3; 4 |] in
+  Alcotest.(check int) "sum" 7 out.(0);
+  let a = Pearl.accumulator () in
+  let st, o1 = Pearl.apply a ~state:a.Pearl.init_state ~inputs:[| 10 |] in
+  let _, o2 = Pearl.apply a ~state:st ~inputs:[| 5 |] in
+  Alcotest.(check int) "acc 10" 10 o1.(0);
+  Alcotest.(check int) "acc 15" 15 o2.(0)
+
+let test_pearl_fork () =
+  let p = Pearl.fork2 () in
+  let _, out = Pearl.apply p ~state:[||] ~inputs:[| 9 |] in
+  Alcotest.(check (array int)) "copies" [| 9; 9 |] out
+
+let test_pearl_arity_checks () =
+  let p = Pearl.adder () in
+  Alcotest.check_raises "input arity" (Invalid_argument "Pearl.apply adder: input arity")
+    (fun () -> ignore (Pearl.apply p ~state:[||] ~inputs:[| 1 |]));
+  Alcotest.check_raises "create arity"
+    (Invalid_argument "Pearl.create: initial_output arity mismatch") (fun () ->
+      ignore
+        (Pearl.create ~name:"bad" ~n_inputs:1 ~n_outputs:2 ~initial_output:[| 0 |]
+           (fun s i -> (s, i))))
+
+let test_flavours () =
+  Alcotest.(check (list string)) "both flavours" [ "original"; "optimized" ]
+    (List.map Lid.Protocol.to_string Lid.Protocol.all)
+
+let _ = token
+
+let suite =
+  [
+    Alcotest.test_case "token basics" `Quick test_token_basics;
+    Alcotest.test_case "token printing" `Quick test_token_printing;
+    Alcotest.test_case "counter pearl" `Quick test_pearl_counter;
+    Alcotest.test_case "identity pearl" `Quick test_pearl_identity;
+    Alcotest.test_case "delay chain pearl" `Quick test_pearl_delay_chain;
+    Alcotest.test_case "delay 0 is identity" `Quick test_pearl_delay_zero_is_identity;
+    Alcotest.test_case "adder and accumulator" `Quick test_pearl_adder_accumulator;
+    Alcotest.test_case "fork pearl" `Quick test_pearl_fork;
+    Alcotest.test_case "arity checks" `Quick test_pearl_arity_checks;
+    Alcotest.test_case "protocol flavours" `Quick test_flavours;
+  ]

@@ -1,0 +1,96 @@
+(* Deadlock decision/cure and figure-style traces. *)
+
+module G = Topology.Generators
+module C = Skeleton.Cure
+
+let half = [ Lid.Relay_station.Half ]
+
+let stalling_tap () =
+  G.ring_tapped ~n_shells:3 ~stations:half
+    ~sink_pattern:(Topology.Pattern.periodic ~period:4 ~active:2 ())
+    ()
+
+let test_decide_static_fast_path () =
+  let d = C.decide (G.chain ~n_shells:3 ()) in
+  Alcotest.(check bool) "no simulation needed" true (d.simulated = None);
+  Alcotest.(check bool) "live" false d.deadlocked
+
+let test_decide_simulates_potential () =
+  let d = C.decide ~flavour:Lid.Protocol.Optimized (stalling_tap ()) in
+  Alcotest.(check bool) "simulated" true (d.simulated <> None);
+  Alcotest.(check bool) "live under refinement" false d.deadlocked
+
+let test_decide_finds_deadlock () =
+  let d = C.decide ~flavour:Lid.Protocol.Original (stalling_tap ()) in
+  Alcotest.(check bool) "deadlock found" true d.deadlocked
+
+let test_cure_restores_liveness () =
+  match C.cure ~flavour:Lid.Protocol.Original (stalling_tap ()) with
+  | C.Cured { network; substitutions } ->
+      Alcotest.(check bool) "few substitutions" true
+        (List.length substitutions <= 3);
+      let d = C.decide ~flavour:Lid.Protocol.Original network in
+      Alcotest.(check bool) "live after cure" false d.deadlocked;
+      (* cured network still computes the right streams *)
+      (match Skeleton.Equiv.check ~flavour:Lid.Protocol.Original network with
+      | Skeleton.Equiv.Equivalent _ -> ()
+      | Skeleton.Equiv.Divergent _ -> Alcotest.fail "cure broke equivalence")
+  | C.Already_live -> Alcotest.fail "expected a deadlock to cure"
+  | C.Not_cured -> Alcotest.fail "cure failed"
+
+let test_cure_noop_when_live () =
+  match C.cure (G.fig2 ()) with
+  | C.Already_live -> ()
+  | _ -> Alcotest.fail "expected Already_live"
+
+(* traces *)
+
+let test_trace_fig1_rendering () =
+  let engine = Skeleton.Engine.create (G.fig1 ()) in
+  let trace = Skeleton.Trace.record ~cycles:16 engine in
+  let text = Skeleton.Trace.render trace in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true
+        (Astring.String.is_infix ~affix text))
+    [ "cycle"; "src"; "A"; "B"; "C"; "out<=" ];
+  Alcotest.(check int) "17 lines (header + 16 cycles)" 17
+    (List.length (String.split_on_char '\n' text))
+
+let test_trace_output_row_periodic () =
+  (* steady state: void every 5 cycles at the output *)
+  let engine = Skeleton.Engine.create (G.fig1 ()) in
+  Skeleton.Engine.run engine ~cycles:10;
+  let trace = Skeleton.Trace.record ~cycles:10 engine in
+  let row = Skeleton.Trace.output_row trace ~sink:"out" in
+  let voids = List.length (List.filter (fun t -> not (Lid.Token.is_valid t)) row) in
+  Alcotest.(check int) "2 voids in 10 cycles" 2 voids
+
+let test_trace_snapshots_accessible () =
+  let engine = Skeleton.Engine.create (G.fig2 ()) in
+  let trace = Skeleton.Trace.record ~cycles:4 engine in
+  Alcotest.(check int) "4 snapshots" 4 (List.length (Skeleton.Trace.snapshots trace))
+
+let test_wave_vcd () =
+  let engine = Skeleton.Engine.create (G.fig1 ()) in
+  let vcd = Skeleton.Wave.to_string ~cycles:12 engine in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true
+        (Astring.String.is_infix ~affix vcd))
+    [ "$enddefinitions"; "A_to_C_e1_valid"; "C_to_out_e4_stop"; "#0"; "#1" ];
+  Alcotest.(check int) "engine advanced" 12 (Skeleton.Engine.cycle engine)
+
+let suite =
+  [
+    Alcotest.test_case "decide: static fast path" `Quick test_decide_static_fast_path;
+    Alcotest.test_case "decide: simulates potentials" `Quick
+      test_decide_simulates_potential;
+    Alcotest.test_case "decide: finds deadlock" `Quick test_decide_finds_deadlock;
+    Alcotest.test_case "cure restores liveness" `Quick test_cure_restores_liveness;
+    Alcotest.test_case "cure no-op when live" `Quick test_cure_noop_when_live;
+    Alcotest.test_case "fig1 trace rendering" `Quick test_trace_fig1_rendering;
+    Alcotest.test_case "periodic output row" `Quick test_trace_output_row_periodic;
+    Alcotest.test_case "snapshots accessible" `Quick test_trace_snapshots_accessible;
+    Alcotest.test_case "skeleton waveform VCD" `Quick test_wave_vcd;
+  ]

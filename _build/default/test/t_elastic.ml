@@ -1,0 +1,132 @@
+module E = Topology.Elastic
+module G = Topology.Generators
+
+let bound net = E.throughput_bound net
+let flt = Alcotest.(check (float 1e-9))
+
+let test_chain_bound_one () = flt "chain" 1.0 (bound (G.chain ~n_shells:4 ()))
+let test_tree_bound_one () = flt "tree" 1.0 (bound (G.tree ~depth:3 ()))
+
+let test_fig1_bound () = flt "fig1 4/5" 0.8 (bound (G.fig1 ()))
+
+let test_fig1_balanced () =
+  flt "balanced" 1.0 (bound (G.fig1 ~r_direct:2 ()))
+
+let test_loop_bounds () =
+  flt "2/(2+2)" 0.5 (bound (G.fig2 ()));
+  flt "2/(2+5)" (2. /. 7.) (bound (G.fig2 ~stations_ab:2 ~stations_ba:3 ()));
+  flt "5/(5+5)" 0.5 (bound (G.ring ~n_shells:5 ()))
+
+let test_half_stations_latency_free () =
+  flt "ring of halves" 1.0
+    (bound (G.ring ~n_shells:4 ~stations:[ Lid.Relay_station.Half ] ()))
+
+let test_exact_ratio () =
+  let el = E.of_network (G.fig1 ()) in
+  let tok, lat = E.min_cycle_ratio el in
+  Alcotest.(check int) "tokens" 4 tok;
+  Alcotest.(check int) "latency" 5 lat
+
+let test_critical_cycle_nonempty () =
+  let el = E.of_network (G.fig1 ()) in
+  Alcotest.(check bool) "cycle found" true (List.length (E.critical_cycle el) > 0);
+  let el1 = E.of_network (G.chain ~n_shells:2 ()) in
+  Alcotest.(check (list int)) "no constraint -> no cycle" [] (E.critical_cycle el1)
+
+let test_critical_cycle_ratio_matches () =
+  let el = E.of_network (G.fig2 ~stations_ab:2 ~stations_ba:3 ()) in
+  let (tok, lat), origins = E.critical_cycle_origins el in
+  Alcotest.(check bool) "consistent" true (tok * 7 = lat * 2);
+  Alcotest.(check bool) "has origins" true (List.length origins > 0)
+
+let test_zero_latency_cycle_detection () =
+  (* two shells tied with direct (station-less) channels both ways: the
+     combinational stop cycle the minimum-memory theorem forbids *)
+  let b = Topology.Network.builder () in
+  let a = Topology.Network.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let c = Topology.Network.add_shell b ~name:"c" (Lid.Pearl.identity ()) in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(a, 0) ~dst:(c, 0) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(c, 0) ~dst:(a, 0) () in
+  let net = Topology.Network.build ~allow_direct:true b in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (E.min_cycle_ratio (E.of_network net));
+       false
+     with E.Zero_latency_cycle _ -> true)
+
+let test_ff_formula_matches_elastic () =
+  (* (m-i)/m = elastic bound across a parameter sweep *)
+  List.iter
+    (fun (r_short, r_head, r_tail) ->
+      let net = G.reconvergent ~r_short ~r_long_head:r_head ~r_long_tail:r_tail () in
+      let r_long = r_head + r_tail in
+      if r_long >= r_short then begin
+        let m, i =
+          Topology.Analysis.ff_params ~r_short ~r_long ~shells_long:1
+        in
+        flt
+          (Printf.sprintf "formula (%d,%d,%d)" r_short r_head r_tail)
+          (Topology.Analysis.ff_throughput ~m ~i)
+          (bound net)
+      end)
+    [ (1, 1, 1); (1, 2, 1); (1, 1, 2); (2, 2, 1); (1, 2, 2); (2, 2, 2); (3, 2, 2) ]
+
+let test_loop_formula_matches_elastic () =
+  List.iter
+    (fun (s, r_ab, r_ba) ->
+      ignore s;
+      let net = G.fig2 ~stations_ab:r_ab ~stations_ba:r_ba () in
+      flt
+        (Printf.sprintf "loop (%d,%d)" r_ab r_ba)
+        (Topology.Analysis.loop_throughput ~s:2 ~r:(r_ab + r_ba))
+        (bound net))
+    [ (2, 1, 1); (2, 1, 2); (2, 3, 1); (2, 4, 4) ]
+
+(* the central validation: the analytic bound equals the measured
+   steady-state throughput on random loopy networks *)
+let prop_bound_is_exact =
+  QCheck.Test.make ~name:"elastic bound = measured throughput (random nets)"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 17 |] in
+      let net =
+        Topology.Generators.random_loopy ~rng ~n_shells:(3 + (seed mod 5))
+          ~extra_back_edges:(1 + (seed mod 2))
+          ()
+      in
+      let b = bound net in
+      let engine = Skeleton.Engine.create net in
+      match Skeleton.Measure.analyze ~max_cycles:50_000 engine with
+      | None -> false
+      | Some r -> abs_float (Skeleton.Measure.system_throughput r -. b) < 1e-9)
+
+let prop_bound_is_exact_dags =
+  QCheck.Test.make ~name:"elastic bound = measured throughput (random DAGs)"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 23 |] in
+      let net = Topology.Generators.random_dag ~rng ~n_shells:(3 + (seed mod 6)) () in
+      let b = bound net in
+      let engine = Skeleton.Engine.create net in
+      match Skeleton.Measure.analyze ~max_cycles:50_000 engine with
+      | None -> false
+      | Some r -> abs_float (Skeleton.Measure.system_throughput r -. b) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "chain bound 1" `Quick test_chain_bound_one;
+    Alcotest.test_case "tree bound 1" `Quick test_tree_bound_one;
+    Alcotest.test_case "fig1 bound 4/5" `Quick test_fig1_bound;
+    Alcotest.test_case "balanced fig1 bound 1" `Quick test_fig1_balanced;
+    Alcotest.test_case "loop bounds S/(S+R)" `Quick test_loop_bounds;
+    Alcotest.test_case "half stations latency-free" `Quick
+      test_half_stations_latency_free;
+    Alcotest.test_case "exact critical ratio" `Quick test_exact_ratio;
+    Alcotest.test_case "critical cycle extraction" `Quick test_critical_cycle_nonempty;
+    Alcotest.test_case "critical cycle consistency" `Quick
+      test_critical_cycle_ratio_matches;
+    Alcotest.test_case "combinational stop cycle detected" `Quick
+      test_zero_latency_cycle_detection;
+    Alcotest.test_case "(m-i)/m sweep" `Quick test_ff_formula_matches_elastic;
+    Alcotest.test_case "S/(S+R) sweep" `Quick test_loop_formula_matches_elastic;
+    QCheck_alcotest.to_alcotest prop_bound_is_exact;
+    QCheck_alcotest.to_alcotest prop_bound_is_exact_dags;
+  ]

@@ -1,0 +1,125 @@
+open Bitvec
+open Hdl.Signal
+
+let contains s affix = Astring.String.is_infix ~affix s
+
+let adder_circuit () =
+  let a = input "a" 8 and b = input "b" 8 in
+  Hdl.Circuit.create ~name:"adder8" ~inputs:[ a; b ]
+    ~outputs:[ output "sum" (a +: b) ]
+
+let reg_circuit () =
+  let d = input "d" 4 and en = input "en" 1 in
+  let q = reg ~name:"q_reg" ~enable:en ~reset:(Bits.of_int ~width:4 5) d in
+  Hdl.Circuit.create ~name:"dff" ~inputs:[ d; en ] ~outputs:[ output "q" q ]
+
+let test_vhdl_structure () =
+  let text = Emit.Vhdl.emit (adder_circuit ()) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true (contains text affix))
+    [
+      "entity adder8 is";
+      "architecture rtl of adder8";
+      "clk : in std_logic";
+      "a : in std_logic_vector(7 downto 0)";
+      "sum : out std_logic_vector(7 downto 0)";
+      "unsigned(a) + unsigned(b)";
+      "end architecture rtl;";
+    ]
+
+let test_vhdl_register () =
+  let text = Emit.Vhdl.emit (reg_circuit ()) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true (contains text affix))
+    [
+      "signal q_reg : std_logic_vector(3 downto 0) := \"0101\"";
+      "rising_edge(clk)";
+      "if en = \"1\" then q_reg <= d; end if;";
+    ]
+
+let test_verilog_structure () =
+  let text = Emit.Verilog.emit (adder_circuit ()) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true (contains text affix))
+    [
+      "module adder8 (";
+      "input wire clk";
+      "input wire [7:0] a";
+      "output wire [7:0] sum";
+      "(a + b)";
+      "endmodule";
+    ]
+
+let test_verilog_register () =
+  let text = Emit.Verilog.emit (reg_circuit ()) in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true (contains text affix))
+    [
+      "reg [3:0] q_reg";
+      "initial q_reg = 4'b0101";
+      "always @(posedge clk)";
+      "if (en) q_reg <= d;";
+    ]
+
+let test_name_sanitization () =
+  Alcotest.(check string) "spaces" "a_b" (Emit.Naming.sanitize "a b");
+  Alcotest.(check string) "leading digit" "s_1x" (Emit.Naming.sanitize "1x");
+  Alcotest.(check string) "ok" "half_rs" (Emit.Naming.sanitize "half_rs")
+
+let test_every_block_emits () =
+  (* all protocol blocks must render in both languages without raising *)
+  let blocks =
+    [
+      Lid.Rtl_gen.relay_station ~data_width:16 Lid.Relay_station.Full;
+      Lid.Rtl_gen.relay_station ~data_width:16 Lid.Relay_station.Half;
+      Lid.Rtl_gen.relay_station ~flavour:Lid.Protocol.Original ~data_width:16
+        Lid.Relay_station.Half;
+      Lid.Rtl_gen.identity_shell ~data_width:16 ();
+      Lid.Rtl_gen.adder_shell ~data_width:16 ();
+      Lid.Rtl_gen.accumulator_shell ~data_width:16 ();
+    ]
+  in
+  List.iter
+    (fun circ ->
+      let v = Emit.Vhdl.emit circ and sv = Emit.Verilog.emit circ in
+      Alcotest.(check bool) "vhdl non-trivial" true (String.length v > 400);
+      Alcotest.(check bool) "verilog non-trivial" true (String.length sv > 250))
+    blocks
+
+let test_vhdl_mux_chain () =
+  let s = input "s" 2 and a = input "a" 4 and b = input "b" 4 and c = input "c" 4 in
+  let circ =
+    Hdl.Circuit.create ~name:"m" ~inputs:[ s; a; b; c ]
+      ~outputs:[ output "o" (mux s [ a; b; c ]) ]
+  in
+  let text = Emit.Vhdl.emit circ in
+  Alcotest.(check bool) "when chain" true (contains text "when s = \"00\" else");
+  let vtext = Emit.Verilog.emit circ in
+  Alcotest.(check bool) "ternary chain" true (contains vtext "s == 2'b00 ?")
+
+let test_const_inlined () =
+  let a = input "a" 4 in
+  let circ =
+    Hdl.Circuit.create ~name:"k" ~inputs:[ a ]
+      ~outputs:[ output "o" (a +: consti ~width:4 3) ]
+  in
+  Alcotest.(check bool) "vhdl literal" true
+    (contains (Emit.Vhdl.emit circ) "\"0011\"");
+  Alcotest.(check bool) "verilog literal" true
+    (contains (Emit.Verilog.emit circ) "4'b0011")
+
+let suite =
+  [
+    Alcotest.test_case "vhdl entity structure" `Quick test_vhdl_structure;
+    Alcotest.test_case "vhdl register process" `Quick test_vhdl_register;
+    Alcotest.test_case "verilog module structure" `Quick test_verilog_structure;
+    Alcotest.test_case "verilog register block" `Quick test_verilog_register;
+    Alcotest.test_case "name sanitization" `Quick test_name_sanitization;
+    Alcotest.test_case "all blocks emit" `Quick test_every_block_emits;
+    Alcotest.test_case "mux rendering" `Quick test_vhdl_mux_chain;
+    Alcotest.test_case "constants inlined" `Quick test_const_inlined;
+  ]

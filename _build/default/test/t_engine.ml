@@ -1,0 +1,225 @@
+module Eng = Skeleton.Engine
+module G = Topology.Generators
+module Token = Lid.Token
+
+let test_fig1_headline () =
+  (* the paper's Fig. 1 numbers: period 5, one void per period, T = 4/5 *)
+  let engine = Eng.create (G.fig1 ()) in
+  match Skeleton.Measure.analyze engine with
+  | Some r ->
+      Alcotest.(check int) "period" 5 r.period;
+      Alcotest.(check (float 1e-9)) "throughput" 0.8
+        (Skeleton.Measure.system_throughput r);
+      Alcotest.(check bool) "live" false r.deadlocked
+  | None -> Alcotest.fail "no steady state"
+
+let test_fig1_output_pattern () =
+  (* after the transient, exactly one void reaches the sink every 5 cycles *)
+  let engine = Eng.create (G.fig1 ()) in
+  Eng.run engine ~cycles:20 (* skip transient *);
+  let before = Eng.sink_count engine 4 in
+  Eng.run engine ~cycles:25;
+  Alcotest.(check int) "20 tokens in 25 cycles" (before + 20) (Eng.sink_count engine 4)
+
+let test_fig2_headline () =
+  let engine = Eng.create (G.fig2 ()) in
+  match Skeleton.Measure.analyze engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "T = 1/2" 0.5
+        (Skeleton.Measure.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_chain_full_throughput () =
+  let engine = Eng.create (G.chain ~n_shells:5 ()) in
+  Eng.run engine ~cycles:100;
+  (* after warmup the sink receives one token per cycle *)
+  let before = Eng.sink_count engine 6 in
+  Eng.run engine ~cycles:50;
+  Alcotest.(check int) "50 tokens in 50 cycles" (before + 50) (Eng.sink_count engine 6)
+
+let test_values_in_order () =
+  let engine = Eng.create (G.chain ~n_shells:3 ()) in
+  Eng.run engine ~cycles:50;
+  let vs = Eng.sink_values engine 4 in
+  (* identity chain of a counter source: 0,1,2,... with the shells' initial
+     zeros in front *)
+  let rec strictly_monotone = function
+    | a :: (b :: _ as rest) -> a <= b && strictly_monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ordered" true (strictly_monotone vs);
+  Alcotest.(check bool) "plenty arrived" true (List.length vs > 30)
+
+let test_source_pattern_throttles () =
+  let engine =
+    Eng.create
+      (G.chain ~n_shells:2
+         ~source_pattern:(Topology.Pattern.periodic ~period:4 ~active:1 ())
+         ())
+  in
+  match Skeleton.Measure.analyze engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "quarter rate" 0.25
+        (Skeleton.Measure.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_sink_pattern_throttles () =
+  let engine =
+    Eng.create
+      (G.chain ~n_shells:2
+         ~sink_pattern:(Topology.Pattern.periodic ~period:2 ~active:1 ())
+         ())
+  in
+  match Skeleton.Measure.analyze engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "half rate" 0.5
+        (Skeleton.Measure.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_no_token_lost_under_stalls () =
+  (* brutal sink stall pattern; conservation: sink values = prefix of the
+     monotone source sequence with shell initials in front *)
+  let engine =
+    Eng.create
+      (G.chain ~n_shells:3
+         ~sink_pattern:(Topology.Pattern.word [ true; true; false; true; false ])
+         ())
+  in
+  Eng.run engine ~cycles:200;
+  let vs = Eng.sink_values engine 4 in
+  (* the shells' initial zeros arrive first, then the source's consecutive
+     sequence (which itself starts at 0): nothing lost, nothing reordered *)
+  let rec drop_zeros = function 0 :: rest -> drop_zeros rest | l -> l in
+  let stream = drop_zeros vs in
+  Alcotest.(check (list int)) "consecutive"
+    (match stream with
+    | [] -> []
+    | first :: _ -> List.init (List.length stream) (fun i -> first + i))
+    stream;
+  Alcotest.(check bool) "many delivered" true (List.length vs > 60)
+
+let test_reset () =
+  let engine = Eng.create (G.fig1 ()) in
+  Eng.run engine ~cycles:37;
+  Eng.reset engine;
+  Alcotest.(check int) "cycle 0" 0 (Eng.cycle engine);
+  Alcotest.(check int) "sink cleared" 0 (Eng.sink_count engine 4);
+  let sig0 = Eng.signature engine in
+  let fresh = Eng.create (G.fig1 ()) in
+  Alcotest.(check string) "same initial signature" (Eng.signature fresh) sig0
+
+let test_signature_periodicity () =
+  let engine = Eng.create (G.fig2 ()) in
+  Eng.run engine ~cycles:2 (* transient 0, period 2 *);
+  let s0 = Eng.signature engine in
+  Eng.run engine ~cycles:2;
+  Alcotest.(check string) "signature repeats with period" s0 (Eng.signature engine)
+
+let test_combinational_stop_cycle_raises () =
+  let b = Topology.Network.builder () in
+  let a = Topology.Network.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let c = Topology.Network.add_shell b ~name:"c" (Lid.Pearl.identity ()) in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(a, 0) ~dst:(c, 0) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(c, 0) ~dst:(a, 0) () in
+  let net = Topology.Network.build ~allow_direct:true b in
+  let engine = Eng.create net in
+  Alcotest.(check bool) "raises" true
+    (try
+       Eng.step engine;
+       false
+     with Eng.Combinational_stop_cycle _ -> true)
+
+let test_direct_channel_resolution () =
+  (* a station-less shell-to-shell channel is resolved combinationally when
+     acyclic (allow_direct); behaviour matches having... the same stream *)
+  let b = Topology.Network.builder () in
+  let src = Topology.Network.add_source b ~name:"s" () in
+  let s1 = Topology.Network.add_shell b ~name:"x" (Lid.Pearl.identity ()) in
+  let s2 = Topology.Network.add_shell b ~name:"y" (Lid.Pearl.identity ()) in
+  let snk = Topology.Network.add_sink b ~name:"k" () in
+  let _ = Topology.Network.connect b ~src:(src, 0) ~dst:(s1, 0) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(s1, 0) ~dst:(s2, 0) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(s2, 0) ~dst:(snk, 0) () in
+  let net = Topology.Network.build ~allow_direct:true b in
+  let engine = Eng.create net in
+  Eng.run engine ~cycles:30;
+  Alcotest.(check bool) "flows" true (Eng.sink_count engine snk > 20)
+
+let test_flavours_same_steady_state_chain () =
+  let t fl =
+    let e = Eng.create ~flavour:fl (G.chain ~n_shells:3 ()) in
+    match Skeleton.Measure.analyze e with
+    | Some r -> Skeleton.Measure.system_throughput r
+    | None -> nan
+  in
+  Alcotest.(check (float 1e-9)) "both reach 1" (t Lid.Protocol.Original)
+    (t Lid.Protocol.Optimized)
+
+let test_fig1_golden_stream () =
+  (* the exact sink stream of the paper's Fig. 1 system over the first 21
+     cycles: shells' initial zeros, the transient, then the 4-in-5 periodic
+     regime of odd sums (A forks k to both branches, C adds k+k) *)
+  let engine = Eng.create (G.fig1 ()) in
+  Eng.run engine ~cycles:21;
+  Alcotest.(check (list int)) "golden stream"
+    [ 0; 0; 0; 1; 3; 5; 7; 9; 11; 13; 15; 17; 19; 21; 23 ]
+    (Eng.sink_values engine 4)
+
+let test_stall_attribution () =
+  let engine = Eng.create (G.fig1 ()) in
+  Eng.run engine ~cycles:105 (* transient + 20 periods *);
+  (* steady state: per 5-cycle period, A fires 4 and is gated once; B and C
+     fire 4 and starve once *)
+  let near x v = abs (x - v) <= 4 in
+  Alcotest.(check bool) "A gated ~20%%" true (near (Eng.gated_count engine 1) 21);
+  Alcotest.(check bool) "A starves only at startup" true
+    (Eng.starved_count engine 1 <= 2);
+  Alcotest.(check bool) "B starves ~20%%" true (near (Eng.starved_count engine 2) 21);
+  Alcotest.(check bool) "B gated at most at startup" true
+    (Eng.gated_count engine 2 <= 2);
+  Alcotest.(check bool) "counts partition the window" true
+    (let f = Eng.fired_count engine 1
+     and g = Eng.gated_count engine 1
+     and s = Eng.starved_count engine 1 in
+     f + g + s = 105)
+
+let test_attribution_reset () =
+  let engine = Eng.create (G.fig1 ()) in
+  Eng.run engine ~cycles:50;
+  Eng.reset engine;
+  Alcotest.(check int) "gated cleared" 0 (Eng.gated_count engine 1);
+  Alcotest.(check int) "starved cleared" 0 (Eng.starved_count engine 2)
+
+let test_snapshot_shape () =
+  let engine = Eng.create (G.fig1 ()) in
+  let s = Eng.snapshot_next engine in
+  Alcotest.(check int) "cycle 0" 0 s.Eng.snap_cycle;
+  Alcotest.(check int) "4 shell-like columns" 4 (List.length s.Eng.node_out);
+  Alcotest.(check int) "5 channels" 5 (List.length s.Eng.rs_contents);
+  Alcotest.(check int) "1 sink" 1 (List.length s.Eng.sink_got);
+  Alcotest.(check int) "stepped" 1 (Eng.cycle engine)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 headline numbers" `Quick test_fig1_headline;
+    Alcotest.test_case "fig1 output pattern" `Quick test_fig1_output_pattern;
+    Alcotest.test_case "fig2 headline numbers" `Quick test_fig2_headline;
+    Alcotest.test_case "chain reaches throughput 1" `Quick test_chain_full_throughput;
+    Alcotest.test_case "values stay ordered" `Quick test_values_in_order;
+    Alcotest.test_case "source pattern throttles" `Quick test_source_pattern_throttles;
+    Alcotest.test_case "sink pattern throttles" `Quick test_sink_pattern_throttles;
+    Alcotest.test_case "no token lost under stalls" `Quick
+      test_no_token_lost_under_stalls;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "signature periodicity" `Quick test_signature_periodicity;
+    Alcotest.test_case "combinational stop cycle detected" `Quick
+      test_combinational_stop_cycle_raises;
+    Alcotest.test_case "direct channels (acyclic)" `Quick
+      test_direct_channel_resolution;
+    Alcotest.test_case "flavours agree on simple chains" `Quick
+      test_flavours_same_steady_state_chain;
+    Alcotest.test_case "fig1 golden stream" `Quick test_fig1_golden_stream;
+    Alcotest.test_case "stall attribution" `Quick test_stall_attribution;
+    Alcotest.test_case "attribution reset" `Quick test_attribution_reset;
+    Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+  ]

@@ -1,0 +1,107 @@
+module F = Topology.Floorplan
+module Net = Topology.Network
+
+let simple ?(coproc_xy = (9.0, 8.0)) () =
+  let f = F.create () in
+  let src = F.add_source f ~name:"src" ~x:0.0 ~y:0.0 () in
+  let a = F.add_shell f ~name:"a" ~x:1.0 ~y:0.0 (Lid.Pearl.fork2 ()) in
+  let b =
+    F.add_shell f ~name:"b" ~x:(fst coproc_xy) ~y:(snd coproc_xy)
+      (Lid.Pearl.identity ())
+  in
+  let c = F.add_shell f ~name:"c" ~x:2.0 ~y:1.0 (Lid.Pearl.adder ()) in
+  let k = F.add_sink f ~name:"k" ~x:3.0 ~y:1.0 () in
+  F.connect f ~src:(src, 0) ~dst:(a, 0);
+  F.connect f ~src:(a, 0) ~dst:(c, 0);
+  F.connect f ~src:(a, 1) ~dst:(b, 0);
+  F.connect f ~src:(b, 0) ~dst:(c, 1);
+  F.connect f ~src:(c, 0) ~dst:(k, 0);
+  f
+
+let test_station_counts_scale_with_clock () =
+  let stations reach =
+    let _, r = F.synthesize ~reach (simple ()) in
+    r.F.full_stations
+  in
+  let coarse = stations 100.0 and medium = stations 8.0 and fine = stations 2.0 in
+  Alcotest.(check int) "one-cycle wires need no full stations" 0 coarse;
+  Alcotest.(check bool) "finer clock, more stations" true (fine > medium);
+  Alcotest.(check bool) "medium has some" true (medium > 0)
+
+let test_short_shell_channels_get_half () =
+  let _, r = F.synthesize ~reach:100.0 (simple ()) in
+  (* 4 shell-to-shell(ish) channels get a half station; the sink channel
+     gets none *)
+  Alcotest.(check int) "halves" 4 r.F.half_stations;
+  let into_sink = List.nth r.F.channels 4 in
+  Alcotest.(check (list bool)) "sink channel empty" []
+    (List.map (fun _ -> true) into_sink.F.stations)
+
+let test_wire_cycles_from_distance () =
+  let _, r = F.synthesize ~reach:4.0 (simple ()) in
+  let ab = List.nth r.F.channels 2 in
+  (* a(1,0) -> b(9,8): manhattan 16 -> 4 cycles at reach 4 *)
+  Alcotest.(check string) "a->b" "b" ab.F.dst_name;
+  Alcotest.(check int) "cycles" 4 ab.F.wire_cycles;
+  Alcotest.(check int) "stations = cycles - 1" 3 (List.length ab.F.stations)
+
+let test_synthesized_network_is_valid_and_live () =
+  let net, _ = F.synthesize ~reach:3.0 (simple ()) in
+  (* builder validation passed; protocol behaves *)
+  match Skeleton.Equiv.check net with
+  | Skeleton.Equiv.Equivalent { checked } ->
+      Alcotest.(check bool) "values flowed" true (checked > 50)
+  | Skeleton.Equiv.Divergent _ -> Alcotest.fail "diverged"
+
+let test_throughput_drops_then_equalizes () =
+  let net, _ = F.synthesize ~reach:2.0 (simple ()) in
+  let before = Topology.Elastic.throughput_bound net in
+  Alcotest.(check bool) "unbalanced detour costs throughput" true (before < 1.0);
+  let net', _ = Topology.Equalize.optimize net in
+  Alcotest.(check (float 1e-9)) "equalization recovers" 1.0
+    (Topology.Elastic.throughput_bound net')
+
+let test_balanced_floorplan_needs_nothing () =
+  (* if the detour is as short as the direct path, nothing is lost *)
+  let net, _ = F.synthesize ~reach:2.0 (simple ~coproc_xy:(1.5, 1.0) ()) in
+  Alcotest.(check (float 1e-9)) "full speed" 1.0
+    (Topology.Elastic.throughput_bound net)
+
+let test_reach_validation () =
+  Alcotest.check_raises "reach 0"
+    (Invalid_argument "Floorplan.synthesize: reach must be positive") (fun () ->
+      ignore (F.synthesize ~reach:0.0 (simple ())))
+
+let test_dot_export () =
+  let net, _ = F.synthesize ~reach:4.0 (simple ()) in
+  let dot = Topology.Dot.of_network net in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true
+        (Astring.String.is_infix ~affix dot))
+    [ "digraph lid"; "shape=box"; "shape=ellipse"; "label=\"FFF\""; "->" ]
+
+let test_dot_highlight () =
+  let net = Topology.Generators.fig2 () in
+  let dot = Topology.Dot.of_network ~highlight:[ 0 ] net in
+  Alcotest.(check bool) "highlighted" true
+    (Astring.String.is_infix ~affix:"lightsalmon" dot)
+
+let suite =
+  [
+    Alcotest.test_case "stations scale with clock" `Quick
+      test_station_counts_scale_with_clock;
+    Alcotest.test_case "short channels get half stations" `Quick
+      test_short_shell_channels_get_half;
+    Alcotest.test_case "wire cycles from distance" `Quick
+      test_wire_cycles_from_distance;
+    Alcotest.test_case "synthesized network valid and equivalent" `Quick
+      test_synthesized_network_is_valid_and_live;
+    Alcotest.test_case "throughput drop and recovery" `Quick
+      test_throughput_drops_then_equalizes;
+    Alcotest.test_case "balanced floorplan free" `Quick
+      test_balanced_floorplan_needs_nothing;
+    Alcotest.test_case "reach validation" `Quick test_reach_validation;
+    Alcotest.test_case "dot export" `Quick test_dot_export;
+    Alcotest.test_case "dot highlight" `Quick test_dot_highlight;
+  ]

@@ -1,0 +1,207 @@
+open Bitvec
+open Hdl.Signal
+
+let test_widths () =
+  let a = input "a" 8 and b = input "b" 8 in
+  Alcotest.(check int) "add width" 8 (width (a +: b));
+  Alcotest.(check int) "eq width" 1 (width (a ==: b));
+  Alcotest.(check int) "concat width" 16 (width (concat_msb [ a; b ]));
+  Alcotest.(check int) "select width" 4 (width (select a ~hi:5 ~lo:2));
+  Alcotest.(check int) "bit width" 1 (width (bit a 3));
+  Alcotest.(check int) "zext width" 12 (width (zero_extend a ~width:12))
+
+let test_width_mismatch () =
+  let a = input "a" 8 and b = input "b" 4 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Signal.(+:): width mismatch (8 vs 4)") (fun () ->
+      ignore (a +: b))
+
+let test_mux2_checks () =
+  let a = input "a" 8 and b = input "b" 8 in
+  Alcotest.check_raises "mux2 selector"
+    (Invalid_argument "Signal.mux2: selector must be 1 bit") (fun () ->
+      ignore (mux2 a a b));
+  let s = input "s" 1 in
+  Alcotest.(check int) "mux2 ok" 8 (width (mux2 s a b))
+
+let test_wire_assign () =
+  let w = wire 8 in
+  let a = input "a" 8 in
+  assign w a;
+  Alcotest.check_raises "double assign"
+    (Invalid_argument "Signal.assign: wire already driven") (fun () -> assign w a);
+  let w2 = wire 4 in
+  Alcotest.check_raises "width" (Invalid_argument "Signal.assign: width mismatch (4 vs 8)")
+    (fun () -> assign w2 a)
+
+let test_reg_fb () =
+  let r =
+    reg_fb ~name:"cnt" ~reset:(Bits.zero 8) ~width:8 (fun r ->
+        r +: consti ~width:8 1)
+  in
+  Alcotest.(check int) "reg width" 8 (width r);
+  match r with
+  | Reg { d = Some _; _ } -> ()
+  | _ -> Alcotest.fail "expected bound register"
+
+let test_reg_checks () =
+  Alcotest.check_raises "reset width"
+    (Invalid_argument "Signal.reg: reset width mismatch") (fun () ->
+      ignore (reg ~reset:(Bits.zero 4) (input "x" 8)))
+
+let test_uid_unique () =
+  let a = input "a" 1 and b = input "b" 1 in
+  Alcotest.(check bool) "distinct uids" true (uid a <> uid b)
+
+(* circuit elaboration *)
+
+let test_circuit_simple () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let sum = output "sum" (a +: b) in
+  let c = Hdl.Circuit.create ~name:"adder" ~inputs:[ a; b ] ~outputs:[ sum ] in
+  let s = Hdl.Circuit.stats c in
+  Alcotest.(check int) "inputs" 2 s.n_inputs;
+  Alcotest.(check int) "regs" 0 s.n_regs;
+  Alcotest.(check bool) "comb nodes" true (s.n_comb >= 2)
+
+let test_circuit_counter () =
+  let r = reg_fb ~name:"c" ~reset:(Bits.zero 4) ~width:4 (fun r -> r +: consti ~width:4 1) in
+  let c =
+    Hdl.Circuit.create ~name:"counter" ~inputs:[] ~outputs:[ output "q" r ]
+  in
+  Alcotest.(check int) "one reg" 1 (Hdl.Circuit.stats c).n_regs;
+  Alcotest.(check int) "4 reg bits" 4 (Hdl.Circuit.stats c).reg_bits
+
+let test_undriven_wire () =
+  let w = wire ~name:"dangling" 4 in
+  let o = output "o" w in
+  Alcotest.check_raises "undriven"
+    (Invalid_argument "Circuit: wire \"dangling\" has no driver") (fun () ->
+      ignore (Hdl.Circuit.create ~name:"bad" ~inputs:[] ~outputs:[ o ]))
+
+let test_unbound_register () =
+  let r = Reg { id = 999_999_999; width = 4; d = None; enable = None;
+                reset_value = Bits.zero 4; name = Some "r" } in
+  (* bypass reg_fb to make an unbound register *)
+  let o = output "o" r in
+  Alcotest.check_raises "unbound"
+    (Invalid_argument "Circuit: register \"r\" has no data input") (fun () ->
+      ignore (Hdl.Circuit.create ~name:"bad" ~inputs:[] ~outputs:[ o ]))
+
+let test_comb_cycle_detected () =
+  let w = wire ~name:"loop" 4 in
+  assign w (w +: consti ~width:4 1);
+  let o = output "o" w in
+  (try
+     ignore (Hdl.Circuit.create ~name:"cyc" ~inputs:[] ~outputs:[ o ]);
+     Alcotest.fail "expected combinational cycle error"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions cycle" true
+       (String.length msg > 0
+       && String.sub msg 0 29 = "Circuit: combinational cycle:"))
+
+let test_reg_breaks_cycle () =
+  (* feedback through a register is legal *)
+  let r = reg_fb ~name:"acc" ~reset:(Bits.zero 4) ~width:4 (fun r -> r +: r) in
+  let c = Hdl.Circuit.create ~name:"ok" ~inputs:[] ~outputs:[ output "o" r ] in
+  Alcotest.(check int) "elaborated" 1 (Hdl.Circuit.stats c).n_regs
+
+let test_undeclared_input () =
+  let a = input "a" 4 in
+  let o = output "o" (a +: consti ~width:4 1) in
+  Alcotest.check_raises "undeclared"
+    (Invalid_argument "Circuit: reachable input \"a\" not declared") (fun () ->
+      ignore (Hdl.Circuit.create ~name:"bad" ~inputs:[] ~outputs:[ o ]))
+
+let test_duplicate_names () =
+  let a = input "x" 4 and b = input "x" 4 in
+  let o = output "o" (a +: b) in
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Circuit: duplicate input name \"x\"") (fun () ->
+      ignore (Hdl.Circuit.create ~name:"bad" ~inputs:[ a; b ] ~outputs:[ o ]))
+
+let test_output_not_named_wire () =
+  let a = input "a" 4 in
+  Alcotest.check_raises "raw signal as output"
+    (Invalid_argument "Circuit: outputs must be named wires") (fun () ->
+      ignore
+        (Hdl.Circuit.create ~name:"bad" ~inputs:[ a ]
+           ~outputs:[ a +: consti ~width:4 1 ]))
+
+let test_topo_order () =
+  let a = input "a" 4 in
+  let x = a +: consti ~width:4 1 in
+  let y = x +: x in
+  let o = output "o" y in
+  let c = Hdl.Circuit.create ~name:"t" ~inputs:[ a ] ~outputs:[ o ] in
+  let order = Hdl.Circuit.comb_order c in
+  let pos s =
+    let p = ref (-1) in
+    Array.iteri (fun i n -> if Hdl.Signal.uid n = Hdl.Signal.uid s then p := i) order;
+    !p
+  in
+  Alcotest.(check bool) "x before y" true (pos x < pos y);
+  Alcotest.(check bool) "y before o" true (pos y < pos o)
+
+let test_find () =
+  let a = input "a" 4 in
+  let o = output "o" a in
+  let c = Hdl.Circuit.create ~name:"f" ~inputs:[ a ] ~outputs:[ o ] in
+  Alcotest.(check int) "find_input" (uid a) (uid (Hdl.Circuit.find_input c "a"));
+  Alcotest.(check int) "find_output" (uid o) (uid (Hdl.Circuit.find_output c "o"));
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Hdl.Circuit.find_input c "zzz"))
+
+let eval_circuit circ inputs =
+  let sim = Sim.Cycle_sim.create circ in
+  List.iter
+    (fun (n, v) ->
+      let w = Hdl.Signal.width (Hdl.Circuit.find_input circ n) in
+      Sim.Cycle_sim.poke sim n (Bits.of_int ~width:w v))
+    inputs;
+  fun name -> Bits.to_int (Sim.Cycle_sim.peek_output sim name)
+
+let test_shift_combinators () =
+  let a = input "a" 8 in
+  let circ =
+    Hdl.Circuit.create ~name:"sh" ~inputs:[ a ]
+      ~outputs:
+        [
+          output "l2" (sll a 2);
+          output "r3" (srl a 3);
+          output "ar3" (sra a 3);
+          output "l9" (sll a 9);
+          output "rep" (repeat (bit a 0) 4);
+          output "sx" (sign_extend (select a ~hi:3 ~lo:0) ~width:8);
+        ]
+  in
+  let sim = eval_circuit circ [ ("a", 0b10110101) ] in
+  Alcotest.(check int) "sll 2" 0b11010100 (sim "l2");
+  Alcotest.(check int) "srl 3" 0b00010110 (sim "r3");
+  Alcotest.(check int) "sra 3" 0b11110110 (sim "ar3");
+  Alcotest.(check int) "sll 9 = 0" 0 (sim "l9");
+  Alcotest.(check int) "repeat lsb" 0b1111 (sim "rep");
+  Alcotest.(check int) "sign extend nibble" 0b00000101 (sim "sx")
+
+let suite =
+  [
+    Alcotest.test_case "operator widths" `Quick test_widths;
+    Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+    Alcotest.test_case "mux2 checks" `Quick test_mux2_checks;
+    Alcotest.test_case "wire assignment" `Quick test_wire_assign;
+    Alcotest.test_case "reg_fb" `Quick test_reg_fb;
+    Alcotest.test_case "reg checks" `Quick test_reg_checks;
+    Alcotest.test_case "uid uniqueness" `Quick test_uid_unique;
+    Alcotest.test_case "simple circuit" `Quick test_circuit_simple;
+    Alcotest.test_case "counter circuit" `Quick test_circuit_counter;
+    Alcotest.test_case "undriven wire rejected" `Quick test_undriven_wire;
+    Alcotest.test_case "unbound register rejected" `Quick test_unbound_register;
+    Alcotest.test_case "combinational cycle rejected" `Quick test_comb_cycle_detected;
+    Alcotest.test_case "register breaks cycles" `Quick test_reg_breaks_cycle;
+    Alcotest.test_case "undeclared input rejected" `Quick test_undeclared_input;
+    Alcotest.test_case "duplicate names rejected" `Quick test_duplicate_names;
+    Alcotest.test_case "output must be named wire" `Quick test_output_not_named_wire;
+    Alcotest.test_case "topological order" `Quick test_topo_order;
+    Alcotest.test_case "find input/output" `Quick test_find;
+    Alcotest.test_case "shift/replicate combinators" `Quick test_shift_combinators;
+  ]

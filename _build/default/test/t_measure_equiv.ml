@@ -1,0 +1,172 @@
+(* Measurement (periodicity detection) and latency equivalence. *)
+
+module G = Topology.Generators
+module M = Skeleton.Measure
+
+let test_transient_and_period () =
+  let engine = Skeleton.Engine.create (G.fig1 ()) in
+  match M.transient_and_period engine with
+  | Some (transient, period) ->
+      Alcotest.(check int) "period" 5 period;
+      Alcotest.(check bool) "short transient" true (transient <= 10)
+  | None -> Alcotest.fail "no period"
+
+let test_transient_within_bound () =
+  List.iter
+    (fun net ->
+      let bound = Topology.Analysis.transient_bound net in
+      let engine = Skeleton.Engine.create net in
+      match M.transient_and_period engine with
+      | Some (transient, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "measured %d <= bound %d" transient bound)
+            true (transient <= bound)
+      | None -> Alcotest.fail "no period")
+    [
+      G.fig1 ();
+      G.fig2 ();
+      G.chain ~n_shells:5 ();
+      G.tree ~depth:3 ();
+      G.ring_tapped ~n_shells:4 ();
+      G.chain ~n_shells:3
+        ~sink_pattern:(Topology.Pattern.periodic ~period:3 ~active:1 ())
+        ();
+    ]
+
+let test_all_rates_equal_in_connected_system () =
+  let engine = Skeleton.Engine.create (G.fig1 ()) in
+  match M.analyze engine with
+  | Some r ->
+      List.iter
+        (fun (_, rate) -> Alcotest.(check (float 1e-9)) "same rate" 0.8 rate)
+        r.node_throughput
+  | None -> Alcotest.fail "no steady state"
+
+let test_env_cap () =
+  let net =
+    G.chain ~n_shells:2
+      ~source_pattern:(Topology.Pattern.periodic ~period:3 ~active:2 ())
+      ~sink_pattern:(Topology.Pattern.periodic ~period:5 ~active:1 ())
+      ()
+  in
+  (* source duty 2/3, sink availability 4/5 -> cap = min = 2/3 *)
+  Alcotest.(check (float 1e-9)) "cap" (2. /. 3.)
+    (Topology.Analysis.env_throughput_cap net);
+  let engine = Skeleton.Engine.create net in
+  match M.analyze engine with
+  | Some r ->
+      Alcotest.(check bool) "measured <= cap" true
+        (M.system_throughput r <= (2. /. 3.) +. 1e-9)
+  | None -> Alcotest.fail "no steady state"
+
+let test_deadlock_flag () =
+  let net =
+    G.ring_tapped ~n_shells:3 ~stations:[ Lid.Relay_station.Half ]
+      ~sink_pattern:(Topology.Pattern.periodic ~period:4 ~active:2 ())
+      ()
+  in
+  let orig = Skeleton.Engine.create ~flavour:Lid.Protocol.Original net in
+  (match M.analyze orig with
+  | Some r -> Alcotest.(check bool) "original deadlocks" true r.deadlocked
+  | None -> Alcotest.fail "no period");
+  let opt = Skeleton.Engine.create ~flavour:Lid.Protocol.Optimized net in
+  match M.analyze opt with
+  | Some r -> Alcotest.(check bool) "optimized lives" false r.deadlocked
+  | None -> Alcotest.fail "no period"
+
+(* latency equivalence *)
+
+let test_equiv_basic () =
+  List.iter
+    (fun net ->
+      match Skeleton.Equiv.check net with
+      | Skeleton.Equiv.Equivalent { checked } ->
+          Alcotest.(check bool) "checked some" true (checked > 0)
+      | Skeleton.Equiv.Divergent m ->
+          Alcotest.fail (Printf.sprintf "diverged at %s[%d]" m.sink m.position))
+    [
+      G.chain ~n_shells:4 ();
+      G.fig1 ();
+      G.tree ~depth:2 ();
+      G.ring_tapped ~n_shells:3 ();
+      G.chain ~n_shells:2 ~stations:[ Lid.Relay_station.Half ] ();
+    ]
+
+let test_equiv_under_stalling_envs () =
+  let net =
+    G.chain ~n_shells:3
+      ~source_pattern:(Topology.Pattern.word [ true; false; true ])
+      ~sink_pattern:(Topology.Pattern.word [ false; true; true; false ])
+      ()
+  in
+  match Skeleton.Equiv.check net with
+  | Skeleton.Equiv.Equivalent _ -> ()
+  | Skeleton.Equiv.Divergent m ->
+      Alcotest.fail (Printf.sprintf "diverged at %s[%d]" m.sink m.position)
+
+let test_equiv_detects_divergence () =
+  (* sanity of the checker itself: compare two different networks *)
+  let net_a = G.chain ~n_shells:1 () in
+  let engine = Skeleton.Engine.create net_a in
+  Skeleton.Engine.run engine ~cycles:50;
+  let b = Topology.Network.builder () in
+  let src = Topology.Network.add_source b ~name:"src" ~start:7 () in
+  let sh =
+    Topology.Network.add_shell b ~name:"s0" (Lid.Pearl.map1 (fun v -> v * 100))
+  in
+  let snk = Topology.Network.add_sink b ~name:"out" () in
+  let _ = Topology.Network.connect b ~src:(src, 0) ~dst:(sh, 0) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(sh, 0) ~dst:(snk, 0) () in
+  let other = Topology.Network.build b in
+  let reference = Skeleton.Reference.create other in
+  Skeleton.Reference.run reference ~cycles:50;
+  match Skeleton.Equiv.check_engine engine reference with
+  | Skeleton.Equiv.Divergent _ -> ()
+  | Skeleton.Equiv.Equivalent _ -> Alcotest.fail "expected divergence"
+
+let prop_equiv_random_dags flavour =
+  QCheck.Test.make
+    ~name:
+      ("latency equivalence on random DAGs ("
+      ^ Lid.Protocol.to_string flavour
+      ^ ")")
+    ~count:50 QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 31 |] in
+      let net =
+        Topology.Generators.random_dag ~rng ~n_shells:(2 + (seed mod 6))
+          ~half_probability:0.3 ()
+      in
+      match Skeleton.Equiv.check ~flavour ~cycles:150 net with
+      | Skeleton.Equiv.Equivalent _ -> true
+      | Skeleton.Equiv.Divergent _ -> false)
+
+let prop_equiv_random_loopy =
+  QCheck.Test.make ~name:"latency equivalence on random loopy networks"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 37 |] in
+      let net =
+        Topology.Generators.random_loopy ~rng ~n_shells:(3 + (seed mod 5)) ()
+      in
+      match Skeleton.Equiv.check ~cycles:150 net with
+      | Skeleton.Equiv.Equivalent _ -> true
+      | Skeleton.Equiv.Divergent _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "transient and period" `Quick test_transient_and_period;
+    Alcotest.test_case "transient within predicted bound" `Quick
+      test_transient_within_bound;
+    Alcotest.test_case "rates equalize across the system" `Quick
+      test_all_rates_equal_in_connected_system;
+    Alcotest.test_case "environment caps throughput" `Quick test_env_cap;
+    Alcotest.test_case "deadlock flag per flavour" `Quick test_deadlock_flag;
+    Alcotest.test_case "equivalence on standard nets" `Quick test_equiv_basic;
+    Alcotest.test_case "equivalence under stalling envs" `Quick
+      test_equiv_under_stalling_envs;
+    Alcotest.test_case "checker detects divergence" `Quick
+      test_equiv_detects_divergence;
+    QCheck_alcotest.to_alcotest (prop_equiv_random_dags Lid.Protocol.Optimized);
+    QCheck_alcotest.to_alcotest (prop_equiv_random_dags Lid.Protocol.Original);
+    QCheck_alcotest.to_alcotest prop_equiv_random_loopy;
+  ]

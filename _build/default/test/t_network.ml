@@ -1,0 +1,144 @@
+module Net = Topology.Network
+module RS = Lid.Relay_station
+
+let simple_chain () =
+  let b = Net.builder () in
+  let src = Net.add_source b ~name:"s" () in
+  let sh = Net.add_shell b ~name:"x" (Lid.Pearl.identity ()) in
+  let snk = Net.add_sink b ~name:"k" () in
+  let e1 = Net.connect b ~src:(src, 0) ~dst:(sh, 0) () in
+  let e2 = Net.connect b ~stations:[] ~src:(sh, 0) ~dst:(snk, 0) () in
+  (Net.build b, e1, e2)
+
+let test_build_and_accessors () =
+  let net, e1, _ = simple_chain () in
+  Alcotest.(check int) "nodes" 3 (Net.n_nodes net);
+  Alcotest.(check int) "edges" 2 (Net.n_edges net);
+  Alcotest.(check int) "one full station" 1 (Net.station_count net RS.Full);
+  Alcotest.(check int) "no half" 0 (Net.station_count net RS.Half);
+  Alcotest.(check string) "node name" "x" (Net.node net 1).Net.name;
+  Alcotest.(check int) "edge src" 0 (Net.edge net e1).Net.src.node;
+  Alcotest.(check int) "shells" 1 (List.length (Net.shells net));
+  Alcotest.(check int) "sources" 1 (List.length (Net.sources net));
+  Alcotest.(check int) "sinks" 1 (List.length (Net.sinks net))
+
+let test_min_memory_rule () =
+  (* "at least one half or one full relay station between two shells" *)
+  let b = Net.builder () in
+  let s1 = Net.add_shell b ~name:"a" (Lid.Pearl.counter ()) in
+  let s2 = Net.add_shell b ~name:"b" (Lid.Pearl.identity ()) in
+  let _ = Net.connect b ~stations:[] ~src:(s1, 0) ~dst:(s2, 0) () in
+  let snk = Net.add_sink b () in
+  let _ = Net.connect b ~stations:[] ~src:(s2, 0) ~dst:(snk, 0) () in
+  (try
+     ignore (Net.build b);
+     Alcotest.fail "expected minimum-memory violation"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions relay station" true
+       (Astring.String.is_infix ~affix:"relay station" msg));
+  (* the same build is accepted with allow_direct, or with a half station *)
+  ignore (Net.build ~allow_direct:true b)
+
+let test_half_station_satisfies_rule () =
+  let b = Net.builder () in
+  let s1 = Net.add_shell b ~name:"a" (Lid.Pearl.counter ()) in
+  let s2 = Net.add_shell b ~name:"b" (Lid.Pearl.identity ()) in
+  let _ = Net.connect b ~stations:[ RS.Half ] ~src:(s1, 0) ~dst:(s2, 0) () in
+  let snk = Net.add_sink b () in
+  let _ = Net.connect b ~stations:[] ~src:(s2, 0) ~dst:(snk, 0) () in
+  ignore (Net.build b)
+
+let test_sink_channel_needs_no_station () =
+  (* a sink's stop is pattern-driven (registered), so direct is fine *)
+  let net, _, _ = simple_chain () in
+  Alcotest.(check int) "built" 3 (Net.n_nodes net)
+
+let test_unconnected_port () =
+  let b = Net.builder () in
+  let _ = Net.add_shell b ~name:"a" (Lid.Pearl.adder ()) in
+  Alcotest.check_raises "input 0 unconnected"
+    (Invalid_argument "Network.build: input port 0 of \"a\" unconnected")
+    (fun () -> ignore (Net.build b))
+
+let test_double_connection () =
+  let b = Net.builder () in
+  let src1 = Net.add_source b ~name:"s1" () in
+  let src2 = Net.add_source b ~name:"s2" () in
+  let sh = Net.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let snk = Net.add_sink b () in
+  let _ = Net.connect b ~src:(src1, 0) ~dst:(sh, 0) () in
+  let _ = Net.connect b ~src:(src2, 0) ~dst:(sh, 0) () in
+  let _ = Net.connect b ~stations:[] ~src:(sh, 0) ~dst:(snk, 0) () in
+  Alcotest.check_raises "doubly connected"
+    (Invalid_argument "Network.build: input port 0 of \"a\" doubly connected")
+    (fun () -> ignore (Net.build b))
+
+let test_port_out_of_range () =
+  let b = Net.builder () in
+  let src = Net.add_source b ~name:"s" () in
+  let sh = Net.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let _ = Net.connect b ~src:(src, 0) ~dst:(sh, 5) () in
+  (try
+     ignore (Net.build b);
+     Alcotest.fail "expected port range error"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions range" true
+       (Astring.String.is_infix ~affix:"out of range" msg))
+
+let test_env_period () =
+  let b = Net.builder () in
+  let _ =
+    Net.add_source b ~name:"s"
+      ~pattern:(Topology.Pattern.periodic ~period:4 ~active:1 ())
+      ()
+  in
+  let sh = Net.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let _ = Net.connect b ~src:(0, 0) ~dst:(sh, 0) () in
+  let _ =
+    Net.add_sink b ~name:"k"
+      ~pattern:(Topology.Pattern.periodic ~period:6 ~active:1 ())
+      ()
+  in
+  let _ = Net.connect b ~stations:[] ~src:(sh, 0) ~dst:(2, 0) () in
+  let net = Net.build b in
+  Alcotest.(check int) "lcm 4 6" 12 (Net.env_period net)
+
+let test_with_stations () =
+  let net, e1, _ = simple_chain () in
+  let net' = Net.with_stations net e1 [ RS.Half; RS.Half ] in
+  Alcotest.(check int) "halves" 2 (Net.station_count net' RS.Half);
+  Alcotest.(check int) "original unchanged" 0 (Net.station_count net RS.Half);
+  Alcotest.(check int) "in_edges view updated" 2
+    (List.length (Net.in_edges net' 1).(0).Net.stations)
+
+let test_generators_shapes () =
+  let rng = Random.State.make [| 99 |] in
+  let dag = Topology.Generators.random_dag ~rng ~n_shells:6 () in
+  Alcotest.(check int) "dag shell count" 6 (List.length (Net.shells dag));
+  Alcotest.(check bool) "dag acyclic" false (Topology.Classify.classify dag).cyclic;
+  let ring = Topology.Generators.ring ~n_shells:4 () in
+  Alcotest.(check bool) "ring cyclic" true (Topology.Classify.classify ring).cyclic;
+  let tree = Topology.Generators.tree ~depth:3 () in
+  Alcotest.(check int) "tree sinks" 8 (List.length (Net.sinks tree))
+
+let test_ring_validation () =
+  Alcotest.check_raises "ring size"
+    (Invalid_argument "Generators.ring: need at least 2 shells") (fun () ->
+      ignore (Topology.Generators.ring ~n_shells:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "build and accessors" `Quick test_build_and_accessors;
+    Alcotest.test_case "minimum memory rule" `Quick test_min_memory_rule;
+    Alcotest.test_case "half station satisfies rule" `Quick
+      test_half_station_satisfies_rule;
+    Alcotest.test_case "sink channels are free" `Quick
+      test_sink_channel_needs_no_station;
+    Alcotest.test_case "unconnected port" `Quick test_unconnected_port;
+    Alcotest.test_case "double connection" `Quick test_double_connection;
+    Alcotest.test_case "port out of range" `Quick test_port_out_of_range;
+    Alcotest.test_case "env period" `Quick test_env_period;
+    Alcotest.test_case "with_stations" `Quick test_with_stations;
+    Alcotest.test_case "generator shapes" `Quick test_generators_shapes;
+    Alcotest.test_case "generator validation" `Quick test_ring_validation;
+  ]

@@ -1,0 +1,51 @@
+module P = Topology.Pattern
+
+let test_always_never () =
+  Alcotest.(check bool) "always" true (P.active P.always ~cycle:17);
+  Alcotest.(check bool) "never" false (P.active P.never ~cycle:17);
+  Alcotest.(check int) "trivial periods" 1 (P.period P.always)
+
+let test_periodic () =
+  let p = P.periodic ~period:5 ~active:2 () in
+  Alcotest.(check (list bool)) "first period" [ true; true; false; false; false ]
+    (List.init 5 (fun c -> P.active p ~cycle:c));
+  Alcotest.(check bool) "repeats" true (P.active p ~cycle:5);
+  Alcotest.(check bool) "repeats off" false (P.active p ~cycle:9);
+  Alcotest.(check (float 1e-9)) "duty" 0.4 (P.duty p)
+
+let test_phase () =
+  let p = P.periodic ~phase:1 ~period:4 ~active:1 () in
+  Alcotest.(check (list bool)) "shifted" [ false; false; false; true ]
+    (List.init 4 (fun c -> P.active p ~cycle:c))
+
+let test_periodic_validation () =
+  Alcotest.check_raises "period 0"
+    (Invalid_argument "Pattern.periodic: period must be >= 1") (fun () ->
+      ignore (P.periodic ~period:0 ~active:0 ()));
+  Alcotest.check_raises "active > period"
+    (Invalid_argument "Pattern.periodic: need 0 <= active <= period") (fun () ->
+      ignore (P.periodic ~period:3 ~active:4 ()))
+
+let test_word () =
+  let p = P.word [ true; false; true ] in
+  Alcotest.(check int) "period" 3 (P.period p);
+  Alcotest.(check bool) "cycle 0" true (P.active p ~cycle:0);
+  Alcotest.(check bool) "cycle 1" false (P.active p ~cycle:1);
+  Alcotest.(check bool) "cycle 4" false (P.active p ~cycle:4);
+  Alcotest.check_raises "empty" (Invalid_argument "Pattern.word: empty word")
+    (fun () -> ignore (P.word []))
+
+let test_pp () =
+  Alcotest.(check string) "periodic" "2/5@0"
+    (Format.asprintf "%a" P.pp (P.periodic ~period:5 ~active:2 ()));
+  Alcotest.(check string) "word" "101" (Format.asprintf "%a" P.pp (P.word [ true; false; true ]))
+
+let suite =
+  [
+    Alcotest.test_case "always/never" `Quick test_always_never;
+    Alcotest.test_case "periodic" `Quick test_periodic;
+    Alcotest.test_case "phase" `Quick test_phase;
+    Alcotest.test_case "validation" `Quick test_periodic_validation;
+    Alcotest.test_case "word" `Quick test_word;
+    Alcotest.test_case "printing" `Quick test_pp;
+  ]

@@ -1,0 +1,174 @@
+module RS = Lid.Relay_station
+module Token = Lid.Token
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let step = RS.step ?flavour:None
+
+let test_kinds () =
+  Alcotest.(check int) "full capacity" 2 (RS.capacity RS.Full);
+  Alcotest.(check int) "half capacity" 1 (RS.capacity RS.Half);
+  Alcotest.(check int) "full latency" 1 (RS.forward_latency RS.Full);
+  Alcotest.(check int) "half latency" 0 (RS.forward_latency RS.Half)
+
+let test_initially_void () =
+  (* "each relay station must be initialized with non valid outputs" *)
+  List.iter
+    (fun kind ->
+      let st = RS.initial kind in
+      Alcotest.(check int) "empty" 0 (RS.occupancy st);
+      Alcotest.check token "void out (void in)" Token.void
+        (RS.present st ~input:Token.void);
+      Alcotest.(check bool) "no stop" false (RS.stop_upstream st))
+    [ RS.Full; RS.Half ]
+
+let test_full_pipeline_latency_one () =
+  (* free-flowing full station: out(t+1) = in(t) *)
+  let st = ref (RS.initial RS.Full) in
+  let outs = ref [] in
+  List.iteri
+    (fun i () ->
+      outs := RS.present !st ~input:(Token.valid i) :: !outs;
+      st := step !st ~input:(Token.valid i) ~stop_in:false)
+    [ (); (); (); () ];
+  Alcotest.(check (list token)) "one cycle late"
+    [ Token.void; Token.valid 0; Token.valid 1; Token.valid 2 ]
+    (List.rev !outs)
+
+let test_half_pass_through () =
+  (* empty half station: zero-latency combinational pass *)
+  let st = RS.initial RS.Half in
+  Alcotest.check token "passes" (Token.valid 9) (RS.present st ~input:(Token.valid 9))
+
+let test_full_absorbs_in_flight () =
+  (* the scenario requiring the second register: stop arrives while a datum
+     is in flight *)
+  let st = RS.initial RS.Full in
+  let st = step st ~input:(Token.valid 0) ~stop_in:false in
+  (* holding 0; consumer stops, producer (not yet seeing our stop) sends 1 *)
+  Alcotest.(check bool) "not stopping yet" false (RS.stop_upstream st);
+  let st = step st ~input:(Token.valid 1) ~stop_in:true in
+  Alcotest.(check int) "both stored" 2 (RS.occupancy st);
+  Alcotest.(check bool) "now stops upstream" true (RS.stop_upstream st);
+  Alcotest.check token "still presents 0" (Token.valid 0)
+    (RS.present st ~input:Token.void);
+  (* consumer releases: 0 drains, 1 moves up, stop clears *)
+  let st = step st ~input:Token.void ~stop_in:false in
+  Alcotest.check token "presents 1" (Token.valid 1) (RS.present st ~input:Token.void);
+  Alcotest.(check bool) "stop released" false (RS.stop_upstream st);
+  let st = step st ~input:Token.void ~stop_in:false in
+  Alcotest.(check int) "drained" 0 (RS.occupancy st)
+
+let test_full_holds_under_stop () =
+  let st = step (RS.initial RS.Full) ~input:(Token.valid 7) ~stop_in:false in
+  let st2 = step st ~input:Token.void ~stop_in:true in
+  Alcotest.check token "held" (Token.valid 7) (RS.present st2 ~input:Token.void);
+  let st3 = step st2 ~input:Token.void ~stop_in:true in
+  Alcotest.check token "still held" (Token.valid 7) (RS.present st3 ~input:Token.void)
+
+let test_half_captures_on_stop () =
+  let st = RS.initial RS.Half in
+  (* datum 3 passing while consumer stops: capture *)
+  let st = step st ~input:(Token.valid 3) ~stop_in:true in
+  Alcotest.(check int) "captured" 1 (RS.occupancy st);
+  Alcotest.(check bool) "stops upstream" true (RS.stop_upstream st);
+  Alcotest.check token "presents captured" (Token.valid 3)
+    (RS.present st ~input:(Token.valid 4));
+  (* release: captured datum drains; the held upstream datum passes next *)
+  let st = step st ~input:(Token.valid 4) ~stop_in:false in
+  Alcotest.(check int) "empty again" 0 (RS.occupancy st);
+  Alcotest.check token "pass-through resumes" (Token.valid 4)
+    (RS.present st ~input:(Token.valid 4))
+
+let test_half_no_capture_on_void () =
+  let st = step (RS.initial RS.Half) ~input:Token.void ~stop_in:true in
+  Alcotest.(check int) "nothing to capture" 0 (RS.occupancy st);
+  Alcotest.(check bool) "optimized: stop on void discarded" false
+    (RS.stop_upstream st)
+
+let test_half_original_propagates_stop_on_void () =
+  let st =
+    RS.step ~flavour:Lid.Protocol.Original (RS.initial RS.Half)
+      ~input:Token.void ~stop_in:true
+  in
+  Alcotest.(check bool) "original: stop back-propagated regardless" true
+    (RS.stop_upstream st)
+
+let test_half_original_no_forward_while_stopped () =
+  (* while the registered stop is asserted the producer's datum must not
+     pass (it would be delivered twice) *)
+  let st =
+    RS.step ~flavour:Lid.Protocol.Original (RS.initial RS.Half)
+      ~input:Token.void ~stop_in:true
+  in
+  Alcotest.check token "blocked" Token.void (RS.present st ~input:(Token.valid 5))
+
+let test_map_tokens () =
+  let st = step (RS.initial RS.Full) ~input:(Token.valid 41) ~stop_in:false in
+  let norm t = if Token.is_valid t then Token.valid 0 else t in
+  let st = RS.map_tokens norm st in
+  Alcotest.check token "payload rewritten" (Token.valid 0)
+    (RS.present st ~input:Token.void);
+  Alcotest.(check int) "occupancy kept" 1 (RS.occupancy st)
+
+(* property: under a protocol-obeying producer, a relay station never loses,
+   duplicates or reorders data — random-stimulus version of the
+   model-checked property *)
+let prop_stream_preserved kind flavour =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s station (%s) preserves the stream"
+         (RS.kind_to_string kind)
+         (Lid.Protocol.to_string flavour))
+    ~count:200 QCheck.int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 3 |] in
+      let st = ref (RS.initial kind) in
+      let pres = ref Token.void in
+      let prev_stop = ref false in
+      let next = ref 0 in
+      let delivered = ref [] in
+      for _ = 1 to 200 do
+        (* the environment assumption: this cycle's presentation repeats the
+           previous one when the station stopped it last cycle *)
+        (match !pres with
+        | Token.Valid _ when !prev_stop -> ()
+        | _ ->
+            if Random.State.bool rng then begin
+              pres := Token.valid !next;
+              incr next
+            end
+            else pres := Token.void);
+        let stop_in = Random.State.bool rng in
+        let out = RS.present !st ~input:!pres in
+        (match out with
+        | Token.Valid v when not stop_in -> delivered := v :: !delivered
+        | _ -> ());
+        prev_stop := RS.stop_upstream !st;
+        st := RS.step ~flavour !st ~input:!pres ~stop_in
+      done;
+      let got = List.rev !delivered in
+      got = List.init (List.length got) (fun i -> i))
+
+let suite =
+  [
+    Alcotest.test_case "kind parameters" `Quick test_kinds;
+    Alcotest.test_case "initialized void" `Quick test_initially_void;
+    Alcotest.test_case "full: latency one" `Quick test_full_pipeline_latency_one;
+    Alcotest.test_case "half: pass-through" `Quick test_half_pass_through;
+    Alcotest.test_case "full: absorbs datum in flight" `Quick test_full_absorbs_in_flight;
+    Alcotest.test_case "full: holds under stop" `Quick test_full_holds_under_stop;
+    Alcotest.test_case "half: captures on stop" `Quick test_half_captures_on_stop;
+    Alcotest.test_case "half: no capture on void" `Quick test_half_no_capture_on_void;
+    Alcotest.test_case "half original: stop on void propagated" `Quick
+      test_half_original_propagates_stop_on_void;
+    Alcotest.test_case "half original: blocked while stopped" `Quick
+      test_half_original_no_forward_while_stopped;
+    Alcotest.test_case "map_tokens" `Quick test_map_tokens;
+  ]
+  @ List.concat_map
+      (fun kind ->
+        List.map
+          (fun fl -> QCheck_alcotest.to_alcotest (prop_stream_preserved kind fl))
+          Lid.Protocol.all)
+      [ RS.Full; RS.Half ]

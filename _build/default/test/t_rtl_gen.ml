@@ -1,0 +1,174 @@
+(* RTL circuits vs abstract protocol FSMs, cycle-for-cycle. *)
+
+open Bitvec
+module RS = Lid.Relay_station
+module Token = Lid.Token
+
+let width = 8
+
+let lockstep_rs kind flavour seed cycles =
+  let circ = Lid.Rtl_gen.relay_station ~flavour ~data_width:width kind in
+  let sim = Sim.Cycle_sim.create circ in
+  let rng = Random.State.make [| seed; 13 |] in
+  let st = ref (RS.initial kind) in
+  let pres = ref Token.void in
+  let seq = ref 0 in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    let stop_up = RS.stop_upstream !st in
+    (match !pres with
+    | Token.Valid _ when stop_up -> ()
+    | _ ->
+        if Random.State.bool rng then begin
+          pres := Token.valid (!seq land 0xff);
+          incr seq
+        end
+        else pres := Token.void);
+    let stop_in = Random.State.bool rng in
+    let out_abs = RS.present !st ~input:!pres in
+    Sim.Cycle_sim.poke sim "in_valid" (Bits.of_bool (Token.is_valid !pres));
+    Sim.Cycle_sim.poke sim "in_data"
+      (Bits.of_int ~width (Option.value ~default:0 (Token.value_opt !pres)));
+    Sim.Cycle_sim.poke sim "stop_in" (Bits.of_bool stop_in);
+    let rtl_valid = Bits.lsb (Sim.Cycle_sim.peek_output sim "out_valid") in
+    let rtl_stop = Bits.lsb (Sim.Cycle_sim.peek_output sim "stop_out") in
+    let rtl_data = Bits.to_int (Sim.Cycle_sim.peek_output sim "out_data") in
+    if rtl_valid <> Token.is_valid out_abs then ok := false;
+    if rtl_stop <> stop_up then ok := false;
+    if rtl_valid && rtl_data <> Token.value out_abs then ok := false;
+    st := RS.step ~flavour !st ~input:!pres ~stop_in;
+    Sim.Cycle_sim.step sim
+  done;
+  !ok
+
+let prop_rs kind flavour =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "RTL %s station (%s) = abstract FSM"
+         (RS.kind_to_string kind)
+         (Lid.Protocol.to_string flavour))
+    ~count:40 QCheck.small_int
+    (fun seed -> lockstep_rs kind flavour seed 300)
+
+(* identity-shell RTL against the abstract shell *)
+let lockstep_shell flavour seed cycles =
+  let circ = Lid.Rtl_gen.identity_shell ~flavour ~data_width:width () in
+  let sim = Sim.Cycle_sim.create circ in
+  let shell = Lid.Shell.create ~flavour (Lid.Pearl.identity ()) in
+  let st = ref (Lid.Shell.initial shell) in
+  let rng = Random.State.make [| seed; 29 |] in
+  let pres = ref Token.void in
+  let seq = ref 1 in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    let stop_in = Random.State.bool rng in
+    (* environment: keep the input while the shell stops it *)
+    let stops =
+      Lid.Shell.input_stops shell !st ~inputs:[| !pres |] ~out_stops:[| stop_in |]
+    in
+    (match !pres with
+    | Token.Valid _ when stops.(0) -> ()
+    | _ ->
+        if Random.State.bool rng then begin
+          pres := Token.valid (!seq land 0xff);
+          incr seq
+        end
+        else pres := Token.void);
+    let out_abs = Lid.Shell.present !st 0 in
+    let stops_abs =
+      Lid.Shell.input_stops shell !st ~inputs:[| !pres |] ~out_stops:[| stop_in |]
+    in
+    Sim.Cycle_sim.poke sim "in_valid_0" (Bits.of_bool (Token.is_valid !pres));
+    Sim.Cycle_sim.poke sim "in_data_0"
+      (Bits.of_int ~width (Option.value ~default:0 (Token.value_opt !pres)));
+    Sim.Cycle_sim.poke sim "stop_in_0" (Bits.of_bool stop_in);
+    let rtl_valid = Bits.lsb (Sim.Cycle_sim.peek_output sim "out_valid_0") in
+    let rtl_data = Bits.to_int (Sim.Cycle_sim.peek_output sim "out_data_0") in
+    let rtl_stop = Bits.lsb (Sim.Cycle_sim.peek_output sim "stop_out_0") in
+    if rtl_valid <> Token.is_valid out_abs then ok := false;
+    if rtl_valid && rtl_data <> Token.value out_abs then ok := false;
+    if rtl_stop <> stops_abs.(0) then ok := false;
+    st := Lid.Shell.step shell !st ~inputs:[| !pres |] ~out_stops:[| stop_in |];
+    Sim.Cycle_sim.step sim
+  done;
+  !ok
+
+let prop_shell flavour =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "RTL identity shell (%s) = abstract shell"
+         (Lid.Protocol.to_string flavour))
+    ~count:40 QCheck.small_int
+    (fun seed -> lockstep_shell flavour seed 300)
+
+let test_stats () =
+  let full = Lid.Rtl_gen.relay_station ~data_width:16 RS.Full in
+  let half = Lid.Rtl_gen.relay_station ~data_width:16 RS.Half in
+  let sf = Hdl.Circuit.stats full and sh = Hdl.Circuit.stats half in
+  (* the whole point: the half station has one data register, the full one
+     has two *)
+  Alcotest.(check int) "full: 2 data + 2 flag regs" 4 sf.n_regs;
+  Alcotest.(check int) "full reg bits" 34 sf.reg_bits;
+  Alcotest.(check int) "half: 1 data + 1 flag reg" 2 sh.n_regs;
+  Alcotest.(check int) "half reg bits" 17 sh.reg_bits;
+  let half_orig =
+    Hdl.Circuit.stats
+      (Lid.Rtl_gen.relay_station ~flavour:Lid.Protocol.Original ~data_width:16
+         RS.Half)
+  in
+  Alcotest.(check int) "original half keeps its stop register" 3
+    half_orig.n_regs
+
+let test_accumulator_shell_gating () =
+  (* the accumulator's internal state register must be clock-gated: a
+     stalled cycle must not accumulate *)
+  let circ = Lid.Rtl_gen.accumulator_shell ~data_width:width () in
+  let sim = Sim.Cycle_sim.create circ in
+  let feed v valid stop =
+    Sim.Cycle_sim.poke sim "in_valid_0" (Bits.of_bool valid);
+    Sim.Cycle_sim.poke sim "in_data_0" (Bits.of_int ~width v);
+    Sim.Cycle_sim.poke sim "stop_in_0" (Bits.of_bool stop);
+    Sim.Cycle_sim.step sim
+  in
+  feed 10 true false;
+  (* stalled: input invalid for 3 cycles *)
+  feed 0 false false;
+  feed 0 false false;
+  feed 0 false false;
+  feed 5 true false;
+  Alcotest.(check int) "10 + 5, stalls ignored" 15
+    (Bits.to_int (Sim.Cycle_sim.peek_output sim "out_data_0"))
+
+let test_shell_initial_outputs_valid () =
+  let circ = Lid.Rtl_gen.adder_shell ~data_width:width () in
+  let sim = Sim.Cycle_sim.create circ in
+  Alcotest.(check int) "out_valid at reset" 1
+    (Bits.to_int (Sim.Cycle_sim.peek_output sim "out_valid_0"))
+
+let test_spec_validation () =
+  Alcotest.check_raises "initial arity"
+    (Invalid_argument "Rtl_gen.shell: initial_outputs arity mismatch")
+    (fun () ->
+      ignore
+        (Lid.Rtl_gen.shell
+           {
+             name = "bad";
+             data_width = 4;
+             n_inputs = 1;
+             n_outputs = 2;
+             initial_outputs = [ Bits.zero 4 ];
+             datapath = (fun ~fire:_ ins -> ins @ ins);
+           }))
+
+let suite =
+  [
+    Alcotest.test_case "register counts (half vs full)" `Quick test_stats;
+    Alcotest.test_case "accumulator clock gating" `Quick test_accumulator_shell_gating;
+    Alcotest.test_case "shell initial outputs valid" `Quick
+      test_shell_initial_outputs_valid;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+  ]
+  @ List.concat_map
+      (fun kind -> List.map (fun fl -> QCheck_alcotest.to_alcotest (prop_rs kind fl)) Lid.Protocol.all)
+      [ RS.Full; RS.Half ]
+  @ List.map (fun fl -> QCheck_alcotest.to_alcotest (prop_shell fl)) Lid.Protocol.all

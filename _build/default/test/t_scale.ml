@@ -1,0 +1,95 @@
+(* Larger-system sanity: the analysis and the engine agree and stay fast
+   well beyond the paper's toy sizes. *)
+
+module G = Topology.Generators
+
+let test_long_chain () =
+  let net = G.chain ~n_shells:100 () in
+  let engine = Skeleton.Engine.create net in
+  match Skeleton.Measure.analyze ~max_cycles:5000 engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "T=1" 1.0 (Skeleton.Measure.system_throughput r);
+      Alcotest.(check bool) "transient about the pipeline depth" true
+        (r.transient < 500)
+  | None -> Alcotest.fail "no steady state"
+
+let test_big_ring () =
+  let net = G.ring ~n_shells:80 () in
+  Alcotest.(check (float 1e-9)) "bound 80/160" 0.5
+    (Topology.Elastic.throughput_bound net);
+  let engine = Skeleton.Engine.create net in
+  match Skeleton.Measure.analyze ~max_cycles:5000 engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "measured 0.5" 0.5
+        (Skeleton.Measure.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_unbalanced_big_ring () =
+  (* 60 shells, 100 full stations spread unevenly: T = 60/160 *)
+  let b = Topology.Network.builder () in
+  let shells =
+    Array.init 60 (fun i ->
+        Topology.Network.add_shell b ~name:(Printf.sprintf "s%d" i)
+          (Lid.Pearl.identity ()))
+  in
+  Array.iteri
+    (fun i sh ->
+      let k = if i < 40 then 2 else 1 in
+      let st = List.init k (fun _ -> Lid.Relay_station.Full) in
+      ignore
+        (Topology.Network.connect b ~stations:st ~src:(sh, 0)
+           ~dst:(shells.((i + 1) mod 60), 0)
+           ()))
+    shells;
+  let net = Topology.Network.build b in
+  Alcotest.(check (float 1e-9)) "bound 60/160" (60. /. 160.)
+    (Topology.Elastic.throughput_bound net)
+
+let test_wide_tree () =
+  let net = G.tree ~depth:6 () in
+  Alcotest.(check int) "64 leaves" 64 (List.length (Topology.Network.sinks net));
+  let engine = Skeleton.Engine.create net in
+  match Skeleton.Measure.analyze ~max_cycles:5000 engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "tree runs at 1" 1.0
+        (Skeleton.Measure.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_large_random_agreement () =
+  (* one big random loopy system: analytic bound still equals measurement *)
+  let rng = Random.State.make [| 2026 |] in
+  let net =
+    G.random_loopy ~rng ~n_shells:40 ~extra_back_edges:4 ~max_stations:4 ()
+  in
+  let bound = Topology.Elastic.throughput_bound net in
+  let engine = Skeleton.Engine.create net in
+  match Skeleton.Measure.analyze ~max_cycles:100_000 engine with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "bound = measured" bound
+        (Skeleton.Measure.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_big_rtl_elaboration () =
+  let net = G.chain ~n_shells:30 ~stations:[ Lid.Relay_station.Full ] () in
+  let circ = Topology.Rtl_net.of_network ~data_width:8 net in
+  let stats = Hdl.Circuit.stats circ in
+  Alcotest.(check bool) "hundreds of registers" true (stats.Hdl.Circuit.n_regs > 90);
+  (* and it still simulates correctly *)
+  let sim = Sim.Cycle_sim.create circ in
+  Sim.Cycle_sim.poke sim "stall_out" (Bitvec.Bits.of_bool false);
+  let valids = ref 0 in
+  for _ = 1 to 120 do
+    if Bitvec.Bits.lsb (Sim.Cycle_sim.peek_output sim "valid_out") then incr valids;
+    Sim.Cycle_sim.step sim
+  done;
+  Alcotest.(check bool) "pipeline filled and flowed" true (!valids > 50)
+
+let suite =
+  [
+    Alcotest.test_case "chain of 100" `Quick test_long_chain;
+    Alcotest.test_case "ring of 80" `Quick test_big_ring;
+    Alcotest.test_case "unbalanced ring of 60" `Quick test_unbalanced_big_ring;
+    Alcotest.test_case "tree of depth 6" `Quick test_wide_tree;
+    Alcotest.test_case "random 40-shell system" `Quick test_large_random_agreement;
+    Alcotest.test_case "30-stage RTL elaboration" `Quick test_big_rtl_elaboration;
+  ]

@@ -1,0 +1,164 @@
+module Shell = Lid.Shell
+module Token = Lid.Token
+module Pearl = Lid.Pearl
+
+let token = Alcotest.testable Token.pp Token.equal
+
+let mk ?(flavour = Lid.Protocol.Optimized) pearl = Shell.create ~flavour pearl
+
+let test_initial_valid () =
+  (* "the shells outputs are initialized with valid data" *)
+  let sh = mk (Pearl.counter ~start:4 ()) in
+  let st = Shell.initial sh in
+  Alcotest.check token "valid initial" (Token.valid 4) (Shell.present st 0)
+
+let test_fires_when_ready () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  Alcotest.(check bool) "fires" true
+    (Shell.fires sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| false |]);
+  Alcotest.(check bool) "void input blocks" false
+    (Shell.fires sh st ~inputs:[| Token.void |] ~out_stops:[| false |])
+
+let test_stop_gates_valid_output () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  (* initial output is valid, so a stop is relevant under both flavours *)
+  Alcotest.(check bool) "gated" false
+    (Shell.fires sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| true |])
+
+let test_optimized_discards_stop_on_void () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  (* consume the initial output without providing input: buffer goes void *)
+  let st = Shell.step sh st ~inputs:[| Token.void |] ~out_stops:[| false |] in
+  Alcotest.check token "buffer void" Token.void (Shell.present st 0);
+  Alcotest.(check bool) "stop on void output discarded" true
+    (Shell.fires sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| true |])
+
+let test_original_honours_stop_on_void () =
+  let sh = mk ~flavour:Lid.Protocol.Original (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  let st = Shell.step sh st ~inputs:[| Token.void |] ~out_stops:[| false |] in
+  Alcotest.(check bool) "stop on void output still gates" false
+    (Shell.fires sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| true |])
+
+let test_clock_gating () =
+  (* pearl state must not advance while the shell is stalled *)
+  let sh = mk (Pearl.accumulator ()) in
+  let st = Shell.initial sh in
+  let st = Shell.step sh st ~inputs:[| Token.valid 10 |] ~out_stops:[| false |] in
+  Alcotest.(check (array int)) "accumulated" [| 10 |] (Shell.pearl_state st);
+  (* stalled on a void input for three cycles: state frozen *)
+  let st' = ref st in
+  for _ = 1 to 3 do
+    st' := Shell.step sh !st' ~inputs:[| Token.void |] ~out_stops:[| false |]
+  done;
+  Alcotest.(check (array int)) "frozen" [| 10 |] (Shell.pearl_state !st')
+
+let test_output_held_under_stop () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  let st = Shell.step sh st ~inputs:[| Token.valid 5 |] ~out_stops:[| false |] in
+  Alcotest.check token "new output" (Token.valid 5) (Shell.present st 0);
+  let st = Shell.step sh st ~inputs:[| Token.valid 6 |] ~out_stops:[| true |] in
+  Alcotest.check token "held under stop" (Token.valid 5) (Shell.present st 0)
+
+let test_output_void_after_consumption () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  (* consumed (no stop) but shell cannot fire (void input): next is void *)
+  let st = Shell.step sh st ~inputs:[| Token.void |] ~out_stops:[| false |] in
+  Alcotest.check token "void" Token.void (Shell.present st 0)
+
+let test_back_pressure () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  let stops =
+    Shell.input_stops sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| true |]
+  in
+  Alcotest.(check (array bool)) "stop sent on valid input" [| true |] stops;
+  let stops_void =
+    Shell.input_stops sh st ~inputs:[| Token.void |] ~out_stops:[| true |]
+  in
+  Alcotest.(check (array bool)) "optimized: no stop on void input" [| false |]
+    stops_void;
+  let sh_orig = mk ~flavour:Lid.Protocol.Original (Pearl.identity ()) in
+  let st_o = Shell.initial sh_orig in
+  let stops_orig =
+    Shell.input_stops sh_orig st_o ~inputs:[| Token.void |] ~out_stops:[| true |]
+  in
+  Alcotest.(check (array bool)) "original: stop regardless" [| true |] stops_orig
+
+let test_no_stop_when_firing () =
+  let sh = mk (Pearl.identity ()) in
+  let st = Shell.initial sh in
+  let stops =
+    Shell.input_stops sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| false |]
+  in
+  Alcotest.(check (array bool)) "consumed, no stop" [| false |] stops
+
+let test_multi_output_independent_buffers () =
+  let sh = mk (Pearl.fork2 ()) in
+  let st = Shell.initial sh in
+  (* output 0 stopped (held), output 1 free (consumed): they diverge *)
+  let st =
+    Shell.step sh st ~inputs:[| Token.void |] ~out_stops:[| true; false |]
+  in
+  Alcotest.check token "port 0 held" (Token.valid 0) (Shell.present st 0);
+  Alcotest.check token "port 1 void" Token.void (Shell.present st 1)
+
+let test_mixed_stop_gating () =
+  (* a stop on one valid output gates the whole shell *)
+  let sh = mk (Pearl.fork2 ()) in
+  let st = Shell.initial sh in
+  Alcotest.(check bool) "gated by port 1" false
+    (Shell.fires sh st ~inputs:[| Token.valid 1 |] ~out_stops:[| false; true |])
+
+let test_arity_validation () =
+  let sh = mk (Pearl.adder ()) in
+  let st = Shell.initial sh in
+  Alcotest.check_raises "inputs" (Invalid_argument "Shell: input arity mismatch")
+    (fun () ->
+      ignore (Shell.fires sh st ~inputs:[| Token.void |] ~out_stops:[| false |]))
+
+let test_identity_stream () =
+  (* feed a stuttering stream; output values must be the input stream *)
+  let sh = mk (Pearl.identity ()) in
+  let st = ref (Shell.initial sh) in
+  let fed = [ Some 1; None; Some 2; Some 3; None; None; Some 4 ] in
+  let got = ref [] in
+  List.iter
+    (fun x ->
+      let inputs =
+        [| (match x with Some v -> Token.valid v | None -> Token.void) |]
+      in
+      (match Shell.present !st 0 with
+      | Token.Valid v -> got := v :: !got
+      | Token.Void -> ());
+      st := Shell.step sh !st ~inputs ~out_stops:[| false |])
+    fed;
+  Alcotest.(check (list int)) "initial 0 then stream" [ 0; 1; 2; 3 ]
+    (List.rev !got)
+
+let suite =
+  [
+    Alcotest.test_case "initial output valid" `Quick test_initial_valid;
+    Alcotest.test_case "firing rule" `Quick test_fires_when_ready;
+    Alcotest.test_case "stop gates valid output" `Quick test_stop_gates_valid_output;
+    Alcotest.test_case "optimized discards stop on void" `Quick
+      test_optimized_discards_stop_on_void;
+    Alcotest.test_case "original honours stop on void" `Quick
+      test_original_honours_stop_on_void;
+    Alcotest.test_case "clock gating freezes pearl" `Quick test_clock_gating;
+    Alcotest.test_case "output held under stop" `Quick test_output_held_under_stop;
+    Alcotest.test_case "output void after consumption" `Quick
+      test_output_void_after_consumption;
+    Alcotest.test_case "back pressure per flavour" `Quick test_back_pressure;
+    Alcotest.test_case "no stop when firing" `Quick test_no_stop_when_firing;
+    Alcotest.test_case "independent output buffers" `Quick
+      test_multi_output_independent_buffers;
+    Alcotest.test_case "mixed stop gating" `Quick test_mixed_stop_gating;
+    Alcotest.test_case "arity validation" `Quick test_arity_validation;
+    Alcotest.test_case "identity value stream" `Quick test_identity_stream;
+  ]

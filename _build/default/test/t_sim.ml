@@ -1,0 +1,184 @@
+open Bitvec
+open Hdl.Signal
+
+let counter_circuit ?(w = 8) () =
+  let en = input "en" 1 in
+  let r =
+    reg_fb ~name:"cnt" ~enable:en ~reset:(Bits.zero w) ~width:w (fun r ->
+        r +: consti ~width:w 1)
+  in
+  Hdl.Circuit.create ~name:"counter" ~inputs:[ en ] ~outputs:[ output "q" r ]
+
+let test_counter_cycle_sim () =
+  let sim = Sim.Cycle_sim.create (counter_circuit ()) in
+  Sim.Cycle_sim.poke sim "en" (Bits.of_bool true);
+  for i = 0 to 9 do
+    Alcotest.(check int) (Printf.sprintf "count %d" i) i
+      (Bits.to_int (Sim.Cycle_sim.peek_output sim "q"));
+    Sim.Cycle_sim.step sim
+  done;
+  Alcotest.(check int) "cycle count" 10 (Sim.Cycle_sim.cycle_count sim)
+
+let test_counter_enable_gates () =
+  let sim = Sim.Cycle_sim.create (counter_circuit ()) in
+  Sim.Cycle_sim.poke sim "en" (Bits.of_bool true);
+  Sim.Cycle_sim.step sim;
+  Sim.Cycle_sim.step sim;
+  Sim.Cycle_sim.poke sim "en" (Bits.of_bool false);
+  Sim.Cycle_sim.step sim;
+  Sim.Cycle_sim.step sim;
+  Alcotest.(check int) "held at 2" 2 (Bits.to_int (Sim.Cycle_sim.peek_output sim "q"))
+
+let test_reset () =
+  let sim = Sim.Cycle_sim.create (counter_circuit ()) in
+  Sim.Cycle_sim.poke sim "en" (Bits.of_bool true);
+  for _ = 1 to 5 do Sim.Cycle_sim.step sim done;
+  Sim.Cycle_sim.reset sim;
+  Alcotest.(check int) "back to 0" 0 (Bits.to_int (Sim.Cycle_sim.peek_output sim "q"));
+  Alcotest.(check int) "cycles cleared" 0 (Sim.Cycle_sim.cycle_count sim)
+
+let test_poke_validation () =
+  let sim = Sim.Cycle_sim.create (counter_circuit ()) in
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Cycle_sim.poke \"en\": width mismatch") (fun () ->
+      Sim.Cycle_sim.poke sim "en" (Bits.zero 2));
+  Alcotest.check_raises "unknown input" Not_found (fun () ->
+      Sim.Cycle_sim.poke sim "nope" (Bits.zero 1))
+
+let test_comb_only () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let c =
+    Hdl.Circuit.create ~name:"mix" ~inputs:[ a; b ]
+      ~outputs:
+        [
+          output "sum" (a +: b);
+          output "eq" (a ==: b);
+          output "min" (mux2 (a <: b) a b);
+        ]
+  in
+  let sim = Sim.Cycle_sim.create c in
+  Sim.Cycle_sim.poke sim "a" (Bits.of_int ~width:8 13);
+  Sim.Cycle_sim.poke sim "b" (Bits.of_int ~width:8 29);
+  Alcotest.(check int) "sum" 42 (Bits.to_int (Sim.Cycle_sim.peek_output sim "sum"));
+  Alcotest.(check int) "eq" 0 (Bits.to_int (Sim.Cycle_sim.peek_output sim "eq"));
+  Alcotest.(check int) "min" 13 (Bits.to_int (Sim.Cycle_sim.peek_output sim "min"))
+
+let test_event_sim_counter () =
+  let sim = Sim.Event_sim.create (counter_circuit ()) in
+  Sim.Event_sim.poke sim "en" (Bits.of_bool true);
+  for i = 0 to 5 do
+    Alcotest.(check int) (Printf.sprintf "count %d" i) i
+      (Bits.to_int (Sim.Event_sim.peek_output sim "q"));
+    Sim.Event_sim.step sim
+  done
+
+let test_event_sim_activity () =
+  (* a quiescent circuit should cost no events after settling *)
+  let sim = Sim.Event_sim.create (counter_circuit ()) in
+  Sim.Event_sim.poke sim "en" (Bits.of_bool false);
+  Sim.Event_sim.settle sim;
+  let before = Sim.Event_sim.event_count sim in
+  for _ = 1 to 50 do
+    Sim.Event_sim.step sim;
+    Sim.Event_sim.settle sim
+  done;
+  Alcotest.(check int) "no events while idle" before (Sim.Event_sim.event_count sim)
+
+(* random circuit generator for the cross-check property *)
+let random_circuit rng =
+  let n_inputs = 1 + Random.State.int rng 3 in
+  let w = 1 + Random.State.int rng 12 in
+  let inputs = List.init n_inputs (fun i -> input (Printf.sprintf "i%d" i) w) in
+  let pool = ref inputs in
+  let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+  let regs = ref [] in
+  for _ = 1 to 12 do
+    let a = pick () and b = pick () in
+    let s =
+      match Random.State.int rng 9 with
+      | 0 -> a +: b
+      | 1 -> a -: b
+      | 2 -> a &: b
+      | 3 -> a |: b
+      | 4 -> a ^: b
+      | 5 -> ~:a
+      | 6 -> mux2 (a <: b) a b
+      | 7 -> a *: b
+      | _ ->
+          let r =
+            reg ~reset:(Bits.of_int ~width:w (Random.State.int rng 100)) a
+          in
+          regs := r :: !regs;
+          r
+    in
+    pool := s :: !pool
+  done;
+  let o = output "out" (pick ()) in
+  let o2 = output "out2" (pick ()) in
+  Hdl.Circuit.create ~name:"rand" ~inputs ~outputs:[ o; o2 ]
+
+let prop_cycle_eq_event =
+  QCheck.Test.make ~name:"cycle sim = event-driven sim on random circuits"
+    ~count:60 QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed; 77 |] in
+      let circ = random_circuit rng in
+      let c = Sim.Cycle_sim.create circ and e = Sim.Event_sim.create circ in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        List.iter
+          (fun i ->
+            let w = Hdl.Signal.width i in
+            let v = Bits.random ~width:w (Random.State.int rng) in
+            let name = Hdl.Signal.name_of i in
+            Sim.Cycle_sim.poke c name v;
+            Sim.Event_sim.poke e name v)
+          (Hdl.Circuit.inputs circ);
+        List.iter
+          (fun o ->
+            let name = Hdl.Signal.name_of o in
+            if
+              not
+                (Bits.equal
+                   (Sim.Cycle_sim.peek_output c name)
+                   (Sim.Event_sim.peek_output e name))
+            then ok := false)
+          (Hdl.Circuit.outputs circ);
+        Sim.Cycle_sim.step c;
+        Sim.Event_sim.step e
+      done;
+      !ok)
+
+let test_vcd () =
+  let circ = counter_circuit ~w:4 () in
+  let sim = Sim.Cycle_sim.create circ in
+  Sim.Cycle_sim.poke sim "en" (Bits.of_bool true);
+  let path = Filename.temp_file "lid" ".vcd" in
+  let oc = open_out path in
+  let q = Hdl.Circuit.find_output circ "q" in
+  let vcd = Sim.Vcd.create ~out:oc ~design:"counter" [ ("q", q); ("en", Hdl.Circuit.find_input circ "en") ] in
+  for t = 0 to 7 do
+    Sim.Vcd.sample vcd ~time:t ~peek:(Sim.Cycle_sim.peek sim);
+    Sim.Cycle_sim.step sim
+  done;
+  Sim.Vcd.close vcd;
+  close_out oc;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  Alcotest.(check bool) "has header" true
+    (String.length content > 0
+    && Astring.String.is_infix ~affix:"$enddefinitions" content);
+  Alcotest.(check bool) "has q samples" true
+    (Astring.String.is_infix ~affix:"b0011" content)
+
+let suite =
+  [
+    Alcotest.test_case "counter (cycle sim)" `Quick test_counter_cycle_sim;
+    Alcotest.test_case "enable gating" `Quick test_counter_enable_gates;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "poke validation" `Quick test_poke_validation;
+    Alcotest.test_case "combinational outputs" `Quick test_comb_only;
+    Alcotest.test_case "counter (event sim)" `Quick test_event_sim_counter;
+    Alcotest.test_case "event sim idle costs nothing" `Quick test_event_sim_activity;
+    Alcotest.test_case "vcd writer" `Quick test_vcd;
+    QCheck_alcotest.to_alcotest prop_cycle_eq_event;
+  ]

@@ -1,0 +1,198 @@
+open Bitvec
+open Hdl.Signal
+
+let n_comb c = (Hdl.Circuit.stats c).Hdl.Circuit.n_comb
+let n_regs c = (Hdl.Circuit.stats c).Hdl.Circuit.n_regs
+
+let test_constant_folding () =
+  let a = consti ~width:8 3 +: consti ~width:8 4 in
+  let c =
+    Hdl.Circuit.create ~name:"k" ~inputs:[] ~outputs:[ output "o" a ]
+  in
+  let c' = Hdl.Simplify.circuit c in
+  let sim = Sim.Cycle_sim.create c' in
+  Alcotest.(check int) "value" 7 (Bits.to_int (Sim.Cycle_sim.peek_output sim "o"));
+  Alcotest.(check int) "just the output wire left" 1 (n_comb c')
+
+let test_identities () =
+  let x = input "x" 8 in
+  let zero = consti ~width:8 0 in
+  let expr = ((x +: zero) &: const (Bits.ones 8)) ^: zero in
+  let c = Hdl.Circuit.create ~name:"i" ~inputs:[ x ] ~outputs:[ output "o" expr ] in
+  let c' = Hdl.Simplify.circuit c in
+  (* o = x after folding *)
+  Alcotest.(check int) "collapsed" 1 (n_comb c');
+  let sim = Sim.Cycle_sim.create c' in
+  Sim.Cycle_sim.poke sim "x" (Bits.of_int ~width:8 42);
+  Alcotest.(check int) "still x" 42 (Bits.to_int (Sim.Cycle_sim.peek_output sim "o"))
+
+let test_mul_identities () =
+  let x = input "x" 8 in
+  let one = consti ~width:8 1 and zero = consti ~width:8 0 in
+  let c =
+    Hdl.Circuit.create ~name:"m" ~inputs:[ x ]
+      ~outputs:[ output "by1" (x *: one); output "by0" (x *: zero) ]
+  in
+  let c' = Hdl.Simplify.circuit c in
+  let sim = Sim.Cycle_sim.create c' in
+  Sim.Cycle_sim.poke sim "x" (Bits.of_int ~width:8 9);
+  Alcotest.(check int) "x*1" 9 (Bits.to_int (Sim.Cycle_sim.peek_output sim "by1"));
+  Alcotest.(check int) "x*0" 0 (Bits.to_int (Sim.Cycle_sim.peek_output sim "by0"))
+
+let test_double_negation () =
+  let x = input "x" 4 in
+  let c =
+    Hdl.Circuit.create ~name:"nn" ~inputs:[ x ]
+      ~outputs:[ output "o" ~:(~:x) ]
+  in
+  Alcotest.(check int) "only the output wire" 1 (n_comb (Hdl.Simplify.circuit c))
+
+let test_same_operand_folds () =
+  let x = input "x" 8 in
+  let c =
+    Hdl.Circuit.create ~name:"s" ~inputs:[ x ]
+      ~outputs:
+        [
+          output "sub" (x -: x);
+          output "eq" (x ==: x);
+          output "andd" (x &: x);
+        ]
+  in
+  let c' = Hdl.Simplify.circuit c in
+  let sim = Sim.Cycle_sim.create c' in
+  Sim.Cycle_sim.poke sim "x" (Bits.of_int ~width:8 77);
+  Alcotest.(check int) "x-x" 0 (Bits.to_int (Sim.Cycle_sim.peek_output sim "sub"));
+  Alcotest.(check int) "x==x" 1 (Bits.to_int (Sim.Cycle_sim.peek_output sim "eq"));
+  Alcotest.(check int) "x&x" 77 (Bits.to_int (Sim.Cycle_sim.peek_output sim "andd"))
+
+let test_cse () =
+  let a = input "a" 8 and b = input "b" 8 in
+  (* the same sum built twice *)
+  let c =
+    Hdl.Circuit.create ~name:"cse" ~inputs:[ a; b ]
+      ~outputs:[ output "o" ((a +: b) ^: (a +: b)) ]
+  in
+  let c' = Hdl.Simplify.circuit c in
+  (* x ^ x folds to 0 only if CSE first merged the two sums *)
+  let sim = Sim.Cycle_sim.create c' in
+  Sim.Cycle_sim.poke sim "a" (Bits.of_int ~width:8 12);
+  Sim.Cycle_sim.poke sim "b" (Bits.of_int ~width:8 34);
+  Alcotest.(check int) "folded to zero" 0
+    (Bits.to_int (Sim.Cycle_sim.peek_output sim "o"));
+  Alcotest.(check int) "no adders left" 1 (n_comb c')
+
+let test_frozen_register () =
+  let d = input "d" 8 in
+  let r = reg ~name:"frozen" ~enable:gnd ~reset:(Bits.of_int ~width:8 5) d in
+  let c = Hdl.Circuit.create ~name:"fr" ~inputs:[ d ] ~outputs:[ output "o" r ] in
+  let c' = Hdl.Simplify.circuit c in
+  Alcotest.(check int) "register gone" 0 (n_regs c');
+  let sim = Sim.Cycle_sim.create c' in
+  Sim.Cycle_sim.step sim;
+  Alcotest.(check int) "stuck at reset" 5
+    (Bits.to_int (Sim.Cycle_sim.peek_output sim "o"))
+
+let test_enable_one_dropped () =
+  let d = input "d" 8 in
+  let r = reg ~name:"r" ~enable:vdd ~reset:(Bits.zero 8) d in
+  let c = Hdl.Circuit.create ~name:"e1" ~inputs:[ d ] ~outputs:[ output "o" r ] in
+  let c' = Hdl.Simplify.circuit c in
+  match Hdl.Circuit.regs c' with
+  | [| Hdl.Signal.Reg { enable = None; _ } |] -> ()
+  | _ -> Alcotest.fail "expected a single always-enabled register"
+
+let test_sequential_loop_survives () =
+  let r = reg_fb ~name:"cnt" ~reset:(Bits.zero 8) ~width:8 (fun r -> r +: consti ~width:8 1) in
+  let c = Hdl.Circuit.create ~name:"cnt" ~inputs:[] ~outputs:[ output "o" r ] in
+  let c' = Hdl.Simplify.circuit c in
+  let sim = Sim.Cycle_sim.create c' in
+  for _ = 1 to 5 do Sim.Cycle_sim.step sim done;
+  Alcotest.(check int) "counts" 5 (Bits.to_int (Sim.Cycle_sim.peek_output sim "o"))
+
+let test_relay_station_shrinks_or_equal () =
+  List.iter
+    (fun kind ->
+      let c = Lid.Rtl_gen.relay_station ~data_width:16 kind in
+      let c', r = Hdl.Simplify.with_report c in
+      Alcotest.(check bool) "not larger" true
+        (r.after.Hdl.Circuit.n_comb <= r.before.Hdl.Circuit.n_comb);
+      Alcotest.(check int) "same registers" (n_regs c) (n_regs c'))
+    [ Lid.Relay_station.Full; Lid.Relay_station.Half ]
+
+(* random circuits: the pass preserves behaviour cycle-for-cycle *)
+let random_circuit rng =
+  let w = 1 + Random.State.int rng 10 in
+  let inputs = List.init 2 (fun i -> input (Printf.sprintf "i%d" i) w) in
+  let pool = ref (inputs @ [ consti ~width:w 0; consti ~width:w 1; const (Bits.ones w) ]) in
+  let pick () = List.nth !pool (Random.State.int rng (List.length !pool)) in
+  for _ = 1 to 15 do
+    let a = pick () and b = pick () in
+    let s =
+      match Random.State.int rng 10 with
+      | 0 -> a +: b
+      | 1 -> a -: b
+      | 2 -> a &: b
+      | 3 -> a |: b
+      | 4 -> a ^: b
+      | 5 -> ~:a
+      | 6 -> mux2 (a <: b) a b
+      | 7 -> a *: b
+      | 8 -> mux2 (a ==: b) b a
+      | _ -> reg ~reset:(Bits.of_int ~width:w (Random.State.int rng 16)) a
+    in
+    pool := s :: !pool
+  done;
+  Hdl.Circuit.create ~name:"rand" ~inputs
+    ~outputs:[ output "o1" (pick ()); output "o2" (pick ()) ]
+
+let prop_preserves_behaviour =
+  QCheck.Test.make ~name:"simplify preserves behaviour" ~count:80 QCheck.int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 51 |] in
+      let c = random_circuit rng in
+      let c' = Hdl.Simplify.circuit c in
+      let s = Sim.Cycle_sim.create c and s' = Sim.Cycle_sim.create c' in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        List.iter
+          (fun i ->
+            let v = Bits.random ~width:(Hdl.Signal.width i) (Random.State.int rng) in
+            let n = Hdl.Signal.name_of i in
+            Sim.Cycle_sim.poke s n v;
+            Sim.Cycle_sim.poke s' n v)
+          (Hdl.Circuit.inputs c);
+        List.iter
+          (fun o ->
+            let n = Hdl.Signal.name_of o in
+            if not (Bits.equal (Sim.Cycle_sim.peek_output s n) (Sim.Cycle_sim.peek_output s' n))
+            then ok := false)
+          (Hdl.Circuit.outputs c);
+        Sim.Cycle_sim.step s;
+        Sim.Cycle_sim.step s'
+      done;
+      !ok)
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"simplify is idempotent on node counts" ~count:40
+    QCheck.int (fun seed ->
+      let rng = Random.State.make [| seed; 53 |] in
+      let c = Hdl.Simplify.circuit (random_circuit rng) in
+      let c' = Hdl.Simplify.circuit c in
+      n_comb c' = n_comb c && n_regs c' = n_regs c)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "identities" `Quick test_identities;
+    Alcotest.test_case "mul identities" `Quick test_mul_identities;
+    Alcotest.test_case "double negation" `Quick test_double_negation;
+    Alcotest.test_case "same-operand folds" `Quick test_same_operand_folds;
+    Alcotest.test_case "common subexpressions" `Quick test_cse;
+    Alcotest.test_case "frozen register folds away" `Quick test_frozen_register;
+    Alcotest.test_case "enable-1 dropped" `Quick test_enable_one_dropped;
+    Alcotest.test_case "sequential loops survive" `Quick test_sequential_loop_survives;
+    Alcotest.test_case "protocol blocks not enlarged" `Quick
+      test_relay_station_shrinks_or_equal;
+    QCheck_alcotest.to_alcotest prop_preserves_behaviour;
+    QCheck_alcotest.to_alcotest prop_idempotent;
+  ]

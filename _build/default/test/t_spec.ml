@@ -1,0 +1,149 @@
+(* The network description format. *)
+
+module S = Topology.Spec
+module Net = Topology.Network
+
+let fig1_text =
+  {|# the paper's Fig. 1
+source src
+shell  A fork2
+shell  B identity
+shell  C adder
+sink   out
+src.0 -> A.0 : full
+A.0 -> C.0 : full
+A.1 -> B.0 : full
+B.0 -> C.1 : full
+C.0 -> out.0
+|}
+
+let measured net =
+  let e = Skeleton.Engine.create net in
+  match Skeleton.Measure.analyze e with
+  | Some r -> Some (Skeleton.Measure.system_throughput r)
+  | None -> None
+
+let test_parse_fig1 () =
+  let net = S.parse_exn fig1_text in
+  Alcotest.(check int) "nodes" 5 (Net.n_nodes net);
+  Alcotest.(check int) "edges" 5 (Net.n_edges net);
+  Alcotest.(check int) "4 full stations" 4
+    (Net.station_count net Lid.Relay_station.Full);
+  (* and it behaves like the generator's fig1 *)
+  match measured net with
+  | Some t -> Alcotest.(check (float 1e-9)) "T=4/5" 0.8 t
+  | None -> Alcotest.fail "no steady state"
+
+let test_roundtrip () =
+  List.iter
+    (fun net ->
+      let text = S.print net in
+      let net' = S.parse_exn text in
+      Alcotest.(check string) "stable under reprint" text (S.print net');
+      (* behavioural isomorphism: same steady-state throughput *)
+      match (measured net, measured net') with
+      | Some a, Some b -> Alcotest.(check (float 1e-9)) "same throughput" a b
+      | _ -> Alcotest.fail "no steady state")
+    [
+      Topology.Generators.fig1 ();
+      Topology.Generators.fig2 ();
+      Topology.Generators.chain ~n_shells:3
+        ~stations:[ Lid.Relay_station.Half ]
+        ~sink_pattern:(Topology.Pattern.periodic ~period:3 ~active:1 ())
+        ();
+      Topology.Generators.ring_tapped ~n_shells:3 ();
+    ]
+
+let test_patterns_in_spec () =
+  let net =
+    S.parse_exn
+      {|source s pattern=2/5@1 start=7
+shell  x identity
+sink   k pattern=%101
+s.0 -> x.0 : full half
+x.0 -> k.0
+|}
+  in
+  (match (Net.node net 0).kind with
+  | Net.Source { pattern; start } ->
+      Alcotest.(check int) "start" 7 start;
+      Alcotest.(check bool) "phase" false (Topology.Pattern.active pattern ~cycle:1)
+  | _ -> Alcotest.fail "not a source");
+  Alcotest.(check int) "half station" 1 (Net.station_count net Lid.Relay_station.Half);
+  match (Net.node net 2).kind with
+  | Net.Sink { pattern } ->
+      Alcotest.(check bool) "word" true (Topology.Pattern.active pattern ~cycle:0)
+  | _ -> Alcotest.fail "not a sink"
+
+let expect_error ?allow_direct text fragment =
+  match S.parse ?allow_direct text with
+  | Ok _ -> Alcotest.fail ("expected error mentioning " ^ fragment)
+  | Error m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S in %S" fragment m)
+        true
+        (Astring.String.is_infix ~affix:fragment m)
+
+let test_errors () =
+  expect_error "shell a nopearl\n" "unknown pearl";
+  expect_error "source s\nshell a identity\ns.0 -> b.0\n" "unknown node";
+  expect_error "source s\nsource s\n" "duplicate node name";
+  expect_error "source s\nshell a identity\ns.0 -> a.0 : turbo\n" "unknown station kind";
+  expect_error "source s pattern=9\n" "bad pattern";
+  expect_error "gibberish here\n" "cannot parse";
+  expect_error "source s\nshell a identity\nsink k\ns.zero -> a.0\n" "bad port";
+  (* builder-level error surfaces through parse *)
+  expect_error "source s\nshell a identity\nshell b identity\nsink k\ns.0 -> a.0\na.0 -> b.0\nb.0 -> k.0\n"
+    "relay station"
+
+let test_line_numbers () =
+  match S.parse "source s\n\nshell a nopearl\n" with
+  | Error m ->
+      Alcotest.(check bool) "line 3" true (Astring.String.is_infix ~affix:"line 3" m)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_pearl_of_name () =
+  List.iter
+    (fun name ->
+      match Lid.Pearl.of_name name with
+      | Some p -> Alcotest.(check string) "name preserved" name p.Lid.Pearl.name
+      | None -> Alcotest.fail ("missing " ^ name))
+    [ "identity"; "inc"; "square"; "adder"; "diff"; "fork2"; "tap";
+      "accumulator"; "counter"; "delay3" ];
+  Alcotest.(check bool) "unknown" true (Lid.Pearl.of_name "bogus" = None);
+  Alcotest.(check bool) "delayX" true (Lid.Pearl.of_name "delayX" = None)
+
+let test_spec_to_rtl () =
+  (* the textual pipeline all the way to VHDL *)
+  let net = S.parse_exn fig1_text in
+  let vhdl = Emit.Vhdl.emit (Topology.Rtl_net.of_network net) in
+  Alcotest.(check bool) "emits" true (String.length vhdl > 1000)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"spec print/parse roundtrip on random networks"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 97 |] in
+      let net =
+        if seed mod 2 = 0 then
+          Topology.Generators.random_dag ~rng ~n_shells:(2 + (seed mod 5))
+            ~half_probability:0.3 ()
+        else Topology.Generators.random_loopy ~rng ~n_shells:(3 + (seed mod 4)) ()
+      in
+      let net' = S.parse_exn (S.print net) in
+      S.print net = S.print net'
+      &&
+      match (measured net, measured net') with
+      | Some a, Some b -> abs_float (a -. b) < 1e-9
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "parse fig1" `Quick test_parse_fig1;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "patterns and attributes" `Quick test_patterns_in_spec;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "error line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "pearl of_name" `Quick test_pearl_of_name;
+    Alcotest.test_case "spec to RTL" `Quick test_spec_to_rtl;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random;
+  ]

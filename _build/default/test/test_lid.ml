@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "lid-repro"
+    [
+      ("bits", T_bits.suite);
+      ("hdl", T_hdl.suite);
+      ("sim", T_sim.suite);
+      ("emit", T_emit.suite);
+      ("core", T_core.suite);
+      ("relay-station", T_relay_station.suite);
+      ("shell", T_shell.suite);
+      ("rtl-gen", T_rtl_gen.suite);
+      ("pattern", T_pattern.suite);
+      ("network", T_network.suite);
+      ("classify", T_classify.suite);
+      ("elastic", T_elastic.suite);
+      ("analysis", T_analysis.suite);
+      ("engine", T_engine.suite);
+      ("measure-equiv", T_measure_equiv.suite);
+      ("verify", T_verify.suite);
+      ("cure-trace", T_cure_trace.suite);
+      ("rtl-net", T_rtl_net.suite);
+      ("spec", T_spec.suite);
+      ("floorplan", T_floorplan.suite);
+      ("simplify", T_simplify.suite);
+      ("protocol-invariants", T_protocol_invariants.suite);
+      ("bdd-symbolic", T_bdd.suite);
+      ("scale", T_scale.suite);
+    ]
