@@ -21,6 +21,7 @@ let experiments =
     ("e10", "skeleton vs RTL cost (quick)", Experiments.e10_cost_quick);
     ("e11", "block verification", Experiments.e11_verification);
     ("e12", "latency equivalence", Experiments.e12_equivalence);
+    ("e13", "fault-injection robustness", Experiments.e13_fault_injection);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

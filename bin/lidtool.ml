@@ -311,6 +311,108 @@ let testbench_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* inject                                                               *)
+
+let inject_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Campaign seed; every injection is reproducible from it.")
+  in
+  let kind_conv =
+    Arg.enum
+      (List.map (fun k -> (Fault.Model.kind_to_string k, k)) Fault.Model.all_kinds)
+  in
+  let kinds_arg =
+    Arg.(
+      value & opt_all kind_conv []
+      & info [ "k"; "kind" ] ~docv:"KIND"
+          ~doc:"Fault kind to inject (repeatable). Default: all of \
+                $(b,valid-flip), $(b,data-corrupt), $(b,stop-spurious), \
+                $(b,stop-drop), $(b,stop-stuck), $(b,station-upset).")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "c"; "cycles" ] ~docv:"N"
+          ~doc:"Simulation horizon per injection.")
+  in
+  let sites_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "sites" ] ~docv:"N"
+          ~doc:"Sample at most N sites per kind (0 = exhaustive).")
+  in
+  let per_site_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "per-site" ] ~docv:"N"
+          ~doc:"Injection cycles drawn per site.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print every non-masked injection.")
+  in
+  let run file flavour seed kinds cycles sites per_site verbose =
+    let net = load_network file in
+    let config =
+      {
+        Fault.Campaign.seed;
+        kinds = (if kinds = [] then Fault.Model.all_kinds else kinds);
+        cycles;
+        flavour;
+        max_sites_per_kind = sites;
+        injections_per_site = max 1 per_site;
+      }
+    in
+    Format.printf "fault-injection campaign: seed %d, %d cycles, %s flavour@."
+      config.seed config.cycles
+      (match flavour with
+      | Lid.Protocol.Optimized -> "optimized"
+      | Lid.Protocol.Original -> "original");
+    let result = Fault.Campaign.run config net in
+    Format.printf "@.%a" Fault.Campaign.pp_summary result;
+    if verbose then begin
+      Format.printf "@.non-masked injections:@.";
+      List.iter
+        (fun (r : Fault.Classify.report) ->
+          if r.outcome <> Fault.Classify.Masked then begin
+            Format.printf "  %-18s %a@."
+              (Fault.Classify.outcome_to_string r.outcome)
+              (Fault.Model.pp net) r.fault;
+            List.iter
+              (fun v -> Format.printf "      %a@." (Fault.Monitor.pp_violation net) v)
+              r.evidence.violations;
+            match r.evidence.sink_anomaly with
+            | Some s -> Format.printf "      %s@." s
+            | None -> ()
+          end)
+        result.reports
+    end
+    else
+      match Fault.Campaign.worst result with
+      | Some r when r.outcome <> Fault.Classify.Masked ->
+          Format.printf "@.worst injection (%s): %a@."
+            (Fault.Classify.outcome_to_string r.outcome)
+            (Fault.Model.pp net) r.fault
+      | _ -> Format.printf "@.all injections masked.@."
+  in
+  let term =
+    Term.(
+      const run $ network_arg $ flavour_arg $ seed_arg $ kinds_arg $ cycles_arg
+      $ sites_arg $ per_site_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Run a seeded fault-injection campaign against the protocol \
+             skeleton: sweep faults over wires and relay registers, watch \
+             the runtime monitors, and bin each injection from masked to \
+             deadlock.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                  *)
 
 let dot_cmd =
@@ -367,6 +469,7 @@ let () =
             wave_cmd;
             blocks_cmd;
             verify_cmd;
+            inject_cmd;
             dot_cmd;
             sample_cmd;
           ]))

@@ -76,6 +76,16 @@ let map_tokens f = function
   | Full_state { main; aux } -> Full_state { main = f main; aux = f aux }
   | Half_state { hold; sreg } -> Half_state { hold = f hold; sreg }
 
+let upset ~payload = function
+  | Full_state { main; aux } ->
+      if Token.is_valid main then
+        if Token.is_valid aux then Full_state { main = aux; aux = Token.void }
+        else Full_state { main = Token.void; aux = Token.void }
+      else Full_state { main = Token.valid payload; aux = Token.void }
+  | Half_state { hold; sreg } ->
+      if Token.is_valid hold then Half_state { hold = Token.void; sreg }
+      else Half_state { hold = Token.valid payload; sreg }
+
 let pp fmt state =
   match state with
   | Full_state { main; aux } ->

@@ -71,4 +71,12 @@ val map_tokens : (Token.t -> Token.t) -> state -> state
 (** Apply [f] to every stored token (valid or void), preserving control
     state — used by the verifier to abstract payloads away. *)
 
+val upset : payload:int -> state -> state
+(** Single-event upset of the station's primary data register: a stored
+    datum is dropped (valid becomes void; the full station's [aux] datum is
+    promoted so the older-first order of the survivors is kept) or, when the
+    register is empty, a spurious datum carrying [payload] is conjured.
+    Models a soft error in the relay register file — the fault the
+    fault-injection campaigns address by station index. *)
+
 val pp : Format.formatter -> state -> unit

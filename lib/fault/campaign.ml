@@ -1,0 +1,135 @@
+module Net = Topology.Network
+
+type config = {
+  seed : int;
+  kinds : Model.kind list;
+  cycles : int;
+  flavour : Lid.Protocol.flavour;
+  max_sites_per_kind : int;
+  injections_per_site : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    kinds = Model.all_kinds;
+    cycles = 256;
+    flavour = Lid.Protocol.Optimized;
+    max_sites_per_kind = 0;
+    injections_per_site = 1;
+  }
+
+type result = { config : config; net : Net.t; reports : Classify.report list }
+
+(* Deterministic Fisher-Yates; used to thin a site plane reproducibly. *)
+let sample rng n xs =
+  if n <= 0 || List.length xs <= n then xs
+  else begin
+    let a = Array.of_list xs in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list (Array.sub a 0 n)
+  end
+
+let faults_of_config config net =
+  let rng = Random.State.make [| config.seed; 0x11d |] in
+  List.concat_map
+    (fun kind ->
+      let sites =
+        sample rng config.max_sites_per_kind (Model.sites net kind)
+      in
+      List.concat_map
+        (fun site ->
+          List.init config.injections_per_site (fun _ ->
+              (* Inject inside the first half of the horizon, past the
+                 start-up cycles, so there is room for the symptom to
+                 propagate and for the watchdog to settle. *)
+              let window = max 1 ((config.cycles / 2) - 4) in
+              let cycle = 4 + Random.State.int rng window in
+              let duration =
+                match kind with
+                | Model.Stop_stuck -> 6 + Random.State.int rng 8
+                | _ -> 1
+              in
+              let param =
+                match kind with
+                | Model.Data_corrupt -> 1 + Random.State.int rng 254
+                | _ -> 900_000 + Random.State.int rng 1000
+              in
+              { Model.kind; site; cycle; duration; param }))
+        sites)
+    config.kinds
+
+let run ?on_report config net =
+  let faults = faults_of_config config net in
+  let baseline =
+    Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
+  in
+  let reports =
+    List.map
+      (fun fault ->
+        let report = Classify.classify baseline fault in
+        (match on_report with Some f -> f report | None -> ());
+        report)
+      faults
+  in
+  { config; net; reports }
+
+let tally result =
+  List.map
+    (fun kind ->
+      let mine =
+        List.filter (fun (r : Classify.report) -> r.fault.kind = kind)
+          result.reports
+      in
+      ( kind,
+        List.map
+          (fun outcome ->
+            ( outcome,
+              List.length
+                (List.filter
+                   (fun (r : Classify.report) -> r.outcome = outcome)
+                   mine) ))
+          Classify.all_outcomes ))
+    result.config.kinds
+
+let worst result =
+  List.fold_left
+    (fun best (r : Classify.report) ->
+      match best with
+      | Some (b : Classify.report)
+        when Classify.rank b.outcome >= Classify.rank r.outcome ->
+          best
+      | _ -> Some r)
+    None result.reports
+
+let pp_summary fmt result =
+  let t = tally result in
+  let col = 18 in
+  Format.fprintf fmt "%-16s" "kind";
+  List.iter
+    (fun o -> Format.fprintf fmt "%*s" col (Classify.outcome_to_string o))
+    Classify.all_outcomes;
+  Format.fprintf fmt "%*s@." col "total";
+  List.iter
+    (fun (kind, counts) ->
+      Format.fprintf fmt "%-16s" (Model.kind_to_string kind);
+      List.iter (fun (_, n) -> Format.fprintf fmt "%*d" col n) counts;
+      Format.fprintf fmt "%*d@." col
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 counts))
+    t;
+  Format.fprintf fmt "%-16s" "total";
+  List.iter
+    (fun o ->
+      let n =
+        List.fold_left
+          (fun acc (_, counts) -> acc + List.assoc o counts)
+          0 t
+      in
+      Format.fprintf fmt "%*d" col n)
+    Classify.all_outcomes;
+  Format.fprintf fmt "%*d@." col (List.length result.reports)

@@ -1,0 +1,39 @@
+(** Seeded fault-injection campaigns.
+
+    A campaign sweeps fault kind x site x injection cycle over one network
+    under one protocol flavour, classifies every injection with
+    {!Classify}, and tallies the outcome distribution.  Everything derives
+    from [config.seed], so a campaign (and any single injection in it) is
+    reproducible from the command line. *)
+
+type config = {
+  seed : int;
+  kinds : Model.kind list;
+  cycles : int;  (** simulation horizon per injection *)
+  flavour : Lid.Protocol.flavour;
+  max_sites_per_kind : int;  (** [0] = exhaustive over the plane *)
+  injections_per_site : int;  (** distinct injection cycles per site *)
+}
+
+val default_config : config
+(** seed 1, all kinds, 256 cycles, [Optimized], exhaustive sites, one
+    injection per site. *)
+
+type result = {
+  config : config;
+  net : Topology.Network.t;
+  reports : Classify.report list;
+}
+
+val run : ?on_report:(Classify.report -> unit) -> config -> Topology.Network.t -> result
+(** [on_report] is called after each injection (progress reporting). *)
+
+val tally : result -> (Model.kind * (Classify.outcome * int) list) list
+(** Outcome counts per kind, kinds in [config.kinds] order, all six
+    outcome columns present (possibly 0). *)
+
+val worst : result -> Classify.report option
+(** The highest-severity report, ties broken by campaign order. *)
+
+val pp_summary : Format.formatter -> result -> unit
+(** Render the kind x outcome table plus totals. *)

@@ -1,0 +1,202 @@
+module Net = Topology.Network
+module Engine = Skeleton.Engine
+module Reference = Skeleton.Reference
+
+type outcome =
+  | Masked
+  | Latency_only
+  | Token_loss
+  | Token_duplication
+  | Data_corrupting
+  | Deadlock
+
+let all_outcomes =
+  [ Masked; Latency_only; Token_loss; Token_duplication; Data_corrupting; Deadlock ]
+
+let rank = function
+  | Masked -> 0
+  | Latency_only -> 1
+  | Token_loss -> 2
+  | Token_duplication -> 3
+  | Data_corrupting -> 4
+  | Deadlock -> 5
+
+let outcome_to_string = function
+  | Masked -> "masked"
+  | Latency_only -> "latency-only"
+  | Token_loss -> "token-loss"
+  | Token_duplication -> "token-duplication"
+  | Data_corrupting -> "data-corrupting"
+  | Deadlock -> "deadlock"
+
+let pp_outcome fmt o = Format.pp_print_string fmt (outcome_to_string o)
+
+type evidence = {
+  violations : Monitor.violation list;
+  watchdog : Monitor.Watchdog.verdict;
+  delivered : int;
+  baseline_delivered : int;
+  sink_anomaly : string option;
+}
+
+type report = { fault : Model.t; outcome : outcome; evidence : evidence }
+
+type baseline = {
+  net : Net.t;
+  b_flavour : Lid.Protocol.flavour;
+  b_cycles : int;
+  ref_streams : (Net.node_id * string * int array) list;
+  base_streams : (Net.node_id * int list) list;
+  b_delivered : int;
+  b_live : bool;
+      (* a fault is only blamed for a deadlock if the fault-free system
+         was live — some systems (e.g. half stations in loops under the
+         original flavour) wedge on their own *)
+}
+
+let sink_streams engine net =
+  List.map (fun (n : Net.node) -> (n.id, Engine.sink_values engine n.id)) (Net.sinks net)
+
+let baseline ?(cycles = 256) ~flavour net =
+  let reference = Reference.create net in
+  Reference.run reference ~cycles;
+  let ref_streams =
+    List.map
+      (fun (n : Net.node) ->
+        (n.id, n.name, Array.of_list (Reference.sink_values reference n.id)))
+      (Net.sinks net)
+  in
+  let engine = Engine.create ~flavour net in
+  let wd = Monitor.Watchdog.create () in
+  for _ = 1 to cycles do
+    let snap = Engine.snapshot_next engine in
+    let progress = List.exists (fun (_, fired) -> fired) snap.node_fired in
+    Monitor.Watchdog.note wd ~cycle:snap.snap_cycle
+      ~signature:(Engine.signature engine) ~progress
+  done;
+  let base_streams = sink_streams engine net in
+  let b_delivered =
+    List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 base_streams
+  in
+  {
+    net;
+    b_flavour = flavour;
+    b_cycles = cycles;
+    ref_streams;
+    base_streams;
+    b_delivered;
+    b_live = not (Monitor.Watchdog.deadlocked wd);
+  }
+
+(* Greedy alignment of a delivered stream against the reference stream:
+   walks both, forgiving one-step lookahead (a lost token) and one-step
+   lookback (a duplicated delivery); anything else is a substitution. *)
+let align reference delivered =
+  let subs = ref 0 and dups = ref 0 and losses = ref 0 in
+  let n = Array.length reference in
+  let i = ref 0 in
+  List.iter
+    (fun got ->
+      if !i < n && got = reference.(!i) then incr i
+      else if !i + 1 < n && got = reference.(!i + 1) then begin
+        incr losses;
+        i := !i + 2
+      end
+      else if !i > 0 && got = reference.(!i - 1) then incr dups
+      else begin
+        incr subs;
+        incr i
+      end)
+    delivered;
+  (!subs, !dups, !losses)
+
+let classify baseline fault =
+  let engine = Engine.create ~flavour:baseline.b_flavour baseline.net in
+  Engine.set_fault_hooks engine (Some (Model.hooks [ fault ]));
+  let mon = Monitor.create baseline.net in
+  let wd =
+    Monitor.Watchdog.create ~quiesce_after:(Model.last_cycle fault + 1) ()
+  in
+  for _ = 1 to baseline.b_cycles do
+    let snap = Engine.snapshot_next engine in
+    Monitor.observe mon snap;
+    let progress =
+      List.exists (fun (_, fired) -> fired) snap.node_fired
+      || List.exists (fun (_, tok) -> Lid.Token.is_valid tok) snap.sink_got
+    in
+    Monitor.Watchdog.note wd ~cycle:snap.snap_cycle
+      ~signature:(Engine.signature engine) ~progress
+  done;
+  let streams = sink_streams engine baseline.net in
+  let delivered =
+    List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 streams
+  in
+  let violations = Monitor.violations mon in
+  (* Evidence from the runtime monitors. *)
+  let from_violation (v : Monitor.violation) =
+    match v.v_kind with
+    | Monitor.Token_mismatched -> Data_corrupting
+    | Monitor.Token_duplicated -> Token_duplication
+    | Monitor.Token_lost | Monitor.Hold_violated -> Token_loss
+  in
+  (* Evidence from the sink streams against the reference. *)
+  let sink_anomaly = ref None in
+  let stream_outcomes =
+    List.map
+      (fun (id, got) ->
+        let _, name, reference =
+          List.find (fun (i, _, _) -> i = id) baseline.ref_streams
+        in
+        let n_got = List.length got in
+        let prefix =
+          n_got <= Array.length reference
+          && List.for_all2
+               (fun a b -> a = b)
+               got
+               (Array.to_list (Array.sub reference 0 n_got))
+        in
+        if prefix then Masked
+        else begin
+          let subs, dups, losses = align reference got in
+          if !sink_anomaly = None then
+            sink_anomaly :=
+              Some
+                (Printf.sprintf
+                   "%s: %d substituted, %d duplicated, %d lost vs reference"
+                   name subs dups losses);
+          if subs > 0 then Data_corrupting
+          else if dups > 0 then Token_duplication
+          else if losses > 0 then Token_loss
+          else Masked
+        end)
+      streams
+  in
+  let schedule_shifted =
+    List.exists2
+      (fun (id, got) (id', base) -> id = id' && got <> base)
+      streams baseline.base_streams
+  in
+  let candidates =
+    (if baseline.b_live && Monitor.Watchdog.deadlocked wd then [ Deadlock ]
+     else [])
+    @ List.map from_violation violations
+    @ stream_outcomes
+    @ (if schedule_shifted then [ Latency_only ] else [])
+  in
+  let outcome =
+    List.fold_left
+      (fun worst o -> if rank o > rank worst then o else worst)
+      Masked candidates
+  in
+  {
+    fault;
+    outcome;
+    evidence =
+      {
+        violations;
+        watchdog = Monitor.Watchdog.verdict wd;
+        delivered;
+        baseline_delivered = baseline.b_delivered;
+        sink_anomaly = !sink_anomaly;
+      };
+  }

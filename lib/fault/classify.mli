@@ -1,0 +1,50 @@
+(** Outcome classification of a single fault injection.
+
+    Each injection runs the faulted LID side by side with two oracles — the
+    zero-latency reference ({!Skeleton.Reference}) for the value streams
+    the sinks must see, and a fault-free run of the same LID for the pace
+    they should arrive at — plus the runtime monitors and the deadlock
+    watchdog.  The evidence is folded into one of six bins, ordered by
+    severity; when several symptoms coexist the worst wins. *)
+
+type outcome =
+  | Masked  (** no observable difference, no monitor violation *)
+  | Latency_only
+      (** sink streams still a prefix of the reference, but the schedule
+          shifted against the fault-free run *)
+  | Token_loss  (** a token vanished (or a refused token was not held) *)
+  | Token_duplication  (** a token was delivered or stored twice *)
+  | Data_corrupting  (** a sink saw a value the reference never produced *)
+  | Deadlock
+      (** the post-fault system settled into a periodic regime with no
+          firing — wedged forever *)
+
+val all_outcomes : outcome list
+
+val rank : outcome -> int
+(** Severity, [0] = {!Masked} .. [5] = {!Deadlock}. *)
+
+val outcome_to_string : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type evidence = {
+  violations : Monitor.violation list;  (** runtime monitor verdicts *)
+  watchdog : Monitor.Watchdog.verdict;
+  delivered : int;  (** total values the faulted run's sinks consumed *)
+  baseline_delivered : int;  (** same for the fault-free run *)
+  sink_anomaly : string option;
+      (** first stream-level divergence from the reference, rendered *)
+}
+
+type report = { fault : Model.t; outcome : outcome; evidence : evidence }
+
+type baseline
+(** Oracles shared by every injection of a campaign: the reference streams
+    and the fault-free LID run for one (network, flavour, horizon). *)
+
+val baseline :
+  ?cycles:int -> flavour:Lid.Protocol.flavour -> Topology.Network.t -> baseline
+(** Default horizon: 256 cycles. *)
+
+val classify : baseline -> Model.t -> report
+(** Inject one fault, run to the horizon, and bin the outcome. *)

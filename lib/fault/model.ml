@@ -1,0 +1,131 @@
+module Net = Topology.Network
+module Token = Lid.Token
+
+type kind =
+  | Valid_flip
+  | Data_corrupt
+  | Stop_spurious
+  | Stop_drop
+  | Stop_stuck
+  | Station_upset
+
+let all_kinds =
+  [ Valid_flip; Data_corrupt; Stop_spurious; Stop_drop; Stop_stuck; Station_upset ]
+
+let kind_to_string = function
+  | Valid_flip -> "valid-flip"
+  | Data_corrupt -> "data-corrupt"
+  | Stop_spurious -> "stop-spurious"
+  | Stop_drop -> "stop-drop"
+  | Stop_stuck -> "stop-stuck"
+  | Station_upset -> "station-upset"
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+type site =
+  | Forward of { edge : Net.edge_id; seg : int }
+  | Backward of { edge : Net.edge_id; boundary : int }
+  | Register of { edge : Net.edge_id; station : int }
+
+type t = { kind : kind; site : site; cycle : int; duration : int; param : int }
+
+let last_cycle f = f.cycle + f.duration - 1
+
+let sites net kind =
+  let forward_plane =
+    List.concat_map
+      (fun (e : Net.edge) ->
+        List.init
+          (List.length e.stations + 1)
+          (fun seg -> Forward { edge = e.id; seg }))
+      (Net.edges net)
+  in
+  let backward_plane =
+    List.concat_map
+      (fun (e : Net.edge) ->
+        List.init
+          (List.length e.stations + 1)
+          (fun boundary -> Backward { edge = e.id; boundary }))
+      (Net.edges net)
+  in
+  let register_plane =
+    List.concat_map
+      (fun (e : Net.edge) ->
+        List.init (List.length e.stations) (fun station ->
+            Register { edge = e.id; station }))
+      (Net.edges net)
+  in
+  match kind with
+  | Valid_flip | Data_corrupt -> forward_plane
+  | Stop_spurious | Stop_drop | Stop_stuck -> backward_plane
+  | Station_upset -> register_plane
+
+let active f ~cycle = cycle >= f.cycle && cycle < f.cycle + f.duration
+
+let hooks faults =
+  let fh_forward ~cycle ~edge ~seg tok =
+    List.fold_left
+      (fun tok f ->
+        match f.site with
+        | Forward { edge = e; seg = s }
+          when e = edge && s = seg && active f ~cycle -> (
+            match f.kind with
+            | Valid_flip -> (
+                match tok with
+                | Token.Valid _ -> Token.void
+                | Token.Void -> Token.valid f.param)
+            | Data_corrupt -> (
+                match tok with
+                | Token.Valid v ->
+                    Token.valid (v lxor if f.param = 0 then 1 else f.param)
+                | Token.Void -> tok)
+            | _ -> tok)
+        | _ -> tok)
+      tok faults
+  in
+  let fh_stop ~cycle ~edge ~boundary stop =
+    List.fold_left
+      (fun stop f ->
+        match f.site with
+        | Backward { edge = e; boundary = b }
+          when e = edge && b = boundary && active f ~cycle -> (
+            match f.kind with
+            | Stop_spurious | Stop_stuck -> true
+            | Stop_drop -> false
+            | _ -> stop)
+        | _ -> stop)
+      stop faults
+  in
+  let fh_station ~cycle ~edge ~station st =
+    List.fold_left
+      (fun st f ->
+        match f.site with
+        | Register { edge = e; station = s }
+          when e = edge && s = station && f.kind = Station_upset
+               && active f ~cycle ->
+            Lid.Relay_station.upset ~payload:f.param st
+        | _ -> st)
+      st faults
+  in
+  { Skeleton.Engine.fh_forward; fh_stop; fh_station }
+
+let pp net fmt f =
+  let edge_label eid =
+    let e = Net.edge net eid in
+    Format.sprintf "%s.%d->%s.%d"
+      (Net.node net e.src.node).name e.src.port
+      (Net.node net e.dst.node).name e.dst.port
+  in
+  let site =
+    match f.site with
+    | Forward { edge; seg } -> Format.sprintf "%s seg %d" (edge_label edge) seg
+    | Backward { edge; boundary } ->
+        Format.sprintf "%s boundary %d" (edge_label edge) boundary
+    | Register { edge; station } ->
+        Format.sprintf "%s station %d" (edge_label edge) station
+  in
+  Format.fprintf fmt "%s at %s, cycle %d%s" (kind_to_string f.kind) site f.cycle
+    (if f.duration > 1 then Format.sprintf " (x%d)" f.duration else "")

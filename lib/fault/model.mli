@@ -1,0 +1,60 @@
+(** Typed, seeded fault model for the protocol skeleton.
+
+    The paper's point is that LIP correctness lives in the implementation
+    details of stop/void handling; this module makes those details
+    attackable.  A fault is a deterministic, cycle-addressed perturbation
+    of one wire or register of a running LID: the valid bit of a forward
+    channel flips, a payload is corrupted, a stop signal is conjured,
+    dropped or stuck, or a relay-station register takes a single-event
+    upset.  Faults compile to {!Skeleton.Engine.fault_hooks}; everything is
+    reproducible from integer seeds. *)
+
+type kind =
+  | Valid_flip  (** flip the valid bit of a forward wire (void <-> valid) *)
+  | Data_corrupt  (** XOR the payload of a valid forward token *)
+  | Stop_spurious  (** force a stop wire high (typically for one cycle) *)
+  | Stop_drop  (** force a stop wire low — a stop in flight is lost *)
+  | Stop_stuck  (** hold a stop wire high over a multi-cycle window *)
+  | Station_upset  (** single-event upset of a relay-station data register *)
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val pp_kind : Format.formatter -> kind -> unit
+
+type site =
+  | Forward of { edge : Topology.Network.edge_id; seg : int }
+      (** forward token wire: segment 0 leaves the producer, segment
+          [j > 0] leaves relay station [j-1] of the chain *)
+  | Backward of { edge : Topology.Network.edge_id; boundary : int }
+      (** stop wire: boundary 0 reaches the producer, boundary [b > 0]
+          reaches relay station [b-1] *)
+  | Register of { edge : Topology.Network.edge_id; station : int }
+      (** a relay station's data register *)
+
+type t = {
+  kind : kind;
+  site : site;
+  cycle : int;  (** first faulty cycle *)
+  duration : int;  (** number of consecutive faulty cycles, [>= 1] *)
+  param : int;
+      (** payload of conjured tokens ([Valid_flip] on void, [Station_upset]
+          on an empty register); XOR mask for [Data_corrupt] *)
+}
+
+val last_cycle : t -> int
+(** Last cycle on which the fault is active; after it the system is
+    autonomous again (relevant for the deadlock watchdog). *)
+
+val sites : Topology.Network.t -> kind -> site list
+(** Every addressable site of the plane [kind] acts on, in deterministic
+    order: all (edge, segment) pairs for token faults, all (edge, boundary)
+    pairs for stop faults, all (edge, station) pairs for register upsets. *)
+
+val hooks : t list -> Skeleton.Engine.fault_hooks
+(** Compile a fault list into engine hooks.  Faults at the same site and
+    cycle compose left to right. *)
+
+val pp : Topology.Network.t -> Format.formatter -> t -> unit
+(** Render with node names, e.g.
+    [stop-drop at A.0->C.0 boundary 1, cycle 12]. *)

@@ -1,0 +1,155 @@
+module Net = Topology.Network
+module Token = Lid.Token
+module Engine = Skeleton.Engine
+
+type violation_kind =
+  | Token_lost
+  | Token_duplicated
+  | Token_mismatched
+  | Hold_violated
+
+type violation = {
+  v_cycle : int;
+  v_edge : Net.edge_id;
+  v_kind : violation_kind;
+  v_detail : string;
+}
+
+let violation_kind_to_string = function
+  | Token_lost -> "token-lost"
+  | Token_duplicated -> "token-duplicated"
+  | Token_mismatched -> "token-mismatched"
+  | Hold_violated -> "hold-violated"
+
+let pp_violation net fmt v =
+  let e = Net.edge net v.v_edge in
+  Format.fprintf fmt "cycle %d, %s.%d->%s.%d: %s (%s)" v.v_cycle
+    (Net.node net e.src.node).name e.src.port
+    (Net.node net e.dst.node).name e.dst.port
+    (violation_kind_to_string v.v_kind)
+    v.v_detail
+
+(* A value the resynchronized ledger uses for tokens whose payload it could
+   not observe; it matches anything on delivery. *)
+let unknown = min_int
+
+type chan = {
+  ledger : int Queue.t;  (* values in flight, oldest first *)
+  mutable prev_dst : (Token.t * bool) option;
+}
+
+type t = {
+  net : Net.t;
+  chans : chan array;  (* indexed by edge id *)
+  mutable violations_rev : violation list;
+}
+
+let create net =
+  {
+    net;
+    chans =
+      Array.init (Net.n_edges net) (fun _ ->
+          { ledger = Queue.create (); prev_dst = None });
+    violations_rev = [];
+  }
+
+let flag t ~cycle ~edge kind detail =
+  t.violations_rev <-
+    { v_cycle = cycle; v_edge = edge; v_kind = kind; v_detail = detail }
+    :: t.violations_rev
+
+let observe t (snap : Engine.snapshot) =
+  let cycle = snap.snap_cycle in
+  List.iter
+    (fun (edge, (p : Engine.probe)) ->
+      let c = t.chans.(edge) in
+      (* 1. conservation: the ledger left by the previous cycles must agree
+         with the tokens actually resting in the relay chain. *)
+      let len = Queue.length c.ledger in
+      if len <> p.pr_occupancy then begin
+        if len > p.pr_occupancy then begin
+          flag t ~cycle ~edge Token_lost
+            (Printf.sprintf "%d token(s) in flight but %d stored" len
+               p.pr_occupancy);
+          for _ = 1 to len - p.pr_occupancy do
+            ignore (Queue.pop c.ledger)
+          done
+        end
+        else begin
+          flag t ~cycle ~edge Token_duplicated
+            (Printf.sprintf "%d token(s) stored but only %d in flight"
+               p.pr_occupancy len);
+          for _ = 1 to p.pr_occupancy - len do
+            Queue.push unknown c.ledger
+          done
+        end
+      end;
+      (* 2. stop-implies-hold at the consumer boundary. *)
+      (match c.prev_dst with
+      | Some (Token.Valid v, true)
+        when not (Token.equal p.pr_dst_tok (Token.valid v)) ->
+          flag t ~cycle ~edge Hold_violated
+            (Printf.sprintf "refused token %d replaced by %s" v
+               (Token.to_string p.pr_dst_tok))
+      | _ -> ());
+      c.prev_dst <- Some (p.pr_dst_tok, p.pr_dst_stop);
+      (* 3. the producer hands a datum over: it enters the channel. *)
+      (match p.pr_src_tok with
+      | Token.Valid v when not p.pr_src_stop -> Queue.push v c.ledger
+      | _ -> ());
+      (* 4. the consumer accepts a datum: the oldest in flight leaves. *)
+      match p.pr_dst_tok with
+      | Token.Valid got when not p.pr_dst_stop ->
+          if Queue.is_empty c.ledger then
+            flag t ~cycle ~edge Token_duplicated
+              (Printf.sprintf "delivered %d with nothing in flight" got)
+          else
+            let expected = Queue.pop c.ledger in
+            if expected <> got && expected <> unknown then
+              flag t ~cycle ~edge Token_mismatched
+                (Printf.sprintf "expected %d, delivered %d" expected got)
+      | _ -> ())
+    snap.chan_probe
+
+let violations t = List.rev t.violations_rev
+let attach t engine = Engine.set_monitor engine (Some (observe t))
+
+module Watchdog = struct
+  type verdict =
+    | Watching
+    | Periodic of { transient : int; period : int; live : bool }
+
+  type w = {
+    quiesce_after : int;
+    seen : (string, int * int) Hashtbl.t;  (* signature -> cycle, progress *)
+    mutable progress_n : int;
+    mutable verdict : verdict;
+  }
+
+  let create ?(quiesce_after = 0) () =
+    { quiesce_after; seen = Hashtbl.create 64; progress_n = 0; verdict = Watching }
+
+  let note w ~cycle ~signature ~progress =
+    if progress then w.progress_n <- w.progress_n + 1;
+    match w.verdict with
+    | Periodic _ -> ()
+    | Watching ->
+        if cycle >= w.quiesce_after then (
+          match Hashtbl.find_opt w.seen signature with
+          | Some (c0, p0) ->
+              w.verdict <-
+                Periodic
+                  {
+                    transient = c0;
+                    period = cycle - c0;
+                    live = w.progress_n > p0;
+                  }
+          | None -> Hashtbl.replace w.seen signature (cycle, w.progress_n))
+
+  let verdict w = w.verdict
+
+  let deadlocked w =
+    match w.verdict with
+    | Periodic { live; _ } -> not live
+    | Watching -> false
+end

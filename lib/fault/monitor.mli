@@ -1,0 +1,78 @@
+(** Runtime protocol monitors.
+
+    The [verify] library proves the protocol blocks correct in isolation;
+    these monitors watch the same obligations on a {e live} system, every
+    channel every cycle, so that an injected (or real) fault is caught at
+    the first wire it perturbs:
+
+    - {b token conservation}: per channel, what the producer believes it
+      handed over, minus what the consumer believes it received, equals the
+      tokens resting in the relay chain — no loss, no duplication;
+    - {b in-order delivery}: the value delivered at the consumer side is
+      the oldest value in flight (FIFO discipline of the chain);
+    - {b stop-implies-hold}: a valid token the consumer refused is
+      presented again, unchanged, the next cycle.
+
+    The monitor keeps a model FIFO per channel (the "ledger") fed only from
+    the snapshot's boundary probes, so it is an independent oracle: it
+    embeds no knowledge of relay-station internals beyond occupancy.
+
+    A signature-based {!Watchdog} detects deadlock: the skeleton of a
+    closed system is finite-state, so once the injection window has passed
+    a repeated signature proves the regime periodic; a period with no
+    firing at all is a wedged system — forever. *)
+
+type violation_kind =
+  | Token_lost  (** the ledger holds more tokens than the channel does *)
+  | Token_duplicated
+      (** a delivery the ledger cannot account for (or conjured storage) *)
+  | Token_mismatched
+      (** delivered value differs from the oldest in flight — reordering or
+          in-flight corruption *)
+  | Hold_violated  (** a refused valid token was not held *)
+
+type violation = {
+  v_cycle : int;
+  v_edge : Topology.Network.edge_id;
+  v_kind : violation_kind;
+  v_detail : string;
+}
+
+val violation_kind_to_string : violation_kind -> string
+val pp_violation : Topology.Network.t -> Format.formatter -> violation -> unit
+
+type t
+
+val create : Topology.Network.t -> t
+
+val observe : t -> Skeleton.Engine.snapshot -> unit
+(** Feed one cycle.  Snapshots must be consecutive (the hold check and the
+    ledger are stateful). *)
+
+val violations : t -> violation list
+(** All violations so far, oldest first. *)
+
+val attach : t -> Skeleton.Engine.t -> unit
+(** Install [observe] as the engine's step-loop monitor, so plain
+    {!Skeleton.Engine.run} is monitored. *)
+
+(** Deadlock / livelock watchdog over skeleton signatures. *)
+module Watchdog : sig
+  type verdict =
+    | Watching  (** no repeated signature yet *)
+    | Periodic of { transient : int; period : int; live : bool }
+        (** a signature repeated: the regime is periodic; [live] iff at
+            least one node fired inside the period *)
+
+  type w
+
+  val create : ?quiesce_after:int -> unit -> w
+  (** Ignore cycles before [quiesce_after] (default 0) — signatures are
+      only comparable once fault hooks have gone quiet. *)
+
+  val note : w -> cycle:int -> signature:string -> progress:bool -> unit
+  val verdict : w -> verdict
+
+  val deadlocked : w -> bool
+  (** [true] iff the verdict is a non-live periodic regime. *)
+end

@@ -21,6 +21,17 @@ type node_impl =
   | I_source of source_state
   | I_sink of sink_state
 
+type fault_hooks = {
+  fh_forward : cycle:int -> edge:Net.edge_id -> seg:int -> Token.t -> Token.t;
+  fh_stop : cycle:int -> edge:Net.edge_id -> boundary:int -> bool -> bool;
+  fh_station :
+    cycle:int ->
+    edge:Net.edge_id ->
+    station:int ->
+    Lid.Relay_station.state ->
+    Lid.Relay_station.state;
+}
+
 type t = {
   net : Net.t;
   flavour : Lid.Protocol.flavour;
@@ -31,6 +42,8 @@ type t = {
   starved : int array; (* cycles lost waiting for void inputs, per node *)
   env_period : int;
   mutable cycle : int;
+  mutable hooks : fault_hooks option;
+  mutable monitor : (snapshot -> unit) option;
   (* per-cycle scratch, rebuilt by [resolve] *)
   seg : Token.t array array; (* edge id -> m+1 forward tokens *)
   dst_token : Token.t array;
@@ -39,6 +52,25 @@ type t = {
 }
 
 and fire_state = F_unknown | F_in_progress | F_done of bool
+
+and probe = {
+  pr_src_tok : Token.t;
+  pr_src_stop : bool;
+  pr_dst_tok : Token.t;
+  pr_dst_stop : bool;
+  pr_occupancy : int;
+}
+
+and snapshot = {
+  snap_cycle : int;
+  node_out : (string * Token.t array) list;
+  node_fired : (string * bool) list;
+  node_stopped : (string * bool) list;
+  rs_contents : (string * Token.t list) list;
+  chan_dst : (Net.edge_id * Token.t * bool) list;
+  chan_probe : (Net.edge_id * probe) list;
+  sink_got : (string * Token.t) list;
+}
 
 let make_impl flavour (n : Net.node) =
   match n.kind with
@@ -69,6 +101,8 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
     starved = Array.make (Array.length nodes) 0;
     env_period = Net.env_period net;
     cycle = 0;
+    hooks = None;
+    monitor = None;
     seg =
       Array.of_list
         (List.map
@@ -83,6 +117,8 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
 let network t = t.net
 let flavour t = t.flavour
 let cycle t = t.cycle
+let set_fault_hooks t hooks = t.hooks <- hooks
+let set_monitor t monitor = t.monitor <- monitor
 
 let reset t =
   Array.iteri
@@ -107,16 +143,30 @@ let presented_token t node port =
   | I_sink _ -> invalid_arg "Engine: sink has no outputs"
 
 let forward_tokens t =
+  let fwd =
+    match t.hooks with
+    | None -> fun ~edge:_ ~seg:_ tok -> tok
+    | Some h -> fun ~edge ~seg tok -> h.fh_forward ~cycle:t.cycle ~edge ~seg tok
+  in
   List.iter
     (fun (e : Net.edge) ->
       let seg = t.seg.(e.id) in
-      seg.(0) <- presented_token t e.src.node e.src.port;
+      seg.(0) <- fwd ~edge:e.id ~seg:0 (presented_token t e.src.node e.src.port);
       Array.iteri
         (fun j st ->
-          seg.(j + 1) <- Lid.Relay_station.present st ~input:seg.(j))
+          seg.(j + 1) <-
+            fwd ~edge:e.id ~seg:(j + 1)
+              (Lid.Relay_station.present st ~input:seg.(j)))
         t.rs.(e.id);
       t.dst_token.(e.id) <- seg.(Array.length seg - 1))
     (Net.edges t.net)
+
+(* The stop crossing boundary [b] of edge [e] (b = 0 reaches the producer,
+   b > 0 reaches station b-1), after any injected stop fault. *)
+let stop_at t (e : Net.edge) ~boundary raw =
+  match t.hooks with
+  | None -> raw
+  | Some h -> h.fh_stop ~cycle:t.cycle ~edge:e.id ~boundary raw
 
 let sink_stalls pattern ~cycle = Topology.Pattern.active pattern ~cycle
 
@@ -173,8 +223,11 @@ and out_stops_of t node =
 
 (* The stop asserted by the consumer side of channel [e]'s last segment. *)
 and consumer_stop t (e : Net.edge) =
-  if t.rs.(e.id) <> [||] then Lid.Relay_station.stop_upstream t.rs.(e.id).(0)
-  else dst_stop t e
+  let raw =
+    if t.rs.(e.id) <> [||] then Lid.Relay_station.stop_upstream t.rs.(e.id).(0)
+    else dst_stop t e
+  in
+  stop_at t e ~boundary:0 raw
 
 (* The stop asserted by the node at the destination of [e] (reached either
    directly or by the last relay station of the chain). *)
@@ -213,14 +266,24 @@ let commit t =
       if m > 0 then begin
         let stop_in =
           Array.init m (fun j ->
-              if j = m - 1 then dst_stop t e
-              else Lid.Relay_station.stop_upstream chain.(j + 1))
+              let raw =
+                if j = m - 1 then dst_stop t e
+                else Lid.Relay_station.stop_upstream chain.(j + 1)
+              in
+              stop_at t e ~boundary:(j + 1) raw)
         in
         for j = 0 to m - 1 do
           chain.(j) <-
             Lid.Relay_station.step ~flavour:t.flavour chain.(j)
               ~input:t.seg.(e.id).(j) ~stop_in:stop_in.(j)
-        done
+        done;
+        match t.hooks with
+        | None -> ()
+        | Some h ->
+            for j = 0 to m - 1 do
+              chain.(j) <-
+                h.fh_station ~cycle:t.cycle ~edge:e.id ~station:j chain.(j)
+            done
       end)
     (Net.edges t.net);
   (* Shells, sources, sinks. *)
@@ -274,71 +337,8 @@ let commit t =
     t.impls;
   t.cycle <- t.cycle + 1
 
-let step t =
-  resolve t;
-  commit t
-
-let run t ~cycles =
-  for _ = 1 to cycles do
-    step t
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Observation.                                                        *)
-
-let fired_count t node = t.fired.(node)
-let gated_count t node = t.gated.(node)
-let starved_count t node = t.starved.(node)
-
-let sink_values t node =
-  match t.impls.(node) with
-  | I_sink s -> List.rev s.consumed_rev
-  | _ -> invalid_arg "Engine.sink_values: not a sink"
-
-let sink_count t node =
-  match t.impls.(node) with
-  | I_sink s -> s.consumed_n
-  | _ -> invalid_arg "Engine.sink_count: not a sink"
-
-let signature t =
-  let buf = Buffer.create 64 in
-  Array.iter
-    (fun impl ->
-      match impl with
-      | I_shell { st; _ } ->
-          Array.iter
-            (fun tok -> Buffer.add_char buf (if Token.is_valid tok then 'v' else '.'))
-            (Lid.Shell.presented st)
-      | I_source s ->
-          Buffer.add_char buf (if Token.is_valid s.buf then 'V' else '_')
-      | I_sink _ -> Buffer.add_char buf 'k')
-    t.impls;
-  Array.iter
-    (fun chain ->
-      Buffer.add_char buf '/';
-      Array.iter
-        (fun st ->
-          Buffer.add_char buf (Char.chr (Char.code '0' + Lid.Relay_station.occupancy st)))
-        chain)
-    t.rs;
-  Buffer.add_string buf (Printf.sprintf "@%d" (t.cycle mod t.env_period));
-  Buffer.contents buf
-
-(* ------------------------------------------------------------------ *)
-(* Snapshots.                                                          *)
-
-type snapshot = {
-  snap_cycle : int;
-  node_out : (string * Token.t array) list;
-  node_fired : (string * bool) list;
-  node_stopped : (string * bool) list;
-  rs_contents : (string * Token.t list) list;
-  chan_dst : (Net.edge_id * Token.t * bool) list;
-  sink_got : (string * Token.t) list;
-}
-
-let snapshot_next t =
-  resolve t;
+(* Build the wire-level snapshot of the current (resolved) cycle. *)
+let capture t =
   let name n = (Net.node t.net n).name in
   let node_out, node_fired, node_stopped =
     Array.to_list t.impls
@@ -391,6 +391,22 @@ let snapshot_next t =
       (fun (e : Net.edge) -> (e.id, t.dst_token.(e.id), dst_stop t e))
       (Net.edges t.net)
   in
+  let chan_probe =
+    List.map
+      (fun (e : Net.edge) ->
+        ( e.id,
+          {
+            pr_src_tok = presented_token t e.src.node e.src.port;
+            pr_src_stop = consumer_stop t e;
+            pr_dst_tok = t.dst_token.(e.id);
+            pr_dst_stop = dst_stop t e;
+            pr_occupancy =
+              Array.fold_left
+                (fun acc st -> acc + Lid.Relay_station.occupancy st)
+                0 t.rs.(e.id);
+          } ))
+      (Net.edges t.net)
+  in
   let sink_got =
     Array.to_list t.impls
     |> List.mapi (fun i impl -> (i, impl))
@@ -409,16 +425,74 @@ let snapshot_next t =
                Some (name i, got)
            | _ -> None)
   in
-  let snap =
-    {
-      snap_cycle = t.cycle;
-      node_out;
-      node_fired;
-      node_stopped;
-      rs_contents;
-      chan_dst;
-      sink_got;
-    }
-  in
+  {
+    snap_cycle = t.cycle;
+    node_out;
+    node_fired;
+    node_stopped;
+    rs_contents;
+    chan_dst;
+    chan_probe;
+    sink_got;
+  }
+
+let step t =
+  resolve t;
+  (match t.monitor with Some f -> f (capture t) | None -> ());
+  commit t
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Observation.                                                        *)
+
+let fired_count t node = t.fired.(node)
+let gated_count t node = t.gated.(node)
+let starved_count t node = t.starved.(node)
+
+let sink_values t node =
+  match t.impls.(node) with
+  | I_sink s -> List.rev s.consumed_rev
+  | _ -> invalid_arg "Engine.sink_values: not a sink"
+
+let sink_count t node =
+  match t.impls.(node) with
+  | I_sink s -> s.consumed_n
+  | _ -> invalid_arg "Engine.sink_count: not a sink"
+
+let signature t =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun impl ->
+      match impl with
+      | I_shell { st; _ } ->
+          Array.iter
+            (fun tok -> Buffer.add_char buf (if Token.is_valid tok then 'v' else '.'))
+            (Lid.Shell.presented st)
+      | I_source s ->
+          Buffer.add_char buf (if Token.is_valid s.buf then 'V' else '_')
+      | I_sink _ -> Buffer.add_char buf 'k')
+    t.impls;
+  Array.iter
+    (fun chain ->
+      Buffer.add_char buf '/';
+      Array.iter
+        (fun st ->
+          Buffer.add_char buf (Char.chr (Char.code '0' + Lid.Relay_station.occupancy st)))
+        chain)
+    t.rs;
+  Buffer.add_string buf (Printf.sprintf "@%d" (t.cycle mod t.env_period));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+let snapshot_next t =
+  resolve t;
+  let snap = capture t in
+  (match t.monitor with Some f -> f snap | None -> ());
   commit t;
   snap

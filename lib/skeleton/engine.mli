@@ -58,7 +58,28 @@ val signature : t -> string
     cycles with equal signatures evolve identically at protocol level, so a
     repeated signature proves periodicity. *)
 
-(** {1 Per-cycle wire-level snapshot (for trace rendering)} *)
+(** {1 Per-cycle wire-level snapshot (for trace rendering and monitors)} *)
+
+type probe = {
+  pr_src_tok : Token.t;
+      (** the token the producer presents on the channel (pre-fault) *)
+  pr_src_stop : bool;
+      (** the stop the producer actually observes (post-fault) — together
+          with [pr_src_tok] this decides whether the producer believes its
+          datum was handed over this cycle *)
+  pr_dst_tok : Token.t;
+      (** the token the consumer actually observes (post-fault) *)
+  pr_dst_stop : bool;
+      (** the stop the consumer genuinely asserts — together with
+          [pr_dst_tok] this decides whether the consumer believes it
+          received a datum this cycle *)
+  pr_occupancy : int;  (** tokens stored in the channel's relay chain *)
+}
+(** One channel's boundary wires for a cycle, as seen by the two endpoint
+    nodes.  In a fault-free run both pairs are the true wires; under
+    injection they are deliberately the {e beliefs} of the endpoints, so a
+    fault in between makes the producer-side and consumer-side ledgers
+    disagree — exactly what the runtime conservation monitor checks. *)
 
 type snapshot = {
   snap_cycle : int;
@@ -72,8 +93,46 @@ type snapshot = {
       (** per channel: the token standing at the consumer side this cycle
           and the stop the consumer asserts against it — the wire pair the
           protocol invariants range over *)
+  chan_probe : (Topology.Network.edge_id * probe) list;
+      (** per channel: both boundary wire pairs plus relay occupancy *)
   sink_got : (string * Token.t) list;  (** what each sink consumed *)
 }
 
 val snapshot_next : t -> snapshot
 (** Resolve the current cycle's wires, capture a snapshot, and step. *)
+
+(** {1 Fault injection and runtime monitoring}
+
+    Hooks for the [fault] library.  Fault hooks are pure transformers of
+    wire values, addressed by cycle and site; the engine queries them from
+    inside wire resolution (possibly several times per cycle for the same
+    site — hooks must be deterministic).  A monitor is invoked once per
+    cycle, after wire resolution and before the clock edge, with the same
+    snapshot {!snapshot_next} returns; installing one turns every {!step}
+    and {!run} into a monitored step at protocol granularity. *)
+
+type fault_hooks = {
+  fh_forward :
+    cycle:int -> edge:Topology.Network.edge_id -> seg:int -> Token.t -> Token.t;
+      (** forward token wire: segment 0 leaves the producer, segment [j > 0]
+          leaves relay station [j-1] *)
+  fh_stop :
+    cycle:int -> edge:Topology.Network.edge_id -> boundary:int -> bool -> bool;
+      (** backward stop wire: boundary 0 is observed by the producer,
+          boundary [b > 0] by relay station [b-1]; for a station-less
+          channel boundary 0 is the only boundary *)
+  fh_station :
+    cycle:int ->
+    edge:Topology.Network.edge_id ->
+    station:int ->
+    Lid.Relay_station.state ->
+    Lid.Relay_station.state;
+      (** relay-station register upset, applied at the clock edge *)
+}
+
+val set_fault_hooks : t -> fault_hooks option -> unit
+(** Install (or clear) fault hooks.  Hooks survive {!reset}; with [None]
+    (the default) the engine takes the unhooked fast path. *)
+
+val set_monitor : t -> (snapshot -> unit) option -> unit
+(** Install (or clear) a per-cycle observer compiled into the step loop. *)

@@ -129,6 +129,75 @@ let test_combinational_stop_cycle_raises () =
        false
      with Eng.Combinational_stop_cycle _ -> true)
 
+let shell_loop ~stations =
+  let b = Topology.Network.builder () in
+  let a = Topology.Network.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let c = Topology.Network.add_shell b ~name:"c" (Lid.Pearl.identity ()) in
+  let _ = Topology.Network.connect b ~stations ~src:(a, 0) ~dst:(c, 0) () in
+  let _ = Topology.Network.connect b ~stations:[] ~src:(c, 0) ~dst:(a, 0) () in
+  Topology.Network.build ~allow_direct:true b
+
+let test_combinational_stop_cycle_original () =
+  (* the minimum-memory violation is flavour-independent *)
+  let engine = Eng.create ~flavour:Lid.Protocol.Original (shell_loop ~stations:[]) in
+  Alcotest.(check bool) "raises under original" true
+    (try
+       Eng.step engine;
+       false
+     with Eng.Combinational_stop_cycle _ -> true)
+
+let test_station_breaks_stop_cycle () =
+  (* one relay station anywhere on the loop registers the stop path, so the
+     same topology becomes simulable — in both flavours *)
+  List.iter
+    (fun stations ->
+      List.iter
+        (fun flavour ->
+          let engine = Eng.create ~flavour (shell_loop ~stations) in
+          Eng.run engine ~cycles:50;
+          Alcotest.(check int) "ran to 50" 50 (Eng.cycle engine))
+        [ Lid.Protocol.Original; Lid.Protocol.Optimized ])
+    [ [ Lid.Relay_station.Full ]; [ Lid.Relay_station.Half ] ]
+
+let test_gated_vs_starved_back_pressure () =
+  (* a stalling sink: every lost cycle of every shell is back-pressure *)
+  let net =
+    G.chain ~n_shells:2
+      ~sink_pattern:(Topology.Pattern.periodic ~period:2 ~active:1 ())
+      ()
+  in
+  let engine = Eng.create net in
+  Eng.run engine ~cycles:100;
+  List.iter
+    (fun (n : Topology.Network.node) ->
+      let f = Eng.fired_count engine n.id
+      and g = Eng.gated_count engine n.id
+      and s = Eng.starved_count engine n.id in
+      Alcotest.(check int) "fired+gated+starved = cycles" 100 (f + g + s);
+      Alcotest.(check bool) "gated ~half" true (g >= 40);
+      Alcotest.(check bool) "starved only at startup" true (s <= 3))
+    (Topology.Network.shells net)
+
+let test_gated_vs_starved_starvation () =
+  (* a throttled source: the same lost throughput, now attributed to
+     starvation — no stop wave anywhere *)
+  let net =
+    G.chain ~n_shells:2
+      ~source_pattern:(Topology.Pattern.periodic ~period:2 ~active:1 ())
+      ()
+  in
+  let engine = Eng.create net in
+  Eng.run engine ~cycles:100;
+  List.iter
+    (fun (n : Topology.Network.node) ->
+      let f = Eng.fired_count engine n.id
+      and g = Eng.gated_count engine n.id
+      and s = Eng.starved_count engine n.id in
+      Alcotest.(check int) "fired+gated+starved = cycles" 100 (f + g + s);
+      Alcotest.(check bool) "starved ~half" true (s >= 40);
+      Alcotest.(check int) "never gated" 0 g)
+    (Topology.Network.shells net)
+
 let test_direct_channel_resolution () =
   (* a station-less shell-to-shell channel is resolved combinationally when
      acyclic (allow_direct); behaviour matches having... the same stream *)
@@ -214,6 +283,14 @@ let suite =
     Alcotest.test_case "signature periodicity" `Quick test_signature_periodicity;
     Alcotest.test_case "combinational stop cycle detected" `Quick
       test_combinational_stop_cycle_raises;
+    Alcotest.test_case "combinational stop cycle (original flavour)" `Quick
+      test_combinational_stop_cycle_original;
+    Alcotest.test_case "a station breaks the stop cycle" `Quick
+      test_station_breaks_stop_cycle;
+    Alcotest.test_case "gated vs starved: back-pressure" `Quick
+      test_gated_vs_starved_back_pressure;
+    Alcotest.test_case "gated vs starved: starvation" `Quick
+      test_gated_vs_starved_starvation;
     Alcotest.test_case "direct channels (acyclic)" `Quick
       test_direct_channel_resolution;
     Alcotest.test_case "flavours agree on simple chains" `Quick

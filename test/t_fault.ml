@@ -1,0 +1,219 @@
+(* Fault injection and runtime monitors: the monitors stay silent on every
+   fault-free example system, every fault kind is detectable, campaigns are
+   reproducible, and the watchdog proves the reconvergence deadlock. *)
+
+module Net = Topology.Network
+module G = Topology.Generators
+module Eng = Skeleton.Engine
+
+let specs_dir = "../examples/specs"
+
+let spec_files () =
+  Sys.readdir specs_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".lid")
+  |> List.sort compare
+
+let load_spec file =
+  In_channel.with_open_text (Filename.concat specs_dir file) In_channel.input_all
+  |> Topology.Spec.parse_exn
+
+let test_monitors_silent_on_specs () =
+  let files = spec_files () in
+  Alcotest.(check bool) "found the example specs" true (List.length files >= 4);
+  List.iter
+    (fun file ->
+      List.iter
+        (fun flavour ->
+          let net = load_spec file in
+          let engine = Eng.create ~flavour net in
+          let mon = Fault.Monitor.create net in
+          Fault.Monitor.attach mon engine;
+          Eng.run engine ~cycles:300;
+          match Fault.Monitor.violations mon with
+          | [] -> ()
+          | v :: _ ->
+              Alcotest.failf "%s (%s): %s" file
+                (match flavour with
+                | Lid.Protocol.Original -> "original"
+                | Lid.Protocol.Optimized -> "optimized")
+                (Format.asprintf "%a" (Fault.Monitor.pp_violation net) v))
+        [ Lid.Protocol.Original; Lid.Protocol.Optimized ])
+    files
+
+let test_every_kind_detectable () =
+  (* on Fig. 1 an exhaustive single-fault campaign must produce at least one
+     non-masked injection of every kind — faults do not hide from the
+     classifier *)
+  let config = { Fault.Campaign.default_config with cycles = 128 } in
+  let result = Fault.Campaign.run config (G.fig1 ()) in
+  List.iter
+    (fun kind ->
+      let detected =
+        List.exists
+          (fun (r : Fault.Classify.report) ->
+            r.fault.kind = kind && r.outcome <> Fault.Classify.Masked)
+          result.reports
+      in
+      Alcotest.(check bool)
+        (Fault.Model.kind_to_string kind ^ " detected")
+        true detected)
+    Fault.Model.all_kinds
+
+let test_campaign_reproducible () =
+  let config =
+    { Fault.Campaign.default_config with cycles = 96; max_sites_per_kind = 3 }
+  in
+  let outcomes result =
+    List.map (fun (r : Fault.Classify.report) -> r.outcome) result.Fault.Campaign.reports
+  in
+  let a = Fault.Campaign.run config (G.fig2 ()) in
+  let b = Fault.Campaign.run config (G.fig2 ()) in
+  Alcotest.(check bool) "same outcomes" true (outcomes a = outcomes b);
+  Alcotest.(check bool) "non-empty" true (a.reports <> [])
+
+let edge_by ~src_name ~src_port net =
+  let e =
+    List.find
+      (fun (e : Net.edge) ->
+        (Net.node net e.src.node).name = src_name && e.src.port = src_port)
+      (Net.edges net)
+  in
+  e.id
+
+let test_reconvergence_deadlock () =
+  (* a stop stuck high at the producer boundary of one fork branch makes the
+     shell keep presenting a token the unstopped relay keeps accepting:
+     duplicated tokens on one branch of a reconvergent fork, and the whole
+     system wedges once the window clears — caught by the watchdog, flagged
+     by the duplication monitor *)
+  let net = G.fig1 () in
+  let fault =
+    {
+      Fault.Model.kind = Fault.Model.Stop_stuck;
+      site = Fault.Model.Backward { edge = edge_by ~src_name:"A" ~src_port:1 net; boundary = 0 };
+      cycle = 8;
+      duration = 8;
+      param = 0;
+    }
+  in
+  let baseline = Fault.Classify.baseline ~cycles:200 ~flavour:Lid.Protocol.Optimized net in
+  let report = Fault.Classify.classify baseline fault in
+  Alcotest.(check string) "classified as deadlock" "deadlock"
+    (Fault.Classify.outcome_to_string report.outcome);
+  Alcotest.(check bool) "duplication evidence" true
+    (List.exists
+       (fun (v : Fault.Monitor.violation) ->
+         v.v_kind = Fault.Monitor.Token_duplicated)
+       report.evidence.violations);
+  match report.evidence.watchdog with
+  | Fault.Monitor.Watchdog.Periodic { live; _ } ->
+      Alcotest.(check bool) "non-live regime" false live
+  | Fault.Monitor.Watchdog.Watching -> Alcotest.fail "watchdog never settled"
+
+let test_benign_fault_masked () =
+  (* dropping a stop that is never asserted changes nothing: a free-running
+     chain has no back-pressure, so every stop-drop is masked *)
+  let net = G.chain ~n_shells:2 () in
+  let baseline = Fault.Classify.baseline ~cycles:128 ~flavour:Lid.Protocol.Optimized net in
+  List.iter
+    (fun site ->
+      let fault =
+        { Fault.Model.kind = Fault.Model.Stop_drop; site; cycle = 10; duration = 1; param = 0 }
+      in
+      let report = Fault.Classify.classify baseline fault in
+      Alcotest.(check string) "masked" "masked"
+        (Fault.Classify.outcome_to_string report.outcome))
+    (Fault.Model.sites net Fault.Model.Stop_drop)
+
+let test_monitor_sees_corruption_mid_chain () =
+  (* monitor-level (not classifier-level) detection: corrupt the wire
+     between two relay stations and the channel monitor must localize it *)
+  let net = G.fig1 () in
+  let eid = edge_by ~src_name:"src" ~src_port:0 net in
+  let fault =
+    {
+      Fault.Model.kind = Fault.Model.Data_corrupt;
+      site = Fault.Model.Forward { edge = eid; seg = 1 };
+      cycle = 12;
+      duration = 1;
+      param = 0xff;
+    }
+  in
+  let engine = Eng.create net in
+  Eng.set_fault_hooks engine (Some (Fault.Model.hooks [ fault ]));
+  let mon = Fault.Monitor.create net in
+  Fault.Monitor.attach mon engine;
+  Eng.run engine ~cycles:64;
+  Alcotest.(check bool) "flagged on the faulted channel" true
+    (List.exists
+       (fun (v : Fault.Monitor.violation) ->
+         v.v_edge = eid && v.v_kind = Fault.Monitor.Token_mismatched)
+       (Fault.Monitor.violations mon))
+
+let test_station_upset_semantics () =
+  let open Lid.Relay_station in
+  (* conjure into an empty full station, then the upset of a non-empty one
+     drops a token — occupancy changes by exactly one in each direction *)
+  let empty = initial Full in
+  let conjured = upset ~payload:7 empty in
+  Alcotest.(check int) "0 -> 1" 1 (occupancy conjured);
+  Alcotest.(check int) "1 -> 0" 0 (occupancy (upset ~payload:9 conjured))
+
+let test_watchdog_unit () =
+  let open Fault.Monitor.Watchdog in
+  let live = create ~quiesce_after:2 () in
+  note live ~cycle:0 ~signature:"a" ~progress:true;
+  note live ~cycle:1 ~signature:"b" ~progress:true;
+  note live ~cycle:2 ~signature:"c" ~progress:true;
+  note live ~cycle:3 ~signature:"d" ~progress:true;
+  note live ~cycle:4 ~signature:"c" ~progress:true;
+  Alcotest.(check bool) "live periodic is not deadlock" false (deadlocked live);
+  (match verdict live with
+  | Periodic { transient; period; live } ->
+      Alcotest.(check int) "transient" 2 transient;
+      Alcotest.(check int) "period" 2 period;
+      Alcotest.(check bool) "live" true live
+  | Watching -> Alcotest.fail "no verdict");
+  let dead = create () in
+  note dead ~cycle:0 ~signature:"x" ~progress:false;
+  note dead ~cycle:1 ~signature:"x" ~progress:false;
+  Alcotest.(check bool) "frozen signature, no firing" true (deadlocked dead)
+
+let test_sites_cover_all_planes () =
+  let net = G.fig1 () in
+  let segs =
+    List.fold_left
+      (fun acc (e : Net.edge) -> acc + List.length e.stations + 1)
+      0 (Net.edges net)
+  in
+  let stations =
+    List.fold_left
+      (fun acc (e : Net.edge) -> acc + List.length e.stations)
+      0 (Net.edges net)
+  in
+  Alcotest.(check int) "forward plane" segs
+    (List.length (Fault.Model.sites net Fault.Model.Valid_flip));
+  Alcotest.(check int) "backward plane" segs
+    (List.length (Fault.Model.sites net Fault.Model.Stop_drop));
+  Alcotest.(check int) "register plane" stations
+    (List.length (Fault.Model.sites net Fault.Model.Station_upset))
+
+let suite =
+  [
+    Alcotest.test_case "monitors silent on all example specs" `Quick
+      test_monitors_silent_on_specs;
+    Alcotest.test_case "every fault kind detectable" `Quick
+      test_every_kind_detectable;
+    Alcotest.test_case "campaigns reproducible from the seed" `Quick
+      test_campaign_reproducible;
+    Alcotest.test_case "reconvergence deadlock caught" `Quick
+      test_reconvergence_deadlock;
+    Alcotest.test_case "benign stop-drop masked" `Quick test_benign_fault_masked;
+    Alcotest.test_case "mid-chain corruption localized" `Quick
+      test_monitor_sees_corruption_mid_chain;
+    Alcotest.test_case "station upset semantics" `Quick
+      test_station_upset_semantics;
+    Alcotest.test_case "watchdog verdicts" `Quick test_watchdog_unit;
+    Alcotest.test_case "site enumeration covers the planes" `Quick
+      test_sites_cover_all_planes;
+  ]

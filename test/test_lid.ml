@@ -23,6 +23,8 @@ let () =
       ("floorplan", T_floorplan.suite);
       ("simplify", T_simplify.suite);
       ("protocol-invariants", T_protocol_invariants.suite);
+      ("relay-chain", T_relay_chain.suite);
+      ("fault", T_fault.suite);
       ("bdd-symbolic", T_bdd.suite);
       ("scale", T_scale.suite);
     ]
