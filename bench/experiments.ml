@@ -817,6 +817,19 @@ let e13_fault_injection () =
     "\nwith injection disabled the monitors stay silent (checked by the\n\
      test suite over every examples/specs topology, both flavours).\n"
 
+(* ------------------------------------------------------------------ *)
+
+let e14_packed_speedup () =
+  section "E14"
+    "packed-engine speedup: steady-state measurement, engine vs packed";
+  Printf.printf
+    "each case runs Measure.analyze on the reference engine and\n\
+     Measure.analyze_packed on the packed engine (same nets, same\n\
+     figures — the harness refuses to time disagreeing engines), plus a\n\
+     serial-vs-parallel fault campaign on the domain driver.\n\n";
+  let r = Campaign.Bench.run ~quick:true () in
+  Format.printf "%a" Campaign.Bench.pp r
+
 let all_quick () =
   e1_fig1 ();
   e2_fig2 ();
@@ -831,4 +844,5 @@ let all_quick () =
   e11_verification ();
   e12_equivalence ();
   e13_fault_injection ();
+  e14_packed_speedup ();
   a1_attribution ()

@@ -22,6 +22,7 @@ let experiments =
     ("e11", "block verification", Experiments.e11_verification);
     ("e12", "latency equivalence", Experiments.e12_equivalence);
     ("e13", "fault-injection robustness", Experiments.e13_fault_injection);
+    ("e14", "packed-engine speedup", Experiments.e14_packed_speedup);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

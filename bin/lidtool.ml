@@ -355,7 +355,15 @@ let inject_cmd =
       value & flag
       & info [ "v"; "verbose" ] ~doc:"Print every non-masked injection.")
   in
-  let run file flavour seed kinds cycles sites per_site verbose =
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Fan the injections out over N domains (0 = one per core, \
+                capped at 8). The report order and every outcome are \
+                identical to a serial run.")
+  in
+  let run file flavour seed kinds cycles sites per_site verbose jobs =
     let net = load_network file in
     let config =
       {
@@ -372,7 +380,8 @@ let inject_cmd =
       (match flavour with
       | Lid.Protocol.Optimized -> "optimized"
       | Lid.Protocol.Original -> "original");
-    let result = Fault.Campaign.run config net in
+    let jobs = if jobs <= 0 then Campaign.Parallel.default_jobs () else jobs in
+    let result = Campaign.Fault_driver.run ~jobs config net in
     Format.printf "@.%a" Fault.Campaign.pp_summary result;
     if verbose then begin
       Format.printf "@.non-masked injections:@.";
@@ -402,7 +411,7 @@ let inject_cmd =
   let term =
     Term.(
       const run $ network_arg $ flavour_arg $ seed_arg $ kinds_arg $ cycles_arg
-      $ sites_arg $ per_site_arg $ verbose_arg)
+      $ sites_arg $ per_site_arg $ verbose_arg $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -410,6 +419,53 @@ let inject_cmd =
              skeleton: sweep faults over wires and relay registers, watch \
              the runtime monitors, and bin each injection from masked to \
              deadlock.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                                *)
+
+let bench_cmd =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quick" ]
+          ~doc:"Shrink every topology (CI smoke mode, a few seconds).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for the parallel-campaign leg (0 = one per core, \
+                capped at 8).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the results as JSON to FILE.")
+  in
+  let run quick jobs out =
+    let jobs = if jobs <= 0 then None else Some jobs in
+    match Campaign.Bench.run ~quick ?jobs () with
+    | result ->
+        Format.printf "%a" Campaign.Bench.pp result;
+        (match out with
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                Out_channel.output_string oc (Campaign.Bench.to_json result));
+            Format.printf "wrote %s@." path
+        | None -> ())
+    | exception Campaign.Bench.Divergence msg ->
+        Printf.eprintf "benchmark aborted, engines diverged: %s\n" msg;
+        exit 1
+  in
+  let term = Term.(const run $ quick_arg $ jobs_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Benchmark steady-state measurement: the packed engine against \
+             the reference engine over generated topologies (asserting both \
+             report identical steady states), plus the serial-vs-parallel \
+             fault-campaign speedup.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -470,6 +526,7 @@ let () =
             blocks_cmd;
             verify_cmd;
             inject_cmd;
+            bench_cmd;
             dot_cmd;
             sample_cmd;
           ]))

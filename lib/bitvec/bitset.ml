@@ -1,0 +1,57 @@
+(* 32 payload bits per word: a power of two, so the index split compiles
+   to a shift and a mask — the hot path of the packed engine never pays an
+   integer division.  (62 bits per word would halve the array but put two
+   idivs in front of every wire read.)  Words stay immediate ints. *)
+let bits_per_word = 32
+let word_shift = 5
+let bit_mask = 31
+
+type t = { len : int; words : int array }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative length";
+  { len = n; words = Array.make ((n + bits_per_word - 1) lsr word_shift) 0 }
+
+let length t = t.len
+
+let get t i =
+  Array.unsafe_get t.words (i lsr word_shift) lsr (i land bit_mask) land 1 = 1
+
+let set t i =
+  let w = i lsr word_shift in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w lor (1 lsl (i land bit_mask)))
+
+let clear t i =
+  let w = i lsr word_shift in
+  Array.unsafe_set t.words w
+    (Array.unsafe_get t.words w land lnot (1 lsl (i land bit_mask)))
+
+let assign t i b = if b then set t i else clear t i
+let fill_false t = Array.fill t.words 0 (Array.length t.words) 0
+
+let popcount t =
+  let count = ref 0 in
+  Array.iter
+    (fun w ->
+      let w = ref w in
+      while !w <> 0 do
+        w := !w land (!w - 1);
+        incr count
+      done)
+    t.words;
+  !count
+
+let words t = t.words
+let n_words t = Array.length t.words
+
+let blit_words t dst pos =
+  Array.blit t.words 0 dst pos (Array.length t.words)
+
+let copy t = { len = t.len; words = Array.copy t.words }
+let equal a b = a.len = b.len && a.words = b.words
+
+let pp fmt t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char fmt (if get t i then '1' else '0')
+  done

@@ -1,0 +1,55 @@
+(** Mutable bit-packed boolean vectors.
+
+    The packed skeleton engine keeps its per-cycle valid/stop/occupancy
+    planes in these: a fixed-length vector of bits stored in an [int array]
+    of 32-bit words, mutated in place with no per-cycle allocation.  The
+    backing words are exposed read-only so a state signature can be built
+    by blitting whole words instead of walking bits (see
+    {!Skeleton.Packed.signature_id}).
+
+    This is the mutable counterpart of {!Bits} (which is immutable and
+    value-oriented); it deliberately offers only what a simulation hot
+    path needs. *)
+
+type t
+
+val word_shift : int
+(** [i lsr word_shift] is the backing word holding bit [i]. *)
+
+val bit_mask : int
+(** [i land bit_mask] is bit [i]'s position inside its word. *)
+
+val create : int -> t
+(** [create n] is an all-false vector of [n] bits ([n >= 0]). *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+(** Unchecked: an out-of-range index is undefined behaviour.  The packed
+    engine only ever indexes with compile-time-derived dense ids. *)
+
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+
+val fill_false : t -> unit
+(** Reset every bit — one [Array.fill] on the backing words. *)
+
+val popcount : t -> int
+
+val words : t -> int array
+(** The backing words (low bit of word 0 is bit 0).  Callers must treat
+    the array as read-only; bits beyond [length] are kept zero, so two
+    equal vectors have equal word arrays. *)
+
+val n_words : t -> int
+
+val blit_words : t -> int array -> int -> unit
+(** [blit_words t dst pos] copies the backing words into [dst] starting at
+    [pos] — the signature-assembly primitive. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Bits lsb-first, e.g. [10110]. *)

@@ -1,0 +1,209 @@
+module G = Topology.Generators
+module M = Skeleton.Measure
+
+type case = {
+  case_name : string;
+  transient : int;
+  period : int;
+  throughput : float;
+  cycles_per_rep : int;
+  reps : int;
+  engine_s : float;
+  packed_s : float;
+  speedup : float;
+}
+
+type campaign_stat = {
+  injections : int;
+  jobs : int;
+  serial_s : float;
+  parallel_s : float;
+  campaign_speedup : float;
+}
+
+type result = {
+  quick : bool;
+  cases : case list;
+  campaign : campaign_stat;
+  geomean_speedup : float;
+}
+
+exception Divergence of string
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Wall-clock on a shared machine jitters by tens of percent; the minimum
+   over a few timed blocks is the standard stable estimator. *)
+let time_best ~blocks f =
+  let best = ref infinity in
+  for _ = 1 to blocks do
+    let (), d = time f in
+    if d < !best then best := d
+  done;
+  !best
+
+let report_key (r : M.report) =
+  (r.transient, r.period, r.node_throughput, r.sink_throughput, r.deadlocked)
+
+let bench_case ~reps case_name net =
+  (* one unmeasured pass per engine: check agreement, learn the figures *)
+  let re =
+    match M.analyze (Skeleton.Engine.create net) with
+    | Some r -> r
+    | None -> raise (Divergence (case_name ^ ": engine found no steady state"))
+  in
+  let rp =
+    match M.analyze_packed (Skeleton.Packed.create net) with
+    | Some r -> r
+    | None -> raise (Divergence (case_name ^ ": packed found no steady state"))
+  in
+  if report_key re <> report_key rp then
+    raise
+      (Divergence
+         (Printf.sprintf
+            "%s: engine (transient %d, period %d) != packed (transient %d, \
+             period %d)"
+            case_name re.transient re.period rp.transient rp.period));
+  let engine_s =
+    time_best ~blocks:3 (fun () ->
+        for _ = 1 to reps do
+          ignore (M.analyze (Skeleton.Engine.create net))
+        done)
+  in
+  let packed_s =
+    time_best ~blocks:3 (fun () ->
+        for _ = 1 to reps do
+          ignore (M.analyze_packed (Skeleton.Packed.create net))
+        done)
+  in
+  {
+    case_name;
+    transient = re.transient;
+    period = re.period;
+    throughput = M.system_throughput re;
+    cycles_per_rep = re.transient + (2 * re.period);
+    reps;
+    engine_s;
+    packed_s;
+    speedup = (if packed_s > 0. then engine_s /. packed_s else infinity);
+  }
+
+let suite ~quick =
+  let rng = Random.State.make [| 0xbe; 0x2c |] in
+  (* an irregular environment: source up 4/5, sink stalled 2/7 — the
+     env period of 35 keeps the steady-state search running long enough
+     that per-cycle cost, not construction, is what gets measured *)
+  let source_pattern = Topology.Pattern.periodic ~period:5 ~active:4 () in
+  let sink_pattern = Topology.Pattern.periodic ~period:7 ~active:2 () in
+  if quick then
+    [
+      ("chain-48", 3, G.chain ~n_shells:48 ());
+      ("tree-d4", 3, G.tree ~depth:4 ());
+      ( "ring-tapped-32",
+        3,
+        G.ring_tapped ~n_shells:32 ~source_pattern ~sink_pattern () );
+      ( "loopy-20",
+        3,
+        G.random_loopy ~rng ~n_shells:20 ~extra_back_edges:3
+          ~half_probability:0.3 () );
+    ]
+  else
+    [
+      ("chain-300", 3, G.chain ~n_shells:300 ());
+      ("tree-d7", 3, G.tree ~depth:7 ());
+      ( "ring-tapped-200",
+        2,
+        G.ring_tapped ~n_shells:200 ~source_pattern ~sink_pattern () );
+      ( "loopy-120",
+        2,
+        G.random_loopy ~rng ~n_shells:120 ~extra_back_edges:6
+          ~half_probability:0.3 () );
+      ( "reconv-40",
+        3,
+        G.reconvergent ~r_short:40 ~r_long_head:40 ~r_long_tail:40 () );
+    ]
+
+let bench_campaign ~quick ~jobs =
+  let rng = Random.State.make [| 0xca; 0x4a |] in
+  let net =
+    if quick then G.random_loopy ~rng ~n_shells:6 ~extra_back_edges:1 ()
+    else G.random_loopy ~rng ~n_shells:12 ~extra_back_edges:2 ()
+  in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      seed = 11;
+      cycles = (if quick then 96 else 256);
+      max_sites_per_kind = (if quick then 3 else 0);
+    }
+  in
+  let serial, serial_s = time (fun () -> Fault.Campaign.run config net) in
+  let par, parallel_s = time (fun () -> Fault_driver.run ~jobs config net) in
+  if serial.Fault.Campaign.reports <> par.Fault.Campaign.reports then
+    raise (Divergence "parallel campaign reports differ from the serial run");
+  {
+    injections = List.length serial.Fault.Campaign.reports;
+    jobs;
+    serial_s;
+    parallel_s;
+    campaign_speedup =
+      (if parallel_s > 0. then serial_s /. parallel_s else infinity);
+  }
+
+let run ?(quick = false) ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> Parallel.default_jobs () in
+  let cases =
+    List.map (fun (name, reps, net) -> bench_case ~reps name net) (suite ~quick)
+  in
+  let campaign = bench_campaign ~quick ~jobs in
+  let geomean_speedup =
+    let logs = List.map (fun c -> log c.speedup) cases in
+    exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs))
+  in
+  { quick; cases; campaign; geomean_speedup }
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  let f x = Printf.sprintf "%.6f" x in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"quick\": %b,\n  \"cases\": [\n" r.quick);
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"transient\": %d, \"period\": %d, \
+            \"throughput\": %s, \"cycles_per_rep\": %d, \"reps\": %d, \
+            \"engine_s\": %s, \"packed_s\": %s, \"speedup\": %s}%s\n"
+           c.case_name c.transient c.period (f c.throughput) c.cycles_per_rep
+           c.reps (f c.engine_s) (f c.packed_s) (f c.speedup)
+           (if i = List.length r.cases - 1 then "" else ",")))
+    r.cases;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"campaign\": {\"injections\": %d, \"jobs\": %d, \"serial_s\": %s, \
+        \"parallel_s\": %s, \"speedup\": %s},\n"
+       r.campaign.injections r.campaign.jobs (f r.campaign.serial_s)
+       (f r.campaign.parallel_s) (f r.campaign.campaign_speedup));
+  Buffer.add_string b
+    (Printf.sprintf "  \"geomean_speedup\": %s\n}\n" (f r.geomean_speedup));
+  Buffer.contents b
+
+let pp fmt r =
+  Format.fprintf fmt "steady-state measurement, engine vs packed:@.";
+  Format.fprintf fmt "  %-18s %10s %8s %12s %12s %9s@." "case" "transient"
+    "period" "engine (s)" "packed (s)" "speedup";
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %-18s %10d %8d %12.4f %12.4f %8.1fx@." c.case_name
+        c.transient c.period c.engine_s c.packed_s c.speedup)
+    r.cases;
+  Format.fprintf fmt "  geomean speedup: %.1fx@." r.geomean_speedup;
+  Format.fprintf fmt
+    "fault campaign (%d injections): serial %.3fs, %d jobs %.3fs -> %.1fx@."
+    r.campaign.injections r.campaign.serial_s r.campaign.jobs
+    r.campaign.parallel_s r.campaign.campaign_speedup

@@ -1,0 +1,53 @@
+(** Reference-vs-packed engine benchmark and parallel-campaign speedup.
+
+    Times steady-state measurement ({!Skeleton.Measure.analyze} on the
+    reference {!Skeleton.Engine} against {!Skeleton.Measure.analyze_packed}
+    on {!Skeleton.Packed}) over a fixed family of generated topologies,
+    checking on every case that both engines report the {e same} transient,
+    period and throughputs — a benchmark that silently diverged would be
+    meaningless.  Also times one seeded fault campaign serially
+    ({!Fault.Campaign.run}) and in parallel ({!Fault_driver.run}),
+    asserting bit-identical reports.
+
+    Wall-clock (monotonic enough at these scales: [Unix.gettimeofday]);
+    each case runs [reps] fresh engines per side. *)
+
+type case = {
+  case_name : string;
+  transient : int;
+  period : int;
+  throughput : float;
+  cycles_per_rep : int;  (** cycles one measurement steps: transient + 2·period *)
+  reps : int;
+  engine_s : float;
+  packed_s : float;
+  speedup : float;
+}
+
+type campaign_stat = {
+  injections : int;
+  jobs : int;
+  serial_s : float;
+  parallel_s : float;
+  campaign_speedup : float;
+}
+
+type result = {
+  quick : bool;
+  cases : case list;
+  campaign : campaign_stat;
+  geomean_speedup : float;  (** over the per-case engine/packed speedups *)
+}
+
+exception Divergence of string
+(** Raised when the two engines (or the serial and parallel campaigns)
+    disagree — the benchmark refuses to time wrong code. *)
+
+val run : ?quick:bool -> ?jobs:int -> unit -> result
+(** [quick] (default false) shrinks every topology for CI smoke runs;
+    [jobs] (default {!Parallel.default_jobs}) sizes the parallel campaign. *)
+
+val to_json : result -> string
+(** Stable, human-diffable JSON rendering (the BENCH_pr3.json payload). *)
+
+val pp : Format.formatter -> result -> unit

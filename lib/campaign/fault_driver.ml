@@ -1,0 +1,10 @@
+let run ?jobs ?on_report (config : Fault.Campaign.config) net =
+  let faults = Fault.Campaign.faults_of_config config net in
+  let baseline =
+    Fault.Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
+  in
+  let reports =
+    Parallel.map ?jobs (fun fault -> Fault.Classify.classify baseline fault) faults
+  in
+  (match on_report with Some f -> List.iter f reports | None -> ());
+  { Fault.Campaign.config; net; reports }

@@ -1,0 +1,19 @@
+(** Parallel fault-injection campaigns.
+
+    Same contract as {!Fault.Campaign.run} — same seeded fault list, same
+    classification, same report order — but the injections are fanned out
+    over domains with {!Parallel.map}.  Each injection builds its own
+    engines and monitors ({!Fault.Classify.classify} is self-contained);
+    the shared baseline is read-only after construction.  The result is
+    bit-identical to the serial run for every [jobs]. *)
+
+val run :
+  ?jobs:int ->
+  ?on_report:(Fault.Classify.report -> unit) ->
+  Fault.Campaign.config ->
+  Topology.Network.t ->
+  Fault.Campaign.result
+(** [jobs] defaults to {!Parallel.default_jobs}.  [on_report] is invoked
+    on the calling domain in campaign order — after the parallel phase,
+    so in parallel mode it is a post-hoc iterator rather than live
+    progress. *)

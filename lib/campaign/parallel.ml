@@ -1,0 +1,31 @@
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let map ?jobs f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs =
+    min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n
+  in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let results = Array.make n (Error Exit) in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             (match f items.(i) with r -> Ok r | exception e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join others;
+    (* every slot was written: the cursor hands out each index exactly once
+       and joining establishes the ordering *)
+    Array.to_list results
+    |> List.map (function Ok r -> r | Error e -> raise e)
+  end

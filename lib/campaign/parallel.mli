@@ -1,0 +1,22 @@
+(** Deterministic parallel map over OCaml domains.
+
+    The unit of the campaign layer: [map ~jobs f xs] applies [f] to every
+    element of [xs] on up to [jobs] domains and returns the results {e in
+    input order} — the merge is positional, so the output is independent
+    of scheduling, and a parallel campaign is bit-identical to a serial
+    one.  Work is distributed by an atomic cursor (dynamic load balance,
+    no chunking bias).
+
+    [f] must be safe to run concurrently with itself: it may freely
+    mutate state it creates, but must not write shared state.  Everything
+    this library passes to [map] creates its own engines per item
+    ({!Fault_driver}, {!Sweep}). *)
+
+val default_jobs : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())], at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [jobs] defaults to {!default_jobs}; [jobs <= 1] (or a singleton/empty
+    list) degrades to [List.map] on the calling domain.  If applications
+    of [f] raise, the exception of the {e lowest input index} is re-raised
+    after all domains have been joined — again deterministic. *)

@@ -1,0 +1,20 @@
+type entry = { label : string; report : Skeleton.Measure.report option }
+
+let measure ?jobs ?flavour ?max_cycles ?signature_capacity nets =
+  Parallel.map ?jobs
+    (fun (label, net) ->
+      let packed = Skeleton.Packed.create ?flavour net in
+      let report =
+        Skeleton.Measure.analyze_packed ?max_cycles ?signature_capacity packed
+      in
+      { label; report })
+    nets
+
+let pp_entry fmt e =
+  match e.report with
+  | None -> Format.fprintf fmt "%-24s no steady state@." e.label
+  | Some r ->
+      Format.fprintf fmt "%-24s transient=%-6d period=%-6d throughput=%.4f%s@."
+        e.label r.Skeleton.Measure.transient r.Skeleton.Measure.period
+        (Skeleton.Measure.system_throughput r)
+        (if r.Skeleton.Measure.deadlocked then " DEADLOCK" else "")

@@ -1,0 +1,27 @@
+(** Parallel steady-state sweeps (the E-series driver).
+
+    Measures a batch of networks — typically one generated family swept
+    over a size or station-count parameter — on the packed engine, one
+    network per work item, fanned out with {!Parallel.map}.  Results come
+    back in input order regardless of [jobs]. *)
+
+type entry = {
+  label : string;
+  report : Skeleton.Measure.report option;
+      (** [None] when no periodic regime was found within the budget *)
+}
+
+val measure :
+  ?jobs:int ->
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_cycles:int ->
+  ?signature_capacity:int ->
+  (string * Topology.Network.t) list ->
+  entry list
+(** [measure nets] analyzes each labelled network with
+    {!Skeleton.Measure.analyze_packed} on a fresh {!Skeleton.Packed}
+    engine. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** One line: label, transient, period, system throughput (or
+    ["no steady state"]). *)

@@ -23,6 +23,8 @@ let occupancy = function
       (if Token.is_valid main then 1 else 0) + if Token.is_valid aux then 1 else 0
   | Half_state { hold; _ } -> if Token.is_valid hold then 1 else 0
 
+let sreg = function Full_state _ -> false | Half_state { sreg; _ } -> sreg
+
 let present state ~input =
   match state with
   | Full_state { main; _ } -> main

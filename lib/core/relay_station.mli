@@ -41,6 +41,12 @@ val kind : state -> kind
 val occupancy : state -> int
 (** Number of valid data currently stored. *)
 
+val sreg : state -> bool
+(** The half station's registered copy of the incoming stop ([false] for
+    full stations).  Protocol state under the [Original] flavour: together
+    with {!occupancy} it determines the station's future valid/stop
+    behaviour, so state signatures must include it. *)
+
 val present : state -> input:Token.t -> Token.t
 (** The token driven on the output this cycle.  A full station ignores
     [input] (Moore); a half station passes [input] through when empty

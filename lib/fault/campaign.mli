@@ -19,6 +19,12 @@ val default_config : config
 (** seed 1, all kinds, 256 cycles, [Optimized], exhaustive sites, one
     injection per site. *)
 
+val faults_of_config : config -> Topology.Network.t -> Model.t list
+(** The deterministic fault list a campaign with [config] injects into the
+    network — derived entirely from [config.seed].  Exposed so drivers can
+    fan the same injections out over several workers (see
+    [Campaign.Fault_driver]) and tests can replay single injections. *)
+
 type result = {
   config : config;
   net : Topology.Network.t;

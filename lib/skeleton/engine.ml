@@ -44,6 +44,7 @@ type t = {
   mutable cycle : int;
   mutable hooks : fault_hooks option;
   mutable monitor : (snapshot -> unit) option;
+  sig_intern : (string, int) Hashtbl.t;
   (* per-cycle scratch, rebuilt by [resolve] *)
   seg : Token.t array array; (* edge id -> m+1 forward tokens *)
   dst_token : Token.t array;
@@ -103,6 +104,7 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
     cycle = 0;
     hooks = None;
     monitor = None;
+    sig_intern = Hashtbl.create 1024;
     seg =
       Array.of_list
         (List.map
@@ -481,11 +483,29 @@ let signature t =
       Buffer.add_char buf '/';
       Array.iter
         (fun st ->
-          Buffer.add_char buf (Char.chr (Char.code '0' + Lid.Relay_station.occupancy st)))
+          (* occupancy plus the half station's registered stop: both are
+             protocol state, so both must partake in periodicity proofs *)
+          let code =
+            Lid.Relay_station.occupancy st
+            + if Lid.Relay_station.sreg st then 4 else 0
+          in
+          Buffer.add_char buf (Char.chr (Char.code '0' + code)))
         chain)
     t.rs;
   Buffer.add_string buf (Printf.sprintf "@%d" (t.cycle mod t.env_period));
   Buffer.contents buf
+
+let signature_id t =
+  let s = signature t in
+  match Hashtbl.find_opt t.sig_intern s with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length t.sig_intern in
+      Hashtbl.add t.sig_intern s id;
+      id
+
+let signature_intern_size t = Hashtbl.length t.sig_intern
+let signature_intern_clear t = Hashtbl.reset t.sig_intern
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots.                                                          *)

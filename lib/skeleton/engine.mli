@@ -54,9 +54,24 @@ val sink_count : t -> Topology.Network.node_id -> int
 
 val signature : t -> string
 (** Skeleton state: the valid/void occupancy of every buffer and relay
-    station plus the environment phase — {e not} the data values.  Two
-    cycles with equal signatures evolve identically at protocol level, so a
-    repeated signature proves periodicity. *)
+    station (including the half station's registered stop bit) plus the
+    environment phase — {e not} the data values.  Two cycles with equal
+    signatures evolve identically at protocol level, so a repeated
+    signature proves periodicity. *)
+
+val signature_id : t -> int
+(** {!signature}, interned per engine: equal signatures map to equal small
+    ints, so periodicity detection can hash and store ints instead of
+    structural strings.  Ids are dense from 0 in first-seen order. *)
+
+val signature_intern_size : t -> int
+(** Number of distinct signatures interned so far — the memory the intern
+    table holds. *)
+
+val signature_intern_clear : t -> unit
+(** Drop the intern table (ids restart from 0).  Used by
+    {!Measure.find_repeat} to bound memory on aperiodic runs; any
+    previously returned id is invalidated. *)
 
 (** {1 Per-cycle wire-level snapshot (for trace rendering and monitors)} *)
 

@@ -8,56 +8,130 @@ type report = {
   deadlocked : bool;
 }
 
-let find_repeat ?(max_cycles = 100_000) engine =
+let default_signature_capacity = 1_000_000
+
+(* The detection loop only needs five operations of an engine, so the same
+   loop serves {!Engine} and {!Packed}. *)
+type driver = {
+  d_cycle : unit -> int;
+  d_step : unit -> unit;
+  d_sig_id : unit -> int;
+  d_intern_size : unit -> int;
+  d_intern_clear : unit -> unit;
+}
+
+let engine_driver e =
+  {
+    d_cycle = (fun () -> Engine.cycle e);
+    d_step = (fun () -> Engine.step e);
+    d_sig_id = (fun () -> Engine.signature_id e);
+    d_intern_size = (fun () -> Engine.signature_intern_size e);
+    d_intern_clear = (fun () -> Engine.signature_intern_clear e);
+  }
+
+let packed_driver p =
+  {
+    d_cycle = (fun () -> Packed.cycle p);
+    d_step = (fun () -> Packed.step p);
+    d_sig_id = (fun () -> Packed.signature_id p);
+    d_intern_size = (fun () -> Packed.signature_intern_size p);
+    d_intern_clear = (fun () -> Packed.signature_intern_clear p);
+  }
+
+(* Run until the skeleton signature repeats.  The transient is reported
+   relative to the cycle the search started at, so analyzing a warmed-up
+   engine means "periodic regime reached [transient] cycles from here" —
+   not from cycle 0, where the engine may long have left the transient.
+   Detection succeeds iff [transient + period <= max_cycles]: exactly
+   [max_cycles] steps are taken before giving up, not [max_cycles + 2].
+
+   Signatures are interned to dense ints by the engine, so [seen] maps
+   ints to cycles; when the intern table outgrows [signature_capacity]
+   both tables are dropped and detection restarts at the current cycle —
+   memory stays O(capacity) and the transient degrades to an upper bound
+   (a capacity below the period can no longer converge and runs into the
+   [max_cycles] budget instead). *)
+let find_repeat_driver ?(max_cycles = 100_000)
+    ?(signature_capacity = default_signature_capacity) d =
+  let start = d.d_cycle () in
   let seen = Hashtbl.create 1024 in
   let rec go () =
-    let s = Engine.signature engine in
-    match Hashtbl.find_opt seen s with
-    | Some first -> Some (first, Engine.cycle engine - first)
+    let id = d.d_sig_id () in
+    match Hashtbl.find_opt seen id with
+    | Some first -> Some (first - start, d.d_cycle () - first)
     | None ->
-        if Engine.cycle engine - 0 > max_cycles then None
+        if d.d_cycle () - start >= max_cycles then None
         else begin
-          Hashtbl.add seen s (Engine.cycle engine);
-          Engine.step engine;
+          if d.d_intern_size () > signature_capacity then begin
+            d.d_intern_clear ();
+            Hashtbl.reset seen
+          end
+          else Hashtbl.add seen id (d.d_cycle ());
+          d.d_step ();
           go ()
         end
   in
   go ()
 
-let transient_and_period ?max_cycles engine = find_repeat ?max_cycles engine
+let find_repeat ?max_cycles ?signature_capacity engine =
+  find_repeat_driver ?max_cycles ?signature_capacity (engine_driver engine)
 
-let analyze ?max_cycles engine =
-  match find_repeat ?max_cycles engine with
+let transient_and_period ?max_cycles ?signature_capacity engine =
+  find_repeat ?max_cycles ?signature_capacity engine
+
+let transient_and_period_packed ?max_cycles ?signature_capacity packed =
+  find_repeat_driver ?max_cycles ?signature_capacity (packed_driver packed)
+
+let analyze_core ~net ~find ~run ~fired ~sunk =
+  match find () with
   | None -> None
   | Some (transient, period) ->
-      let net = Engine.network engine in
       let shellish =
         List.filter
           (fun (n : Net.node) ->
-            match n.kind with Net.Shell _ | Net.Source _ -> true | Net.Sink _ -> false)
+            match n.kind with
+            | Net.Shell _ | Net.Source _ -> true
+            | Net.Sink _ -> false)
           (Net.nodes net)
       in
       let sinks = Net.sinks net in
-      let fired0 = List.map (fun (n : Net.node) -> (n.id, Engine.fired_count engine n.id)) shellish in
-      let sunk0 = List.map (fun (n : Net.node) -> (n.id, Engine.sink_count engine n.id)) sinks in
-      Engine.run engine ~cycles:period;
-      let rate before count =
-        float_of_int (count - before) /. float_of_int period
+      let fired0 =
+        List.map (fun (n : Net.node) -> (n.id, fired n.id)) shellish
       in
-      let node_throughput =
-        List.map
-          (fun (id, before) -> (id, rate before (Engine.fired_count engine id)))
-          fired0
-      in
+      let sunk0 = List.map (fun (n : Net.node) -> (n.id, sunk n.id)) sinks in
+      run period;
+      (* integer fired-count deltas over exactly one period: deadlock is
+         "nothing fired", decided on counters, never on float rates *)
+      let deltas = List.map (fun (id, before) -> (id, fired id - before)) fired0 in
+      let rate d = float_of_int d /. float_of_int period in
+      let node_throughput = List.map (fun (id, d) -> (id, rate d)) deltas in
       let sink_throughput =
-        List.map
-          (fun (id, before) -> (id, rate before (Engine.sink_count engine id)))
-          sunk0
+        List.map (fun (id, before) -> (id, rate (sunk id - before))) sunk0
       in
       let deadlocked =
-        node_throughput <> [] && List.for_all (fun (_, r) -> r = 0.) node_throughput
+        (* a degenerate net with nothing shell-like cannot deadlock *)
+        match deltas with
+        | [] -> false
+        | _ -> List.for_all (fun (_, d) -> d = 0) deltas
       in
       Some { transient; period; node_throughput; sink_throughput; deadlocked }
+
+let analyze ?max_cycles ?signature_capacity engine =
+  analyze_core
+    ~net:(Engine.network engine)
+    ~find:(fun () -> find_repeat ?max_cycles ?signature_capacity engine)
+    ~run:(fun cycles -> Engine.run engine ~cycles)
+    ~fired:(Engine.fired_count engine)
+    ~sunk:(Engine.sink_count engine)
+
+let analyze_packed ?max_cycles ?signature_capacity packed =
+  analyze_core
+    ~net:(Packed.network packed)
+    ~find:(fun () ->
+      find_repeat_driver ?max_cycles ?signature_capacity (packed_driver packed))
+    ~run:(fun cycles -> Packed.run packed ~cycles)
+    ~fired:(Packed.fired_count packed)
+    ~sunk:(Packed.sink_count packed)
 
 let system_throughput r =
   let net_rates = List.map snd r.node_throughput in

@@ -4,30 +4,57 @@
     finite-state machine at skeleton level, so its valid/stop behaviour is
     eventually periodic — the paper's "after a number of clock cycles ...
     each part of it behaves in a periodic fashion".  We detect the cycle by
-    hashing the skeleton signature, then measure throughput over exactly one
-    period. *)
+    interning the skeleton signature (a dense int per distinct state, via
+    {!Engine.signature_id} / {!Packed.signature_id}) and hashing ints, then
+    measure throughput over exactly one period.
+
+    The detection loop is engine-agnostic: the [_packed] variants run the
+    same algorithm on the flat {!Packed} engine — the hot path for large
+    generated topologies and parallel campaigns. *)
 
 type report = {
-  transient : int;  (** first cycle of the periodic regime *)
+  transient : int;
+      (** cycles from the start of the analysis to the periodic regime.
+          Relative to the engine's state when the analysis began, {e not}
+          to cycle 0 — analyzing a warmed-up engine reports the residual
+          transient.  An upper bound when [signature_capacity] forced a
+          mid-run restart of the detection. *)
   period : int;
   node_throughput : (Topology.Network.node_id * float) list;
       (** firings per cycle over one period, for shells and sources *)
   sink_throughput : (Topology.Network.node_id * float) list;
       (** valid tokens consumed per cycle over one period *)
   deadlocked : bool;
-      (** no shell or source fires at all during the periodic regime *)
+      (** no shell or source fired at all during the measured period —
+          decided on integer fired-count deltas, never on float rates.
+          [false] for degenerate nets with no shell-like node. *)
 }
 
-val analyze : ?max_cycles:int -> Engine.t -> report option
-(** Runs the engine from its current state until the skeleton state repeats
-    (or [max_cycles], default 100_000, elapse — in which case [None]).
-    The engine is left somewhere inside the periodic regime. *)
+val analyze :
+  ?max_cycles:int -> ?signature_capacity:int -> Engine.t -> report option
+(** Runs the engine from its current state until the skeleton state repeats,
+    then measures one period.  Gives up (returning [None]) once [max_cycles]
+    steps (default 100_000) were taken without a repeat — detection succeeds
+    iff [transient + period <= max_cycles].  [signature_capacity] (default
+    1_000_000) bounds the number of distinct signatures remembered; when
+    exceeded, the tables are dropped and detection restarts at the current
+    cycle, keeping memory O(capacity) at the price of [transient] becoming
+    an upper bound.  The engine is left somewhere inside the periodic
+    regime. *)
+
+val analyze_packed :
+  ?max_cycles:int -> ?signature_capacity:int -> Packed.t -> report option
+(** {!analyze} over the packed engine. *)
 
 val system_throughput : report -> float
 (** Minimum firing rate over all shells and sources — the figure the paper
     calls system throughput (in a connected steady state all nodes settle
     to the same rate; the minimum is the conservative reading). *)
 
-val transient_and_period : ?max_cycles:int -> Engine.t -> (int * int) option
+val transient_and_period :
+  ?max_cycles:int -> ?signature_capacity:int -> Engine.t -> (int * int) option
+
+val transient_and_period_packed :
+  ?max_cycles:int -> ?signature_capacity:int -> Packed.t -> (int * int) option
 
 val pp_report : Topology.Network.t -> Format.formatter -> report -> unit

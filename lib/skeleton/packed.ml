@@ -1,0 +1,879 @@
+module Token = Lid.Token
+module Net = Topology.Network
+module RS = Lid.Relay_station
+module Bitset = Bitvec.Bitset
+
+(* Raw-word bit operations over a plane's backing array ([Bitset.words]).
+   This compiler has no cross-module inlining, so every [Bitset.get] in the
+   hot loops would cost a call (~2ns) per wire read; these same-module
+   twins inline (the library compiles with [-inline 200]).  The layout
+   constants come from [Bitset] itself, so the two cannot drift. *)
+let bget (w : int array) i =
+  Array.unsafe_get w (i lsr Bitset.word_shift)
+  lsr (i land Bitset.bit_mask)
+  land 1
+  = 1
+
+let bset (w : int array) i =
+  let k = i lsr Bitset.word_shift in
+  Array.unsafe_set w k
+    (Array.unsafe_get w k lor (1 lsl (i land Bitset.bit_mask)))
+
+let bclr (w : int array) i =
+  let k = i lsr Bitset.word_shift in
+  Array.unsafe_set w k
+    (Array.unsafe_get w k land lnot (1 lsl (i land Bitset.bit_mask)))
+
+let bassign w i b = if b then bset w i else bclr w i
+
+(* Node kind tags. *)
+let k_shell = 0
+let k_source = 1
+let k_sink = 2
+
+(* FNV-1a over the signature words: the polymorphic [Hashtbl.hash] only
+   inspects a bounded prefix, which degenerates on wide networks whose
+   signatures differ late in the word vector. *)
+module Sig_key = struct
+  type t = int array
+
+  let equal (a : int array) b = a = b
+
+  let hash a =
+    let h = ref 0x811c9dc5 in
+    Array.iter (fun w -> h := (!h lxor w) * 0x01000193 land max_int) a;
+    !h
+end
+
+module Sig_tbl = Hashtbl.Make (Sig_key)
+
+type t = {
+  net : Net.t;
+  flavour : Lid.Protocol.flavour;
+  optimized : bool;
+  env_period : int;
+  (* --- compiled topology (immutable) --- *)
+  n_nodes : int;
+  n_edges : int;
+  kind : int array; (* node -> k_shell / k_source / k_sink *)
+  names : string array;
+  pearls : Lid.Pearl.t option array;
+  pat : bool array array; (* node -> activity word (sources/sinks), [||] else *)
+  src_start : int array;
+  in_off : int array; (* node -> offset into in_last_seg (n_nodes + 1) *)
+  in_last_seg : int array; (* flat: consumer-side segment index per in port *)
+  out_off : int array; (* node -> offset into out slots (n_nodes + 1) *)
+  out_edge : int array; (* flat: edge id per out port *)
+  e_src_slot : int array; (* edge -> out slot of its producer port *)
+  e_dst_node : int array;
+  st_off : int array; (* edge -> offset into station arrays (n_edges + 1) *)
+  st_full : Bitset.t; (* station -> is a full station *)
+  seg_off : int array; (* edge -> offset into segment arrays (n_edges + 1) *)
+  (* --- registered state --- *)
+  out_valid : Bitset.t; (* shell output buffers and source buffers *)
+  out_val : int array;
+  pearl_state : int array array; (* node -> pearl state ([||] for non-shells) *)
+  st_v0 : Bitset.t; (* full: main valid; half: hold valid *)
+  st_v1 : Bitset.t; (* full: aux valid;  half: sreg *)
+  st_d0 : int array;
+  st_d1 : int array;
+  src_next : int array;
+  fired : int array;
+  gated : int array;
+  starved : int array;
+  snk_count : int array;
+  snk_vals : int list array; (* consumed, reversed *)
+  mutable cycle : int;
+  mutable hooks : Engine.fault_hooks option;
+  (* --- per-cycle scratch --- *)
+  seg_valid : Bitset.t; (* forward wire per channel segment *)
+  seg_val : int array;
+  fire : Bytes.t; (* 0 unknown, 1 in progress, 2 no, 3 yes *)
+  stop_known : Bytes.t;
+  out_stop : Bitset.t; (* stop observed per out slot *)
+  st_stop_in : Bitset.t; (* commit scratch: stop entering each station *)
+  in_scratch : int array array; (* shell -> reused pearl-input buffer *)
+  (* cached backing words of the planes above, addressed via [bget] &c. *)
+  w_out_valid : int array;
+  w_st_full : int array;
+  w_st_v0 : int array;
+  w_st_v1 : int array;
+  w_seg_valid : int array;
+  w_out_stop : int array;
+  w_st_stop_in : int array;
+  (* --- signature interning --- *)
+  sig_words : int array;
+  sig_intern : int Sig_tbl.t;
+  mutable sig_next : int;
+}
+
+let pattern_word p =
+  let n = Topology.Pattern.period p in
+  Array.init n (fun cycle -> Topology.Pattern.active p ~cycle)
+
+let create ?(flavour = Lid.Protocol.Optimized) net =
+  let nodes = Array.of_list (Net.nodes net) in
+  let edges = Array.of_list (Net.edges net) in
+  let n_nodes = Array.length nodes and n_edges = Array.length edges in
+  let kind =
+    Array.map
+      (fun (n : Net.node) ->
+        match n.kind with
+        | Net.Shell _ -> k_shell
+        | Net.Source _ -> k_source
+        | Net.Sink _ -> k_sink)
+      nodes
+  in
+  let offsets count =
+    let off = Array.make (n_nodes + 1) 0 in
+    for i = 0 to n_nodes - 1 do
+      off.(i + 1) <- off.(i) + count i
+    done;
+    off
+  in
+  let in_off = offsets (fun i -> Array.length (Net.in_edges net i)) in
+  let out_off = offsets (fun i -> Array.length (Net.out_edges net i)) in
+  let st_off = Array.make (n_edges + 1) 0 in
+  let seg_off = Array.make (n_edges + 1) 0 in
+  Array.iteri
+    (fun i (e : Net.edge) ->
+      let m = List.length e.stations in
+      st_off.(i + 1) <- st_off.(i) + m;
+      seg_off.(i + 1) <- seg_off.(i) + m + 1)
+    edges;
+  let n_st = st_off.(n_edges) and n_seg = seg_off.(n_edges) in
+  let st_full = Bitset.create n_st in
+  Array.iteri
+    (fun i (e : Net.edge) ->
+      List.iteri
+        (fun j k -> if k = RS.Full then Bitset.set st_full (st_off.(i) + j))
+        e.stations)
+    edges;
+  let in_last_seg = Array.make in_off.(n_nodes) 0 in
+  let out_edge = Array.make out_off.(n_nodes) 0 in
+  for i = 0 to n_nodes - 1 do
+    Array.iteri
+      (fun p (e : Net.edge) -> in_last_seg.(in_off.(i) + p) <- seg_off.(e.id + 1) - 1)
+      (Net.in_edges net i);
+    Array.iteri
+      (fun p (e : Net.edge) -> out_edge.(out_off.(i) + p) <- e.id)
+      (Net.out_edges net i)
+  done;
+  let pearls =
+    Array.map
+      (fun (n : Net.node) -> match n.kind with Net.Shell p -> Some p | _ -> None)
+      nodes
+  in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | None -> ()
+      | Some (p : Lid.Pearl.t) ->
+          let n_in = in_off.(i + 1) - in_off.(i)
+          and n_out = out_off.(i + 1) - out_off.(i) in
+          if p.n_inputs <> n_in || p.n_outputs <> n_out then
+            invalid_arg
+              (Printf.sprintf
+                 "Packed.create: pearl %s wants %d->%d but node %S has %d->%d"
+                 p.name p.n_inputs p.n_outputs nodes.(i).name n_in n_out))
+    pearls;
+  let out_valid = Bitset.create out_off.(n_nodes) in
+  let st_v0 = Bitset.create n_st and st_v1 = Bitset.create n_st in
+  let seg_valid = Bitset.create n_seg in
+  let out_stop = Bitset.create out_off.(n_nodes) in
+  let st_stop_in = Bitset.create n_st in
+  let out_words = Bitset.n_words out_valid in
+  let st_words = Bitset.n_words st_full in
+  let t =
+    {
+      net;
+      flavour;
+      optimized = (flavour = Lid.Protocol.Optimized);
+      env_period = Net.env_period net;
+      n_nodes;
+      n_edges;
+      kind;
+      names = Array.map (fun (n : Net.node) -> n.name) nodes;
+      pearls;
+      pat =
+        Array.map
+          (fun (n : Net.node) ->
+            match n.kind with
+            | Net.Source { pattern; _ } | Net.Sink { pattern } ->
+                pattern_word pattern
+            | Net.Shell _ -> [||])
+          nodes;
+      src_start =
+        Array.map
+          (fun (n : Net.node) ->
+            match n.kind with Net.Source { start; _ } -> start | _ -> 0)
+          nodes;
+      in_off;
+      in_last_seg;
+      out_off;
+      out_edge;
+      e_src_slot =
+        Array.map
+          (fun (e : Net.edge) -> out_off.(e.src.node) + e.src.port)
+          edges;
+      e_dst_node = Array.map (fun (e : Net.edge) -> e.dst.node) edges;
+      st_off;
+      st_full;
+      seg_off;
+      out_valid;
+      out_val = Array.make out_off.(n_nodes) 0;
+      pearl_state = Array.make n_nodes [||];
+      st_v0;
+      st_v1;
+      st_d0 = Array.make n_st 0;
+      st_d1 = Array.make n_st 0;
+      src_next = Array.make n_nodes 0;
+      fired = Array.make n_nodes 0;
+      gated = Array.make n_nodes 0;
+      starved = Array.make n_nodes 0;
+      snk_count = Array.make n_nodes 0;
+      snk_vals = Array.make n_nodes [];
+      cycle = 0;
+      hooks = None;
+      seg_valid;
+      seg_val = Array.make n_seg 0;
+      fire = Bytes.create n_nodes;
+      stop_known = Bytes.create n_nodes;
+      out_stop;
+      st_stop_in;
+      in_scratch =
+        Array.init n_nodes (fun i ->
+            if kind.(i) = k_shell then
+              Array.make (in_off.(i + 1) - in_off.(i)) 0
+            else [||]);
+      w_out_valid = Bitset.words out_valid;
+      w_st_full = Bitset.words st_full;
+      w_st_v0 = Bitset.words st_v0;
+      w_st_v1 = Bitset.words st_v1;
+      w_seg_valid = Bitset.words seg_valid;
+      w_out_stop = Bitset.words out_stop;
+      w_st_stop_in = Bitset.words st_stop_in;
+      sig_words = Array.make (out_words + (2 * st_words) + 1) 0;
+      sig_intern = Sig_tbl.create 1024;
+      sig_next = 0;
+    }
+  in
+  (* initial state: shell buffers valid with the pearl's initial output,
+     source buffers valid with [start], stations empty *)
+  let init t =
+    Bitset.fill_false t.st_v0;
+    Bitset.fill_false t.st_v1;
+    Array.fill t.st_d0 0 n_st 0;
+    Array.fill t.st_d1 0 n_st 0;
+    for i = 0 to n_nodes - 1 do
+      t.fired.(i) <- 0;
+      t.gated.(i) <- 0;
+      t.starved.(i) <- 0;
+      t.snk_count.(i) <- 0;
+      t.snk_vals.(i) <- [];
+      (match t.pearls.(i) with
+      | Some p ->
+          t.pearl_state.(i) <- Array.copy p.Lid.Pearl.init_state;
+          Array.iteri
+            (fun o v ->
+              Bitset.set t.out_valid (out_off.(i) + o);
+              t.out_val.(out_off.(i) + o) <- v)
+            p.Lid.Pearl.initial_output
+      | None -> ());
+      if t.kind.(i) = k_source then begin
+        let slot = out_off.(i) in
+        Bitset.set t.out_valid slot;
+        t.out_val.(slot) <- t.src_start.(i);
+        t.src_next.(i) <- t.src_start.(i) + 1
+      end
+    done;
+    t.cycle <- 0
+  in
+  init t;
+  t
+
+let network t = t.net
+let flavour t = t.flavour
+let cycle t = t.cycle
+let set_fault_hooks t hooks = t.hooks <- hooks
+
+let reset t =
+  Bitset.fill_false t.out_valid;
+  Array.fill t.out_val 0 (Array.length t.out_val) 0;
+  Bitset.fill_false t.st_v0;
+  Bitset.fill_false t.st_v1;
+  Array.fill t.st_d0 0 (Array.length t.st_d0) 0;
+  Array.fill t.st_d1 0 (Array.length t.st_d1) 0;
+  for i = 0 to t.n_nodes - 1 do
+    t.fired.(i) <- 0;
+    t.gated.(i) <- 0;
+    t.starved.(i) <- 0;
+    t.snk_count.(i) <- 0;
+    t.snk_vals.(i) <- [];
+    (match t.pearls.(i) with
+    | Some p ->
+        t.pearl_state.(i) <- Array.copy p.Lid.Pearl.init_state;
+        Array.iteri
+          (fun o v ->
+            Bitset.set t.out_valid (t.out_off.(i) + o);
+            t.out_val.(t.out_off.(i) + o) <- v)
+          p.Lid.Pearl.initial_output
+    | None -> ());
+    if t.kind.(i) = k_source then begin
+      let slot = t.out_off.(i) in
+      Bitset.set t.out_valid slot;
+      t.out_val.(slot) <- t.src_start.(i);
+      t.src_next.(i) <- t.src_start.(i) + 1
+    end
+  done;
+  t.cycle <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Per-cycle wire resolution.                                          *)
+
+let pat_active t node =
+  let p = Array.unsafe_get t.pat node in
+  let n = Array.length p in
+  (* period-1 patterns ([always]/[never]) are the common case; skip the
+     integer division for them *)
+  if n = 1 then Array.unsafe_get p 0 else Array.unsafe_get p (t.cycle mod n)
+
+(* What station [j] drives on its output this cycle, given the (already
+   resolved) incoming segment.  Mirrors [Relay_station.present]. *)
+let station_present t j ~in_v ~in_d =
+  if Bitset.get t.st_full j then (Bitset.get t.st_v0 j, t.st_d0.(j))
+  else if Bitset.get t.st_v0 j then (true, t.st_d0.(j))
+  else if Bitset.get t.st_v1 j then (false, 0)
+  else (in_v, in_d)
+
+let token_of v d = if v then Token.valid d else Token.void
+let of_token tok = match tok with Token.Valid d -> (true, d) | Token.Void -> (false, 0)
+
+let forward t =
+  match t.hooks with
+  | None ->
+      (* allocation-free: each segment is derived from the one before it,
+         read back from the planes just written *)
+      let wsv = t.w_seg_valid
+      and wov = t.w_out_valid
+      and wfull = t.w_st_full
+      and wv0 = t.w_st_v0
+      and wv1 = t.w_st_v1 in
+      let seg_off = t.seg_off
+      and st_off = t.st_off
+      and e_src_slot = t.e_src_slot
+      and out_val = t.out_val
+      and seg_val = t.seg_val
+      and st_d0 = t.st_d0 in
+      for e = 0 to t.n_edges - 1 do
+        let k0 = Array.unsafe_get seg_off e in
+        let slot = Array.unsafe_get e_src_slot e in
+        bassign wsv k0 (bget wov slot);
+        Array.unsafe_set seg_val k0 (Array.unsafe_get out_val slot);
+        let s0 = Array.unsafe_get st_off e in
+        for j = s0 to Array.unsafe_get st_off (e + 1) - 1 do
+          let k = k0 + (j - s0) + 1 in
+          if bget wfull j then begin
+            (* Moore: drives main regardless of the incoming segment *)
+            bassign wsv k (bget wv0 j);
+            Array.unsafe_set seg_val k (Array.unsafe_get st_d0 j)
+          end
+          else if bget wv0 j then begin
+            (* half, holding: drives the held datum *)
+            bset wsv k;
+            Array.unsafe_set seg_val k (Array.unsafe_get st_d0 j)
+          end
+          else if bget wv1 j then
+            (* half, sreg set: pass-through suppressed *)
+            bclr wsv k
+          else begin
+            (* half, empty: combinational pass-through *)
+            bassign wsv k (bget wsv (k - 1));
+            Array.unsafe_set seg_val k (Array.unsafe_get seg_val (k - 1))
+          end
+        done
+      done
+  | Some h ->
+      for e = 0 to t.n_edges - 1 do
+        let k0 = t.seg_off.(e) in
+        let slot = t.e_src_slot.(e) in
+        let tok0 =
+          h.fh_forward ~cycle:t.cycle ~edge:e ~seg:0
+            (token_of (Bitset.get t.out_valid slot) t.out_val.(slot))
+        in
+        let v, d = of_token tok0 in
+        Bitset.assign t.seg_valid k0 v;
+        t.seg_val.(k0) <- d;
+        let cv = ref v and cd = ref d in
+        for j = t.st_off.(e) to t.st_off.(e + 1) - 1 do
+          let pv, pd = station_present t j ~in_v:!cv ~in_d:!cd in
+          let seg = j - t.st_off.(e) + 1 in
+          let tok =
+            h.fh_forward ~cycle:t.cycle ~edge:e ~seg (token_of pv pd)
+          in
+          let v', d' = of_token tok in
+          let k = k0 + seg in
+          Bitset.assign t.seg_valid k v';
+          t.seg_val.(k) <- d';
+          cv := v';
+          cd := d'
+        done
+      done
+
+let hook_stop t ~edge ~boundary raw =
+  match t.hooks with
+  | None -> raw
+  | Some h -> h.fh_stop ~cycle:t.cycle ~edge ~boundary raw
+
+(* Mirrors [Relay_station.stop_upstream]. *)
+let station_stop_upstream t j =
+  if bget t.w_st_full j then bget t.w_st_v1 j
+  else bget t.w_st_v0 j || bget t.w_st_v1 j
+
+(* Recursive fire/stop resolution — the same fixpoint [Engine.fire_of]
+   computes, on dense ids. *)
+let rec fire_of t node =
+  match Bytes.unsafe_get t.fire node with
+  | '\003' -> true
+  | '\002' -> false
+  | '\001' ->
+      raise
+        (Engine.Combinational_stop_cycle
+           (Printf.sprintf
+              "combinational stop cycle through %S: a loop of station-less \
+               channels between shells"
+              t.names.(node)))
+  | _ ->
+      Bytes.unsafe_set t.fire node '\001';
+      ensure_out_stops t node;
+      let f =
+        let knd = Array.unsafe_get t.kind node in
+        if knd = k_shell then begin
+          (* all inputs valid ... *)
+          let wsv = t.w_seg_valid in
+          let all_valid = ref true in
+          for p = Array.unsafe_get t.in_off node
+              to Array.unsafe_get t.in_off (node + 1) - 1 do
+            if not (bget wsv (Array.unsafe_get t.in_last_seg p)) then
+              all_valid := false
+          done;
+          (* ... and no relevant stop on the outputs *)
+          let wos = t.w_out_stop and wov = t.w_out_valid in
+          let gated = ref false in
+          for p = Array.unsafe_get t.out_off node
+              to Array.unsafe_get t.out_off (node + 1) - 1 do
+            if bget wos p && ((not t.optimized) || bget wov p) then
+              gated := true
+          done;
+          !all_valid && not !gated
+        end
+        else if knd = k_source then begin
+          let slot = Array.unsafe_get t.out_off node in
+          let gated =
+            bget t.w_out_stop slot
+            && ((not t.optimized) || bget t.w_out_valid slot)
+          in
+          pat_active t node && not gated
+        end
+        else false
+      in
+      Bytes.unsafe_set t.fire node (if f then '\003' else '\002');
+      f
+
+and ensure_out_stops t node =
+  if Bytes.unsafe_get t.stop_known node = '\000' then begin
+    Bytes.unsafe_set t.stop_known node '\001';
+    match t.hooks with
+    | None ->
+        (* unhooked fast path: an edge with stations answers from its first
+           station's planes directly (no recursion possible there) *)
+        let wos = t.w_out_stop
+        and wfull = t.w_st_full
+        and wv0 = t.w_st_v0
+        and wv1 = t.w_st_v1 in
+        for p = Array.unsafe_get t.out_off node
+            to Array.unsafe_get t.out_off (node + 1) - 1 do
+          let e = Array.unsafe_get t.out_edge p in
+          let s0 = Array.unsafe_get t.st_off e in
+          let stop =
+            if Array.unsafe_get t.st_off (e + 1) > s0 then
+              if bget wfull s0 then bget wv1 s0
+              else bget wv0 s0 || bget wv1 s0
+            else dst_stop t e
+          in
+          bassign wos p stop
+        done
+    | Some _ ->
+        for p = Array.unsafe_get t.out_off node
+            to Array.unsafe_get t.out_off (node + 1) - 1 do
+          bassign t.w_out_stop p
+            (consumer_stop t (Array.unsafe_get t.out_edge p))
+        done
+  end
+
+and consumer_stop t e =
+  let raw =
+    let s0 = Array.unsafe_get t.st_off e in
+    if Array.unsafe_get t.st_off (e + 1) > s0 then station_stop_upstream t s0
+    else dst_stop t e
+  in
+  hook_stop t ~edge:e ~boundary:0 raw
+
+and dst_stop t e =
+  let dn = Array.unsafe_get t.e_dst_node e in
+  if Array.unsafe_get t.kind dn = k_sink then pat_active t dn
+  else if fire_of t dn then false
+  else if not t.optimized then true
+  else bget t.w_seg_valid (Array.unsafe_get t.seg_off (e + 1) - 1)
+
+let resolve t =
+  Bytes.fill t.fire 0 t.n_nodes '\000';
+  Bytes.fill t.stop_known 0 t.n_nodes '\000';
+  forward t;
+  for node = 0 to t.n_nodes - 1 do
+    if t.kind.(node) <> k_sink then ignore (fire_of t node)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fault-hook materialization of station states.
+
+   [fh_station] transforms a typed [Relay_station.state]; the packed
+   arrays are the only representation we keep, so under injection we
+   rebuild the state through the station's own public step function,
+   hand it to the hook, and read the result back.  Only runs when hooks
+   are installed. *)
+
+let state_of_packed t j =
+  let v0 = Bitset.get t.st_v0 j
+  and v1 = Bitset.get t.st_v1 j
+  and d0 = t.st_d0.(j)
+  and d1 = t.st_d1.(j) in
+  if Bitset.get t.st_full j then begin
+    let s = RS.initial RS.Full in
+    let s =
+      if v0 then RS.step s ~input:(Token.valid d0) ~stop_in:false else s
+    in
+    if v1 then RS.step s ~input:(Token.valid d1) ~stop_in:true else s
+  end
+  else
+    let s = RS.initial RS.Half in
+    match (v0, v1) with
+    | false, false -> s
+    | true, false ->
+        RS.step ~flavour:Lid.Protocol.Optimized s ~input:(Token.valid d0)
+          ~stop_in:true
+    | true, true ->
+        RS.step ~flavour:Lid.Protocol.Original s ~input:(Token.valid d0)
+          ~stop_in:true
+    | false, true ->
+        RS.step ~flavour:Lid.Protocol.Original s ~input:Token.void ~stop_in:true
+
+let packed_of_state t j s =
+  if Bitset.get t.st_full j then begin
+    let occ = RS.occupancy s in
+    Bitset.assign t.st_v0 j (occ >= 1);
+    Bitset.assign t.st_v1 j (occ = 2);
+    match RS.tokens s with
+    | [] -> ()
+    | [ m ] -> t.st_d0.(j) <- Token.value m
+    | m :: a :: _ ->
+        t.st_d0.(j) <- Token.value m;
+        t.st_d1.(j) <- Token.value a
+  end
+  else begin
+    Bitset.assign t.st_v0 j (RS.occupancy s = 1);
+    Bitset.assign t.st_v1 j (RS.sreg s);
+    match RS.tokens s with [] -> () | h :: _ -> t.st_d0.(j) <- Token.value h
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clock edge.                                                         *)
+
+(* Unhooked fast path: one upstream walk per chain.  [stop_in] of station
+   [j] is decided by the pre-step state of station [j+1], so stepping the
+   chain from the consumer end lets each station's pre-step state be read
+   once — it serves as its own transition input and as the next (upstream)
+   station's stop — with no [st_stop_in] scratch pass. *)
+let commit_stations_fast t =
+  let wfull = t.w_st_full
+  and wv0 = t.w_st_v0
+  and wv1 = t.w_st_v1
+  and wsv = t.w_seg_valid in
+  let st_off = t.st_off
+  and st_d0 = t.st_d0
+  and st_d1 = t.st_d1
+  and seg_val = t.seg_val in
+  for e = 0 to t.n_edges - 1 do
+    let s0 = Array.unsafe_get st_off e
+    and s1 = Array.unsafe_get st_off (e + 1) in
+    if s1 > s0 then begin
+      let k0 = Array.unsafe_get t.seg_off e in
+      let stop_in = ref (dst_stop t e) in
+      for j = s1 - 1 downto s0 do
+        let full = bget wfull j in
+        let v0 = bget wv0 j and v1 = bget wv1 j in
+        let upstream_stop = if full then v1 else v0 || v1 in
+        let k = k0 + (j - s0) in
+        let in_v = bget wsv k and in_d = Array.unsafe_get seg_val k in
+        let stop = !stop_in in
+        if full then begin
+          (* mirrors [Relay_station.step] for full stations *)
+          let take = in_v && not v1 in
+          let consumed = v0 && not stop in
+          if not v0 then begin
+            bassign wv0 j take;
+            if take then Array.unsafe_set st_d0 j in_d;
+            bclr wv1 j
+          end
+          else if consumed && v1 then begin
+            Array.unsafe_set st_d0 j (Array.unsafe_get st_d1 j);
+            bclr wv1 j
+          end
+          else if consumed (* aux void *) then begin
+            bassign wv0 j take;
+            if take then Array.unsafe_set st_d0 j in_d;
+            bclr wv1 j
+          end
+          else if not v1 (* held, aux free *) then begin
+            bassign wv1 j take;
+            if take then Array.unsafe_set st_d1 j in_d
+          end
+          (* held, aux occupied: unchanged *)
+        end
+        else begin
+          (* mirrors [Relay_station.step] for half stations *)
+          let sreg' = (not t.optimized) && stop in
+          if v0 then begin
+            if not stop then bclr wv0 j
+          end
+          else if (not v1) && in_v && stop then begin
+            bset wv0 j;
+            Array.unsafe_set st_d0 j in_d
+          end
+          else bclr wv0 j;
+          bassign wv1 j sreg'
+        end;
+        stop_in := upstream_stop
+      done
+    end
+  done
+
+let commit_stations_hooked t =
+  let wfull = t.w_st_full
+  and wv0 = t.w_st_v0
+  and wv1 = t.w_st_v1
+  and wsv = t.w_seg_valid
+  and wsi = t.w_st_stop_in in
+  let st_off = t.st_off
+  and st_d0 = t.st_d0
+  and st_d1 = t.st_d1
+  and seg_val = t.seg_val in
+  for e = 0 to t.n_edges - 1 do
+    let s0 = Array.unsafe_get st_off e
+    and s1 = Array.unsafe_get st_off (e + 1) in
+    if s1 > s0 then begin
+      (* stops observed this cycle, from pre-step state of the chain *)
+      for j = s0 to s1 - 1 do
+        let raw =
+          if j = s1 - 1 then dst_stop t e
+          else if bget wfull (j + 1) then bget wv1 (j + 1)
+          else bget wv0 (j + 1) || bget wv1 (j + 1)
+        in
+        bassign wsi j (hook_stop t ~edge:e ~boundary:(j - s0 + 1) raw)
+      done;
+      let k0 = Array.unsafe_get t.seg_off e in
+      for j = s0 to s1 - 1 do
+        let k = k0 + (j - s0) in
+        let in_v = bget wsv k and in_d = Array.unsafe_get seg_val k in
+        let stop_in = bget wsi j in
+        if bget wfull j then begin
+          (* mirrors [Relay_station.step] for full stations *)
+          let main_v = bget wv0 j and aux_v = bget wv1 j in
+          let take = in_v && not aux_v in
+          let consumed = main_v && not stop_in in
+          if not main_v then begin
+            bassign wv0 j take;
+            if take then Array.unsafe_set st_d0 j in_d;
+            bclr wv1 j
+          end
+          else if consumed && aux_v then begin
+            Array.unsafe_set st_d0 j (Array.unsafe_get st_d1 j);
+            bclr wv1 j
+          end
+          else if consumed (* aux void *) then begin
+            bassign wv0 j take;
+            if take then Array.unsafe_set st_d0 j in_d;
+            bclr wv1 j
+          end
+          else if not aux_v (* held, aux free *) then begin
+            bassign wv1 j take;
+            if take then Array.unsafe_set st_d1 j in_d
+          end
+          (* held, aux occupied: unchanged *)
+        end
+        else begin
+          (* mirrors [Relay_station.step] for half stations *)
+          let hold_v = bget wv0 j and sreg = bget wv1 j in
+          let sreg' = (not t.optimized) && stop_in in
+          if hold_v then begin
+            if not stop_in then bclr wv0 j
+          end
+          else if (not sreg) && in_v && stop_in then begin
+            bset wv0 j;
+            Array.unsafe_set st_d0 j in_d
+          end
+          else bclr wv0 j;
+          bassign wv1 j sreg'
+        end
+      done;
+      match t.hooks with
+      | None -> ()
+      | Some h ->
+          for j = s0 to s1 - 1 do
+            let s' =
+              h.fh_station ~cycle:t.cycle ~edge:e ~station:(j - s0)
+                (state_of_packed t j)
+            in
+            packed_of_state t j s'
+          done
+    end
+  done
+
+let commit_stations t =
+  match t.hooks with
+  | None -> commit_stations_fast t
+  | Some _ -> commit_stations_hooked t
+
+let commit t =
+  commit_stations t;
+  let wov = t.w_out_valid and wos = t.w_out_stop and wsv = t.w_seg_valid in
+  let out_off = t.out_off
+  and in_off = t.in_off
+  and in_last_seg = t.in_last_seg
+  and out_val = t.out_val
+  and seg_val = t.seg_val in
+  for node = 0 to t.n_nodes - 1 do
+    let knd = Array.unsafe_get t.kind node in
+    if knd = k_shell then begin
+      let o0 = Array.unsafe_get out_off node
+      and o1 = Array.unsafe_get out_off (node + 1) in
+      (* every non-sink was resolved in [resolve]; read the memo directly *)
+      if Bytes.unsafe_get t.fire node = '\003' then begin
+        t.fired.(node) <- t.fired.(node) + 1;
+        let p =
+          match t.pearls.(node) with Some p -> p | None -> assert false
+        in
+        (* refill the preallocated input buffer: the per-fire [Array.init]
+           (closure + array per shell per cycle) dominated the GC bill *)
+        let inputs = Array.unsafe_get t.in_scratch node in
+        let i0 = Array.unsafe_get in_off node in
+        for i = 0 to Array.length inputs - 1 do
+          Array.unsafe_set inputs i
+            (Array.unsafe_get seg_val (Array.unsafe_get in_last_seg (i0 + i)))
+        done;
+        (* arity was validated in [create]; call the pearl directly *)
+        let state', outputs = p.Lid.Pearl.f t.pearl_state.(node) inputs in
+        if Array.length outputs <> o1 - o0 then
+          invalid_arg
+            (Printf.sprintf "Pearl.apply %s: output arity" p.Lid.Pearl.name);
+        t.pearl_state.(node) <- state';
+        for o = 0 to o1 - o0 - 1 do
+          bset wov (o0 + o);
+          Array.unsafe_set out_val (o0 + o) (Array.unsafe_get outputs o)
+        done
+      end
+      else begin
+        (* attribute the lost cycle: back-pressure beats starvation *)
+        let stopped = ref false in
+        for p = o0 to o1 - 1 do
+          if bget wos p && ((not t.optimized) || bget wov p) then
+            stopped := true
+        done;
+        if !stopped then t.gated.(node) <- t.gated.(node) + 1
+        else begin
+          let all_valid = ref true in
+          for p = Array.unsafe_get in_off node
+              to Array.unsafe_get in_off (node + 1) - 1 do
+            if not (bget wsv (Array.unsafe_get in_last_seg p)) then
+              all_valid := false
+          done;
+          if not !all_valid then t.starved.(node) <- t.starved.(node) + 1
+        end;
+        (* a valid-and-stopped output survives; everything else voids *)
+        for p = o0 to o1 - 1 do
+          if not (bget wov p && bget wos p) then bclr wov p
+        done
+      end
+    end
+    else if knd = k_source then begin
+      let slot = Array.unsafe_get out_off node in
+      if Bytes.unsafe_get t.fire node = '\003' then begin
+        t.fired.(node) <- t.fired.(node) + 1;
+        bset wov slot;
+        Array.unsafe_set out_val slot t.src_next.(node);
+        t.src_next.(node) <- t.src_next.(node) + 1
+      end
+      else if bget wov slot && bget wos slot then ()
+      else bclr wov slot
+    end
+    else begin
+      (* sink *)
+      let k = Array.unsafe_get in_last_seg (Array.unsafe_get in_off node) in
+      if bget wsv k && not (pat_active t node) then begin
+        t.snk_vals.(node) <- Array.unsafe_get seg_val k :: t.snk_vals.(node);
+        t.snk_count.(node) <- t.snk_count.(node) + 1
+      end
+    end
+  done;
+  t.cycle <- t.cycle + 1
+
+let step t =
+  resolve t;
+  commit t
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Observation.                                                        *)
+
+let fired_count t node = t.fired.(node)
+let gated_count t node = t.gated.(node)
+let starved_count t node = t.starved.(node)
+
+let sink_values t node =
+  if t.kind.(node) <> k_sink then invalid_arg "Packed.sink_values: not a sink";
+  List.rev t.snk_vals.(node)
+
+let sink_count t node =
+  if t.kind.(node) <> k_sink then invalid_arg "Packed.sink_count: not a sink";
+  t.snk_count.(node)
+
+(* ------------------------------------------------------------------ *)
+(* Interned signatures.                                                *)
+
+let signature_id t =
+  let w = t.sig_words in
+  let pos = ref 0 in
+  Bitset.blit_words t.out_valid w !pos;
+  pos := !pos + Bitset.n_words t.out_valid;
+  Bitset.blit_words t.st_v0 w !pos;
+  pos := !pos + Bitset.n_words t.st_v0;
+  Bitset.blit_words t.st_v1 w !pos;
+  pos := !pos + Bitset.n_words t.st_v1;
+  w.(!pos) <- t.cycle mod t.env_period;
+  match Sig_tbl.find_opt t.sig_intern w with
+  | Some id -> id
+  | None ->
+      let id = t.sig_next in
+      t.sig_next <- id + 1;
+      Sig_tbl.add t.sig_intern (Array.copy w) id;
+      id
+
+let signature_intern_size t = Sig_tbl.length t.sig_intern
+
+let signature_intern_clear t =
+  Sig_tbl.reset t.sig_intern;
+  t.sig_next <- 0

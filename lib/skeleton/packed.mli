@@ -1,0 +1,69 @@
+(** Packed skeleton engine: the steady-state measurement hot path.
+
+    {!Engine} is the instrumented reference simulator: per-cycle snapshots,
+    monitors, readable signatures.  This module compiles the same network
+    once into a flat, preallocated representation — dense node/edge/station
+    ids, bit-packed valid/stop/occupancy planes ({!Bitvec.Bitset}), token
+    payloads in plain [int array]s — and steps it with no per-cycle
+    allocation.  Protocol semantics are cycle-for-cycle identical to
+    {!Engine} (asserted by the test suite on random loopy networks, with
+    and without fault injection): same firing rule, same stop resolution
+    across station-less channels (including {!Engine.Combinational_stop_cycle}),
+    same relay-station state machines, same stall attribution.
+
+    Fault hooks ({!Engine.fault_hooks}) are supported — wire values are
+    converted to {!Lid.Token.t} only at hook boundaries, so the unhooked
+    path stays allocation-free.  Per-cycle monitors and wire-level
+    snapshots are {e not} offered here; use {!Engine} when you need them.
+
+    State signatures are interned: {!signature_id} packs the protocol
+    state (buffer/station validity planes, half-station stop registers,
+    environment phase) into a word vector and maps it to a dense small
+    int, so periodicity detection ({!Measure}) hashes and stores ints
+    instead of structural values. *)
+
+type t
+
+val create : ?flavour:Lid.Protocol.flavour -> Topology.Network.t -> t
+(** Default flavour: [Optimized], as {!Engine.create}. *)
+
+val network : t -> Topology.Network.t
+val flavour : t -> Lid.Protocol.flavour
+val cycle : t -> int
+
+val step : t -> unit
+val run : t -> cycles:int -> unit
+
+val reset : t -> unit
+(** Back to the initial state (shell buffers valid, stations empty,
+    counters zero).  The signature intern table is kept — signatures are
+    stable across resets. *)
+
+(** {1 Observation — same meaning as the {!Engine} counterparts} *)
+
+val fired_count : t -> Topology.Network.node_id -> int
+val gated_count : t -> Topology.Network.node_id -> int
+val starved_count : t -> Topology.Network.node_id -> int
+val sink_values : t -> Topology.Network.node_id -> int list
+val sink_count : t -> Topology.Network.node_id -> int
+
+(** {1 Interned signatures} *)
+
+val signature_id : t -> int
+(** Dense id (from 0, first-seen order) of the current protocol-state
+    signature.  Two cycles with equal ids evolve identically at protocol
+    level.  Ids correspond to {!Engine.signature} strings one-to-one on
+    the same network: both encode exactly the buffer validity planes,
+    relay-station occupancy, half-station stop registers and environment
+    phase. *)
+
+val signature_intern_size : t -> int
+val signature_intern_clear : t -> unit
+(** As {!Engine.signature_intern_size} / {!Engine.signature_intern_clear}:
+    the memory bound used by {!Measure} on aperiodic runs. *)
+
+(** {1 Fault injection} *)
+
+val set_fault_hooks : t -> Engine.fault_hooks option -> unit
+(** Install (or clear) the same hooks {!Engine.set_fault_hooks} takes.
+    Hooks survive {!reset}. *)

@@ -1,7 +1,13 @@
 type t = { snaps : Engine.snapshot list }
 
 let record ?(cycles = 16) engine =
-  { snaps = List.init cycles (fun _ -> Engine.snapshot_next engine) }
+  (* [snapshot_next] steps the engine, so the snapshots must be taken in
+     cycle order — [List.init]'s evaluation order is unspecified *)
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else go (n - 1) (Engine.snapshot_next engine :: acc)
+  in
+  { snaps = go cycles [] }
 
 let snapshots t = t.snaps
 

@@ -1,0 +1,139 @@
+(* The campaign layer's one load-bearing property is determinism: a
+   parallel run must be bit-identical to the serial one for every [jobs],
+   merge order must follow input order, and a raised exception must be
+   the one of the lowest failing index.  All of that is observable even
+   on a single core, since the domains still really run. *)
+
+module G = Topology.Generators
+module P = Campaign.Parallel
+
+let test_map_matches_list_map () =
+  let xs = List.init 57 Fun.id in
+  let f x = (x * x) - (3 * x) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "map ~jobs:%d = List.map" jobs)
+        (List.map f xs)
+        (P.map ~jobs f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_map_order_under_uneven_work () =
+  (* give early items the heaviest work so a naive "fastest first" merge
+     would come back rotated *)
+  let xs = List.init 24 Fun.id in
+  let f x =
+    let spin = (24 - x) * 10_000 in
+    let acc = ref 0 in
+    for i = 1 to spin do
+      acc := !acc + (i mod 7)
+    done;
+    (x, !acc land 1)
+  in
+  Alcotest.(check (list (pair int int)))
+    "input order survives uneven work" (List.map f xs) (P.map ~jobs:4 f xs)
+
+exception Boom of int
+
+let test_map_exception_lowest_index () =
+  let xs = List.init 30 Fun.id in
+  let f x = if x mod 11 = 5 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match P.map ~jobs f xs with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+          Alcotest.(check int)
+            (Printf.sprintf "lowest failing index wins (jobs %d)" jobs)
+            5 i)
+    [ 1; 3; 8 ]
+
+let test_map_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (P.map ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (P.map ~jobs:4 Fun.id [ 9 ])
+
+
+let test_fault_driver_matches_serial () =
+  let rng = Random.State.make [| 0x5e; 0xed |] in
+  let net = G.random_loopy ~rng ~n_shells:8 ~extra_back_edges:2 () in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      seed = 23;
+      cycles = 120;
+      max_sites_per_kind = 3;
+    }
+  in
+  let serial = Fault.Campaign.run config net in
+  Alcotest.(check bool)
+    "campaign exercises several faults"
+    true
+    (List.length serial.Fault.Campaign.reports >= 6);
+  List.iter
+    (fun jobs ->
+      let par = Campaign.Fault_driver.run ~jobs config net in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d bit-identical to serial" jobs)
+        true
+        (serial.Fault.Campaign.reports = par.Fault.Campaign.reports))
+    [ 1; 2; 5 ]
+
+let test_fault_driver_on_report_order () =
+  let net = G.fig1 () in
+  let config =
+    { Fault.Campaign.default_config with seed = 7; cycles = 80 }
+  in
+  let seen = ref [] in
+  let r =
+    Campaign.Fault_driver.run ~jobs:4
+      ~on_report:(fun rep -> seen := rep.Fault.Classify.fault :: !seen)
+      config net
+  in
+  Alcotest.(check bool)
+    "on_report follows campaign order" true
+    (List.map
+       (fun (rep : Fault.Classify.report) -> rep.fault)
+       r.Fault.Campaign.reports
+    = List.rev !seen)
+
+let test_sweep_order_and_agreement () =
+  let nets =
+    List.map
+      (fun n -> (Printf.sprintf "chain-%d" n, G.chain ~n_shells:n ()))
+      [ 3; 6; 9; 12 ]
+  in
+  let serial = Campaign.Sweep.measure ~jobs:1 nets in
+  let par = Campaign.Sweep.measure ~jobs:4 nets in
+  Alcotest.(check (list string))
+    "labels in input order"
+    (List.map fst nets)
+    (List.map (fun (e : Campaign.Sweep.entry) -> e.label) par);
+  List.iter2
+    (fun (a : Campaign.Sweep.entry) (b : Campaign.Sweep.entry) ->
+      match (a.report, b.report) with
+      | Some ra, Some rb ->
+          Alcotest.(check bool)
+            ("reports agree for " ^ a.label)
+            true
+            (ra.transient = rb.transient && ra.period = rb.period
+            && ra.node_throughput = rb.node_throughput)
+      | _ -> Alcotest.fail ("no steady state for " ^ a.label))
+    serial par
+
+let suite =
+  [
+    Alcotest.test_case "parallel map = sequential map" `Quick
+      test_map_matches_list_map;
+    Alcotest.test_case "merge order under uneven work" `Quick
+      test_map_order_under_uneven_work;
+    Alcotest.test_case "exception of lowest index" `Quick
+      test_map_exception_lowest_index;
+    Alcotest.test_case "empty and singleton inputs" `Quick
+      test_map_empty_and_singleton;
+    Alcotest.test_case "fault campaign: parallel = serial" `Quick
+      test_fault_driver_matches_serial;
+    Alcotest.test_case "fault campaign: on_report order" `Quick
+      test_fault_driver_on_report_order;
+    Alcotest.test_case "sweep: order and agreement" `Quick
+      test_sweep_order_and_agreement;
+  ]

@@ -1,0 +1,342 @@
+(* The packed engine: closed-form throughputs, per-cycle equivalence with
+   the reference engine (with and without fault injection), and the
+   interned-signature bijection. *)
+
+module G = Topology.Generators
+module M = Skeleton.Measure
+module E = Skeleton.Engine
+module P = Skeleton.Packed
+module Net = Topology.Network
+
+let shellish net =
+  List.filter
+    (fun (n : Net.node) ->
+      match n.kind with
+      | Net.Shell _ | Net.Source _ -> true
+      | Net.Sink _ -> false)
+    (Net.nodes net)
+
+(* Step both engines in lockstep, checking every observable each cycle and
+   the signature bijection (equal engine signatures <-> equal packed ids). *)
+let check_lockstep ?hooks ?(cycles = 120) ~flavour net =
+  let e = E.create ~flavour net and p = P.create ~flavour net in
+  (match hooks with
+  | None -> ()
+  | Some h ->
+      E.set_fault_hooks e (Some h);
+      P.set_fault_hooks p (Some h));
+  let sig_to_id = Hashtbl.create 64 and id_to_sig = Hashtbl.create 64 in
+  let nodes = shellish net and sinks = Net.sinks net in
+  for cycle = 0 to cycles - 1 do
+    let s = E.signature e and id = P.signature_id p in
+    (match (Hashtbl.find_opt sig_to_id s, Hashtbl.find_opt id_to_sig id) with
+    | None, None ->
+        Hashtbl.add sig_to_id s id;
+        Hashtbl.add id_to_sig id s
+    | Some id', _ when id' <> id ->
+        Alcotest.failf "cycle %d: signature %S mapped to ids %d and %d" cycle
+          s id' id
+    | _, Some s' when s' <> s ->
+        Alcotest.failf "cycle %d: id %d names signatures %S and %S" cycle id
+          s' s
+    | _ -> ());
+    let stepped_e =
+      try
+        E.step e;
+        true
+      with E.Combinational_stop_cycle _ -> false
+    in
+    let stepped_p =
+      try
+        P.step p;
+        true
+      with E.Combinational_stop_cycle _ -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d: both step or both raise" cycle)
+      stepped_e stepped_p;
+    if not stepped_e then raise Exit;
+    List.iter
+      (fun (n : Net.node) ->
+        let ce = E.fired_count e n.id and cp = P.fired_count p n.id in
+        if ce <> cp then
+          Alcotest.failf "cycle %d: %s fired %d (engine) vs %d (packed)" cycle
+            n.name ce cp;
+        let ge = E.gated_count e n.id and gp = P.gated_count p n.id in
+        if ge <> gp then
+          Alcotest.failf "cycle %d: %s gated %d vs %d" cycle n.name ge gp;
+        let se = E.starved_count e n.id and sp = P.starved_count p n.id in
+        if se <> sp then
+          Alcotest.failf "cycle %d: %s starved %d vs %d" cycle n.name se sp)
+      nodes;
+    List.iter
+      (fun (n : Net.node) ->
+        if E.sink_count e n.id <> P.sink_count p n.id then
+          Alcotest.failf "cycle %d: %s consumed %d vs %d" cycle n.name
+            (E.sink_count e n.id) (P.sink_count p n.id))
+      sinks
+  done;
+  List.iter
+    (fun (n : Net.node) ->
+      Alcotest.(check (list int))
+        (n.name ^ " sink values")
+        (E.sink_values e n.id) (P.sink_values p n.id))
+    sinks
+
+let lockstep ?hooks ?cycles ~flavour net =
+  try check_lockstep ?hooks ?cycles ~flavour net with Exit -> ()
+
+(* --- closed forms, via both engines ------------------------------- *)
+
+let test_fig1_throughput () =
+  (* reconvergent paths, mismatch 1 over longest path 5: T = 4/5 *)
+  List.iter
+    (fun rate -> Alcotest.(check (float 1e-9)) "fig1 rate" 0.8 rate)
+    (let p = P.create (G.fig1 ()) in
+     match M.analyze_packed p with
+     | Some r -> List.map snd r.node_throughput
+     | None -> Alcotest.fail "no steady state");
+  let e = E.create (G.fig1 ()) in
+  match M.analyze e with
+  | Some r -> Alcotest.(check (float 1e-9)) "engine agrees" 0.8 (M.system_throughput r)
+  | None -> Alcotest.fail "no steady state"
+
+let test_fig2_loop_throughput () =
+  (* a loop of S shells and R stations sustains T = S / (S + R) *)
+  List.iter
+    (fun (ab, ba, expect) ->
+      let net = G.fig2 ~stations_ab:ab ~stations_ba:ba () in
+      let p = P.create net in
+      match M.analyze_packed p with
+      | Some r ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "loop S=2 R=%d" (ab + ba))
+            expect (M.system_throughput r)
+      | None -> Alcotest.fail "no steady state")
+    [ (1, 1, 0.5); (2, 1, 2. /. 5.); (3, 2, 2. /. 7.) ]
+
+let test_tree_throughput () =
+  (* trees have no reconvergence: T = 1, transient bounded by the pipeline
+     depth of the longest source-to-sink path *)
+  let net = G.tree ~depth:3 () in
+  let bound = Topology.Analysis.transient_bound net in
+  let p = P.create net in
+  match M.analyze_packed p with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "tree rate" 1.0 (M.system_throughput r);
+      Alcotest.(check bool)
+        (Printf.sprintf "transient %d <= path bound %d" r.transient bound)
+        true (r.transient <= bound)
+  | None -> Alcotest.fail "no steady state"
+
+(* --- measure regressions ------------------------------------------ *)
+
+let test_transient_relative_to_start () =
+  (* a warmed-up engine is already periodic: the residual transient is 0,
+     not the absolute cycle of the first repeat *)
+  let e = E.create (G.fig1 ()) in
+  E.run e ~cycles:25;
+  (match M.transient_and_period e with
+  | Some (transient, period) ->
+      Alcotest.(check int) "warm engine period" 5 period;
+      Alcotest.(check int) "residual transient" 0 transient
+  | None -> Alcotest.fail "no period");
+  let p = P.create (G.fig1 ()) in
+  P.run p ~cycles:25;
+  match M.transient_and_period_packed p with
+  | Some (transient, period) ->
+      Alcotest.(check int) "warm packed period" 5 period;
+      Alcotest.(check int) "residual transient (packed)" 0 transient
+  | None -> Alcotest.fail "no period"
+
+let test_max_cycles_is_exact () =
+  (* detection succeeds iff transient + period <= max_cycles *)
+  let t0, p0 =
+    match M.transient_and_period (E.create (G.fig1 ())) with
+    | Some tp -> tp
+    | None -> Alcotest.fail "no period"
+  in
+  (match M.transient_and_period ~max_cycles:(t0 + p0) (E.create (G.fig1 ())) with
+  | Some (t, p) ->
+      Alcotest.(check int) "transient at exact budget" t0 t;
+      Alcotest.(check int) "period at exact budget" p0 p
+  | None -> Alcotest.fail "exact budget must suffice");
+  match M.transient_and_period ~max_cycles:(t0 + p0 - 1) (E.create (G.fig1 ())) with
+  | Some _ -> Alcotest.fail "budget one short must fail"
+  | None -> ()
+
+let test_signature_capacity () =
+  let t0, p0 =
+    match M.transient_and_period (E.create (G.fig1 ())) with
+    | Some tp -> tp
+    | None -> Alcotest.fail "no period"
+  in
+  (* a capacity above the period still converges (the restart only costs
+     transient precision)... *)
+  (match
+     M.transient_and_period ~signature_capacity:(p0 + 1) (E.create (G.fig1 ()))
+   with
+  | Some (t, p) ->
+      Alcotest.(check int) "period survives restarts" p0 p;
+      Alcotest.(check bool) "transient is an upper bound" true (t >= t0)
+  | None -> Alcotest.fail "capacity > period must converge");
+  (* ... a capacity below it cannot, and hits the cycle budget instead *)
+  match
+    M.transient_and_period ~max_cycles:500 ~signature_capacity:(p0 - 1)
+      (E.create (G.fig1 ()))
+  with
+  | Some _ -> Alcotest.fail "capacity < period cannot converge"
+  | None -> ()
+
+let test_deadlock_integer_detection () =
+  (* flavour-dependent deadlock decided on integer deltas, via both paths *)
+  let net =
+    G.ring_tapped ~n_shells:3 ~stations:[ Lid.Relay_station.Half ]
+      ~sink_pattern:(Topology.Pattern.periodic ~period:4 ~active:2 ())
+      ()
+  in
+  List.iter
+    (fun (flavour, expect) ->
+      (match M.analyze (E.create ~flavour net) with
+      | Some r -> Alcotest.(check bool) "engine deadlock flag" expect r.deadlocked
+      | None -> Alcotest.fail "no period");
+      match M.analyze_packed (P.create ~flavour net) with
+      | Some r -> Alcotest.(check bool) "packed deadlock flag" expect r.deadlocked
+      | None -> Alcotest.fail "no period")
+    [ (Lid.Protocol.Original, true); (Lid.Protocol.Optimized, false) ]
+
+(* --- equivalence with the reference engine ------------------------ *)
+
+let test_lockstep_standard_nets () =
+  List.iter
+    (fun net ->
+      List.iter
+        (fun flavour -> lockstep ~flavour net)
+        [ Lid.Protocol.Optimized; Lid.Protocol.Original ])
+    [
+      G.fig1 ();
+      G.fig2 ();
+      G.chain ~n_shells:4 ();
+      G.chain ~n_shells:3 ~stations:[ Lid.Relay_station.Half ] ();
+      G.tree ~depth:3 ();
+      G.ring_tapped ~n_shells:4 ();
+      G.chain ~n_shells:2
+        ~source_pattern:(Topology.Pattern.word [ true; false; true ])
+        ~sink_pattern:(Topology.Pattern.periodic ~period:3 ~active:1 ())
+        ();
+    ]
+
+let prop_lockstep_random flavour =
+  QCheck.Test.make
+    ~name:
+      ("packed = engine on random loopy networks ("
+      ^ Lid.Protocol.to_string flavour
+      ^ ")")
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0x9a5 |] in
+      let net =
+        G.random_loopy ~rng ~n_shells:(3 + (seed mod 5)) ~half_probability:0.4 ()
+      in
+      lockstep ~flavour net;
+      true)
+
+let prop_analyze_equal =
+  QCheck.Test.make ~name:"analyze = analyze_packed on random networks"
+    ~count:30 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 0xb07 |] in
+      let net = G.random_loopy ~rng ~n_shells:(3 + (seed mod 4)) () in
+      let re = M.analyze (E.create net) in
+      let rp = M.analyze_packed (P.create net) in
+      match (re, rp) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.M.transient = b.M.transient && a.M.period = b.M.period
+          && a.M.node_throughput = b.M.node_throughput
+          && a.M.sink_throughput = b.M.sink_throughput
+          && a.M.deadlocked = b.M.deadlocked
+      | _ -> false)
+
+(* --- equivalence under fault injection ---------------------------- *)
+
+let test_lockstep_under_campaign_faults () =
+  (* every injection of a small (but kind-complete) campaign, replayed on
+     both engines in lockstep *)
+  let net = G.fig1 () in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      seed = 7;
+      max_sites_per_kind = 2;
+      injections_per_site = 1;
+    }
+  in
+  let faults = Fault.Campaign.faults_of_config config net in
+  Alcotest.(check bool) "campaign is non-trivial" true (List.length faults >= 6);
+  List.iter
+    (fun fault ->
+      let hooks = Fault.Model.hooks [ fault ] in
+      lockstep ~hooks ~cycles:100 ~flavour:config.flavour net)
+    faults
+
+let prop_lockstep_under_faults =
+  QCheck.Test.make ~name:"packed = engine under faults (random networks)"
+    ~count:25 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 0xfa17 |] in
+      let net =
+        G.random_loopy ~rng ~n_shells:(3 + (seed mod 4)) ~half_probability:0.3 ()
+      in
+      let config =
+        {
+          Fault.Campaign.default_config with
+          seed;
+          cycles = 96;
+          max_sites_per_kind = 1;
+        }
+      in
+      List.iter
+        (fun fault ->
+          let hooks = Fault.Model.hooks [ fault ] in
+          lockstep ~hooks ~cycles:96 ~flavour:config.Fault.Campaign.flavour net)
+        (Fault.Campaign.faults_of_config config net);
+      true)
+
+(* --- interning ----------------------------------------------------- *)
+
+let test_intern_table () =
+  let p = P.create (G.fig1 ()) in
+  let ids = List.init 60 (fun _ ->
+      let id = P.signature_id p in
+      P.step p;
+      id)
+  in
+  let distinct = P.signature_intern_size p in
+  Alcotest.(check bool) "table bounded by transient+period" true (distinct < 60);
+  Alcotest.(check bool) "table saw a full period" true (distinct >= 5);
+  Alcotest.(check bool) "ids are dense" true
+    (List.for_all (fun id -> id >= 0 && id < distinct) ids);
+  P.signature_intern_clear p;
+  Alcotest.(check int) "cleared" 0 (P.signature_intern_size p);
+  Alcotest.(check int) "ids restart from 0" 0 (P.signature_id p)
+
+let suite =
+  [
+    Alcotest.test_case "fig1: T = 4/5" `Quick test_fig1_throughput;
+    Alcotest.test_case "fig2 loops: T = S/(S+R)" `Quick test_fig2_loop_throughput;
+    Alcotest.test_case "trees: T = 1, transient <= path bound" `Quick
+      test_tree_throughput;
+    Alcotest.test_case "transient is relative to analysis start" `Quick
+      test_transient_relative_to_start;
+    Alcotest.test_case "max_cycles budget is exact" `Quick test_max_cycles_is_exact;
+    Alcotest.test_case "signature capacity cap" `Quick test_signature_capacity;
+    Alcotest.test_case "deadlock decided on integer deltas" `Quick
+      test_deadlock_integer_detection;
+    Alcotest.test_case "lockstep on standard nets" `Quick test_lockstep_standard_nets;
+    Alcotest.test_case "lockstep under campaign faults" `Quick
+      test_lockstep_under_campaign_faults;
+    QCheck_alcotest.to_alcotest (prop_lockstep_random Lid.Protocol.Optimized);
+    QCheck_alcotest.to_alcotest (prop_lockstep_random Lid.Protocol.Original);
+    QCheck_alcotest.to_alcotest prop_analyze_equal;
+    QCheck_alcotest.to_alcotest prop_lockstep_under_faults;
+    Alcotest.test_case "signature interning" `Quick test_intern_table;
+  ]

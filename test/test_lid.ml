@@ -16,6 +16,8 @@ let () =
       ("analysis", T_analysis.suite);
       ("engine", T_engine.suite);
       ("measure-equiv", T_measure_equiv.suite);
+      ("packed", T_packed.suite);
+      ("campaign", T_campaign.suite);
       ("verify", T_verify.suite);
       ("cure-trace", T_cure_trace.suite);
       ("rtl-net", T_rtl_net.suite);
