@@ -830,6 +830,31 @@ let e14_packed_speedup () =
   let r = Campaign.Bench.run ~quick:true () in
   Format.printf "%a" Campaign.Bench.pp r
 
+(* ------------------------------------------------------------------ *)
+
+let e15_lane_campaign () =
+  section "E15"
+    "lane-parallel campaigns: W-1 fault injections per word operation";
+  Printf.printf
+    "one bit-sliced run carries a fault-free reference in lane 0 and an\n\
+     injection per remaining lane; lanes whose state words never diverge\n\
+     from the reference are classified from a recorded replay, the rest\n\
+     fall back to exact per-fault simulation.  Every width is asserted\n\
+     bit-identical to the serial campaign before it is timed.\n\n";
+  let injections, serial_s, points = Campaign.Bench.lane_sweep ~quick:true () in
+  Printf.printf "%d injections, serial (instrumented engine): %.3fs\n\n"
+    injections serial_s;
+  table
+    [ "lanes"; "time (s)"; "speedup" ]
+    (List.map
+       (fun (p : Campaign.Bench.lane_point) ->
+         [
+           string_of_int p.lp_lanes;
+           Printf.sprintf "%.3f" p.lp_s;
+           Printf.sprintf "%.1fx" p.lp_speedup;
+         ])
+       points)
+
 let all_quick () =
   e1_fig1 ();
   e2_fig2 ();
@@ -845,4 +870,5 @@ let all_quick () =
   e12_equivalence ();
   e13_fault_injection ();
   e14_packed_speedup ();
+  e15_lane_campaign ();
   a1_attribution ()

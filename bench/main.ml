@@ -23,6 +23,7 @@ let experiments =
     ("e12", "latency equivalence", Experiments.e12_equivalence);
     ("e13", "fault-injection robustness", Experiments.e13_fault_injection);
     ("e14", "packed-engine speedup", Experiments.e14_packed_speedup);
+    ("e15", "lane-parallel campaign speedup", Experiments.e15_lane_campaign);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

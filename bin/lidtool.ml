@@ -313,6 +313,31 @@ let testbench_cmd =
 (* ------------------------------------------------------------------ *)
 (* inject                                                               *)
 
+let lanes_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "lanes" ] ~docv:"W"
+        ~doc:"Lanes of the bit-sliced campaign screen: W-1 injections ride \
+              one word-parallel run next to a fault-free reference lane \
+              (0 = the full machine word, 1 = disable lane batching). \
+              Outcomes are identical for every width.")
+
+let max_cycles_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-cycles" ] ~docv:"N"
+        ~doc:"Cycle budget for steady-state measurement (0 = the \
+              default budget).")
+
+let signature_capacity_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "signature-capacity" ] ~docv:"N"
+        ~doc:"Cap on distinct state signatures a steady-state search may \
+              store before giving up (0 = the default cap).")
+
+let opt_pos n = if n <= 0 then None else Some n
+
 let inject_cmd =
   let seed_arg =
     Arg.(
@@ -336,7 +361,9 @@ let inject_cmd =
     Arg.(
       value & opt int 256
       & info [ "c"; "cycles" ] ~docv:"N"
-          ~doc:"Simulation horizon per injection.")
+          ~doc:"Simulation horizon per injection (0 = derive it from the \
+                fault-free steady state: transient + 4 periods, at least \
+                64).")
   in
   let sites_arg =
     Arg.(
@@ -363,8 +390,30 @@ let inject_cmd =
                 capped at 8). The report order and every outcome are \
                 identical to a serial run.")
   in
-  let run file flavour seed kinds cycles sites per_site verbose jobs =
+  let run file flavour seed kinds cycles sites per_site verbose jobs lanes
+      max_cycles signature_capacity =
     let net = load_network file in
+    let max_cycles = opt_pos max_cycles
+    and signature_capacity = opt_pos signature_capacity in
+    let cycles =
+      if cycles > 0 then cycles
+      else
+        match
+          Skeleton.Measure.analyze_packed ?max_cycles ?signature_capacity
+            (Skeleton.Packed.create ~flavour net)
+        with
+        | Some r ->
+            let horizon = max 64 (r.transient + (4 * r.period)) in
+            Format.printf
+              "horizon: %d cycles (fault-free transient %d + 4 x period %d)@."
+              horizon r.transient r.period;
+            horizon
+        | None ->
+            Printf.eprintf
+              "error: no fault-free steady state within the budget; pass an \
+               explicit -c (or raise --max-cycles / --signature-capacity)\n";
+            exit 2
+    in
     let config =
       {
         Fault.Campaign.seed;
@@ -381,7 +430,10 @@ let inject_cmd =
       | Lid.Protocol.Optimized -> "optimized"
       | Lid.Protocol.Original -> "original");
     let jobs = if jobs <= 0 then Campaign.Parallel.default_jobs () else jobs in
-    let result = Campaign.Fault_driver.run ~jobs config net in
+    let lanes =
+      if lanes <= 0 then Skeleton.Packed_lanes.max_lanes else lanes
+    in
+    let result = Campaign.Fault_driver.run ~jobs ~lanes config net in
     Format.printf "@.%a" Fault.Campaign.pp_summary result;
     if verbose then begin
       Format.printf "@.non-masked injections:@.";
@@ -411,7 +463,8 @@ let inject_cmd =
   let term =
     Term.(
       const run $ network_arg $ flavour_arg $ seed_arg $ kinds_arg $ cycles_arg
-      $ sites_arg $ per_site_arg $ verbose_arg $ jobs_arg)
+      $ sites_arg $ per_site_arg $ verbose_arg $ jobs_arg $ lanes_arg
+      $ max_cycles_arg $ signature_capacity_arg)
   in
   Cmd.v
     (Cmd.info "inject"
@@ -444,9 +497,13 @@ let bench_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Also write the results as JSON to FILE.")
   in
-  let run quick jobs out =
+  let run quick jobs out lanes max_cycles signature_capacity =
     let jobs = if jobs <= 0 then None else Some jobs in
-    match Campaign.Bench.run ~quick ?jobs () with
+    match
+      Campaign.Bench.run ~quick ?jobs ?lanes:(opt_pos lanes)
+        ?max_cycles:(opt_pos max_cycles)
+        ?signature_capacity:(opt_pos signature_capacity) ()
+    with
     | result ->
         Format.printf "%a" Campaign.Bench.pp result;
         (match out with
@@ -459,7 +516,11 @@ let bench_cmd =
         Printf.eprintf "benchmark aborted, engines diverged: %s\n" msg;
         exit 1
   in
-  let term = Term.(const run $ quick_arg $ jobs_arg $ out_arg) in
+  let term =
+    Term.(
+      const run $ quick_arg $ jobs_arg $ out_arg $ lanes_arg $ max_cycles_arg
+      $ signature_capacity_arg)
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Benchmark steady-state measurement: the packed engine against \

@@ -45,6 +45,48 @@ let popcount t =
 let words t = t.words
 let n_words t = Array.length t.words
 
+(* --- lane views --------------------------------------------------- *)
+(* The lane-parallel campaign engine packs W concurrent runs into the
+   bit positions of its plane words and records one divergence word per
+   cycle; these views unpack that cycle-major (rows = cycles, cols =
+   lanes) history into per-lane planes.  They run once per campaign
+   batch on short vectors, so plain bit loops are fast enough. *)
+
+let transpose ~rows ~cols t =
+  if rows < 0 || cols < 0 || rows * cols <> t.len then
+    invalid_arg "Bitset.transpose: rows * cols must equal length";
+  let r = create t.len in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if get t ((i * cols) + j) then set r ((j * rows) + i)
+    done
+  done;
+  r
+
+let check_lane ~who ~lanes ~lane len =
+  if lanes <= 0 then invalid_arg (who ^ ": lanes must be positive");
+  if lane < 0 || lane >= lanes then invalid_arg (who ^ ": lane out of range");
+  if len mod lanes <> 0 then
+    invalid_arg (who ^ ": length must be a multiple of lanes")
+
+let lane_mask ~lanes ~lane t =
+  check_lane ~who:"Bitset.lane_mask" ~lanes ~lane t.len;
+  let r = create t.len in
+  let i = ref lane in
+  while !i < t.len do
+    if get t !i then set r !i;
+    i := !i + lanes
+  done;
+  r
+
+let lane_extract ~lanes ~lane t =
+  check_lane ~who:"Bitset.lane_extract" ~lanes ~lane t.len;
+  let r = create (t.len / lanes) in
+  for i = 0 to (t.len / lanes) - 1 do
+    if get t ((i * lanes) + lane) then set r i
+  done;
+  r
+
 let blit_words t dst pos =
   Array.blit t.words 0 dst pos (Array.length t.words)
 

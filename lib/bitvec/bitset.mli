@@ -44,6 +44,32 @@ val words : t -> int array
 
 val n_words : t -> int
 
+(** {1 Lane views}
+
+    A vector of [rows * lanes] bits can be read as a cycle-major matrix:
+    bit [i * lanes + lane] is lane [lane] at row (cycle) [i].  The
+    lane-parallel campaign engine ({!Skeleton.Packed_lanes}) records its
+    per-cycle divergence words this way; these views recover per-lane
+    planes from it. *)
+
+val transpose : rows:int -> cols:int -> t -> t
+(** [transpose ~rows ~cols t] rereads [t] (of length [rows * cols],
+    row-major) column-major: bit [i * cols + j] of [t] becomes bit
+    [j * rows + i] of the result.  [transpose ~rows:c ~cols:r] is the
+    inverse, so the function is an involution up to the swapped
+    dimensions. *)
+
+val lane_mask : lanes:int -> lane:int -> t -> t
+(** [lane_mask ~lanes ~lane t] keeps only the bits of [lane] (positions
+    congruent to [lane] modulo [lanes]), zeroing every other lane.  The
+    length of [t] must be a multiple of [lanes]. *)
+
+val lane_extract : lanes:int -> lane:int -> t -> t
+(** [lane_extract ~lanes ~lane t] is the dense per-row plane of [lane]:
+    bit [i] of the result is bit [i * lanes + lane] of [t].  Composed
+    with {!popcount} it counts a lane's set rows exactly;
+    [lane_extract (lane_mask t)] equals [lane_extract t]. *)
+
 val blit_words : t -> int array -> int -> unit
 (** [blit_words t dst pos] copies the backing words into [dst] starting at
     [pos] — the signature-assembly primitive. *)

@@ -16,9 +16,12 @@ type case = {
 type campaign_stat = {
   injections : int;
   jobs : int;
+  lanes : int;
   serial_s : float;
   parallel_s : float;
+  lanes_s : float;
   campaign_speedup : float;
+  lane_speedup : float;
 }
 
 type result = {
@@ -48,15 +51,18 @@ let time_best ~blocks f =
 let report_key (r : M.report) =
   (r.transient, r.period, r.node_throughput, r.sink_throughput, r.deadlocked)
 
-let bench_case ~reps case_name net =
+let bench_case ?max_cycles ?signature_capacity ~reps case_name net =
   (* one unmeasured pass per engine: check agreement, learn the figures *)
   let re =
-    match M.analyze (Skeleton.Engine.create net) with
+    match M.analyze ?max_cycles ?signature_capacity (Skeleton.Engine.create net) with
     | Some r -> r
     | None -> raise (Divergence (case_name ^ ": engine found no steady state"))
   in
   let rp =
-    match M.analyze_packed (Skeleton.Packed.create net) with
+    match
+      M.analyze_packed ?max_cycles ?signature_capacity
+        (Skeleton.Packed.create net)
+    with
     | Some r -> r
     | None -> raise (Divergence (case_name ^ ": packed found no steady state"))
   in
@@ -70,13 +76,17 @@ let bench_case ~reps case_name net =
   let engine_s =
     time_best ~blocks:3 (fun () ->
         for _ = 1 to reps do
-          ignore (M.analyze (Skeleton.Engine.create net))
+          ignore
+            (M.analyze ?max_cycles ?signature_capacity
+               (Skeleton.Engine.create net))
         done)
   in
   let packed_s =
     time_best ~blocks:3 (fun () ->
         for _ = 1 to reps do
-          ignore (M.analyze_packed (Skeleton.Packed.create net))
+          ignore
+            (M.analyze_packed ?max_cycles ?signature_capacity
+               (Skeleton.Packed.create net))
         done)
   in
   {
@@ -126,7 +136,7 @@ let suite ~quick =
         G.reconvergent ~r_short:40 ~r_long_head:40 ~r_long_tail:40 () );
     ]
 
-let bench_campaign ~quick ~jobs =
+let campaign_setup ~quick =
   let rng = Random.State.make [| 0xca; 0x4a |] in
   let net =
     if quick then G.random_loopy ~rng ~n_shells:6 ~extra_back_edges:1 ()
@@ -140,25 +150,73 @@ let bench_campaign ~quick ~jobs =
       max_sites_per_kind = (if quick then 3 else 0);
     }
   in
+  (config, net)
+
+let bench_campaign ~quick ~jobs ~lanes =
+  let config, net = campaign_setup ~quick in
   let serial, serial_s = time (fun () -> Fault.Campaign.run config net) in
-  let par, parallel_s = time (fun () -> Fault_driver.run ~jobs config net) in
+  (* the two throughput axes, timed separately: domains only, then
+     domains x lanes (the bit-sliced batches) *)
+  let par, parallel_s =
+    time (fun () -> Fault_driver.run ~jobs ~lanes:1 config net)
+  in
   if serial.Fault.Campaign.reports <> par.Fault.Campaign.reports then
     raise (Divergence "parallel campaign reports differ from the serial run");
+  let lp, lanes_s = time (fun () -> Fault_driver.run ~jobs ~lanes config net) in
+  if serial.Fault.Campaign.reports <> lp.Fault.Campaign.reports then
+    raise
+      (Divergence "lane-parallel campaign reports differ from the serial run");
   {
     injections = List.length serial.Fault.Campaign.reports;
     jobs;
+    lanes;
     serial_s;
     parallel_s;
+    lanes_s;
     campaign_speedup =
       (if parallel_s > 0. then serial_s /. parallel_s else infinity);
+    lane_speedup = (if lanes_s > 0. then serial_s /. lanes_s else infinity);
   }
 
-let run ?(quick = false) ?jobs () =
-  let jobs = match jobs with Some j -> max 1 j | None -> Parallel.default_jobs () in
-  let cases =
-    List.map (fun (name, reps, net) -> bench_case ~reps name net) (suite ~quick)
+type lane_point = { lp_lanes : int; lp_s : float; lp_speedup : float }
+
+let lane_sweep ?(quick = false) ?(widths = [ 1; 2; 8; 32; Skeleton.Packed_lanes.max_lanes ]) () =
+  let config, net = campaign_setup ~quick in
+  let serial, serial_s = time (fun () -> Fault.Campaign.run config net) in
+  let points =
+    List.map
+      (fun lanes ->
+        let r, s =
+          time (fun () -> Fault.Campaign.run_lanes ~lanes config net)
+        in
+        if serial.Fault.Campaign.reports <> r.Fault.Campaign.reports then
+          raise
+            (Divergence
+               (Printf.sprintf
+                  "lane sweep at width %d differs from the serial run" lanes));
+        {
+          lp_lanes = lanes;
+          lp_s = s;
+          lp_speedup = (if s > 0. then serial_s /. s else infinity);
+        })
+      widths
   in
-  let campaign = bench_campaign ~quick ~jobs in
+  (List.length serial.Fault.Campaign.reports, serial_s, points)
+
+let run ?(quick = false) ?jobs ?lanes ?max_cycles ?signature_capacity () =
+  let jobs = match jobs with Some j -> max 1 j | None -> Parallel.default_jobs () in
+  let lanes =
+    match lanes with
+    | Some l -> max 1 (min l Skeleton.Packed_lanes.max_lanes)
+    | None -> Skeleton.Packed_lanes.max_lanes
+  in
+  let cases =
+    List.map
+      (fun (name, reps, net) ->
+        bench_case ?max_cycles ?signature_capacity ~reps name net)
+      (suite ~quick)
+  in
+  let campaign = bench_campaign ~quick ~jobs ~lanes in
   let geomean_speedup =
     let logs = List.map (fun c -> log c.speedup) cases in
     exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs))
@@ -185,10 +243,13 @@ let to_json r =
   Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf
-       "  \"campaign\": {\"injections\": %d, \"jobs\": %d, \"serial_s\": %s, \
-        \"parallel_s\": %s, \"speedup\": %s},\n"
-       r.campaign.injections r.campaign.jobs (f r.campaign.serial_s)
-       (f r.campaign.parallel_s) (f r.campaign.campaign_speedup));
+       "  \"campaign\": {\"injections\": %d, \"jobs\": %d, \"lanes\": %d, \
+        \"serial_s\": %s, \"parallel_s\": %s, \"lanes_s\": %s, \"speedup\": \
+        %s, \"lane_speedup\": %s},\n"
+       r.campaign.injections r.campaign.jobs r.campaign.lanes
+       (f r.campaign.serial_s) (f r.campaign.parallel_s) (f r.campaign.lanes_s)
+       (f r.campaign.campaign_speedup)
+       (f r.campaign.lane_speedup));
   Buffer.add_string b
     (Printf.sprintf "  \"geomean_speedup\": %s\n}\n" (f r.geomean_speedup));
   Buffer.contents b
@@ -206,4 +267,8 @@ let pp fmt r =
   Format.fprintf fmt
     "fault campaign (%d injections): serial %.3fs, %d jobs %.3fs -> %.1fx@."
     r.campaign.injections r.campaign.serial_s r.campaign.jobs
-    r.campaign.parallel_s r.campaign.campaign_speedup
+    r.campaign.parallel_s r.campaign.campaign_speedup;
+  Format.fprintf fmt
+    "  %d jobs x %d lanes %.3fs -> %.1fx over serial@."
+    r.campaign.jobs r.campaign.lanes r.campaign.lanes_s
+    r.campaign.lane_speedup

@@ -26,10 +26,13 @@ type case = {
 
 type campaign_stat = {
   injections : int;
-  jobs : int;
-  serial_s : float;
-  parallel_s : float;
-  campaign_speedup : float;
+  jobs : int;  (** domains the parallel runs actually used *)
+  lanes : int;  (** lane width of the bit-sliced run *)
+  serial_s : float;  (** {!Fault.Campaign.run}: instrumented engine, 1 job *)
+  parallel_s : float;  (** {!Fault_driver.run} with [jobs], lanes disabled *)
+  lanes_s : float;  (** {!Fault_driver.run} with [jobs] and [lanes] *)
+  campaign_speedup : float;  (** serial over parallel *)
+  lane_speedup : float;  (** serial over lane-parallel — the headline figure *)
 }
 
 type result = {
@@ -43,9 +46,29 @@ exception Divergence of string
 (** Raised when the two engines (or the serial and parallel campaigns)
     disagree — the benchmark refuses to time wrong code. *)
 
-val run : ?quick:bool -> ?jobs:int -> unit -> result
+val run :
+  ?quick:bool ->
+  ?jobs:int ->
+  ?lanes:int ->
+  ?max_cycles:int ->
+  ?signature_capacity:int ->
+  unit ->
+  result
 (** [quick] (default false) shrinks every topology for CI smoke runs;
-    [jobs] (default {!Parallel.default_jobs}) sizes the parallel campaign. *)
+    [jobs] (default {!Parallel.default_jobs}) sizes the parallel campaign;
+    [lanes] (default {!Skeleton.Packed_lanes.max_lanes}, clamped to it)
+    sizes the bit-sliced campaign.  [max_cycles] / [signature_capacity]
+    are handed to every steady-state measurement, as the
+    {!Skeleton.Measure.analyze} arguments of the same names. *)
+
+type lane_point = { lp_lanes : int; lp_s : float; lp_speedup : float }
+
+val lane_sweep :
+  ?quick:bool -> ?widths:int list -> unit -> int * float * lane_point list
+(** Time the benchmark campaign once serially, then once per lane width
+    (default widths [1; 2; 8; 32; max_lanes], each asserted
+    bit-identical): [(injections, serial_s, points)].  The experiment
+    behind EXPERIMENTS.md E15. *)
 
 val to_json : result -> string
 (** Stable, human-diffable JSON rendering (the BENCH_pr3.json payload). *)

@@ -1,10 +1,24 @@
-let run ?jobs ?on_report (config : Fault.Campaign.config) net =
+let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?on_report
+    (config : Fault.Campaign.config) net =
   let faults = Fault.Campaign.faults_of_config config net in
   let baseline =
     Fault.Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
   in
   let reports =
-    Parallel.map ?jobs (fun fault -> Fault.Classify.classify baseline fault) faults
+    if lanes <= 1 then
+      Parallel.map ?jobs
+        (fun fault -> Fault.Classify.classify_fast baseline fault)
+        faults
+    else begin
+      let lanes = min lanes Skeleton.Packed_lanes.max_lanes in
+      let replay = Fault.Classify.replay baseline in
+      List.concat
+        (Parallel.map ?jobs
+           (fun batch ->
+             Fault.Campaign.classify_lane_batch baseline replay config net
+               ~lanes batch)
+           (Fault.Campaign.lane_batches ~lanes faults))
+    end
   in
   (match on_report with Some f -> List.iter f reports | None -> ());
   { Fault.Campaign.config; net; reports }

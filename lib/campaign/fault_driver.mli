@@ -1,19 +1,30 @@
 (** Parallel fault-injection campaigns.
 
     Same contract as {!Fault.Campaign.run} — same seeded fault list, same
-    classification, same report order — but the injections are fanned out
-    over domains with {!Parallel.map}.  Each injection builds its own
-    engines and monitors ({!Fault.Classify.classify} is self-contained);
-    the shared baseline is read-only after construction.  The result is
-    bit-identical to the serial run for every [jobs]. *)
+    classification, same report order — but the work is reorganized for
+    throughput on two independent axes:
+
+    - {b lanes}: faults are grouped into batches of [lanes - 1] and each
+      batch is screened by one bit-sliced run of
+      {!Skeleton.Packed_lanes}; non-divergent faults are answered from a
+      recorded fault-free replay, the rest re-simulated on the packed
+      engine ({!Fault.Classify.classify_fast}).
+    - {b jobs}: batches (or single faults, with [lanes <= 1]) are fanned
+      out over domains with {!Parallel.map}.
+
+    Every injection (and the shared baseline/replay) is self-contained
+    and read-only once built, so the result is bit-identical to the
+    serial run for every [jobs] and [lanes] combination. *)
 
 val run :
   ?jobs:int ->
+  ?lanes:int ->
   ?on_report:(Fault.Classify.report -> unit) ->
   Fault.Campaign.config ->
   Topology.Network.t ->
   Fault.Campaign.result
-(** [jobs] defaults to {!Parallel.default_jobs}.  [on_report] is invoked
-    on the calling domain in campaign order — after the parallel phase,
-    so in parallel mode it is a post-hoc iterator rather than live
-    progress. *)
+(** [jobs] defaults to {!Parallel.default_jobs}; [lanes] to
+    {!Skeleton.Packed_lanes.max_lanes} (clamped to it, [<= 1] disables
+    lane batching).  [on_report] is invoked on the calling domain in
+    campaign order — after the parallel phase, so in parallel mode it is
+    a post-hoc iterator rather than live progress. *)

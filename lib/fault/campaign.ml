@@ -79,6 +79,99 @@ let run ?on_report config net =
   in
   { config; net; reports }
 
+(* ------------------------------------------------------------------ *)
+(* Lane-parallel driving: one bit-sliced run filters a whole batch of
+   faults down to the ones that actually perturb the system.           *)
+
+module Lanes = Skeleton.Packed_lanes
+
+let spec_of_fault (f : Model.t) =
+  let site =
+    match f.site with
+    | Model.Forward { edge; seg } -> Lanes.Forward { edge; seg }
+    | Model.Backward { edge; boundary } -> Lanes.Backward { edge; boundary }
+    | Model.Register { edge; station } -> Lanes.Register { edge; station }
+  in
+  let eff =
+    (* the boolean shadow of [Model.hooks]: Valid_flip toggles the wire
+       unconditionally (XOR); Stop_spurious/Stop_stuck force the stop
+       high (OR), Stop_drop forces it low (AND-NOT); Data_corrupt has no
+       boolean dynamics at all, so its lane only watches the wire *)
+    match f.kind with
+    | Model.Valid_flip -> Lanes.Flip_valid
+    | Model.Data_corrupt -> Lanes.Watch
+    | Model.Stop_spurious | Model.Stop_stuck -> Lanes.Force_stop
+    | Model.Stop_drop -> Lanes.Drop_stop
+    | Model.Station_upset -> Lanes.Upset
+  in
+  { Lanes.eff; site; from_cycle = f.cycle; duration = f.duration }
+
+let lane_batches ~lanes faults =
+  let per_batch = lanes - 1 in
+  if per_batch < 1 then invalid_arg "Campaign.lane_batches: lanes must be >= 2";
+  let rec chunk acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | f :: rest ->
+        if n = per_batch then chunk (List.rev cur :: acc) [ f ] 1 rest
+        else chunk acc (f :: cur) (n + 1) rest
+  in
+  chunk [] [] 0 faults
+
+(* May a clean (never-divergent) lane answer for its fault from the
+   fault-free replay?  Register upsets rewrite occupancy and must always
+   be simulated (in practice their lanes always diverge anyway); a
+   payload corruption additionally needs its wire to have stayed void
+   through the window — only then is the corruption a literal no-op. *)
+let filterable (f : Model.t) (lr : Lanes.lane_report) =
+  (not lr.lr_diverged)
+  &&
+  match f.kind with
+  | Model.Station_upset -> false
+  | Model.Data_corrupt -> not lr.lr_touched
+  | Model.Valid_flip | Model.Stop_spurious | Model.Stop_drop | Model.Stop_stuck
+    ->
+      true
+
+let classify_lane_batch baseline replay config net ~lanes batch =
+  match (replay, batch) with
+  | None, _ ->
+      (* no usable fault-free replay: simulate every fault *)
+      List.map (Classify.classify_fast baseline) batch
+  | _, [] -> []
+  | Some rp, _ ->
+      let lanes_t =
+        Lanes.create ~flavour:config.flavour ~lanes net
+          (List.map spec_of_fault batch)
+      in
+      Lanes.run lanes_t ~cycles:config.cycles;
+      let lane_reports = Lanes.lane_reports lanes_t in
+      List.mapi
+        (fun i fault ->
+          if filterable fault lane_reports.(i) then
+            Classify.masked_report baseline rp fault
+          else Classify.classify_fast baseline fault)
+        batch
+
+let run_lanes ?(lanes = Lanes.max_lanes) ?on_report config net =
+  if lanes <= 1 then run ?on_report config net
+  else begin
+    let lanes = min lanes Lanes.max_lanes in
+    let faults = faults_of_config config net in
+    let baseline =
+      Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
+    in
+    let replay = Classify.replay baseline in
+    let reports =
+      List.concat_map
+        (fun batch ->
+          let rs = classify_lane_batch baseline replay config net ~lanes batch in
+          (match on_report with Some f -> List.iter f rs | None -> ());
+          rs)
+        (lane_batches ~lanes faults)
+    in
+    { config; net; reports }
+  end
+
 let tally result =
   List.map
     (fun kind ->

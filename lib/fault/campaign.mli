@@ -34,6 +34,45 @@ type result = {
 val run : ?on_report:(Classify.report -> unit) -> config -> Topology.Network.t -> result
 (** [on_report] is called after each injection (progress reporting). *)
 
+(** {1 Lane-parallel driving}
+
+    One bit-sliced run of {!Skeleton.Packed_lanes} carries a whole batch
+    of injections next to a fault-free reference lane; faults whose lanes
+    never diverge are answered from one recorded fault-free replay
+    ({!Classify.masked_report}), the rest are re-simulated exactly
+    ({!Classify.classify_fast}).  Reports are bit-identical to {!run} in
+    the same order — only the work to produce them changes. *)
+
+val spec_of_fault : Model.t -> Skeleton.Packed_lanes.spec
+(** The boolean shadow of a fault, as the lane engine injects it. *)
+
+val lane_batches : lanes:int -> Model.t list -> Model.t list list
+(** Split a campaign's fault list into batches of at most [lanes - 1]
+    (lane 0 is the reference), order preserved.  [lanes >= 2]. *)
+
+val classify_lane_batch :
+  Classify.baseline ->
+  Classify.replay option ->
+  config ->
+  Topology.Network.t ->
+  lanes:int ->
+  Model.t list ->
+  Classify.report list
+(** Classify one batch through the lane engine (batch length at most
+    [lanes - 1]).  With no replay every fault is simulated individually.
+    Exposed so parallel drivers ([Campaign.Fault_driver]) can fan batches
+    over workers. *)
+
+val run_lanes :
+  ?lanes:int ->
+  ?on_report:(Classify.report -> unit) ->
+  config ->
+  Topology.Network.t ->
+  result
+(** The lane-parallel campaign: same reports as {!run}, same order.
+    [lanes] defaults to {!Skeleton.Packed_lanes.max_lanes} (clamped to
+    it); [lanes <= 1] falls back to {!run}. *)
+
 val tally : result -> (Model.kind * (Classify.outcome * int) list) list
 (** Outcome counts per kind, kinds in [config.kinds] order, all six
     outcome columns present (possibly 0). *)

@@ -110,28 +110,15 @@ let align reference delivered =
     delivered;
   (!subs, !dups, !losses)
 
-let classify baseline fault =
-  let engine = Engine.create ~flavour:baseline.b_flavour baseline.net in
-  Engine.set_fault_hooks engine (Some (Model.hooks [ fault ]));
-  let mon = Monitor.create baseline.net in
-  let wd =
-    Monitor.Watchdog.create ~quiesce_after:(Model.last_cycle fault + 1) ()
-  in
-  for _ = 1 to baseline.b_cycles do
-    let snap = Engine.snapshot_next engine in
-    Monitor.observe mon snap;
-    let progress =
-      List.exists (fun (_, fired) -> fired) snap.node_fired
-      || List.exists (fun (_, tok) -> Lid.Token.is_valid tok) snap.sink_got
-    in
-    Monitor.Watchdog.note wd ~cycle:snap.snap_cycle
-      ~signature:(Engine.signature engine) ~progress
-  done;
-  let streams = sink_streams engine baseline.net in
+(* Fold one faulted run's evidence — monitor violations, watchdog
+   verdict, sink streams — into a report.  Shared verbatim by the three
+   run strategies: {!classify} (instrumented [Engine]), {!classify_fast}
+   (packed engine + probe views) and {!masked_report} (no run at all:
+   a recorded fault-free replay). *)
+let bin baseline fault ~violations ~wd ~streams =
   let delivered =
     List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 streams
   in
-  let violations = Monitor.violations mon in
   (* Evidence from the runtime monitors. *)
   let from_violation (v : Monitor.violation) =
     match v.v_kind with
@@ -200,3 +187,103 @@ let classify baseline fault =
         sink_anomaly = !sink_anomaly;
       };
   }
+
+let classify baseline fault =
+  let engine = Engine.create ~flavour:baseline.b_flavour baseline.net in
+  Engine.set_fault_hooks engine (Some (Model.hooks [ fault ]));
+  let mon = Monitor.create baseline.net in
+  let wd =
+    Monitor.Watchdog.create ~quiesce_after:(Model.last_cycle fault + 1) ()
+  in
+  for _ = 1 to baseline.b_cycles do
+    let snap = Engine.snapshot_next engine in
+    Monitor.observe mon snap;
+    let progress =
+      List.exists (fun (_, fired) -> fired) snap.node_fired
+      || List.exists (fun (_, tok) -> Lid.Token.is_valid tok) snap.sink_got
+    in
+    Monitor.Watchdog.note wd ~cycle:snap.snap_cycle
+      ~signature:(Engine.signature engine) ~progress
+  done;
+  bin baseline fault
+    ~violations:(Monitor.violations mon)
+    ~wd
+    ~streams:(sink_streams engine baseline.net)
+
+module Packed = Skeleton.Packed
+
+let packed_sink_streams packed net =
+  List.map
+    (fun (n : Net.node) -> (n.id, Packed.sink_values packed n.id))
+    (Net.sinks net)
+
+(* The packed engine's interned signature ids correspond one-to-one to
+   [Engine.signature] strings on the same network, so rendering the id is
+   an exact watchdog key: the verdict depends only on which cycles share
+   a signature, not on what the string spells. *)
+let classify_fast baseline fault =
+  let packed = Packed.create ~flavour:baseline.b_flavour baseline.net in
+  let hooks = Some (Model.hooks [ fault ]) in
+  let first = fault.Model.cycle and last = Model.last_cycle fault in
+  let mon = Monitor.create baseline.net in
+  let wd =
+    Monitor.Watchdog.create ~quiesce_after:(Model.last_cycle fault + 1) ()
+  in
+  for _ = 1 to baseline.b_cycles do
+    (* hooks are identity outside the fault window ([Model.active]), so
+       the engine only pays the hooked slow path on the window's cycles *)
+    let c = Packed.cycle packed in
+    Packed.set_fault_hooks packed
+      (if c >= first && c <= last then hooks else None);
+    let pv = Packed.probe_next packed in
+    Monitor.observe_probes mon ~cycle:pv.Packed.pv_cycle pv.Packed.pv_probes;
+    Monitor.Watchdog.note wd ~cycle:pv.Packed.pv_cycle
+      ~signature:(string_of_int (Packed.signature_id packed))
+      ~progress:(pv.Packed.pv_any_fired || pv.Packed.pv_sink_valid)
+  done;
+  bin baseline fault
+    ~violations:(Monitor.violations mon)
+    ~wd
+    ~streams:(packed_sink_streams packed baseline.net)
+
+(* A recorded fault-free monitored run: everything needed to classify,
+   without re-simulating, a fault whose lane never diverged from the
+   reference lane (see [Skeleton.Packed_lanes]).  Such a fault's run is
+   observationally identical to the fault-free one on every input of
+   [bin] — probes, signatures, progress, streams — except the watchdog's
+   quiesce window, which depends on the fault's own last cycle; so the
+   replay keeps the per-cycle signature keys and progress bits and
+   re-runs only the (cheap) watchdog per fault. *)
+type replay = {
+  rp_keys : string array;  (* post-commit signature key per cycle *)
+  rp_progress : bool array;
+  rp_streams : (Net.node_id * int list) list;
+}
+
+let replay baseline =
+  let packed = Packed.create ~flavour:baseline.b_flavour baseline.net in
+  let mon = Monitor.create baseline.net in
+  let n = baseline.b_cycles in
+  let keys = Array.make n "" and progress = Array.make n false in
+  for c = 0 to n - 1 do
+    let pv = Packed.probe_next packed in
+    Monitor.observe_probes mon ~cycle:pv.Packed.pv_cycle pv.Packed.pv_probes;
+    keys.(c) <- string_of_int (Packed.signature_id packed);
+    progress.(c) <- pv.Packed.pv_any_fired || pv.Packed.pv_sink_valid
+  done;
+  let streams = packed_sink_streams packed baseline.net in
+  (* A fault-free run that trips a monitor or misses the recorded base
+     streams is not a usable stand-in — fall back to real simulation. *)
+  if Monitor.violations mon <> [] || streams <> baseline.base_streams then None
+  else Some { rp_keys = keys; rp_progress = progress; rp_streams = streams }
+
+let masked_report baseline rp fault =
+  let wd =
+    Monitor.Watchdog.create ~quiesce_after:(Model.last_cycle fault + 1) ()
+  in
+  Array.iteri
+    (fun c key ->
+      Monitor.Watchdog.note wd ~cycle:c ~signature:key
+        ~progress:rp.rp_progress.(c))
+    rp.rp_keys;
+  bin baseline fault ~violations:[] ~wd ~streams:rp.rp_streams

@@ -48,3 +48,27 @@ val baseline :
 
 val classify : baseline -> Model.t -> report
 (** Inject one fault, run to the horizon, and bin the outcome. *)
+
+val classify_fast : baseline -> Model.t -> report
+(** As {!classify}, on the packed engine ({!Skeleton.Packed.probe_next})
+    instead of the instrumented one: identical reports (the probes,
+    watchdog keys and streams carry the same information), several times
+    faster.  The campaign drivers use this path. *)
+
+type replay
+(** A recorded fault-free monitored run — the stand-in classification
+    input for faults proven non-divergent by the lane-parallel engine
+    ({!Skeleton.Packed_lanes}). *)
+
+val replay : baseline -> replay option
+(** Run the fault-free system once, monitored, recording per-cycle
+    watchdog keys, progress bits and the sink streams.  [None] if the
+    fault-free run itself trips a monitor or contradicts the baseline
+    streams (then nothing can be synthesized and every fault must be
+    simulated). *)
+
+val masked_report : baseline -> replay -> Model.t -> report
+(** The report {!classify} would produce for a fault whose injected run
+    is observationally identical to the fault-free run: no simulation,
+    just the fault's own watchdog window re-played over the recorded
+    keys.  Sound only for faults the lane engine proved non-divergent. *)

@@ -58,58 +58,65 @@ let flag t ~cycle ~edge kind detail =
     { v_cycle = cycle; v_edge = edge; v_kind = kind; v_detail = detail }
     :: t.violations_rev
 
+(* The per-channel obligations for one cycle, shared by every probe
+   source ([Engine] snapshots and [Packed] probe views). *)
+let observe_chan t ~cycle ~edge (p : Engine.probe) =
+  let c = t.chans.(edge) in
+  (* 1. conservation: the ledger left by the previous cycles must agree
+     with the tokens actually resting in the relay chain. *)
+  let len = Queue.length c.ledger in
+  if len <> p.pr_occupancy then begin
+    if len > p.pr_occupancy then begin
+      flag t ~cycle ~edge Token_lost
+        (Printf.sprintf "%d token(s) in flight but %d stored" len
+           p.pr_occupancy);
+      for _ = 1 to len - p.pr_occupancy do
+        ignore (Queue.pop c.ledger)
+      done
+    end
+    else begin
+      flag t ~cycle ~edge Token_duplicated
+        (Printf.sprintf "%d token(s) stored but only %d in flight"
+           p.pr_occupancy len);
+      for _ = 1 to p.pr_occupancy - len do
+        Queue.push unknown c.ledger
+      done
+    end
+  end;
+  (* 2. stop-implies-hold at the consumer boundary. *)
+  (match c.prev_dst with
+  | Some (Token.Valid v, true)
+    when not (Token.equal p.pr_dst_tok (Token.valid v)) ->
+      flag t ~cycle ~edge Hold_violated
+        (Printf.sprintf "refused token %d replaced by %s" v
+           (Token.to_string p.pr_dst_tok))
+  | _ -> ());
+  c.prev_dst <- Some (p.pr_dst_tok, p.pr_dst_stop);
+  (* 3. the producer hands a datum over: it enters the channel. *)
+  (match p.pr_src_tok with
+  | Token.Valid v when not p.pr_src_stop -> Queue.push v c.ledger
+  | _ -> ());
+  (* 4. the consumer accepts a datum: the oldest in flight leaves. *)
+  match p.pr_dst_tok with
+  | Token.Valid got when not p.pr_dst_stop ->
+      if Queue.is_empty c.ledger then
+        flag t ~cycle ~edge Token_duplicated
+          (Printf.sprintf "delivered %d with nothing in flight" got)
+      else
+        let expected = Queue.pop c.ledger in
+        if expected <> got && expected <> unknown then
+          flag t ~cycle ~edge Token_mismatched
+            (Printf.sprintf "expected %d, delivered %d" expected got)
+  | _ -> ()
+
 let observe t (snap : Engine.snapshot) =
   let cycle = snap.snap_cycle in
   List.iter
-    (fun (edge, (p : Engine.probe)) ->
-      let c = t.chans.(edge) in
-      (* 1. conservation: the ledger left by the previous cycles must agree
-         with the tokens actually resting in the relay chain. *)
-      let len = Queue.length c.ledger in
-      if len <> p.pr_occupancy then begin
-        if len > p.pr_occupancy then begin
-          flag t ~cycle ~edge Token_lost
-            (Printf.sprintf "%d token(s) in flight but %d stored" len
-               p.pr_occupancy);
-          for _ = 1 to len - p.pr_occupancy do
-            ignore (Queue.pop c.ledger)
-          done
-        end
-        else begin
-          flag t ~cycle ~edge Token_duplicated
-            (Printf.sprintf "%d token(s) stored but only %d in flight"
-               p.pr_occupancy len);
-          for _ = 1 to p.pr_occupancy - len do
-            Queue.push unknown c.ledger
-          done
-        end
-      end;
-      (* 2. stop-implies-hold at the consumer boundary. *)
-      (match c.prev_dst with
-      | Some (Token.Valid v, true)
-        when not (Token.equal p.pr_dst_tok (Token.valid v)) ->
-          flag t ~cycle ~edge Hold_violated
-            (Printf.sprintf "refused token %d replaced by %s" v
-               (Token.to_string p.pr_dst_tok))
-      | _ -> ());
-      c.prev_dst <- Some (p.pr_dst_tok, p.pr_dst_stop);
-      (* 3. the producer hands a datum over: it enters the channel. *)
-      (match p.pr_src_tok with
-      | Token.Valid v when not p.pr_src_stop -> Queue.push v c.ledger
-      | _ -> ());
-      (* 4. the consumer accepts a datum: the oldest in flight leaves. *)
-      match p.pr_dst_tok with
-      | Token.Valid got when not p.pr_dst_stop ->
-          if Queue.is_empty c.ledger then
-            flag t ~cycle ~edge Token_duplicated
-              (Printf.sprintf "delivered %d with nothing in flight" got)
-          else
-            let expected = Queue.pop c.ledger in
-            if expected <> got && expected <> unknown then
-              flag t ~cycle ~edge Token_mismatched
-                (Printf.sprintf "expected %d, delivered %d" expected got)
-      | _ -> ())
+    (fun (edge, p) -> observe_chan t ~cycle ~edge p)
     snap.chan_probe
+
+let observe_probes t ~cycle probes =
+  Array.iteri (fun edge p -> observe_chan t ~cycle ~edge p) probes
 
 let violations t = List.rev t.violations_rev
 let attach t engine = Engine.set_monitor engine (Some (observe t))

@@ -49,6 +49,12 @@ val observe : t -> Skeleton.Engine.snapshot -> unit
 (** Feed one cycle.  Snapshots must be consecutive (the hold check and the
     ledger are stateful). *)
 
+val observe_probes :
+  t -> cycle:int -> Skeleton.Engine.probe array -> unit
+(** Feed one cycle from a dense probe array indexed by edge id (what
+    {!Skeleton.Packed.probe_next} captures) — the same obligations and
+    violation order as {!observe}, without a full snapshot. *)
+
 val violations : t -> violation list
 (** All violations so far, oldest first. *)
 

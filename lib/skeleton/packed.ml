@@ -852,6 +852,58 @@ let sink_count t node =
   t.snk_count.(node)
 
 (* ------------------------------------------------------------------ *)
+(* Probe capture: the boundary beliefs the runtime monitors consume.
+   Mirrors the [chan_probe] part of [Engine.capture] field for field, on
+   the resolved planes, so a packed run can feed [Fault.Monitor] without
+   building full snapshots. *)
+
+type probe_view = {
+  pv_cycle : int;  (* pre-commit cycle, as [Engine.snapshot.snap_cycle] *)
+  pv_probes : Engine.probe array;  (* indexed by edge id *)
+  pv_any_fired : bool;  (* some shell or source fired this cycle *)
+  pv_sink_valid : bool;  (* some sink consumed a valid token this cycle *)
+}
+
+let capture_probes t =
+  Array.init t.n_edges (fun e ->
+      let slot = t.e_src_slot.(e) in
+      let k_last = t.seg_off.(e + 1) - 1 in
+      let occ = ref 0 in
+      for j = t.st_off.(e) to t.st_off.(e + 1) - 1 do
+        if Bitset.get t.st_v0 j then incr occ;
+        if Bitset.get t.st_full j && Bitset.get t.st_v1 j then incr occ
+      done;
+      {
+        Engine.pr_src_tok =
+          token_of (Bitset.get t.out_valid slot) t.out_val.(slot);
+        pr_src_stop = consumer_stop t e;
+        pr_dst_tok = token_of (Bitset.get t.seg_valid k_last) t.seg_val.(k_last);
+        pr_dst_stop = dst_stop t e;
+        pr_occupancy = !occ;
+      })
+
+let probe_next t =
+  resolve t;
+  let any_fired = ref false and sink_valid = ref false in
+  for node = 0 to t.n_nodes - 1 do
+    if t.kind.(node) = k_sink then begin
+      let k = t.in_last_seg.(t.in_off.(node)) in
+      if bget t.w_seg_valid k && not (pat_active t node) then sink_valid := true
+    end
+    else if Bytes.unsafe_get t.fire node = '\003' then any_fired := true
+  done;
+  let pv =
+    {
+      pv_cycle = t.cycle;
+      pv_probes = capture_probes t;
+      pv_any_fired = !any_fired;
+      pv_sink_valid = !sink_valid;
+    }
+  in
+  commit t;
+  pv
+
+(* ------------------------------------------------------------------ *)
 (* Interned signatures.                                                *)
 
 let signature_id t =

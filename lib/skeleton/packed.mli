@@ -62,6 +62,29 @@ val signature_intern_clear : t -> unit
 (** As {!Engine.signature_intern_size} / {!Engine.signature_intern_clear}:
     the memory bound used by {!Measure} on aperiodic runs. *)
 
+(** {1 Probe capture}
+
+    The boundary beliefs the runtime monitors ([Fault.Monitor]) consume,
+    without the cost of a full {!Engine.snapshot}: per-edge probes, the
+    progress flags the deadlock watchdog needs, and nothing else. *)
+
+type probe_view = {
+  pv_cycle : int;
+      (** the cycle the probes describe (pre-commit, as
+          {!Engine.snapshot.snap_cycle}) *)
+  pv_probes : Engine.probe array;
+      (** per-edge boundary beliefs, indexed by edge id — field for field
+          what {!Engine.capture} puts in [chan_probe] *)
+  pv_any_fired : bool;  (** some shell or source fired this cycle *)
+  pv_sink_valid : bool;  (** some sink consumed a valid token this cycle *)
+}
+
+val probe_next : t -> probe_view
+(** Resolve the current cycle, capture the probes, then commit the clock
+    edge — the packed counterpart of {!Engine.snapshot_next}.  Calling
+    {!signature_id} right after gives the post-commit signature, exactly
+    what {!Engine.signature} yields after {!Engine.snapshot_next}. *)
+
 (** {1 Fault injection} *)
 
 val set_fault_hooks : t -> Engine.fault_hooks option -> unit

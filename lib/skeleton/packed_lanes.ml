@@ -1,0 +1,572 @@
+module Net = Topology.Network
+
+(* Lane-parallel boolean campaign engine.
+
+   The skeleton's protocol state is pure boolean — valid wires, stop
+   wires, station occupancy — so a native int can carry one independent
+   run per bit position and a single AND/OR/XOR advances all of them.
+   Lane 0 runs fault free; lanes 1..W-1 each carry one injected fault,
+   applied as per-lane XOR/OR/AND-NOT masks on the wires (and a per-lane
+   upset transform on station registers) at the fault's cycles.
+
+   The engine keeps no payloads.  Its job is not classification but a
+   sound divergence filter: a lane that never differs from lane 0 on any
+   plane a classifier could observe ran, observationally, the fault-free
+   schedule — so its report can be synthesized from one recorded
+   fault-free run instead of re-simulated.  Divergence is accumulated
+   per cycle over exactly the observable planes:
+
+   P1  registered planes after every clock edge (output buffers,
+       station main/aux or hold/sreg validity) — the state signature and
+       the occupancy probes;
+   P2  fire words of every shell and source — progress and stop beliefs;
+   P3  the consumer-side forward valid of every channel — deliveries and
+       the hold check;
+   P4  the producer-boundary handover word (buffer valid and no stop at
+       boundary 0) — the monitors' token ledger.
+
+   A clean lane under a valid-bit or stop fault is therefore exactly the
+   fault-free run for every probe, signature and sink stream the
+   classifier reads (payloads included: a conjured valid that is stored
+   or consumed anywhere trips P1, P2 or P3).  Payload faults
+   (data-corrupt) have no boolean footprint at all; for them the engine
+   instead watches whether the target wire was ever valid during the
+   fault window ([touched]) — an untouched corruption is a literal
+   no-op.  Register upsets always change occupancy, so they are always
+   reported divergent. *)
+
+(* One lane per bit of a native int, minus the sign bit and minus one
+   more so [(1 lsl lanes) - 1] never overflows: 62 lanes on 64-bit. *)
+let max_lanes = Sys.int_size - 1
+
+type site =
+  | Forward of { edge : Net.edge_id; seg : int }
+  | Backward of { edge : Net.edge_id; boundary : int }
+  | Register of { edge : Net.edge_id; station : int }
+
+type effect =
+  | Flip_valid  (** XOR the forward valid wire at the site *)
+  | Force_stop  (** OR the stop wire crossing the boundary *)
+  | Drop_stop  (** AND-NOT the stop wire crossing the boundary *)
+  | Upset  (** apply the relay-register upset transform *)
+  | Watch
+      (** no dynamics; record whether the wire was valid while active
+          (the boolean shadow of a payload corruption) *)
+
+type spec = { eff : effect; site : site; from_cycle : int; duration : int }
+
+type lane_report = {
+  lr_diverged : bool;
+  lr_touched : bool;
+  lr_first_divergence : int option;
+  lr_divergent_cycles : int;
+}
+
+(* Node kind tags, as [Packed]. *)
+let k_shell = 0
+let k_source = 1
+let k_sink = 2
+
+type t = {
+  flavour : Lid.Protocol.flavour;
+  optimized : bool;
+  lanes : int;
+  ones : int; (* (1 lsl lanes) - 1: the live-lane mask *)
+  n_specs : int;
+  specs : spec array;
+  (* --- compiled topology (immutable, ~the [Packed] CSR layout) --- *)
+  n_nodes : int;
+  n_edges : int;
+  kind : int array;
+  names : string array;
+  pat : bool array array; (* node -> activity word (sources/sinks) *)
+  in_off : int array;
+  in_last_seg : int array;
+  out_off : int array;
+  out_edge : int array;
+  e_src_slot : int array;
+  e_dst_node : int array;
+  st_off : int array;
+  st_full : bool array;
+  seg_off : int array;
+  order : int array; (* non-sink nodes, stop/fire dependencies first *)
+  cyclic : string option; (* a station-less stop loop found at compile *)
+  (* --- lane-word state: one int per wire, one lane per bit --- *)
+  ov : int array; (* out slot -> output-buffer valid lanes *)
+  st_v0 : int array; (* station -> main/hold valid lanes *)
+  st_v1 : int array; (* station -> aux valid / sreg lanes *)
+  sv : int array; (* segment -> forward valid lanes (scratch) *)
+  os : int array; (* out slot -> consumer stop lanes (scratch) *)
+  fire : int array; (* node -> fire lanes (scratch) *)
+  (* --- per-cycle fault masks (zero except while a fault is active) --- *)
+  fwd_xor : int array; (* segment space *)
+  stop_or : int array; (* boundary space (same layout as segments) *)
+  stop_andn : int array;
+  upset : int array; (* station space *)
+  (* --- divergence bookkeeping --- *)
+  mutable diff : int; (* lanes that ever diverged *)
+  mutable touched : int; (* lanes whose watched wire was valid *)
+  mutable hist : int array; (* per-cycle divergence words *)
+  mutable cycle : int;
+}
+
+let pattern_word p =
+  let n = Topology.Pattern.period p in
+  Array.init n (fun cycle -> Topology.Pattern.active p ~cycle)
+
+let validate_spec t i (s : spec) =
+  let bad msg = invalid_arg (Printf.sprintf "Packed_lanes: spec %d %s" i msg) in
+  if s.duration < 1 then bad "has duration < 1";
+  if s.from_cycle < 0 then bad "starts before cycle 0";
+  let check_edge e = if e < 0 || e >= t.n_edges then bad "names no such edge" in
+  (match s.site with
+  | Forward { edge; seg } ->
+      check_edge edge;
+      if seg < 0 || seg >= t.seg_off.(edge + 1) - t.seg_off.(edge) then
+        bad "names no such segment"
+  | Backward { edge; boundary } ->
+      check_edge edge;
+      if boundary < 0 || boundary >= t.seg_off.(edge + 1) - t.seg_off.(edge)
+      then bad "names no such boundary"
+  | Register { edge; station } ->
+      check_edge edge;
+      if station < 0 || station >= t.st_off.(edge + 1) - t.st_off.(edge) then
+        bad "names no such station");
+  match (s.eff, s.site) with
+  | (Flip_valid | Watch), Forward _
+  | (Force_stop | Drop_stop), Backward _
+  | Upset, Register _ ->
+      ()
+  | _ -> bad "pairs an effect with the wrong site plane"
+
+let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
+  if lanes < 2 || lanes > max_lanes then
+    invalid_arg
+      (Printf.sprintf "Packed_lanes.create: lanes must be in [2, %d]" max_lanes);
+  let specs = Array.of_list specs in
+  if Array.length specs > lanes - 1 then
+    invalid_arg "Packed_lanes.create: more specs than injection lanes";
+  let nodes = Array.of_list (Net.nodes net) in
+  let edges = Array.of_list (Net.edges net) in
+  let n_nodes = Array.length nodes and n_edges = Array.length edges in
+  let kind =
+    Array.map
+      (fun (n : Net.node) ->
+        match n.kind with
+        | Net.Shell _ -> k_shell
+        | Net.Source _ -> k_source
+        | Net.Sink _ -> k_sink)
+      nodes
+  in
+  let offsets count =
+    let off = Array.make (n_nodes + 1) 0 in
+    for i = 0 to n_nodes - 1 do
+      off.(i + 1) <- off.(i) + count i
+    done;
+    off
+  in
+  let in_off = offsets (fun i -> Array.length (Net.in_edges net i)) in
+  let out_off = offsets (fun i -> Array.length (Net.out_edges net i)) in
+  let st_off = Array.make (n_edges + 1) 0 in
+  let seg_off = Array.make (n_edges + 1) 0 in
+  Array.iteri
+    (fun i (e : Net.edge) ->
+      let m = List.length e.stations in
+      st_off.(i + 1) <- st_off.(i) + m;
+      seg_off.(i + 1) <- seg_off.(i) + m + 1)
+    edges;
+  let n_st = st_off.(n_edges) and n_seg = seg_off.(n_edges) in
+  let st_full = Array.make n_st false in
+  Array.iteri
+    (fun i (e : Net.edge) ->
+      List.iteri
+        (fun j k ->
+          if k = Lid.Relay_station.Full then st_full.(st_off.(i) + j) <- true)
+        e.stations)
+    edges;
+  let in_last_seg = Array.make in_off.(n_nodes) 0 in
+  let out_edge = Array.make out_off.(n_nodes) 0 in
+  for i = 0 to n_nodes - 1 do
+    Array.iteri
+      (fun p (e : Net.edge) ->
+        in_last_seg.(in_off.(i) + p) <- seg_off.(e.id + 1) - 1)
+      (Net.in_edges net i);
+    Array.iteri
+      (fun p (e : Net.edge) -> out_edge.(out_off.(i) + p) <- e.id)
+      (Net.out_edges net i)
+  done;
+  (* Stop resolution order.  A node's fire decision needs the stop of
+     every out edge; a station-less edge answers with its destination
+     shell's fire decision, so that shell must be resolved first.  The
+     dependency graph is static — [Engine.fire_of] recurses on exactly
+     these edges regardless of wire values — so a cycle here is the same
+     station-less stop loop [Engine] reports. *)
+  let state = Array.make n_nodes 0 in
+  let order_rev = ref [] in
+  let cyclic = ref None in
+  let rec visit i =
+    if state.(i) = 1 then begin
+      if !cyclic = None then Some nodes.(i).Net.name |> fun c -> cyclic := c
+    end
+    else if state.(i) = 0 then begin
+      state.(i) <- 1;
+      Array.iter
+        (fun (e : Net.edge) ->
+          if e.stations = [] && kind.(e.dst.node) = k_shell then
+            visit e.dst.node)
+        (Net.out_edges net i);
+      state.(i) <- 2;
+      order_rev := i :: !order_rev
+    end
+  in
+  for i = 0 to n_nodes - 1 do
+    if kind.(i) <> k_sink then visit i
+  done;
+  let t =
+    {
+      flavour;
+      optimized = (flavour = Lid.Protocol.Optimized);
+      lanes;
+      ones = (1 lsl lanes) - 1;
+      n_specs = Array.length specs;
+      specs;
+      n_nodes;
+      n_edges;
+      kind;
+      names = Array.map (fun (n : Net.node) -> n.name) nodes;
+      pat =
+        Array.map
+          (fun (n : Net.node) ->
+            match n.kind with
+            | Net.Source { pattern; _ } | Net.Sink { pattern } ->
+                pattern_word pattern
+            | Net.Shell _ -> [||])
+          nodes;
+      in_off;
+      in_last_seg;
+      out_off;
+      out_edge;
+      e_src_slot =
+        Array.map
+          (fun (e : Net.edge) -> out_off.(e.src.node) + e.src.port)
+          edges;
+      e_dst_node = Array.map (fun (e : Net.edge) -> e.dst.node) edges;
+      st_off;
+      st_full;
+      seg_off;
+      order = Array.of_list (List.rev !order_rev);
+      cyclic = !cyclic;
+      ov = Array.make out_off.(n_nodes) 0;
+      st_v0 = Array.make n_st 0;
+      st_v1 = Array.make n_st 0;
+      sv = Array.make n_seg 0;
+      os = Array.make out_off.(n_nodes) 0;
+      fire = Array.make n_nodes 0;
+      fwd_xor = Array.make n_seg 0;
+      stop_or = Array.make n_seg 0;
+      stop_andn = Array.make n_seg 0;
+      upset = Array.make n_st 0;
+      diff = 0;
+      touched = 0;
+      hist = [||];
+      cycle = 0;
+    }
+  in
+  Array.iteri (validate_spec t) specs;
+  (* Initial state, broadcast to every lane: shell output buffers valid
+     (pearls present their initial output), source buffers valid,
+     stations empty — as [Packed.create]. *)
+  for i = 0 to n_nodes - 1 do
+    if kind.(i) = k_shell || kind.(i) = k_source then
+      for p = out_off.(i) to out_off.(i + 1) - 1 do
+        t.ov.(p) <- t.ones
+      done
+  done;
+  t
+
+let lanes t = t.lanes
+let cycle t = t.cycle
+
+let pat_active t node cyc =
+  let p = t.pat.(node) in
+  let n = Array.length p in
+  if n = 1 then p.(0) else p.(cyc mod n)
+
+(* Broadcast lane 0 of [w] to every live lane, XOR against the word:
+   the lanes that differ from the reference. *)
+let against_lane0 t w = (w lxor - (w land 1)) land t.ones
+
+let step t =
+  (match t.cyclic with
+  | Some name ->
+      raise
+        (Engine.Combinational_stop_cycle
+           (Printf.sprintf
+              "combinational stop cycle through %S: a loop of station-less \
+               channels between shells"
+              name))
+  | None -> ());
+  let cyc = t.cycle in
+  let ones = t.ones in
+  (* 0. arm the per-lane fault masks active this cycle *)
+  let armed = ref false in
+  for i = 0 to t.n_specs - 1 do
+    let s = t.specs.(i) in
+    if cyc >= s.from_cycle && cyc < s.from_cycle + s.duration then begin
+      armed := true;
+      let bit = 1 lsl (i + 1) in
+      match (s.eff, s.site) with
+      | Flip_valid, Forward { edge; seg } ->
+          let k = t.seg_off.(edge) + seg in
+          t.fwd_xor.(k) <- t.fwd_xor.(k) lor bit
+      | Force_stop, Backward { edge; boundary } ->
+          let b = t.seg_off.(edge) + boundary in
+          t.stop_or.(b) <- t.stop_or.(b) lor bit
+      | Drop_stop, Backward { edge; boundary } ->
+          let b = t.seg_off.(edge) + boundary in
+          t.stop_andn.(b) <- t.stop_andn.(b) lor bit
+      | Upset, Register { edge; station } ->
+          let j = t.st_off.(edge) + station in
+          t.upset.(j) <- t.upset.(j) lor bit
+      | Watch, _ -> ()
+      | _ -> assert false (* ruled out by [validate_spec] *)
+    end
+  done;
+  (* 1. forward valid wires, with flip masks applied in flight (a half
+     station's pass-through must see the already-faulted upstream seg) *)
+  let sv = t.sv
+  and st_v0 = t.st_v0
+  and st_v1 = t.st_v1
+  and seg_off = t.seg_off
+  and st_off = t.st_off
+  and fwd_xor = t.fwd_xor in
+  for e = 0 to t.n_edges - 1 do
+    let k0 = seg_off.(e) in
+    sv.(k0) <- t.ov.(t.e_src_slot.(e)) lxor fwd_xor.(k0);
+    let s0 = st_off.(e) in
+    for j = s0 to st_off.(e + 1) - 1 do
+      let k = k0 + (j - s0) + 1 in
+      let base =
+        if t.st_full.(j) then st_v0.(j)
+        else st_v0.(j) lor (sv.(k - 1) land lnot (st_v0.(j) lor st_v1.(j)))
+      in
+      sv.(k) <- (base lxor fwd_xor.(k)) land ones
+    done
+  done;
+  (* watched wires: valid during the fault window means the payload
+     corruption is not a no-op *)
+  if !armed then
+    for i = 0 to t.n_specs - 1 do
+      let s = t.specs.(i) in
+      if
+        s.eff = Watch
+        && cyc >= s.from_cycle
+        && cyc < s.from_cycle + s.duration
+      then
+        match s.site with
+        | Forward { edge; seg } ->
+            t.touched <-
+              t.touched lor (sv.(seg_off.(edge) + seg) land (1 lsl (i + 1)))
+        | _ -> ()
+    done;
+  (* 2. stop and fire resolution, dependencies first *)
+  let dst_stop e =
+    let dn = t.e_dst_node.(e) in
+    if t.kind.(dn) = k_sink then if pat_active t dn cyc then ones else 0
+    else
+      let nf = lnot t.fire.(dn) land ones in
+      if t.optimized then nf land sv.(seg_off.(e + 1) - 1) else nf
+  in
+  let os = t.os in
+  for idx = 0 to Array.length t.order - 1 do
+    let node = t.order.(idx) in
+    let gated = ref 0 in
+    for p = t.out_off.(node) to t.out_off.(node + 1) - 1 do
+      let e = t.out_edge.(p) in
+      let s0 = st_off.(e) in
+      let raw =
+        if st_off.(e + 1) > s0 then
+          if t.st_full.(s0) then st_v1.(s0) else st_v0.(s0) lor st_v1.(s0)
+        else dst_stop e
+      in
+      let b = seg_off.(e) in
+      let stop = (raw lor t.stop_or.(b)) land lnot t.stop_andn.(b) land ones in
+      os.(p) <- stop;
+      gated := !gated lor (stop land if t.optimized then t.ov.(p) else ones)
+    done;
+    t.fire.(node) <-
+      (if t.kind.(node) = k_shell then begin
+         let all_valid = ref ones in
+         for ip = t.in_off.(node) to t.in_off.(node + 1) - 1 do
+           all_valid := !all_valid land sv.(t.in_last_seg.(ip))
+         done;
+         !all_valid land lnot !gated land ones
+       end
+       else (if pat_active t node cyc then ones else 0) land lnot !gated)
+  done;
+  (* 3. pre-commit divergence: fire words (P2), consumer-side valids
+     (P3), producer handover words (P4) *)
+  let cdiff = ref 0 in
+  for node = 0 to t.n_nodes - 1 do
+    if t.kind.(node) <> k_sink then
+      cdiff := !cdiff lor against_lane0 t t.fire.(node)
+  done;
+  for e = 0 to t.n_edges - 1 do
+    cdiff := !cdiff lor against_lane0 t sv.(seg_off.(e + 1) - 1);
+    let slot = t.e_src_slot.(e) in
+    cdiff := !cdiff lor against_lane0 t (t.ov.(slot) land lnot os.(slot))
+  done;
+  (* 4. station clock edge, consumer end first so each station's
+     pre-step word is read once (its own input and the upstream stop) *)
+  for e = 0 to t.n_edges - 1 do
+    let s0 = st_off.(e) and s1 = st_off.(e + 1) in
+    if s1 > s0 then begin
+      let k0 = seg_off.(e) in
+      let m = s1 - s0 in
+      let last_b = k0 + m in
+      let stop_in =
+        ref
+          ((dst_stop e lor t.stop_or.(last_b))
+          land lnot t.stop_andn.(last_b)
+          land ones)
+      in
+      for j = s1 - 1 downto s0 do
+        let v0 = st_v0.(j) and v1 = st_v1.(j) in
+        let k = k0 + (j - s0) in
+        let in_v = sv.(k) in
+        let stop = !stop_in in
+        let um = t.upset.(j) in
+        if t.st_full.(j) then begin
+          (* word-parallel [Relay_station.step], Full *)
+          let take = in_v land lnot v1 in
+          let consumed = v0 land lnot stop in
+          let v0' =
+            lnot v0 land take
+            lor (consumed land v1)
+            lor (consumed land lnot v1 land take)
+            lor (v0 land stop)
+          in
+          let v1' = v0 land stop land (v1 lor take) in
+          (* word-parallel [Relay_station.upset]: 2->1, 1->0, 0->1 *)
+          let v0'' =
+            (v0' land lnot um) lor (um land (v0' land v1' lor lnot v0'))
+          in
+          st_v0.(j) <- v0'' land ones;
+          st_v1.(j) <- v1' land lnot um land ones;
+          stop_in := ((v1 lor t.stop_or.(k)) land lnot t.stop_andn.(k)) land ones
+        end
+        else begin
+          (* word-parallel [Relay_station.step], Half *)
+          let v0' = stop land (v0 lor (lnot v1 land in_v)) in
+          let v1' = if t.optimized then 0 else stop in
+          st_v0.(j) <- (v0' lxor um) land ones;
+          st_v1.(j) <- v1' land ones;
+          stop_in :=
+            ((v0 lor v1 lor t.stop_or.(k)) land lnot t.stop_andn.(k)) land ones
+        end
+      done
+    end
+  done;
+  (* 5. shell and source output buffers: fired lanes load a fresh valid,
+     a valid-and-stopped buffer survives, the rest void *)
+  for node = 0 to t.n_nodes - 1 do
+    if t.kind.(node) <> k_sink then begin
+      let f = t.fire.(node) in
+      for p = t.out_off.(node) to t.out_off.(node + 1) - 1 do
+        t.ov.(p) <- (f lor (t.ov.(p) land os.(p))) land ones
+      done
+    end
+  done;
+  (* 6. post-commit divergence: every registered plane (P1) *)
+  for p = 0 to Array.length t.ov - 1 do
+    cdiff := !cdiff lor against_lane0 t t.ov.(p)
+  done;
+  for j = 0 to Array.length st_v0 - 1 do
+    cdiff := !cdiff lor against_lane0 t st_v0.(j);
+    cdiff := !cdiff lor against_lane0 t st_v1.(j)
+  done;
+  (* 7. disarm the masks and log the cycle *)
+  if !armed then
+    for i = 0 to t.n_specs - 1 do
+      let s = t.specs.(i) in
+      if cyc >= s.from_cycle && cyc < s.from_cycle + s.duration then begin
+        match (s.eff, s.site) with
+        | Flip_valid, Forward { edge; seg } ->
+            t.fwd_xor.(t.seg_off.(edge) + seg) <- 0
+        | Force_stop, Backward { edge; boundary } ->
+            t.stop_or.(t.seg_off.(edge) + boundary) <- 0
+        | Drop_stop, Backward { edge; boundary } ->
+            t.stop_andn.(t.seg_off.(edge) + boundary) <- 0
+        | Upset, Register { edge; station } ->
+            t.upset.(t.st_off.(edge) + station) <- 0
+        | Watch, _ -> ()
+        | _ -> assert false
+      end
+    done;
+  t.diff <- t.diff lor !cdiff;
+  if cyc >= Array.length t.hist then begin
+    let cap = max 64 (2 * Array.length t.hist) in
+    let h = Array.make cap 0 in
+    Array.blit t.hist 0 h 0 (Array.length t.hist);
+    t.hist <- h
+  end;
+  t.hist.(cyc) <- !cdiff;
+  t.cycle <- cyc + 1
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+(* Per-lane results.  Clean lanes answer from the accumulated [diff]
+   word alone; only divergent lanes pay for exact counters, recovered
+   from the cycle-major divergence history through the [Bitset] lane
+   views (transpose for the first-divergence scan, lane extraction +
+   popcount for the cycle counts). *)
+let lane_reports t =
+  let n = t.cycle in
+  let hist_bits = Bitvec.Bitset.create (n * t.lanes) in
+  let any = t.diff <> 0 in
+  if any then
+    for c = 0 to n - 1 do
+      let w = t.hist.(c) in
+      if w <> 0 then
+        for l = 1 to t.lanes - 1 do
+          if (w lsr l) land 1 = 1 then
+            Bitvec.Bitset.set hist_bits ((c * t.lanes) + l)
+        done
+    done;
+  let by_lane =
+    if any then Bitvec.Bitset.transpose ~rows:n ~cols:t.lanes hist_bits
+    else hist_bits
+  in
+  Array.init t.n_specs (fun i ->
+      let lane = i + 1 in
+      let diverged = (t.diff lsr lane) land 1 = 1 in
+      let touched = (t.touched lsr lane) land 1 = 1 in
+      if not diverged then
+        {
+          lr_diverged = false;
+          lr_touched = touched;
+          lr_first_divergence = None;
+          lr_divergent_cycles = 0;
+        }
+      else begin
+        let plane =
+          Bitvec.Bitset.lane_extract ~lanes:t.lanes ~lane hist_bits
+        in
+        let first = ref None in
+        (let c = ref 0 in
+         while !first = None && !c < n do
+           (* lane-major row of the transposed plane: bit lane*n + c *)
+           if Bitvec.Bitset.get by_lane ((lane * n) + !c) then
+             first := Some !c;
+           incr c
+         done);
+        {
+          lr_diverged = true;
+          lr_touched = touched;
+          lr_first_divergence = !first;
+          lr_divergent_cycles = Bitvec.Bitset.popcount plane;
+        }
+      end)

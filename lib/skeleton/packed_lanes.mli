@@ -1,0 +1,110 @@
+(** Lane-parallel bit-sliced campaign engine.
+
+    The skeleton's protocol state is pure boolean, so a native int can
+    carry one independent run per bit position: lane 0 is the fault-free
+    reference, lanes 1..W-1 each carry one injected fault applied as a
+    per-lane mask on the corresponding wire at the fault's cycles.  A
+    single word operation then advances up to {!max_lanes} campaign runs
+    at once.
+
+    The engine does not classify; it is a {e sound divergence filter}.
+    Per cycle it XORs every observable plane against a broadcast of lane
+    0 — registered planes after the clock edge, fire words, the
+    consumer-side forward valid of every channel, and the
+    producer-boundary handover word the monitors' token ledger consumes.
+    A lane that never differs on any of these ran, observationally, the
+    fault-free schedule: its classification can be synthesized from one
+    recorded fault-free run ([Fault.Classify.masked_report]) instead of
+    re-simulated.  Divergent lanes are handed back with exact per-lane
+    counters, recovered from the cycle-major divergence history through
+    {!Bitvec.Bitset.transpose} / {!Bitvec.Bitset.lane_extract}.
+
+    Payload corruptions have no boolean dynamics; their sites are
+    declared as {!constructor-Watch} and the engine instead records
+    whether the wire was ever valid during the fault window
+    ([lr_touched]) — an untouched corruption is a literal no-op.
+    Register upsets always change occupancy and must not be filtered;
+    declare them normally ({!constructor-Upset}) and treat their lanes as
+    divergent regardless.
+
+    This module is policy free: it takes neutral wire-site specs, not
+    [Fault.Model] values (the skeleton library sits below the fault
+    library).  [Fault.Campaign] owns the mapping and the eligibility
+    rules. *)
+
+val max_lanes : int
+(** Lanes per machine word: [Sys.int_size - 1] (62 on 64-bit), keeping
+    [(1 lsl lanes) - 1] inside a native int. *)
+
+(** {1 Fault sites}
+
+    Sites name wires in one channel's relay chain, in producer-to-consumer
+    order, exactly as [Fault.Model]: an edge with [m] stations has
+    segments [0..m] (forward valid), boundaries [0..m] (backward stop)
+    and stations [0..m-1]. *)
+
+type site =
+  | Forward of { edge : Topology.Network.edge_id; seg : int }
+  | Backward of { edge : Topology.Network.edge_id; boundary : int }
+  | Register of { edge : Topology.Network.edge_id; station : int }
+
+type effect =
+  | Flip_valid  (** XOR the forward valid wire at the site *)
+  | Force_stop  (** OR the stop wire crossing the boundary *)
+  | Drop_stop  (** AND-NOT the stop wire crossing the boundary *)
+  | Upset  (** the relay-register upset transform, after the clock edge *)
+  | Watch
+      (** no dynamics; record whether the wire was valid while the fault
+          was active (the boolean shadow of a payload corruption) *)
+
+type spec = {
+  eff : effect;
+  site : site;
+  from_cycle : int;  (** first active cycle *)
+  duration : int;  (** active cycles, [>= 1] *)
+}
+
+(** {1 Running} *)
+
+type t
+
+val create :
+  ?flavour:Lid.Protocol.flavour ->
+  lanes:int ->
+  Topology.Network.t ->
+  spec list ->
+  t
+(** [create ~lanes net specs] compiles [net] and binds spec [i] to lane
+    [i + 1] (lane 0 stays fault free).  Needs [2 <= lanes <= max_lanes]
+    and [List.length specs <= lanes - 1]; unused lanes idle as extra
+    fault-free copies.  Raises [Invalid_argument] on a lane or site
+    violation, including effect/site plane mismatches.  Default flavour
+    [Optimized], as [Engine.create]. *)
+
+val lanes : t -> int
+val cycle : t -> int
+
+val step : t -> unit
+(** One clock cycle for every lane.  Raises
+    [Engine.Combinational_stop_cycle] on the same station-less stop loops
+    [Engine] rejects (detected once at compile, raised at the first
+    step). *)
+
+val run : t -> cycles:int -> unit
+
+(** {1 Per-lane results} *)
+
+type lane_report = {
+  lr_diverged : bool;
+      (** the lane differed from lane 0 on some observable plane *)
+  lr_touched : bool;
+      (** a {!constructor-Watch} site was valid during the fault window *)
+  lr_first_divergence : int option;
+      (** earliest divergent cycle, [None] iff not diverged *)
+  lr_divergent_cycles : int;  (** number of divergent cycles *)
+}
+
+val lane_reports : t -> lane_report array
+(** One report per spec (index [i] describes lane [i + 1]), covering the
+    cycles run so far.  Clean lanes are answered from one accumulated
+    word; only divergent lanes pay for exact counters. *)

@@ -185,6 +185,82 @@ let props =
         && Bits.to_int (Bits.select c ~hi:(w - 1) ~lo:0) = y);
   ]
 
+(* --- Bitset lane views (the lane-parallel campaign primitives) ------ *)
+
+let random_bitset rng n =
+  let t = Bitset.create n in
+  for i = 0 to n - 1 do
+    if Random.State.bool rng then Bitset.set t i
+  done;
+  t
+
+let test_bitset_transpose_explicit () =
+  (* 2x3 row-major matrix 1 0 1 / 0 1 1 *)
+  let t = Bitset.create 6 in
+  List.iter (Bitset.set t) [ 0; 2; 4; 5 ];
+  let tr = Bitset.transpose ~rows:2 ~cols:3 t in
+  (* column-major: (1 0) (0 1) (1 1) *)
+  Alcotest.(check (list bool))
+    "transposed bits"
+    [ true; false; false; true; true; true ]
+    (List.init 6 (Bitset.get tr));
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Bitset.transpose: rows * cols must equal length")
+    (fun () -> ignore (Bitset.transpose ~rows:2 ~cols:2 t))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"Bitset: transpose . transpose = id" ~count:200
+    (QCheck.pair QCheck.small_int QCheck.small_int)
+    (fun (seed, shape) ->
+      let rows = 1 + (shape mod 9) and cols = 1 + (shape / 9 mod 9) in
+      let rng = Random.State.make [| seed; 0xb5e7 |] in
+      let t = random_bitset rng (rows * cols) in
+      Bitset.equal t
+        (Bitset.transpose ~rows:cols ~cols:rows
+           (Bitset.transpose ~rows ~cols t)))
+
+let prop_lane_mask_extract =
+  QCheck.Test.make ~name:"Bitset: lane_extract/lane_mask agree with scalar"
+    ~count:200
+    (QCheck.pair QCheck.small_int QCheck.small_int)
+    (fun (seed, shape) ->
+      let lanes = 1 + (shape mod 8) and per_lane = 1 + (shape / 8 mod 16) in
+      let rng = Random.State.make [| seed; 0x1a9e |] in
+      let t = random_bitset rng (lanes * per_lane) in
+      List.for_all
+        (fun lane ->
+          let masked = Bitset.lane_mask ~lanes ~lane t in
+          let dense = Bitset.lane_extract ~lanes ~lane t in
+          (* masked keeps only this lane's bits, in place *)
+          List.for_all
+            (fun i ->
+              Bitset.get masked i
+              = (i mod lanes = lane && Bitset.get t i))
+            (List.init (Bitset.length t) Fun.id)
+          (* dense is the per-row view of the same lane *)
+          && List.for_all
+               (fun row ->
+                 Bitset.get dense row = Bitset.get t ((row * lanes) + lane))
+               (List.init per_lane Fun.id)
+          (* extract sees through mask; popcount matches a scalar recount *)
+          && Bitset.equal dense (Bitset.lane_extract ~lanes ~lane masked)
+          && Bitset.popcount dense = Bitset.popcount masked
+          && Bitset.popcount dense
+             = List.length
+                 (List.filter
+                    (fun row -> Bitset.get t ((row * lanes) + lane))
+                    (List.init per_lane Fun.id)))
+        (List.init lanes Fun.id))
+
+let test_lane_bounds () =
+  let t = Bitset.create 12 in
+  Alcotest.check_raises "lane out of range"
+    (Invalid_argument "Bitset.lane_extract: lane out of range") (fun () ->
+      ignore (Bitset.lane_extract ~lanes:4 ~lane:4 t));
+  Alcotest.check_raises "length not a multiple"
+    (Invalid_argument "Bitset.lane_mask: length must be a multiple of lanes")
+    (fun () -> ignore (Bitset.lane_mask ~lanes:5 ~lane:0 t))
+
 let suite =
   [
     Alcotest.test_case "zero/ones" `Quick test_zero_ones;
@@ -206,5 +282,10 @@ let suite =
     Alcotest.test_case "mux" `Quick test_mux;
     Alcotest.test_case "hex" `Quick test_hex;
     Alcotest.test_case "wide vectors" `Quick test_wide;
+    Alcotest.test_case "bitset: transpose explicit" `Quick
+      test_bitset_transpose_explicit;
+    Alcotest.test_case "bitset: lane bounds" `Quick test_lane_bounds;
+    QCheck_alcotest.to_alcotest ~long:false prop_transpose_involution;
+    QCheck_alcotest.to_alcotest ~long:false prop_lane_mask_extract;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) props

@@ -1,0 +1,201 @@
+(* The lane-parallel campaign path earns its keep only if it is
+   bit-identical to the serial one: same reports, same order, for every
+   lane width — including widths that leave idle lanes in the final
+   batch.  The serial oracle is [Fault.Campaign.run], which still drives
+   the instrumented [Engine], so these properties also pin
+   [Classify.classify_fast] (packed probes) and [Classify.masked_report]
+   (replay synthesis) to [Classify.classify]. *)
+
+module G = Topology.Generators
+module C = Fault.Campaign
+module PL = Skeleton.Packed_lanes
+
+let config ~seed ~cycles ~max_sites =
+  {
+    C.default_config with
+    seed;
+    cycles;
+    max_sites_per_kind = max_sites;
+  }
+
+let report_equal (a : Fault.Classify.report) (b : Fault.Classify.report) =
+  a = b
+
+let check_same_result label (serial : C.result) (lanes : C.result) =
+  Alcotest.(check int)
+    (label ^ ": same report count")
+    (List.length serial.reports)
+    (List.length lanes.reports);
+  List.iteri
+    (fun i (a, b) ->
+      if not (report_equal a b) then
+        Alcotest.failf "%s: report %d differs (%s vs %s)" label i
+          (Fault.Classify.outcome_to_string a.Fault.Classify.outcome)
+          (Fault.Classify.outcome_to_string b.Fault.Classify.outcome))
+    (List.combine serial.reports lanes.reports);
+  Alcotest.(check bool) (label ^ ": same tally") true (C.tally serial = C.tally lanes);
+  Alcotest.(check bool) (label ^ ": same worst") true (C.worst serial = C.worst lanes)
+
+let test_run_lanes_matches_serial_fig1 () =
+  let net = G.fig1 () in
+  let config = config ~seed:5 ~cycles:120 ~max_sites:2 in
+  let serial = C.run config net in
+  Alcotest.(check bool)
+    "campaign is non-trivial" true
+    (List.length serial.C.reports >= 10);
+  List.iter
+    (fun lanes ->
+      check_same_result
+        (Printf.sprintf "lanes %d" lanes)
+        serial
+        (C.run_lanes ~lanes config net))
+    [ 2; 7; 32; PL.max_lanes ]
+
+let prop_run_lanes_matches_serial =
+  QCheck.Test.make ~name:"run_lanes = run on random loopy networks" ~count:12
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 0x1a2e |] in
+      let net =
+        G.random_loopy ~rng ~n_shells:(3 + (seed mod 4)) ~half_probability:0.3
+          ()
+      in
+      let config = config ~seed ~cycles:96 ~max_sites:1 in
+      let serial = C.run config net in
+      List.for_all
+        (fun lanes ->
+          let lr = C.run_lanes ~lanes config net in
+          serial.C.reports = lr.C.reports)
+        [ 2; 7; PL.max_lanes ])
+
+let test_idle_lanes_in_final_batch () =
+  (* 6 kinds x 1 site = ~6 faults; lanes 32 puts them all in one batch
+     with ~25 idle lanes, lanes 5 leaves a partial final batch *)
+  let net = G.fig1 () in
+  let config = config ~seed:3 ~cycles:100 ~max_sites:1 in
+  let faults = C.faults_of_config config net in
+  let n = List.length faults in
+  Alcotest.(check bool) "enough faults" true (n >= 5);
+  Alcotest.(check bool)
+    "lanes 32: idle lanes present" true
+    (n < 31);
+  let serial = C.run config net in
+  check_same_result "lanes 32 (idle lanes)" serial (C.run_lanes ~lanes:32 config net);
+  Alcotest.(check bool)
+    "lanes 5: partial final batch" true
+    (n mod 4 <> 0);
+  check_same_result "lanes 5 (partial batch)" serial (C.run_lanes ~lanes:5 config net)
+
+let test_lane_batches_shape () =
+  let f i = { (List.hd (C.faults_of_config (config ~seed:1 ~cycles:64 ~max_sites:1) (G.fig1 ()))) with Fault.Model.cycle = 5 + i } in
+  let faults = List.init 10 f in
+  let batches = C.lane_batches ~lanes:4 faults in
+  Alcotest.(check (list int))
+    "batches of lanes-1, order kept"
+    [ 3; 3; 3; 1 ]
+    (List.map List.length batches);
+  Alcotest.(check bool) "concat restores input" true (List.concat batches = faults);
+  Alcotest.(check (list int))
+    "exact multiple leaves no runt"
+    [ 3; 3 ]
+    (List.map List.length (C.lane_batches ~lanes:4 (List.init 6 f)))
+
+let test_classify_fast_matches_classify () =
+  let net = G.fig1 () in
+  let config = config ~seed:11 ~cycles:120 ~max_sites:2 in
+  let baseline =
+    Fault.Classify.baseline ~cycles:config.C.cycles ~flavour:config.C.flavour
+      net
+  in
+  List.iter
+    (fun fault ->
+      let a = Fault.Classify.classify baseline fault in
+      let b = Fault.Classify.classify_fast baseline fault in
+      if not (report_equal a b) then
+        Alcotest.failf "classify_fast differs on %s (%s vs %s)"
+          (Format.asprintf "%a" (Fault.Model.pp net) fault)
+          (Fault.Classify.outcome_to_string a.Fault.Classify.outcome)
+          (Fault.Classify.outcome_to_string b.Fault.Classify.outcome))
+    (C.faults_of_config config net)
+
+let test_lane_reports_sanity () =
+  (* a forced stop on a busy boundary diverges, and not before the fault
+     is first active; an idle spec list reports nothing *)
+  let net = G.fig1 () in
+  let spec =
+    {
+      PL.eff = PL.Force_stop;
+      site = PL.Backward { edge = 0; boundary = 0 };
+      from_cycle = 10;
+      duration = 3;
+    }
+  in
+  let t = PL.create ~lanes:8 net [ spec ] in
+  PL.run t ~cycles:80;
+  let lr = (PL.lane_reports t).(0) in
+  Alcotest.(check bool) "stop fault diverges" true lr.PL.lr_diverged;
+  (match lr.PL.lr_first_divergence with
+  | Some c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "first divergence %d not before injection" c)
+        true (c >= 10)
+  | None -> Alcotest.fail "diverged lane has a first divergence");
+  Alcotest.(check bool) "divergent cycles counted" true
+    (lr.PL.lr_divergent_cycles >= 1 && lr.PL.lr_divergent_cycles <= 80);
+  let idle = PL.create ~lanes:8 net [] in
+  PL.run idle ~cycles:80;
+  Alcotest.(check int) "no specs, no reports" 0
+    (Array.length (PL.lane_reports idle))
+
+let test_spec_validation () =
+  let net = G.fig1 () in
+  let spec eff site =
+    { PL.eff; site; from_cycle = 4; duration = 1 }
+  in
+  Alcotest.check_raises "lanes too small"
+    (Invalid_argument
+       (Printf.sprintf "Packed_lanes.create: lanes must be in [2, %d]"
+          PL.max_lanes))
+    (fun () -> ignore (PL.create ~lanes:1 net []));
+  Alcotest.check_raises "too many specs"
+    (Invalid_argument "Packed_lanes.create: more specs than injection lanes")
+    (fun () ->
+      ignore
+        (PL.create ~lanes:2 net
+           (List.init 2 (fun _ ->
+                spec PL.Flip_valid (PL.Forward { edge = 0; seg = 0 })))));
+  Alcotest.check_raises "effect on wrong plane"
+    (Invalid_argument "Packed_lanes: spec 0 pairs an effect with the wrong site plane")
+    (fun () ->
+      ignore
+        (PL.create ~lanes:4 net
+           [ spec PL.Force_stop (PL.Forward { edge = 0; seg = 0 }) ]))
+
+let test_driver_lanes_and_jobs () =
+  let rng = Random.State.make [| 0xd4; 0x1e |] in
+  let net = G.random_loopy ~rng ~n_shells:6 ~extra_back_edges:1 () in
+  let config = config ~seed:17 ~cycles:96 ~max_sites:2 in
+  let serial = C.run config net in
+  List.iter
+    (fun (jobs, lanes) ->
+      let par = Campaign.Fault_driver.run ~jobs ~lanes config net in
+      Alcotest.(check bool)
+        (Printf.sprintf "driver jobs=%d lanes=%d bit-identical" jobs lanes)
+        true
+        (serial.C.reports = par.C.reports))
+    [ (1, 1); (1, PL.max_lanes); (2, 8); (2, PL.max_lanes) ]
+
+let suite =
+  [
+    Alcotest.test_case "run_lanes = run on fig1, several widths" `Quick
+      test_run_lanes_matches_serial_fig1;
+    QCheck_alcotest.to_alcotest ~long:false prop_run_lanes_matches_serial;
+    Alcotest.test_case "idle lanes in the final batch" `Quick
+      test_idle_lanes_in_final_batch;
+    Alcotest.test_case "lane_batches shape" `Quick test_lane_batches_shape;
+    Alcotest.test_case "classify_fast = classify" `Quick
+      test_classify_fast_matches_classify;
+    Alcotest.test_case "lane report sanity" `Quick test_lane_reports_sanity;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "driver: lanes x jobs = serial" `Quick
+      test_driver_lanes_and_jobs;
+  ]

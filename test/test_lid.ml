@@ -17,6 +17,7 @@ let () =
       ("engine", T_engine.suite);
       ("measure-equiv", T_measure_equiv.suite);
       ("packed", T_packed.suite);
+      ("lanes", T_lanes.suite);
       ("campaign", T_campaign.suite);
       ("verify", T_verify.suite);
       ("cure-trace", T_cure_trace.suite);
