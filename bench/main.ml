@@ -24,6 +24,7 @@ let experiments =
     ("e13", "fault-injection robustness", Experiments.e13_fault_injection);
     ("e14", "packed-engine speedup", Experiments.e14_packed_speedup);
     ("e15", "lane-parallel campaign speedup", Experiments.e15_lane_campaign);
+    ("e16", "lint-predicted vs packed-measured", Experiments.e16_lint_vs_packed);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

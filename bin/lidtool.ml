@@ -14,12 +14,12 @@ let network_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
-let load_network path =
+let load_network ?allow_direct path =
   let text =
     if path = "-" then In_channel.input_all In_channel.stdin
     else In_channel.with_open_text path In_channel.input_all
   in
-  match Topology.Spec.parse text with
+  match Topology.Spec.parse ?allow_direct text with
   | Ok net -> net
   | Error m ->
       Printf.eprintf "error: %s\n" m;
@@ -78,6 +78,59 @@ let analyze_cmd =
   let term = Term.(const run $ network_arg) in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Classify a network and compute its analytic figures.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let fail_on_arg =
+    let level =
+      Arg.enum [ ("never", `Never); ("warn", `Warn); ("error", `Error) ]
+    in
+    Arg.(
+      value & opt level `Error
+      & info [ "fail-on" ] ~docv:"LEVEL"
+          ~doc:"Exit 1 when a diagnostic of at least this severity is \
+                present: $(b,never), $(b,warn) or $(b,error) (the default).")
+  in
+  let no_rtl_arg =
+    Arg.(
+      value & flag
+      & info [ "no-rtl" ]
+          ~doc:"Skip the gate-level stop-path pass (topology checks only).")
+  in
+  let run file flavour width json fail_on no_rtl =
+    (* parse with allow_direct: the linter's job is to report the
+       protocol violations the builder would refuse to construct *)
+    let net = load_network ~allow_direct:true file in
+    let report =
+      Lint.Checks.run ~flavour ~data_width:width ~gate:(not no_rtl) net
+    in
+    if json then print_string (Lint.Checks.to_json report)
+    else Format.printf "%a" Lint.Checks.pp report;
+    let fail =
+      match (fail_on, Lint.Checks.max_severity report) with
+      | `Never, _ | _, None -> false
+      | `Warn, Some s -> s = Lint.Diagnostic.Warning || s = Lint.Diagnostic.Error
+      | `Error, Some s -> s = Lint.Diagnostic.Error
+    in
+    if fail then exit 1
+  in
+  let term =
+    Term.(
+      const run $ network_arg $ flavour_arg $ width_arg $ json_arg
+      $ fail_on_arg $ no_rtl_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze a network: protocol violations (stop \
+             registration, minimum memory), throughput hazards with exact \
+             predicted rates and fix-its, liveness — with stable LIDnnn \
+             diagnostic codes and optional JSON output.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -578,6 +631,7 @@ let () =
        (Cmd.group info
           [
             analyze_cmd;
+            lint_cmd;
             simulate_cmd;
             equalize_cmd;
             deadlock_cmd;

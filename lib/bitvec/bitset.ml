@@ -87,6 +87,45 @@ let lane_extract ~lanes ~lane t =
   done;
   r
 
+(* --- set algebra --------------------------------------------------- *)
+(* Word-at-a-time set operations for analyses that propagate label sets
+   over a graph (the lint stop-path pass).  Lengths must match exactly:
+   mixing universes is a caller bug, not something to paper over. *)
+
+let check_same_length who a b =
+  if a.len <> b.len then invalid_arg (who ^ ": length mismatch")
+
+let union_into ~into src =
+  check_same_length "Bitset.union_into" into src;
+  for w = 0 to Array.length into.words - 1 do
+    Array.unsafe_set into.words w
+      (Array.unsafe_get into.words w lor Array.unsafe_get src.words w)
+  done
+
+let is_subset a ~of_ =
+  check_same_length "Bitset.is_subset" a of_;
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if Array.unsafe_get a.words w land lnot (Array.unsafe_get of_.words w) <> 0
+    then ok := false
+  done;
+  !ok
+
+let iter_set t f =
+  for w = 0 to Array.length t.words - 1 do
+    let bits = ref (Array.unsafe_get t.words w) in
+    while !bits <> 0 do
+      let low = !bits land - !bits in
+      (* count trailing zeros of an isolated low bit within the word *)
+      let j = ref 0 in
+      while low lsr !j land 1 = 0 do
+        incr j
+      done;
+      f ((w * bits_per_word) + !j);
+      bits := !bits land (!bits - 1)
+    done
+  done
+
 let blit_words t dst pos =
   Array.blit t.words 0 dst pos (Array.length t.words)
 

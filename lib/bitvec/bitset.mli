@@ -70,6 +70,22 @@ val lane_extract : lanes:int -> lane:int -> t -> t
     with {!popcount} it counts a lane's set rows exactly;
     [lane_extract (lane_mask t)] equals [lane_extract t]. *)
 
+(** {1 Set algebra}
+
+    Word-at-a-time set operations over equal-length vectors, used by
+    analyses that propagate label sets over a graph (the lint stop-path
+    pass).  All three raise [Invalid_argument] on a length mismatch. *)
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into src] ors every bit of [src] into [into]. *)
+
+val is_subset : t -> of_:t -> bool
+(** [is_subset a ~of_:b] is true iff every set bit of [a] is set in [b]. *)
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] applies [f] to the index of every set bit, in
+    increasing order. *)
+
 val blit_words : t -> int array -> int -> unit
 (** [blit_words t dst pos] copies the backing words into [dst] starting at
     [pos] — the signature-assembly primitive. *)

@@ -39,14 +39,12 @@ type chan = {
 }
 
 type t = {
-  net : Net.t;
   chans : chan array;  (* indexed by edge id *)
   mutable violations_rev : violation list;
 }
 
 let create net =
   {
-    net;
     chans =
       Array.init (Net.n_edges net) (fun _ ->
           { ledger = Queue.create (); prev_dst = None });

@@ -61,8 +61,18 @@ let topo_sort nodes =
     match Hashtbl.find_opt color id with
     | Some `Black -> ()
     | Some `Gray ->
+        (* [path] runs from the immediate parent back to the DFS root; only
+           its prefix up to the previous occurrence of [s] is the cycle.
+           Truncate there so the message lists exactly the cycle, closed by
+           repeating [s] at both ends. *)
+        let rec cycle_prefix = function
+          | [] -> []
+          | x :: tl ->
+              if Signal.uid x = id then [ x ] else x :: cycle_prefix tl
+        in
         let cycle =
-          List.map Signal.name_of (s :: path) |> String.concat " <- "
+          List.map Signal.name_of (s :: cycle_prefix path)
+          |> String.concat " <- "
         in
         invalid_arg ("Circuit: combinational cycle: " ^ cycle)
     | None ->

@@ -1,0 +1,414 @@
+module Net = Topology.Network
+module Elastic = Topology.Elastic
+module D = Diagnostic
+
+type ratio = int * int
+
+type report = {
+  net : Net.t;
+  diagnostics : D.t list;
+  structural : ratio option;
+  env_cap : ratio;
+  predicted : ratio option;
+  gate_ran : bool;
+  gate_proved : bool;
+  gate_skip_reason : string option;
+}
+
+(* Exact rational arithmetic by cross-multiplication: counts are tiny
+   (cycle token/latency sums, pattern periods), so no overflow and no
+   reduction is ever needed. *)
+let ratio_value (n, d) = float_of_int n /. float_of_int d
+let ratio_eq (a, b) (c, d) = a * d = c * b
+let ratio_le (a, b) (c, d) = a * d <= c * b
+let ratio_lt (a, b) (c, d) = a * d < c * b
+let ratio_min r1 r2 = if ratio_le r1 r2 then r1 else r2
+
+(* --- structural leg ------------------------------------------------- *)
+
+let check_elastic ?net el ~cyclic =
+  match Elastic.min_cycle_ratio el with
+  | exception Elastic.Zero_latency_cycle msg ->
+      ( [
+          {
+            D.code = D.LID001;
+            severity = D.Error;
+            loc = D.L_network;
+            message = "combinational stop cycle: " ^ msg;
+            params = D.P_none;
+            fixits = [];
+          };
+        ],
+        None )
+  | tok, lat when tok >= lat -> ([], Some (1, 1))
+  | _ ->
+      let (tok, lat), origins = Elastic.critical_cycle_origins el in
+      let cycle_edges =
+        List.filter_map
+          (function
+            | Elastic.O_station (e, _, dir) -> Some (e, dir)
+            | Elastic.O_buffer (e, dir) -> Some (e, dir)
+            | Elastic.O_internal -> None)
+          origins
+      in
+      let loc =
+        if cyclic then
+          match net with
+          | Some n ->
+              let nodes =
+                List.fold_left
+                  (fun acc (e, dir) ->
+                    match dir with
+                    | `Backward -> acc
+                    | `Forward ->
+                        let s = (Net.edge n e).src.node in
+                        if List.mem s acc then acc else s :: acc)
+                  [] cycle_edges
+                |> List.rev
+              in
+              if nodes = [] then D.L_network else D.L_loop nodes
+          | None -> D.L_network
+        else
+          (* the channel the critical cycle traverses against the data
+             flow is the capacity-starved short branch — exactly where
+             Equalize appends spare stations *)
+          match
+            List.find_opt (fun (_, dir) -> dir = `Backward) cycle_edges
+          with
+          | Some (e, _) -> D.L_edge e
+          | None -> (
+              match cycle_edges with
+              | (e, _) :: _ -> D.L_edge e
+              | [] -> D.L_network)
+      in
+      let d =
+        if tok = 0 then
+          {
+            D.code = D.LID004;
+            severity = D.Error;
+            loc;
+            message =
+              Printf.sprintf
+                "token-free cycle of latency %d: nothing can ever fire around \
+                 it (throughput 0)"
+                lat;
+            params =
+              D.P_loop { s = 0; r = lat; tokens = 0; latency = lat };
+            fixits = [];
+          }
+        else if cyclic then
+          let s = tok and r = lat - tok in
+          {
+            D.code = D.LID003;
+            severity = D.Warning;
+            loc;
+            message =
+              Printf.sprintf
+                "feedback loop of S=%d shell(s) and R=%d station(s): sustained \
+                 throughput capped at %d/%d = %.4f (T=S/(S+R); the protocol \
+                 adapts, do not equalize a loop)"
+                s r tok lat
+                (ratio_value (tok, lat));
+            params = D.P_loop { s; r; tokens = tok; latency = lat };
+            fixits = [];
+          }
+        else
+          let m = lat and i = lat - tok in
+          {
+            D.code = D.LID003;
+            severity = D.Warning;
+            loc;
+            message =
+              Printf.sprintf
+                "relay imbalance i=%d over the m=%d-stage critical virtual \
+                 loop: sustained throughput capped at %d/%d = %.4f \
+                 (T=(m-i)/m)"
+                i m tok lat
+                (ratio_value (tok, lat));
+            params = D.P_reconvergence { m; i; tokens = tok; latency = lat };
+            fixits = [];
+          }
+      in
+      ([ d ], Some (tok, lat))
+
+(* --- environment leg ------------------------------------------------ *)
+
+let pattern_duty = function
+  | Topology.Pattern.Always -> (1, 1)
+  | Topology.Pattern.Never -> (0, 1)
+  | Topology.Pattern.Periodic { period; active; _ } -> (active, period)
+  | Topology.Pattern.Word w ->
+      (Array.fold_left (fun a b -> if b then a + 1 else a) 0 w, Array.length w)
+
+(* Per env node, the rate it can sustain: a source emits on its active
+   cycles; a sink *stalls* on its active cycles, so it accepts on the
+   complement. *)
+let env_rates net =
+  List.filter_map
+    (fun (n : Net.node) ->
+      match n.kind with
+      | Net.Source { pattern; _ } -> Some (n, `Source, pattern_duty pattern)
+      | Net.Sink { pattern } ->
+          let a, p = pattern_duty pattern in
+          Some (n, `Sink, (p - a, p))
+      | Net.Shell _ -> None)
+    (Net.nodes net)
+
+(* --- the driver ----------------------------------------------------- *)
+
+let run ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16) ?(gate = true)
+    net =
+  let info = Topology.Classify.classify net in
+  (* LID002: the builder's minimum-memory theorem, channel by channel
+     (the linter accepts what the builder would refuse) *)
+  let memory_diags =
+    List.filter_map
+      (fun (e : Net.edge) ->
+        match ((Net.node net e.dst.node).kind, e.stations) with
+        | Net.Shell _, [] ->
+            Some
+              {
+                D.code = D.LID002;
+                severity = D.Error;
+                loc = D.L_edge e.id;
+                message =
+                  "station-less channel into a shell: the consumer cannot \
+                   register the stop, so at least one relay station is \
+                   required (minimum-memory theorem)";
+                params = D.P_none;
+                fixits = [ { D.fix_edge = e.id; fix_spare = 1 } ];
+              }
+        | _ -> None)
+      (Net.edges net)
+  in
+  (* LID001 (topology level) / LID003 / LID004: the structural bound *)
+  let structural_diags, structural =
+    check_elastic ~net (Elastic.of_network net) ~cyclic:info.cyclic
+  in
+  let structural_diags =
+    (* on feed-forward networks the LID003 fix is computable: the spare
+       stations Equalize.optimize would append *)
+    if info.cyclic then structural_diags
+    else
+      List.map
+        (fun (d : D.t) ->
+          if d.code <> D.LID003 then d
+          else
+            match Topology.Equalize.optimize ~budget:128 net with
+            | _, additions ->
+                {
+                  d with
+                  D.fixits =
+                    List.map
+                      (fun (a : Topology.Equalize.addition) ->
+                        { D.fix_edge = a.edge; fix_spare = a.spare })
+                      additions;
+                }
+            | exception Invalid_argument _ -> d)
+        structural_diags
+  in
+  (* LID005 / LID006: environment duty *)
+  let env = env_rates net in
+  let env_cap =
+    List.fold_left (fun acc (_, _, r) -> ratio_min acc r) (1, 1) env
+  in
+  let env_diags =
+    List.filter_map
+      (fun ((n : Net.node), role, (num, den)) ->
+        if num = 0 then
+          Some
+            {
+              D.code = D.LID005;
+              severity = D.Warning;
+              loc = D.L_node n.id;
+              message =
+                (match role with
+                | `Source ->
+                    "source is never active: the channels it reaches are \
+                     never driven and its component starves after the \
+                     transient"
+                | `Sink ->
+                    "sink never accepts: the channels into it never drain \
+                     and its component stalls once the buffers fill");
+              params = D.P_duty { active = 0; period = den };
+              fixits = [];
+            }
+        else
+          match structural with
+          | Some s when ratio_lt (num, den) s ->
+              Some
+                {
+                  D.code = D.LID006;
+                  severity = D.Info;
+                  loc = D.L_node n.id;
+                  message =
+                    Printf.sprintf
+                      "%s duty %d/%d = %.4f caps sustained throughput below \
+                       the structural bound %d/%d = %.4f"
+                      (match role with
+                      | `Source -> "source emit"
+                      | `Sink -> "sink accept")
+                      num den
+                      (ratio_value (num, den))
+                      (fst s) (snd s) (ratio_value s);
+                  params = D.P_duty { active = num; period = den };
+                  fixits = [];
+                }
+          | _ -> None)
+      env
+  in
+  (* LID007: the static deadlock rules *)
+  let deadlock_diags =
+    match Topology.Deadlock.static_verdict net with
+    | Topology.Deadlock.Safe_feedforward | Topology.Deadlock.Safe_full_only ->
+        []
+    | Topology.Deadlock.Potential { half_in_loops } ->
+        List.map
+          (fun (loop, halves) ->
+            {
+              D.code = D.LID007;
+              severity = D.Warning;
+              loc = D.L_loop loop;
+              message =
+                Printf.sprintf
+                  "loop contains %d half relay station(s): potential \
+                   deadlock — decide by simulating past the transient, or \
+                   cure by substituting full stations"
+                  halves;
+              params = D.P_none;
+              fixits = [];
+            })
+          half_in_loops
+  in
+  (* LID001 (gate level): elaborate and prove stop registration *)
+  let gate_ran, gate_proved, gate_diags, gate_skip_reason =
+    if not gate then (false, false, [], Some "disabled")
+    else if structural = None then
+      ( false,
+        false,
+        [],
+        Some "skipped: combinational stop cycle at topology level" )
+    else
+      match Topology.Rtl_net.of_network ~flavour ~data_width net with
+      | circ ->
+          let r = Stop_path.analyze net circ in
+          let diags =
+            List.map
+              (fun (v : Stop_path.violation) ->
+                let names = List.map (Stop_path.source_name net) v.v_sources in
+                {
+                  D.code = D.LID001;
+                  severity = D.Error;
+                  loc = D.L_edge v.v_edge;
+                  message =
+                    Printf.sprintf
+                      "stop reaches the channel's producer combinationally, \
+                       from: %s"
+                      (String.concat ", " names);
+                  params = D.P_stop_sources names;
+                  fixits = [ { D.fix_edge = v.v_edge; fix_spare = 1 } ];
+                })
+              r.violations
+          in
+          (true, r.proved, diags, None)
+      | exception Invalid_argument msg ->
+          if String.starts_with ~prefix:"Circuit: combinational cycle" msg then
+            ( false,
+              false,
+              [
+                {
+                  D.code = D.LID001;
+                  severity = D.Error;
+                  loc = D.L_network;
+                  message = msg;
+                  params = D.P_none;
+                  fixits = [];
+                };
+              ],
+              Some msg )
+          else (false, false, [], Some msg)
+  in
+  let diagnostics =
+    List.stable_sort D.compare
+      (memory_diags @ structural_diags @ env_diags @ deadlock_diags
+     @ gate_diags)
+  in
+  let predicted = Option.map (fun s -> ratio_min s env_cap) structural in
+  {
+    net;
+    diagnostics;
+    structural;
+    env_cap;
+    predicted;
+    gate_ran;
+    gate_proved;
+    gate_skip_reason;
+  }
+
+(* --- report accessors ----------------------------------------------- *)
+
+let count r sev =
+  List.length (List.filter (fun (d : D.t) -> d.severity = sev) r.diagnostics)
+
+let max_severity r =
+  List.fold_left
+    (fun acc (d : D.t) ->
+      match acc with
+      | None -> Some d.severity
+      | Some s ->
+          if D.severity_rank d.severity > D.severity_rank s then
+            Some d.severity
+          else acc)
+    None r.diagnostics
+
+let predicted_float r = Option.map ratio_value r.predicted
+
+let pp fmt r =
+  List.iter
+    (fun d -> Format.fprintf fmt "@[<v>%a@]@." (D.pp r.net) d)
+    r.diagnostics;
+  (match r.predicted with
+  | Some (n, d) ->
+      Format.fprintf fmt "predicted sustained throughput: %d/%d = %.4f@." n d
+        (ratio_value (n, d))
+  | None ->
+      Format.fprintf fmt
+        "predicted sustained throughput: none (combinational stop cycle)@.");
+  (if r.gate_ran then
+     Format.fprintf fmt "stop registration: %s on the elaborated netlist@."
+       (if r.gate_proved then "proved" else "VIOLATED")
+   else
+     match r.gate_skip_reason with
+     | Some why -> Format.fprintf fmt "stop registration: not checked (%s)@." why
+     | None -> ());
+  Format.fprintf fmt "summary: %d error(s), %d warning(s), %d info(s)@."
+    (count r D.Error) (count r D.Warning) (count r D.Info)
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      Buffer.add_string b (if i = 0 then "\n    " else ",\n    ");
+      D.json_to_buffer r.net b d)
+    r.diagnostics;
+  Buffer.add_string b (if r.diagnostics = [] then "],\n" else "\n  ],\n");
+  Printf.bprintf b
+    "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"infos\": %d},\n"
+    (count r D.Error) (count r D.Warning) (count r D.Info);
+  (match r.predicted with
+  | Some (n, d) ->
+      Printf.bprintf b
+        "  \"predicted_throughput\": {\"tokens\": %d, \"latency\": %d, \
+         \"value\": %.6f},\n"
+        n d
+        (ratio_value (n, d))
+  | None -> Buffer.add_string b "  \"predicted_throughput\": null,\n");
+  (if r.gate_ran then
+     Printf.bprintf b "  \"stop_path\": {\"ran\": true, \"proved\": %b}\n"
+       r.gate_proved
+   else
+     Printf.bprintf b "  \"stop_path\": {\"ran\": false, \"reason\": %S}\n"
+       (Option.value r.gate_skip_reason ~default:""));
+  Buffer.add_string b "}\n";
+  Buffer.contents b

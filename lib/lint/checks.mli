@@ -1,0 +1,84 @@
+(** The lint driver: every static check over one network.
+
+    Two layers are analyzed.  At topology level, the elastic marked-graph
+    model gives the structural throughput bound as an exact integer ratio
+    and localizes the critical cycle ([LID003]/[LID004], with
+    {!Topology.Equalize} fix-its on feed-forward networks); environment
+    patterns give an exact duty cap ([LID005]/[LID006]); the deadlock
+    rules give [LID007]; and the builder's minimum-memory theorem is
+    re-checked channel by channel ([LID002]).  At gate level, the network
+    is elaborated to RTL and {!Stop_path} proves — by path analysis over
+    [comb_order], not by simulation — that no channel samples a
+    combinationally-traversed stop ([LID001]).
+
+    The predicted sustained throughput is the minimum of the structural
+    and environment ratios, kept exact: tests and E16 cross-validate it
+    against the packed engine's measured steady state by
+    cross-multiplication, so the static and dynamic views can never
+    silently disagree. *)
+
+module Net = Topology.Network
+
+type ratio = int * int
+(** Exact non-negative rational [(num, den)], [den > 0], not necessarily
+    reduced. *)
+
+type report = {
+  net : Net.t;
+  diagnostics : Diagnostic.t list;  (** sorted: errors first *)
+  structural : ratio option;
+      (** min-cycle ratio of the elastic model, capped at [(1, 1)];
+          [None] when a zero-latency cycle makes the model meaningless *)
+  env_cap : ratio;  (** minimum environment emit/accept duty, [(1, 1)] free *)
+  predicted : ratio option;
+      (** predicted sustained system throughput:
+          [min (structural, env_cap)].  Exact for free environments (the
+          elastic model's regime); with patterned environments it is an
+          upper bound that phase interference can undercut. *)
+  gate_ran : bool;
+  gate_proved : bool;
+      (** the stop-path pass ran and proved every channel clean *)
+  gate_skip_reason : string option;
+      (** why the gate-level pass did not run (e.g. a non-[Always]
+          source has no RTL elaboration) *)
+}
+
+val run :
+  ?flavour:Lid.Protocol.flavour ->
+  ?data_width:int ->
+  ?gate:bool ->
+  Net.t ->
+  report
+(** Run every check.  [gate] (default true) controls the RTL
+    elaboration + stop-path pass; topology-level checks always run.
+    Accepts networks built with [~allow_direct:true] — that is the
+    point: the linter reports what the builder would have refused. *)
+
+val check_elastic :
+  ?net:Net.t -> Topology.Elastic.t -> cyclic:bool -> Diagnostic.t list * ratio option
+(** The structural leg alone: [LID001] (zero-latency cycle), [LID004]
+    (token-free cycle) or [LID003] (bound below 1) from an elastic
+    graph, plus the resulting bound ([None] on zero-latency cycles).
+    [net] only refines diagnostic locations; passing none falls back to
+    network-level locations.  Exposed so tests can drive hand-built
+    elastic graphs through the same classification. *)
+
+(** {1 Ratio helpers} *)
+
+val ratio_eq : ratio -> ratio -> bool
+(** Cross-multiplied equality — no reduction, no floats. *)
+
+val ratio_value : ratio -> float
+
+(** {1 Report accessors} *)
+
+val max_severity : report -> Diagnostic.severity option
+val count : report -> Diagnostic.severity -> int
+val predicted_float : report -> float option
+
+val pp : Format.formatter -> report -> unit
+(** The human-readable report. *)
+
+val to_json : report -> string
+(** The machine-readable report: diagnostics, severity totals, predicted
+    throughput, stop-path status. *)

@@ -1,0 +1,171 @@
+module Net = Topology.Network
+
+type severity = Info | Warning | Error
+
+type code = LID001 | LID002 | LID003 | LID004 | LID005 | LID006 | LID007
+
+type location =
+  | L_network
+  | L_node of Net.node_id
+  | L_edge of Net.edge_id
+  | L_loop of Net.node_id list
+  | L_signal of string
+
+type params =
+  | P_none
+  | P_reconvergence of { m : int; i : int; tokens : int; latency : int }
+  | P_loop of { s : int; r : int; tokens : int; latency : int }
+  | P_duty of { active : int; period : int }
+  | P_stop_sources of string list
+
+type fixit = { fix_edge : Net.edge_id; fix_spare : int }
+
+type t = {
+  code : code;
+  severity : severity;
+  loc : location;
+  message : string;
+  params : params;
+  fixits : fixit list;
+}
+
+let all_codes = [ LID001; LID002; LID003; LID004; LID005; LID006; LID007 ]
+
+let code_id = function
+  | LID001 -> "LID001"
+  | LID002 -> "LID002"
+  | LID003 -> "LID003"
+  | LID004 -> "LID004"
+  | LID005 -> "LID005"
+  | LID006 -> "LID006"
+  | LID007 -> "LID007"
+
+let code_slug = function
+  | LID001 -> "combinational-stop-path"
+  | LID002 -> "missing-memory-element"
+  | LID003 -> "relay-imbalance"
+  | LID004 -> "zero-throughput-cycle"
+  | LID005 -> "dead-environment"
+  | LID006 -> "env-duty-cap"
+  | LID007 -> "potential-deadlock"
+
+let code_doc = function
+  | LID001 ->
+      "a stop signal reaches a channel's producer combinationally, without \
+       crossing a memory element"
+  | LID002 ->
+      "a station-less channel feeds a shell: the minimum-memory theorem \
+       requires at least one relay station"
+  | LID003 ->
+      "relay imbalance or limiting loop: the structural throughput bound is \
+       below 1"
+  | LID004 -> "a token-free cycle permanently freezes part of the system"
+  | LID005 ->
+      "dead environment: a never-active source or a never-accepting sink"
+  | LID006 ->
+      "an environment duty cycle caps throughput below the structural bound"
+  | LID007 -> "half relay stations inside a loop: potential deadlock"
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+
+let loc_rank = function
+  | L_network -> (0, 0)
+  | L_node id -> (1, id)
+  | L_edge id -> (2, id)
+  | L_loop ids -> (3, match ids with [] -> 0 | id :: _ -> id)
+  | L_signal _ -> (4, 0)
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank b.severity) (severity_rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.code b.code in
+    if c <> 0 then c else Stdlib.compare (loc_rank a.loc) (loc_rank b.loc)
+
+let node_name net id = (Net.node net id).name
+
+let edge_label net eid =
+  let e = Net.edge net eid in
+  Printf.sprintf "%s.%d -> %s.%d" (node_name net e.src.node) e.src.port
+    (node_name net e.dst.node) e.dst.port
+
+let pp_location net fmt = function
+  | L_network -> Format.pp_print_string fmt "network"
+  | L_node id -> Format.pp_print_string fmt (node_name net id)
+  | L_edge id -> Format.pp_print_string fmt (edge_label net id)
+  | L_loop ids ->
+      Format.fprintf fmt "loop %s"
+        (String.concat " -> " (List.map (node_name net) ids))
+  | L_signal s -> Format.fprintf fmt "signal %s" s
+
+let pp net fmt d =
+  Format.fprintf fmt "%s %-7s %a: %s" (code_id d.code)
+    (severity_to_string d.severity)
+    (pp_location net) d.loc d.message;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@,    fix: append %d full station(s) to %s"
+        f.fix_spare (edge_label net f.fix_edge))
+    d.fixits
+
+(* --- JSON ----------------------------------------------------------- *)
+(* Hand-rolled, like [Campaign.Bench.to_json]: the vocabulary is fixed
+   and tiny, a json library dependency would be all cost. *)
+
+let buf_kv_str b key value = Printf.bprintf b "%S: %S" key value
+
+let json_location net b = function
+  | L_network -> Printf.bprintf b "{\"kind\": \"network\"}"
+  | L_node id ->
+      Printf.bprintf b "{\"kind\": \"node\", \"node\": %S}" (node_name net id)
+  | L_edge id ->
+      Printf.bprintf b "{\"kind\": \"edge\", \"edge_id\": %d, \"edge\": %S}" id
+        (edge_label net id)
+  | L_loop ids ->
+      Printf.bprintf b "{\"kind\": \"loop\", \"nodes\": [%s]}"
+        (String.concat ", "
+           (List.map (fun id -> Printf.sprintf "%S" (node_name net id)) ids))
+  | L_signal s -> Printf.bprintf b "{\"kind\": \"signal\", \"signal\": %S}" s
+
+let json_params b = function
+  | P_none -> Buffer.add_string b "{}"
+  | P_reconvergence { m; i; tokens; latency } ->
+      Printf.bprintf b
+        "{\"m\": %d, \"i\": %d, \"tokens\": %d, \"latency\": %d}" m i tokens
+        latency
+  | P_loop { s; r; tokens; latency } ->
+      Printf.bprintf b
+        "{\"s\": %d, \"r\": %d, \"tokens\": %d, \"latency\": %d}" s r tokens
+        latency
+  | P_duty { active; period } ->
+      Printf.bprintf b "{\"active\": %d, \"period\": %d}" active period
+  | P_stop_sources names ->
+      Printf.bprintf b "{\"stop_sources\": [%s]}"
+        (String.concat ", " (List.map (Printf.sprintf "%S") names))
+
+let json_to_buffer net b d =
+  Buffer.add_string b "{";
+  buf_kv_str b "code" (code_id d.code);
+  Buffer.add_string b ", ";
+  buf_kv_str b "slug" (code_slug d.code);
+  Buffer.add_string b ", ";
+  buf_kv_str b "severity" (severity_to_string d.severity);
+  Buffer.add_string b ", \"location\": ";
+  json_location net b d.loc;
+  Buffer.add_string b ", ";
+  buf_kv_str b "message" d.message;
+  Buffer.add_string b ", \"params\": ";
+  json_params b d.params;
+  Buffer.add_string b ", \"fixits\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "{\"edge_id\": %d, \"edge\": %S, \"spare\": %d}"
+        f.fix_edge (edge_label net f.fix_edge) f.fix_spare)
+    d.fixits;
+  Buffer.add_string b "]}"

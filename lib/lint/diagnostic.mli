@@ -1,0 +1,86 @@
+(** Structured lint diagnostics.
+
+    Every finding of the static analyzer is a value of {!t}: a stable
+    code, a severity, a location inside the network (or the elaborated
+    netlist), a human-readable message, machine-readable parameters, and
+    optional fix-its.  Codes are stable across releases — scripts and CI
+    gates may match on them — so a code is never renumbered or reused;
+    retired codes would be left as holes. *)
+
+module Net = Topology.Network
+
+type severity = Info | Warning | Error
+
+type code =
+  | LID001  (** combinational stop path: a stop signal reaches a channel's
+                producer without crossing a memory element *)
+  | LID002  (** missing memory element: a station-less channel into a
+                shell (the paper's minimum-memory theorem is violated) *)
+  | LID003  (** relay imbalance / limiting cycle: the structural
+                throughput bound is below 1 *)
+  | LID004  (** zero-throughput cycle: a token-free cycle freezes part of
+                the system *)
+  | LID005  (** dead environment: a never-active source (its channels are
+                never driven) or a never-accepting sink (its channels
+                never drain) *)
+  | LID006  (** environment duty cap: an environment pattern caps
+                throughput below the structural bound *)
+  | LID007  (** potential deadlock: half relay stations inside a loop *)
+
+type location =
+  | L_network  (** the system as a whole *)
+  | L_node of Net.node_id
+  | L_edge of Net.edge_id
+  | L_loop of Net.node_id list  (** a cycle of the channel graph *)
+  | L_signal of string  (** a named signal of the elaborated netlist *)
+
+(** Machine-readable payload, mirroring the paper's closed forms. *)
+type params =
+  | P_none
+  | P_reconvergence of { m : int; i : int; tokens : int; latency : int }
+      (** feed-forward imbalance: throughput [(m-i)/m], with the critical
+          virtual loop's exact token/latency counts *)
+  | P_loop of { s : int; r : int; tokens : int; latency : int }
+      (** feedback loop of [s] shells and [r] stations: throughput
+          [s/(s+r)] *)
+  | P_duty of { active : int; period : int }
+      (** effective accept/emit duty of an environment node *)
+  | P_stop_sources of string list
+      (** the stop origins combinationally visible at a channel *)
+
+type fixit = { fix_edge : Net.edge_id; fix_spare : int }
+(** "append [fix_spare] full relay stations to channel [fix_edge]". *)
+
+type t = {
+  code : code;
+  severity : severity;
+  loc : location;
+  message : string;
+  params : params;
+  fixits : fixit list;
+}
+
+val all_codes : code list
+
+val code_id : code -> string
+(** ["LID001"] ... — the stable identifier. *)
+
+val code_slug : code -> string
+(** Short kebab-case name, e.g. ["combinational-stop-path"]. *)
+
+val code_doc : code -> string
+(** One-line meaning (the README table is generated from these). *)
+
+val severity_to_string : severity -> string
+val severity_rank : severity -> int
+(** [Info] 0, [Warning] 1, [Error] 2. *)
+
+val compare : t -> t -> int
+(** Sort key for reports: descending severity, then code, then location. *)
+
+val pp_location : Net.t -> Format.formatter -> location -> unit
+val pp : Net.t -> Format.formatter -> t -> unit
+(** One diagnostic as a human-readable line (plus fix-it lines). *)
+
+val json_to_buffer : Net.t -> Buffer.t -> t -> unit
+(** Append the diagnostic as one JSON object. *)

@@ -1,0 +1,99 @@
+module Net = Topology.Network
+module Signal = Hdl.Signal
+module Circuit = Hdl.Circuit
+module Bitset = Bitvec.Bitset
+
+type stop_source = Stall of Net.node_id | Edge_stop of Net.edge_id
+
+type violation = { v_edge : Net.edge_id; v_sources : stop_source list }
+
+type result = {
+  proved : bool;
+  violations : violation list;
+  edges_checked : int;
+}
+
+let source_name net = function
+  | Stall id -> Printf.sprintf "stall(%s)" (Net.node net id).name
+  | Edge_stop eid ->
+      let e = Net.edge net eid in
+      Printf.sprintf "stop(%s.%d -> %s.%d)" (Net.node net e.src.node).name
+        e.src.port (Net.node net e.dst.node).name e.dst.port
+
+(* "e<digits>_stop" — and only that: the per-station "e3_rs1_stop" wires
+   must not match, they are interior points of the same channel. *)
+let edge_stop_bit ~n_edges name =
+  let n = String.length name in
+  if n >= 7 && name.[0] = 'e' && String.sub name (n - 5) 5 = "_stop" then
+    match int_of_string_opt (String.sub name 1 (n - 6)) with
+    | Some i when i >= 0 && i < n_edges -> Some i
+    | _ -> None
+  else None
+
+let analyze net circ =
+  let n_edges = Net.n_edges net in
+  let sinks = Array.of_list (Net.sinks net) in
+  (* label universe: one bit per channel stop point, one per sink stall *)
+  let n_bits = n_edges + Array.length sinks in
+  let stall_bit = Hashtbl.create 8 in
+  Array.iteri
+    (fun k (n : Net.node) -> Hashtbl.add stall_bit ("stall_" ^ n.name) (n_edges + k))
+    sinks;
+  let sets : (int, Bitset.t) Hashtbl.t = Hashtbl.create 1024 in
+  let observations = Array.make (max 1 n_edges) None in
+  (* one forward pass: comb_order lists every combinational node after
+     its combinational dependencies, so each union is over final sets *)
+  Array.iter
+    (fun s ->
+      let acc = Bitset.create n_bits in
+      List.iter
+        (fun d ->
+          match d with
+          | Signal.Input { name; _ } -> (
+              match Hashtbl.find_opt stall_bit name with
+              | Some bit -> Bitset.set acc bit
+              | None -> ())
+          | _ -> (
+              match Hashtbl.find_opt sets (Signal.uid d) with
+              | Some ds -> Bitset.union_into ~into:acc ds
+              | None -> () (* register or constant: state, not a path *)))
+        (Signal.deps s);
+      (match s with
+      | Signal.Wire { name = Some nm; _ } -> (
+          match edge_stop_bit ~n_edges nm with
+          | Some e ->
+              (* what the producer of channel [e] samples is the set
+                 before this wire adds its own origin label *)
+              observations.(e) <- Some (Bitset.copy acc);
+              Bitset.set acc e
+          | None -> ())
+      | _ -> ());
+      Hashtbl.replace sets (Signal.uid s) acc)
+    (Circuit.comb_order circ);
+  let violations = ref [] in
+  let checked = ref 0 in
+  for e = n_edges - 1 downto 0 do
+    match observations.(e) with
+    | None -> ()
+    | Some obs ->
+        incr checked;
+        let allowed = Bitset.create n_bits in
+        let dst = (Net.edge net e).dst.node in
+        (match (Net.node net dst).kind with
+        | Net.Sink _ -> (
+            match Hashtbl.find_opt stall_bit ("stall_" ^ (Net.node net dst).name) with
+            | Some bit -> Bitset.set allowed bit
+            | None -> ())
+        | Net.Shell _ | Net.Source _ -> ());
+        if not (Bitset.is_subset obs ~of_:allowed) then begin
+          let srcs = ref [] in
+          Bitset.iter_set obs (fun bit ->
+              if not (Bitset.get allowed bit) then
+                srcs :=
+                  (if bit < n_edges then Edge_stop bit
+                   else Stall sinks.(bit - n_edges).id)
+                  :: !srcs);
+          violations := { v_edge = e; v_sources = List.rev !srcs } :: !violations
+        end
+  done;
+  { proved = !violations = []; violations = !violations; edges_checked = !checked }

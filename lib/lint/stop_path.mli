@@ -1,0 +1,51 @@
+(** Gate-level proof that stop signals are registered per channel.
+
+    The paper's central implementation theorem: a shell cannot store an
+    incoming stop, so back-pressure traverses it combinationally — and
+    therefore every channel between shell-like blocks needs at least one
+    memory element (a relay station), or stops chain combinationally
+    across the system.
+
+    This pass proves the property {e statically} on the elaborated
+    netlist, with no simulation: walking [Hdl.Circuit.comb_order] once,
+    it propagates, for every combinational node, the set of {e stop
+    origins} (environment stall inputs, and other channels'
+    producer-side stop points) on which the node's value depends this
+    cycle.  Registers, constants and non-stall inputs contribute the
+    empty set — they are this cycle's state, not a combinational path.
+
+    A channel is clean when the stop its producer samples depends on no
+    stop origin at all (it is a register output — a relay station
+    registered it), or only on the stall input of the channel's own
+    directly-attached sink (the environment's stop is allowed to enter
+    un-registered at the boundary, as in the paper's figures).  Anything
+    else is a combinational stop traversal — diagnostic [LID001]. *)
+
+module Net = Topology.Network
+
+type stop_source =
+  | Stall of Net.node_id  (** a sink's [stall_*] environment input *)
+  | Edge_stop of Net.edge_id  (** channel [e]'s producer-side stop point *)
+
+type violation = {
+  v_edge : Net.edge_id;
+  v_sources : stop_source list;
+      (** the disallowed stop origins combinationally visible at the
+          channel's producer-side stop, in increasing bit order *)
+}
+
+type result = {
+  proved : bool;  (** no channel sees a disallowed stop origin *)
+  violations : violation list;
+  edges_checked : int;
+      (** producer-side stop wires found in the netlist and analyzed *)
+}
+
+val analyze : Net.t -> Hdl.Circuit.t -> result
+(** The circuit must be the elaboration of the network
+    ({!Topology.Rtl_net.of_network}), whose naming discipline
+    ([e<id>_stop], [stall_<sink>]) carries the provenance this analysis
+    reads back. *)
+
+val source_name : Net.t -> stop_source -> string
+(** Printable origin, e.g. ["stall(out)"] or ["stop(A.0 -> B.0)"]. *)

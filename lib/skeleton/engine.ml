@@ -5,7 +5,6 @@ exception Combinational_stop_cycle of string
 
 type source_state = {
   src_pattern : Topology.Pattern.t;
-  src_start : int;
   mutable next_val : int;
   mutable buf : Token.t;
 }
@@ -80,7 +79,7 @@ let make_impl flavour (n : Net.node) =
       I_shell { shell; st = Lid.Shell.initial shell }
   | Net.Source { pattern; start } ->
       I_source
-        { src_pattern = pattern; src_start = start; next_val = start + 1;
+        { src_pattern = pattern; next_val = start + 1;
           buf = Token.valid start }
   | Net.Sink { pattern } ->
       I_sink { snk_pattern = pattern; consumed_rev = []; consumed_n = 0 }

@@ -133,6 +133,37 @@ let analyze_packed ?max_cycles ?signature_capacity packed =
     ~fired:(Packed.fired_count packed)
     ~sunk:(Packed.sink_count packed)
 
+(* Exact steady-state system throughput: the minimum, over shells and
+   sources, of integer tokens fired over exactly one period.  This is
+   what [analyze] computes in floats, kept as a ratio so static
+   predictions can be cross-checked by cross-multiplication (the lint
+   suite and E16), with no float rounding in the comparison. *)
+let steady_ratio_packed ?max_cycles ?signature_capacity p =
+  match
+    find_repeat_driver ?max_cycles ?signature_capacity (packed_driver p)
+  with
+  | None -> None
+  | Some (_, period) ->
+      let shellish =
+        List.filter
+          (fun (n : Net.node) ->
+            match n.kind with
+            | Net.Shell _ | Net.Source _ -> true
+            | Net.Sink _ -> false)
+          (Net.nodes (Packed.network p))
+      in
+      let before =
+        List.map (fun (n : Net.node) -> (n.id, Packed.fired_count p n.id)) shellish
+      in
+      Packed.run p ~cycles:period;
+      let deltas =
+        List.map (fun (id, b) -> Packed.fired_count p id - b) before
+      in
+      Some
+        (match deltas with
+        | [] -> (0, 1)
+        | x :: rest -> (List.fold_left min x rest, period))
+
 let system_throughput r =
   let net_rates = List.map snd r.node_throughput in
   match net_rates with

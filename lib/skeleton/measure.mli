@@ -51,6 +51,16 @@ val system_throughput : report -> float
     calls system throughput (in a connected steady state all nodes settle
     to the same rate; the minimum is the conservative reading). *)
 
+val steady_ratio_packed :
+  ?max_cycles:int -> ?signature_capacity:int -> Packed.t -> (int * int) option
+(** Exact steady-state system throughput as an integer ratio
+    [(fired, period)]: the minimum over shells and sources of tokens
+    fired during exactly one period, measured after the transient (the
+    integer-valued counterpart of {!system_throughput}, for
+    cross-multiplied comparison against static predictions).  [(0, 1)]
+    for a degenerate net with no shell-like node; [None] when no period
+    is found within the budget. *)
+
 val transient_and_period :
   ?max_cycles:int -> ?signature_capacity:int -> Engine.t -> (int * int) option
 

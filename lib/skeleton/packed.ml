@@ -90,8 +90,6 @@ type t = {
   seg_val : int array;
   fire : Bytes.t; (* 0 unknown, 1 in progress, 2 no, 3 yes *)
   stop_known : Bytes.t;
-  out_stop : Bitset.t; (* stop observed per out slot *)
-  st_stop_in : Bitset.t; (* commit scratch: stop entering each station *)
   in_scratch : int array array; (* shell -> reused pearl-input buffer *)
   (* cached backing words of the planes above, addressed via [bget] &c. *)
   w_out_valid : int array;
@@ -239,8 +237,6 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
       seg_val = Array.make n_seg 0;
       fire = Bytes.create n_nodes;
       stop_known = Bytes.create n_nodes;
-      out_stop;
-      st_stop_in;
       in_scratch =
         Array.init n_nodes (fun i ->
             if kind.(i) = k_shell then

@@ -68,7 +68,6 @@ let k_source = 1
 let k_sink = 2
 
 type t = {
-  flavour : Lid.Protocol.flavour;
   optimized : bool;
   lanes : int;
   ones : int; (* (1 lsl lanes) - 1: the live-lane mask *)
@@ -78,7 +77,6 @@ type t = {
   n_nodes : int;
   n_edges : int;
   kind : int array;
-  names : string array;
   pat : bool array array; (* node -> activity word (sources/sinks) *)
   in_off : int array;
   in_last_seg : int array;
@@ -224,7 +222,6 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
   done;
   let t =
     {
-      flavour;
       optimized = (flavour = Lid.Protocol.Optimized);
       lanes;
       ones = (1 lsl lanes) - 1;
@@ -233,7 +230,6 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
       n_nodes;
       n_edges;
       kind;
-      names = Array.map (fun (n : Net.node) -> n.name) nodes;
       pat =
         Array.map
           (fun (n : Net.node) ->

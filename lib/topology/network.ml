@@ -131,7 +131,7 @@ let build ?(allow_direct = false) b =
   Array.iteri
     (fun i ports ->
       Array.iteri
-        (fun p e ->
+        (fun p (e : edge) ->
           if e.id = -1 then
             invalid_arg
               (Printf.sprintf "Network.build: input port %d of %S unconnected" p
@@ -141,7 +141,7 @@ let build ?(allow_direct = false) b =
   Array.iteri
     (fun i ports ->
       Array.iteri
-        (fun p e ->
+        (fun p (e : edge) ->
           if e.id = -1 then
             invalid_arg
               (Printf.sprintf "Network.build: output port %d of %S unconnected" p
@@ -196,7 +196,7 @@ let pp_summary fmt t =
 
 let with_stations t eid stations =
   let edges =
-    Array.map (fun e -> if e.id = eid then { e with stations } else e) t.edges
+    Array.map (fun (e : edge) -> if e.id = eid then { e with stations } else e) t.edges
   in
-  let replace arr = Array.map (Array.map (fun e -> edges.(e.id))) arr in
+  let replace arr = Array.map (Array.map (fun (e : edge) -> edges.(e.id))) arr in
   { t with edges; in_edges = replace t.in_edges; out_edges = replace t.out_edges }

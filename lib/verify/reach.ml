@@ -17,7 +17,6 @@ type ('s, 'i) graph = {
   parent : (int * 'i) option array;
   succ : (int * 'i) list array; (* successor id, input — forward edges *)
   n : int;
-  n_transitions : int;
 }
 
 let explore ?(max_states = 1_000_000) (fsm : ('s, 'i) Fsm.t) =
@@ -60,7 +59,7 @@ let explore ?(max_states = 1_000_000) (fsm : ('s, 'i) Fsm.t) =
   let parent = Array.of_list (List.rev !parent) in
   let succ = Array.make n [] in
   Hashtbl.iter (fun id out -> succ.(id) <- out) succ_acc;
-  { states; parent; succ; n; n_transitions = !n_transitions }
+  { states; parent; succ; n }
 
 let trace_to g id =
   let rec go id acc =

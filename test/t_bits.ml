@@ -252,6 +252,47 @@ let prop_lane_mask_extract =
                     (List.init per_lane Fun.id)))
         (List.init lanes Fun.id))
 
+let prop_set_algebra =
+  QCheck.Test.make ~name:"Bitset: union_into/is_subset/iter_set agree"
+    ~count:200
+    (QCheck.pair QCheck.small_int QCheck.small_int)
+    (fun (seed, len) ->
+      let n = 1 + (len mod 130) in
+      let rng = Random.State.make [| seed; 0x5e7a |] in
+      let a = random_bitset rng n and b = random_bitset rng n in
+      let members t =
+        List.filter (Bitset.get t) (List.init n Fun.id)
+      in
+      let u = Bitset.copy a in
+      Bitset.union_into ~into:u b;
+      let collected = ref [] in
+      Bitset.iter_set u (fun i -> collected := i :: !collected);
+      (* union contains exactly the members of both operands *)
+      List.for_all (fun i -> Bitset.get u i = (Bitset.get a i || Bitset.get b i))
+        (List.init n Fun.id)
+      (* iter_set enumerates members in increasing order *)
+      && List.rev !collected = members u
+      (* both operands are subsets of the union; the union is a subset of
+         an operand only when it equals it *)
+      && Bitset.is_subset a ~of_:u
+      && Bitset.is_subset b ~of_:u
+      && Bitset.is_subset u ~of_:a = Bitset.equal u a)
+
+let test_set_algebra_explicit () =
+  let a = Bitset.create 70 and b = Bitset.create 70 in
+  List.iter (Bitset.set a) [ 0; 63; 64 ];
+  List.iter (Bitset.set b) [ 0; 69 ];
+  Alcotest.(check bool) "not a subset" false (Bitset.is_subset a ~of_:b);
+  Bitset.union_into ~into:b a;
+  Alcotest.(check bool) "subset after union" true (Bitset.is_subset a ~of_:b);
+  let seen = ref [] in
+  Bitset.iter_set b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "members across words" [ 0; 63; 64; 69 ]
+    (List.rev !seen);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Bitset.union_into: length mismatch") (fun () ->
+      Bitset.union_into ~into:a (Bitset.create 3))
+
 let test_lane_bounds () =
   let t = Bitset.create 12 in
   Alcotest.check_raises "lane out of range"
@@ -285,6 +326,9 @@ let suite =
     Alcotest.test_case "bitset: transpose explicit" `Quick
       test_bitset_transpose_explicit;
     Alcotest.test_case "bitset: lane bounds" `Quick test_lane_bounds;
+    Alcotest.test_case "bitset: set algebra explicit" `Quick
+      test_set_algebra_explicit;
+    QCheck_alcotest.to_alcotest ~long:false prop_set_algebra;
     QCheck_alcotest.to_alcotest ~long:false prop_transpose_involution;
     QCheck_alcotest.to_alcotest ~long:false prop_lane_mask_extract;
   ]

@@ -100,6 +100,63 @@ let test_comb_cycle_detected () =
        (String.length msg > 0
        && String.sub msg 0 29 = "Circuit: combinational cycle:"))
 
+(* The cycle message must be evidence, not decoration: the reported list
+   starts and ends with the same node, every adjacent pair is a real
+   dependency edge of the graph, and the DFS entry path into the cycle is
+   trimmed away. *)
+let test_comb_cycle_message_is_cycle () =
+  let a = wire ~name:"a" 1 in
+  let b = wire ~name:"b" 1 in
+  let c = wire ~name:"c" 1 in
+  assign a ~:b;
+  assign b ~:c;
+  assign c ~:a;
+  let x = input "x" 1 in
+  let o = output "o" (x &: a) in
+  match Hdl.Circuit.create ~name:"cyc3" ~inputs:[ x ] ~outputs:[ o ] with
+  | _ -> Alcotest.fail "expected combinational cycle error"
+  | exception Invalid_argument msg ->
+      let prefix = "Circuit: combinational cycle: " in
+      Alcotest.(check bool) "prefix" true (String.starts_with ~prefix msg);
+      let body =
+        String.sub msg (String.length prefix)
+          (String.length msg - String.length prefix)
+      in
+      let names = Astring.String.cuts ~sep:" <- " body in
+      Alcotest.(check bool) "long enough to close" true (List.length names >= 3);
+      Alcotest.(check string) "first = last" (List.hd names)
+        (List.hd (List.rev names));
+      (* resolve printed names back to the signals we built *)
+      let tbl = Hashtbl.create 16 in
+      let rec collect s =
+        if not (Hashtbl.mem tbl (name_of s)) then begin
+          Hashtbl.add tbl (name_of s) s;
+          List.iter collect (deps s);
+          List.iter collect (sequential_deps s)
+        end
+      in
+      collect o;
+      let sig_of n =
+        match Hashtbl.find_opt tbl n with
+        | Some s -> s
+        | None -> Alcotest.fail ("message names an unknown node: " ^ n)
+      in
+      let rec check_pairs = function
+        | p :: (q :: _ as tl) ->
+            Alcotest.(check bool)
+              (p ^ " is a dependency of " ^ q)
+              true
+              (List.exists
+                 (fun d -> uid d = uid (sig_of p))
+                 (deps (sig_of q)));
+            check_pairs tl
+        | _ -> ()
+      in
+      check_pairs names;
+      Alcotest.(check bool) "cycle wire reported" true
+        (List.exists (fun n -> List.mem n names) [ "a"; "b"; "c" ]);
+      Alcotest.(check bool) "entry path trimmed" false (List.mem "o" names)
+
 let test_reg_breaks_cycle () =
   (* feedback through a register is legal *)
   let r = reg_fb ~name:"acc" ~reset:(Bits.zero 4) ~width:4 (fun r -> r +: r) in
@@ -197,6 +254,8 @@ let suite =
     Alcotest.test_case "undriven wire rejected" `Quick test_undriven_wire;
     Alcotest.test_case "unbound register rejected" `Quick test_unbound_register;
     Alcotest.test_case "combinational cycle rejected" `Quick test_comb_cycle_detected;
+    Alcotest.test_case "cycle message forms a cycle" `Quick
+      test_comb_cycle_message_is_cycle;
     Alcotest.test_case "register breaks cycles" `Quick test_reg_breaks_cycle;
     Alcotest.test_case "undeclared input rejected" `Quick test_undeclared_input;
     Alcotest.test_case "duplicate names rejected" `Quick test_duplicate_names;

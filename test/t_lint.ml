@@ -1,0 +1,379 @@
+(* The static protocol analyzer: stable diagnostics, the paper's closed
+   forms as LID003 parameters, and the static-vs-dynamic contract — the
+   lint-predicted sustained throughput must equal the packed engine's
+   measured steady state exactly (cross-multiplied integers, no float
+   comparison anywhere). *)
+
+module Net = Topology.Network
+module G = Topology.Generators
+module P = Topology.Pattern
+module D = Lint.Diagnostic
+module C = Lint.Checks
+
+let with_code (r : C.report) code =
+  List.filter (fun (d : D.t) -> d.code = code) r.diagnostics
+
+let ratio = Alcotest.(pair int int)
+
+(* --- the paper's closed forms as diagnostics ------------------------ *)
+
+let test_fig1_closed_form () =
+  let r = C.run (G.fig1 ()) in
+  match with_code r D.LID003 with
+  | [ d ] ->
+      Alcotest.(check string) "severity" "warning"
+        (D.severity_to_string d.severity);
+      (match d.params with
+      | D.P_reconvergence { m; i; tokens; latency } ->
+          Alcotest.(check int) "m" 5 m;
+          Alcotest.(check int) "i" 1 i;
+          Alcotest.check ratio "critical cycle" (4, 5) (tokens, latency)
+      | _ -> Alcotest.fail "expected reconvergence params");
+      Alcotest.(check bool) "has a fix-it" true (d.fixits <> []);
+      (match r.predicted with
+      | Some p ->
+          Alcotest.(check bool) "T = 4/5" true (C.ratio_eq p (4, 5))
+      | None -> Alcotest.fail "expected a predicted throughput");
+      Alcotest.(check bool) "stop paths proved" true r.gate_proved;
+      Alcotest.(check int) "no errors" 0 (C.count r D.Error)
+  | ds -> Alcotest.failf "expected exactly one LID003, got %d" (List.length ds)
+
+let test_fig2_closed_form () =
+  let r = C.run (G.fig2 ()) in
+  match with_code r D.LID003 with
+  | [ d ] ->
+      (match d.params with
+      | D.P_loop { s; r = st; tokens; latency } ->
+          Alcotest.(check int) "S" 2 s;
+          Alcotest.(check int) "R" 2 st;
+          Alcotest.check ratio "critical cycle" (2, 4) (tokens, latency)
+      | _ -> Alcotest.fail "expected loop params");
+      Alcotest.(check bool) "loops get no fix-it" true (d.fixits = []);
+      (match r.predicted with
+      | Some p -> Alcotest.(check bool) "T = 1/2" true (C.ratio_eq p (1, 2))
+      | None -> Alcotest.fail "expected a predicted throughput")
+  | ds -> Alcotest.failf "expected exactly one LID003, got %d" (List.length ds)
+
+let test_fig1_fixit_restores_throughput () =
+  let net = G.fig1 () in
+  let r = C.run ~gate:false net in
+  match with_code r D.LID003 with
+  | [ d ] ->
+      let cured =
+        List.fold_left
+          (fun n (f : D.fixit) ->
+            let e = Net.edge n f.fix_edge in
+            Net.with_stations n f.fix_edge
+              (e.stations
+              @ List.init f.fix_spare (fun _ -> Lid.Relay_station.Full)))
+          net d.fixits
+      in
+      let r' = C.run ~gate:false cured in
+      Alcotest.(check int) "no LID003 after the fix" 0
+        (List.length (with_code r' D.LID003));
+      (match r'.predicted with
+      | Some p -> Alcotest.(check bool) "throughput 1" true (C.ratio_eq p (1, 1))
+      | None -> Alcotest.fail "expected a predicted throughput")
+  | _ -> Alcotest.fail "expected one LID003 on fig1"
+
+(* --- protocol violations (LID001 / LID002) -------------------------- *)
+
+let direct_chain () =
+  (* source -> A (stationed) -> B (direct!) -> sink (direct, legal) *)
+  let b = Net.builder () in
+  let s = Net.add_source b ~name:"s" () in
+  let a = Net.add_shell b ~name:"A" (Lid.Pearl.identity ()) in
+  let bb = Net.add_shell b ~name:"B" (Lid.Pearl.identity ()) in
+  let out = Net.add_sink b ~name:"out" () in
+  ignore (Net.connect b ~src:(s, 0) ~dst:(a, 0) ());
+  let e_ab = Net.connect b ~stations:[] ~src:(a, 0) ~dst:(bb, 0) () in
+  ignore (Net.connect b ~stations:[] ~src:(bb, 0) ~dst:(out, 0) ());
+  (Net.build ~allow_direct:true b, e_ab)
+
+let test_direct_channel_violations () =
+  let net, e_ab = direct_chain () in
+  let r = C.run net in
+  (match with_code r D.LID002 with
+  | [ d ] ->
+      Alcotest.(check bool) "on the shell-to-shell channel" true
+        (d.loc = D.L_edge e_ab)
+  | ds -> Alcotest.failf "expected exactly one LID002, got %d" (List.length ds));
+  (match with_code r D.LID001 with
+  | [ d ] ->
+      Alcotest.(check bool) "on the shell-to-shell channel" true
+        (d.loc = D.L_edge e_ab);
+      (match d.params with
+      | D.P_stop_sources srcs ->
+          Alcotest.(check bool) "environment stall visible" true
+            (List.mem "stall(out)" srcs)
+      | _ -> Alcotest.fail "expected stop-source params")
+  | ds -> Alcotest.failf "expected exactly one LID001, got %d" (List.length ds));
+  Alcotest.(check bool) "gate pass ran" true r.gate_ran;
+  Alcotest.(check bool) "not proved" false r.gate_proved;
+  Alcotest.(check bool) "errors reported" true
+    (C.max_severity r = Some D.Error)
+
+let test_stop_path_direct () =
+  (* the stop-path pass alone, on the same network *)
+  let net, e_ab = direct_chain () in
+  let circ = Topology.Rtl_net.of_network net in
+  let res = Lint.Stop_path.analyze net circ in
+  Alcotest.(check bool) "not proved" false res.proved;
+  Alcotest.(check int) "every channel checked" (Net.n_edges net)
+    res.edges_checked;
+  match res.violations with
+  | [ v ] ->
+      Alcotest.(check int) "the direct channel" e_ab v.v_edge;
+      Alcotest.(check bool) "stall origin listed" true
+        (List.exists
+           (fun s -> Lint.Stop_path.source_name net s = "stall(out)")
+           v.v_sources)
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+let test_stop_path_proved_on_built_networks () =
+  List.iter
+    (fun net ->
+      let circ = Topology.Rtl_net.of_network net in
+      let res = Lint.Stop_path.analyze net circ in
+      Alcotest.(check bool) "proved" true res.proved;
+      Alcotest.(check int) "every channel checked" (Net.n_edges net)
+        res.edges_checked)
+    [
+      G.fig1 ();
+      G.fig2 ();
+      G.chain ~n_shells:3 ();
+      G.tree ~depth:2 ();
+      G.ring ~n_shells:3 ();
+    ]
+
+let test_zero_latency_cycle () =
+  let b = Net.builder () in
+  let a = Net.add_shell b ~name:"A" (Lid.Pearl.identity ()) in
+  let bb = Net.add_shell b ~name:"B" (Lid.Pearl.identity ()) in
+  ignore (Net.connect b ~stations:[] ~src:(a, 0) ~dst:(bb, 0) ());
+  ignore (Net.connect b ~stations:[] ~src:(bb, 0) ~dst:(a, 0) ());
+  let net = Net.build ~allow_direct:true b in
+  let r = C.run net in
+  Alcotest.(check bool) "LID001 at topology level" true
+    (with_code r D.LID001 <> []);
+  Alcotest.(check bool) "no prediction possible" true (r.predicted = None);
+  Alcotest.(check bool) "gate pass skipped" false r.gate_ran
+
+(* --- environment diagnostics (LID005 / LID006) ---------------------- *)
+
+let test_dead_source () =
+  let net = G.chain ~n_shells:2 ~source_pattern:P.never () in
+  let r = C.run ~gate:false net in
+  Alcotest.(check int) "one LID005" 1 (List.length (with_code r D.LID005));
+  (match r.predicted with
+  | Some p -> Alcotest.(check bool) "predicted 0" true (C.ratio_eq p (0, 1))
+  | None -> Alcotest.fail "expected a prediction");
+  (* the dynamic side agrees: nothing fires in steady state *)
+  match
+    Skeleton.Measure.steady_ratio_packed (Skeleton.Packed.create net)
+  with
+  | Some m -> Alcotest.(check bool) "measured 0" true (C.ratio_eq m (0, 1))
+  | None -> Alcotest.fail "no steady state found"
+
+let test_blocked_sink () =
+  let net = G.chain ~n_shells:2 ~sink_pattern:P.always () in
+  let r = C.run ~gate:false net in
+  match with_code r D.LID005 with
+  | [ d ] ->
+      Alcotest.(check bool) "located at the sink" true
+        (match d.loc with
+        | D.L_node id -> (
+            match (Net.node net id).kind with
+            | Net.Sink _ -> true
+            | _ -> false)
+        | _ -> false);
+      (match r.predicted with
+      | Some p -> Alcotest.(check bool) "predicted 0" true (C.ratio_eq p (0, 1))
+      | None -> Alcotest.fail "expected a prediction")
+  | ds -> Alcotest.failf "expected exactly one LID005, got %d" (List.length ds)
+
+let test_env_duty_cap () =
+  let net =
+    G.chain ~n_shells:2 ~sink_pattern:(P.periodic ~period:4 ~active:2 ()) ()
+  in
+  let r = C.run ~gate:false net in
+  (match with_code r D.LID006 with
+  | [ d ] -> (
+      match d.params with
+      | D.P_duty { active; period } ->
+          Alcotest.check ratio "accept duty" (2, 4) (active, period)
+      | _ -> Alcotest.fail "expected duty params")
+  | ds -> Alcotest.failf "expected exactly one LID006, got %d" (List.length ds));
+  match r.predicted with
+  | Some p -> Alcotest.(check bool) "capped at 1/2" true (C.ratio_eq p (1, 2))
+  | None -> Alcotest.fail "expected a prediction"
+
+(* --- LID004 and LID007 ---------------------------------------------- *)
+
+let test_token_free_cycle () =
+  (* hand-built elastic graph: a cycle carrying latency but no tokens *)
+  let el =
+    {
+      Topology.Elastic.n = 2;
+      edges =
+        [|
+          {
+            Topology.Elastic.src = 0;
+            dst = 1;
+            tokens = 0;
+            latency = 1;
+            origin = Topology.Elastic.O_internal;
+          };
+          {
+            Topology.Elastic.src = 1;
+            dst = 0;
+            tokens = 0;
+            latency = 1;
+            origin = Topology.Elastic.O_internal;
+          };
+        |];
+      labels = [| "x"; "y" |];
+    }
+  in
+  let diags, structural = C.check_elastic el ~cyclic:true in
+  (match diags with
+  | [ d ] ->
+      Alcotest.(check string) "code" "LID004" (D.code_id d.code);
+      Alcotest.(check string) "severity" "error"
+        (D.severity_to_string d.severity)
+  | ds -> Alcotest.failf "expected exactly one finding, got %d" (List.length ds));
+  match structural with
+  | Some s -> Alcotest.(check bool) "bound 0" true (C.ratio_eq s (0, 1))
+  | None -> Alcotest.fail "expected a structural bound"
+
+let test_half_station_loop () =
+  let net =
+    G.ring ~n_shells:2 ~stations:[ Lid.Relay_station.Half ] ()
+  in
+  let r = C.run ~gate:false net in
+  Alcotest.(check bool) "LID007 reported" true (with_code r D.LID007 <> [])
+
+(* --- qcheck: the Equalize contract ---------------------------------- *)
+
+let prop_no_imbalance_after_optimize =
+  QCheck.Test.make
+    ~name:"optimized random feed-forward networks raise no LID003" ~count:30
+    QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| seed; 11 |] in
+      let net =
+        Topology.Generators.random_dag ~rng ~n_shells:(3 + (seed mod 5)) ()
+      in
+      let cured, _ = Topology.Equalize.optimize ~budget:128 net in
+      let r = C.run ~gate:false cured in
+      with_code r D.LID003 = [] && with_code r D.LID004 = [])
+
+(* --- the static-vs-dynamic contract --------------------------------- *)
+
+let predicted_equals_measured name net =
+  let r = C.run ~gate:false net in
+  match r.predicted with
+  | None -> Alcotest.failf "%s: no prediction" name
+  | Some (p, q) -> (
+      match
+        Skeleton.Measure.steady_ratio_packed (Skeleton.Packed.create net)
+      with
+      | None -> Alcotest.failf "%s: no steady state" name
+      | Some (f, period) ->
+          if not (C.ratio_eq (p, q) (f, period)) then
+            Alcotest.failf "%s: lint predicts %d/%d but packed measures %d/%d"
+              name p q f period)
+
+let test_predicted_equals_measured () =
+  let rng = Random.State.make [| 2026 |] in
+  let cases =
+    [
+      ("fig1", G.fig1 ());
+      ("fig1 r_direct=2", G.fig1 ~r_direct:2 ());
+      ("fig1 r_direct=3", G.fig1 ~r_direct:3 ());
+      ("fig2", G.fig2 ());
+      ("fig2 R=5", G.fig2 ~stations_ab:2 ~stations_ba:3 ());
+      ("soc-ish", G.reconvergent ~r_short:2 ~r_long_head:3 ~r_long_tail:2 ());
+      ("chain", G.chain ~n_shells:4 ());
+      ("tree", G.tree ~depth:3 ());
+      ("ring4", G.ring ~n_shells:4 ());
+      ( "ring3 double-stationed",
+        G.ring ~n_shells:3
+          ~stations:[ Lid.Relay_station.Full; Lid.Relay_station.Full ]
+          () );
+      ("ring_tapped", G.ring_tapped ~n_shells:3 ());
+      ( "chain stalling sink",
+        G.chain ~n_shells:3 ~sink_pattern:(P.periodic ~period:4 ~active:2 ()) ()
+      );
+      ("dead source", G.chain ~n_shells:2 ~source_pattern:P.never ());
+    ]
+    @ List.init 4 (fun i ->
+          ( Printf.sprintf "random_dag %d" i,
+            G.random_dag ~rng ~n_shells:(3 + i) () ))
+    @ List.init 4 (fun i ->
+          ( Printf.sprintf "random_loopy %d" i,
+            G.random_loopy ~rng ~n_shells:(4 + i) ~extra_back_edges:2 () ))
+  in
+  List.iter (fun (name, net) -> predicted_equals_measured name net) cases
+
+(* --- report plumbing ------------------------------------------------ *)
+
+let test_json_shape () =
+  let net, _ = direct_chain () in
+  let json = C.to_json (C.run net) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Astring.String.is_infix ~affix:needle json))
+    [
+      "\"code\": \"LID001\"";
+      "\"code\": \"LID002\"";
+      "\"slug\": \"missing-memory-element\"";
+      "\"severity\": \"error\"";
+      "\"stop_path\": {\"ran\": true, \"proved\": false}";
+      "\"predicted_throughput\"";
+      "\"fixits\"";
+    ]
+
+let test_severity_order () =
+  let net, _ = direct_chain () in
+  let r = C.run net in
+  let ranks =
+    List.map (fun (d : D.t) -> D.severity_rank d.severity) r.diagnostics
+  in
+  Alcotest.(check (list int)) "errors first" (List.sort (fun a b -> compare b a) ranks) ranks
+
+let test_code_table_is_stable () =
+  Alcotest.(check (list string)) "ids"
+    [ "LID001"; "LID002"; "LID003"; "LID004"; "LID005"; "LID006"; "LID007" ]
+    (List.map D.code_id D.all_codes)
+
+let suite =
+  [
+    Alcotest.test_case "fig1: LID003 with m=5 i=1 T=4/5" `Quick
+      test_fig1_closed_form;
+    Alcotest.test_case "fig2: LID003 with S=2 R=2 T=1/2" `Quick
+      test_fig2_closed_form;
+    Alcotest.test_case "fig1 fix-it restores throughput 1" `Quick
+      test_fig1_fixit_restores_throughput;
+    Alcotest.test_case "direct channel: LID001 + LID002" `Quick
+      test_direct_channel_violations;
+    Alcotest.test_case "stop-path pass localizes the violation" `Quick
+      test_stop_path_direct;
+    Alcotest.test_case "stop-path pass proves built networks" `Quick
+      test_stop_path_proved_on_built_networks;
+    Alcotest.test_case "zero-latency cycle" `Quick test_zero_latency_cycle;
+    Alcotest.test_case "dead source: LID005, predicted = measured = 0" `Quick
+      test_dead_source;
+    Alcotest.test_case "blocked sink: LID005" `Quick test_blocked_sink;
+    Alcotest.test_case "env duty cap: LID006" `Quick test_env_duty_cap;
+    Alcotest.test_case "token-free cycle: LID004" `Quick test_token_free_cycle;
+    Alcotest.test_case "half stations in a loop: LID007" `Quick
+      test_half_station_loop;
+    QCheck_alcotest.to_alcotest prop_no_imbalance_after_optimize;
+    Alcotest.test_case "predicted == measured (cross-multiplied)" `Quick
+      test_predicted_equals_measured;
+    Alcotest.test_case "JSON report shape" `Quick test_json_shape;
+    Alcotest.test_case "diagnostics sorted errors-first" `Quick
+      test_severity_order;
+    Alcotest.test_case "code table is stable" `Quick test_code_table_is_stable;
+  ]

@@ -29,5 +29,6 @@ let () =
       ("relay-chain", T_relay_chain.suite);
       ("fault", T_fault.suite);
       ("bdd-symbolic", T_bdd.suite);
+      ("lint", T_lint.suite);
       ("scale", T_scale.suite);
     ]
