@@ -25,6 +25,7 @@ let experiments =
     ("e14", "packed-engine speedup", Experiments.e14_packed_speedup);
     ("e15", "lane-parallel campaign speedup", Experiments.e15_lane_campaign);
     ("e16", "lint-predicted vs packed-measured", Experiments.e16_lint_vs_packed);
+    ("e17", "dynamic LID: jitter vs replay depth", Experiments.e17_dynamic_lid);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

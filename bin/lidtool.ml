@@ -48,6 +48,30 @@ let width_arg =
     value & opt int 16
     & info [ "w"; "width" ] ~docv:"BITS" ~doc:"Datapath width in bits.")
 
+let profile_conv =
+  let parse s =
+    match Lid.Latency.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad latency profile %S (want fixed:D, \
+                 jitter:BASE:BOUND:SEED, dist:LEN:PITCH or table:D0,D1,...)"
+                s))
+  in
+  Arg.conv (parse, Lid.Latency.pp)
+
+(* Overlay one latency profile on every channel of the network (channels
+   that already carry a profile in the spec keep their own). *)
+let overlay_profile net profile =
+  List.fold_left
+    (fun acc (e : Topology.Network.edge) ->
+      if e.latency <> None then acc
+      else Topology.Network.with_latency acc e.id (Some profile))
+    net
+    (Topology.Network.edges net)
+
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
 
@@ -142,8 +166,21 @@ let simulate_cmd =
       value & opt int 0
       & info [ "t"; "trace" ] ~docv:"N" ~doc:"Print an N-cycle evolution trace first.")
   in
-  let run file flavour trace_cycles =
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some profile_conv) None
+      & info [ "latency-profile" ] ~docv:"PROFILE"
+          ~doc:"Overlay a channel latency profile on every channel that \
+                does not already carry one: $(b,fixed:D), \
+                $(b,jitter:BASE:BOUND:SEED), $(b,dist:LEN:PITCH) or \
+                $(b,table:D0,D1,...).")
+  in
+  let run file flavour trace_cycles profile =
     let net = load_network file in
+    let net =
+      match profile with None -> net | Some p -> overlay_profile net p
+    in
     let engine = Skeleton.Engine.create ~flavour net in
     if trace_cycles > 0 then begin
       print_endline
@@ -177,7 +214,9 @@ let simulate_cmd =
           base
     | None -> Format.printf "no periodic steady state found@."
   in
-  let term = Term.(const run $ network_arg $ flavour_arg $ cycles_arg) in
+  let term =
+    Term.(const run $ network_arg $ flavour_arg $ cycles_arg $ profile_arg)
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run the protocol skeleton to steady state and report throughput.")
@@ -391,6 +430,59 @@ let signature_capacity_arg =
 
 let opt_pos n = if n <= 0 then None else Some n
 
+(* Hand-rolled campaign JSON, like [Lint.Checks.to_json]: fixed, tiny
+   vocabulary — a json library dependency would be all cost. *)
+let campaign_json (result : Fault.Campaign.result) =
+  let b = Buffer.create 2048 in
+  let t = Fault.Campaign.tally result in
+  Printf.bprintf b
+    "{\n  \"seed\": %d,\n  \"cycles\": %d,\n  \"flavour\": %S,\n\
+    \  \"injections\": %d,\n"
+    result.config.seed result.config.cycles
+    (match result.config.flavour with
+    | Lid.Protocol.Optimized -> "optimized"
+    | Lid.Protocol.Original -> "original")
+    (List.length result.reports);
+  Buffer.add_string b "  \"tally\": [";
+  List.iteri
+    (fun i (kind, counts) ->
+      Buffer.add_string b (if i = 0 then "\n    " else ",\n    ");
+      Printf.bprintf b "{\"kind\": %S, \"outcomes\": {"
+        (Fault.Model.kind_to_string kind);
+      List.iteri
+        (fun j (o, n) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Printf.bprintf b "%S: %d" (Fault.Classify.outcome_to_string o) n)
+        counts;
+      Buffer.add_string b "}}")
+    t;
+  Buffer.add_string b (if t = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string b "  \"outcomes\": {";
+  List.iteri
+    (fun j o ->
+      let n =
+        List.length
+          (List.filter
+             (fun (r : Fault.Classify.report) -> r.outcome = o)
+             result.reports)
+      in
+      if j > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S: %d" (Fault.Classify.outcome_to_string o) n)
+    Fault.Classify.all_outcomes;
+  Buffer.add_string b "},\n";
+  Printf.bprintf b "  \"recoveries\": %d,\n"
+    (List.fold_left
+       (fun acc (r : Fault.Classify.report) -> acc + r.evidence.recoveries)
+       0 result.reports);
+  (match Fault.Campaign.worst result with
+  | Some r when r.outcome <> Fault.Classify.Masked ->
+      Printf.bprintf b "  \"worst\": {\"outcome\": %S, \"fault\": %S}\n"
+        (Fault.Classify.outcome_to_string r.outcome)
+        (Format.asprintf "%a" (Fault.Model.pp result.net) r.fault)
+  | _ -> Buffer.add_string b "  \"worst\": null\n");
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
 let inject_cmd =
   let seed_arg =
     Arg.(
@@ -443,9 +535,30 @@ let inject_cmd =
                 capped at 8). The report order and every outcome are \
                 identical to a serial run.")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the campaign report as JSON (per-kind/per-outcome \
+                tallies, total recoveries, worst injection).")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter" ] ~docv:"BOUND"
+          ~doc:"Overlay a $(b,jitter:0:BOUND:SEED) latency profile (SEED = \
+                the campaign seed) on every channel before injecting \
+                (0 = no overlay).")
+  in
   let run file flavour seed kinds cycles sites per_site verbose jobs lanes
-      max_cycles signature_capacity =
+      max_cycles signature_capacity json jitter =
     let net = load_network file in
+    let net =
+      if jitter <= 0 then net
+      else
+        overlay_profile net
+          (Lid.Latency.Jitter { base = 0; bound = jitter; seed })
+    in
     let max_cycles = opt_pos max_cycles
     and signature_capacity = opt_pos signature_capacity in
     let cycles =
@@ -457,9 +570,10 @@ let inject_cmd =
         with
         | Some r ->
             let horizon = max 64 (r.transient + (4 * r.period)) in
-            Format.printf
-              "horizon: %d cycles (fault-free transient %d + 4 x period %d)@."
-              horizon r.transient r.period;
+            if not json then
+              Format.printf
+                "horizon: %d cycles (fault-free transient %d + 4 x period %d)@."
+                horizon r.transient r.period;
             horizon
         | None ->
             Printf.eprintf
@@ -477,18 +591,21 @@ let inject_cmd =
         injections_per_site = max 1 per_site;
       }
     in
-    Format.printf "fault-injection campaign: seed %d, %d cycles, %s flavour@."
-      config.seed config.cycles
-      (match flavour with
-      | Lid.Protocol.Optimized -> "optimized"
-      | Lid.Protocol.Original -> "original");
+    if not json then
+      Format.printf "fault-injection campaign: seed %d, %d cycles, %s flavour@."
+        config.seed config.cycles
+        (match flavour with
+        | Lid.Protocol.Optimized -> "optimized"
+        | Lid.Protocol.Original -> "original");
     let jobs = if jobs <= 0 then Campaign.Parallel.default_jobs () else jobs in
     let lanes =
       if lanes <= 0 then Skeleton.Packed_lanes.max_lanes else lanes
     in
     let result = Campaign.Fault_driver.run ~jobs ~lanes config net in
-    Format.printf "@.%a" Fault.Campaign.pp_summary result;
-    if verbose then begin
+    if json then print_string (campaign_json result)
+    else Format.printf "@.%a" Fault.Campaign.pp_summary result;
+    if json then ()
+    else if verbose then begin
       Format.printf "@.non-masked injections:@.";
       List.iter
         (fun (r : Fault.Classify.report) ->
@@ -517,7 +634,7 @@ let inject_cmd =
     Term.(
       const run $ network_arg $ flavour_arg $ seed_arg $ kinds_arg $ cycles_arg
       $ sites_arg $ per_site_arg $ verbose_arg $ jobs_arg $ lanes_arg
-      $ max_cycles_arg $ signature_capacity_arg)
+      $ max_cycles_arg $ signature_capacity_arg $ json_arg $ jitter_arg)
   in
   Cmd.v
     (Cmd.info "inject"

@@ -1,0 +1,10 @@
+# Dynamic LID: a variable-latency channel (jitter up to 2 extra cycles,
+# deterministic per-channel schedule) spanned by a retransmitting
+# go-back-N relay station.  The replay buffer is deeper than the
+# worst-case round trip (3 + 2 = 5 cycles), so the channel sustains
+# full rate and the analyzer stays quiet (no LID008).
+source src
+shell  A identity
+sink   out
+src.0 -> A.0 latency=jitter:0:2:5 : retx:6
+A.0 -> out.0 : full

@@ -5,7 +5,8 @@ let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?on_report
     Fault.Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
   in
   let reports =
-    if lanes <= 1 then
+    (* lane batching cannot model dynamic-LID state; classify per fault *)
+    if lanes <= 1 || Topology.Network.has_dynamics net then
       Parallel.map ?jobs
         (fun fault -> Fault.Classify.classify_fast baseline fault)
         faults

@@ -10,6 +10,23 @@ let measure ?jobs ?flavour ?max_cycles ?signature_capacity nets =
       { label; report })
     nets
 
+let jitter_family ?(seed = 1) ~bounds net =
+  List.map
+    (fun bound ->
+      let label = Printf.sprintf "jitter=%d" bound in
+      if bound = 0 then (label, net)
+      else
+        let profile = Lid.Latency.Jitter { base = 0; bound; seed } in
+        let net' =
+          List.fold_left
+            (fun acc (e : Topology.Network.edge) ->
+              Topology.Network.with_latency acc e.id (Some profile))
+            net
+            (Topology.Network.edges net)
+        in
+        (label, net'))
+    bounds
+
 let pp_entry fmt e =
   match e.report with
   | None -> Format.fprintf fmt "%-24s no steady state@." e.label

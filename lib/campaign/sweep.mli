@@ -22,6 +22,19 @@ val measure :
     {!Skeleton.Measure.analyze_packed} on a fresh {!Skeleton.Packed}
     engine. *)
 
+val jitter_family :
+  ?seed:int ->
+  bounds:int list ->
+  Topology.Network.t ->
+  (string * Topology.Network.t) list
+(** [jitter_family ~bounds net] is the labelled family of copies of [net]
+    where every channel carries a [Jitter { base = 0; bound; seed }]
+    latency profile, one copy per requested bound (bound [0] is the
+    unmodified network).  {!Lid.Latency.table} decorrelates channels by
+    mixing the edge id into the seed, so one [seed] drives the whole
+    network deterministically.  Feed the result to {!measure} for a
+    throughput-vs-jitter sweep. *)
+
 val pp_entry : Format.formatter -> entry -> unit
 (** One line: label, transient, period, system throughput (or
     ["no steady state"]). *)

@@ -1,0 +1,101 @@
+(* Channel latency profiles: the "dynamic LID" wire model.
+
+   A profile describes the extra traversal delay (in cycles, beyond the
+   channel's usual relay pipeline) that successive tokens experience on a
+   long or unpredictable wire.  Profiles are compiled once per channel
+   into a small periodic delay table; everything downstream (both
+   skeleton engines, the retransmitting relay station) indexes that
+   table with a per-channel launch counter, so a given (profile, edge)
+   pair yields the same delay schedule everywhere — bit-for-bit. *)
+
+type profile =
+  | Fixed of int
+  | Jitter of { base : int; bound : int; seed : int }
+  | Distance of { length : int; pitch : int }
+  | Table of int array
+
+(* Length of the compiled table for [Jitter]: a prime, so the schedule
+   does not resonate with small environment periods. *)
+let jitter_period = 31
+
+let clampd d = if d < 0 then 0 else d
+
+(* splitmix-style finalizer over OCaml's 63-bit ints; pure, so the two
+   engines and every campaign domain agree on the schedule. *)
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x3f58476d1ce4e5b9 land max_int in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x14d049bb133111eb land max_int in
+  x lxor (x lsr 31)
+
+let distance_delay ~length ~pitch =
+  if length <= 0 || pitch <= 0 then 0
+  else clampd (((length + pitch - 1) / pitch) - 1)
+
+let table ~edge profile =
+  match profile with
+  | Fixed d -> [| clampd d |]
+  | Distance { length; pitch } -> [| distance_delay ~length ~pitch |]
+  | Table [||] -> [| 0 |]
+  | Table t -> Array.map clampd t
+  | Jitter { base; bound; seed } ->
+      let base = clampd base and bound = clampd bound in
+      Array.init jitter_period (fun i ->
+          let h = mix ((seed * 0x1009) lxor (edge * 0x9e3779b9) lxor i) in
+          base + (h mod (bound + 1)))
+
+let max_delay profile =
+  match profile with
+  | Fixed d -> clampd d
+  | Distance { length; pitch } -> distance_delay ~length ~pitch
+  | Table t -> Array.fold_left (fun acc d -> max acc (clampd d)) 0 t
+  | Jitter { base; bound; _ } -> clampd base + clampd bound
+
+let min_delay profile =
+  match profile with
+  | Fixed d -> clampd d
+  | Distance { length; pitch } -> distance_delay ~length ~pitch
+  | Table [||] -> 0
+  | Table t ->
+      Array.fold_left (fun acc d -> min acc (clampd d)) max_int t
+  | Jitter { base; _ } -> clampd base
+
+let equal (a : profile) b = a = b
+
+let to_string = function
+  | Fixed d -> Printf.sprintf "fixed:%d" d
+  | Jitter { base; bound; seed } -> Printf.sprintf "jitter:%d:%d:%d" base bound seed
+  | Distance { length; pitch } -> Printf.sprintf "dist:%d:%d" length pitch
+  | Table t ->
+      "table:"
+      ^ String.concat ","
+          (Array.to_list (Array.map string_of_int t))
+
+let of_string s =
+  let int_of s = int_of_string_opt s in
+  match String.split_on_char ':' s with
+  | [ "fixed"; d ] -> Option.map (fun d -> Fixed d) (int_of d)
+  | [ "jitter"; bound ] ->
+      Option.map (fun bound -> Jitter { base = 0; bound; seed = 1 }) (int_of bound)
+  | [ "jitter"; base; bound ] -> (
+      match (int_of base, int_of bound) with
+      | Some base, Some bound -> Some (Jitter { base; bound; seed = 1 })
+      | _ -> None)
+  | [ "jitter"; base; bound; seed ] -> (
+      match (int_of base, int_of bound, int_of seed) with
+      | Some base, Some bound, Some seed -> Some (Jitter { base; bound; seed })
+      | _ -> None)
+  | [ "dist"; length; pitch ] -> (
+      match (int_of length, int_of pitch) with
+      | Some length, Some pitch -> Some (Distance { length; pitch })
+      | _ -> None)
+  | [ "table"; entries ] -> (
+      let parts = String.split_on_char ',' entries in
+      let ds = List.filter_map int_of parts in
+      if List.length ds = List.length parts && ds <> [] then
+        Some (Table (Array.of_list ds))
+      else None)
+  | _ -> None
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

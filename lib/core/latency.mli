@@ -1,0 +1,53 @@
+(** Channel latency profiles — the "dynamic LID" wire model.
+
+    The paper's channels have fixed unit latency; real chip-to-chip links
+    and GALS bridges do not.  A profile describes the {e extra} traversal
+    delay (in cycles) successive tokens experience on a channel:
+
+    - [Fixed d] — every token takes [d] extra cycles (an unpipelined long
+      wire);
+    - [Jitter {base; bound; seed}] — each launch draws a delay in
+      [base, base + bound], pseudo-randomly but deterministically from
+      [seed] and the channel id;
+    - [Distance {length; pitch}] — the delay a wire of [length] units
+      needs when a repeater covers [pitch] units per cycle
+      ([ceil(length/pitch) - 1]);
+    - [Table t] — an explicit periodic schedule (tests, regressions).
+
+    Profiles are compiled by {!table} into a periodic per-launch delay
+    table.  Compilation is a pure function of the profile and the channel
+    id — no hidden RNG state — so the typed and packed skeleton engines,
+    and every campaign worker domain, replay the exact same schedule. *)
+
+type profile =
+  | Fixed of int
+  | Jitter of { base : int; bound : int; seed : int }
+  | Distance of { length : int; pitch : int }
+  | Table of int array
+
+val jitter_period : int
+(** Length of the compiled [Jitter] table (a prime, so the schedule does
+    not resonate with small environment periods). *)
+
+val table : edge:int -> profile -> int array
+(** The per-launch extra-delay schedule for channel [edge]: launch [n]
+    experiences [t.((count n) mod Array.length t)] extra cycles.  Always
+    non-empty; entries are clamped to be non-negative. *)
+
+val max_delay : profile -> int
+(** Worst-case extra delay — the bound the LID008 lint and the
+    retransmission timeout derive round trips from. *)
+
+val min_delay : profile -> int
+
+val equal : profile -> profile -> bool
+
+val to_string : profile -> string
+(** [fixed:D], [jitter:BASE:BOUND:SEED], [dist:LENGTH:PITCH] or
+    [table:D0,D1,...] — the spec-file / CLI syntax. *)
+
+val of_string : string -> profile option
+(** Inverse of {!to_string}; also accepts the short forms
+    [jitter:BOUND] and [jitter:BASE:BOUND] (seed 1). *)
+
+val pp : Format.formatter -> profile -> unit

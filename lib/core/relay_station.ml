@@ -1,9 +1,58 @@
-type kind = Full | Half
+type kind = Full | Half | Retx of { depth : int }
 
-let kind_to_string = function Full -> "full" | Half -> "half"
+let kind_to_string = function
+  | Full -> "full"
+  | Half -> "half"
+  | Retx { depth } -> Printf.sprintf "retx:%d" depth
+
 let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
-let capacity = function Full -> 2 | Half -> 1
-let forward_latency = function Full -> 1 | Half -> 0
+
+let capacity = function
+  | Full -> 2
+  | Half -> 1
+  | Retx { depth } -> max 1 depth + 1 (* replay buffer + output register *)
+
+let forward_latency = function Full -> 1 | Half -> 0 | Retx _ -> 2
+
+type link_fault =
+  | Link_ok
+  | Link_corrupt of int
+  | Link_corrupt_silent of int
+  | Link_drop
+  | Link_dup
+
+(* A sequence-tagged flit traversing the station's internal data hop.
+   [f_wait] is the extra link delay still to elapse (from the channel's
+   latency table) before it reaches the receiver. *)
+type flit = { f_seq : int; f_val : int; f_wait : int }
+
+(* Cumulative acknowledgement travelling back on the (fault-free) ack
+   hop: everything below [a_seq] was delivered.  [a_nack] asks the sender
+   to rewind to [a_seq]; [a_recover] marks the rewind as a genuine fault
+   recovery (damage or loss) rather than back-pressure. *)
+type ack_msg = { a_seq : int; a_nack : bool; a_recover : bool }
+
+type retx = {
+  r_depth : int;
+  r_table : int array; (* per-launch extra link delay, periodic *)
+  (* sender *)
+  r_buf : (int * int) list; (* unacked (seq, payload), oldest first *)
+  r_next_seq : int;
+  r_cursor : int; (* index into [r_buf] of the next flit to launch *)
+  r_timer : int; (* cycles without ack progress while data is outstanding *)
+  r_count : int; (* launches so far, mod table length *)
+  (* the two internal one-cycle hops *)
+  r_flit : flit option;
+  r_ack : ack_msg option;
+  (* receiver *)
+  r_expect : int;
+  r_out : Token.t; (* Moore output register *)
+  r_occ : int; (* tokens accepted and not yet consumed downstream *)
+  (* observability counters — not protocol state, excluded from
+     signatures *)
+  r_recov : int;
+  r_dups : int;
+}
 
 (* Invariant for [Full_state]: [aux] valid implies [main] valid. *)
 type state =
@@ -11,19 +60,54 @@ type state =
   | Half_state of { hold : Token.t; sreg : bool }
       (* [sreg]: delayed copy of the incoming stop, used only under the
          [Original] flavour *)
+  | Retx_state of retx
 
-let initial = function
+(* The retransmission timeout must exceed the worst-case round trip
+   (launch, [1 + max extra delay] to arrive, 1 cycle for the ack), or
+   every long-delay flit costs a spurious go-back-N rewind. *)
+let retx_timeout r = 8 + (2 * Array.fold_left max 0 r.r_table)
+
+let initial ?(table = [| 0 |]) = function
   | Full -> Full_state { main = Token.void; aux = Token.void }
   | Half -> Half_state { hold = Token.void; sreg = false }
+  | Retx { depth } ->
+      let table = if Array.length table = 0 then [| 0 |] else table in
+      Retx_state
+        {
+          r_depth = max 1 depth;
+          r_table = table;
+          r_buf = [];
+          r_next_seq = 0;
+          r_cursor = 0;
+          r_timer = 0;
+          r_count = 0;
+          r_flit = None;
+          r_ack = None;
+          r_expect = 0;
+          r_out = Token.void;
+          r_occ = 0;
+          r_recov = 0;
+          r_dups = 0;
+        }
 
-let kind = function Full_state _ -> Full | Half_state _ -> Half
+let kind = function
+  | Full_state _ -> Full
+  | Half_state _ -> Half
+  | Retx_state r -> Retx { depth = r.r_depth }
 
 let occupancy = function
   | Full_state { main; aux } ->
       (if Token.is_valid main then 1 else 0) + if Token.is_valid aux then 1 else 0
   | Half_state { hold; _ } -> if Token.is_valid hold then 1 else 0
+  | Retx_state r -> r.r_occ
 
-let sreg = function Full_state _ -> false | Half_state { sreg; _ } -> sreg
+let sreg = function
+  | Full_state _ -> false
+  | Half_state { sreg; _ } -> sreg
+  | Retx_state _ -> false
+
+let recoveries = function Retx_state r -> r.r_recov | _ -> 0
+let dup_discards = function Retx_state r -> r.r_dups | _ -> 0
 
 let present state ~input =
   match state with
@@ -33,12 +117,135 @@ let present state ~input =
          datum is not consumed, so it must not be forwarded either (it
          would be delivered twice). *)
       if Token.is_valid hold then hold else if sreg then Token.void else input
+  | Retx_state r -> r.r_out
 
 let stop_upstream = function
   | Full_state { aux; _ } -> Token.is_valid aux
   | Half_state { hold; sreg } -> Token.is_valid hold || sreg
+  | Retx_state r -> List.length r.r_buf >= r.r_depth
 
-let step ?(flavour = Protocol.Optimized) state ~input ~stop_in =
+let step_retx r ~input ~stop_in ~link =
+  let buf_n = List.length r.r_buf in
+  (* 1. receiver: the flit finishing its link traversal, as damaged by
+     the injected link fault. *)
+  let arriving, flit_left =
+    match r.r_flit with
+    | None -> (None, None)
+    | Some f when f.f_wait > 0 -> (None, Some { f with f_wait = f.f_wait - 1 })
+    | Some f -> (
+        match link with
+        | Link_ok -> (Some (f.f_seq, f.f_val, true), None)
+        | Link_corrupt m -> (Some (f.f_seq, f.f_val lxor m, false), None)
+        | Link_corrupt_silent m -> (Some (f.f_seq, f.f_val lxor m, true), None)
+        | Link_drop -> (None, None)
+        | Link_dup -> (Some (f.f_seq, f.f_val, true), Some { f with f_wait = 0 }))
+  in
+  let out_consumed = Token.is_valid r.r_out && not stop_in in
+  let out0 = if out_consumed then Token.void else r.r_out in
+  (* 2. receiver processes the arrival: exactly-once, in-order. *)
+  let out1, expect', rx_ack, dups' =
+    match arriving with
+    | None -> (out0, r.r_expect, None, r.r_dups)
+    | Some (seq, v, intact) ->
+        if not intact then
+          (* detected damage: ask for a resend from the expected seq *)
+          ( out0,
+            r.r_expect,
+            Some { a_seq = r.r_expect; a_nack = true; a_recover = true },
+            r.r_dups )
+        else if seq < r.r_expect then
+          (* stale duplicate (re-sent or duplicated in flight): discard,
+             refresh the cumulative ack so the sender advances *)
+          ( out0,
+            r.r_expect,
+            Some { a_seq = r.r_expect; a_nack = false; a_recover = false },
+            r.r_dups + 1 )
+        else if seq > r.r_expect then
+          (* sequence gap: an earlier flit was lost on the hop *)
+          ( out0,
+            r.r_expect,
+            Some { a_seq = r.r_expect; a_nack = true; a_recover = true },
+            r.r_dups )
+        else if Token.is_valid out0 then
+          (* in order, but the output register is still held downstream:
+             refuse without counting a recovery *)
+          ( out0,
+            r.r_expect,
+            Some { a_seq = r.r_expect; a_nack = true; a_recover = false },
+            r.r_dups )
+        else
+          ( Token.valid v,
+            r.r_expect + 1,
+            Some { a_seq = r.r_expect + 1; a_nack = false; a_recover = false },
+            r.r_dups )
+  in
+  (* 3. sender: the ack launched last cycle arrives. *)
+  let buf1, cursor1, timer1, recov1, progressed =
+    match r.r_ack with
+    | None -> (r.r_buf, r.r_cursor, r.r_timer, r.r_recov, false)
+    | Some a ->
+        let rec drop n = function
+          | (s, _) :: rest when s < a.a_seq -> drop (n + 1) rest
+          | rest -> (n, rest)
+        in
+        let dropped, buf' = drop 0 r.r_buf in
+        if a.a_nack then
+          ( buf',
+            0,
+            0,
+            (if a.a_recover then r.r_recov + 1 else r.r_recov),
+            true )
+        else
+          ( buf',
+            max 0 (r.r_cursor - dropped),
+            (if dropped > 0 then 0 else r.r_timer),
+            r.r_recov,
+            dropped > 0 )
+  in
+  (* 4. timeout: outstanding un-acked data and no progress. *)
+  let timer2, cursor2, recov2 =
+    if buf1 = [] then (0, cursor1, recov1)
+    else if progressed then (timer1, cursor1, recov1)
+    else if timer1 >= retx_timeout r then (0, 0, recov1 + 1)
+    else (timer1 + 1, cursor1, recov1)
+  in
+  (* 5. accept the producer's handover (it saw our pre-cycle stop). *)
+  let accept = Token.is_valid input && buf_n < r.r_depth in
+  let buf2, next_seq' =
+    if accept then (buf1 @ [ (r.r_next_seq, Token.value input) ], r.r_next_seq + 1)
+    else (buf1, r.r_next_seq)
+  in
+  (* 6. launch the next flit when the data hop is free. *)
+  let flit', cursor3, count' =
+    match flit_left with
+    | Some _ -> (flit_left, cursor2, r.r_count)
+    | None ->
+        if cursor2 < List.length buf2 then
+          let s, v = List.nth buf2 cursor2 in
+          let wait = r.r_table.(r.r_count) in
+          ( Some { f_seq = s; f_val = v; f_wait = wait },
+            cursor2 + 1,
+            (r.r_count + 1) mod Array.length r.r_table )
+        else (None, cursor2, r.r_count)
+  in
+  Retx_state
+    {
+      r with
+      r_buf = buf2;
+      r_next_seq = next_seq';
+      r_cursor = cursor3;
+      r_timer = timer2;
+      r_count = count';
+      r_flit = flit';
+      r_ack = rx_ack;
+      r_expect = expect';
+      r_out = out1;
+      r_occ = r.r_occ + (if accept then 1 else 0) - (if out_consumed then 1 else 0);
+      r_recov = recov2;
+      r_dups = dups';
+    }
+
+let step ?(flavour = Protocol.Optimized) ?(link = Link_ok) state ~input ~stop_in =
   match state with
   | Full_state { main; aux } ->
       (* [take]: a valid datum is arriving and we did not assert stop this
@@ -68,15 +275,34 @@ let step ?(flavour = Protocol.Optimized) state ~input ~stop_in =
         (* The passing datum was not consumed downstream: capture it. *)
         Half_state { hold = input; sreg = sreg' }
       else Half_state { hold = Token.void; sreg = sreg' }
+  | Retx_state r -> step_retx r ~input ~stop_in ~link
 
 let tokens = function
-  | Full_state { main; aux } ->
-      List.filter Token.is_valid [ main; aux ]
+  | Full_state { main; aux } -> List.filter Token.is_valid [ main; aux ]
   | Half_state { hold; _ } -> List.filter Token.is_valid [ hold ]
+  | Retx_state r ->
+      List.filter Token.is_valid
+        (r.r_out
+         :: (match r.r_flit with
+            | Some f -> [ Token.valid f.f_val ]
+            | None -> [])
+        @ List.map (fun (_, v) -> Token.valid v) r.r_buf)
 
 let map_tokens f = function
   | Full_state { main; aux } -> Full_state { main = f main; aux = f aux }
   | Half_state { hold; sreg } -> Half_state { hold = f hold; sreg }
+  | Retx_state r ->
+      let pay v =
+        match f (Token.valid v) with Token.Valid v' -> v' | Token.Void -> v
+      in
+      Retx_state
+        {
+          r with
+          r_out = f r.r_out;
+          r_buf = List.map (fun (s, v) -> (s, pay v)) r.r_buf;
+          r_flit =
+            Option.map (fun fl -> { fl with f_val = pay fl.f_val }) r.r_flit;
+        }
 
 let upset ~payload = function
   | Full_state { main; aux } ->
@@ -87,6 +313,55 @@ let upset ~payload = function
   | Half_state { hold; sreg } ->
       if Token.is_valid hold then Half_state { hold = Token.void; sreg }
       else Half_state { hold = Token.valid payload; sreg }
+  | Retx_state r ->
+      (* upset the output register; [r_occ] tracks the token count so the
+         conservation monitor sees exactly one loss (or conjure) *)
+      if Token.is_valid r.r_out then
+        Retx_state { r with r_out = Token.void; r_occ = r.r_occ - 1 }
+      else Retx_state { r with r_out = Token.valid payload; r_occ = r.r_occ + 1 }
+
+(* A dense integer capturing every protocol-relevant field of a station:
+   the code the engines fold into state signatures.  Sequence numbers
+   enter only as clamped differences, and the monotone observability
+   counters not at all — otherwise no periodic run would ever repeat a
+   signature. *)
+let signature_code state =
+  match state with
+  | Full_state _ | Half_state _ ->
+      occupancy state + if sreg state then 4 else 0
+  | Retx_state r ->
+      let clamp lo hi v = if v < lo then lo else if v > hi then hi else v in
+      let d = r.r_depth in
+      let base_seq =
+        match r.r_buf with (s, _) :: _ -> s | [] -> r.r_next_seq
+      in
+      let rel v = clamp 0 ((2 * d) + 4) (v + d + 2) in
+      let acc = List.length r.r_buf in
+      let acc = (acc * (d + 2)) + r.r_cursor in
+      let acc = (acc * (retx_timeout r + 2)) + clamp 0 (retx_timeout r + 1) r.r_timer in
+      let acc = (acc * Array.length r.r_table) + r.r_count in
+      let acc =
+        (acc * ((2 * d) + 6))
+        +
+        match r.r_flit with
+        | None -> 0
+        | Some f -> 1 + rel (f.f_seq - base_seq)
+      in
+      let acc =
+        (acc * (Array.fold_left max 0 r.r_table + 2))
+        + match r.r_flit with None -> 0 | Some f -> f.f_wait
+      in
+      let acc =
+        (acc * (2 * ((2 * d) + 6)))
+        +
+        match r.r_ack with
+        | None -> 0
+        | Some a ->
+            (if a.a_nack then (2 * d) + 6 else 0) + 1 + rel (a.a_seq - r.r_expect)
+      in
+      let acc = (acc * 2) + if Token.is_valid r.r_out then 1 else 0 in
+      let acc = (acc * ((2 * d) + 5)) + rel (r.r_next_seq - r.r_expect) in
+      (acc * ((2 * d) + 5)) + rel r.r_occ
 
 let pp fmt state =
   match state with
@@ -94,3 +369,13 @@ let pp fmt state =
       Format.fprintf fmt "RS[%a|%a]" Token.pp main Token.pp aux
   | Half_state { hold; sreg } ->
       Format.fprintf fmt "HRS[%a%s]" Token.pp hold (if sreg then "|s" else "")
+  | Retx_state r ->
+      Format.fprintf fmt "XRS[buf:%d cur:%d %s%s out:%a exp:%d rec:%d]"
+        (List.length r.r_buf) r.r_cursor
+        (match r.r_flit with
+        | Some f -> Printf.sprintf "fl:%d+%d " f.f_seq f.f_wait
+        | None -> "")
+        (match r.r_ack with
+        | Some a -> Printf.sprintf "%s:%d " (if a.a_nack then "nack" else "ack") a.a_seq
+        | None -> "")
+        Token.pp r.r_out r.r_expect r.r_recov

@@ -14,6 +14,15 @@
       must separate two shells, because the stop signal cannot be
       back-propagated combinationally through a shell.
 
+    The {b retransmitting} station ([Retx]) extends the family for
+    dynamic-LID links whose internal hop may delay, damage, drop or
+    duplicate a flit: the sender tags accepted tokens with sequence
+    numbers, keeps them in a bounded replay buffer until cumulatively
+    acknowledged, and re-sends (go-back-N) on NACK or timeout; the
+    receiver delivers in order, exactly once, discarding stale
+    duplicates.  Its observable protocol face is a Moore station of
+    forward latency 2 whose upstream stop is "replay buffer full".
+
     Relay stations are initialized empty ("with non valid outputs", as the
     paper requires); shells are initialized with valid outputs.
 
@@ -22,24 +31,44 @@
     datum provided its environment keeps inputs stable under asserted stop
     (the environment assumption the paper verifies blocks under). *)
 
-type kind = Full | Half
+type kind = Full | Half | Retx of { depth : int }
 
 val kind_to_string : kind -> string
+(** ["full"], ["half"], ["retx:N"]. *)
+
 val pp_kind : Format.formatter -> kind -> unit
 
 val capacity : kind -> int
-(** Storage slots: 2 for full, 1 for half. *)
+(** Storage slots: 2 for full, 1 for half, replay depth + 1 for retx. *)
 
 val forward_latency : kind -> int
-(** 1 for full, 0 for half. *)
+(** 1 for full, 0 for half, 2 for retx (internal data hop + output
+    register), before any extra link delay. *)
+
+(** A fault on the retransmitting station's internal data hop, applied to
+    the flit completing its traversal this cycle.  [Link_corrupt] damages
+    the payload detectably (the flit checksum catches it and the receiver
+    NACKs); [Link_corrupt_silent] models a corruption that escapes the
+    checksum and is delivered as if intact. *)
+type link_fault =
+  | Link_ok
+  | Link_corrupt of int
+  | Link_corrupt_silent of int
+  | Link_drop
+  | Link_dup
 
 type state
 
-val initial : kind -> state
+val initial : ?table:int array -> kind -> state
+(** [table] (default [[|0|]]) is the per-launch extra-delay schedule of
+    the retransmitting station's internal hop, from
+    {!Latency.table}; ignored by full and half stations. *)
+
 val kind : state -> kind
 
 val occupancy : state -> int
-(** Number of valid data currently stored. *)
+(** Number of valid data currently stored (for retx: accepted and not yet
+    consumed downstream — the count the conservation monitor audits). *)
 
 val sreg : state -> bool
 (** The half station's registered copy of the incoming stop ([false] for
@@ -47,19 +76,34 @@ val sreg : state -> bool
     with {!occupancy} it determines the station's future valid/stop
     behaviour, so state signatures must include it. *)
 
+val recoveries : state -> int
+(** Retransmitting stations: go-back-N rewinds triggered by detected
+    damage, loss or timeout — {e not} by downstream back-pressure.  0 for
+    other kinds; 0 in any fault-free run. *)
+
+val dup_discards : state -> int
+(** Retransmitting stations: stale duplicates the receiver discarded to
+    preserve exactly-once delivery.  0 for other kinds. *)
+
 val present : state -> input:Token.t -> Token.t
-(** The token driven on the output this cycle.  A full station ignores
-    [input] (Moore); a half station passes [input] through when empty
-    (Mealy). *)
+(** The token driven on the output this cycle.  Full and retx stations
+    ignore [input] (Moore); a half station passes [input] through when
+    empty (Mealy). *)
 
 val stop_upstream : state -> bool
 (** The stop the station asserts toward its producer this cycle (a function
     of state only — i.e. a registered signal, which is the whole point). *)
 
 val step :
-  ?flavour:Protocol.flavour -> state -> input:Token.t -> stop_in:bool -> state
+  ?flavour:Protocol.flavour ->
+  ?link:link_fault ->
+  state ->
+  input:Token.t ->
+  stop_in:bool ->
+  state
 (** One clock edge. [input] is the producer-side token, [stop_in] the
-    consumer-side stop observed this cycle.
+    consumer-side stop observed this cycle; [link] (default [Link_ok])
+    is the fault on a retx station's internal data hop this cycle.
 
     The flavour (default [Optimized]) selects the half station's stop
     discipline: under [Optimized], stop is asserted upstream only while a
@@ -75,7 +119,9 @@ val tokens : state -> Token.t list
 
 val map_tokens : (Token.t -> Token.t) -> state -> state
 (** Apply [f] to every stored token (valid or void), preserving control
-    state — used by the verifier to abstract payloads away. *)
+    state — used by the verifier to abstract payloads away.  On a retx
+    station, a payload [f] maps to void is kept unchanged (control fields
+    cannot represent a void flit). *)
 
 val upset : payload:int -> state -> state
 (** Single-event upset of the station's primary data register: a stored
@@ -84,5 +130,14 @@ val upset : payload:int -> state -> state
     register is empty, a spurious datum carrying [payload] is conjured.
     Models a soft error in the relay register file — the fault the
     fault-injection campaigns address by station index. *)
+
+val signature_code : state -> int
+(** A dense integer capturing every protocol-relevant field of the
+    station — for full/half the occupancy plus the half station's [sreg]
+    (values 0..5), for retx the replay/flit/ack/timer control state with
+    sequence numbers folded in as bounded differences.  Monotone
+    observability counters ({!recoveries}, {!dup_discards}) are excluded,
+    so periodic runs still repeat signatures.  Both skeleton engines fold
+    exactly these codes into their interned state signatures. *)
 
 val pp : Format.formatter -> state -> unit

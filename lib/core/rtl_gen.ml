@@ -53,6 +53,12 @@ let relay_station_fragment ?(flavour = Protocol.Optimized) kind
         let out_data = mux2 v_hold d_hold in_data in
         let stop_out = v_hold |: sreg in
         (out_valid, out_data, stop_out)
+    | Relay_station.Retx _ ->
+        (* The retransmitting station's serdes/CRC datapath has no RTL
+           model yet — it exists at skeleton granularity only. *)
+        invalid_arg
+          "Rtl_gen.relay_station_fragment: retransmitting stations have no \
+           RTL model (skeleton-only)"
   in
   (* The registers above latch unconditionally; the mux trees encode the
      hold conditions, exactly like the abstract FSM. *)

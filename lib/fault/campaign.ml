@@ -57,7 +57,9 @@ let faults_of_config config net =
               in
               let param =
                 match kind with
-                | Model.Data_corrupt -> 1 + Random.State.int rng 254
+                | Model.Data_corrupt | Model.Flit_corrupt
+                | Model.Flit_corrupt_silent ->
+                    1 + Random.State.int rng 254
                 | _ -> 900_000 + Random.State.int rng 1000
               in
               { Model.kind; site; cycle; duration; param }))
@@ -91,6 +93,10 @@ let spec_of_fault (f : Model.t) =
     | Model.Forward { edge; seg } -> Lanes.Forward { edge; seg }
     | Model.Backward { edge; boundary } -> Lanes.Backward { edge; boundary }
     | Model.Register { edge; station } -> Lanes.Register { edge; station }
+    | Model.Link _ ->
+        (* unreachable: link faults only exist on retransmitting stations,
+           and dynamic networks never take the lane path *)
+        invalid_arg "Campaign.spec_of_fault: link faults are not lane-batchable"
   in
   let eff =
     (* the boolean shadow of [Model.hooks]: Valid_flip toggles the wire
@@ -103,6 +109,9 @@ let spec_of_fault (f : Model.t) =
     | Model.Stop_spurious | Model.Stop_stuck -> Lanes.Force_stop
     | Model.Stop_drop -> Lanes.Drop_stop
     | Model.Station_upset -> Lanes.Upset
+    | Model.Flit_corrupt | Model.Flit_corrupt_silent | Model.Flit_drop
+    | Model.Flit_dup ->
+        invalid_arg "Campaign.spec_of_fault: link faults are not lane-batchable"
   in
   { Lanes.eff; site; from_cycle = f.cycle; duration = f.duration }
 
@@ -128,6 +137,9 @@ let filterable (f : Model.t) (lr : Lanes.lane_report) =
   match f.kind with
   | Model.Station_upset -> false
   | Model.Data_corrupt -> not lr.lr_touched
+  | Model.Flit_corrupt | Model.Flit_corrupt_silent | Model.Flit_drop
+  | Model.Flit_dup ->
+      false
   | Model.Valid_flip | Model.Stop_spurious | Model.Stop_drop | Model.Stop_stuck
     ->
       true
@@ -153,7 +165,9 @@ let classify_lane_batch baseline replay config net ~lanes batch =
         batch
 
 let run_lanes ?(lanes = Lanes.max_lanes) ?on_report config net =
-  if lanes <= 1 then run ?on_report config net
+  (* the bit-sliced lane fabric cannot model per-channel latency state or
+     retransmitting stations — fall back to per-fault classification *)
+  if lanes <= 1 || Net.has_dynamics net then run ?on_report config net
   else begin
     let lanes = min lanes Lanes.max_lanes in
     let faults = faults_of_config config net in

@@ -5,28 +5,43 @@ module Reference = Skeleton.Reference
 type outcome =
   | Masked
   | Latency_only
+  | Masked_by_retx
   | Token_loss
   | Token_duplication
   | Data_corrupting
+  | Livelock
   | Deadlock
 
 let all_outcomes =
-  [ Masked; Latency_only; Token_loss; Token_duplication; Data_corrupting; Deadlock ]
+  [
+    Masked;
+    Latency_only;
+    Masked_by_retx;
+    Token_loss;
+    Token_duplication;
+    Data_corrupting;
+    Livelock;
+    Deadlock;
+  ]
 
 let rank = function
   | Masked -> 0
   | Latency_only -> 1
-  | Token_loss -> 2
-  | Token_duplication -> 3
-  | Data_corrupting -> 4
-  | Deadlock -> 5
+  | Masked_by_retx -> 2
+  | Token_loss -> 3
+  | Token_duplication -> 4
+  | Data_corrupting -> 5
+  | Livelock -> 6
+  | Deadlock -> 7
 
 let outcome_to_string = function
   | Masked -> "masked"
   | Latency_only -> "latency-only"
+  | Masked_by_retx -> "masked-by-retx"
   | Token_loss -> "token-loss"
   | Token_duplication -> "token-duplication"
   | Data_corrupting -> "data-corrupting"
+  | Livelock -> "livelock"
   | Deadlock -> "deadlock"
 
 let pp_outcome fmt o = Format.pp_print_string fmt (outcome_to_string o)
@@ -37,6 +52,7 @@ type evidence = {
   delivered : int;
   baseline_delivered : int;
   sink_anomaly : string option;
+  recoveries : int;
 }
 
 type report = { fault : Model.t; outcome : outcome; evidence : evidence }
@@ -115,14 +131,14 @@ let align reference delivered =
    run strategies: {!classify} (instrumented [Engine]), {!classify_fast}
    (packed engine + probe views) and {!masked_report} (no run at all:
    a recorded fault-free replay). *)
-let bin baseline fault ~violations ~wd ~streams =
+let bin baseline fault ~violations ~wd ~recoveries ~streams =
   let delivered =
     List.fold_left (fun acc (_, vs) -> acc + List.length vs) 0 streams
   in
   (* Evidence from the runtime monitors. *)
   let from_violation (v : Monitor.violation) =
     match v.v_kind with
-    | Monitor.Token_mismatched -> Data_corrupting
+    | Monitor.Token_mismatched | Monitor.Token_reordered -> Data_corrupting
     | Monitor.Token_duplicated -> Token_duplication
     | Monitor.Token_lost | Monitor.Hold_violated -> Token_loss
   in
@@ -164,7 +180,10 @@ let bin baseline fault ~violations ~wd ~streams =
       streams baseline.base_streams
   in
   let candidates =
-    (if baseline.b_live && Monitor.Watchdog.deadlocked wd then [ Deadlock ]
+    (if baseline.b_live && Monitor.Watchdog.deadlocked wd then
+       (* a wedged system that burned retransmissions on the way down is a
+          livelock: the protocol kept fighting, and lost *)
+       [ (if recoveries > 0 then Livelock else Deadlock) ]
      else [])
     @ List.map from_violation violations
     @ stream_outcomes
@@ -174,6 +193,13 @@ let bin baseline fault ~violations ~wd ~streams =
     List.fold_left
       (fun worst o -> if rank o > rank worst then o else worst)
       Masked candidates
+  in
+  (* A clean run that needed retransmissions to stay clean was recovered,
+     not untouched — credit the protocol. *)
+  let outcome =
+    match outcome with
+    | (Masked | Latency_only) when recoveries > 0 -> Masked_by_retx
+    | o -> o
   in
   {
     fault;
@@ -185,6 +211,7 @@ let bin baseline fault ~violations ~wd ~streams =
         delivered;
         baseline_delivered = baseline.b_delivered;
         sink_anomaly = !sink_anomaly;
+        recoveries;
       };
   }
 
@@ -208,6 +235,7 @@ let classify baseline fault =
   bin baseline fault
     ~violations:(Monitor.violations mon)
     ~wd
+    ~recoveries:(Engine.recovery_count engine)
     ~streams:(sink_streams engine baseline.net)
 
 module Packed = Skeleton.Packed
@@ -244,6 +272,7 @@ let classify_fast baseline fault =
   bin baseline fault
     ~violations:(Monitor.violations mon)
     ~wd
+    ~recoveries:(Packed.recovery_count packed)
     ~streams:(packed_sink_streams packed baseline.net)
 
 (* A recorded fault-free monitored run: everything needed to classify,
@@ -286,4 +315,4 @@ let masked_report baseline rp fault =
       Monitor.Watchdog.note wd ~cycle:c ~signature:key
         ~progress:rp.rp_progress.(c))
     rp.rp_keys;
-  bin baseline fault ~violations:[] ~wd ~streams:rp.rp_streams
+  bin baseline fault ~violations:[] ~wd ~recoveries:0 ~streams:rp.rp_streams

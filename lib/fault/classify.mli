@@ -4,17 +4,31 @@
     zero-latency reference ({!Skeleton.Reference}) for the value streams
     the sinks must see, and a fault-free run of the same LID for the pace
     they should arrive at — plus the runtime monitors and the deadlock
-    watchdog.  The evidence is folded into one of six bins, ordered by
-    severity; when several symptoms coexist the worst wins. *)
+    watchdog.  The evidence is folded into one of eight bins, ordered by
+    severity; when several symptoms coexist the worst wins.
+
+    Systems with retransmitting stations ({!Lid.Relay_station.Retx}) add a
+    recovery dimension: a run that stayed clean {e because} the protocol
+    resent damaged or dropped flits is binned {!Masked_by_retx} rather than
+    {!Masked}, and a wedged run that was still burning retransmissions is
+    {!Livelock} rather than {!Deadlock}. *)
 
 type outcome =
   | Masked  (** no observable difference, no monitor violation *)
   | Latency_only
       (** sink streams still a prefix of the reference, but the schedule
           shifted against the fault-free run *)
+  | Masked_by_retx
+      (** observationally {!Masked} or {!Latency_only}, but only because a
+          retransmitting station recovered at least one flit *)
   | Token_loss  (** a token vanished (or a refused token was not held) *)
   | Token_duplication  (** a token was delivered or stored twice *)
-  | Data_corrupting  (** a sink saw a value the reference never produced *)
+  | Data_corrupting
+      (** a sink saw a value the reference never produced (including
+          out-of-order delivery) *)
+  | Livelock
+      (** wedged like {!Deadlock}, but with recovery traffic still being
+          generated — the protocol keeps retrying and never wins *)
   | Deadlock
       (** the post-fault system settled into a periodic regime with no
           firing — wedged forever *)
@@ -22,7 +36,7 @@ type outcome =
 val all_outcomes : outcome list
 
 val rank : outcome -> int
-(** Severity, [0] = {!Masked} .. [5] = {!Deadlock}. *)
+(** Severity, [0] = {!Masked} .. [7] = {!Deadlock}. *)
 
 val outcome_to_string : outcome -> string
 val pp_outcome : Format.formatter -> outcome -> unit
@@ -34,6 +48,9 @@ type evidence = {
   baseline_delivered : int;  (** same for the fault-free run *)
   sink_anomaly : string option;
       (** first stream-level divergence from the reference, rendered *)
+  recoveries : int;
+      (** successful flit retransmissions across all retransmitting
+          stations ([0] on networks without them) *)
 }
 
 type report = { fault : Model.t; outcome : outcome; evidence : evidence }

@@ -8,9 +8,24 @@ type kind =
   | Stop_drop
   | Stop_stuck
   | Station_upset
+  | Flit_corrupt
+  | Flit_corrupt_silent
+  | Flit_drop
+  | Flit_dup
 
 let all_kinds =
-  [ Valid_flip; Data_corrupt; Stop_spurious; Stop_drop; Stop_stuck; Station_upset ]
+  [
+    Valid_flip;
+    Data_corrupt;
+    Stop_spurious;
+    Stop_drop;
+    Stop_stuck;
+    Station_upset;
+    Flit_corrupt;
+    Flit_corrupt_silent;
+    Flit_drop;
+    Flit_dup;
+  ]
 
 let kind_to_string = function
   | Valid_flip -> "valid-flip"
@@ -19,6 +34,10 @@ let kind_to_string = function
   | Stop_drop -> "stop-drop"
   | Stop_stuck -> "stop-stuck"
   | Station_upset -> "station-upset"
+  | Flit_corrupt -> "flit-corrupt"
+  | Flit_corrupt_silent -> "flit-corrupt-silent"
+  | Flit_drop -> "flit-drop"
+  | Flit_dup -> "flit-dup"
 
 let kind_of_string s =
   List.find_opt (fun k -> kind_to_string k = s) all_kinds
@@ -29,6 +48,7 @@ type site =
   | Forward of { edge : Net.edge_id; seg : int }
   | Backward of { edge : Net.edge_id; boundary : int }
   | Register of { edge : Net.edge_id; station : int }
+  | Link of { edge : Net.edge_id; station : int }
 
 type t = { kind : kind; site : site; cycle : int; duration : int; param : int }
 
@@ -58,10 +78,24 @@ let sites net kind =
             Register { edge = e.id; station }))
       (Net.edges net)
   in
+  (* only retransmitting stations have an attackable internal hop *)
+  let link_plane =
+    List.concat_map
+      (fun (e : Net.edge) ->
+        List.concat
+          (List.mapi
+             (fun station k ->
+               match k with
+               | Lid.Relay_station.Retx _ -> [ Link { edge = e.id; station } ]
+               | _ -> [])
+             e.stations))
+      (Net.edges net)
+  in
   match kind with
   | Valid_flip | Data_corrupt -> forward_plane
   | Stop_spurious | Stop_drop | Stop_stuck -> backward_plane
   | Station_upset -> register_plane
+  | Flit_corrupt | Flit_corrupt_silent | Flit_drop | Flit_dup -> link_plane
 
 let active f ~cycle = cycle >= f.cycle && cycle < f.cycle + f.duration
 
@@ -110,7 +144,23 @@ let hooks faults =
         | _ -> st)
       st faults
   in
-  { Skeleton.Engine.fh_forward; fh_stop; fh_station }
+  let fh_link ~cycle ~edge ~station =
+    List.fold_left
+      (fun acc f ->
+        match f.site with
+        | Link { edge = e; station = s }
+          when e = edge && s = station && active f ~cycle -> (
+            let mask = if f.param = 0 then 1 else f.param in
+            match f.kind with
+            | Flit_corrupt -> Lid.Relay_station.Link_corrupt mask
+            | Flit_corrupt_silent -> Lid.Relay_station.Link_corrupt_silent mask
+            | Flit_drop -> Lid.Relay_station.Link_drop
+            | Flit_dup -> Lid.Relay_station.Link_dup
+            | _ -> acc)
+        | _ -> acc)
+      Lid.Relay_station.Link_ok faults
+  in
+  { Skeleton.Engine.fh_forward; fh_stop; fh_station; fh_link }
 
 let pp net fmt f =
   let edge_label eid =
@@ -126,6 +176,8 @@ let pp net fmt f =
         Format.sprintf "%s boundary %d" (edge_label edge) boundary
     | Register { edge; station } ->
         Format.sprintf "%s station %d" (edge_label edge) station
+    | Link { edge; station } ->
+        Format.sprintf "%s link of station %d" (edge_label edge) station
   in
   Format.fprintf fmt "%s at %s, cycle %d%s" (kind_to_string f.kind) site f.cycle
     (if f.duration > 1 then Format.sprintf " (x%d)" f.duration else "")

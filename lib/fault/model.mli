@@ -16,6 +16,14 @@ type kind =
   | Stop_drop  (** force a stop wire low — a stop in flight is lost *)
   | Stop_stuck  (** hold a stop wire high over a multi-cycle window *)
   | Station_upset  (** single-event upset of a relay-station data register *)
+  | Flit_corrupt
+      (** XOR a flit's payload on a retransmitting station's internal hop;
+          the damage is detectable (checksum model), so the receiver NACKs *)
+  | Flit_corrupt_silent
+      (** same, but the damage defeats the checksum — the receiver
+          delivers the corrupted payload as if intact *)
+  | Flit_drop  (** a flit vanishes on the internal hop *)
+  | Flit_dup  (** a flit is delivered and a copy stays in flight *)
 
 val all_kinds : kind list
 val kind_to_string : kind -> string
@@ -31,6 +39,9 @@ type site =
           reaches relay station [b-1] *)
   | Register of { edge : Topology.Network.edge_id; station : int }
       (** a relay station's data register *)
+  | Link of { edge : Topology.Network.edge_id; station : int }
+      (** the internal data hop of retransmitting station [station] — only
+          retransmitting stations are addressable on this plane *)
 
 type t = {
   kind : kind;
@@ -39,7 +50,8 @@ type t = {
   duration : int;  (** number of consecutive faulty cycles, [>= 1] *)
   param : int;
       (** payload of conjured tokens ([Valid_flip] on void, [Station_upset]
-          on an empty register); XOR mask for [Data_corrupt] *)
+          on an empty register); XOR mask for [Data_corrupt] and the
+          [Flit_corrupt] variants *)
 }
 
 val last_cycle : t -> int

@@ -6,6 +6,7 @@ type violation_kind =
   | Token_lost
   | Token_duplicated
   | Token_mismatched
+  | Token_reordered
   | Hold_violated
 
 type violation = {
@@ -19,6 +20,7 @@ let violation_kind_to_string = function
   | Token_lost -> "token-lost"
   | Token_duplicated -> "token-duplicated"
   | Token_mismatched -> "token-mismatched"
+  | Token_reordered -> "token-reordered"
   | Hold_violated -> "hold-violated"
 
 let pp_violation net fmt v =
@@ -103,8 +105,15 @@ let observe_chan t ~cycle ~edge (p : Engine.probe) =
       else
         let expected = Queue.pop c.ledger in
         if expected <> got && expected <> unknown then
-          flag t ~cycle ~edge Token_mismatched
-            (Printf.sprintf "expected %d, delivered %d" expected got)
+          (* a wrong value that is still in flight further back is a
+             reordering, not a substitution *)
+          if Queue.fold (fun acc v -> acc || v = got) false c.ledger then
+            flag t ~cycle ~edge Token_reordered
+              (Printf.sprintf
+                 "expected %d, delivered %d (still in flight)" expected got)
+          else
+            flag t ~cycle ~edge Token_mismatched
+              (Printf.sprintf "expected %d, delivered %d" expected got)
   | _ -> ()
 
 let observe t (snap : Engine.snapshot) =

@@ -27,8 +27,12 @@ type violation_kind =
   | Token_duplicated
       (** a delivery the ledger cannot account for (or conjured storage) *)
   | Token_mismatched
-      (** delivered value differs from the oldest in flight — reordering or
-          in-flight corruption *)
+      (** delivered value differs from the oldest in flight and is not in
+          flight at all — in-flight corruption *)
+  | Token_reordered
+      (** delivered value differs from the oldest in flight but a later
+          in-flight token carries it — out-of-order delivery (e.g. a
+          retransmission scheme gone wrong) *)
   | Hold_violated  (** a refused valid token was not held *)
 
 type violation = {

@@ -280,6 +280,51 @@ let run ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16) ?(gate = true)
             })
           half_in_loops
   in
+  (* LID008: a variable-latency channel's retransmitting station must be
+     able to keep the whole round trip in flight — one worst-case data
+     traversal (1 + max delay), the ack's way back (1), and the launch
+     slot itself (1) — or the sender stalls on a full replay buffer even
+     without faults, and a single loss can strand more flits than one
+     go-back-N replay covers. *)
+  let retx_diags =
+    List.filter_map
+      (fun (e : Net.edge) ->
+        match e.latency with
+        | None -> None
+        | Some profile -> (
+            let first_retx =
+              List.find_map
+                (function
+                  | Lid.Relay_station.Retx { depth } -> Some depth
+                  | Lid.Relay_station.Full | Lid.Relay_station.Half -> None)
+                e.stations
+            in
+            match first_retx with
+            | None -> None
+            | Some depth ->
+                let rtt = 3 + Lid.Latency.max_delay profile in
+                if depth >= rtt then None
+                else
+                  Some
+                    {
+                      D.code = D.LID008;
+                      severity = D.Warning;
+                      loc = D.L_edge e.id;
+                      message =
+                        Printf.sprintf
+                          "replay buffer of depth %d is below the channel's \
+                           worst-case round trip of %d cycles (launch + data \
+                           traversal with max delay %d + ack): the sender can \
+                           stall fault-free and a loss may outrun one replay \
+                           — deepen to retx:%d"
+                          depth rtt
+                          (Lid.Latency.max_delay profile)
+                          rtt;
+                      params = D.P_retx { depth; rtt };
+                      fixits = [];
+                    }))
+      (Net.edges net)
+  in
   (* LID001 (gate level): elaborate and prove stop registration *)
   let gate_ran, gate_proved, gate_diags, gate_skip_reason =
     if not gate then (false, false, [], Some "disabled")
@@ -331,7 +376,7 @@ let run ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16) ?(gate = true)
   let diagnostics =
     List.stable_sort D.compare
       (memory_diags @ structural_diags @ env_diags @ deadlock_diags
-     @ gate_diags)
+     @ retx_diags @ gate_diags)
   in
   let predicted = Option.map (fun s -> ratio_min s env_cap) structural in
   {

@@ -2,7 +2,15 @@ module Net = Topology.Network
 
 type severity = Info | Warning | Error
 
-type code = LID001 | LID002 | LID003 | LID004 | LID005 | LID006 | LID007
+type code =
+  | LID001
+  | LID002
+  | LID003
+  | LID004
+  | LID005
+  | LID006
+  | LID007
+  | LID008
 
 type location =
   | L_network
@@ -17,6 +25,7 @@ type params =
   | P_loop of { s : int; r : int; tokens : int; latency : int }
   | P_duty of { active : int; period : int }
   | P_stop_sources of string list
+  | P_retx of { depth : int; rtt : int }
 
 type fixit = { fix_edge : Net.edge_id; fix_spare : int }
 
@@ -29,7 +38,8 @@ type t = {
   fixits : fixit list;
 }
 
-let all_codes = [ LID001; LID002; LID003; LID004; LID005; LID006; LID007 ]
+let all_codes =
+  [ LID001; LID002; LID003; LID004; LID005; LID006; LID007; LID008 ]
 
 let code_id = function
   | LID001 -> "LID001"
@@ -39,6 +49,7 @@ let code_id = function
   | LID005 -> "LID005"
   | LID006 -> "LID006"
   | LID007 -> "LID007"
+  | LID008 -> "LID008"
 
 let code_slug = function
   | LID001 -> "combinational-stop-path"
@@ -48,6 +59,7 @@ let code_slug = function
   | LID005 -> "dead-environment"
   | LID006 -> "env-duty-cap"
   | LID007 -> "potential-deadlock"
+  | LID008 -> "retx-buffer-undersized"
 
 let code_doc = function
   | LID001 ->
@@ -65,6 +77,9 @@ let code_doc = function
   | LID006 ->
       "an environment duty cycle caps throughput below the structural bound"
   | LID007 -> "half relay stations inside a loop: potential deadlock"
+  | LID008 ->
+      "a retransmitting station's replay buffer is shallower than the \
+       channel's worst-case round trip"
 
 let severity_to_string = function
   | Info -> "info"
@@ -147,6 +162,8 @@ let json_params b = function
   | P_stop_sources names ->
       Printf.bprintf b "{\"stop_sources\": [%s]}"
         (String.concat ", " (List.map (Printf.sprintf "%S") names))
+  | P_retx { depth; rtt } ->
+      Printf.bprintf b "{\"depth\": %d, \"rtt\": %d}" depth rtt
 
 let json_to_buffer net b d =
   Buffer.add_string b "{";

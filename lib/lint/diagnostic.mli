@@ -26,6 +26,9 @@ type code =
   | LID006  (** environment duty cap: an environment pattern caps
                 throughput below the structural bound *)
   | LID007  (** potential deadlock: half relay stations inside a loop *)
+  | LID008  (** retx buffer undersized: a retransmitting station's replay
+                buffer is shallower than the channel's worst-case round
+                trip, so the sender can stall fault-free waiting for acks *)
 
 type location =
   | L_network  (** the system as a whole *)
@@ -47,6 +50,8 @@ type params =
       (** effective accept/emit duty of an environment node *)
   | P_stop_sources of string list
       (** the stop origins combinationally visible at a channel *)
+  | P_retx of { depth : int; rtt : int }
+      (** replay-buffer depth vs the worst-case flit round trip *)
 
 type fixit = { fix_edge : Net.edge_id; fix_spare : int }
 (** "append [fix_spare] full relay stations to channel [fix_edge]". *)

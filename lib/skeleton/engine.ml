@@ -29,6 +29,22 @@ type fault_hooks = {
     station:int ->
     Lid.Relay_station.state ->
     Lid.Relay_station.state;
+  fh_link :
+    cycle:int ->
+    edge:Net.edge_id ->
+    station:int ->
+    Lid.Relay_station.link_fault;
+}
+
+(* Entrance gate of a variable-latency channel without a retransmitting
+   station: a one-token register whose token is presented to the chain
+   only once its per-launch delay (from the channel's compiled table) has
+   elapsed.  Accept-on-departure keeps rate 1 when the delay is 0. *)
+type gate = {
+  g_table : int array;
+  mutable g_tok : Token.t;
+  mutable g_timer : int;
+  mutable g_count : int;
 }
 
 type t = {
@@ -36,6 +52,7 @@ type t = {
   flavour : Lid.Protocol.flavour;
   impls : node_impl array;
   rs : Lid.Relay_station.state array array; (* edge id -> chain states *)
+  gates : gate option array; (* edge id -> entrance gate *)
   fired : int array;
   gated : int array; (* cycles lost to back-pressure, per node *)
   starved : int array; (* cycles lost waiting for void inputs, per node *)
@@ -84,18 +101,39 @@ let make_impl flavour (n : Net.node) =
   | Net.Sink { pattern } ->
       I_sink { snk_pattern = pattern; consumed_rev = []; consumed_n = 0 }
 
+(* Initial station states for a chain; a latency profile on a channel with
+   a retransmitting station drives the FIRST such station's internal hop. *)
+let chain_states net (e : Net.edge) =
+  let table = Net.delay_table net e.id in
+  let used = ref false in
+  Array.of_list
+    (List.map
+       (fun k ->
+         match k with
+         | Lid.Relay_station.Retx _ when not !used -> (
+             used := true;
+             match table with
+             | Some table -> Lid.Relay_station.initial ~table k
+             | None -> Lid.Relay_station.initial k)
+         | _ -> Lid.Relay_station.initial k)
+       e.stations)
+
+let make_gate net (e : Net.edge) =
+  if Net.edge_is_gated net e.id then
+    match Net.delay_table net e.id with
+    | Some g_table ->
+        Some { g_table; g_tok = Token.void; g_timer = 0; g_count = 0 }
+    | None -> None
+  else None
+
 let create ?(flavour = Lid.Protocol.Optimized) net =
   let nodes = Array.of_list (Net.nodes net) in
   {
     net;
     flavour;
     impls = Array.map (make_impl flavour) nodes;
-    rs =
-      Array.of_list
-        (List.map
-           (fun (e : Net.edge) ->
-             Array.of_list (List.map Lid.Relay_station.initial e.stations))
-           (Net.edges net));
+    rs = Array.of_list (List.map (chain_states net) (Net.edges net));
+    gates = Array.of_list (List.map (make_gate net) (Net.edges net));
     fired = Array.make (Array.length nodes) 0;
     gated = Array.make (Array.length nodes) 0;
     starved = Array.make (Array.length nodes) 0;
@@ -127,7 +165,8 @@ let reset t =
     (Array.of_list (Net.nodes t.net));
   List.iteri
     (fun i (e : Net.edge) ->
-      t.rs.(i) <- Array.of_list (List.map Lid.Relay_station.initial e.stations))
+      t.rs.(i) <- chain_states t.net e;
+      t.gates.(i) <- make_gate t.net e)
     (Net.edges t.net);
   Array.fill t.fired 0 (Array.length t.fired) 0;
   Array.fill t.gated 0 (Array.length t.gated) 0;
@@ -152,7 +191,12 @@ let forward_tokens t =
   List.iter
     (fun (e : Net.edge) ->
       let seg = t.seg.(e.id) in
-      seg.(0) <- fwd ~edge:e.id ~seg:0 (presented_token t e.src.node e.src.port);
+      let head =
+        match t.gates.(e.id) with
+        | Some g -> if g.g_timer = 0 then g.g_tok else Token.void
+        | None -> presented_token t e.src.node e.src.port
+      in
+      seg.(0) <- fwd ~edge:e.id ~seg:0 head;
       Array.iteri
         (fun j st ->
           seg.(j + 1) <-
@@ -225,10 +269,20 @@ and out_stops_of t node =
 (* The stop asserted by the consumer side of channel [e]'s last segment. *)
 and consumer_stop t (e : Net.edge) =
   let raw =
-    if t.rs.(e.id) <> [||] then Lid.Relay_station.stop_upstream t.rs.(e.id).(0)
-    else dst_stop t e
+    match t.gates.(e.id) with
+    | Some g ->
+        (* the gate holds its token while the delay elapses or the chain
+           refuses it; either way the producer must wait *)
+        Token.is_valid g.g_tok && (g.g_timer > 0 || chain_head_stop t e)
+    | None -> chain_head_stop t e
   in
   stop_at t e ~boundary:0 raw
+
+(* The stop facing whatever feeds the relay chain (the producer, or the
+   channel's entrance gate). *)
+and chain_head_stop t (e : Net.edge) =
+  if t.rs.(e.id) <> [||] then Lid.Relay_station.stop_upstream t.rs.(e.id).(0)
+  else dst_stop t e
 
 (* The stop asserted by the node at the destination of [e] (reached either
    directly or by the last relay station of the chain). *)
@@ -257,11 +311,30 @@ let resolve t =
 (* ------------------------------------------------------------------ *)
 (* Clock edge.                                                         *)
 
+let commit_gate t (e : Net.edge) g =
+  (* all reads below are pre-commit state: the chain-head stop still
+     reflects the stations' resolved-cycle occupancy *)
+  let input = presented_token t e.src.node e.src.port in
+  let was_valid = Token.is_valid g.g_tok in
+  let departs = was_valid && g.g_timer = 0 && not (chain_head_stop t e) in
+  let accept = Token.is_valid input && ((not was_valid) || departs) in
+  if accept then begin
+    g.g_tok <- input;
+    g.g_timer <- g.g_table.(g.g_count);
+    g.g_count <- (g.g_count + 1) mod Array.length g.g_table
+  end
+  else if departs then g.g_tok <- Token.void
+  else if was_valid && g.g_timer > 0 then g.g_timer <- g.g_timer - 1
+
 let commit t =
   (* Relay station chains: stop seen by station j is the (pre-step) stop of
-     station j+1, or the consumer stop for the last station. *)
+     station j+1, or the consumer stop for the last station.  Entrance
+     gates commit first — they only read pre-step chain state. *)
   List.iter
     (fun (e : Net.edge) ->
+      (match t.gates.(e.id) with
+      | Some g -> commit_gate t e g
+      | None -> ());
       let chain = t.rs.(e.id) in
       let m = Array.length chain in
       if m > 0 then begin
@@ -273,9 +346,14 @@ let commit t =
               in
               stop_at t e ~boundary:(j + 1) raw)
         in
+        let link j =
+          match t.hooks with
+          | None -> Lid.Relay_station.Link_ok
+          | Some h -> h.fh_link ~cycle:t.cycle ~edge:e.id ~station:j
+        in
         for j = 0 to m - 1 do
           chain.(j) <-
-            Lid.Relay_station.step ~flavour:t.flavour chain.(j)
+            Lid.Relay_station.step ~flavour:t.flavour ~link:(link j) chain.(j)
               ~input:t.seg.(e.id).(j) ~stop_in:stop_in.(j)
         done;
         match t.hooks with
@@ -382,9 +460,15 @@ let capture t =
         let label =
           Printf.sprintf "%s->%s" (name e.src.node) (name e.dst.node)
         in
+        let gate_toks =
+          match t.gates.(e.id) with
+          | Some g when Token.is_valid g.g_tok -> [ g.g_tok ]
+          | _ -> []
+        in
         ( label,
-          Array.to_list t.rs.(e.id)
-          |> List.concat_map Lid.Relay_station.tokens ))
+          gate_toks
+          @ (Array.to_list t.rs.(e.id)
+            |> List.concat_map Lid.Relay_station.tokens) ))
       (Net.edges t.net)
   in
   let chan_dst =
@@ -404,7 +488,10 @@ let capture t =
             pr_occupancy =
               Array.fold_left
                 (fun acc st -> acc + Lid.Relay_station.occupancy st)
-                0 t.rs.(e.id);
+                (match t.gates.(e.id) with
+                | Some g when Token.is_valid g.g_tok -> 1
+                | _ -> 0)
+                t.rs.(e.id);
           } ))
       (Net.edges t.net)
   in
@@ -464,6 +551,29 @@ let sink_count t node =
   | I_sink s -> s.consumed_n
   | _ -> invalid_arg "Engine.sink_count: not a sink"
 
+(* Dense integer for an entrance gate's protocol state; the same packing
+   is used by the packed engine's signature words. *)
+let gate_code g =
+  (if Token.is_valid g.g_tok then 1 else 0)
+  lor (g.g_timer lsl 1)
+  lor (g.g_count lsl 16)
+
+let recovery_count t =
+  Array.fold_left
+    (fun acc chain ->
+      Array.fold_left
+        (fun acc st -> acc + Lid.Relay_station.recoveries st)
+        acc chain)
+    0 t.rs
+
+let dup_drop_count t =
+  Array.fold_left
+    (fun acc chain ->
+      Array.fold_left
+        (fun acc st -> acc + Lid.Relay_station.dup_discards st)
+        acc chain)
+    0 t.rs
+
 let signature t =
   let buf = Buffer.create 64 in
   Array.iter
@@ -477,18 +587,20 @@ let signature t =
           Buffer.add_char buf (if Token.is_valid s.buf then 'V' else '_')
       | I_sink _ -> Buffer.add_char buf 'k')
     t.impls;
-  Array.iter
-    (fun chain ->
+  Array.iteri
+    (fun eid chain ->
       Buffer.add_char buf '/';
+      (match t.gates.(eid) with
+      | Some g -> Buffer.add_string buf (Printf.sprintf "g%x;" (gate_code g))
+      | None -> ());
       Array.iter
         (fun st ->
-          (* occupancy plus the half station's registered stop: both are
-             protocol state, so both must partake in periodicity proofs *)
-          let code =
-            Lid.Relay_station.occupancy st
-            + if Lid.Relay_station.sreg st then 4 else 0
-          in
-          Buffer.add_char buf (Char.chr (Char.code '0' + code)))
+          (* occupancy plus the half station's registered stop (and, for a
+             retransmitting station, its whole protocol state): all of it
+             must partake in periodicity proofs *)
+          let code = Lid.Relay_station.signature_code st in
+          if code < 10 then Buffer.add_char buf (Char.chr (Char.code '0' + code))
+          else Buffer.add_string buf (Printf.sprintf "x%x;" code))
         chain)
     t.rs;
   Buffer.add_string buf (Printf.sprintf "@%d" (t.cycle mod t.env_period));

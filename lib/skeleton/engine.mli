@@ -16,7 +16,15 @@
       own state (registered); shells forward back-pressure combinationally,
       which is resolved recursively across station-less channels.  A cycle
       of station-less channels raises {!Combinational_stop_cycle} — the
-      situation the paper's minimum-memory theorem outlaws. *)
+      situation the paper's minimum-memory theorem outlaws.
+
+    Dynamic-LID channels (a {!Lid.Latency.profile} on the edge) are
+    elaborated per {!Topology.Network.edge_is_gated}: the profile drives
+    either the first retransmitting station's internal hop or an entrance
+    gate — a one-token register between the producer and the chain whose
+    token is presented only once its per-launch delay has elapsed.  Both
+    are ordinary sequential state, so signatures, periodicity detection
+    and the packed engine's lockstep guarantee extend unchanged. *)
 
 module Token = Lid.Token
 
@@ -51,6 +59,16 @@ val sink_values : t -> Topology.Network.node_id -> int list
 (** Values consumed by a sink so far, oldest first. *)
 
 val sink_count : t -> Topology.Network.node_id -> int
+
+val recovery_count : t -> int
+(** Total go-back-N rewinds performed by retransmitting stations so far
+    (damage, loss or timeout induced — back-pressure refusals are not
+    counted).  0 on networks without retransmitting stations, and on
+    fault-free runs. *)
+
+val dup_drop_count : t -> int
+(** Total stale duplicates discarded by retransmitting stations'
+    exactly-once filters so far. *)
 
 val signature : t -> string
 (** Skeleton state: the valid/void occupancy of every buffer and relay
@@ -143,6 +161,14 @@ type fault_hooks = {
     Lid.Relay_station.state ->
     Lid.Relay_station.state;
       (** relay-station register upset, applied at the clock edge *)
+  fh_link :
+    cycle:int ->
+    edge:Topology.Network.edge_id ->
+    station:int ->
+    Lid.Relay_station.link_fault;
+      (** link-level fault on a retransmitting station's internal data hop,
+          applied to the flit completing its traversal this cycle; ignored
+          by full/half stations *)
 }
 
 val set_fault_hooks : t -> fault_hooks option -> unit

@@ -47,6 +47,16 @@ end
 
 module Sig_tbl = Hashtbl.Make (Sig_key)
 
+(* Entrance gate of a variable-latency channel (no retransmitting station
+   in the chain) — same semantics as the typed engine's gate. *)
+type pgate = {
+  pg_table : int array;
+  mutable pg_v : bool;
+  mutable pg_d : int;
+  mutable pg_timer : int;
+  mutable pg_count : int;
+}
+
 type t = {
   net : Net.t;
   flavour : Lid.Protocol.flavour;
@@ -68,7 +78,13 @@ type t = {
   e_dst_node : int array;
   st_off : int array; (* edge -> offset into station arrays (n_edges + 1) *)
   st_full : Bitset.t; (* station -> is a full station *)
+  st_retx : Bitset.t; (* station -> is a retransmitting station *)
   seg_off : int array; (* edge -> offset into segment arrays (n_edges + 1) *)
+  (* --- dynamic-LID channels (boxed state; only touched when [has_dyn]) --- *)
+  has_dyn : bool;
+  retx_st : Lid.Relay_station.state option array; (* per station, retx only *)
+  retx_init : Lid.Relay_station.state option array; (* pristine, for reset *)
+  gates : pgate option array; (* per edge *)
   (* --- registered state --- *)
   out_valid : Bitset.t; (* shell output buffers and source buffers *)
   out_val : int array;
@@ -94,6 +110,7 @@ type t = {
   (* cached backing words of the planes above, addressed via [bget] &c. *)
   w_out_valid : int array;
   w_st_full : int array;
+  w_st_retx : int array;
   w_st_v0 : int array;
   w_st_v1 : int array;
   w_seg_valid : int array;
@@ -141,12 +158,54 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
     edges;
   let n_st = st_off.(n_edges) and n_seg = seg_off.(n_edges) in
   let st_full = Bitset.create n_st in
+  let st_retx = Bitset.create n_st in
   Array.iteri
     (fun i (e : Net.edge) ->
       List.iteri
-        (fun j k -> if k = RS.Full then Bitset.set st_full (st_off.(i) + j))
+        (fun j k ->
+          match k with
+          | RS.Full -> Bitset.set st_full (st_off.(i) + j)
+          | RS.Retx _ -> Bitset.set st_retx (st_off.(i) + j)
+          | RS.Half -> ())
         e.stations)
     edges;
+  (* boxed initial states for retransmitting stations; the channel's
+     latency profile drives the FIRST retx station of its chain (same
+     elaboration as [Engine.chain_states]) *)
+  let initial_retx_st () =
+    let a = Array.make n_st None in
+    Array.iteri
+      (fun i (e : Net.edge) ->
+        let table = Net.delay_table net i in
+        let used = ref false in
+        List.iteri
+          (fun j k ->
+            match k with
+            | RS.Retx _ ->
+                let st =
+                  if not !used then begin
+                    used := true;
+                    match table with
+                    | Some table -> RS.initial ~table k
+                    | None -> RS.initial k
+                  end
+                  else RS.initial k
+                in
+                a.(st_off.(i) + j) <- Some st
+            | _ -> ())
+          e.stations)
+      edges;
+    a
+  in
+  let initial_gates () =
+    Array.init n_edges (fun e ->
+        if Net.edge_is_gated net e then
+          match Net.delay_table net e with
+          | Some pg_table ->
+              Some { pg_table; pg_v = false; pg_d = 0; pg_timer = 0; pg_count = 0 }
+          | None -> None
+        else None)
+  in
   let in_last_seg = Array.make in_off.(n_nodes) 0 in
   let out_edge = Array.make out_off.(n_nodes) 0 in
   for i = 0 to n_nodes - 1 do
@@ -182,6 +241,11 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
   let st_stop_in = Bitset.create n_st in
   let out_words = Bitset.n_words out_valid in
   let st_words = Bitset.n_words st_full in
+  let retx_init = initial_retx_st () in
+  let retx_st = Array.copy retx_init in
+  let gates = initial_gates () in
+  let n_retx = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 retx_st in
+  let n_gates = Array.fold_left (fun n g -> if g = None then n else n + 1) 0 gates in
   let t =
     {
       net;
@@ -217,7 +281,12 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
       e_dst_node = Array.map (fun (e : Net.edge) -> e.dst.node) edges;
       st_off;
       st_full;
+      st_retx;
       seg_off;
+      has_dyn = Net.has_dynamics net;
+      retx_st;
+      retx_init;
+      gates;
       out_valid;
       out_val = Array.make out_off.(n_nodes) 0;
       pearl_state = Array.make n_nodes [||];
@@ -244,12 +313,13 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
             else [||]);
       w_out_valid = Bitset.words out_valid;
       w_st_full = Bitset.words st_full;
+      w_st_retx = Bitset.words st_retx;
       w_st_v0 = Bitset.words st_v0;
       w_st_v1 = Bitset.words st_v1;
       w_seg_valid = Bitset.words seg_valid;
       w_out_stop = Bitset.words out_stop;
       w_st_stop_in = Bitset.words st_stop_in;
-      sig_words = Array.make (out_words + (2 * st_words) + 1) 0;
+      sig_words = Array.make (out_words + (2 * st_words) + 1 + n_retx + n_gates) 0;
       sig_intern = Sig_tbl.create 1024;
       sig_next = 0;
     }
@@ -294,6 +364,16 @@ let cycle t = t.cycle
 let set_fault_hooks t hooks = t.hooks <- hooks
 
 let reset t =
+  Array.blit t.retx_init 0 t.retx_st 0 (Array.length t.retx_st);
+  Array.iter
+    (function
+      | Some g ->
+          g.pg_v <- false;
+          g.pg_d <- 0;
+          g.pg_timer <- 0;
+          g.pg_count <- 0
+      | None -> ())
+    t.gates;
   Bitset.fill_false t.out_valid;
   Array.fill t.out_val 0 (Array.length t.out_val) 0;
   Bitset.fill_false t.st_v0;
@@ -334,20 +414,34 @@ let pat_active t node =
      integer division for them *)
   if n = 1 then Array.unsafe_get p 0 else Array.unsafe_get p (t.cycle mod n)
 
+let token_of v d = if v then Token.valid d else Token.void
+let of_token tok = match tok with Token.Valid d -> (true, d) | Token.Void -> (false, 0)
+
 (* What station [j] drives on its output this cycle, given the (already
    resolved) incoming segment.  Mirrors [Relay_station.present]. *)
 let station_present t j ~in_v ~in_d =
-  if Bitset.get t.st_full j then (Bitset.get t.st_v0 j, t.st_d0.(j))
+  if Bitset.get t.st_retx j then
+    (* Moore: the boxed receiver's output register *)
+    match t.retx_st.(j) with
+    | Some st -> of_token (RS.present st ~input:Token.void)
+    | None -> assert false
+  else if Bitset.get t.st_full j then (Bitset.get t.st_v0 j, t.st_d0.(j))
   else if Bitset.get t.st_v0 j then (true, t.st_d0.(j))
   else if Bitset.get t.st_v1 j then (false, 0)
   else (in_v, in_d)
 
-let token_of v d = if v then Token.valid d else Token.void
-let of_token tok = match tok with Token.Valid d -> (true, d) | Token.Void -> (false, 0)
+(* What feeds the first segment of edge [e]: the producer's output buffer,
+   or the channel's entrance gate. *)
+let head_token t e =
+  match t.gates.(e) with
+  | Some g -> if g.pg_timer = 0 then (g.pg_v, g.pg_d) else (false, 0)
+  | None ->
+      let slot = t.e_src_slot.(e) in
+      (Bitset.get t.out_valid slot, t.out_val.(slot))
 
 let forward t =
   match t.hooks with
-  | None ->
+  | None when not t.has_dyn ->
       (* allocation-free: each segment is derived from the one before it,
          read back from the planes just written *)
       let wsv = t.w_seg_valid
@@ -389,14 +483,16 @@ let forward t =
           end
         done
       done
-  | Some h ->
+  | hooks ->
+      let fwd =
+        match hooks with
+        | None -> fun ~edge:_ ~seg:_ tok -> tok
+        | Some h -> fun ~edge ~seg tok -> h.fh_forward ~cycle:t.cycle ~edge ~seg tok
+      in
       for e = 0 to t.n_edges - 1 do
         let k0 = t.seg_off.(e) in
-        let slot = t.e_src_slot.(e) in
-        let tok0 =
-          h.fh_forward ~cycle:t.cycle ~edge:e ~seg:0
-            (token_of (Bitset.get t.out_valid slot) t.out_val.(slot))
-        in
+        let hv, hd = head_token t e in
+        let tok0 = fwd ~edge:e ~seg:0 (token_of hv hd) in
         let v, d = of_token tok0 in
         Bitset.assign t.seg_valid k0 v;
         t.seg_val.(k0) <- d;
@@ -404,9 +500,7 @@ let forward t =
         for j = t.st_off.(e) to t.st_off.(e + 1) - 1 do
           let pv, pd = station_present t j ~in_v:!cv ~in_d:!cd in
           let seg = j - t.st_off.(e) + 1 in
-          let tok =
-            h.fh_forward ~cycle:t.cycle ~edge:e ~seg (token_of pv pd)
-          in
+          let tok = fwd ~edge:e ~seg (token_of pv pd) in
           let v', d' = of_token tok in
           let k = k0 + seg in
           Bitset.assign t.seg_valid k v';
@@ -423,7 +517,11 @@ let hook_stop t ~edge ~boundary raw =
 
 (* Mirrors [Relay_station.stop_upstream]. *)
 let station_stop_upstream t j =
-  if bget t.w_st_full j then bget t.w_st_v1 j
+  if bget t.w_st_retx j then
+    match t.retx_st.(j) with
+    | Some st -> RS.stop_upstream st
+    | None -> assert false
+  else if bget t.w_st_full j then bget t.w_st_v1 j
   else bget t.w_st_v0 j || bget t.w_st_v1 j
 
 (* Recursive fire/stop resolution — the same fixpoint [Engine.fire_of]
@@ -480,7 +578,7 @@ and ensure_out_stops t node =
   if Bytes.unsafe_get t.stop_known node = '\000' then begin
     Bytes.unsafe_set t.stop_known node '\001';
     match t.hooks with
-    | None ->
+    | None when not t.has_dyn ->
         (* unhooked fast path: an edge with stations answers from its first
            station's planes directly (no recursion possible there) *)
         let wos = t.w_out_stop
@@ -499,7 +597,7 @@ and ensure_out_stops t node =
           in
           bassign wos p stop
         done
-    | Some _ ->
+    | _ ->
         for p = Array.unsafe_get t.out_off node
             to Array.unsafe_get t.out_off (node + 1) - 1 do
           bassign t.w_out_stop p
@@ -509,11 +607,18 @@ and ensure_out_stops t node =
 
 and consumer_stop t e =
   let raw =
-    let s0 = Array.unsafe_get t.st_off e in
-    if Array.unsafe_get t.st_off (e + 1) > s0 then station_stop_upstream t s0
-    else dst_stop t e
+    match Array.unsafe_get t.gates e with
+    | Some g -> g.pg_v && (g.pg_timer > 0 || chain_head_stop t e)
+    | None -> chain_head_stop t e
   in
   hook_stop t ~edge:e ~boundary:0 raw
+
+(* The stop facing whatever feeds the relay chain (the producer, or the
+   channel's entrance gate). *)
+and chain_head_stop t e =
+  let s0 = Array.unsafe_get t.st_off e in
+  if Array.unsafe_get t.st_off (e + 1) > s0 then station_stop_upstream t s0
+  else dst_stop t e
 
 and dst_stop t e =
   let dn = Array.unsafe_get t.e_dst_node e in
@@ -544,7 +649,9 @@ let state_of_packed t j =
   and v1 = Bitset.get t.st_v1 j
   and d0 = t.st_d0.(j)
   and d1 = t.st_d1.(j) in
-  if Bitset.get t.st_full j then begin
+  if Bitset.get t.st_retx j then
+    match t.retx_st.(j) with Some st -> st | None -> assert false
+  else if Bitset.get t.st_full j then begin
     let s = RS.initial RS.Full in
     let s =
       if v0 then RS.step s ~input:(Token.valid d0) ~stop_in:false else s
@@ -565,7 +672,8 @@ let state_of_packed t j =
         RS.step ~flavour:Lid.Protocol.Original s ~input:Token.void ~stop_in:true
 
 let packed_of_state t j s =
-  if Bitset.get t.st_full j then begin
+  if Bitset.get t.st_retx j then t.retx_st.(j) <- Some s
+  else if Bitset.get t.st_full j then begin
     let occ = RS.occupancy s in
     Bitset.assign t.st_v0 j (occ >= 1);
     Bitset.assign t.st_v1 j (occ = 2);
@@ -654,8 +762,27 @@ let commit_stations_fast t =
     end
   done
 
-let commit_stations_hooked t =
+(* Commit one entrance gate; all reads are pre-step state (the node
+   commit loop has not touched the producer's buffer yet). *)
+let commit_gate t e g =
+  let slot = t.e_src_slot.(e) in
+  let in_v = Bitset.get t.out_valid slot in
+  let was_valid = g.pg_v in
+  let departs = was_valid && g.pg_timer = 0 && not (chain_head_stop t e) in
+  let accept = in_v && ((not was_valid) || departs) in
+  if accept then begin
+    g.pg_v <- true;
+    g.pg_d <- t.out_val.(slot);
+    g.pg_timer <- g.pg_table.(g.pg_count);
+    g.pg_count <- (g.pg_count + 1) mod Array.length g.pg_table
+  end
+  else if departs then g.pg_v <- false
+  else if was_valid && g.pg_timer > 0 then g.pg_timer <- g.pg_timer - 1
+
+(* General commit: taken under fault hooks or channel dynamics. *)
+let commit_stations_dyn t =
   let wfull = t.w_st_full
+  and wretx = t.w_st_retx
   and wv0 = t.w_st_v0
   and wv1 = t.w_st_v1
   and wsv = t.w_seg_valid
@@ -665,15 +792,16 @@ let commit_stations_hooked t =
   and st_d1 = t.st_d1
   and seg_val = t.seg_val in
   for e = 0 to t.n_edges - 1 do
+    (match Array.unsafe_get t.gates e with
+    | Some g -> commit_gate t e g
+    | None -> ());
     let s0 = Array.unsafe_get st_off e
     and s1 = Array.unsafe_get st_off (e + 1) in
     if s1 > s0 then begin
       (* stops observed this cycle, from pre-step state of the chain *)
       for j = s0 to s1 - 1 do
         let raw =
-          if j = s1 - 1 then dst_stop t e
-          else if bget wfull (j + 1) then bget wv1 (j + 1)
-          else bget wv0 (j + 1) || bget wv1 (j + 1)
+          if j = s1 - 1 then dst_stop t e else station_stop_upstream t (j + 1)
         in
         bassign wsi j (hook_stop t ~edge:e ~boundary:(j - s0 + 1) raw)
       done;
@@ -682,7 +810,21 @@ let commit_stations_hooked t =
         let k = k0 + (j - s0) in
         let in_v = bget wsv k and in_d = Array.unsafe_get seg_val k in
         let stop_in = bget wsi j in
-        if bget wfull j then begin
+        if bget wretx j then begin
+          let st =
+            match t.retx_st.(j) with Some s -> s | None -> assert false
+          in
+          let link =
+            match t.hooks with
+            | None -> RS.Link_ok
+            | Some h -> h.fh_link ~cycle:t.cycle ~edge:e ~station:(j - s0)
+          in
+          t.retx_st.(j) <-
+            Some
+              (RS.step ~flavour:t.flavour ~link st ~input:(token_of in_v in_d)
+                 ~stop_in)
+        end
+        else if bget wfull j then begin
           (* mirrors [Relay_station.step] for full stations *)
           let main_v = bget wv0 j and aux_v = bget wv1 j in
           let take = in_v && not aux_v in
@@ -737,8 +879,8 @@ let commit_stations_hooked t =
 
 let commit_stations t =
   match t.hooks with
-  | None -> commit_stations_fast t
-  | Some _ -> commit_stations_hooked t
+  | None when not t.has_dyn -> commit_stations_fast t
+  | _ -> commit_stations_dyn t
 
 let commit t =
   commit_stations t;
@@ -847,6 +989,18 @@ let sink_count t node =
   if t.kind.(node) <> k_sink then invalid_arg "Packed.sink_count: not a sink";
   t.snk_count.(node)
 
+let recovery_count t =
+  Array.fold_left
+    (fun acc st ->
+      match st with Some st -> acc + RS.recoveries st | None -> acc)
+    0 t.retx_st
+
+let dup_drop_count t =
+  Array.fold_left
+    (fun acc st ->
+      match st with Some st -> acc + RS.dup_discards st | None -> acc)
+    0 t.retx_st
+
 (* ------------------------------------------------------------------ *)
 (* Probe capture: the boundary beliefs the runtime monitors consume.
    Mirrors the [chan_probe] part of [Engine.capture] field for field, on
@@ -866,9 +1020,16 @@ let capture_probes t =
       let k_last = t.seg_off.(e + 1) - 1 in
       let occ = ref 0 in
       for j = t.st_off.(e) to t.st_off.(e + 1) - 1 do
-        if Bitset.get t.st_v0 j then incr occ;
-        if Bitset.get t.st_full j && Bitset.get t.st_v1 j then incr occ
+        if Bitset.get t.st_retx j then
+          occ :=
+            !occ
+            + (match t.retx_st.(j) with Some st -> RS.occupancy st | None -> 0)
+        else begin
+          if Bitset.get t.st_v0 j then incr occ;
+          if Bitset.get t.st_full j && Bitset.get t.st_v1 j then incr occ
+        end
       done;
+      (match t.gates.(e) with Some g when g.pg_v -> incr occ | _ -> ());
       {
         Engine.pr_src_tok =
           token_of (Bitset.get t.out_valid slot) t.out_val.(slot);
@@ -912,6 +1073,29 @@ let signature_id t =
   Bitset.blit_words t.st_v1 w !pos;
   pos := !pos + Bitset.n_words t.st_v1;
   w.(!pos) <- t.cycle mod t.env_period;
+  if t.has_dyn then begin
+    (* dynamic state lives in boxed records, not the planes: fold each
+       retx station's dense code and each gate's register into the key *)
+    Array.iter
+      (fun st ->
+        match st with
+        | Some st ->
+            incr pos;
+            w.(!pos) <- RS.signature_code st
+        | None -> ())
+      t.retx_st;
+    Array.iter
+      (fun g ->
+        match g with
+        | Some g ->
+            incr pos;
+            w.(!pos) <-
+              (if g.pg_v then 1 else 0)
+              lor (g.pg_timer lsl 1)
+              lor (g.pg_count lsl 16)
+        | None -> ())
+      t.gates
+  end;
   match Sig_tbl.find_opt t.sig_intern w with
   | Some id -> id
   | None ->

@@ -20,7 +20,13 @@
     state (buffer/station validity planes, half-station stop registers,
     environment phase) into a word vector and maps it to a dense small
     int, so periodicity detection ({!Measure}) hashes and stores ints
-    instead of structural values. *)
+    instead of structural values.
+
+    Dynamic-LID channels (latency profiles, retransmitting stations) are
+    supported through boxed per-station/per-gate state alongside the
+    planes; such networks take a general commit path (still far cheaper
+    than {!Engine}) and their extra state is folded into signatures, so
+    the lockstep guarantee and periodicity detection carry over. *)
 
 type t
 
@@ -46,6 +52,8 @@ val gated_count : t -> Topology.Network.node_id -> int
 val starved_count : t -> Topology.Network.node_id -> int
 val sink_values : t -> Topology.Network.node_id -> int list
 val sink_count : t -> Topology.Network.node_id -> int
+val recovery_count : t -> int
+val dup_drop_count : t -> int
 
 (** {1 Interned signatures} *)
 

@@ -141,6 +141,10 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
   if lanes < 2 || lanes > max_lanes then
     invalid_arg
       (Printf.sprintf "Packed_lanes.create: lanes must be in [2, %d]" max_lanes);
+  if Net.has_dynamics net then
+    invalid_arg
+      "Packed_lanes.create: bit-sliced lanes cannot model variable-latency \
+       channels or retransmitting stations";
   let specs = Array.of_list specs in
   if Array.length specs > lanes - 1 then
     invalid_arg "Packed_lanes.create: more specs than injection lanes";

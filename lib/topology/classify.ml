@@ -78,7 +78,9 @@ let loop_stations net cycle =
     | Some e ->
         List.iter
           (function
-            | Lid.Relay_station.Full -> incr full
+            (* a retransmitting station stores >= 2 tokens and pipelines
+               the wire, so for loop-capacity purposes it counts as full *)
+            | Lid.Relay_station.Full | Lid.Relay_station.Retx _ -> incr full
             | Lid.Relay_station.Half -> incr half)
           e.stations
   done;

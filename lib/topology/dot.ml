@@ -32,7 +32,10 @@ let of_network ?(highlight = []) net =
         else
           String.concat ""
             (List.map
-               (function Lid.Relay_station.Full -> "F" | Lid.Relay_station.Half -> "H")
+               (function
+                 | Lid.Relay_station.Full -> "F"
+                 | Lid.Relay_station.Half -> "H"
+                 | Lid.Relay_station.Retx _ -> "X")
                e.stations)
       in
       pr "  n%d -> n%d [label=\"%s\" taillabel=\"%d\" headlabel=\"%d\"];\n"

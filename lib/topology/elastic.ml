@@ -77,7 +77,12 @@ let of_network net =
                  ~fwd ~bwd
            | Lid.Relay_station.Half ->
                stage !prev next ~tokens:0 ~latency:0 ~bubbles:1 ~stop_latency:1
-                 ~fwd ~bwd);
+                 ~fwd ~bwd
+           | Lid.Relay_station.Retx { depth } ->
+               (* store-and-forward over the wire hop plus a replay buffer
+                  of [depth] slots: 2-cycle forward latency, depth+1 bubbles *)
+               stage !prev next ~tokens:0 ~latency:2 ~bubbles:(depth + 1)
+                 ~stop_latency:1 ~fwd ~bwd);
         prev := next
       done)
     (Net.edges net);

@@ -14,6 +14,7 @@ type edge = {
   src : endpoint;
   dst : endpoint;
   stations : Lid.Relay_station.kind list;
+  latency : Lid.Latency.profile option;
 }
 
 type t = {
@@ -52,12 +53,18 @@ let add_sink b ?name ?(pattern = Pattern.never) () =
   let name = Option.value name ~default:(Printf.sprintf "sink_%d" b.n_node) in
   add_node b name (Sink { pattern })
 
-let connect b ?(stations = [ Lid.Relay_station.Full ]) ~src:(sn, sp) ~dst:(dn, dp)
-    () =
+let connect b ?(stations = [ Lid.Relay_station.Full ]) ?latency ~src:(sn, sp)
+    ~dst:(dn, dp) () =
   let id = b.n_edge in
   b.n_edge <- id + 1;
   b.b_edges <-
-    { id; src = { node = sn; port = sp }; dst = { node = dn; port = dp }; stations }
+    {
+      id;
+      src = { node = sn; port = sp };
+      dst = { node = dn; port = dp };
+      stations;
+      latency;
+    }
     :: b.b_edges;
   id
 
@@ -111,6 +118,7 @@ let build ?(allow_direct = false) b =
       src = { node = -1; port = -1 };
       dst = { node = -1; port = -1 };
       stations = [];
+      latency = None;
     }
   in
   let in_edges = Array.map (fun n -> Array.make (arity_in n) dummy) nodes in
@@ -172,6 +180,30 @@ let station_count t kind =
     (fun acc e -> acc + List.length (List.filter (( = ) kind) e.stations))
     0 t.edges
 
+let is_retx = function Lid.Relay_station.Retx _ -> true | _ -> false
+let has_retx (e : edge) = List.exists is_retx e.stations
+
+let retx_count t =
+  Array.fold_left
+    (fun acc e -> acc + List.length (List.filter is_retx e.stations))
+    0 t.edges
+
+(* Dynamic-LID channel elaboration: a channel's latency profile drives
+   either the first retransmitting station's internal hop (the station
+   spans the unreliable wire) or, when the chain has no retx station, an
+   entrance gate the engines place between the producer and the chain. *)
+
+let delay_table t eid =
+  match t.edges.(eid).latency with
+  | None -> None
+  | Some p -> Some (Lid.Latency.table ~edge:eid p)
+
+let edge_is_gated t eid =
+  t.edges.(eid).latency <> None && not (has_retx t.edges.(eid))
+
+let has_dynamics t =
+  Array.exists (fun e -> e.latency <> None || has_retx e) t.edges
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 let lcm a b = a / gcd a b * b
 
@@ -192,11 +224,25 @@ let pp_summary fmt t =
     (List.length (sinks t))
     (n_edges t)
     (station_count t Lid.Relay_station.Full)
-    (station_count t Lid.Relay_station.Half)
+    (station_count t Lid.Relay_station.Half);
+  let retx = retx_count t in
+  if retx > 0 then Format.fprintf fmt " + %d retx" retx;
+  let jittered =
+    Array.fold_left (fun n e -> if e.latency <> None then n + 1 else n) 0 t.edges
+  in
+  if jittered > 0 then
+    Format.fprintf fmt ", %d variable-latency channel(s)" jittered
 
 let with_stations t eid stations =
   let edges =
     Array.map (fun (e : edge) -> if e.id = eid then { e with stations } else e) t.edges
+  in
+  let replace arr = Array.map (Array.map (fun (e : edge) -> edges.(e.id))) arr in
+  { t with edges; in_edges = replace t.in_edges; out_edges = replace t.out_edges }
+
+let with_latency t eid latency =
+  let edges =
+    Array.map (fun (e : edge) -> if e.id = eid then { e with latency } else e) t.edges
   in
   let replace arr = Array.map (Array.map (fun (e : edge) -> edges.(e.id))) arr in
   { t with edges; in_edges = replace t.in_edges; out_edges = replace t.out_edges }

@@ -31,6 +31,9 @@ type edge = {
   src : endpoint;
   dst : endpoint;
   stations : Lid.Relay_station.kind list;  (** producer-to-consumer order *)
+  latency : Lid.Latency.profile option;
+      (** extra traversal delay of the channel's wire ([None] = the
+          paper's fixed unit-latency channel) *)
 }
 
 type t
@@ -50,12 +53,14 @@ val add_sink : builder -> ?name:string -> ?pattern:Pattern.t -> unit -> node_id
 val connect :
   builder ->
   ?stations:Lid.Relay_station.kind list ->
+  ?latency:Lid.Latency.profile ->
   src:node_id * int ->
   dst:node_id * int ->
   unit ->
   edge_id
 (** [connect b ~stations ~src:(n, port) ~dst:(m, port') ()] adds a channel.
-    [stations] defaults to [[Full]]. *)
+    [stations] defaults to [[Full]]; [latency] (default none) gives the
+    channel a variable-latency wire (see {!delay_table}). *)
 
 val build : ?allow_direct:bool -> builder -> t
 (** Validates and freezes the network.  Raises [Invalid_argument] when a
@@ -86,8 +91,34 @@ val n_inputs_of : t -> node_id -> int
 val n_outputs_of : t -> node_id -> int
 
 val station_count : t -> Lid.Relay_station.kind -> int
+
+val retx_count : t -> int
+(** Retransmitting stations of any depth, network-wide. *)
+
 val env_period : t -> int
 (** Least common multiple of all source/sink pattern periods. *)
+
+(** {1 Dynamic-LID channels}
+
+    A channel's latency profile is elaborated one of two ways: if the
+    relay chain contains a retransmitting station, the profile drives the
+    {e first} such station's internal data hop (the station spans the
+    unreliable wire); otherwise the engines place an {e entrance gate} —
+    a one-token register delaying each token by the profile's schedule —
+    between the producer and the chain. *)
+
+val delay_table : t -> edge_id -> int array option
+(** The channel's compiled per-launch delay schedule
+    ({!Lid.Latency.table}), or [None] for a fixed-latency channel. *)
+
+val edge_is_gated : t -> edge_id -> bool
+(** The channel has a latency profile and no retransmitting station, so
+    the engines elaborate an entrance gate for it. *)
+
+val has_dynamics : t -> bool
+(** Some channel has a latency profile or a retransmitting station —
+    engines must take the dynamic (boxed-state) paths and the bit-sliced
+    lane fabric does not apply. *)
 
 val pp_summary : Format.formatter -> t -> unit
 
@@ -96,3 +127,7 @@ val pp_summary : Format.formatter -> t -> unit
 val with_stations : t -> edge_id -> Lid.Relay_station.kind list -> t
 (** A copy of the network with one channel's relay chain replaced (used by
     path equalization and deadlock cures). *)
+
+val with_latency : t -> edge_id -> Lid.Latency.profile option -> t
+(** A copy of the network with one channel's latency profile replaced
+    (used by jitter sweeps). *)

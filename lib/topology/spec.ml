@@ -95,7 +95,14 @@ let parse_endpoint names s =
 let parse_station = function
   | "full" -> Lid.Relay_station.Full
   | "half" -> Lid.Relay_station.Half
-  | s -> fail "unknown station kind %S (want full or half)" s
+  | "retx" -> Lid.Relay_station.Retx { depth = 4 }
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ "retx"; d ] -> (
+          match int_of_string_opt d with
+          | Some depth when depth >= 1 -> Lid.Relay_station.Retx { depth }
+          | _ -> fail "bad retx depth %S (want retx:DEPTH, DEPTH >= 1)" d)
+      | _ -> fail "unknown station kind %S (want full, half or retx[:DEPTH])" s)
 
 let parse ?allow_direct text =
   let b = Net.builder () in
@@ -133,11 +140,29 @@ let parse ?allow_direct text =
           split [] words
         in
         match before_colon with
-        | [ src; "->"; dst ] ->
+        | src :: "->" :: dst :: attrs ->
             let src = parse_endpoint names src in
             let dst = parse_endpoint names dst in
+            let latency =
+              List.fold_left
+                (fun lat w ->
+                  match String.index_opt w '=' with
+                  | Some i when String.sub w 0 i = "latency" -> (
+                      if lat <> None then fail "duplicate latency attribute";
+                      let v = String.sub w (i + 1) (String.length w - i - 1) in
+                      match Lid.Latency.of_string v with
+                      | Some p -> Some p
+                      | None ->
+                          fail
+                            "bad latency profile %S (want fixed:D, \
+                             jitter:BASE:BOUND:SEED, dist:LEN:PITCH or \
+                             table:D0,D1,...)"
+                            v)
+                  | _ -> fail "unknown edge attribute %S" w)
+                None attrs
+            in
             let stations = List.map parse_station stations in
-            ignore (Net.connect b ~stations ~src ~dst ())
+            ignore (Net.connect b ~stations ?latency ~src ~dst ())
         | _ -> fail "cannot parse %S" line)
   in
   let strip_comment line =
@@ -191,6 +216,9 @@ let print net =
     (fun (e : Net.edge) ->
       pr "%s.%d -> %s.%d" (Net.node net e.src.node).name e.src.port
         (Net.node net e.dst.node).name e.dst.port;
+      (match e.latency with
+      | Some p -> pr " latency=%s" (Lid.Latency.to_string p)
+      | None -> ());
       if e.stations <> [] then begin
         pr " :";
         List.iter

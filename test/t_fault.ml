@@ -40,14 +40,44 @@ let test_monitors_silent_on_specs () =
         [ Lid.Protocol.Original; Lid.Protocol.Optimized ])
     files
 
+(* A small dynamic-LID system: one variable-latency channel spanned by a
+   retransmitting station — the only kind of network where the flit
+   (link-fault) plane is non-empty. *)
+let retx_net () =
+  Topology.Spec.parse_exn
+    "source src\n\
+     shell  A identity\n\
+     sink   out\n\
+     src.0 -> A.0 latency=jitter:0:2:5 : retx:6\n\
+     A.0 -> out.0 : full\n"
+
 let test_every_kind_detectable () =
-  (* on Fig. 1 an exhaustive single-fault campaign must produce at least one
+  (* an exhaustive single-fault campaign must produce at least one
      non-masked injection of every kind — faults do not hide from the
-     classifier *)
+     classifier.  Wire/register kinds attack Fig. 1; flit kinds need a
+     retransmitting station, whose link plane Fig. 1 does not have. *)
+  let flit_kind = function
+    | Fault.Model.Flit_corrupt | Fault.Model.Flit_corrupt_silent
+    | Fault.Model.Flit_drop | Fault.Model.Flit_dup ->
+        true
+    | _ -> false
+  in
   let config = { Fault.Campaign.default_config with cycles = 128 } in
-  let result = Fault.Campaign.run config (G.fig1 ()) in
+  let fig1_result = Fault.Campaign.run config (G.fig1 ()) in
+  let retx_result =
+    (* a longer horizon: a duplicated delivery only shows up as a schedule
+       shift once the system is past its transient *)
+    Fault.Campaign.run
+      { config with
+        kinds = List.filter flit_kind Fault.Model.all_kinds;
+        cycles = 256;
+        injections_per_site = 16;
+      }
+      (retx_net ())
+  in
   List.iter
     (fun kind ->
+      let result = if flit_kind kind then retx_result else fig1_result in
       let detected =
         List.exists
           (fun (r : Fault.Classify.report) ->
@@ -58,6 +88,41 @@ let test_every_kind_detectable () =
         (Fault.Model.kind_to_string kind ^ " detected")
         true detected)
     Fault.Model.all_kinds
+
+let test_recovery_taxonomy () =
+  (* the recovery-aware bins, pinned on concrete injections: a detectable
+     corruption or a dropped flit is repaired by the go-back-N machinery
+     (masked-by-retx, recoveries > 0), while a corruption that defeats the
+     checksum sails through and damages data.  Both engines must agree. *)
+  let net = retx_net () in
+  let baseline =
+    Fault.Classify.baseline ~cycles:256 ~flavour:Lid.Protocol.Optimized net
+  in
+  let link_site =
+    List.hd (Fault.Model.sites net Fault.Model.Flit_drop)
+  in
+  let check_bin kind expected recovered =
+    let fault =
+      { Fault.Model.kind; site = link_site; cycle = 20; duration = 8; param = 0x21 }
+    in
+    let slow = Fault.Classify.classify baseline fault in
+    let fast = Fault.Classify.classify_fast baseline fault in
+    let name = Fault.Model.kind_to_string kind in
+    Alcotest.(check string) (name ^ " bin")
+      expected
+      (Fault.Classify.outcome_to_string slow.outcome);
+    Alcotest.(check string) (name ^ ": engines agree")
+      (Fault.Classify.outcome_to_string slow.outcome)
+      (Fault.Classify.outcome_to_string fast.outcome);
+    Alcotest.(check bool) (name ^ " recoveries")
+      recovered
+      (slow.evidence.recoveries > 0);
+    Alcotest.(check int) (name ^ ": recovery evidence agrees")
+      slow.evidence.recoveries fast.evidence.recoveries
+  in
+  check_bin Fault.Model.Flit_drop "masked-by-retx" true;
+  check_bin Fault.Model.Flit_corrupt "masked-by-retx" true;
+  check_bin Fault.Model.Flit_corrupt_silent "data-corrupting" false
 
 let test_campaign_reproducible () =
   let config =
@@ -204,6 +269,8 @@ let suite =
       test_monitors_silent_on_specs;
     Alcotest.test_case "every fault kind detectable" `Quick
       test_every_kind_detectable;
+    Alcotest.test_case "recovery taxonomy pinned on concrete faults" `Quick
+      test_recovery_taxonomy;
     Alcotest.test_case "campaigns reproducible from the seed" `Quick
       test_campaign_reproducible;
     Alcotest.test_case "reconvergence deadlock caught" `Quick

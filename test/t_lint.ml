@@ -253,6 +253,39 @@ let test_half_station_loop () =
   let r = C.run ~gate:false net in
   Alcotest.(check bool) "LID007 reported" true (with_code r D.LID007 <> [])
 
+let test_retx_buffer_undersized () =
+  (* jitter:0:4 stretches the worst-case round trip to 3 + 4 = 7 cycles:
+     a depth-2 replay buffer stalls the pipeline waiting on acks *)
+  let shallow =
+    Topology.Spec.parse_exn
+      "source src\n\
+       shell  A identity\n\
+       sink   out\n\
+       src.0 -> A.0 latency=jitter:0:4:9 : retx:2\n\
+       A.0 -> out.0 : full\n"
+  in
+  let r = C.run ~gate:false shallow in
+  (match with_code r D.LID008 with
+  | [ d ] -> (
+      Alcotest.(check bool) "warning severity" true (d.severity = D.Warning);
+      match d.params with
+      | D.P_retx { depth; rtt } ->
+          Alcotest.(check int) "depth" 2 depth;
+          Alcotest.(check int) "rtt" 7 rtt
+      | _ -> Alcotest.fail "expected retx params")
+  | ds -> Alcotest.failf "expected exactly one LID008, got %d" (List.length ds));
+  (* deepening the buffer to the round trip silences the warning *)
+  let deep =
+    Topology.Spec.parse_exn
+      "source src\n\
+       shell  A identity\n\
+       sink   out\n\
+       src.0 -> A.0 latency=jitter:0:4:9 : retx:7\n\
+       A.0 -> out.0 : full\n"
+  in
+  Alcotest.(check int) "no LID008 once deep enough" 0
+    (List.length (with_code (C.run ~gate:false deep) D.LID008))
+
 (* --- qcheck: the Equalize contract ---------------------------------- *)
 
 let prop_no_imbalance_after_optimize =
@@ -344,7 +377,16 @@ let test_severity_order () =
 
 let test_code_table_is_stable () =
   Alcotest.(check (list string)) "ids"
-    [ "LID001"; "LID002"; "LID003"; "LID004"; "LID005"; "LID006"; "LID007" ]
+    [
+      "LID001";
+      "LID002";
+      "LID003";
+      "LID004";
+      "LID005";
+      "LID006";
+      "LID007";
+      "LID008";
+    ]
     (List.map D.code_id D.all_codes)
 
 let suite =
@@ -369,6 +411,8 @@ let suite =
     Alcotest.test_case "token-free cycle: LID004" `Quick test_token_free_cycle;
     Alcotest.test_case "half stations in a loop: LID007" `Quick
       test_half_station_loop;
+    Alcotest.test_case "undersized replay buffer: LID008" `Quick
+      test_retx_buffer_undersized;
     QCheck_alcotest.to_alcotest prop_no_imbalance_after_optimize;
     Alcotest.test_case "predicted == measured (cross-multiplied)" `Quick
       test_predicted_equals_measured;

@@ -301,6 +301,151 @@ let prop_lockstep_under_faults =
         (Fault.Campaign.faults_of_config config net);
       true)
 
+(* --- dynamic LID: jittered channels and retransmitting stations ---- *)
+
+let dyn_spec text = Topology.Spec.parse_exn text
+
+let dyn_nets () =
+  [
+    (* entrance gate, fixed extra delay *)
+    dyn_spec
+      "source src\nshell A identity\nsink out\n\
+       src.0 -> A.0 latency=fixed:2 : full\nA.0 -> out.0 : full\n";
+    (* entrance gate, jitter *)
+    dyn_spec
+      "source src\nshell A identity\nsink out\n\
+       src.0 -> A.0 latency=jitter:0:3:11 : full full\nA.0 -> out.0 : full\n";
+    (* retransmitting station spanning the jittered wire *)
+    dyn_spec
+      "source src\nshell A identity\nsink out\n\
+       src.0 -> A.0 latency=jitter:1:2:7 : retx:5\nA.0 -> out.0 : full\n";
+    (* retx chain mixed with ordinary stations, delay table *)
+    dyn_spec
+      "source src\nshell A identity\nshell B identity\nsink out\n\
+       src.0 -> A.0 latency=table:0,2,1 : full retx:4 half\n\
+       A.0 -> B.0 latency=dist:5:2 : retx:6\nB.0 -> out.0 : full\n";
+    (* jittered channel inside a feedback loop (fig2 shape) *)
+    dyn_spec
+      "shell A identity\nshell B identity\n\
+       A.0 -> B.0 latency=jitter:0:2:3 : full full\nB.0 -> A.0 : full\n";
+  ]
+
+let test_lockstep_dynamic_nets () =
+  (* the acceptance bar of the dynamic-LID work: both engines agree
+     bit-for-bit (signature partition, counters, streams) on any latency
+     schedule — gates, retx stations, loops *)
+  List.iter
+    (fun net ->
+      List.iter
+        (fun flavour -> lockstep ~cycles:200 ~flavour net)
+        [ Lid.Protocol.Optimized; Lid.Protocol.Original ])
+    (dyn_nets ())
+
+let test_lockstep_dynamic_under_link_faults () =
+  (* replay a kind-complete link-fault campaign on the retx nets, both
+     engines in lockstep *)
+  List.iter
+    (fun net ->
+      if Net.retx_count net > 0 then
+        let config =
+          {
+            Fault.Campaign.default_config with
+            seed = 3;
+            cycles = 120;
+            kinds =
+              [
+                Fault.Model.Flit_corrupt;
+                Fault.Model.Flit_corrupt_silent;
+                Fault.Model.Flit_drop;
+                Fault.Model.Flit_dup;
+              ];
+            injections_per_site = 2;
+          }
+        in
+        List.iter
+          (fun fault ->
+            let hooks = Fault.Model.hooks [ fault ] in
+            lockstep ~hooks ~cycles:120 ~flavour:config.flavour net)
+          (Fault.Campaign.faults_of_config config net))
+    (dyn_nets ())
+
+let prop_lockstep_jitter =
+  QCheck.Test.make ~name:"packed = engine on jittered channels (random seeds)"
+    ~count:30 QCheck.small_int (fun seed ->
+      let bound = 1 + (seed mod 3) in
+      let net =
+        dyn_spec
+          (Printf.sprintf
+             "source src\nshell A identity\nshell B identity\nsink out\n\
+              src.0 -> A.0 latency=jitter:0:%d:%d : full\n\
+              A.0 -> B.0 latency=jitter:1:%d:%d : retx:%d\n\
+              B.0 -> out.0 : full\n"
+             bound (seed + 1) bound
+             ((seed * 7) + 3)
+             (3 + (seed mod 4)))
+      in
+      lockstep ~cycles:150 ~flavour:Lid.Protocol.Optimized net;
+      true)
+
+let test_gated_table_throughput () =
+  (* measure regression: the signature must fold the gate's pending-delay
+     state.  A table:0,2 entrance gate alternates 1-cycle and 3-cycle
+     handovers: sustained throughput is exactly 2 tokens / 4 cycles = 0.5.
+     A signature blind to the gate timer/phase would intern a repeat after
+     the first handover and misreport the period. *)
+  let net =
+    dyn_spec
+      "source src\nshell A identity\nsink out\n\
+       src.0 -> A.0 latency=table:0,2 : full\nA.0 -> out.0 : full\n"
+  in
+  (match M.analyze (E.create net) with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "engine rate" 0.5 (M.system_throughput r);
+      Alcotest.(check bool)
+        (Printf.sprintf "period %d covers the table" r.period)
+        true
+        (r.period mod 4 = 0)
+  | None -> Alcotest.fail "no steady state (engine)");
+  match M.analyze_packed (P.create net) with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "packed rate" 0.5 (M.system_throughput r)
+  | None -> Alcotest.fail "no steady state (packed)"
+
+let test_recovery_counters_agree () =
+  (* the recovery/dup counters that feed the campaign classifier must
+     agree between the engines under the same fault schedule *)
+  let net =
+    dyn_spec
+      "source src\nshell A identity\nsink out\n\
+       src.0 -> A.0 latency=jitter:0:2:5 : retx:6\nA.0 -> out.0 : full\n"
+  in
+  let mk_fault kind cycle =
+    {
+      Fault.Model.kind;
+      site = Fault.Model.Link { edge = 0; station = 0 };
+      cycle;
+      duration = 2;
+      param = 0x21;
+    }
+  in
+  List.iter
+    (fun fault ->
+      let hooks = Fault.Model.hooks [ fault ] in
+      let e = E.create net and p = P.create net in
+      E.set_fault_hooks e (Some hooks);
+      P.set_fault_hooks p (Some hooks);
+      E.run e ~cycles:150;
+      P.run p ~cycles:150;
+      Alcotest.(check int) "recoveries agree" (E.recovery_count e)
+        (P.recovery_count p);
+      Alcotest.(check int) "dup discards agree" (E.dup_drop_count e)
+        (P.dup_drop_count p))
+    [
+      mk_fault Fault.Model.Flit_drop 20;
+      mk_fault Fault.Model.Flit_corrupt 33;
+      mk_fault Fault.Model.Flit_dup 41;
+    ]
+
 (* --- interning ----------------------------------------------------- *)
 
 let test_intern_table () =
@@ -338,5 +483,14 @@ let suite =
     QCheck_alcotest.to_alcotest (prop_lockstep_random Lid.Protocol.Original);
     QCheck_alcotest.to_alcotest prop_analyze_equal;
     QCheck_alcotest.to_alcotest prop_lockstep_under_faults;
+    Alcotest.test_case "lockstep on dynamic nets (gates, retx)" `Quick
+      test_lockstep_dynamic_nets;
+    Alcotest.test_case "lockstep under link faults" `Quick
+      test_lockstep_dynamic_under_link_faults;
+    QCheck_alcotest.to_alcotest prop_lockstep_jitter;
+    Alcotest.test_case "gated table:0,2 rate is exactly 1/2" `Quick
+      test_gated_table_throughput;
+    Alcotest.test_case "recovery counters agree across engines" `Quick
+      test_recovery_counters_agree;
     Alcotest.test_case "signature interning" `Quick test_intern_table;
   ]

@@ -103,6 +103,94 @@ let test_half_original_no_forward_while_stopped () =
   in
   Alcotest.check token "blocked" Token.void (RS.present st ~input:(Token.valid 5))
 
+(* --- retransmitting stations --------------------------------------- *)
+
+(* Drive one retx station with an eager protocol-obeying producer and a
+   never-stopping consumer, injecting [link] faults per cycle; return the
+   delivered stream and the final state. *)
+let run_retx ?(table = [| 0 |]) ?(depth = 4) ?(cycles = 80) ~link () =
+  let st = ref (RS.initial ~table (RS.Retx { depth })) in
+  let next = ref 0 in
+  let pres = ref Token.void in
+  let prev_stop = ref false in
+  let delivered = ref [] in
+  for c = 0 to cycles - 1 do
+    (match !pres with
+    | Token.Valid _ when !prev_stop -> ()
+    | _ ->
+        pres := Token.valid !next;
+        incr next);
+    (match RS.present !st ~input:!pres with
+    | Token.Valid v -> delivered := v :: !delivered
+    | Token.Void -> ());
+    prev_stop := RS.stop_upstream !st;
+    st := RS.step ~link:(link c) !st ~input:!pres ~stop_in:false
+  done;
+  (List.rev !delivered, !st)
+
+let consecutive got = got = List.init (List.length got) (fun i -> i)
+
+let test_retx_kind_figures () =
+  Alcotest.(check int) "capacity" 5 (RS.capacity (RS.Retx { depth = 4 }));
+  Alcotest.(check int) "latency" 2 (RS.forward_latency (RS.Retx { depth = 4 }))
+
+let test_retx_fifo_free_flow () =
+  let got, st = run_retx ~link:(fun _ -> RS.Link_ok) () in
+  Alcotest.(check bool) "in order, exactly once" true (consecutive got);
+  Alcotest.(check bool) "sustained flow" true (List.length got >= 70);
+  Alcotest.(check int) "no recoveries fault-free" 0 (RS.recoveries st)
+
+let test_retx_drop_recovered () =
+  (* flits vanishing on the hop: the timeout/NACK path must resend them,
+     and the receiver must still deliver the exact in-order stream *)
+  let link c = if c >= 20 && c <= 22 then RS.Link_drop else RS.Link_ok in
+  let got, st = run_retx ~link () in
+  Alcotest.(check bool) "in order, exactly once" true (consecutive got);
+  Alcotest.(check bool) "recovered" true (RS.recoveries st >= 1);
+  Alcotest.(check bool) "stream not truncated" true (List.length got >= 60)
+
+let test_retx_corrupt_recovered () =
+  (* detectable damage: the receiver NACKs, the sender rewinds — the
+     corrupted payload is never delivered *)
+  let link c = if c = 20 then RS.Link_corrupt 0x5a else RS.Link_ok in
+  let got, st = run_retx ~link () in
+  Alcotest.(check bool) "in order, exactly once" true (consecutive got);
+  Alcotest.(check bool) "recovered" true (RS.recoveries st >= 1)
+
+let test_retx_corrupt_silent_delivers_damage () =
+  (* damage that defeats the checksum is delivered as if intact: the
+     stream carries a wrong value — this is what the recovery protocol
+     cannot save you from *)
+  let link c = if c = 20 then RS.Link_corrupt_silent 0x5a else RS.Link_ok in
+  let got, st = run_retx ~link () in
+  Alcotest.(check bool) "stream corrupted" true (not (consecutive got));
+  Alcotest.(check int) "no recovery triggered" 0 (RS.recoveries st)
+
+let test_retx_dup_exactly_once () =
+  (* a duplicated delivery: the stale copy must be discarded, not
+     re-delivered *)
+  let link c = if c = 20 then RS.Link_dup else RS.Link_ok in
+  let got, st = run_retx ~link () in
+  Alcotest.(check bool) "in order, exactly once" true (consecutive got);
+  Alcotest.(check bool) "duplicate discarded" true (RS.dup_discards st >= 1)
+
+let test_retx_delay_table () =
+  (* per-launch link delays from the channel's latency table slow the
+     stream down but never break FIFO/exactly-once *)
+  let got, st =
+    run_retx ~table:[| 0; 2; 1 |] ~link:(fun _ -> RS.Link_ok) ()
+  in
+  Alcotest.(check bool) "in order, exactly once" true (consecutive got);
+  Alcotest.(check bool) "still flows" true (List.length got >= 20);
+  Alcotest.(check int) "no recoveries fault-free" 0 (RS.recoveries st)
+
+let test_retx_shallow_buffer_backpressure () =
+  (* depth 1: at most one unacked flit — throughput collapses to the
+     round trip, but nothing is lost *)
+  let got, _ = run_retx ~depth:1 ~link:(fun _ -> RS.Link_ok) () in
+  Alcotest.(check bool) "in order, exactly once" true (consecutive got);
+  Alcotest.(check bool) "throttled but alive" true (List.length got >= 10)
+
 let test_map_tokens () =
   let st = step (RS.initial RS.Full) ~input:(Token.valid 41) ~stop_in:false in
   let norm t = if Token.is_valid t then Token.valid 0 else t in
@@ -165,10 +253,22 @@ let suite =
     Alcotest.test_case "half original: blocked while stopped" `Quick
       test_half_original_no_forward_while_stopped;
     Alcotest.test_case "map_tokens" `Quick test_map_tokens;
+    Alcotest.test_case "retx: kind parameters" `Quick test_retx_kind_figures;
+    Alcotest.test_case "retx: FIFO free flow" `Quick test_retx_fifo_free_flow;
+    Alcotest.test_case "retx: drop recovered" `Quick test_retx_drop_recovered;
+    Alcotest.test_case "retx: corrupt NACKed and resent" `Quick
+      test_retx_corrupt_recovered;
+    Alcotest.test_case "retx: silent corruption delivered" `Quick
+      test_retx_corrupt_silent_delivers_damage;
+    Alcotest.test_case "retx: duplicate discarded" `Quick
+      test_retx_dup_exactly_once;
+    Alcotest.test_case "retx: delay table" `Quick test_retx_delay_table;
+    Alcotest.test_case "retx: depth-1 backpressure" `Quick
+      test_retx_shallow_buffer_backpressure;
   ]
   @ List.concat_map
       (fun kind ->
         List.map
           (fun fl -> QCheck_alcotest.to_alcotest (prop_stream_preserved kind fl))
           Lid.Protocol.all)
-      [ RS.Full; RS.Half ]
+      [ RS.Full; RS.Half; RS.Retx { depth = 4 }; RS.Retx { depth = 1 } ]

@@ -52,6 +52,14 @@ let test_roundtrip () =
         ~sink_pattern:(Topology.Pattern.periodic ~period:3 ~active:1 ())
         ();
       Topology.Generators.ring_tapped ~n_shells:3 ();
+      (* dynamic LID: latency profiles and retransmitting stations must
+         survive the print/parse cycle too *)
+      S.parse_exn
+        "source src\n\
+         shell  A identity\n\
+         sink   out\n\
+         src.0 -> A.0 latency=jitter:0:2:5 : retx:6\n\
+         A.0 -> out.0 latency=table:0,2 : full\n";
     ]
 
 let test_patterns_in_spec () =
