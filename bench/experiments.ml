@@ -1051,6 +1051,19 @@ let e17_dynamic_lid () =
      and silences LID008; every injected drop/corruption lands in a\n\
      recovered bin -- none reach data-corrupting.\n"
 
+let e18_dynamic_lanes () =
+  section "E18"
+    "dynamic nets on the lane fast path: retx + jitter campaign, single core";
+  Printf.printf
+    "a chain whose head channels carry jitter profiles spanned by\n\
+     go-back-N stations: the lane engine keeps per-lane retransmission\n\
+     state and entrance-gate counters, injects link faults through each\n\
+     lane's own station FSM, and screens against the fault-free lane 0\n\
+     on (signature, recoveries).  Reports asserted bit-identical to the\n\
+     serial run before timing; jobs = 1 isolates the lane win.\n\n";
+  let d = Campaign.Bench.run_dynamic ~quick:true () in
+  Format.printf "%a" Campaign.Bench.pp_dynamic d
+
 let all_quick () =
   e1_fig1 ();
   e2_fig2 ();
@@ -1069,4 +1082,5 @@ let all_quick () =
   e15_lane_campaign ();
   e16_lint_vs_packed ();
   e17_dynamic_lid ();
+  e18_dynamic_lanes ();
   a1_attribution ()

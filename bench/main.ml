@@ -26,6 +26,7 @@ let experiments =
     ("e15", "lane-parallel campaign speedup", Experiments.e15_lane_campaign);
     ("e16", "lint-predicted vs packed-measured", Experiments.e16_lint_vs_packed);
     ("e17", "dynamic LID: jitter vs replay depth", Experiments.e17_dynamic_lid);
+    ("e18", "dynamic nets on the lane fast path", Experiments.e18_dynamic_lanes);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

@@ -291,20 +291,28 @@ let rtl_cmd =
   in
   let run file flavour lang width optimize =
     let net = load_network file in
-    let circ = Topology.Rtl_net.of_network ~flavour ~data_width:width net in
-    let circ =
-      if optimize then begin
-        let circ', report = Hdl.Simplify.with_report circ in
-        Format.eprintf "-- %a@." Hdl.Simplify.pp_report report;
-        circ'
-      end
-      else circ
-    in
-    Format.eprintf "-- %a@." Hdl.Circuit.pp_stats (Hdl.Circuit.stats circ);
-    print_string
-      (match lang with
-      | `Vhdl -> Emit.Vhdl.emit circ
-      | `Verilog -> Emit.Verilog.emit circ)
+    (* capability errors (e.g. a variable-latency channel with no
+       retransmitting station to realize it in hardware) surface as
+       [Invalid_argument] from the elaborator — turn them into a clean
+       diagnostic instead of a backtrace *)
+    match Topology.Rtl_net.of_network ~flavour ~data_width:width net with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | circ ->
+        let circ =
+          if optimize then begin
+            let circ', report = Hdl.Simplify.with_report circ in
+            Format.eprintf "-- %a@." Hdl.Simplify.pp_report report;
+            circ'
+          end
+          else circ
+        in
+        Format.eprintf "-- %a@." Hdl.Circuit.pp_stats (Hdl.Circuit.stats circ);
+        print_string
+          (match lang with
+          | `Vhdl -> Emit.Vhdl.emit circ
+          | `Verilog -> Emit.Verilog.emit circ)
   in
   let term =
     Term.(const run $ network_arg $ flavour_arg $ lang_arg $ width_arg $ optimize_arg)
@@ -392,7 +400,11 @@ let testbench_cmd =
   in
   let run file flavour width cycles =
     let net = load_network file in
-    print_string (Skeleton.Testbench.bundle ~flavour ~data_width:width ~cycles net)
+    match Skeleton.Testbench.bundle ~flavour ~data_width:width ~cycles net with
+    | exception Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | bundle -> print_string bundle
   in
   let term =
     Term.(const run $ network_arg $ flavour_arg $ width_arg $ cycles_arg)
@@ -432,17 +444,17 @@ let opt_pos n = if n <= 0 then None else Some n
 
 (* Hand-rolled campaign JSON, like [Lint.Checks.to_json]: fixed, tiny
    vocabulary — a json library dependency would be all cost. *)
-let campaign_json (result : Fault.Campaign.result) =
+let campaign_json ~lanes_used (result : Fault.Campaign.result) =
   let b = Buffer.create 2048 in
   let t = Fault.Campaign.tally result in
   Printf.bprintf b
     "{\n  \"seed\": %d,\n  \"cycles\": %d,\n  \"flavour\": %S,\n\
-    \  \"injections\": %d,\n"
+    \  \"injections\": %d,\n  \"lanes_used\": %d,\n"
     result.config.seed result.config.cycles
     (match result.config.flavour with
     | Lid.Protocol.Optimized -> "optimized"
     | Lid.Protocol.Original -> "original")
-    (List.length result.reports);
+    (List.length result.reports) lanes_used;
   Buffer.add_string b "  \"tally\": [";
   List.iteri
     (fun i (kind, counts) ->
@@ -601,8 +613,22 @@ let inject_cmd =
     let lanes =
       if lanes <= 0 then Skeleton.Packed_lanes.max_lanes else lanes
     in
-    let result = Campaign.Fault_driver.run ~jobs ~lanes config net in
-    if json then print_string (campaign_json result)
+    let lanes_used = ref 1 in
+    let on_lanes n reason =
+      lanes_used := n;
+      (match reason with
+      | Some why ->
+          (* keep the JSON stream clean: the downgrade notice goes to
+             stderr when machine output was asked for *)
+          if json then Printf.eprintf "note: %s\n%!" why
+          else Format.printf "note: %s@." why
+      | None -> ());
+      if not json then
+        Format.printf "lanes: %d%s@." n
+          (if n <= 1 then " (serial classification)" else "")
+    in
+    let result = Campaign.Fault_driver.run ~jobs ~lanes ~on_lanes config net in
+    if json then print_string (campaign_json ~lanes_used:!lanes_used result)
     else Format.printf "@.%a" Fault.Campaign.pp_summary result;
     if json then ()
     else if verbose then begin
@@ -667,29 +693,49 @@ let bench_cmd =
       & info [ "o"; "out" ] ~docv:"FILE"
           ~doc:"Also write the results as JSON to FILE.")
   in
-  let run quick jobs out lanes max_cycles signature_capacity =
+  let dynamic_arg =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:"Run only the dynamic-network leg (retx + jitter chain, \
+                single core): serial classification against the \
+                lane-parallel driver, asserted bit-identical.")
+  in
+  let write_out out text =
+    match out with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc text);
+        Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  let run quick jobs out lanes max_cycles signature_capacity dynamic =
     let jobs = if jobs <= 0 then None else Some jobs in
-    match
-      Campaign.Bench.run ~quick ?jobs ?lanes:(opt_pos lanes)
-        ?max_cycles:(opt_pos max_cycles)
-        ?signature_capacity:(opt_pos signature_capacity) ()
-    with
-    | result ->
-        Format.printf "%a" Campaign.Bench.pp result;
-        (match out with
-        | Some path ->
-            Out_channel.with_open_text path (fun oc ->
-                Out_channel.output_string oc (Campaign.Bench.to_json result));
-            Format.printf "wrote %s@." path
-        | None -> ())
-    | exception Campaign.Bench.Divergence msg ->
-        Printf.eprintf "benchmark aborted, engines diverged: %s\n" msg;
-        exit 1
+    if dynamic then
+      match Campaign.Bench.run_dynamic ~quick ?lanes:(opt_pos lanes) () with
+      | d ->
+          Format.printf "%a" Campaign.Bench.pp_dynamic d;
+          write_out out (Campaign.Bench.dynamic_json d)
+      | exception Campaign.Bench.Divergence msg ->
+          Printf.eprintf "benchmark aborted, engines diverged: %s\n" msg;
+          exit 1
+    else
+      match
+        Campaign.Bench.run ~quick ?jobs ?lanes:(opt_pos lanes)
+          ?max_cycles:(opt_pos max_cycles)
+          ?signature_capacity:(opt_pos signature_capacity) ()
+      with
+      | result ->
+          Format.printf "%a" Campaign.Bench.pp result;
+          write_out out (Campaign.Bench.to_json result)
+      | exception Campaign.Bench.Divergence msg ->
+          Printf.eprintf "benchmark aborted, engines diverged: %s\n" msg;
+          exit 1
   in
   let term =
     Term.(
       const run $ quick_arg $ jobs_arg $ out_arg $ lanes_arg $ max_cycles_arg
-      $ signature_capacity_arg)
+      $ signature_capacity_arg $ dynamic_arg)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -24,10 +24,19 @@ type campaign_stat = {
   lane_speedup : float;
 }
 
+type dynamic_stat = {
+  dyn_injections : int;
+  dyn_lanes : int;
+  dyn_serial_s : float;
+  dyn_lanes_s : float;
+  dyn_speedup : float;
+}
+
 type result = {
   quick : bool;
   cases : case list;
   campaign : campaign_stat;
+  dynamic : dynamic_stat;
   geomean_speedup : float;
 }
 
@@ -178,6 +187,103 @@ let bench_campaign ~quick ~jobs ~lanes =
     lane_speedup = (if lanes_s > 0. then serial_s /. lanes_s else infinity);
   }
 
+(* The dynamic leg: a chain whose head channels are variable-latency and
+   spanned by go-back-N stations, so the campaign exercises per-lane retx
+   state, entrance-gate counters and the link-fault plane.  Timed
+   single-core (jobs = 1) so the figure isolates the lane win itself.
+   The kind mix emphasizes the planes the dynamic path adds — link
+   faults, payload corruption, stop perturbations; the always-divergent
+   kinds (valid flips, register upsets, long stop stick) are covered by
+   the static campaign leg above and would only add identical serial
+   work to both sides here.  The 1/3-duty source leaves most wires void
+   on most cycles, so single-cycle faults frequently land on idle
+   traffic and the fault-free replay answers them. *)
+let dynamic_setup ~quick =
+  let n_shells = if quick then 8 else 16 in
+  let source_pattern = Topology.Pattern.periodic ~period:3 ~active:1 () in
+  let net = G.chain ~n_shells ~source_pattern () in
+  let dynamize net edge ~bound ~seed ~depth =
+    let net =
+      Topology.Network.with_stations net edge
+        [ Lid.Relay_station.Retx { depth } ]
+    in
+    Topology.Network.with_latency net edge
+      (Some (Lid.Latency.Jitter { base = 0; bound; seed }))
+  in
+  let net = dynamize net 0 ~bound:2 ~seed:7 ~depth:6 in
+  let net = dynamize net 1 ~bound:1 ~seed:3 ~depth:5 in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      seed = 23;
+      kinds =
+        [
+          Fault.Model.Data_corrupt;
+          Fault.Model.Stop_spurious;
+          Fault.Model.Stop_drop;
+          Fault.Model.Flit_corrupt;
+          Fault.Model.Flit_corrupt_silent;
+          Fault.Model.Flit_drop;
+          Fault.Model.Flit_dup;
+        ];
+      cycles = (if quick then 128 else 256);
+      max_sites_per_kind = (if quick then 4 else 0);
+      injections_per_site = (if quick then 4 else 3);
+    }
+  in
+  (config, net)
+
+let bench_dynamic ~quick ~lanes =
+  let config, net = dynamic_setup ~quick in
+  let serial, dyn_serial_s = time (fun () -> Fault.Campaign.run config net) in
+  let used = ref 1 in
+  let lp, dyn_lanes_s =
+    time (fun () ->
+        Fault_driver.run ~jobs:1 ~lanes
+          ~on_lanes:(fun n _ -> used := n)
+          config net)
+  in
+  if serial.Fault.Campaign.reports <> lp.Fault.Campaign.reports then
+    raise
+      (Divergence
+         "dynamic-net lane campaign reports differ from the serial run");
+  {
+    dyn_injections = List.length serial.Fault.Campaign.reports;
+    dyn_lanes = !used;
+    dyn_serial_s;
+    dyn_lanes_s;
+    dyn_speedup =
+      (if dyn_lanes_s > 0. then dyn_serial_s /. dyn_lanes_s else infinity);
+  }
+
+let run_dynamic ?(quick = false) ?lanes () =
+  let lanes =
+    match lanes with
+    | Some l -> max 1 (min l Skeleton.Packed_lanes.max_lanes)
+    | None -> Skeleton.Packed_lanes.max_lanes
+  in
+  bench_dynamic ~quick ~lanes
+
+let dynamic_json d =
+  let f x = Printf.sprintf "%.6f" x in
+  Printf.sprintf
+    "{\n\
+    \  \"injections\": %d,\n\
+    \  \"jobs\": 1,\n\
+    \  \"lanes\": %d,\n\
+    \  \"serial_s\": %s,\n\
+    \  \"lanes_s\": %s,\n\
+    \  \"lane_speedup\": %s\n\
+     }\n"
+    d.dyn_injections d.dyn_lanes (f d.dyn_serial_s) (f d.dyn_lanes_s)
+    (f d.dyn_speedup)
+
+let pp_dynamic fmt d =
+  Format.fprintf fmt
+    "dynamic net, retx + jitter (%d injections): serial %.3fs, 1 job x %d \
+     lanes %.3fs -> %.1fx@."
+    d.dyn_injections d.dyn_serial_s d.dyn_lanes d.dyn_lanes_s d.dyn_speedup
+
 type lane_point = { lp_lanes : int; lp_s : float; lp_speedup : float }
 
 let lane_sweep ?(quick = false) ?(widths = [ 1; 2; 8; 32; Skeleton.Packed_lanes.max_lanes ]) () =
@@ -217,11 +323,12 @@ let run ?(quick = false) ?jobs ?lanes ?max_cycles ?signature_capacity () =
       (suite ~quick)
   in
   let campaign = bench_campaign ~quick ~jobs ~lanes in
+  let dynamic = bench_dynamic ~quick ~lanes in
   let geomean_speedup =
     let logs = List.map (fun c -> log c.speedup) cases in
     exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs))
   in
-  { quick; cases; campaign; geomean_speedup }
+  { quick; cases; campaign; dynamic; geomean_speedup }
 
 let to_json r =
   let b = Buffer.create 1024 in
@@ -251,6 +358,13 @@ let to_json r =
        (f r.campaign.campaign_speedup)
        (f r.campaign.lane_speedup));
   Buffer.add_string b
+    (Printf.sprintf
+       "  \"dynamic_campaign\": {\"injections\": %d, \"jobs\": 1, \"lanes\": \
+        %d, \"serial_s\": %s, \"lanes_s\": %s, \"lane_speedup\": %s},\n"
+       r.dynamic.dyn_injections r.dynamic.dyn_lanes (f r.dynamic.dyn_serial_s)
+       (f r.dynamic.dyn_lanes_s)
+       (f r.dynamic.dyn_speedup));
+  Buffer.add_string b
     (Printf.sprintf "  \"geomean_speedup\": %s\n}\n" (f r.geomean_speedup));
   Buffer.contents b
 
@@ -271,4 +385,5 @@ let pp fmt r =
   Format.fprintf fmt
     "  %d jobs x %d lanes %.3fs -> %.1fx over serial@."
     r.campaign.jobs r.campaign.lanes r.campaign.lanes_s
-    r.campaign.lane_speedup
+    r.campaign.lane_speedup;
+  pp_dynamic fmt r.dynamic

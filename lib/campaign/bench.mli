@@ -35,10 +35,25 @@ type campaign_stat = {
   lane_speedup : float;  (** serial over lane-parallel — the headline figure *)
 }
 
+type dynamic_stat = {
+  dyn_injections : int;
+  dyn_lanes : int;  (** lane width the driver actually used *)
+  dyn_serial_s : float;  (** {!Fault.Campaign.run}, 1 job *)
+  dyn_lanes_s : float;  (** {!Fault_driver.run} with [jobs = 1] and lanes *)
+  dyn_speedup : float;  (** serial over lane-parallel, single-core *)
+}
+(** The dynamic-network leg: a chain whose head channels carry jitter
+    latency profiles spanned by go-back-N stations, so the lane engine's
+    per-lane retx state, entrance-gate counters and link-fault plane are
+    all on the timed path.  Single-core by construction — the figure
+    isolates the bit-sliced win on dynamic nets, which previously fell
+    back to serial classification. *)
+
 type result = {
   quick : bool;
   cases : case list;
   campaign : campaign_stat;
+  dynamic : dynamic_stat;
   geomean_speedup : float;  (** over the per-case engine/packed speedups *)
 }
 
@@ -60,6 +75,16 @@ val run :
     sizes the bit-sliced campaign.  [max_cycles] / [signature_capacity]
     are handed to every steady-state measurement, as the
     {!Skeleton.Measure.analyze} arguments of the same names. *)
+
+val run_dynamic : ?quick:bool -> ?lanes:int -> unit -> dynamic_stat
+(** The dynamic-network leg alone (seconds, not minutes — suitable for
+    CI).  Same divergence guarantee: raises {!Divergence} unless the
+    lane-parallel reports are bit-identical to the serial run. *)
+
+val dynamic_json : dynamic_stat -> string
+(** Stable JSON rendering of the dynamic leg (the BENCH_pr7.json payload). *)
+
+val pp_dynamic : Format.formatter -> dynamic_stat -> unit
 
 type lane_point = { lp_lanes : int; lp_s : float; lp_speedup : float }
 

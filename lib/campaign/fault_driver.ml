@@ -1,18 +1,28 @@
-let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?on_report
+let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?on_lanes ?on_report
     (config : Fault.Campaign.config) net =
   let faults = Fault.Campaign.faults_of_config config net in
   let baseline =
     Fault.Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
   in
+  let note n reason = match on_lanes with Some f -> f n reason | None -> () in
   let reports =
-    (* lane batching cannot model dynamic-LID state; classify per fault *)
-    if lanes <= 1 || Topology.Network.has_dynamics net then
+    if lanes <= 1 then begin
+      note 1 None;
       Parallel.map ?jobs
         (fun fault -> Fault.Classify.classify_fast baseline fault)
         faults
+    end
     else begin
       let lanes = min lanes Skeleton.Packed_lanes.max_lanes in
       let replay = Fault.Classify.replay baseline in
+      (match replay with
+      | None ->
+          (* every batch will re-simulate each fault individually *)
+          note 1
+            (Some
+               "fault-free run unusable as a replay (monitor violation or \
+                stream mismatch); classifying every fault individually")
+      | Some _ -> note lanes None);
       List.concat
         (Parallel.map ?jobs
            (fun batch ->

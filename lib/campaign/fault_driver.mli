@@ -19,12 +19,20 @@
 val run :
   ?jobs:int ->
   ?lanes:int ->
+  ?on_lanes:(int -> string option -> unit) ->
   ?on_report:(Fault.Classify.report -> unit) ->
   Fault.Campaign.config ->
   Topology.Network.t ->
   Fault.Campaign.result
 (** [jobs] defaults to {!Parallel.default_jobs}; [lanes] to
     {!Skeleton.Packed_lanes.max_lanes} (clamped to it, [<= 1] disables
-    lane batching).  [on_report] is invoked on the calling domain in
-    campaign order — after the parallel phase, so in parallel mode it is
-    a post-hoc iterator rather than live progress. *)
+    lane batching).  Dynamic networks — variable-latency channels,
+    retransmitting stations — ride the lane path like any other: the
+    lane engine keeps per-lane go-back-N state and injects link-plane
+    faults through it.  [on_lanes] is called once, before any
+    classification, with the lane width actually used and, when that
+    differs from the request, the reason it was downgraded (currently:
+    the fault-free run was unusable as a replay).  [on_report] is
+    invoked on the calling domain in campaign order — after the parallel
+    phase, so in parallel mode it is a post-hoc iterator rather than
+    live progress. *)

@@ -62,10 +62,22 @@ type state =
          [Original] flavour *)
   | Retx_state of retx
 
+(* One worst-case round trip of the internal hop: the launch slot, the
+   data traversal (1 + max extra delay) and the ack's way back.  The
+   single source of truth for every bound derived from it — the LID008
+   replay-depth lint, the retransmission timeout below, and the RTL
+   model's timeout counter — so the analyzer, the skeleton and the
+   emitted hardware can never disagree on what "deep enough" means. *)
+let round_trip ~max_delay = 3 + max_delay
+
 (* The retransmission timeout must exceed the worst-case round trip
-   (launch, [1 + max extra delay] to arrive, 1 cycle for the ack), or
-   every long-delay flit costs a spurious go-back-N rewind. *)
-let retx_timeout r = 8 + (2 * Array.fold_left max 0 r.r_table)
+   (go-back-N needs the whole rewind, one round trip out and one back,
+   to show ack progress), or every long-delay flit costs a spurious
+   rewind.  Two round trips plus slack, in terms of {!round_trip}. *)
+let timeout_of_table table =
+  (2 * round_trip ~max_delay:(Array.fold_left max 0 table)) + 2
+
+let retx_timeout r = timeout_of_table r.r_table
 
 let initial ?(table = [| 0 |]) = function
   | Full -> Full_state { main = Token.void; aux = Token.void }
@@ -108,6 +120,10 @@ let sreg = function
 
 let recoveries = function Retx_state r -> r.r_recov | _ -> 0
 let dup_discards = function Retx_state r -> r.r_dups | _ -> 0
+
+let flit_arriving = function
+  | Retx_state { r_flit = Some f; _ } -> f.f_wait = 0
+  | _ -> false
 
 let present state ~input =
   match state with

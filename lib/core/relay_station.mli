@@ -57,6 +57,19 @@ type link_fault =
   | Link_drop
   | Link_dup
 
+val round_trip : max_delay:int -> int
+(** Worst-case round trip of a retransmitting station's internal hop
+    whose extra-delay schedule peaks at [max_delay]: launch slot, data
+    traversal ([1 + max_delay]) and the ack's way back.  The single
+    source of truth shared by the LID008 replay-depth lint, the
+    retransmission timeout and the RTL replay-RAM/timeout sizing. *)
+
+val timeout_of_table : int array -> int
+(** The retransmission timeout derived from a delay schedule: two
+    {!round_trip}s (a full go-back-N rewind must be able to show ack
+    progress) plus slack.  Used identically by {!step} and the RTL
+    model's timeout counter. *)
+
 type state
 
 val initial : ?table:int array -> kind -> state
@@ -84,6 +97,12 @@ val recoveries : state -> int
 val dup_discards : state -> int
 (** Retransmitting stations: stale duplicates the receiver discarded to
     preserve exactly-once delivery.  0 for other kinds. *)
+
+val flit_arriving : state -> bool
+(** A retransmitting station's internal-hop flit completes its traversal
+    on the next {!step} — i.e. a [link] fault passed to that step will
+    actually touch a flit (and a payload-corrupting one will matter).
+    [false] for other kinds. *)
 
 val present : state -> input:Token.t -> Token.t
 (** The token driven on the output this cycle.  Full and retx stations

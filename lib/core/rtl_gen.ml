@@ -6,8 +6,178 @@ let bit1 = Bits.of_bool true
 
 type port = { valid : Hdl.Signal.t; data : Hdl.Signal.t }
 
-let relay_station_fragment ?(flavour = Protocol.Optimized) kind
-    ~input:{ valid = in_valid; data = in_data } ~stop_in =
+(* Width to hold the values 0..n (at least one bit). *)
+let bits_for n =
+  let rec go w = if 1 lsl w > n then w else go (w + 1) in
+  max 1 (go 0)
+
+(* Retransmitting station, mirroring [Relay_station.step_retx] field for
+   field on the fault-free path.  Sequence numbers free-run modulo
+   2^seq_width and enter the logic only as differences, so the windowed
+   (two's-complement) comparisons are exact as long as the in-flight skew
+   stays below 2^(seq_width-1) — it is bounded by depth + 2.  The replay
+   RAM is a register file of [depth] entries addressed by seq mod depth
+   (kept as the rotating head pointer [hp], the slot of the oldest
+   unacked sequence), read through a mux with a same-cycle write
+   bypass. *)
+let retx_fragment ~depth ~table ~in_valid ~in_data ~stop_in =
+  let data_width = width in_data in
+  let depth = max 1 depth in
+  let table = if Array.length table = 0 then [| 0 |] else table in
+  let tlen = Array.length table in
+  let max_wait = Array.fold_left max 0 table in
+  let timeout = Relay_station.timeout_of_table table in
+  let seq_w = 16 in
+  let cw = bits_for depth (* counts and cursors: 0..depth *) in
+  let hw = bits_for (depth - 1) (* RAM slots: 0..depth-1 *) in
+  let ww = bits_for max_wait in
+  let tw = bits_for timeout in
+  let lw = bits_for (tlen - 1) in
+  let zero w = consti ~width:w 0 in
+  let one w = consti ~width:w 1 in
+  let st name w = wire ~name:(Printf.sprintf "rx_%s" name) w in
+  (* current state *)
+  let count = st "count" cw in
+  let cursor = st "cursor" cw in
+  let timer = st "timer" tw in
+  let lc = st "lc" lw in
+  let hp = st "hp" hw in
+  let nseq = st "nseq" seq_w in
+  let expect = st "expect" seq_w in
+  let out_v = st "out_v" 1 in
+  let out_d = st "out_d" data_width in
+  let flit_v = st "flit_v" 1 in
+  let flit_seq = st "flit_seq" seq_w in
+  let flit_val = st "flit_val" data_width in
+  let flit_wait = st "flit_wait" ww in
+  let ack_v = st "ack_v" 1 in
+  let ack_seq = st "ack_seq" seq_w in
+  let ack_nack = st "ack_nack" 1 in
+  let ram = Array.init depth (fun i -> st (Printf.sprintf "ram_%d" i) data_width) in
+  let uext s w = zero_extend s ~width:w in
+  (* (slot + k) mod depth, for k <= depth *)
+  let add_mod a b =
+    let sw = bits_for ((2 * depth) - 1) in
+    let s = uext a sw +: uext b sw in
+    let wrapped = mux2 (s <: consti ~width:sw depth) s (s -: consti ~width:sw depth) in
+    select wrapped ~hi:(hw - 1) ~lo:0
+  in
+  let base = nseq -: uext count seq_w in
+  (* 1. the flit finishing its internal-hop traversal; output consumption *)
+  let wait_pos = reduce_or flit_wait in
+  let arr = flit_v &: ~:wait_pos in
+  let flit_left_v = flit_v &: wait_pos in
+  let out0_v = out_v &: stop_in in
+  (* 2. receiver: exactly-once, in-order *)
+  let d_exp = flit_seq -: expect in
+  let seq_eq = ~:(reduce_or d_exp) in
+  let seq_lt = msb d_exp in
+  let seq_gt = ~:seq_lt &: ~:seq_eq in
+  let deliver = arr &: seq_eq &: ~:out0_v in
+  let refuse = arr &: seq_eq &: out0_v in
+  let gap = arr &: seq_gt in
+  let out1_v = out0_v |: deliver in
+  let out1_d = mux2 deliver flit_val out_d in
+  let expect' = mux2 deliver (expect +: one seq_w) expect in
+  let rx_ack_v = arr in
+  let rx_ack_seq = expect' in
+  let rx_ack_nack = gap |: refuse in
+  (* 3. sender: the cumulative ack launched last cycle arrives.  The
+     replay buffer holds the consecutive sequences base..base+count-1, so
+     "drop everything below a_seq" is the clamped difference. *)
+  let dr_raw = ack_seq -: base in
+  let dr_neg = msb dr_raw in
+  let dr_gt = ~:(dr_raw <=: uext count seq_w) in
+  let dr_low = select dr_raw ~hi:(cw - 1) ~lo:0 in
+  let dropped =
+    mux2 ack_v (mux2 dr_neg (zero cw) (mux2 dr_gt count dr_low)) (zero cw)
+  in
+  let dropped_nz = reduce_or dropped in
+  let nack_eff = ack_v &: ack_nack in
+  let progressed = nack_eff |: (ack_v &: dropped_nz) in
+  let count1 = count -: dropped in
+  let cursor1 =
+    mux2 nack_eff (zero cw)
+      (mux2 (cursor <=: dropped) (zero cw) (cursor -: dropped))
+  in
+  let timer1 = mux2 (nack_eff |: (ack_v &: dropped_nz)) (zero tw) timer in
+  let hp1 = add_mod hp dropped in
+  let base1 = base +: uext dropped seq_w in
+  (* 4. timeout: outstanding un-acked data and no ack progress *)
+  let empty1 = ~:(reduce_or count1) in
+  let fire_to =
+    ~:empty1 &: ~:progressed &: ~:(timer1 <: consti ~width:tw timeout)
+  in
+  let timer2 =
+    mux2 empty1 (zero tw)
+      (mux2 progressed timer1 (mux2 fire_to (zero tw) (timer1 +: one tw)))
+  in
+  let cursor2 = mux2 fire_to (zero cw) cursor1 in
+  (* 5. accept the producer's handover (it saw our pre-cycle stop) *)
+  let room = count <: consti ~width:cw depth in
+  let accept = in_valid &: room in
+  let count2 = count1 +: uext accept cw in
+  let nseq' = nseq +: uext accept seq_w in
+  let wslot = add_mod hp count in
+  (* 6. launch the next flit when the data hop is free *)
+  let do_launch = ~:flit_left_v &: (cursor2 <: count2) in
+  let launch_seq = base1 +: uext cursor2 seq_w in
+  let lslot = add_mod hp1 cursor2 in
+  let ram_rd = mux lslot (Array.to_list ram) in
+  let bypass = accept &: (cursor2 ==: count1) in
+  let launch_data = mux2 bypass in_data ram_rd in
+  let launch_wait =
+    mux lc (Array.to_list (Array.map (fun d -> consti ~width:ww d) table))
+  in
+  let lc' =
+    if tlen = 1 then lc
+    else
+      mux2 do_launch
+        (mux2 (lc ==: consti ~width:lw (tlen - 1)) (zero lw) (lc +: one lw))
+        lc
+  in
+  let flit_v' = flit_left_v |: do_launch in
+  let flit_seq' = mux2 do_launch launch_seq flit_seq in
+  let flit_val' = mux2 do_launch launch_data flit_val in
+  let flit_wait' =
+    mux2 do_launch launch_wait
+      (mux2 flit_left_v (flit_wait -: one ww) flit_wait)
+  in
+  let cursor3 = mux2 do_launch (cursor2 +: one cw) cursor2 in
+  (* clock edge *)
+  let latch ?enable w name next =
+    assign w (reg ?enable ~name:(Printf.sprintf "rx_%s_r" name)
+                ~reset:(Bits.zero (width w)) next)
+  in
+  latch count "count" count2;
+  latch cursor "cursor" cursor3;
+  latch timer "timer" timer2;
+  latch lc "lc" lc';
+  latch hp "hp" hp1;
+  latch nseq "nseq" nseq';
+  latch expect "expect" expect';
+  latch out_v "out_v" out1_v;
+  latch out_d "out_d" out1_d;
+  latch flit_v "flit_v" flit_v';
+  latch flit_seq "flit_seq" flit_seq';
+  latch flit_val "flit_val" flit_val';
+  latch flit_wait "flit_wait" flit_wait';
+  latch ack_v "ack_v" rx_ack_v;
+  latch ack_seq "ack_seq" rx_ack_seq;
+  latch ack_nack "ack_nack" rx_ack_nack;
+  Array.iteri
+    (fun i slot ->
+      latch
+        ~enable:(accept &: (wslot ==: consti ~width:hw i))
+        slot
+        (Printf.sprintf "ram_%d" i)
+        in_data)
+    ram;
+  (* Moore face: the output register and "replay buffer full" *)
+  (out_v, out_d, ~:room)
+
+let relay_station_fragment ?(flavour = Protocol.Optimized) ?(table = [| 0 |])
+    kind ~input:{ valid = in_valid; data = in_data } ~stop_in =
   let data_width = width in_data in
   let out_valid, out_data, stop_out =
     match kind with
@@ -53,18 +223,15 @@ let relay_station_fragment ?(flavour = Protocol.Optimized) kind
         let out_data = mux2 v_hold d_hold in_data in
         let stop_out = v_hold |: sreg in
         (out_valid, out_data, stop_out)
-    | Relay_station.Retx _ ->
-        (* The retransmitting station's serdes/CRC datapath has no RTL
-           model yet — it exists at skeleton granularity only. *)
-        invalid_arg
-          "Rtl_gen.relay_station_fragment: retransmitting stations have no \
-           RTL model (skeleton-only)"
+    | Relay_station.Retx { depth } ->
+        retx_fragment ~depth ~table ~in_valid ~in_data ~stop_in
   in
   (* The registers above latch unconditionally; the mux trees encode the
      hold conditions, exactly like the abstract FSM. *)
   ({ valid = out_valid; data = out_data }, stop_out)
 
-let relay_station ?(flavour = Protocol.Optimized) ?name ~data_width kind =
+let relay_station ?(flavour = Protocol.Optimized) ?table ?name ~data_width kind
+    =
   let name =
     Option.value name
       ~default:
@@ -76,7 +243,7 @@ let relay_station ?(flavour = Protocol.Optimized) ?name ~data_width kind =
   let in_data = input "in_data" data_width in
   let stop_in = input "stop_in" 1 in
   let out, stop_out =
-    relay_station_fragment ~flavour kind
+    relay_station_fragment ~flavour ?table kind
       ~input:{ valid = in_valid; data = in_data }
       ~stop_in
   in

@@ -23,16 +23,27 @@ type port = { valid : Hdl.Signal.t; data : Hdl.Signal.t }
 
 val relay_station_fragment :
   ?flavour:Protocol.flavour ->
+  ?table:int array ->
   Relay_station.kind ->
   input:port ->
   stop_in:Hdl.Signal.t ->
   port * Hdl.Signal.t
 (** In-circuit relay station: returns the consumer-side port and the stop
     asserted toward the producer.  [stop_in] may be a yet-undriven wire,
-    which is how larger structures close their backward paths. *)
+    which is how larger structures close their backward paths.
+
+    [table] (default [[|0|]]) is a retransmitting station's per-launch
+    extra-delay schedule, as for {!Relay_station.initial}; ignored by
+    full and half stations.  The retx model is the go-back-N FSM itself:
+    16-bit free-running sequence counters compared through bounded
+    differences, a [depth]-entry replay register file addressed by a
+    rotating head pointer, the internal data/ack hops, and a timeout
+    counter sized by {!Relay_station.timeout_of_table} — the same bound
+    the skeleton and the LID008 lint use. *)
 
 val relay_station :
   ?flavour:Protocol.flavour ->
+  ?table:int array ->
   ?name:string ->
   data_width:int ->
   Relay_station.kind ->

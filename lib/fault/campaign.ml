@@ -93,25 +93,27 @@ let spec_of_fault (f : Model.t) =
     | Model.Forward { edge; seg } -> Lanes.Forward { edge; seg }
     | Model.Backward { edge; boundary } -> Lanes.Backward { edge; boundary }
     | Model.Register { edge; station } -> Lanes.Register { edge; station }
-    | Model.Link _ ->
-        (* unreachable: link faults only exist on retransmitting stations,
-           and dynamic networks never take the lane path *)
-        invalid_arg "Campaign.spec_of_fault: link faults are not lane-batchable"
+    | Model.Link { edge; station } -> Lanes.Link { edge; station }
   in
   let eff =
     (* the boolean shadow of [Model.hooks]: Valid_flip toggles the wire
        unconditionally (XOR); Stop_spurious/Stop_stuck force the stop
        high (OR), Stop_drop forces it low (AND-NOT); Data_corrupt has no
-       boolean dynamics at all, so its lane only watches the wire *)
+       boolean dynamics at all, so its lane only watches the wire;
+       link-plane faults are handed to the station's own FSM per lane,
+       with the same param-to-mask defaulting as [Model.hooks] *)
+    let mask = if f.param = 0 then 1 else f.param in
     match f.kind with
     | Model.Valid_flip -> Lanes.Flip_valid
     | Model.Data_corrupt -> Lanes.Watch
     | Model.Stop_spurious | Model.Stop_stuck -> Lanes.Force_stop
     | Model.Stop_drop -> Lanes.Drop_stop
     | Model.Station_upset -> Lanes.Upset
-    | Model.Flit_corrupt | Model.Flit_corrupt_silent | Model.Flit_drop
-    | Model.Flit_dup ->
-        invalid_arg "Campaign.spec_of_fault: link faults are not lane-batchable"
+    | Model.Flit_corrupt -> Lanes.Link_fault (Lid.Relay_station.Link_corrupt mask)
+    | Model.Flit_corrupt_silent ->
+        Lanes.Link_fault (Lid.Relay_station.Link_corrupt_silent mask)
+    | Model.Flit_drop -> Lanes.Link_fault Lid.Relay_station.Link_drop
+    | Model.Flit_dup -> Lanes.Link_fault Lid.Relay_station.Link_dup
   in
   { Lanes.eff; site; from_cycle = f.cycle; duration = f.duration }
 
@@ -130,16 +132,19 @@ let lane_batches ~lanes faults =
    fault-free replay?  Register upsets rewrite occupancy and must always
    be simulated (in practice their lanes always diverge anyway); a
    payload corruption additionally needs its wire to have stayed void
-   through the window — only then is the corruption a literal no-op. *)
+   through the window — only then is the corruption a literal no-op.
+   Link-plane faults only act on a flit completing its hop: a detectable
+   corruption, drop or duplicate that hits one perturbs the lane's
+   go-back-N signature (or its recovery counter, which the lane engine
+   compares too), so a clean lane means no flit was hit; the silent
+   corruption is the payload case again and needs its untouched flag. *)
 let filterable (f : Model.t) (lr : Lanes.lane_report) =
   (not lr.lr_diverged)
   &&
   match f.kind with
   | Model.Station_upset -> false
-  | Model.Data_corrupt -> not lr.lr_touched
-  | Model.Flit_corrupt | Model.Flit_corrupt_silent | Model.Flit_drop
-  | Model.Flit_dup ->
-      false
+  | Model.Data_corrupt | Model.Flit_corrupt_silent -> not lr.lr_touched
+  | Model.Flit_corrupt | Model.Flit_drop | Model.Flit_dup -> true
   | Model.Valid_flip | Model.Stop_spurious | Model.Stop_drop | Model.Stop_stuck
     ->
       true
@@ -165,9 +170,7 @@ let classify_lane_batch baseline replay config net ~lanes batch =
         batch
 
 let run_lanes ?(lanes = Lanes.max_lanes) ?on_report config net =
-  (* the bit-sliced lane fabric cannot model per-channel latency state or
-     retransmitting stations — fall back to per-fault classification *)
-  if lanes <= 1 || Net.has_dynamics net then run ?on_report config net
+  if lanes <= 1 then run ?on_report config net
   else begin
     let lanes = min lanes Lanes.max_lanes in
     let faults = faults_of_config config net in

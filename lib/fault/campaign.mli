@@ -41,7 +41,13 @@ val run : ?on_report:(Classify.report -> unit) -> config -> Topology.Network.t -
     never diverge are answered from one recorded fault-free replay
     ({!Classify.masked_report}), the rest are re-simulated exactly
     ({!Classify.classify_fast}).  Reports are bit-identical to {!run} in
-    the same order — only the work to produce them changes. *)
+    the same order — only the work to produce them changes.
+
+    Dynamic networks take the same path: the lane engine keeps per-lane
+    go-back-N state for retransmitting stations and per-lane delay
+    counters for gated channels, and link-plane faults (flit
+    corrupt/drop/duplicate) are injected through the station's own FSM
+    per lane. *)
 
 val spec_of_fault : Model.t -> Skeleton.Packed_lanes.spec
 (** The boolean shadow of a fault, as the lane engine injects it. *)

@@ -287,6 +287,7 @@ type replay = {
   rp_keys : string array;  (* post-commit signature key per cycle *)
   rp_progress : bool array;
   rp_streams : (Net.node_id * int list) list;
+  rp_recoveries : int;  (* retx recoveries of the fault-free run *)
 }
 
 let replay baseline =
@@ -304,7 +305,14 @@ let replay baseline =
   (* A fault-free run that trips a monitor or misses the recorded base
      streams is not a usable stand-in — fall back to real simulation. *)
   if Monitor.violations mon <> [] || streams <> baseline.base_streams then None
-  else Some { rp_keys = keys; rp_progress = progress; rp_streams = streams }
+  else
+    Some
+      {
+        rp_keys = keys;
+        rp_progress = progress;
+        rp_streams = streams;
+        rp_recoveries = Packed.recovery_count packed;
+      }
 
 let masked_report baseline rp fault =
   let wd =
@@ -315,4 +323,5 @@ let masked_report baseline rp fault =
       Monitor.Watchdog.note wd ~cycle:c ~signature:key
         ~progress:rp.rp_progress.(c))
     rp.rp_keys;
-  bin baseline fault ~violations:[] ~wd ~recoveries:0 ~streams:rp.rp_streams
+  bin baseline fault ~violations:[] ~wd ~recoveries:rp.rp_recoveries
+    ~streams:rp.rp_streams

@@ -302,7 +302,10 @@ let run ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16) ?(gate = true)
             match first_retx with
             | None -> None
             | Some depth ->
-                let rtt = 3 + Lid.Latency.max_delay profile in
+                let rtt =
+                  Lid.Relay_station.round_trip
+                    ~max_delay:(Lid.Latency.max_delay profile)
+                in
                 if depth >= rtt then None
                 else
                   Some

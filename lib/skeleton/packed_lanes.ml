@@ -1,4 +1,6 @@
 module Net = Topology.Network
+module RS = Lid.Relay_station
+module Token = Lid.Token
 
 (* Lane-parallel boolean campaign engine.
 
@@ -33,7 +35,22 @@ module Net = Topology.Network
    instead watches whether the target wire was ever valid during the
    fault window ([touched]) — an untouched corruption is a literal
    no-op.  Register upsets always change occupancy, so they are always
-   reported divergent. *)
+   reported divergent.
+
+   Channel dynamics do not fit a word: a retransmitting station's
+   go-back-N state (sequence numbers, replay buffer, hop timers) and an
+   entrance gate's delay counters are integers, not bits.  Those few
+   stations keep one boxed state PER LANE ([xst]) stepped through
+   [Relay_station.step] itself, while every boolean wire around them
+   stays word-parallel; the station's Moore face (output valid, stop
+   upstream) is re-packed into lane words each cycle.  Divergence for
+   these sites compares each lane's [Relay_station.signature_code] AND
+   its recovery counter against lane 0 — the recovery count is
+   classifier evidence (the [Masked_by_retx] and [Livelock] bins) but is
+   deliberately excluded from the signature, so a lane whose only trace
+   of a fault is an extra recovery would otherwise pass as clean.
+   Link-plane faults (corrupt/drop/duplicate in flight) are injected per
+   lane through the station's own [link] parameter. *)
 
 (* One lane per bit of a native int, minus the sign bit and minus one
    more so [(1 lsl lanes) - 1] never overflows: 62 lanes on 64-bit. *)
@@ -43,6 +60,7 @@ type site =
   | Forward of { edge : Net.edge_id; seg : int }
   | Backward of { edge : Net.edge_id; boundary : int }
   | Register of { edge : Net.edge_id; station : int }
+  | Link of { edge : Net.edge_id; station : int }
 
 type effect =
   | Flip_valid  (** XOR the forward valid wire at the site *)
@@ -52,6 +70,8 @@ type effect =
   | Watch
       (** no dynamics; record whether the wire was valid while active
           (the boolean shadow of a payload corruption) *)
+  | Link_fault of RS.link_fault
+      (** damage flits in flight inside a retransmitting station *)
 
 type spec = { eff : effect; site : site; from_cycle : int; duration : int }
 
@@ -66,6 +86,18 @@ type lane_report = {
 let k_shell = 0
 let k_source = 1
 let k_sink = 2
+
+(* One channel entrance gate, all lanes: validity is a lane word, the
+   delay counters are per lane (mirrors [Packed]'s [pgate], minus the
+   payload — the engine keeps none). *)
+type lgate = {
+  lg_table : int array;
+  mutable lg_v : int; (* per-lane gate-occupied word *)
+  lg_timer : int array; (* per lane: residual delay *)
+  lg_count : int array; (* per lane: schedule position *)
+  mutable lg_out : int; (* scratch: head word this cycle *)
+  mutable lg_wait : int; (* scratch: timer > 0 word this cycle *)
+}
 
 type t = {
   optimized : bool;
@@ -86,6 +118,7 @@ type t = {
   e_dst_node : int array;
   st_off : int array;
   st_full : bool array;
+  st_retx : bool array;
   seg_off : int array;
   order : int array; (* non-sink nodes, stop/fire dependencies first *)
   cyclic : string option; (* a station-less stop loop found at compile *)
@@ -101,6 +134,13 @@ type t = {
   stop_or : int array; (* boundary space (same layout as segments) *)
   stop_andn : int array;
   upset : int array; (* station space *)
+  (* --- channel dynamics: boxed per-lane state, word-packed faces --- *)
+  has_dyn : bool;
+  xst : RS.state array array; (* retx station -> lane -> state; [||] else *)
+  x_link : RS.link_fault array array; (* retx station -> lane -> fault *)
+  xout : int array; (* station -> Moore output-valid lanes (scratch) *)
+  xstop : int array; (* station -> stop-upstream lanes (scratch) *)
+  lg : lgate option array; (* edge space *)
   (* --- divergence bookkeeping --- *)
   mutable diff : int; (* lanes that ever diverged *)
   mutable touched : int; (* lanes whose watched wire was valid *)
@@ -129,11 +169,18 @@ let validate_spec t i (s : spec) =
   | Register { edge; station } ->
       check_edge edge;
       if station < 0 || station >= t.st_off.(edge + 1) - t.st_off.(edge) then
-        bad "names no such station");
+        bad "names no such station"
+  | Link { edge; station } ->
+      check_edge edge;
+      if station < 0 || station >= t.st_off.(edge + 1) - t.st_off.(edge) then
+        bad "names no such station";
+      if not t.st_retx.(t.st_off.(edge) + station) then
+        bad "targets the link of a non-retransmitting station");
   match (s.eff, s.site) with
   | (Flip_valid | Watch), Forward _
   | (Force_stop | Drop_stop), Backward _
-  | Upset, Register _ ->
+  | Upset, Register _
+  | Link_fault _, Link _ ->
       ()
   | _ -> bad "pairs an effect with the wrong site plane"
 
@@ -141,10 +188,6 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
   if lanes < 2 || lanes > max_lanes then
     invalid_arg
       (Printf.sprintf "Packed_lanes.create: lanes must be in [2, %d]" max_lanes);
-  if Net.has_dynamics net then
-    invalid_arg
-      "Packed_lanes.create: bit-sliced lanes cannot model variable-latency \
-       channels or retransmitting stations";
   let specs = Array.of_list specs in
   if Array.length specs > lanes - 1 then
     invalid_arg "Packed_lanes.create: more specs than injection lanes";
@@ -179,13 +222,62 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
     edges;
   let n_st = st_off.(n_edges) and n_seg = seg_off.(n_edges) in
   let st_full = Array.make n_st false in
+  let st_retx = Array.make n_st false in
   Array.iteri
     (fun i (e : Net.edge) ->
       List.iteri
         (fun j k ->
-          if k = Lid.Relay_station.Full then st_full.(st_off.(i) + j) <- true)
+          match k with
+          | RS.Full -> st_full.(st_off.(i) + j) <- true
+          | RS.Retx _ -> st_retx.(st_off.(i) + j) <- true
+          | RS.Half -> ())
         e.stations)
     edges;
+  (* Per-lane boxed states for retransmitting stations; the channel's
+     latency profile drives the FIRST retx station of its chain (the
+     same elaboration as [Engine] and [Packed]).  [Relay_station.state]
+     is immutable, so all lanes share the one initial value. *)
+  let xst = Array.make n_st [||] in
+  let x_link = Array.make n_st [||] in
+  Array.iteri
+    (fun i (e : Net.edge) ->
+      let table = Net.delay_table net i in
+      let used = ref false in
+      List.iteri
+        (fun j k ->
+          match k with
+          | RS.Retx _ ->
+              let st =
+                if not !used then begin
+                  used := true;
+                  match table with
+                  | Some table -> RS.initial ~table k
+                  | None -> RS.initial k
+                end
+                else RS.initial k
+              in
+              xst.(st_off.(i) + j) <- Array.make lanes st;
+              x_link.(st_off.(i) + j) <- Array.make lanes RS.Link_ok
+          | _ -> ())
+        e.stations)
+    edges;
+  let lg =
+    Array.init n_edges (fun e ->
+        if Net.edge_is_gated net e then
+          match Net.delay_table net e with
+          | Some lg_table ->
+              Some
+                {
+                  lg_table;
+                  lg_v = 0;
+                  lg_timer = Array.make lanes 0;
+                  lg_count = Array.make lanes 0;
+                  lg_out = 0;
+                  lg_wait = 0;
+                }
+          | None -> None
+        else None)
+  in
   let in_last_seg = Array.make in_off.(n_nodes) 0 in
   let out_edge = Array.make out_off.(n_nodes) 0 in
   for i = 0 to n_nodes - 1 do
@@ -253,6 +345,7 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
       e_dst_node = Array.map (fun (e : Net.edge) -> e.dst.node) edges;
       st_off;
       st_full;
+      st_retx;
       seg_off;
       order = Array.of_list (List.rev !order_rev);
       cyclic = !cyclic;
@@ -266,6 +359,12 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
       stop_or = Array.make n_seg 0;
       stop_andn = Array.make n_seg 0;
       upset = Array.make n_st 0;
+      has_dyn = Net.has_dynamics net;
+      xst;
+      x_link;
+      xout = Array.make n_st 0;
+      xstop = Array.make n_st 0;
+      lg;
       diff = 0;
       touched = 0;
       hist = [||];
@@ -328,26 +427,64 @@ let step t =
       | Upset, Register { edge; station } ->
           let j = t.st_off.(edge) + station in
           t.upset.(j) <- t.upset.(j) lor bit
+      | Link_fault lf, Link { edge; station } ->
+          t.x_link.(t.st_off.(edge) + station).(i + 1) <- lf
       | Watch, _ -> ()
       | _ -> assert false (* ruled out by [validate_spec] *)
     end
   done;
-  (* 1. forward valid wires, with flip masks applied in flight (a half
-     station's pass-through must see the already-faulted upstream seg) *)
   let sv = t.sv
   and st_v0 = t.st_v0
   and st_v1 = t.st_v1
   and seg_off = t.seg_off
   and st_off = t.st_off
   and fwd_xor = t.fwd_xor in
+  (* 0b. channel dynamics: re-pack each retransmitting station's Moore
+     face and each gate's metering words from pre-step per-lane state *)
+  if t.has_dyn then begin
+    for j = 0 to Array.length t.st_retx - 1 do
+      if t.st_retx.(j) then begin
+        let sts = t.xst.(j) in
+        let out = ref 0 and stop = ref 0 in
+        for l = 0 to t.lanes - 1 do
+          let st = sts.(l) in
+          if Token.is_valid (RS.present st ~input:Token.void) then
+            out := !out lor (1 lsl l);
+          if RS.stop_upstream st then stop := !stop lor (1 lsl l)
+        done;
+        t.xout.(j) <- !out;
+        t.xstop.(j) <- !stop
+      end
+    done;
+    for e = 0 to t.n_edges - 1 do
+      match t.lg.(e) with
+      | None -> ()
+      | Some g ->
+          let wait = ref 0 in
+          for l = 0 to t.lanes - 1 do
+            if g.lg_timer.(l) > 0 then wait := !wait lor (1 lsl l)
+          done;
+          g.lg_wait <- !wait;
+          g.lg_out <- g.lg_v land lnot !wait land ones
+    done
+  end;
+  (* 1. forward valid wires, with flip masks applied in flight (a half
+     station's pass-through must see the already-faulted upstream seg);
+     a gated channel's first segment carries the gate's metered output *)
   for e = 0 to t.n_edges - 1 do
     let k0 = seg_off.(e) in
-    sv.(k0) <- t.ov.(t.e_src_slot.(e)) lxor fwd_xor.(k0);
+    let head =
+      match t.lg.(e) with
+      | Some g -> g.lg_out
+      | None -> t.ov.(t.e_src_slot.(e))
+    in
+    sv.(k0) <- head lxor fwd_xor.(k0);
     let s0 = st_off.(e) in
     for j = s0 to st_off.(e + 1) - 1 do
       let k = k0 + (j - s0) + 1 in
       let base =
-        if t.st_full.(j) then st_v0.(j)
+        if t.st_retx.(j) then t.xout.(j)
+        else if t.st_full.(j) then st_v0.(j)
         else st_v0.(j) lor (sv.(k - 1) land lnot (st_v0.(j) lor st_v1.(j)))
       in
       sv.(k) <- (base lxor fwd_xor.(k)) land ones
@@ -377,17 +514,26 @@ let step t =
       let nf = lnot t.fire.(dn) land ones in
       if t.optimized then nf land sv.(seg_off.(e + 1) - 1) else nf
   in
+  (* the stop facing whatever feeds the relay chain (mirrors [Packed]'s
+     [chain_head_stop]) *)
+  let chain_head_word e =
+    let s0 = st_off.(e) in
+    if st_off.(e + 1) > s0 then
+      if t.st_retx.(s0) then t.xstop.(s0)
+      else if t.st_full.(s0) then st_v1.(s0)
+      else st_v0.(s0) lor st_v1.(s0)
+    else dst_stop e
+  in
   let os = t.os in
   for idx = 0 to Array.length t.order - 1 do
     let node = t.order.(idx) in
     let gated = ref 0 in
     for p = t.out_off.(node) to t.out_off.(node + 1) - 1 do
       let e = t.out_edge.(p) in
-      let s0 = st_off.(e) in
       let raw =
-        if st_off.(e + 1) > s0 then
-          if t.st_full.(s0) then st_v1.(s0) else st_v0.(s0) lor st_v1.(s0)
-        else dst_stop e
+        match t.lg.(e) with
+        | Some g -> g.lg_v land (g.lg_wait lor chain_head_word e)
+        | None -> chain_head_word e
       in
       let b = seg_off.(e) in
       let stop = (raw lor t.stop_or.(b)) land lnot t.stop_andn.(b) land ones in
@@ -418,8 +564,31 @@ let step t =
   done;
   (* 4. station clock edge, consumer end first so each station's
      pre-step word is read once (its own input and the upstream stop) *)
+  let flavour =
+    if t.optimized then Lid.Protocol.Optimized else Lid.Protocol.Original
+  in
   for e = 0 to t.n_edges - 1 do
     let s0 = st_off.(e) and s1 = st_off.(e + 1) in
+    (* the entrance gate commits first: every read is pre-step state
+       (mirrors [Packed.commit_gate], word-parallel where possible) *)
+    (match t.lg.(e) with
+    | None -> ()
+    | Some g ->
+        let was = g.lg_v in
+        let departs = was land lnot g.lg_wait land lnot (chain_head_word e) in
+        let in_v = t.ov.(t.e_src_slot.(e)) in
+        let accept = in_v land (lnot was lor departs) land ones in
+        g.lg_v <- ((was land lnot departs) lor accept) land ones;
+        if was lor accept <> 0 then
+          for l = 0 to t.lanes - 1 do
+            let bit = 1 lsl l in
+            if accept land bit <> 0 then begin
+              g.lg_timer.(l) <- g.lg_table.(g.lg_count.(l));
+              g.lg_count.(l) <- (g.lg_count.(l) + 1) mod Array.length g.lg_table
+            end
+            else if was land bit <> 0 && g.lg_timer.(l) > 0 then
+              g.lg_timer.(l) <- g.lg_timer.(l) - 1
+          done);
     if s1 > s0 then begin
       let k0 = seg_off.(e) in
       let m = s1 - s0 in
@@ -436,7 +605,30 @@ let step t =
         let in_v = sv.(k) in
         let stop = !stop_in in
         let um = t.upset.(j) in
-        if t.st_full.(j) then begin
+        if t.st_retx.(j) then begin
+          (* go-back-N state does not fit a word: step each lane's boxed
+             state through the station's own FSM, with that lane's link
+             fault; a flit completing its hop under an armed link fault
+             marks the lane touched (the payload-corruption shadow) *)
+          let sts = t.xst.(j) in
+          let links = t.x_link.(j) in
+          for l = 0 to t.lanes - 1 do
+            let bit = 1 lsl l in
+            let link = links.(l) in
+            let st = sts.(l) in
+            if link <> RS.Link_ok && RS.flit_arriving st then
+              t.touched <- t.touched lor bit;
+            let st' =
+              RS.step ~flavour ~link st
+                ~input:(if in_v land bit <> 0 then Token.valid 0 else Token.void)
+                ~stop_in:(stop land bit <> 0)
+            in
+            sts.(l) <- (if um land bit <> 0 then RS.upset ~payload:0 st' else st')
+          done;
+          stop_in :=
+            ((t.xstop.(j) lor t.stop_or.(k)) land lnot t.stop_andn.(k)) land ones
+        end
+        else if t.st_full.(j) then begin
           (* word-parallel [Relay_station.step], Full *)
           let take = in_v land lnot v1 in
           let consumed = v0 land lnot stop in
@@ -485,6 +677,33 @@ let step t =
     cdiff := !cdiff lor against_lane0 t st_v0.(j);
     cdiff := !cdiff lor against_lane0 t st_v1.(j)
   done;
+  (* dynamic state: each lane's protocol signature AND recovery counter
+     against lane 0 — recoveries are classifier evidence (Masked_by_retx,
+     Livelock) but excluded from the signature, so a fault whose only
+     trace is an extra NACK recovery must still flag its lane here *)
+  if t.has_dyn then begin
+    for j = 0 to Array.length t.st_retx - 1 do
+      if t.st_retx.(j) then begin
+        let sts = t.xst.(j) in
+        let c0 = RS.signature_code sts.(0) and r0 = RS.recoveries sts.(0) in
+        for l = 1 to t.lanes - 1 do
+          if RS.signature_code sts.(l) <> c0 || RS.recoveries sts.(l) <> r0
+          then cdiff := !cdiff lor (1 lsl l)
+        done
+      end
+    done;
+    for e = 0 to t.n_edges - 1 do
+      match t.lg.(e) with
+      | None -> ()
+      | Some g ->
+          cdiff := !cdiff lor against_lane0 t g.lg_v;
+          let t0 = g.lg_timer.(0) and c0 = g.lg_count.(0) in
+          for l = 1 to t.lanes - 1 do
+            if g.lg_timer.(l) <> t0 || g.lg_count.(l) <> c0 then
+              cdiff := !cdiff lor (1 lsl l)
+          done
+    done
+  end;
   (* 7. disarm the masks and log the cycle *)
   if !armed then
     for i = 0 to t.n_specs - 1 do
@@ -499,6 +718,8 @@ let step t =
             t.stop_andn.(t.seg_off.(edge) + boundary) <- 0
         | Upset, Register { edge; station } ->
             t.upset.(t.st_off.(edge) + station) <- 0
+        | Link_fault _, Link { edge; station } ->
+            t.x_link.(t.st_off.(edge) + station).(i + 1) <- RS.Link_ok
         | Watch, _ -> ()
         | _ -> assert false
       end

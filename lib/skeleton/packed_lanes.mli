@@ -27,6 +27,21 @@
     declare them normally ({!constructor-Upset}) and treat their lanes as
     divergent regardless.
 
+    Channel dynamics — retransmitting stations and entrance-gated
+    variable-latency channels — do not fit one bit per lane: their state
+    is integers (sequence numbers, replay buffers, delay counters).  The
+    engine keeps one boxed {!Lid.Relay_station.state} per lane for each
+    retx station, stepped through the station's own FSM, and per-lane
+    delay counters for each gate, while every boolean wire around them
+    stays word-parallel.  Their divergence plane compares each lane's
+    [Relay_station.signature_code] {e and} its recovery counter against
+    lane 0 (recoveries are classifier evidence but excluded from the
+    signature).  Link-plane faults — flits corrupted, dropped or
+    duplicated in flight — are injected per lane as
+    {!constructor-Link_fault} on a {!constructor-Link} site; a flit
+    completing its hop while the fault is armed marks the lane
+    [lr_touched], which is the filter for the silent-corruption kind.
+
     This module is policy free: it takes neutral wire-site specs, not
     [Fault.Model] values (the skeleton library sits below the fault
     library).  [Fault.Campaign] owns the mapping and the eligibility
@@ -47,6 +62,8 @@ type site =
   | Forward of { edge : Topology.Network.edge_id; seg : int }
   | Backward of { edge : Topology.Network.edge_id; boundary : int }
   | Register of { edge : Topology.Network.edge_id; station : int }
+  | Link of { edge : Topology.Network.edge_id; station : int }
+      (** the in-flight hop inside a retransmitting station *)
 
 type effect =
   | Flip_valid  (** XOR the forward valid wire at the site *)
@@ -56,6 +73,9 @@ type effect =
   | Watch
       (** no dynamics; record whether the wire was valid while the fault
           was active (the boolean shadow of a payload corruption) *)
+  | Link_fault of Lid.Relay_station.link_fault
+      (** damage flits in flight; pairs only with {!constructor-Link},
+          whose station must be retransmitting *)
 
 type spec = {
   eff : effect;

@@ -170,6 +170,25 @@ let of_network ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16)
         | Net.Sink _ -> Hashtbl.find stall_inputs e.dst.node
         | Net.Shell _ | Net.Source _ -> in_stops.(e.dst.node).(e.dst.port)
       in
+      if Net.edge_is_gated net e.id then
+        invalid_arg
+          (Printf.sprintf
+             "Rtl_net: channel e%d has a latency profile but no \
+              retransmitting station — the entrance gate is a simulation \
+              artifact with no hardware realization; add a retx station to \
+              the channel or drop the profile"
+             e.id);
+      (* The channel's delay schedule drives the internal hop of the first
+         retransmitting station, exactly as in the skeleton engines. *)
+      let table = Net.delay_table net e.id in
+      let first_retx =
+        let rec find j = function
+          | [] -> -1
+          | Lid.Relay_station.Retx _ :: _ -> j
+          | _ :: rest -> find (j + 1) rest
+        in
+        find 0 e.stations
+      in
       let m = List.length e.stations in
       let stop_wires =
         Array.init m (fun j -> wire ~name:(Printf.sprintf "e%d_rs%d_stop" e.id j) 1)
@@ -177,9 +196,10 @@ let of_network ?(flavour = Lid.Protocol.Optimized) ?(data_width = 16)
       let rec build j port ups =
         if j = m then (port, List.rev ups)
         else begin
+          let table = if j = first_retx then table else None in
           let p, up =
-            R.relay_station_fragment ~flavour (List.nth e.stations j) ~input:port
-              ~stop_in:stop_wires.(j)
+            R.relay_station_fragment ~flavour ?table (List.nth e.stations j)
+              ~input:port ~stop_in:stop_wires.(j)
           in
           build (j + 1) p (up :: ups)
         end

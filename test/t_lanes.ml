@@ -184,6 +184,260 @@ let test_driver_lanes_and_jobs () =
         (serial.C.reports = par.C.reports))
     [ (1, 1); (1, PL.max_lanes); (2, 8); (2, PL.max_lanes) ]
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic networks on the lane path: retransmitting stations carry one
+   boxed go-back-N state per lane, gated variable-latency channels one
+   delay counter per lane, and the link-fault plane is injected through
+   the station's own FSM.  The oracle is unchanged: the serial campaign
+   over the instrumented engine. *)
+
+let retx_jitter_net () =
+  Topology.Spec.parse_exn
+    "source src\n\
+     shell  A identity\n\
+     sink   out\n\
+     src.0 -> A.0 latency=jitter:0:2:5 : retx:6\n\
+     A.0 -> out.0 : full\n"
+
+(* two retx stations on one channel (only the first takes the profile),
+   a gated channel with no retx at all, and a stalling sink driving the
+   refuse-NACK path *)
+let dyn_mixed_net () =
+  Topology.Spec.parse_exn
+    "source src\n\
+     shell  A identity\n\
+     shell  B identity\n\
+     sink   out pattern=%0010011\n\
+     src.0 -> A.0 latency=table:0,2,1 : retx:3 full\n\
+     A.0 -> B.0 latency=fixed:2 : full\n\
+     B.0 -> out.0 : retx:2\n"
+
+let test_run_lanes_matches_serial_dynamic () =
+  List.iter
+    (fun (label, net, seed) ->
+      let config =
+        {
+          (config ~seed ~cycles:256 ~max_sites:2) with
+          C.injections_per_site = 8;
+        }
+      in
+      let serial = C.run config net in
+      Alcotest.(check bool)
+        (label ^ ": campaign is non-trivial") true
+        (List.length serial.C.reports >= 30);
+      List.iter
+        (fun lanes ->
+          check_same_result
+            (Printf.sprintf "%s lanes %d" label lanes)
+            serial
+            (C.run_lanes ~lanes config net))
+        [ 2; 7; PL.max_lanes ])
+    [
+      ("retx/jitter", retx_jitter_net (), 5);
+      ("mixed dynamics", dyn_mixed_net (), 9);
+    ]
+
+let test_dynamic_bins_reached () =
+  (* the recovery-aware bins flow through the lane path: injections that
+     the go-back-N machinery repairs must come back masked-by-retx, with
+     identical evidence to the serial run *)
+  let net = retx_jitter_net () in
+  let config =
+    {
+      (config ~seed:5 ~cycles:256 ~max_sites:2) with
+      C.kinds =
+        [
+          Fault.Model.Flit_corrupt;
+          Fault.Model.Flit_drop;
+          Fault.Model.Flit_dup;
+          Fault.Model.Flit_corrupt_silent;
+        ];
+      injections_per_site = 16;
+    }
+  in
+  let serial = C.run config net in
+  let lanes = C.run_lanes ~lanes:PL.max_lanes config net in
+  check_same_result "flit campaign" serial lanes;
+  let count o =
+    List.length
+      (List.filter
+         (fun (r : Fault.Classify.report) -> r.Fault.Classify.outcome = o)
+         lanes.C.reports)
+  in
+  Alcotest.(check bool) "some masked-by-retx" true
+    (count Fault.Classify.Masked_by_retx > 0);
+  Alcotest.(check bool) "some plain masked" true
+    (count Fault.Classify.Masked > 0)
+
+let test_flit_sweep_bit_identity () =
+  (* every injection cycle in a dense window, one lane each: all flit /
+     arrival / refuse alignments — including the corruption that lands on
+     a refuse cycle, whose only fault-free difference is the recovery
+     counter — must classify bit-identically to the serial engine *)
+  let net = dyn_mixed_net () in
+  let config = config ~seed:1 ~cycles:160 ~max_sites:0 in
+  let baseline =
+    Fault.Classify.baseline ~cycles:config.C.cycles ~flavour:config.C.flavour
+      net
+  in
+  let replay = Fault.Classify.replay baseline in
+  Alcotest.(check bool) "replay usable" true (replay <> None);
+  let sites = Fault.Model.sites net Fault.Model.Flit_corrupt in
+  Alcotest.(check int) "two link sites" 2 (List.length sites);
+  List.iter
+    (fun kind ->
+      let faults =
+        List.concat_map
+          (fun site ->
+            List.init 40 (fun i ->
+                {
+                  Fault.Model.kind;
+                  site;
+                  cycle = 4 + (3 * i);
+                  duration = 2;
+                  param = 0x21;
+                }))
+          sites
+      in
+      let serial = List.map (Fault.Classify.classify_fast baseline) faults in
+      let lanes =
+        List.concat_map
+          (C.classify_lane_batch baseline replay config net ~lanes:PL.max_lanes)
+          (C.lane_batches ~lanes:PL.max_lanes faults)
+      in
+      Alcotest.(check bool)
+        (Fault.Model.kind_to_string kind ^ " sweep bit-identical")
+        true (serial = lanes))
+    [
+      Fault.Model.Flit_corrupt;
+      Fault.Model.Flit_drop;
+      Fault.Model.Flit_dup;
+      Fault.Model.Flit_corrupt_silent;
+    ]
+
+let prop_dynamic_run_lanes_matches_serial =
+  QCheck.Test.make ~name:"run_lanes = run on random dynamic nets" ~count:8
+    QCheck.small_int (fun seed ->
+      let profile =
+        match seed mod 3 with
+        | 0 -> Printf.sprintf "latency=jitter:0:2:%d " (3 + seed)
+        | 1 -> "latency=table:0,2,1 "
+        | _ -> Printf.sprintf "latency=jitter:1:3:%d " (7 + seed)
+      in
+      let depth = 1 + (seed mod 5) in
+      let sink = if seed mod 2 = 0 then "" else " pattern=%0010011" in
+      let net =
+        Topology.Spec.parse_exn
+          (Printf.sprintf
+             "source src\n\
+              shell  A identity\n\
+              sink   out%s\n\
+              src.0 -> A.0 %s: retx:%d\n\
+              A.0 -> out.0 : full\n"
+             sink profile depth)
+      in
+      let config =
+        {
+          (config ~seed ~cycles:128 ~max_sites:1) with
+          C.injections_per_site = 4;
+        }
+      in
+      let serial = C.run config net in
+      List.for_all
+        (fun lanes -> serial.C.reports = (C.run_lanes ~lanes config net).C.reports)
+        [ 2; 7; PL.max_lanes ])
+
+let test_driver_dynamic_lanes_and_jobs () =
+  (* the parallel driver no longer falls off the lane path for dynamic
+     nets; [on_lanes] reports the width actually used *)
+  let net = retx_jitter_net () in
+  let config =
+    { (config ~seed:7 ~cycles:192 ~max_sites:2) with C.injections_per_site = 4 }
+  in
+  let serial = C.run config net in
+  List.iter
+    (fun (jobs, lanes, expect) ->
+      let used = ref 0 and why = ref None in
+      let par =
+        Campaign.Fault_driver.run ~jobs ~lanes
+          ~on_lanes:(fun n reason ->
+            used := n;
+            why := reason)
+          config net
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dynamic driver jobs=%d lanes=%d bit-identical" jobs
+           lanes)
+        true
+        (serial.C.reports = par.C.reports);
+      Alcotest.(check int)
+        (Printf.sprintf "lanes used (asked %d)" lanes)
+        expect !used;
+      Alcotest.(check bool) "no downgrade reason" true (!why = None))
+    [ (1, 1, 1); (1, 8, 8); (2, 1000, PL.max_lanes); (2, PL.max_lanes, PL.max_lanes) ]
+
+let test_ring_dynamics_through_lanes () =
+  (* a closed loop through a retransmitting station over a jittery
+     channel: upsets conjure/vanish ring tokens, so the severe bins
+     (loss, duplication, corruption) all appear — and the lane path must
+     reproduce each report exactly, recovery evidence included.
+     (A true livelock — deadlock with recoveries — is unreachable for
+     single transient faults: refuse-NACKs do not count as recoveries
+     and link faults are always repaired once the window closes; the
+     lane path's agreement on the Livelock bin is pinned by the same
+     full-report equality wherever the classifier produces it.) *)
+  let net = G.ring ~n_shells:4 () in
+  let net =
+    Topology.Network.with_stations net 0 [ Lid.Relay_station.Retx { depth = 2 } ]
+  in
+  let net =
+    Topology.Network.with_latency net 0
+      (Some (Lid.Latency.Jitter { base = 0; bound = 2; seed = 5 }))
+  in
+  let config =
+    {
+      (config ~seed:1 ~cycles:256 ~max_sites:0) with
+      C.kinds = [ Fault.Model.Station_upset; Fault.Model.Valid_flip ];
+      injections_per_site = 8;
+    }
+  in
+  let serial = C.run config net in
+  let severe =
+    List.exists
+      (fun (r : Fault.Classify.report) ->
+        Fault.Classify.rank r.Fault.Classify.outcome
+        >= Fault.Classify.rank Fault.Classify.Token_loss)
+      serial.C.reports
+  in
+  Alcotest.(check bool) "ring campaign reaches severe bins" true severe;
+  check_same_result "retx ring" serial
+    (C.run_lanes ~lanes:PL.max_lanes config net)
+
+let test_link_spec_validation () =
+  let net = retx_jitter_net () in
+  let spec eff site = { PL.eff; site; from_cycle = 4; duration = 1 } in
+  (* edge 0 station 0 is the retx station; edge 1 station 0 is full *)
+  ignore
+    (PL.create ~lanes:4 net
+       [ spec (PL.Link_fault Lid.Relay_station.Link_drop)
+           (PL.Link { edge = 0; station = 0 }) ]);
+  Alcotest.check_raises "link fault on a non-retx station"
+    (Invalid_argument
+       "Packed_lanes: spec 0 targets the link of a non-retransmitting station")
+    (fun () ->
+      ignore
+        (PL.create ~lanes:4 net
+           [ spec (PL.Link_fault Lid.Relay_station.Link_drop)
+               (PL.Link { edge = 1; station = 0 }) ]));
+  Alcotest.check_raises "link effect on wrong plane"
+    (Invalid_argument
+       "Packed_lanes: spec 0 pairs an effect with the wrong site plane")
+    (fun () ->
+      ignore
+        (PL.create ~lanes:4 net
+           [ spec (PL.Link_fault Lid.Relay_station.Link_drop)
+               (PL.Forward { edge = 0; seg = 0 }) ]))
+
 let suite =
   [
     Alcotest.test_case "run_lanes = run on fig1, several widths" `Quick
@@ -198,4 +452,16 @@ let suite =
     Alcotest.test_case "spec validation" `Quick test_spec_validation;
     Alcotest.test_case "driver: lanes x jobs = serial" `Quick
       test_driver_lanes_and_jobs;
+    Alcotest.test_case "run_lanes = run on dynamic nets" `Quick
+      test_run_lanes_matches_serial_dynamic;
+    Alcotest.test_case "dynamic bins through the lane path" `Quick
+      test_dynamic_bins_reached;
+    Alcotest.test_case "flit sweep bit-identity (all alignments)" `Quick
+      test_flit_sweep_bit_identity;
+    QCheck_alcotest.to_alcotest ~long:false prop_dynamic_run_lanes_matches_serial;
+    Alcotest.test_case "driver: dynamic lanes x jobs = serial" `Quick
+      test_driver_dynamic_lanes_and_jobs;
+    Alcotest.test_case "retx ring through the lane path" `Quick
+      test_ring_dynamics_through_lanes;
+    Alcotest.test_case "link spec validation" `Quick test_link_spec_validation;
   ]

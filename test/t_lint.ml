@@ -286,6 +286,37 @@ let test_retx_buffer_undersized () =
   Alcotest.(check int) "no LID008 once deep enough" 0
     (List.length (with_code (C.run ~gate:false deep) D.LID008))
 
+let test_retx_buffer_exact_boundary () =
+  (* LID008 draws its bound from the same constant the RTL replay sizing
+     uses — [Relay_station.round_trip].  Pin the boundary exactly: a
+     buffer of precisely the round trip is clean, one flit shallower is
+     diagnosed.  Computed from the constant, not hard-coded, so a drift
+     in either consumer breaks this test. *)
+  let max_delay = 3 in
+  let rtt = Lid.Relay_station.round_trip ~max_delay in
+  let net_with_depth depth =
+    Topology.Spec.parse_exn
+      (Printf.sprintf
+         "source src\n\
+          shell  A identity\n\
+          sink   out\n\
+          src.0 -> A.0 latency=jitter:0:%d:9 : retx:%d\n\
+          A.0 -> out.0 : full\n"
+         max_delay depth)
+  in
+  Alcotest.(check int) "depth = round trip: clean" 0
+    (List.length (with_code (C.run ~gate:false (net_with_depth rtt)) D.LID008));
+  match with_code (C.run ~gate:false (net_with_depth (rtt - 1))) D.LID008 with
+  | [ d ] -> (
+      match d.params with
+      | D.P_retx { depth; rtt = reported } ->
+          Alcotest.(check int) "reported depth" (rtt - 1) depth;
+          Alcotest.(check int) "reported rtt" rtt reported
+      | _ -> Alcotest.fail "expected retx params")
+  | ds ->
+      Alcotest.failf "depth = round trip - 1: expected one LID008, got %d"
+        (List.length ds)
+
 (* --- qcheck: the Equalize contract ---------------------------------- *)
 
 let prop_no_imbalance_after_optimize =
@@ -413,6 +444,8 @@ let suite =
       test_half_station_loop;
     Alcotest.test_case "undersized replay buffer: LID008" `Quick
       test_retx_buffer_undersized;
+    Alcotest.test_case "LID008 boundary = Relay_station.round_trip exactly"
+      `Quick test_retx_buffer_exact_boundary;
     QCheck_alcotest.to_alcotest prop_no_imbalance_after_optimize;
     Alcotest.test_case "predicted == measured (cross-multiplied)" `Quick
       test_predicted_equals_measured;

@@ -6,11 +6,13 @@ module Token = Lid.Token
 
 let width = 8
 
-let lockstep_rs kind flavour seed cycles =
-  let circ = Lid.Rtl_gen.relay_station ~flavour ~data_width:width kind in
+let lockstep_rs ?(table = [| 0 |]) kind flavour seed cycles =
+  let circ =
+    Lid.Rtl_gen.relay_station ~flavour ~table ~data_width:width kind
+  in
   let sim = Sim.Cycle_sim.create circ in
   let rng = Random.State.make [| seed; 13 |] in
-  let st = ref (RS.initial kind) in
+  let st = ref (RS.initial ~table kind) in
   let pres = ref Token.void in
   let seq = ref 0 in
   let ok = ref true in
@@ -49,6 +51,21 @@ let prop_rs kind flavour =
          (Lid.Protocol.to_string flavour))
     ~count:40 QCheck.small_int
     (fun seed -> lockstep_rs kind flavour seed 300)
+
+(* The retransmitting station's RTL: sequence counters, replay register
+   file, timeout — against the abstract go-back-N FSM, over the delay
+   schedules the latency profiles actually compile to.  Random stop_in
+   exercises the refuse-NACK/rewind and stale-duplicate paths. *)
+let retx_tables = [| [| 0 |]; [| 2 |]; [| 0; 2; 1 |]; [| 3; 0 |] |]
+
+let prop_retx =
+  QCheck.Test.make ~name:"RTL retx station = abstract go-back-N FSM"
+    ~count:40
+    QCheck.(pair small_int (int_range 0 (Array.length retx_tables - 1)))
+    (fun (seed, tsel) ->
+      let table = retx_tables.(tsel) in
+      let depth = 1 + (seed mod 7) in
+      lockstep_rs ~table (RS.Retx { depth }) Lid.Protocol.Optimized seed 400)
 
 (* identity-shell RTL against the abstract shell *)
 let lockstep_shell flavour seed cycles =
@@ -171,4 +188,5 @@ let suite =
   @ List.concat_map
       (fun kind -> List.map (fun fl -> QCheck_alcotest.to_alcotest (prop_rs kind fl)) Lid.Protocol.all)
       [ RS.Full; RS.Half ]
+  @ [ QCheck_alcotest.to_alcotest prop_retx ]
   @ List.map (fun fl -> QCheck_alcotest.to_alcotest (prop_shell fl)) Lid.Protocol.all

@@ -80,6 +80,64 @@ let test_ring_probes () =
   done;
   Alcotest.(check int) "half of 40 cycles valid" 20 !valids
 
+(* Dynamic nets: the channel's compiled delay schedule drives the retx
+   station's internal hop in both the skeleton and the RTL, so the sink
+   streams must stay cycle-for-cycle equal. *)
+let retx_spec lat depth tail =
+  Topology.Spec.parse_exn
+    (Printf.sprintf
+       "source src\n\
+        shell  A identity\n\
+        sink   out\n\
+        src.0 -> A.0 %s: retx:%d\n\
+        A.0 -> out.0 : %s\n"
+       lat depth tail)
+
+let test_retx_jitter () =
+  check_net "retx over jitter channel"
+    (retx_spec "latency=jitter:0:2:5 " 6 "full")
+
+let test_retx_table () =
+  check_net "retx over table channel"
+    (retx_spec "latency=table:0,2,1 " 4 "full")
+
+let test_retx_plain () =
+  (* no latency profile: the retx machinery still sequences every token *)
+  check_net "retx without profile" (retx_spec "" 2 "full")
+
+let test_retx_stalled_sink () =
+  (* back-pressure reaching the receiver's output register: the
+     refuse-NACK/rewind path, cycle-for-cycle *)
+  let net =
+    Topology.Spec.parse_exn
+      "source src\n\
+       shell  A identity\n\
+       sink   out pattern=%0010011\n\
+       src.0 -> A.0 latency=jitter:1:2:9 : retx:3\n\
+       A.0 -> out.0 : full\n"
+  in
+  check_net "retx against stalling sink" net
+
+let test_gated_edge_rejected () =
+  (* a latency profile without a retx station has no hardware realization
+     (the entrance gate is a simulation artifact): clean capability error *)
+  let net = retx_spec "latency=fixed:2 " 2 "full" in
+  let gated =
+    Topology.Spec.parse_exn
+      "source src\n\
+       shell  A identity\n\
+       sink   out\n\
+       src.0 -> A.0 latency=fixed:2 : full\n\
+       A.0 -> out.0 : full\n"
+  in
+  ignore (Topology.Rtl_net.of_network net);
+  Alcotest.(check bool) "gated edge rejected" true
+    (try
+       ignore (Topology.Rtl_net.of_network gated);
+       false
+     with Invalid_argument msg ->
+       Astring.String.is_infix ~affix:"entrance gate" msg)
+
 let test_vhdl_of_whole_network () =
   let text = Emit.Vhdl.emit (Topology.Rtl_net.of_network (G.fig1 ())) in
   Alcotest.(check bool) "substantial" true (String.length text > 4000);
@@ -205,4 +263,10 @@ let suite =
     Alcotest.test_case "closed-loop probes" `Quick test_ring_probes;
     Alcotest.test_case "whole-network VHDL" `Quick test_vhdl_of_whole_network;
     Alcotest.test_case "unknown pearl rejected" `Quick test_unknown_pearl_rejected;
+    Alcotest.test_case "retx/jitter RTL = skeleton" `Quick test_retx_jitter;
+    Alcotest.test_case "retx/table RTL = skeleton" `Quick test_retx_table;
+    Alcotest.test_case "plain retx RTL = skeleton" `Quick test_retx_plain;
+    Alcotest.test_case "retx vs stalling sink RTL = skeleton" `Quick
+      test_retx_stalled_sink;
+    Alcotest.test_case "gated edge rejected" `Quick test_gated_edge_rejected;
   ]
