@@ -14,6 +14,18 @@ let network_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
+(* Every subcommand reports its failures the same way: the library
+   layers raise [Invalid_argument] for anything a user can get wrong —
+   spec parse errors (with line numbers), generator parameter
+   validation, elaboration capability gaps — and [Sys_error] covers
+   unreadable files.  One wrapper turns all of them into a clean
+   [error:] line and exit code 2 instead of a backtrace. *)
+let with_diagnostics f =
+  try f () with
+  | Invalid_argument m | Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+
 let load_network ?allow_direct path =
   let text =
     if path = "-" then In_channel.input_all In_channel.stdin
@@ -77,6 +89,7 @@ let overlay_profile net profile =
 
 let analyze_cmd =
   let run file =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     Format.printf "%a@.@." Topology.Network.pp_summary net;
     Format.printf "classification : %a@." Topology.Classify.pp
@@ -128,6 +141,7 @@ let lint_cmd =
           ~doc:"Skip the gate-level stop-path pass (topology checks only).")
   in
   let run file flavour width json fail_on no_rtl =
+    with_diagnostics @@ fun () ->
     (* parse with allow_direct: the linter's job is to report the
        protocol violations the builder would refuse to construct *)
     let net = load_network ~allow_direct:true file in
@@ -177,6 +191,7 @@ let simulate_cmd =
                 $(b,table:D0,D1,...).")
   in
   let run file flavour trace_cycles profile =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     let net =
       match profile with None -> net | Some p -> overlay_profile net p
@@ -227,6 +242,7 @@ let simulate_cmd =
 
 let equalize_cmd =
   let run file =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     let before = Topology.Elastic.throughput_bound net in
     let net', additions = Topology.Equalize.optimize net in
@@ -256,6 +272,7 @@ let deadlock_cmd =
     Arg.(value & flag & info [ "cure" ] ~doc:"Search for a relay substitution cure.")
   in
   let run file flavour cure =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     Format.printf "static rule : %a@."
       (Topology.Deadlock.pp_verdict net)
@@ -290,29 +307,26 @@ let rtl_cmd =
           ~doc:"Run the netlist simplifier (constant folding, CSE) first.")
   in
   let run file flavour lang width optimize =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     (* capability errors (e.g. a variable-latency channel with no
        retransmitting station to realize it in hardware) surface as
-       [Invalid_argument] from the elaborator — turn them into a clean
-       diagnostic instead of a backtrace *)
-    match Topology.Rtl_net.of_network ~flavour ~data_width:width net with
-    | exception Invalid_argument msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 2
-    | circ ->
-        let circ =
-          if optimize then begin
-            let circ', report = Hdl.Simplify.with_report circ in
-            Format.eprintf "-- %a@." Hdl.Simplify.pp_report report;
-            circ'
-          end
-          else circ
-        in
-        Format.eprintf "-- %a@." Hdl.Circuit.pp_stats (Hdl.Circuit.stats circ);
-        print_string
-          (match lang with
-          | `Vhdl -> Emit.Vhdl.emit circ
-          | `Verilog -> Emit.Verilog.emit circ)
+       [Invalid_argument] from the elaborator — [with_diagnostics]
+       turns them into a clean diagnostic instead of a backtrace *)
+    let circ = Topology.Rtl_net.of_network ~flavour ~data_width:width net in
+    let circ =
+      if optimize then begin
+        let circ', report = Hdl.Simplify.with_report circ in
+        Format.eprintf "-- %a@." Hdl.Simplify.pp_report report;
+        circ'
+      end
+      else circ
+    in
+    Format.eprintf "-- %a@." Hdl.Circuit.pp_stats (Hdl.Circuit.stats circ);
+    print_string
+      (match lang with
+      | `Vhdl -> Emit.Vhdl.emit circ
+      | `Verilog -> Emit.Verilog.emit circ)
   in
   let term =
     Term.(const run $ network_arg $ flavour_arg $ lang_arg $ width_arg $ optimize_arg)
@@ -379,6 +393,7 @@ let wave_cmd =
       & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Number of cycles to dump.")
   in
   let run file flavour cycles =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     let engine = Skeleton.Engine.create ~flavour net in
     Skeleton.Wave.record ~cycles engine ~out:stdout
@@ -399,12 +414,9 @@ let testbench_cmd =
       & info [ "c"; "cycles" ] ~docv:"N" ~doc:"Checked window length.")
   in
   let run file flavour width cycles =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
-    match Skeleton.Testbench.bundle ~flavour ~data_width:width ~cycles net with
-    | exception Invalid_argument msg ->
-        Printf.eprintf "error: %s\n" msg;
-        exit 2
-    | bundle -> print_string bundle
+    print_string (Skeleton.Testbench.bundle ~flavour ~data_width:width ~cycles net)
   in
   let term =
     Term.(const run $ network_arg $ flavour_arg $ width_arg $ cycles_arg)
@@ -441,59 +453,6 @@ let signature_capacity_arg =
               store before giving up (0 = the default cap).")
 
 let opt_pos n = if n <= 0 then None else Some n
-
-(* Hand-rolled campaign JSON, like [Lint.Checks.to_json]: fixed, tiny
-   vocabulary — a json library dependency would be all cost. *)
-let campaign_json ~lanes_used (result : Fault.Campaign.result) =
-  let b = Buffer.create 2048 in
-  let t = Fault.Campaign.tally result in
-  Printf.bprintf b
-    "{\n  \"seed\": %d,\n  \"cycles\": %d,\n  \"flavour\": %S,\n\
-    \  \"injections\": %d,\n  \"lanes_used\": %d,\n"
-    result.config.seed result.config.cycles
-    (match result.config.flavour with
-    | Lid.Protocol.Optimized -> "optimized"
-    | Lid.Protocol.Original -> "original")
-    (List.length result.reports) lanes_used;
-  Buffer.add_string b "  \"tally\": [";
-  List.iteri
-    (fun i (kind, counts) ->
-      Buffer.add_string b (if i = 0 then "\n    " else ",\n    ");
-      Printf.bprintf b "{\"kind\": %S, \"outcomes\": {"
-        (Fault.Model.kind_to_string kind);
-      List.iteri
-        (fun j (o, n) ->
-          if j > 0 then Buffer.add_string b ", ";
-          Printf.bprintf b "%S: %d" (Fault.Classify.outcome_to_string o) n)
-        counts;
-      Buffer.add_string b "}}")
-    t;
-  Buffer.add_string b (if t = [] then "],\n" else "\n  ],\n");
-  Buffer.add_string b "  \"outcomes\": {";
-  List.iteri
-    (fun j o ->
-      let n =
-        List.length
-          (List.filter
-             (fun (r : Fault.Classify.report) -> r.outcome = o)
-             result.reports)
-      in
-      if j > 0 then Buffer.add_string b ", ";
-      Printf.bprintf b "%S: %d" (Fault.Classify.outcome_to_string o) n)
-    Fault.Classify.all_outcomes;
-  Buffer.add_string b "},\n";
-  Printf.bprintf b "  \"recoveries\": %d,\n"
-    (List.fold_left
-       (fun acc (r : Fault.Classify.report) -> acc + r.evidence.recoveries)
-       0 result.reports);
-  (match Fault.Campaign.worst result with
-  | Some r when r.outcome <> Fault.Classify.Masked ->
-      Printf.bprintf b "  \"worst\": {\"outcome\": %S, \"fault\": %S}\n"
-        (Fault.Classify.outcome_to_string r.outcome)
-        (Format.asprintf "%a" (Fault.Model.pp result.net) r.fault)
-  | _ -> Buffer.add_string b "  \"worst\": null\n");
-  Buffer.add_string b "}\n";
-  Buffer.contents b
 
 let inject_cmd =
   let seed_arg =
@@ -543,9 +502,10 @@ let inject_cmd =
     Arg.(
       value & opt int 0
       & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Fan the injections out over N domains (0 = one per core, \
-                capped at 8). The report order and every outcome are \
-                identical to a serial run.")
+          ~doc:"Fan the injections out over N domains (0 = one per \
+                available core; the LIDTOOL_JOBS environment variable \
+                overrides that recommendation). The report order and every \
+                outcome are identical to a serial run.")
   in
   let json_arg =
     Arg.(
@@ -564,6 +524,7 @@ let inject_cmd =
   in
   let run file flavour seed kinds cycles sites per_site verbose jobs lanes
       max_cycles signature_capacity json jitter =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     let net =
       if jitter <= 0 then net
@@ -628,7 +589,8 @@ let inject_cmd =
           (if n <= 1 then " (serial classification)" else "")
     in
     let result = Campaign.Fault_driver.run ~jobs ~lanes ~on_lanes config net in
-    if json then print_string (campaign_json ~lanes_used:!lanes_used result)
+    if json then
+      print_string (Fault.Campaign.json ~jobs ~lanes_used:!lanes_used result)
     else Format.printf "@.%a" Fault.Campaign.pp_summary result;
     if json then ()
     else if verbose then begin
@@ -684,8 +646,8 @@ let bench_cmd =
     Arg.(
       value & opt int 0
       & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:"Domains for the parallel-campaign leg (0 = one per core, \
-                capped at 8).")
+          ~doc:"Domains for the parallel legs (0 = one per available core; \
+                LIDTOOL_JOBS overrides that recommendation).")
   in
   let out_arg =
     Arg.(
@@ -701,6 +663,15 @@ let bench_cmd =
                 single core): serial classification against the \
                 lane-parallel driver, asserted bit-identical.")
   in
+  let serve_bench_arg =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:"Run only the serve-amortization leg (E19): a request \
+                stream revisiting the same NoC topologies through one \
+                daemon against a fresh daemon per request, responses \
+                asserted identical.")
+  in
   let write_out out text =
     match out with
     | Some path ->
@@ -709,9 +680,21 @@ let bench_cmd =
         Format.printf "wrote %s@." path
     | None -> ()
   in
-  let run quick jobs out lanes max_cycles signature_capacity dynamic =
+  let run quick jobs out lanes max_cycles signature_capacity dynamic serve =
+    with_diagnostics @@ fun () ->
     let jobs = if jobs <= 0 then None else Some jobs in
-    if dynamic then
+    if serve then begin
+      let r = Serve.Bench.run ~quick ?jobs () in
+      Format.printf "%a" Serve.Bench.pp r;
+      write_out out (Serve.Bench.to_json r);
+      if not r.Serve.Bench.identical then begin
+        Printf.eprintf
+          "benchmark aborted: amortized responses diverged from \
+           per-invocation responses\n";
+        exit 1
+      end
+    end
+    else if dynamic then
       match Campaign.Bench.run_dynamic ~quick ?lanes:(opt_pos lanes) () with
       | d ->
           Format.printf "%a" Campaign.Bench.pp_dynamic d;
@@ -735,7 +718,7 @@ let bench_cmd =
   let term =
     Term.(
       const run $ quick_arg $ jobs_arg $ out_arg $ lanes_arg $ max_cycles_arg
-      $ signature_capacity_arg $ dynamic_arg)
+      $ signature_capacity_arg $ dynamic_arg $ serve_bench_arg)
   in
   Cmd.v
     (Cmd.info "bench"
@@ -750,6 +733,7 @@ let bench_cmd =
 
 let dot_cmd =
   let run file =
+    with_diagnostics @@ fun () ->
     let net = load_network file in
     (* highlight the nodes of the analytic critical cycle, if any *)
     let el = Topology.Elastic.of_network net in
@@ -784,6 +768,97 @@ let sample_cmd =
     (Cmd.info "sample" ~doc:"Print a sample network description (the paper's Fig. 1).")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+
+let gen_cmd =
+  let args_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FAMILY ARGS"
+          ~doc:"Generator family and arguments, exactly as on a spec \
+                $(b,generate) line: $(b,mesh N M [stations=KIND,...]), \
+                $(b,torus N M [stations=KIND,...]), \
+                $(b,butterfly K [stations=KIND,...]) or \
+                $(b,soc N [seed=S] [loops=F] [reconv=F] [max_stations=N] \
+                [half=F]).")
+  in
+  let run args =
+    with_diagnostics @@ fun () ->
+    match Topology.Spec.parse ("generate " ^ String.concat " " args) with
+    | Ok net -> print_string (Topology.Spec.print net)
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 2
+  in
+  let term = Term.(const run $ args_arg) in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Instantiate a parameterized NoC family (mesh, torus, \
+             butterfly, random SoC) and print it as a network \
+             description, ready for any other subcommand.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains a batch fans out over (0 = one per available \
+                core; LIDTOOL_JOBS overrides that recommendation).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix domain socket at PATH instead of \
+                serving stdin/stdout; clients are served sequentially \
+                and the memo cache persists across connections.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"After every batch, emit one JSON line of cache \
+                statistics (hits, misses, errors, jobs) on stderr.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Result memo-cache capacity in entries (LRU-bounded; the \
+                compiled-engine pool is sized proportionally).")
+  in
+  let run jobs socket stats cache =
+    with_diagnostics @@ fun () ->
+    let daemon =
+      Serve.Daemon.create
+        ?jobs:(opt_pos jobs)
+        ~result_capacity:(max 1 cache)
+        ~engine_capacity:(max 1 (cache / 8))
+        ()
+    in
+    match socket with
+    | Some path -> Serve.Daemon.serve_socket ~stats daemon path
+    | None -> Serve.Daemon.serve_channel ~stats daemon stdin stdout
+  in
+  let term = Term.(const run $ jobs_arg $ socket_arg $ stats_arg $ cache_arg) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the batch-analysis daemon: read line-delimited JSON \
+             requests (objects or arrays of objects) naming a topology \
+             (inline spec or generator) and an analysis (lint, \
+             throughput, equalize, inject), fan each batch over \
+             domains, and memoize compiled engines and results by \
+             canonical topology hash.  One response line per request \
+             line; responses are byte-identical whether or not they \
+             were served from the cache.")
+    term
+
 let () =
   let info =
     Cmd.info "lidtool" ~version:"1.0"
@@ -807,4 +882,6 @@ let () =
             bench_cmd;
             dot_cmd;
             sample_cmd;
+            gen_cmd;
+            serve_cmd;
           ]))

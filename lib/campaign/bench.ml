@@ -340,10 +340,11 @@ let to_json r =
     (fun i c ->
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"name\": %S, \"transient\": %d, \"period\": %d, \
+           "    {\"name\": %s, \"transient\": %d, \"period\": %d, \
             \"throughput\": %s, \"cycles_per_rep\": %d, \"reps\": %d, \
             \"engine_s\": %s, \"packed_s\": %s, \"speedup\": %s}%s\n"
-           c.case_name c.transient c.period (f c.throughput) c.cycles_per_rep
+           (Lidjson.quote c.case_name) c.transient c.period (f c.throughput)
+           c.cycles_per_rep
            c.reps (f c.engine_s) (f c.packed_s) (f c.speedup)
            (if i = List.length r.cases - 1 then "" else ",")))
     r.cases;

@@ -1,4 +1,17 @@
-let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))
+(* One domain per core the runtime recommends — no artificial cap: the
+   old [min 8] silently wasted cores on larger machines, and long-running
+   consumers (the serve daemon) inherit whatever this returns.  The
+   [LIDTOOL_JOBS] environment variable overrides the recommendation
+   (values below 1 or unparsable are ignored); an explicit [~jobs]
+   argument anywhere in this library still wins over both. *)
+let default_jobs () =
+  let recommended = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "LIDTOOL_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> recommended)
+  | None -> recommended
 
 let map ?jobs f xs =
   let items = Array.of_list xs in

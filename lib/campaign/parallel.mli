@@ -13,7 +13,10 @@
     ({!Fault_driver}, {!Sweep}). *)
 
 val default_jobs : unit -> int
-(** [min 8 (Domain.recommended_domain_count ())], at least 1. *)
+(** [Domain.recommended_domain_count ()], at least 1 — one domain per
+    available core, uncapped.  The [LIDTOOL_JOBS] environment variable
+    (an integer [>= 1]) overrides the recommendation; invalid values are
+    ignored.  An explicit [~jobs] argument always wins. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [jobs] defaults to {!default_jobs}; [jobs <= 1] (or a singleton/empty

@@ -52,6 +52,11 @@ val fork2 : unit -> t
 val combine : ?name:string -> (int -> int -> int) -> t
 (** 2-input, 1-output pointwise combination. *)
 
+val tap : unit -> t
+(** 2-input, 2-output router: both outputs carry the sum of the inputs
+    (the loop tap of {!Topology.Generators.ring_tapped} and the switch
+    node of the NoC fabrics). *)
+
 val map1 : ?name:string -> (int -> int) -> t
 (** 1-input, 1-output pointwise function. *)
 

@@ -243,3 +243,59 @@ let pp_summary fmt result =
       Format.fprintf fmt "%*d" col n)
     Classify.all_outcomes;
   Format.fprintf fmt "%*d@." col (List.length result.reports)
+
+(* --- JSON ----------------------------------------------------------- *)
+(* Hand-rolled, like [Lint.Checks.to_json]: fixed, tiny vocabulary — a
+   json library dependency would be all cost.  Strings go through
+   [Lidjson.quote]: fault descriptions embed node names, which may carry
+   quotes, newlines or UTF-8. *)
+
+let json ~jobs ~lanes_used result =
+  let b = Buffer.create 2048 in
+  let t = tally result in
+  Printf.bprintf b
+    "{\n  \"seed\": %d,\n  \"cycles\": %d,\n  \"flavour\": %s,\n\
+    \  \"injections\": %d,\n  \"jobs\": %d,\n  \"lanes_used\": %d,\n"
+    result.config.seed result.config.cycles
+    (Lidjson.quote
+       (match result.config.flavour with
+       | Lid.Protocol.Optimized -> "optimized"
+       | Lid.Protocol.Original -> "original"))
+    (List.length result.reports) jobs lanes_used;
+  Buffer.add_string b "  \"tally\": [";
+  List.iteri
+    (fun i (kind, counts) ->
+      Buffer.add_string b (if i = 0 then "\n    " else ",\n    ");
+      Printf.bprintf b "{\"kind\": %s, \"outcomes\": {"
+        (Lidjson.quote (Model.kind_to_string kind));
+      List.iteri
+        (fun j (o, n) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Printf.bprintf b "%s: %d" (Lidjson.quote (Classify.outcome_to_string o)) n)
+        counts;
+      Buffer.add_string b "}}")
+    t;
+  Buffer.add_string b (if t = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string b "  \"outcomes\": {";
+  List.iteri
+    (fun j o ->
+      let n =
+        List.length
+          (List.filter (fun (r : Classify.report) -> r.outcome = o) result.reports)
+      in
+      if j > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%s: %d" (Lidjson.quote (Classify.outcome_to_string o)) n)
+    Classify.all_outcomes;
+  Buffer.add_string b "},\n";
+  Printf.bprintf b "  \"recoveries\": %d,\n"
+    (List.fold_left
+       (fun acc (r : Classify.report) -> acc + r.evidence.recoveries)
+       0 result.reports);
+  (match worst result with
+  | Some r when r.outcome <> Classify.Masked ->
+      Printf.bprintf b "  \"worst\": {\"outcome\": %s, \"fault\": %s}\n"
+        (Lidjson.quote (Classify.outcome_to_string r.outcome))
+        (Lidjson.quote (Format.asprintf "%a" (Model.pp result.net) r.fault))
+  | _ -> Buffer.add_string b "  \"worst\": null\n");
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -88,3 +88,9 @@ val worst : result -> Classify.report option
 
 val pp_summary : Format.formatter -> result -> unit
 (** Render the kind x outcome table plus totals. *)
+
+val json : jobs:int -> lanes_used:int -> result -> string
+(** The machine-readable campaign report (the payload of
+    [lidtool inject --json] and the serve daemon's [inject] analysis):
+    per-kind/per-outcome tallies, total recoveries, the worst injection,
+    plus the [jobs] and [lanes_used] the driver actually ran with. *)

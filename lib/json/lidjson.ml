@@ -1,0 +1,276 @@
+(* ------------------------------------------------------------------ *)
+(* Escaping.                                                           *)
+
+let escape_to_buffer b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let bprintf_quoted b s =
+  Buffer.add_char b '"';
+  escape_to_buffer b s;
+  Buffer.add_char b '"'
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  bprintf_quoted b s;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Values.                                                             *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let rec to_buffer b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float x ->
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Printf.bprintf b "%.1f" x
+      else Printf.bprintf b "%.17g" x
+  | String s -> bprintf_quoted b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          to_buffer b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          bprintf_quoted b k;
+          Buffer.add_string b ": ";
+          to_buffer b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  to_buffer b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+
+exception Err of string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Err (Printf.sprintf "at %d: %s" !pos m))) fmt
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c, got %c" c c'
+    | None -> fail "expected %c, got end of input" c
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail "bad literal"
+  in
+  (* Encode one Unicode scalar value as UTF-8. *)
+  let add_utf8 b u =
+    if u < 0x80 then Buffer.add_char b (Char.chr u)
+    else if u < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xc0 lor (u lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else if u < 0x10000 then begin
+      Buffer.add_char b (Char.chr (0xe0 lor (u lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xf0 lor (u lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+    end
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let s = String.sub text !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v -> v
+    | None -> fail "bad \\u escape %S" s
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = text.[!pos] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char b '"'; loop ()
+          | '\\' -> Buffer.add_char b '\\'; loop ()
+          | '/' -> Buffer.add_char b '/'; loop ()
+          | 'n' -> Buffer.add_char b '\n'; loop ()
+          | 'r' -> Buffer.add_char b '\r'; loop ()
+          | 't' -> Buffer.add_char b '\t'; loop ()
+          | 'b' -> Buffer.add_char b '\b'; loop ()
+          | 'f' -> Buffer.add_char b '\012'; loop ()
+          | 'u' ->
+              let u = hex4 () in
+              let u =
+                (* high surrogate: consume the low half *)
+                if u >= 0xd800 && u <= 0xdbff then begin
+                  if
+                    !pos + 1 < n && text.[!pos] = '\\' && text.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo < 0xdc00 || lo > 0xdfff then
+                      fail "bad low surrogate %04x" lo;
+                    0x10000 + (((u - 0xd800) lsl 10) lor (lo - 0xdc00))
+                  end
+                  else fail "lone high surrogate"
+                end
+                else u
+              in
+              add_utf8 b u;
+              loop ()
+          | c -> fail "bad escape \\%c" c)
+      | c -> Buffer.add_char b c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    let floaty =
+      String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s
+    in
+    if floaty then
+      match float_of_string_opt s with
+      | Some x -> Float x
+      | None -> fail "bad number %S" s
+    else
+      match int_of_string_opt s with
+      | Some v -> Int v
+      | None -> (
+          match float_of_string_opt s with
+          | Some x -> Float x
+          | None -> fail "bad number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let items = ref [] in
+          let rec loop () =
+            items := parse_value () :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); loop ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ] in array"
+          in
+          loop ();
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let items = ref [] in
+          let rec loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            items := (k, v) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); loop ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or } in object"
+          in
+          loop ();
+          Obj (List.rev !items)
+        end
+    | Some c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+    | Some c -> fail "unexpected character %c" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Err m -> Error m
+
+let parse_exn text =
+  match parse text with
+  | Ok v -> v
+  | Error m -> invalid_arg ("Lidjson.parse: " ^ m)

@@ -1,0 +1,58 @@
+(** Minimal JSON kit shared by every emitter in the toolkit.
+
+    The repository's JSON output is hand-rolled (the vocabulary is fixed
+    and tiny; a json library dependency would be all cost), but the
+    string escaping must not be: OCaml's [%S] emits decimal escapes like
+    [\123] for control and non-ASCII bytes, which no JSON parser
+    accepts.  This module provides the one correct escaper, a compact
+    printer, and a small recursive-descent parser — enough to frame the
+    serve protocol and to property-test every emitter by parsing its
+    output back.
+
+    Strings are treated as UTF-8: bytes at or above [0x20] other than
+    the double quote and the backslash pass through verbatim (JSON
+    strings may carry raw UTF-8), the short two-character escapes are
+    used where they exist, and remaining control bytes become
+    [\u00XX]. *)
+
+(** {1 Escaping} *)
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the escaped body of [s] — no surrounding quotes. *)
+
+val quote : string -> string
+(** The escaped string wrapped in double quotes — the drop-in
+    replacement for [%S] in JSON emitters. *)
+
+val bprintf_quoted : Buffer.t -> string -> unit
+(** [quote] straight into a buffer (avoids the intermediate string). *)
+
+(** {1 Values} *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** member order preserved *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects too. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — safe for line-delimited
+    framing).  Ints render as ints; floats in shortest round-trip form. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** {1 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Whole-string parse: trailing non-whitespace is an error.  Numbers
+    with neither [.], [e] nor exponent parse as [Int] when they fit.
+    [\uXXXX] escapes decode to UTF-8 (surrogate pairs supported). *)
+
+val parse_exn : string -> t
+(** Raises [Invalid_argument] with the parse error. *)

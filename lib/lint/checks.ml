@@ -456,7 +456,7 @@ let to_json r =
      Printf.bprintf b "  \"stop_path\": {\"ran\": true, \"proved\": %b}\n"
        r.gate_proved
    else
-     Printf.bprintf b "  \"stop_path\": {\"ran\": false, \"reason\": %S}\n"
-       (Option.value r.gate_skip_reason ~default:""));
+     Printf.bprintf b "  \"stop_path\": {\"ran\": false, \"reason\": %s}\n"
+       (Lidjson.quote (Option.value r.gate_skip_reason ~default:"")));
   Buffer.add_string b "}\n";
   Buffer.contents b

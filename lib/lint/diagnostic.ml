@@ -130,22 +130,28 @@ let pp net fmt d =
 
 (* --- JSON ----------------------------------------------------------- *)
 (* Hand-rolled, like [Campaign.Bench.to_json]: the vocabulary is fixed
-   and tiny, a json library dependency would be all cost. *)
+   and tiny, a json library dependency would be all cost.  Strings go
+   through [Lidjson.quote] — node and signal names are user-controlled
+   and may carry quotes, newlines or UTF-8, which OCaml's [%S] would
+   render as decimal escapes no JSON parser accepts. *)
 
-let buf_kv_str b key value = Printf.bprintf b "%S: %S" key value
+let buf_kv_str b key value =
+  Printf.bprintf b "%s: %s" (Lidjson.quote key) (Lidjson.quote value)
 
 let json_location net b = function
   | L_network -> Printf.bprintf b "{\"kind\": \"network\"}"
   | L_node id ->
-      Printf.bprintf b "{\"kind\": \"node\", \"node\": %S}" (node_name net id)
+      Printf.bprintf b "{\"kind\": \"node\", \"node\": %s}"
+        (Lidjson.quote (node_name net id))
   | L_edge id ->
-      Printf.bprintf b "{\"kind\": \"edge\", \"edge_id\": %d, \"edge\": %S}" id
-        (edge_label net id)
+      Printf.bprintf b "{\"kind\": \"edge\", \"edge_id\": %d, \"edge\": %s}" id
+        (Lidjson.quote (edge_label net id))
   | L_loop ids ->
       Printf.bprintf b "{\"kind\": \"loop\", \"nodes\": [%s]}"
         (String.concat ", "
-           (List.map (fun id -> Printf.sprintf "%S" (node_name net id)) ids))
-  | L_signal s -> Printf.bprintf b "{\"kind\": \"signal\", \"signal\": %S}" s
+           (List.map (fun id -> Lidjson.quote (node_name net id)) ids))
+  | L_signal s ->
+      Printf.bprintf b "{\"kind\": \"signal\", \"signal\": %s}" (Lidjson.quote s)
 
 let json_params b = function
   | P_none -> Buffer.add_string b "{}"
@@ -161,7 +167,7 @@ let json_params b = function
       Printf.bprintf b "{\"active\": %d, \"period\": %d}" active period
   | P_stop_sources names ->
       Printf.bprintf b "{\"stop_sources\": [%s]}"
-        (String.concat ", " (List.map (Printf.sprintf "%S") names))
+        (String.concat ", " (List.map Lidjson.quote names))
   | P_retx { depth; rtt } ->
       Printf.bprintf b "{\"depth\": %d, \"rtt\": %d}" depth rtt
 
@@ -182,7 +188,9 @@ let json_to_buffer net b d =
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_string b ", ";
-      Printf.bprintf b "{\"edge_id\": %d, \"edge\": %S, \"spare\": %d}"
-        f.fix_edge (edge_label net f.fix_edge) f.fix_spare)
+      Printf.bprintf b "{\"edge_id\": %d, \"edge\": %s, \"spare\": %d}"
+        f.fix_edge
+        (Lidjson.quote (edge_label net f.fix_edge))
+        f.fix_spare)
     d.fixits;
   Buffer.add_string b "]}"

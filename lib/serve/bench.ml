@@ -1,0 +1,145 @@
+type result = {
+  requests : int;
+  unique : int;
+  rounds : int;
+  jobs : int;
+  per_request_s : float;
+  amortized_s : float;
+  speedup : float;
+  hits : int;
+  misses : int;
+  identical : bool;
+}
+
+(* The base workload: every generator family, every analysis that the
+   daemon memoizes.  Lint runs without the gate-level pass — E19
+   measures amortization, not RTL elaboration.  The torus equalize
+   request deliberately fails (cyclic networks must not be equalized):
+   deterministic errors are memoized like results.  *)
+let workload ~quick =
+  let mesh, torus, butterfly =
+    if quick then ("mesh 6 6", "torus 4 4", "butterfly 4")
+    else ("mesh 10 10", "torus 6 6", "butterfly 5")
+  in
+  let req id gen analysis extras =
+    Lidjson.Obj
+      ([
+         ("id", Lidjson.Int id);
+         ("generate", Lidjson.String gen);
+         ("analysis", Lidjson.String analysis);
+       ]
+      @ extras)
+  in
+  List.concat_map
+    (fun gen ->
+      [
+        req 0 gen "lint" [ ("gate", Lidjson.Bool false) ];
+        req 0 gen "throughput" [];
+        req 0 gen "equalize" [];
+      ])
+    [ mesh; torus; butterfly ]
+
+(* Re-number the ids so every occurrence of a request is distinct at
+   protocol level while hitting the same memo key.  *)
+let renumber offset reqs =
+  List.mapi
+    (fun i r ->
+      match r with
+      | Lidjson.Obj members ->
+          Lidjson.Obj
+            (List.map
+               (function
+                 | "id", _ -> ("id", Lidjson.Int (offset + i + 1)) | kv -> kv)
+               members)
+      | r -> r)
+    reqs
+
+(* Responses embed the request id, which differs between occurrences of
+   the same request; blank it before comparing runs.  *)
+let comparable response =
+  match response with
+  | Lidjson.Obj members ->
+      Lidjson.to_string
+        (Lidjson.Obj
+           (List.map
+              (function "id", _ -> ("id", Lidjson.Null) | kv -> kv)
+              members))
+  | r -> Lidjson.to_string r
+
+let run ?(quick = false) ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | _ -> Campaign.Parallel.default_jobs ()
+  in
+  let rounds = if quick then 4 else 8 in
+  let base = workload ~quick in
+  let n = List.length base in
+  let batches = List.init rounds (fun r -> renumber (r * n) base) in
+  let stream = List.concat batches in
+  (* untimed warm-up: first-touch costs (heap growth, lazy forcing)
+     must not land on whichever timed run happens to go first *)
+  ignore (Daemon.process (Daemon.create ~jobs ()) base);
+  (* amortized: one daemon, one batch per round *)
+  let daemon = Daemon.create ~jobs () in
+  let t0 = Unix.gettimeofday () in
+  let warm =
+    List.concat_map (fun batch -> fst (Daemon.process daemon batch)) batches
+  in
+  let amortized_s = Unix.gettimeofday () -. t0 in
+  let hits = Daemon.result_cache_hits daemon in
+  let misses = Daemon.result_cache_misses daemon in
+  (* per-request: a fresh daemon for every request — nothing amortized *)
+  let t0 = Unix.gettimeofday () in
+  let cold =
+    List.map
+      (fun r -> List.hd (fst (Daemon.process (Daemon.create ~jobs ()) [ r ])))
+      stream
+  in
+  let per_request_s = Unix.gettimeofday () -. t0 in
+  let identical =
+    List.length warm = List.length cold
+    && List.for_all2
+         (fun w c -> comparable w = comparable c)
+         warm cold
+  in
+  {
+    requests = List.length stream;
+    unique = n;
+    rounds;
+    jobs;
+    per_request_s;
+    amortized_s;
+    speedup =
+      (if amortized_s > 0. then per_request_s /. amortized_s else infinity);
+    hits;
+    misses;
+    identical;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "E19 serve amortization: %d requests (%d unique x %d rounds), %d job(s)@."
+    r.requests r.unique r.rounds r.jobs;
+  Format.fprintf fmt "  per-invocation: %8.3f s@." r.per_request_s;
+  Format.fprintf fmt "  amortized     : %8.3f s  (%d hits / %d misses)@."
+    r.amortized_s r.hits r.misses;
+  Format.fprintf fmt "  speedup       : %8.2fx  responses %s@." r.speedup
+    (if r.identical then "identical" else "DIVERGED")
+
+let to_json r =
+  Lidjson.to_string
+    (Lidjson.Obj
+       [
+         ("experiment", Lidjson.String "E19");
+         ("requests", Lidjson.Int r.requests);
+         ("unique", Lidjson.Int r.unique);
+         ("rounds", Lidjson.Int r.rounds);
+         ("jobs", Lidjson.Int r.jobs);
+         ("per_request_s", Lidjson.Float r.per_request_s);
+         ("amortized_s", Lidjson.Float r.amortized_s);
+         ("speedup", Lidjson.Float r.speedup);
+         ("hits", Lidjson.Int r.hits);
+         ("misses", Lidjson.Int r.misses);
+         ("identical", Lidjson.Bool r.identical);
+       ])

@@ -1,0 +1,32 @@
+(** E19 — amortized serve throughput against per-invocation analysis.
+
+    The experiment the daemon exists for: a request stream that revisits
+    the same NoC topologies (as a regression harness or design sweep
+    does) is answered once per unique request from the memo cache, where
+    the one-shot CLI pays the full parse + compile + analyze cost every
+    time.  {!run} replays one stream two ways — a fresh daemon per
+    request (nothing amortized, the one-shot cost model) against one
+    daemon across the stream — and asserts the responses byte-identical
+    before reporting the speedup. *)
+
+type result = {
+  requests : int;  (** total requests in the stream *)
+  unique : int;  (** distinct memo-cache keys among them *)
+  rounds : int;  (** times the base workload repeats in the stream *)
+  jobs : int;
+  per_request_s : float;  (** fresh daemon per request, batches of one *)
+  amortized_s : float;  (** one daemon, one batch per round *)
+  speedup : float;  (** [per_request_s /. amortized_s] *)
+  hits : int;  (** memo-cache hits of the amortized run *)
+  misses : int;
+  identical : bool;  (** every response byte-identical across both runs *)
+}
+
+val run : ?quick:bool -> ?jobs:int -> unit -> result
+(** [quick] (default false) shrinks the topologies and the round count
+    to CI-smoke size.  [jobs] defaults to
+    {!Campaign.Parallel.default_jobs} and is used by both runs, so the
+    responses' [jobs] field cannot differ between them. *)
+
+val pp : Format.formatter -> result -> unit
+val to_json : result -> string

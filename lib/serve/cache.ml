@@ -1,0 +1,68 @@
+type 'a entry = { mutable value : 'a; mutable stamp : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  {
+    capacity = max 1 capacity;
+    table = Hashtbl.create 64;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.stamp <- tick t;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* O(n) victim scan; capacities are small (hundreds) and eviction only
+   happens once the cache is full, so this never shows up in profiles. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, s) when s <= e.stamp -> acc
+        | _ -> Some (k, e.stamp))
+      t.table None
+  in
+  match victim with Some (k, _) -> Hashtbl.remove t.table k | None -> ()
+
+let set t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.value <- value;
+      e.stamp <- tick t
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_one t;
+      Hashtbl.replace t.table key { value; stamp = tick t }
+
+let take t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      Hashtbl.remove t.table key;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,34 @@
+(** Bounded LRU memo cache, string-keyed.
+
+    Two instances back the serve daemon: the result cache (canonical
+    request key to analysis payload) and the packed-engine pool
+    (canonical topology + flavour to a reusable {!Skeleton.Packed.t}).
+    Capacity is a hard bound — inserting into a full cache evicts the
+    least-recently-used entry — so a long-running daemon's memory stays
+    O(capacity) regardless of how many distinct topologies pass through.
+
+    Not thread-safe: the daemon touches its caches only from the calling
+    domain, between the parallel phases of a batch. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency and bumps {!hits},
+    a miss bumps {!misses}. *)
+
+val set : 'a t -> string -> 'a -> unit
+(** Insert or overwrite, evicting the least-recently-used entry when
+    the cache is full.  Does not touch the hit/miss counters. *)
+
+val take : 'a t -> string -> 'a option
+(** Lookup {e and remove} — the engine-pool operation: the caller gets
+    exclusive ownership of the entry (safe to hand to another domain)
+    and is expected to {!set} it back when done.  Counts as a hit or
+    miss like {!find}. *)
+
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int

@@ -1,0 +1,217 @@
+type t = {
+  jobs : int;
+  results : (Lidjson.t, string) result Cache.t;
+  engines : Skeleton.Packed.t Cache.t;
+  mutable batches : int;
+  mutable dup_hits : int;
+}
+
+let create ?jobs ?(result_capacity = 256) ?(engine_capacity = 32) () =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | _ -> Campaign.Parallel.default_jobs ()
+  in
+  {
+    jobs;
+    results = Cache.create ~capacity:result_capacity;
+    engines = Cache.create ~capacity:engine_capacity;
+    batches = 0;
+    dup_hits = 0;
+  }
+
+let jobs t = t.jobs
+
+(* In-batch duplicates are answered without touching the cache, so the
+   lifetime hit count folds a per-daemon duplicate counter into the
+   cache's own. *)
+let result_cache_hits t = Cache.hits t.results + t.dup_hits
+let result_cache_misses t = Cache.misses t.results
+
+type batch_stats = {
+  batch : int;
+  requests : int;
+  hits : int;
+  misses : int;
+  errors : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                           *)
+
+let error_response id msg =
+  Lidjson.Obj
+    [
+      ("id", id); ("ok", Lidjson.Bool false); ("error", Lidjson.String msg);
+    ]
+
+let response t (p : Handler.prepared) outcome =
+  match outcome with
+  | Ok payload ->
+      Lidjson.Obj
+        [
+          ("id", p.Handler.request.Request.id);
+          ("ok", Lidjson.Bool true);
+          ("topology_hash", Lidjson.String p.Handler.hash_hex);
+          ("jobs", Lidjson.Int t.jobs);
+          ("result", payload);
+        ]
+  | Error msg ->
+      Lidjson.Obj
+        [
+          ("id", p.Handler.request.Request.id);
+          ("ok", Lidjson.Bool false);
+          ("topology_hash", Lidjson.String p.Handler.hash_hex);
+          ("error", Lidjson.String msg);
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Batch processing.                                                    *)
+
+type slot =
+  | Bad of Lidjson.t * string  (* echoed id, error *)
+  | Ready of Handler.prepared
+
+let process t reqs =
+  t.batches <- t.batches + 1;
+  (* phase 1: parse + canonicalize in parallel — pure per request *)
+  let slots =
+    Campaign.Parallel.map ~jobs:t.jobs
+      (fun j ->
+        match Request.of_json j with
+        | Error m ->
+            Bad (Option.value (Lidjson.member "id" j) ~default:Lidjson.Null, m)
+        | Ok req -> (
+            match Handler.prepare req with
+            | Ok p -> Ready p
+            | Error m -> Bad (req.Request.id, m)))
+      reqs
+  in
+  (* phase 2: sequential cache partition; in-batch duplicates of a
+     pending key count as hits and are answered by its one computation *)
+  let answers = Hashtbl.create 16 in
+  let pending = Hashtbl.create 16 in
+  let work = ref [] in
+  let hits = ref 0 and misses = ref 0 and errors = ref 0 in
+  List.iter
+    (function
+      | Bad _ -> incr errors
+      | Ready p ->
+          let key = p.Handler.key in
+          if Hashtbl.mem answers key || Hashtbl.mem pending key then begin
+            incr hits;
+            t.dup_hits <- t.dup_hits + 1
+          end
+          else (
+            match Cache.find t.results key with
+            | Some outcome ->
+                incr hits;
+                Hashtbl.replace answers key outcome
+            | None ->
+                incr misses;
+                Hashtbl.replace pending key ();
+                let engine =
+                  if Handler.wants_engine p then
+                    Cache.take t.engines (Handler.engine_key p)
+                  else None
+                in
+                work := (p, engine) :: !work))
+    slots;
+  (* phase 3: compute the unique misses in parallel — each item owns
+     its engine (taken from the pool or created locally) exclusively *)
+  let computed =
+    Campaign.Parallel.map ~jobs:t.jobs
+      (fun ((p : Handler.prepared), engine) ->
+        let outcome, engine' = Handler.compute ?engine p in
+        (p, outcome, engine'))
+      (List.rev !work)
+  in
+  (* phase 4: sequential cache insertion and response assembly *)
+  List.iter
+    (fun ((p : Handler.prepared), outcome, engine) ->
+      Hashtbl.replace answers p.Handler.key outcome;
+      Cache.set t.results p.Handler.key outcome;
+      match engine with
+      | Some e ->
+          Skeleton.Packed.reset e;
+          Cache.set t.engines (Handler.engine_key p) e
+      | None -> ())
+    computed;
+  let responses =
+    List.map
+      (function
+        | Bad (id, m) -> error_response id m
+        | Ready p -> response t p (Hashtbl.find answers p.Handler.key))
+      slots
+  in
+  ( responses,
+    {
+      batch = t.batches;
+      requests = List.length reqs;
+      hits = !hits;
+      misses = !misses;
+      errors = !errors;
+    } )
+
+let stats_json t (s : batch_stats) =
+  Lidjson.to_string
+    (Lidjson.Obj
+       [
+         ("batch", Lidjson.Int s.batch);
+         ("requests", Lidjson.Int s.requests);
+         ("hits", Lidjson.Int s.hits);
+         ("misses", Lidjson.Int s.misses);
+         ("errors", Lidjson.Int s.errors);
+         ("jobs", Lidjson.Int t.jobs);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Framing.                                                             *)
+
+let serve_channel ?(stats = false) t ic oc =
+  let emit_stats s =
+    if stats then Printf.eprintf "%s\n%!" (stats_json t s)
+  in
+  let rec loop () =
+    match In_channel.input_line ic with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if trimmed = "" then loop ()
+        else begin
+          (match Lidjson.parse trimmed with
+          | Error m ->
+              output_string oc
+                (Lidjson.to_string
+                   (error_response Lidjson.Null ("bad request line: " ^ m)))
+          | Ok (Lidjson.List items) ->
+              let responses, s = process t items in
+              emit_stats s;
+              output_string oc (Lidjson.to_string (Lidjson.List responses))
+          | Ok j ->
+              let responses, s = process t [ j ] in
+              emit_stats s;
+              output_string oc (Lidjson.to_string (List.hd responses)));
+          output_char oc '\n';
+          flush oc;
+          loop ()
+        end
+  in
+  loop ()
+
+let serve_socket ?stats t path =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink path with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd
+    and oc = Unix.out_channel_of_descr fd in
+    (try serve_channel ?stats t ic oc
+     with Sys_error _ | Unix.Unix_error (_, _, _) | End_of_file -> ());
+    (try close_out oc with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+    accept_loop ()
+  in
+  accept_loop ()

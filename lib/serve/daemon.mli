@@ -1,0 +1,66 @@
+(** The batch-analysis daemon behind [lidtool serve].
+
+    Protocol: line-delimited JSON.  Each input line is one request
+    object ({!Request}) or one array of request objects (a batch); each
+    produces exactly one output line — the response object, or the
+    array of response objects in request order.  A response is
+
+    {v
+    {"id": ..., "ok": true, "topology_hash": "...", "jobs": N, "result": ...}
+    {"id": ..., "ok": false, "error": "..."}
+    v}
+
+    with [result] structurally the JSON the one-shot CLI would print
+    for the same analysis.  Responses never say whether they were
+    served from the memo cache — a warm daemon answers byte-for-byte
+    what a cold one does; cache behaviour is observable only through
+    the optional per-batch statistics lines on stderr.
+
+    A batch runs in four phases: parse + canonicalize every request in
+    parallel ({!Campaign.Parallel.map}); partition against the result
+    cache sequentially, deduplicating repeated keys within the batch;
+    compute the unique misses in parallel; insert results and emit
+    responses in input order sequentially.  Caches are touched only
+    from the calling domain, so no locking is needed, and the
+    positional merge keeps every response deterministic. *)
+
+type t
+
+val create :
+  ?jobs:int -> ?result_capacity:int -> ?engine_capacity:int -> unit -> t
+(** [jobs] defaults to {!Campaign.Parallel.default_jobs}; the result
+    memo cache holds [result_capacity] (default 256) analysis payloads
+    and the engine pool [engine_capacity] (default 32) compiled packed
+    engines, both LRU-bounded ({!Cache}). *)
+
+val jobs : t -> int
+
+val result_cache_hits : t -> int
+val result_cache_misses : t -> int
+(** Lifetime counters of the result memo cache (in-batch duplicate
+    answers count as hits). *)
+
+type batch_stats = {
+  batch : int;  (** 1-based sequence number of the batch *)
+  requests : int;
+  hits : int;  (** answered from the memo cache or an in-batch twin *)
+  misses : int;  (** unique keys actually computed *)
+  errors : int;  (** requests that failed to parse or prepare *)
+}
+
+val process : t -> Lidjson.t list -> Lidjson.t list * batch_stats
+(** Process one batch; responses are in request order. *)
+
+val stats_json : t -> batch_stats -> string
+(** One compact JSON line for stderr:
+    [{"batch":k,"requests":n,"hits":h,"misses":m,"errors":e,"jobs":j}]. *)
+
+val serve_channel : ?stats:bool -> t -> in_channel -> out_channel -> unit
+(** Read request lines until EOF, writing one response line each,
+    flushing per line.  [stats] (default false) emits {!stats_json}
+    lines on stderr after every batch. *)
+
+val serve_socket : ?stats:bool -> t -> string -> unit
+(** Bind a Unix domain socket at the given path (unlinking any stale
+    one) and serve clients sequentially, each with the stdin protocol;
+    the memo cache persists across connections.  Never returns. *)

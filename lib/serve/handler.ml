@@ -1,0 +1,142 @@
+type prepared = {
+  request : Request.t;
+  net : Topology.Network.t;
+  canonical : string;
+  hash_hex : string;
+  key : string;
+}
+
+let prepare (request : Request.t) =
+  let allow_direct =
+    match request.analysis with Request.Lint _ -> true | _ -> false
+  in
+  match Topology.Spec.parse ~allow_direct request.spec with
+  | Error m -> Error m
+  | Ok net ->
+      let canonical = Topo_hash.canonical net in
+      Ok
+        {
+          request;
+          net;
+          canonical;
+          hash_hex = Topo_hash.hex canonical;
+          key = Request.analysis_key request ^ "\n" ^ canonical;
+        }
+
+let wants_engine p =
+  match p.request.analysis with
+  | Request.Throughput _ | Request.Inject _ -> true
+  | Request.Lint _ | Request.Equalize -> false
+
+let engine_key p =
+  (match p.request.flavour with
+  | Lid.Protocol.Optimized -> "optimized\n"
+  | Lid.Protocol.Original -> "original\n")
+  ^ p.canonical
+
+(* ------------------------------------------------------------------ *)
+(* The analyses.  Each returns the payload of the response's "result"
+   member; strings produced by the shared CLI emitters are parsed back
+   so the response stays one structural JSON value.                     *)
+
+let lint ~gate p =
+  let report =
+    Lint.Checks.run ~flavour:p.request.flavour ~data_width:16 ~gate p.net
+  in
+  Ok (Lidjson.parse_exn (Lint.Checks.to_json report))
+
+let throughput ~engine ~max_cycles ~signature_capacity =
+  match
+    Skeleton.Measure.analyze_packed ?max_cycles ?signature_capacity engine
+  with
+  | Some (r : Skeleton.Measure.report) ->
+      Ok
+        (Lidjson.Obj
+           [
+             ("transient", Lidjson.Int r.transient);
+             ("period", Lidjson.Int r.period);
+             ( "system_throughput",
+               Lidjson.Float (Skeleton.Measure.system_throughput r) );
+             ("deadlocked", Lidjson.Bool r.deadlocked);
+           ])
+  | None ->
+      Error
+        "no periodic steady state within the budget (raise max_cycles or \
+         signature_capacity)"
+
+let equalize p =
+  match Topology.Equalize.optimize p.net with
+  | exception Invalid_argument m -> Error m
+  | net', additions ->
+      let channel (a : Topology.Equalize.addition) =
+        let e = Topology.Network.edge net' a.edge in
+        Lidjson.Obj
+          [
+            ( "channel",
+              Lidjson.String
+                (Printf.sprintf "%s.%d -> %s.%d"
+                   (Topology.Network.node net' e.src.node).name e.src.port
+                   (Topology.Network.node net' e.dst.node).name e.dst.port) );
+            ("spare", Lidjson.Int a.spare);
+          ]
+      in
+      Ok
+        (Lidjson.Obj
+           [
+             ( "bound_before",
+               Lidjson.Float (Topology.Elastic.throughput_bound p.net) );
+             ( "bound_after",
+               Lidjson.Float (Topology.Elastic.throughput_bound net') );
+             ("additions", Lidjson.List (List.map channel additions));
+             ("spec", Lidjson.String (Topology.Spec.print net'));
+           ])
+
+let inject ~engine ~seed ~cycles ~sites ~per_site p =
+  let flavour = p.request.flavour in
+  let horizon =
+    if cycles > 0 then Ok cycles
+    else
+      match Skeleton.Measure.analyze_packed engine with
+      | Some r -> Ok (max 64 (r.transient + (4 * r.period)))
+      | None ->
+          Error
+            "no fault-free steady state within the budget; pass an explicit \
+             \"cycles\""
+  in
+  match horizon with
+  | Error _ as e -> e
+  | Ok cycles ->
+      let config =
+        {
+          Fault.Campaign.seed;
+          kinds = Fault.Model.all_kinds;
+          cycles;
+          flavour;
+          max_sites_per_kind = sites;
+          injections_per_site = per_site;
+        }
+      in
+      (* the daemon already fans requests over domains, so the campaign
+         itself runs on one job; lanes keep their word-parallel screen *)
+      let lanes_used = ref 1 in
+      let on_lanes n _reason = lanes_used := n in
+      let result = Campaign.Fault_driver.run ~jobs:1 ~on_lanes config p.net in
+      Ok
+        (Lidjson.parse_exn
+           (Fault.Campaign.json ~jobs:1 ~lanes_used:!lanes_used result))
+
+let compute ?engine p =
+  let fresh_engine () =
+    match engine with
+    | Some e -> e
+    | None -> Skeleton.Packed.create ~flavour:p.request.flavour p.net
+  in
+  match p.request.analysis with
+  | Request.Lint { gate } -> (lint ~gate p, None)
+  | Request.Equalize -> (equalize p, None)
+  | Request.Throughput { max_cycles; signature_capacity } ->
+      let e = fresh_engine () in
+      (throughput ~engine:e ~max_cycles ~signature_capacity, Some e)
+  | Request.Inject { seed; cycles; sites; per_site } ->
+      let e = fresh_engine () in
+      (inject ~engine:e ~seed ~cycles ~sites ~per_site p, Some e)

@@ -1,0 +1,46 @@
+(** One request, evaluated.
+
+    The handler splits request evaluation into the two halves the batch
+    daemon needs: {!prepare} (parse the spec, canonicalize, derive the
+    cache keys — pure, safe to fan out over domains) and {!compute}
+    (run the analysis — also domain-safe, because every engine it
+    touches is either created locally or handed over with exclusive
+    ownership).  The daemon consults its caches between the two.
+
+    Every analysis payload goes through the same emitters the one-shot
+    CLI uses — [Lint.Checks.to_json], [Fault.Campaign.json] — parsed
+    back with {!Lidjson.parse_exn} and re-embedded, so a serve response
+    carries structurally the very JSON [lidtool lint --json] or
+    [lidtool inject --json] would print. *)
+
+type prepared = {
+  request : Request.t;
+  net : Topology.Network.t;
+  canonical : string;  (** {!Topo_hash.canonical} of [net] *)
+  hash_hex : string;  (** {!Topo_hash.hex} — the response's [topology_hash] *)
+  key : string;  (** result memo-cache key: analysis params + canonical *)
+}
+
+val prepare : Request.t -> (prepared, string) result
+(** Parse and canonicalize.  Lint requests parse with [allow_direct]
+    (the linter reports what the builder refuses); everything else
+    parses strictly, exactly as the corresponding CLI subcommand. *)
+
+val wants_engine : prepared -> bool
+(** Whether {!compute} can reuse a pooled packed engine (throughput
+    measurement and inject-horizon derivation can; lint and equalize
+    never simulate). *)
+
+val engine_key : prepared -> string
+(** Engine-pool key: flavour + canonical topology. *)
+
+val compute :
+  ?engine:Skeleton.Packed.t ->
+  prepared ->
+  (Lidjson.t, string) result * Skeleton.Packed.t option
+(** Run the analysis.  [engine], when given, must be exclusively owned
+    and in reset state; the returned engine (the one given, or one
+    created locally when the analysis needed it) is {e not} reset — the
+    daemon resets it when pooling it back.  The payload/error is
+    deterministic for a given [prepared], independent of engine reuse,
+    jobs, or cache state. *)

@@ -1,0 +1,111 @@
+type analysis =
+  | Lint of { gate : bool }
+  | Throughput of { max_cycles : int option; signature_capacity : int option }
+  | Equalize
+  | Inject of { seed : int; cycles : int; sites : int; per_site : int }
+
+type t = {
+  id : Lidjson.t;
+  spec : string;
+  flavour : Lid.Protocol.flavour;
+  analysis : analysis;
+}
+
+let ( let* ) = Result.bind
+
+let string_member name j =
+  match Lidjson.member name j with
+  | Some (Lidjson.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "member %S must be a string" name)
+  | None -> Ok None
+
+let int_member ~default name j =
+  match Lidjson.member name j with
+  | Some (Lidjson.Int n) -> Ok n
+  | Some _ -> Error (Printf.sprintf "member %S must be an integer" name)
+  | None -> Ok default
+
+let bool_member ~default name j =
+  match Lidjson.member name j with
+  | Some (Lidjson.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "member %S must be a boolean" name)
+  | None -> Ok default
+
+let opt_pos n = if n <= 0 then None else Some n
+
+let of_json j =
+  match j with
+  | Lidjson.Obj _ ->
+      let id = Option.value (Lidjson.member "id" j) ~default:Lidjson.Null in
+      let* spec = string_member "spec" j in
+      let* generate = string_member "generate" j in
+      let* spec =
+        match (spec, generate) with
+        | Some s, None -> Ok s
+        | None, Some g -> Ok ("generate " ^ g)
+        | Some _, Some _ -> Error "give either \"spec\" or \"generate\", not both"
+        | None, None -> Error "missing topology (\"spec\" or \"generate\")"
+      in
+      let* flavour_s = string_member "flavour" j in
+      let* flavour =
+        match flavour_s with
+        | Some "optimized" | None -> Ok Lid.Protocol.Optimized
+        | Some "original" -> Ok Lid.Protocol.Original
+        | Some f ->
+            Error
+              (Printf.sprintf
+                 "unknown flavour %S (want optimized or original)" f)
+      in
+      let* analysis =
+        match string_member "analysis" j with
+        | Error m -> Error m
+        | Ok None -> Error "missing \"analysis\""
+        | Ok (Some "lint") ->
+            let* gate = bool_member ~default:true "gate" j in
+            Ok (Lint { gate })
+        | Ok (Some "throughput") ->
+            let* max_cycles = int_member ~default:0 "max_cycles" j in
+            let* signature_capacity =
+              int_member ~default:0 "signature_capacity" j
+            in
+            Ok
+              (Throughput
+                 {
+                   max_cycles = opt_pos max_cycles;
+                   signature_capacity = opt_pos signature_capacity;
+                 })
+        | Ok (Some "equalize") -> Ok Equalize
+        | Ok (Some "inject") ->
+            let* seed = int_member ~default:1 "seed" j in
+            let* cycles = int_member ~default:0 "cycles" j in
+            let* sites = int_member ~default:0 "sites" j in
+            let* per_site = int_member ~default:1 "per_site" j in
+            Ok (Inject { seed; cycles; sites; per_site = max 1 per_site })
+        | Ok (Some a) ->
+            Error
+              (Printf.sprintf
+                 "unknown analysis %S (want lint, throughput, equalize or \
+                  inject)"
+                 a)
+      in
+      Ok { id; spec; flavour; analysis }
+  | _ -> Error "a request must be a JSON object"
+
+let flavour_name = function
+  | Lid.Protocol.Optimized -> "optimized"
+  | Lid.Protocol.Original -> "original"
+
+let analysis_key t =
+  let params =
+    match t.analysis with
+    | Lint { gate } -> Printf.sprintf "lint gate=%b" gate
+    | Throughput { max_cycles; signature_capacity } ->
+        Printf.sprintf "throughput max_cycles=%d signature_capacity=%d"
+          (Option.value max_cycles ~default:0)
+          (Option.value signature_capacity ~default:0)
+    | Equalize -> "equalize"
+    | Inject { seed; cycles; sites; per_site } ->
+        Printf.sprintf "inject seed=%d cycles=%d sites=%d per_site=%d" seed
+          cycles sites per_site
+  in
+  Printf.sprintf "%s flavour=%s" params (flavour_name t.flavour)

@@ -1,0 +1,44 @@
+(** Serve-protocol requests.
+
+    One request is one JSON object naming a topology and an analysis:
+
+    {v
+    {"id": 7, "spec": "source s\n...", "analysis": "lint"}
+    {"id": 8, "generate": "mesh 8 8", "analysis": "throughput"}
+    {"generate": "soc 40 seed=3", "analysis": "inject", "cycles": 0}
+    v}
+
+    - [id]: any JSON value, echoed verbatim in the response (optional;
+      defaults to null).
+    - topology: exactly one of [spec] (inline description text, the
+      {!Topology.Spec} format) or [generate] (the arguments of a
+      [generate] line, e.g. ["torus 6 6 stations=full,full"]).
+    - [analysis]: ["lint"], ["throughput"], ["equalize"] or ["inject"].
+    - [flavour]: ["optimized"] (default) or ["original"].
+    - analysis parameters, all optional: [gate] (lint, default true);
+      [max_cycles], [signature_capacity] (throughput, 0 or absent =
+      engine defaults); [seed], [cycles], [sites], [per_site] (inject,
+      defaults 1, 0 = derive from the fault-free steady state, 0 =
+      exhaustive, 1).
+
+    Unknown object members are ignored (forward compatibility); wrong
+    member types and missing/ambiguous topology are errors. *)
+
+type analysis =
+  | Lint of { gate : bool }
+  | Throughput of { max_cycles : int option; signature_capacity : int option }
+  | Equalize
+  | Inject of { seed : int; cycles : int; sites : int; per_site : int }
+
+type t = {
+  id : Lidjson.t;  (** echoed in the response; [Null] when absent *)
+  spec : string;  (** description text, possibly a [generate] line *)
+  flavour : Lid.Protocol.flavour;
+  analysis : analysis;
+}
+
+val of_json : Lidjson.t -> (t, string) result
+
+val analysis_key : t -> string
+(** Deterministic rendering of analysis + flavour + every parameter —
+    the non-topology half of the memo-cache key. *)

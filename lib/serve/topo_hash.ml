@@ -1,0 +1,3 @@
+let canonical net = Topology.Spec.print net
+let hash text = Skeleton.Packed.fnv1a_string text
+let hex text = Printf.sprintf "%016x" (hash text)

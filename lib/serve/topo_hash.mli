@@ -1,0 +1,22 @@
+(** Canonical topology hashing.
+
+    The serve daemon memoizes compiled engines and analysis results
+    across requests, so two requests naming the same network — one by
+    inline spec, one by a [generate] line, one with reordered
+    attributes — must key the same cache slot.  The canonical form is
+    {!Topology.Spec.print} of the parsed network: node declarations in
+    id order, one normalized edge line per channel, every default
+    attribute omitted.  The hash is the same FNV-1a fold the packed
+    engine interns state signatures with ({!Skeleton.Packed.fnv1a_fold}),
+    run over the canonical text's bytes. *)
+
+val canonical : Topology.Network.t -> string
+(** The normalized spec text — the cache key material. *)
+
+val hash : string -> int
+(** FNV-1a over the canonical text, folded to OCaml's non-negative int
+    range. *)
+
+val hex : string -> string
+(** [hash] rendered as a fixed-width lowercase hex string — the
+    [topology_hash] field of serve responses. *)

@@ -33,16 +33,24 @@ let k_sink = 2
 
 (* FNV-1a over the signature words: the polymorphic [Hashtbl.hash] only
    inspects a bounded prefix, which degenerates on wide networks whose
-   signatures differ late in the word vector. *)
+   signatures differ late in the word vector.  The fold is exposed so
+   other layers (the serve daemon's canonical topology hash) key their
+   caches with the same machinery. *)
+let fnv1a_basis = 0x811c9dc5
+let fnv1a_fold h w = (h lxor w) * 0x01000193 land max_int
+
+let fnv1a_words a = Array.fold_left fnv1a_fold fnv1a_basis a
+
+let fnv1a_string s =
+  let h = ref fnv1a_basis in
+  String.iter (fun c -> h := fnv1a_fold !h (Char.code c)) s;
+  !h
+
 module Sig_key = struct
   type t = int array
 
   let equal (a : int array) b = a = b
-
-  let hash a =
-    let h = ref 0x811c9dc5 in
-    Array.iter (fun w -> h := (!h lxor w) * 0x01000193 land max_int) a;
-    !h
+  let hash = fnv1a_words
 end
 
 module Sig_tbl = Hashtbl.Make (Sig_key)

@@ -70,6 +70,19 @@ val signature_intern_clear : t -> unit
 (** As {!Engine.signature_intern_size} / {!Engine.signature_intern_clear}:
     the memory bound used by {!Measure} on aperiodic runs. *)
 
+(** {2 The interning hash itself}
+
+    FNV-1a, folded to OCaml's non-negative int range — the hash behind
+    the signature intern table, exposed so other layers (the serve
+    daemon's canonical topology hash) can key their caches with the
+    same machinery. *)
+
+val fnv1a_fold : int -> int -> int
+(** One FNV-1a step: absorb a word into a running hash. *)
+
+val fnv1a_words : int array -> int
+val fnv1a_string : string -> int
+
 (** {1 Probe capture}
 
     The boundary beliefs the runtime monitors ([Fault.Monitor]) consume,

@@ -146,6 +146,13 @@ let random_pearl rng =
   | 4 -> Lid.Pearl.delay_chain 2
   | _ -> Lid.Pearl.combine ~name:"diff" (fun a c -> a - c)
 
+let random_pearl_1in rng =
+  match Random.State.int rng 4 with
+  | 0 -> Lid.Pearl.identity ()
+  | 1 -> Lid.Pearl.map1 ~name:"inc" (fun v -> v + 1)
+  | 2 -> Lid.Pearl.accumulator ()
+  | _ -> Lid.Pearl.delay_chain 2
+
 let random_net ~rng ~n_shells ~back_edges ~max_stations ~half_probability =
   let b = Network.builder () in
   (* [avail] holds output endpoints not yet consumed. *)
@@ -225,3 +232,241 @@ let random_loopy ~rng ~n_shells ?(extra_back_edges = 1) ?(max_stations = 3)
     ?(half_probability = 0.) () =
   random_net ~rng ~n_shells ~back_edges:extra_back_edges ~max_stations
     ~half_probability
+
+(* ------------------------------------------------------------------ *)
+(* NoC-scale regular families.                                         *)
+
+(* Router pearl of the regular fabrics: 2-in/2-out, both outputs carry
+   the sum of the inputs (the [tap] standard pearl, so generated specs
+   round-trip through [Spec.print]/[Spec.parse]). *)
+let router_pearl = Lid.Pearl.tap
+
+(* A shared size wall for the parameterized families: the spec syntax
+   exposes them to arbitrary user input, and a mistyped dimension must
+   fail as a diagnostic, not as an hours-long allocation storm.  256k
+   switches is 16x the 64x64 acceptance topology. *)
+let max_fabric_shells = 262_144
+
+let check_fabric what shells =
+  if shells > max_fabric_shells then
+    invalid_arg
+      (Printf.sprintf "Generators.%s: %d shells exceed the %d-shell bound"
+         what shells max_fabric_shells)
+
+let mesh ?(stations = [ Full ]) ~n ~m () =
+  if n < 1 || m < 1 then invalid_arg "Generators.mesh: need n, m >= 1";
+  check_fabric "mesh" n;
+  check_fabric "mesh" m;
+  check_fabric "mesh" (n * m);
+  let b = Network.builder () in
+  (* Unidirectional (east/south) mesh, the systolic-array orientation:
+     node (i,j) consumes from the west on port 0 and the north on port 1,
+     produces east on port 0 and south on port 1.  All monotone paths
+     between two grid points have equal hop count, so with a uniform
+     relay chain per hop every reconvergence is balanced — throughput 1. *)
+  let node =
+    Array.init n (fun i ->
+        Array.init m (fun j ->
+            Network.add_shell b
+              ~name:(Printf.sprintf "x%d_%d" i j)
+              (router_pearl ())))
+  in
+  for i = 0 to n - 1 do
+    let w = Network.add_source b ~name:(Printf.sprintf "w%d" i) () in
+    ignore (Network.connect b ~stations ~src:(w, 0) ~dst:(node.(i).(0), 0) ())
+  done;
+  for j = 0 to m - 1 do
+    let no = Network.add_source b ~name:(Printf.sprintf "n%d" j) () in
+    ignore (Network.connect b ~stations ~src:(no, 0) ~dst:(node.(0).(j), 1) ())
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      (* east *)
+      (if j + 1 < m then
+         ignore
+           (Network.connect b ~stations ~src:(node.(i).(j), 0)
+              ~dst:(node.(i).(j + 1), 0) ())
+       else
+         let e = Network.add_sink b ~name:(Printf.sprintf "e%d" i) () in
+         ignore
+           (Network.connect b ~stations:[] ~src:(node.(i).(j), 0) ~dst:(e, 0) ()));
+      (* south *)
+      if i + 1 < n then
+        ignore
+          (Network.connect b ~stations ~src:(node.(i).(j), 1)
+             ~dst:(node.(i + 1).(j), 1) ())
+      else
+        let s = Network.add_sink b ~name:(Printf.sprintf "s%d" j) () in
+        ignore
+          (Network.connect b ~stations:[] ~src:(node.(i).(j), 1) ~dst:(s, 0) ())
+    done
+  done;
+  Network.build b
+
+let torus ?(stations = [ Full ]) ~n ~m () =
+  if n < 2 || m < 2 then invalid_arg "Generators.torus: need n, m >= 2";
+  check_fabric "torus" n;
+  check_fabric "torus" m;
+  check_fabric "torus" (n * m);
+  let b = Network.builder () in
+  (* The mesh's links wrapped around: a closed system of row and column
+     rings (no environment — measure shell firing rates).  Every cycle
+     passes through shells, so tokens exist and no LID004 arises; each
+     ring of k shells spanned by R stations caps throughput at k/(k+R). *)
+  let node =
+    Array.init n (fun i ->
+        Array.init m (fun j ->
+            Network.add_shell b
+              ~name:(Printf.sprintf "x%d_%d" i j)
+              (router_pearl ())))
+  in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      ignore
+        (Network.connect b ~stations ~src:(node.(i).(j), 0)
+           ~dst:(node.(i).((j + 1) mod m), 0) ());
+      ignore
+        (Network.connect b ~stations ~src:(node.(i).(j), 1)
+           ~dst:(node.((i + 1) mod n).(j), 1) ())
+    done
+  done;
+  Network.build b
+
+let butterfly ?(stations = [ Full ]) ~k () =
+  if k < 1 then invalid_arg "Generators.butterfly: need k >= 1";
+  if k > 20 then invalid_arg "Generators.butterfly: k > 20 is absurd";
+  let rows = 1 lsl k in
+  let b = Network.builder () in
+  (* The radix-2 butterfly graph on 2^k lines: stage 0 forks each input,
+     stages 1..k-1 are 2-in/2-out routers, stage k joins into the sinks.
+     Vertex (s, l) sends straight to (s+1, l) on port 0 and cross to
+     (s+1, l xor 2^s) on port 1; every source-to-sink path crosses k+1
+     shells, so the fabric is balanced — throughput 1. *)
+  let stage s =
+    Array.init rows (fun l ->
+        let name = Printf.sprintf "b%d_%d" s l in
+        if s = 0 then Network.add_shell b ~name (Lid.Pearl.fork2 ())
+        else if s = k then Network.add_shell b ~name (Lid.Pearl.adder ())
+        else Network.add_shell b ~name (router_pearl ()))
+  in
+  let stages = Array.init (k + 1) stage in
+  Array.iteri
+    (fun l v ->
+      let src = Network.add_source b ~name:(Printf.sprintf "in%d" l) () in
+      ignore (Network.connect b ~stations ~src:(src, 0) ~dst:(v, 0) ()))
+    stages.(0);
+  for s = 0 to k - 1 do
+    let cross = 1 lsl s in
+    for l = 0 to rows - 1 do
+      ignore
+        (Network.connect b ~stations ~src:(stages.(s).(l), 0)
+           ~dst:(stages.(s + 1).(l), 0) ());
+      ignore
+        (Network.connect b ~stations ~src:(stages.(s).(l), 1)
+           ~dst:(stages.(s + 1).(l lxor cross), 1) ())
+    done
+  done;
+  Array.iteri
+    (fun l v ->
+      let snk = Network.add_sink b ~name:(Printf.sprintf "out%d" l) () in
+      ignore (Network.connect b ~stations:[] ~src:(v, 0) ~dst:(snk, 0) ()))
+    stages.(k);
+  Network.build b
+
+let random_soc ~rng ~n_shells ?(loop_density = 0.1) ?(reconv_density = 0.5)
+    ?(max_stations = 3) ?(half_probability = 0.) () =
+  if n_shells < 1 then invalid_arg "Generators.random_soc: need n_shells >= 1";
+  check_fabric "random_soc" n_shells;
+  if loop_density < 0. || loop_density > 1. then
+    invalid_arg "Generators.random_soc: loop_density must be in [0, 1]";
+  if reconv_density < 0. || reconv_density > 1. then
+    invalid_arg "Generators.random_soc: reconv_density must be in [0, 1]";
+  let b = Network.builder () in
+  let stations () = random_stations rng ~max_stations ~half_probability in
+  let back_edges =
+    int_of_float (Float.round (loop_density *. float_of_int n_shells))
+  in
+  let back_edges = min back_edges n_shells in
+  (* [avail] holds output endpoints not yet consumed. *)
+  let avail = ref [] in
+  let take_avail () =
+    match !avail with
+    | [] -> None
+    | _ ->
+        let i = Random.State.int rng (List.length !avail) in
+        let ep = List.nth !avail i in
+        avail := List.filteri (fun j _ -> j <> i) !avail;
+        Some ep
+  in
+  let fresh_source () = (Network.add_source b (), 0) in
+  let take_or_source () =
+    match take_avail () with Some ep -> ep | None -> fresh_source ()
+  in
+  let reserved = ref [] in
+  for k = 0 to n_shells - 1 do
+    let reserve_back = k < back_edges in
+    (* [reconv_density] sets the share of join (2-input) pearls; joins
+       prefer wiring their second input to an existing dangling output,
+       which is exactly a reconvergent path.  Back-edge joiners are
+       always 2-input — their second input closes a loop below. *)
+    let join =
+      reserve_back || Random.State.float rng 1.0 < reconv_density
+    in
+    let pearl =
+      if join then
+        if Random.State.bool rng then Lid.Pearl.adder ()
+        else Lid.Pearl.combine ~name:"diff" (fun a c -> a - c)
+      else random_pearl_1in rng
+    in
+    let id = Network.add_shell b pearl in
+    ignore
+      (Network.connect b ~stations:(stations ()) ~src:(take_or_source ())
+         ~dst:(id, 0) ());
+    if pearl.Lid.Pearl.n_inputs = 2 then
+      if reserve_back then reserved := (id, k) :: !reserved
+      else begin
+        let src1 =
+          (* the reconvergence knob proper: joins pull from the existing
+             fabric when allowed, a fresh source otherwise *)
+          if Random.State.float rng 1.0 < reconv_density then take_or_source ()
+          else fresh_source ()
+        in
+        ignore (Network.connect b ~stations:(stations ()) ~src:src1 ~dst:(id, 1) ())
+      end;
+    avail := (id, 0) :: !avail
+  done;
+  (* Keep one dangling output aside so the network always retains at
+     least one sink, then close the loops (each back edge points backward
+     or sideways so a cycle actually forms). *)
+  let reserved_for_sink =
+    match List.rev !avail with
+    | [] -> None
+    | ep :: rest_rev ->
+        avail := List.rev rest_rev;
+        Some ep
+  in
+  List.iter
+    (fun (joiner, _) ->
+      let candidates =
+        List.filter (fun (nd, _) -> nd <> joiner && nd >= joiner) !avail
+      in
+      let pool =
+        if candidates = [] then
+          List.filter (fun (nd, _) -> nd <> joiner) !avail
+        else candidates
+      in
+      let ep =
+        match pool with
+        | [] -> fresh_source ()
+        | _ -> List.nth pool (Random.State.int rng (List.length pool))
+      in
+      avail := List.filter (fun e -> e <> ep) !avail;
+      ignore (Network.connect b ~stations:(stations ()) ~src:ep ~dst:(joiner, 1) ()))
+    (List.rev !reserved);
+  (match reserved_for_sink with Some ep -> avail := ep :: !avail | None -> ());
+  List.iter
+    (fun ep ->
+      let sink = Network.add_sink b () in
+      ignore (Network.connect b ~stations:[] ~src:ep ~dst:(sink, 0) ()))
+    !avail;
+  Network.build b

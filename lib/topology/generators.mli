@@ -85,3 +85,52 @@ val random_loopy :
   Network.t
 (** [random_dag] plus [extra_back_edges] (default 1) backward channels that
     close loops (inserted by widening the pearls they touch). *)
+
+(** {1 NoC-scale families}
+
+    The regular fabrics of the network-on-chip literature, sized by
+    parameters rather than drawn by hand — the workload of the serve
+    daemon and the E19 amortization bench.  All are built from standard
+    pearls, so {!Spec.print} output round-trips through {!Spec.parse};
+    all are reachable from the spec syntax ([generate mesh 32 32]) and
+    [lidtool gen]. *)
+
+val mesh : ?stations:kind list -> n:int -> m:int -> unit -> Network.t
+(** Unidirectional [n] x [m] mesh (systolic-array orientation): node
+    [(i,j)] consumes from the west and the north, produces east and
+    south; [n + m] free-running sources drive the west and north faces,
+    [n + m] sinks drain the east and south faces.  [stations] (default
+    [[Full]]) spans every hop.  All monotone paths between two grid
+    points have equal hop count, so the fabric is balanced: throughput
+    1, no LID003/LID004. *)
+
+val torus : ?stations:kind list -> n:int -> m:int -> unit -> Network.t
+(** The mesh with wrap-around links instead of an environment: a closed
+    system ([n], [m] >= 2) of row and column rings.  Every cycle passes
+    through shells, so no token-free (LID004) cycle exists; a ring of
+    [k] shells spanned by [R] stations caps throughput at [k/(k+R)]
+    (LID003 with the default chain). *)
+
+val butterfly : ?stations:kind list -> k:int -> unit -> Network.t
+(** The radix-2 butterfly graph on [2^k] lines, [k] >= 1: stage 0 forks
+    each of the [2^k] inputs, stages 1..k-1 route straight/cross, stage
+    [k] joins into the sinks.  Balanced — every source-to-sink path
+    crosses [k+1] shells — so throughput 1. *)
+
+val random_soc :
+  rng:Random.State.t ->
+  n_shells:int ->
+  ?loop_density:float ->
+  ?reconv_density:float ->
+  ?max_stations:int ->
+  ?half_probability:float ->
+  unit ->
+  Network.t
+(** An irregular SoC-like graph with explicit density knobs.
+    [loop_density] (default 0.1) is the fraction of shells that anchor a
+    backward edge closing a loop; [reconv_density] (default 0.5) is both
+    the share of join (2-input) pearls and the probability a join pulls
+    its second input from the existing fabric (a reconvergent path)
+    rather than a fresh source.  Station chains have
+    1..[max_stations] (default 3) stations, each half with
+    [half_probability] (default 0).  Fully seeded by [rng]. *)

@@ -104,6 +104,88 @@ let parse_station = function
           | _ -> fail "bad retx depth %S (want retx:DEPTH, DEPTH >= 1)" d)
       | _ -> fail "unknown station kind %S (want full, half or retx[:DEPTH])" s)
 
+(* ------------------------------------------------------------------ *)
+(* Generator invocations: [generate FAMILY ARGS...] builds one of the
+   parameterized NoC families instead of declaring nodes by hand.       *)
+
+let parse_generate words =
+  let pos_int what v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail "bad %s %S (want an integer)" what v
+  in
+  let pos_float what v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> fail "bad %s %S (want a number)" what v
+  in
+  let stations_of v =
+    match String.split_on_char ',' v with
+    | [] | [ "" ] -> fail "empty stations list"
+    | kinds -> List.map parse_station kinds
+  in
+  let split_attrs attrs =
+    List.map
+      (fun w ->
+        match String.index_opt w '=' with
+        | Some i ->
+            (String.sub w 0 i, String.sub w (i + 1) (String.length w - i - 1))
+        | None -> fail "expected key=value, got %S" w)
+      attrs
+  in
+  let grid family gen args =
+    match args with
+    | n :: m :: attrs ->
+        let n = pos_int (family ^ " rows") n
+        and m = pos_int (family ^ " columns") m in
+        let stations = ref None in
+        List.iter
+          (fun (k, v) ->
+            match k with
+            | "stations" -> stations := Some (stations_of v)
+            | _ -> fail "unknown %s attribute %S" family k)
+          (split_attrs attrs);
+        gen ?stations:!stations ~n ~m ()
+    | _ -> fail "generate %s wants N M [stations=KIND,...]" family
+  in
+  match words with
+  | "mesh" :: args -> grid "mesh" Generators.mesh args
+  | "torus" :: args -> grid "torus" Generators.torus args
+  | "butterfly" :: k :: attrs ->
+      let k = pos_int "butterfly order" k in
+      let stations = ref None in
+      List.iter
+        (fun (key, v) ->
+          match key with
+          | "stations" -> stations := Some (stations_of v)
+          | _ -> fail "unknown butterfly attribute %S" key)
+        (split_attrs attrs);
+      Generators.butterfly ?stations:!stations ~k ()
+  | "soc" :: n :: attrs ->
+      let n_shells = pos_int "soc size" n in
+      let seed = ref 1
+      and loops = ref None
+      and reconv = ref None
+      and max_stations = ref None
+      and half = ref None in
+      List.iter
+        (fun (k, v) ->
+          match k with
+          | "seed" -> seed := pos_int "seed" v
+          | "loops" -> loops := Some (pos_float "loops" v)
+          | "reconv" -> reconv := Some (pos_float "reconv" v)
+          | "max_stations" -> max_stations := Some (pos_int "max_stations" v)
+          | "half" -> half := Some (pos_float "half" v)
+          | _ -> fail "unknown soc attribute %S" k)
+        (split_attrs attrs);
+      let rng = Random.State.make [| 0x50c; !seed |] in
+      Generators.random_soc ~rng ~n_shells ?loop_density:!loops
+        ?reconv_density:!reconv ?max_stations:!max_stations
+        ?half_probability:!half ()
+  | family :: _ ->
+      fail "unknown generator %S (want mesh, torus, butterfly or soc)" family
+  | [] -> fail "generate wants a family (mesh, torus, butterfly or soc)"
+
 let parse ?allow_direct text =
   let b = Net.builder () in
   let names = Hashtbl.create 16 in
@@ -111,8 +193,8 @@ let parse ?allow_direct text =
     if Hashtbl.mem names name then fail "duplicate node name %S" name;
     Hashtbl.replace names name id
   in
-  let parse_line line =
-    match split_words line with
+  let parse_words words =
+    match words with
     | [] -> ()
     | "source" :: name :: attrs ->
         let start, pattern = parse_kv attrs in
@@ -163,22 +245,47 @@ let parse ?allow_direct text =
             in
             let stations = List.map parse_station stations in
             ignore (Net.connect b ~stations ?latency ~src ~dst ())
-        | _ -> fail "cannot parse %S" line)
+        | _ -> fail "cannot parse %S" (String.concat " " words))
   in
   let strip_comment line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
     | None -> line
   in
-  try
-    List.iteri
-      (fun i line ->
-        try parse_line (strip_comment line)
-        with Parse_error m -> fail "line %d: %s" (i + 1) m)
-      (String.split_on_char '\n' text);
-    try Ok (Net.build ?allow_direct b)
-    with Invalid_argument m -> Error m
-  with Parse_error m -> Error m
+  let stripped =
+    List.mapi
+      (fun i line -> (i + 1, split_words (strip_comment line)))
+      (String.split_on_char '\n' text)
+  in
+  let generates, declarations =
+    List.partition
+      (fun (_, words) ->
+        match words with "generate" :: _ -> true | _ -> false)
+      (List.filter (fun (_, words) -> words <> []) stripped)
+  in
+  match generates with
+  | (line, _) :: _ when declarations <> [] ->
+      Error
+        (Printf.sprintf
+           "line %d: a generate line must be the only declaration" line)
+  | _ :: (line, _) :: _ ->
+      Error (Printf.sprintf "line %d: multiple generate lines" line)
+  | [ (line, words) ] -> (
+      match parse_generate (List.tl words) with
+      | net -> Ok net
+      | exception Parse_error m -> Error (Printf.sprintf "line %d: %s" line m)
+      | exception Invalid_argument m ->
+          Error (Printf.sprintf "line %d: %s" line m))
+  | [] -> (
+      try
+        List.iter
+          (fun (i, words) ->
+            try parse_words words
+            with Parse_error m -> fail "line %d: %s" i m)
+          stripped;
+        try Ok (Net.build ?allow_direct b)
+        with Invalid_argument m -> Error m
+      with Parse_error m -> Error m)
 
 let parse_exn ?allow_direct text =
   match parse ?allow_direct text with

@@ -7,6 +7,18 @@
     shell   NAME PEARL
     sink    NAME [pattern=PAT]
     SRC.PORT -> DST.PORT [: STATION ...]
+    generate FAMILY ARGS...
+    v}
+
+    A [generate] line invokes a parameterized {!Generators} family
+    instead of declaring nodes by hand; it must be the only declaration
+    in the description.  Families:
+
+    {v
+    generate mesh N M [stations=KIND,...]
+    generate torus N M [stations=KIND,...]
+    generate butterfly K [stations=KIND,...]
+    generate soc N [seed=S] [loops=F] [reconv=F] [max_stations=N] [half=F]
     v}
 
     [PEARL] is a standard pearl name ({!Lid.Pearl.of_name}); [STATION] is

@@ -1,0 +1,151 @@
+(* The NoC-scale generator families: lint cleanliness (in particular no
+   LID004 token-free cycle), predicted-vs-measured throughput, packed vs
+   reference engine agreement, and the spec-level [generate] syntax. *)
+
+module G = Topology.Generators
+module Net = Topology.Network
+module Spec = Topology.Spec
+module M = Skeleton.Measure
+
+let lint net = Lint.Checks.run ~gate:false net
+
+let codes report =
+  List.sort_uniq compare
+    (List.map
+       (fun (d : Lint.Diagnostic.t) -> Lint.Diagnostic.code_id d.code)
+       report.Lint.Checks.diagnostics)
+
+let check_no_lid004 name report =
+  Alcotest.(check bool)
+    (name ^ ": no token-free cycle (LID004)")
+    false
+    (List.mem "LID004" (codes report))
+
+(* Measure the steady state on both engines and require them to agree
+   exactly — the small-size lockstep leg of the acceptance criteria. *)
+let check_engines_agree name net =
+  let reference = M.analyze (Skeleton.Engine.create net) in
+  let packed = M.analyze_packed (Skeleton.Packed.create net) in
+  match (reference, packed) with
+  | Some r, Some p ->
+      Alcotest.(check int) (name ^ ": transient") r.M.transient p.M.transient;
+      Alcotest.(check int) (name ^ ": period") r.M.period p.M.period;
+      Alcotest.(check (float 1e-9))
+        (name ^ ": system throughput")
+        (M.system_throughput r) (M.system_throughput p);
+      M.system_throughput p
+  | None, _ | _, None ->
+      Alcotest.failf "%s: no steady state on one of the engines" name
+
+let test_mesh () =
+  let net = G.mesh ~n:4 ~m:5 () in
+  Alcotest.(check int) "shells" 20 (List.length (Net.shells net));
+  Alcotest.(check int) "sources" (4 + 5) (List.length (Net.sources net));
+  Alcotest.(check int) "sinks" (4 + 5) (List.length (Net.sinks net));
+  let report = lint net in
+  Alcotest.(check (list string)) "mesh lint-clean" [] (codes report);
+  (* balanced Manhattan fabric: every path equalized, full throughput *)
+  Alcotest.(check (float 1e-9))
+    "mesh throughput 1" 1.0
+    (check_engines_agree "mesh 4x5" net)
+
+let test_torus () =
+  let net = G.torus ~n:3 ~m:4 () in
+  Alcotest.(check int) "shells" 12 (List.length (Net.shells net));
+  Alcotest.(check int) "no environment" 0 (List.length (Net.sources net));
+  let report = lint net in
+  check_no_lid004 "torus 3x4" report;
+  Alcotest.(check bool)
+    "torus has no errors" true
+    (Lint.Checks.count report Lint.Diagnostic.Error = 0);
+  (* each row/column ring carries k shells over k stations: k/(k+k) *)
+  Alcotest.(check (float 1e-9))
+    "torus throughput 1/2" 0.5
+    (check_engines_agree "torus 3x4" net)
+
+let test_butterfly () =
+  let k = 3 in
+  let net = G.butterfly ~k () in
+  Alcotest.(check int)
+    "shells" ((k + 1) * (1 lsl k))
+    (List.length (Net.shells net));
+  let report = lint net in
+  Alcotest.(check (list string)) "butterfly lint-clean" [] (codes report);
+  Alcotest.(check (float 1e-9))
+    "butterfly throughput 1" 1.0
+    (check_engines_agree "butterfly 3" net)
+
+let prop_soc_linted =
+  QCheck.Test.make ~name:"random_soc: never a token-free cycle" ~count:30
+    QCheck.(pair (int_range 1 40) small_int)
+    (fun (n_shells, seed) ->
+      let rng = Random.State.make [| 0x50c; seed |] in
+      let net =
+        G.random_soc ~rng ~n_shells ~loop_density:0.3 ~reconv_density:0.7 ()
+      in
+      not (List.mem "LID004" (codes (lint net))))
+
+let prop_soc_engines_agree =
+  QCheck.Test.make ~name:"random_soc: packed and reference engines agree"
+    ~count:15
+    QCheck.(pair (int_range 1 20) small_int)
+    (fun (n_shells, seed) ->
+      let rng = Random.State.make [| 0x50c; seed |] in
+      let net = G.random_soc ~rng ~n_shells () in
+      match
+        ( M.analyze (Skeleton.Engine.create net),
+          M.analyze_packed (Skeleton.Packed.create net) )
+      with
+      | Some r, Some p ->
+          r.M.transient = p.M.transient
+          && r.M.period = p.M.period
+          && M.system_throughput r = M.system_throughput p
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The [generate] spec syntax. *)
+
+let test_generate_syntax () =
+  let viaspec = Spec.parse_exn "generate mesh 3 3 stations=full" in
+  let direct = G.mesh ~n:3 ~m:3 () in
+  Alcotest.(check string)
+    "generate mesh = Generators.mesh" (Spec.print direct) (Spec.print viaspec);
+  (* print/parse round-trip of a generated fabric *)
+  let reparsed = Spec.parse_exn (Spec.print viaspec) in
+  Alcotest.(check string)
+    "round-trip" (Spec.print viaspec) (Spec.print reparsed);
+  (* soc generation is deterministic in the seed *)
+  let a = Spec.parse_exn "generate soc 25 seed=9 loops=0.2" in
+  let b = Spec.parse_exn "generate soc 25 seed=9 loops=0.2" in
+  Alcotest.(check string) "soc deterministic" (Spec.print a) (Spec.print b)
+
+let test_generate_errors () =
+  List.iter
+    (fun (text, fragment) ->
+      match Spec.parse text with
+      | Ok _ -> Alcotest.failf "%s: should not parse" text
+      | Error m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error mentions %S (got %S)" text fragment m)
+            true
+            (Astring.String.is_infix ~affix:fragment m))
+    [
+      ("generate ring 4", "unknown generator");
+      ("generate mesh 3", "wants N M");
+      ("generate torus 1 4", "n, m >= 2");
+      ("generate mesh 9999 9999", "exceed");
+      ("source s\ngenerate mesh 2 2", "only declaration");
+      ("generate mesh 2 2\ngenerate mesh 2 2", "multiple generate");
+      ("generate soc 10 seed=x", "bad seed");
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "mesh" `Quick test_mesh;
+    Alcotest.test_case "torus" `Quick test_torus;
+    Alcotest.test_case "butterfly" `Quick test_butterfly;
+    Alcotest.test_case "generate syntax" `Quick test_generate_syntax;
+    Alcotest.test_case "generate errors" `Quick test_generate_errors;
+    QCheck_alcotest.to_alcotest prop_soc_linted;
+    QCheck_alcotest.to_alcotest prop_soc_engines_agree;
+  ]

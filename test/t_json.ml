@@ -1,0 +1,177 @@
+(* The shared JSON kit: escaping that real parsers accept (the bug the
+   %S-based emitters had), printer/parser round-trips, and the emitters
+   that embed user-controlled names surviving adversarial input. *)
+
+module J = Lidjson
+module Net = Topology.Network
+
+(* ------------------------------------------------------------------ *)
+(* Escaping. *)
+
+let test_escape_table () =
+  List.iter
+    (fun (raw, quoted) ->
+      Alcotest.(check string) (Printf.sprintf "quote %S" raw) quoted (J.quote raw))
+    [
+      ("", {|""|});
+      ("plain", {|"plain"|});
+      ("with \"quotes\"", {|"with \"quotes\""|});
+      ("back\\slash", {|"back\\slash"|});
+      ("line\nbreak", {|"line\nbreak"|});
+      ("tab\there", {|"tab\there"|});
+      ("\r\b\012", {|"\r\b\f"|});
+      (* control bytes that have no short escape become \u00XX — the
+         case OCaml's %S renders as decimal \007, which JSON rejects *)
+      ("\007", "\"\\u0007\"");
+      ("\000", "\"\\u0000\"");
+      (* raw UTF-8 passes through untouched *)
+      ("caf\xc3\xa9", "\"caf\xc3\xa9\"");
+    ]
+
+let prop_quote_parses_back =
+  QCheck.Test.make ~name:"parse (quote s) = String s for arbitrary bytes"
+    ~count:1000
+    QCheck.(string_gen (Gen.char_range '\000' '\255'))
+    (fun s ->
+      match J.parse (J.quote s) with
+      | Ok (J.String s') -> s' = s
+      | Ok _ | Error _ -> false)
+
+(* %S and the JSON escaper agree on the printable-ASCII subset the
+   existing emitters were exercising — the escaper swap could not have
+   changed any previously-valid output. *)
+let prop_printable_ascii_matches_caml =
+  QCheck.Test.make ~name:"quote = %S on printable ASCII" ~count:500
+    QCheck.(string_gen (Gen.char_range ' ' '~'))
+    (fun s -> J.quote s = Printf.sprintf "%S" s)
+
+(* ------------------------------------------------------------------ *)
+(* Value round-trips. *)
+
+let rec value_gen depth =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun n -> J.Int n) small_signed_int;
+        map (fun f -> J.Float f) (float_bound_inclusive 1e6);
+        map (fun s -> J.String s) (string_size (int_bound 12));
+      ]
+  in
+  if depth = 0 then scalar
+  else
+    oneof
+      [
+        scalar;
+        map (fun l -> J.List l) (list_size (int_bound 4) (value_gen (depth - 1)));
+        map
+          (fun l -> J.Obj l)
+          (list_size (int_bound 4)
+             (pair (string_size (int_bound 8)) (value_gen (depth - 1))));
+      ]
+
+let prop_value_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string v) = v" ~count:500
+    (QCheck.make (value_gen 3))
+    (fun v -> J.parse (J.to_string v) = Ok v)
+
+let test_parse_escapes () =
+  List.iter
+    (fun (text, expect) ->
+      match J.parse text with
+      | Ok v -> Alcotest.(check string) text expect (J.to_string v)
+      | Error m -> Alcotest.failf "%s: %s" text m)
+    [
+      ({|"Aé"|}, "\"A\xc3\xa9\"");
+      (* surrogate pair: U+1F600 *)
+      ({|"😀"|}, "\"\xf0\x9f\x98\x80\"");
+      ({|[1, -2.5, true, null]|}, "[1, -2.5, true, null]");
+    ]
+
+let test_parse_rejects () =
+  List.iter
+    (fun text ->
+      match J.parse text with
+      | Ok _ -> Alcotest.failf "%s: should not parse" text
+      | Error _ -> ())
+    [ ""; "{"; {|"\q"|}; "[1,]"; "{1: 2}"; "tru"; "1 2"; {|"\123"|} ]
+
+(* ------------------------------------------------------------------ *)
+(* Emitters under adversarial node names.  These networks carry names
+   with quotes, newlines, control bytes and UTF-8; every JSON document
+   the toolkit emits about them must still parse. *)
+
+let nasty_names =
+  [ "a\"b"; "line\nbreak"; "bell\007"; "caf\xc3\xa9"; "back\\slash" ]
+
+let nasty_ring () =
+  let b = Net.builder () in
+  let shells =
+    List.map (fun name -> Net.add_shell b ~name (Lid.Pearl.identity ())) nasty_names
+  in
+  let rec wire = function
+    | a :: (c :: _ as rest) ->
+        ignore
+          (Net.connect b
+             ~stations:[ Lid.Relay_station.Full; Lid.Relay_station.Full ]
+             ~src:(a, 0) ~dst:(c, 0) ());
+        wire rest
+    | [ last ] ->
+        ignore
+          (Net.connect b
+             ~stations:[ Lid.Relay_station.Full; Lid.Relay_station.Full ]
+             ~src:(last, 0) ~dst:(List.hd shells, 0) ())
+    | [] -> ()
+  in
+  wire shells;
+  Net.build b
+
+let test_lint_json_nasty_names () =
+  (* the over-stationed ring throttles below 1, so the diagnostics
+     mention the loop through every adversarial name *)
+  let report = Lint.Checks.run ~gate:false (nasty_ring ()) in
+  Alcotest.(check bool)
+    "produces diagnostics" true
+    (report.Lint.Checks.diagnostics <> []);
+  match J.parse (Lint.Checks.to_json report) with
+  | Ok v ->
+      let rendered = J.to_string v in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mentions %S" name)
+            true
+            (Astring.String.is_infix ~affix:(J.to_string (J.String name))
+               rendered))
+        [ "a\"b"; "line\nbreak" ]
+  | Error m -> Alcotest.failf "lint JSON does not parse: %s" m
+
+let test_campaign_json_nasty_names () =
+  let net = nasty_ring () in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      Fault.Campaign.cycles = 64;
+      max_sites_per_kind = 2;
+    }
+  in
+  let result = Campaign.Fault_driver.run ~jobs:1 config net in
+  match J.parse (Fault.Campaign.json ~jobs:1 ~lanes_used:1 result) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "campaign JSON does not parse: %s" m
+
+let suite =
+  [
+    Alcotest.test_case "escape table" `Quick test_escape_table;
+    Alcotest.test_case "parse escapes" `Quick test_parse_escapes;
+    Alcotest.test_case "parse rejects" `Quick test_parse_rejects;
+    Alcotest.test_case "lint JSON, adversarial names" `Quick
+      test_lint_json_nasty_names;
+    Alcotest.test_case "campaign JSON, adversarial names" `Quick
+      test_campaign_json_nasty_names;
+    QCheck_alcotest.to_alcotest prop_quote_parses_back;
+    QCheck_alcotest.to_alcotest prop_printable_ascii_matches_caml;
+    QCheck_alcotest.to_alcotest prop_value_roundtrip;
+  ]

@@ -1,0 +1,248 @@
+(* The batch-analysis daemon: responses bit-identical to the one-shot
+   emitters and independent of cache state, memoization observable in
+   the batch statistics, LRU bounds respected, and the NoC-scale
+   acceptance topology (a 64x64 mesh) served within the default
+   signature capacity. *)
+
+module J = Lidjson
+module D = Serve.Daemon
+
+let req ?(id = 1) ?(analysis = "throughput") ?(extras = []) gen =
+  J.Obj
+    ([
+       ("id", J.Int id);
+       ("generate", J.String gen);
+       ("analysis", J.String analysis);
+     ]
+    @ extras)
+
+let respond daemon requests = fst (D.process daemon requests)
+
+let render rs = List.map J.to_string rs
+
+(* ------------------------------------------------------------------ *)
+(* Protocol basics. *)
+
+let test_response_shape () =
+  let daemon = D.create ~jobs:1 () in
+  match respond daemon [ req ~id:42 "mesh 3 3" ] with
+  | [ r ] ->
+      Alcotest.(check bool) "ok" true (J.member "ok" r = Some (J.Bool true));
+      Alcotest.(check bool) "echoes id" true (J.member "id" r = Some (J.Int 42));
+      Alcotest.(check bool)
+        "has topology_hash" true
+        (match J.member "topology_hash" r with
+        | Some (J.String h) -> String.length h = 16
+        | _ -> false);
+      Alcotest.(check bool)
+        "reports jobs" true
+        (J.member "jobs" r = Some (J.Int 1));
+      Alcotest.(check bool)
+        "throughput payload" true
+        (match J.member "result" r with
+        | Some payload ->
+            J.member "system_throughput" payload = Some (J.Float 1.0)
+        | None -> false)
+  | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs)
+
+let test_errors () =
+  let daemon = D.create ~jobs:1 () in
+  let cases =
+    [
+      (J.String "not an object", "must be a JSON object");
+      (J.Obj [ ("analysis", J.String "lint") ], "missing topology");
+      ( J.Obj [ ("generate", J.String "mesh 2 2") ],
+        "missing \"analysis\"" );
+      ( J.Obj
+          [
+            ("generate", J.String "mesh 2 2");
+            ("spec", J.String "source s");
+            ("analysis", J.String "lint");
+          ],
+        "not both" );
+      (req ~analysis:"frobnicate" "mesh 2 2", "unknown analysis");
+      (req "mesh 0 3", "n, m >= 1");
+      (req ~analysis:"equalize" "torus 2 2", "loops");
+      ( J.Obj
+          [
+            ("spec", J.String "shell a nosuchpearl");
+            ("analysis", J.String "lint");
+          ],
+        "unknown pearl" );
+    ]
+  in
+  List.iter2
+    (fun (input, fragment) r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: not ok" (J.to_string input))
+        true
+        (J.member "ok" r = Some (J.Bool false));
+      match J.member "error" r with
+      | Some (J.String m) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error mentions %S (got %S)" (J.to_string input)
+               fragment m)
+            true
+            (Astring.String.is_infix ~affix:fragment m)
+      | _ -> Alcotest.failf "%s: no error member" (J.to_string input))
+    cases
+    (respond daemon (List.map fst cases))
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity with the one-shot emitters. *)
+
+let test_matches_one_shot_lint () =
+  let daemon = D.create ~jobs:1 () in
+  let gen = "soc 18 seed=4 loops=0.3" in
+  let net = Topology.Spec.parse_exn ~allow_direct:true ("generate " ^ gen) in
+  let oneshot = J.parse_exn (Lint.Checks.to_json (Lint.Checks.run net)) in
+  match respond daemon [ req ~analysis:"lint" gen ] with
+  | [ r ] ->
+      Alcotest.(check string)
+        "serve lint = lidtool lint --json" (J.to_string oneshot)
+        (J.to_string (Option.get (J.member "result" r)))
+  | _ -> Alcotest.fail "one response expected"
+
+let test_matches_one_shot_inject () =
+  let daemon = D.create ~jobs:1 () in
+  let gen = "torus 2 2" in
+  let extras = [ ("cycles", J.Int 64); ("sites", J.Int 2) ] in
+  let net = Topology.Spec.parse_exn ("generate " ^ gen) in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      Fault.Campaign.cycles = 64;
+      max_sites_per_kind = 2;
+    }
+  in
+  let lanes_used = ref 1 in
+  let result =
+    Campaign.Fault_driver.run ~jobs:1
+      ~on_lanes:(fun n _ -> lanes_used := n)
+      config net
+  in
+  let oneshot =
+    J.parse_exn (Fault.Campaign.json ~jobs:1 ~lanes_used:!lanes_used result)
+  in
+  match respond daemon [ req ~analysis:"inject" ~extras gen ] with
+  | [ r ] ->
+      Alcotest.(check string)
+        "serve inject = lidtool inject --json" (J.to_string oneshot)
+        (J.to_string (Option.get (J.member "result" r)))
+  | _ -> Alcotest.fail "one response expected"
+
+(* ------------------------------------------------------------------ *)
+(* Memoization. *)
+
+let test_cache_hits () =
+  let daemon = D.create ~jobs:1 () in
+  let batch =
+    [
+      req ~id:1 "mesh 3 3";
+      req ~id:2 ~analysis:"lint" ~extras:[ ("gate", J.Bool false) ] "mesh 3 3";
+      (* in-batch duplicate of request 1 under a different id *)
+      req ~id:3 "mesh 3 3";
+    ]
+  in
+  let first, s1 = D.process daemon batch in
+  Alcotest.(check int) "first pass misses" 2 s1.D.misses;
+  Alcotest.(check int) "first pass hits" 1 s1.D.hits;
+  let second, s2 = D.process daemon batch in
+  Alcotest.(check int) "second pass misses" 0 s2.D.misses;
+  Alcotest.(check int) "second pass hits" 3 s2.D.hits;
+  Alcotest.(check (list string))
+    "responses independent of cache state" (render first) (render second);
+  (* the duplicate differs from its twin only in the echoed id *)
+  match first with
+  | [ a; _; c ] ->
+      let strip r =
+        match r with
+        | J.Obj kvs -> J.Obj (List.filter (fun (k, _) -> k <> "id") kvs)
+        | r -> r
+      in
+      Alcotest.(check string)
+        "duplicate answered identically"
+        (J.to_string (strip a))
+        (J.to_string (strip c))
+  | _ -> Alcotest.fail "three responses expected"
+
+let test_distinct_params_distinct_slots () =
+  let daemon = D.create ~jobs:1 () in
+  let _, s =
+    D.process daemon
+      [
+        req ~id:1 ~analysis:"lint" ~extras:[ ("gate", J.Bool false) ] "mesh 2 2";
+        req ~id:2 ~analysis:"lint" ~extras:[ ("gate", J.Bool true) ] "mesh 2 2";
+        req ~id:3
+          ~extras:[ ("flavour", J.String "original") ]
+          "mesh 2 2";
+        req ~id:4 "mesh 2 2";
+      ]
+  in
+  Alcotest.(check int) "four distinct memo keys" 4 s.D.misses
+
+let test_lru_bound () =
+  let daemon = D.create ~jobs:1 ~result_capacity:1 () in
+  let a = req ~id:1 "mesh 2 2" and b = req ~id:2 "mesh 2 3" in
+  ignore (D.process daemon [ a ]);
+  ignore (D.process daemon [ b ]);
+  (* capacity 1: b evicted a, so a misses again *)
+  let _, s = D.process daemon [ a ] in
+  Alcotest.(check int) "evicted entry recomputed" 1 s.D.misses
+
+(* equal networks written differently key the same slot *)
+let test_canonical_hash () =
+  let daemon = D.create ~jobs:1 () in
+  let inline =
+    Topology.Spec.print (Topology.Spec.parse_exn "generate mesh 2 2")
+  in
+  let batch =
+    [
+      req ~id:1 "mesh 2 2";
+      J.Obj
+        [
+          ("id", J.Int 2);
+          ("spec", J.String inline);
+          ("analysis", J.String "throughput");
+        ];
+    ]
+  in
+  let responses, s = D.process daemon batch in
+  Alcotest.(check int) "one compute for both spellings" 1 s.D.misses;
+  match List.map (fun r -> J.member "topology_hash" r) responses with
+  | [ Some a; Some b ] ->
+      Alcotest.(check string) "same hash" (J.to_string a) (J.to_string b)
+  | _ -> Alcotest.fail "hashes expected"
+
+(* ------------------------------------------------------------------ *)
+(* The NoC-scale acceptance topology. *)
+
+let test_mesh_64 () =
+  let daemon = D.create ~jobs:1 () in
+  let batch =
+    [
+      req ~id:1 ~analysis:"lint" ~extras:[ ("gate", J.Bool false) ] "mesh 64 64";
+      req ~id:2 "mesh 64 64";
+    ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        "64x64 mesh served" true
+        (J.member "ok" r = Some (J.Bool true)))
+    (respond daemon batch)
+
+let suite =
+  [
+    Alcotest.test_case "response shape" `Quick test_response_shape;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "matches one-shot lint" `Quick test_matches_one_shot_lint;
+    Alcotest.test_case "matches one-shot inject" `Quick
+      test_matches_one_shot_inject;
+    Alcotest.test_case "cache hits" `Quick test_cache_hits;
+    Alcotest.test_case "distinct params, distinct slots" `Quick
+      test_distinct_params_distinct_slots;
+    Alcotest.test_case "LRU bound" `Quick test_lru_bound;
+    Alcotest.test_case "canonical hash" `Quick test_canonical_hash;
+    Alcotest.test_case "64x64 mesh" `Slow test_mesh_64;
+  ]

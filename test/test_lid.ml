@@ -31,4 +31,7 @@ let () =
       ("bdd-symbolic", T_bdd.suite);
       ("lint", T_lint.suite);
       ("scale", T_scale.suite);
+      ("json", T_json.suite);
+      ("generators", T_generators.suite);
+      ("serve", T_serve.suite);
     ]
