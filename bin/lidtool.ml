@@ -672,6 +672,14 @@ let bench_cmd =
                 daemon against a fresh daemon per request, responses \
                 asserted identical.")
   in
+  let cone_bench_arg =
+    Arg.(
+      value & flag
+      & info [ "cone" ]
+          ~doc:"Run only the cone-incremental leg (E20): long-horizon \
+                fault campaigns with the incremental classifier off and \
+                on, lane and flat paths, all four asserted bit-identical.")
+  in
   let write_out out text =
     match out with
     | Some path ->
@@ -680,10 +688,20 @@ let bench_cmd =
         Format.printf "wrote %s@." path
     | None -> ()
   in
-  let run quick jobs out lanes max_cycles signature_capacity dynamic serve =
+  let run quick jobs out lanes max_cycles signature_capacity dynamic serve cone
+      =
     with_diagnostics @@ fun () ->
     let jobs = if jobs <= 0 then None else Some jobs in
-    if serve then begin
+    if cone then begin
+      match Campaign.Bench.run_cone ~quick ?lanes:(opt_pos lanes) () with
+      | stats ->
+          Format.printf "%a" Campaign.Bench.pp_cone stats;
+          write_out out (Campaign.Bench.cone_json stats)
+      | exception Campaign.Bench.Divergence msg ->
+          Printf.eprintf "benchmark aborted, engines diverged: %s\n" msg;
+          exit 1
+    end
+    else if serve then begin
       let r = Serve.Bench.run ~quick ?jobs () in
       Format.printf "%a" Serve.Bench.pp r;
       write_out out (Serve.Bench.to_json r);
@@ -718,7 +736,7 @@ let bench_cmd =
   let term =
     Term.(
       const run $ quick_arg $ jobs_arg $ out_arg $ lanes_arg $ max_cycles_arg
-      $ signature_capacity_arg $ dynamic_arg $ serve_bench_arg)
+      $ signature_capacity_arg $ dynamic_arg $ serve_bench_arg $ cone_bench_arg)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -1,49 +1,92 @@
-(* 32 payload bits per word: a power of two, so the index split compiles
-   to a shift and a mask — the hot path of the packed engine never pays an
-   integer division.  (62 bits per word would halve the array but put two
-   idivs in front of every wire read.)  Words stay immediate ints. *)
-let bits_per_word = 32
-let word_shift = 5
-let bit_mask = 31
+(* 64 payload bits per logical word, stored in a [Bytes.t] so word-level
+   passes read and write unboxed [Int64]s ([Bytes.get_int64_ne] /
+   [Bytes.set_int64_ne]) while the single-bit hot path of the packed
+   engine stays on byte-granular character accesses: [i lsr 3] / [i land 7]
+   compile to a shift and a mask (no integer division), and — crucially
+   without flambda — never materialize a boxed [Int64] per wire read.
+   One boxed value per 64 bits on the batch paths is amortized noise;
+   one per bit would dominate the simulator. *)
 
-type t = { len : int; words : int array }
+let bits_per_word = 64
+let word_shift = 6
+let bit_mask = 63
 
+type t = { len : int; bytes : Bytes.t }
+
+(* The buffer is always a whole number of 64-bit words so the int64 views
+   never straddle the end; tail bits past [len] are kept at zero ([set] is
+   only ever called with [i < len]), which [equal]/[popcount]/signature
+   blits rely on. *)
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative length";
-  { len = n; words = Array.make ((n + bits_per_word - 1) lsr word_shift) 0 }
+  { len = n; bytes = Bytes.make (((n + bits_per_word - 1) lsr word_shift) * 8) '\000' }
 
 let length t = t.len
 
 let get t i =
-  Array.unsafe_get t.words (i lsr word_shift) lsr (i land bit_mask) land 1 = 1
+  Char.code (Bytes.unsafe_get t.bytes (i lsr 3)) lsr (i land 7) land 1 = 1
 
 let set t i =
-  let w = i lsr word_shift in
-  Array.unsafe_set t.words w
-    (Array.unsafe_get t.words w lor (1 lsl (i land bit_mask)))
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bytes b
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bytes b) lor (1 lsl (i land 7))))
 
 let clear t i =
-  let w = i lsr word_shift in
-  Array.unsafe_set t.words w
-    (Array.unsafe_get t.words w land lnot (1 lsl (i land bit_mask)))
+  let b = i lsr 3 in
+  Bytes.unsafe_set t.bytes b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bytes b) land lnot (1 lsl (i land 7))))
 
 let assign t i b = if b then set t i else clear t i
-let fill_false t = Array.fill t.words 0 (Array.length t.words) 0
+let fill_false t = Bytes.fill t.bytes 0 (Bytes.length t.bytes) '\000'
+
+(* --- word views ----------------------------------------------------- *)
+
+let n_words t = Bytes.length t.bytes lsr 3
+let n_bytes t = Bytes.length t.bytes
+let bytes t = t.bytes
+let get_word t w = Bytes.get_int64_ne t.bytes (w lsl 3)
+let set_word t w v = Bytes.set_int64_ne t.bytes (w lsl 3) v
+
+let iter_words t f =
+  for w = 0 to n_words t - 1 do
+    f w (Bytes.get_int64_ne t.bytes (w lsl 3))
+  done
+
+let iter_set_words t f =
+  for w = 0 to n_words t - 1 do
+    let v = Bytes.get_int64_ne t.bytes (w lsl 3) in
+    if v <> 0L then f w v
+  done
+
+let blit ~src ~dst =
+  if src.len <> dst.len then invalid_arg "Bitset.blit: length mismatch";
+  Bytes.blit src.bytes 0 dst.bytes 0 (Bytes.length src.bytes)
+
+let blit_into t dst pos = Bytes.blit t.bytes 0 dst pos (Bytes.length t.bytes)
+
+(* byte-wide popcount table: allocation free, and fast enough for the
+   observability paths that count divergences *)
+let pop8 =
+  let tbl = Bytes.create 256 in
+  for i = 0 to 255 do
+    let c = ref 0 and v = ref i in
+    while !v <> 0 do
+      v := !v land (!v - 1);
+      incr c
+    done;
+    Bytes.unsafe_set tbl i (Char.unsafe_chr !c)
+  done;
+  tbl
 
 let popcount t =
   let count = ref 0 in
-  Array.iter
-    (fun w ->
-      let w = ref w in
-      while !w <> 0 do
-        w := !w land (!w - 1);
-        incr count
-      done)
-    t.words;
+  for b = 0 to Bytes.length t.bytes - 1 do
+    count :=
+      !count
+      + Char.code (Bytes.unsafe_get pop8 (Char.code (Bytes.unsafe_get t.bytes b)))
+  done;
   !count
-
-let words t = t.words
-let n_words t = Array.length t.words
 
 (* --- lane views --------------------------------------------------- *)
 (* The lane-parallel campaign engine packs W concurrent runs into the
@@ -89,48 +132,52 @@ let lane_extract ~lanes ~lane t =
 
 (* --- set algebra --------------------------------------------------- *)
 (* Word-at-a-time set operations for analyses that propagate label sets
-   over a graph (the lint stop-path pass).  Lengths must match exactly:
-   mixing universes is a caller bug, not something to paper over. *)
+   over a graph (the lint stop-path pass) and for the masked step loop's
+   dirty-set bookkeeping.  Lengths must match exactly: mixing universes
+   is a caller bug, not something to paper over. *)
 
 let check_same_length who a b =
   if a.len <> b.len then invalid_arg (who ^ ": length mismatch")
 
 let union_into ~into src =
   check_same_length "Bitset.union_into" into src;
-  for w = 0 to Array.length into.words - 1 do
-    Array.unsafe_set into.words w
-      (Array.unsafe_get into.words w lor Array.unsafe_get src.words w)
+  for w = 0 to n_words into - 1 do
+    let o = w lsl 3 in
+    Bytes.set_int64_ne into.bytes o
+      (Int64.logor (Bytes.get_int64_ne into.bytes o) (Bytes.get_int64_ne src.bytes o))
   done
 
 let is_subset a ~of_ =
   check_same_length "Bitset.is_subset" a of_;
   let ok = ref true in
-  for w = 0 to Array.length a.words - 1 do
-    if Array.unsafe_get a.words w land lnot (Array.unsafe_get of_.words w) <> 0
+  for w = 0 to n_words a - 1 do
+    let o = w lsl 3 in
+    if
+      Int64.logand (Bytes.get_int64_ne a.bytes o)
+        (Int64.lognot (Bytes.get_int64_ne of_.bytes o))
+      <> 0L
     then ok := false
   done;
   !ok
 
 let iter_set t f =
-  for w = 0 to Array.length t.words - 1 do
-    let bits = ref (Array.unsafe_get t.words w) in
+  (* byte-granular Kernighan walk: skips empty bytes with an immediate
+     compare, never touches a boxed word *)
+  for b = 0 to Bytes.length t.bytes - 1 do
+    let bits = ref (Char.code (Bytes.unsafe_get t.bytes b)) in
     while !bits <> 0 do
       let low = !bits land - !bits in
-      (* count trailing zeros of an isolated low bit within the word *)
       let j = ref 0 in
       while low lsr !j land 1 = 0 do
         incr j
       done;
-      f ((w * bits_per_word) + !j);
+      f ((b * 8) + !j);
       bits := !bits land (!bits - 1)
     done
   done
 
-let blit_words t dst pos =
-  Array.blit t.words 0 dst pos (Array.length t.words)
-
-let copy t = { len = t.len; words = Array.copy t.words }
-let equal a b = a.len = b.len && a.words = b.words
+let copy t = { len = t.len; bytes = Bytes.copy t.bytes }
+let equal a b = a.len = b.len && Bytes.equal a.bytes b.bytes
 
 let pp fmt t =
   for i = 0 to t.len - 1 do

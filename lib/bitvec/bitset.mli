@@ -1,11 +1,13 @@
 (** Mutable bit-packed boolean vectors.
 
     The packed skeleton engine keeps its per-cycle valid/stop/occupancy
-    planes in these: a fixed-length vector of bits stored in an [int array]
-    of 32-bit words, mutated in place with no per-cycle allocation.  The
-    backing words are exposed read-only so a state signature can be built
-    by blitting whole words instead of walking bits (see
-    {!Skeleton.Packed.signature_id}).
+    planes in these: a fixed-length vector of bits stored in a [Bytes.t]
+    of 64-bit words, mutated in place with no per-cycle allocation.
+    Single-bit reads and writes are byte-granular (a shift and a mask,
+    and — without flambda — no boxed [Int64] on the wire-level hot
+    path); whole-word passes (signature blits, set algebra, the masked
+    step loop's dirty-set scans) go through the unboxed-int64 views
+    below, where one boxed word per 64 bits is amortized noise.
 
     This is the mutable counterpart of {!Bits} (which is immutable and
     value-oriented); it deliberately offers only what a simulation hot
@@ -13,8 +15,11 @@
 
 type t
 
+val bits_per_word : int
+(** 64: the logical word size of the int64 views. *)
+
 val word_shift : int
-(** [i lsr word_shift] is the backing word holding bit [i]. *)
+(** [i lsr word_shift] is the backing 64-bit word holding bit [i]. *)
 
 val bit_mask : int
 (** [i land bit_mask] is bit [i]'s position inside its word. *)
@@ -33,16 +38,49 @@ val clear : t -> int -> unit
 val assign : t -> int -> bool -> unit
 
 val fill_false : t -> unit
-(** Reset every bit — one [Array.fill] on the backing words. *)
+(** Reset every bit — one [Bytes.fill] on the backing buffer. *)
 
 val popcount : t -> int
 
-val words : t -> int array
-(** The backing words (low bit of word 0 is bit 0).  Callers must treat
-    the array as read-only; bits beyond [length] are kept zero, so two
-    equal vectors have equal word arrays. *)
+(** {1 Word views}
+
+    The backing store is always a whole number of 64-bit words; bits
+    beyond [length] are kept zero, so two equal vectors have equal
+    backing bytes.  These are the word-iteration primitives the masked
+    step loop and the signature machinery are built on. *)
+
+val bytes : t -> Bytes.t
+(** The backing buffer (low bit of byte 0 is bit 0).  Callers must treat
+    it as read-only unless they own the vector. *)
 
 val n_words : t -> int
+(** Number of 64-bit words. *)
+
+val n_bytes : t -> int
+(** [8 * n_words] — the buffer size in bytes. *)
+
+val get_word : t -> int -> int64
+(** [get_word t w] is 64-bit word [w] (bits [64w .. 64w+63]). *)
+
+val set_word : t -> int -> int64 -> unit
+(** Write word [w] whole.  The caller must keep tail bits past [length]
+    zero. *)
+
+val iter_words : t -> (int -> int64 -> unit) -> unit
+(** [iter_words t f] applies [f w word] to every word in order. *)
+
+val iter_set_words : t -> (int -> int64 -> unit) -> unit
+(** As {!iter_words} but skips all-zero words — the sparse scan the
+    cone-masked step loop runs per cycle. *)
+
+val blit : src:t -> dst:t -> unit
+(** Whole-vector copy between equal-length vectors (one [Bytes.blit]).
+    Raises [Invalid_argument] on a length mismatch. *)
+
+val blit_into : t -> Bytes.t -> int -> unit
+(** [blit_into t dst pos] copies the backing bytes into [dst] starting
+    at byte [pos] — the signature-assembly primitive ([n_bytes t]
+    bytes are written). *)
 
 (** {1 Lane views}
 
@@ -74,7 +112,8 @@ val lane_extract : lanes:int -> lane:int -> t -> t
 
     Word-at-a-time set operations over equal-length vectors, used by
     analyses that propagate label sets over a graph (the lint stop-path
-    pass).  All three raise [Invalid_argument] on a length mismatch. *)
+    pass) and by the dirty-set bookkeeping of incremental re-simulation.
+    All of them raise [Invalid_argument] on a length mismatch. *)
 
 val union_into : into:t -> t -> unit
 (** [union_into ~into src] ors every bit of [src] into [into]. *)
@@ -85,10 +124,6 @@ val is_subset : t -> of_:t -> bool
 val iter_set : t -> (int -> unit) -> unit
 (** [iter_set t f] applies [f] to the index of every set bit, in
     increasing order. *)
-
-val blit_words : t -> int array -> int -> unit
-(** [blit_words t dst pos] copies the backing words into [dst] starting at
-    [pos] — the signature-assembly primitive. *)
 
 val copy : t -> t
 val equal : t -> t -> bool

@@ -284,6 +284,152 @@ let pp_dynamic fmt d =
      lanes %.3fs -> %.1fx@."
     d.dyn_injections d.dyn_serial_s d.dyn_lanes d.dyn_lanes_s d.dyn_speedup
 
+(* The cone leg (E20): long horizons are where incremental
+   re-simulation earns its keep — a fault window near the front of a
+   1024-cycle run leaves ~768 post-window cycles that classify_fast
+   re-simulates and classify_incr replaces with a splice once the wake
+   has converged.  Two workloads: the retx + jitter chain (the dynamic
+   E18 shape, every fault kind armed so plenty of lanes diverge) and a
+   mesh campaign (the E19 NoC shape).  Four drivers each — the lane
+   path and the flat path, cone off and on — all asserted bit-identical
+   before any figure is reported.  Single-core (jobs = 1): the cone win
+   must not hide behind domain parallelism. *)
+let cone_setup ~quick =
+  let horizon = if quick then 256 else 1024 in
+  let chain =
+    let net =
+      G.chain
+        ~n_shells:(if quick then 8 else 16)
+        ~source_pattern:(Topology.Pattern.periodic ~period:3 ~active:1 ())
+        ()
+    in
+    let dynamize net edge ~bound ~seed ~depth =
+      let net =
+        Topology.Network.with_stations net edge
+          [ Lid.Relay_station.Retx { depth } ]
+      in
+      Topology.Network.with_latency net edge
+        (Some (Lid.Latency.Jitter { base = 0; bound; seed }))
+    in
+    dynamize (dynamize net 0 ~bound:2 ~seed:7 ~depth:6) 1 ~bound:1 ~seed:3
+      ~depth:5
+  in
+  let config =
+    {
+      Fault.Campaign.default_config with
+      seed = 29;
+      cycles = horizon;
+      max_sites_per_kind = (if quick then 2 else 4);
+      injections_per_site = 2;
+    }
+  in
+  [
+    ("retx-jitter-chain", config, chain);
+    ("mesh-4x4", { config with seed = 31 }, G.mesh ~n:4 ~m:4 ());
+  ]
+
+type cone_stat = {
+  co_workload : string;
+  co_injections : int;
+  co_cycles : int;
+  co_lanes : int;
+  co_lanes_off_s : float;
+  co_lanes_on_s : float;
+  co_flat_off_s : float;
+  co_flat_on_s : float;
+  co_lane_speedup : float;
+  co_flat_speedup : float;
+}
+
+let bench_cone_workload ~lanes (name, (config : Fault.Campaign.config), net) =
+  let reference = ref None in
+  let check label (r : Fault.Campaign.result) =
+    match !reference with
+    | None -> reference := Some r.reports
+    | Some rs ->
+        if rs <> r.reports then
+          raise
+            (Divergence
+               (Printf.sprintf "%s: %s reports differ from the baseline" name
+                  label))
+  in
+  let used = ref 1 in
+  let off, lanes_off_s =
+    time (fun () ->
+        Fault_driver.run ~jobs:1 ~lanes ~cone:false
+          ~on_lanes:(fun n _ -> used := n)
+          config net)
+  in
+  check "cone-off lane driver" off;
+  let on, lanes_on_s =
+    time (fun () -> Fault_driver.run ~jobs:1 ~lanes ~cone:true config net)
+  in
+  check "cone-on lane driver" on;
+  let foff, flat_off_s =
+    time (fun () -> Fault_driver.run ~jobs:1 ~lanes:1 ~cone:false config net)
+  in
+  check "cone-off flat driver" foff;
+  let fon, flat_on_s =
+    time (fun () -> Fault_driver.run ~jobs:1 ~lanes:1 ~cone:true config net)
+  in
+  check "cone-on flat driver" fon;
+  {
+    co_workload = name;
+    co_injections = List.length off.Fault.Campaign.reports;
+    co_cycles = config.cycles;
+    co_lanes = !used;
+    co_lanes_off_s = lanes_off_s;
+    co_lanes_on_s = lanes_on_s;
+    co_flat_off_s = flat_off_s;
+    co_flat_on_s = flat_on_s;
+    co_lane_speedup =
+      (if lanes_on_s > 0. then lanes_off_s /. lanes_on_s else infinity);
+    co_flat_speedup =
+      (if flat_on_s > 0. then flat_off_s /. flat_on_s else infinity);
+  }
+
+let run_cone ?(quick = false) ?lanes () =
+  let lanes =
+    match lanes with
+    | Some l -> max 2 (min l Skeleton.Packed_lanes.max_lanes)
+    | None -> Skeleton.Packed_lanes.max_lanes
+  in
+  List.map (bench_cone_workload ~lanes) (cone_setup ~quick)
+
+let cone_json stats =
+  let f x = Printf.sprintf "%.6f" x in
+  let workload s =
+    Printf.sprintf
+      "    {\n\
+      \      \"workload\": %S,\n\
+      \      \"injections\": %d,\n\
+      \      \"cycles\": %d,\n\
+      \      \"lanes\": %d,\n\
+      \      \"lanes_cone_off_s\": %s,\n\
+      \      \"lanes_cone_on_s\": %s,\n\
+      \      \"flat_cone_off_s\": %s,\n\
+      \      \"flat_cone_on_s\": %s,\n\
+      \      \"lane_cone_speedup\": %s,\n\
+      \      \"flat_cone_speedup\": %s\n\
+      \    }"
+      s.co_workload s.co_injections s.co_cycles s.co_lanes
+      (f s.co_lanes_off_s) (f s.co_lanes_on_s) (f s.co_flat_off_s)
+      (f s.co_flat_on_s) (f s.co_lane_speedup) (f s.co_flat_speedup)
+  in
+  Printf.sprintf "{\n  \"workloads\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map workload stats))
+
+let pp_cone fmt stats =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt
+        "%s (%d injections, %d cycles): lanes x%d %.3fs -> cone %.3fs \
+         (%.1fx); flat %.3fs -> cone %.3fs (%.1fx)@."
+        s.co_workload s.co_injections s.co_cycles s.co_lanes s.co_lanes_off_s
+        s.co_lanes_on_s s.co_lane_speedup s.co_flat_off_s s.co_flat_on_s
+        s.co_flat_speedup)
+    stats
+
 type lane_point = { lp_lanes : int; lp_s : float; lp_speedup : float }
 
 let lane_sweep ?(quick = false) ?(widths = [ 1; 2; 8; 32; Skeleton.Packed_lanes.max_lanes ]) () =

@@ -86,6 +86,33 @@ val dynamic_json : dynamic_stat -> string
 
 val pp_dynamic : Format.formatter -> dynamic_stat -> unit
 
+(** {1 The cone leg (E20)} *)
+
+type cone_stat = {
+  co_workload : string;
+  co_injections : int;
+  co_cycles : int;  (** horizon per injection *)
+  co_lanes : int;  (** width of the lane-path runs *)
+  co_lanes_off_s : float;  (** lane driver, incremental path disabled *)
+  co_lanes_on_s : float;  (** lane driver, cone-incremental *)
+  co_flat_off_s : float;  (** lanes disabled, [classify_fast] per fault *)
+  co_flat_on_s : float;  (** lanes disabled, [classify_incr] per fault *)
+  co_lane_speedup : float;  (** lanes off over on *)
+  co_flat_speedup : float;  (** flat off over on *)
+}
+
+val run_cone : ?quick:bool -> ?lanes:int -> unit -> cone_stat list
+(** The cone-incremental campaign benchmark: per workload (the dynamic
+    retx + jitter chain and a mesh NoC, long horizons), time the driver
+    with the incremental path off and on, on the lane path and the flat
+    path, all single-core.  Raises {!Divergence} unless all four runs
+    report bit-identically. *)
+
+val cone_json : cone_stat list -> string
+(** Stable JSON rendering (the BENCH_pr9.json payload). *)
+
+val pp_cone : Format.formatter -> cone_stat list -> unit
+
 type lane_point = { lp_lanes : int; lp_s : float; lp_speedup : float }
 
 val lane_sweep :

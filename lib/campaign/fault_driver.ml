@@ -1,20 +1,104 @@
-let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?on_lanes ?on_report
-    (config : Fault.Campaign.config) net =
+module Packed = Skeleton.Packed
+module Model = Fault.Model
+module Classify = Fault.Classify
+
+let edge_of_fault (f : Model.t) =
+  match f.site with
+  | Model.Forward { edge; _ }
+  | Model.Backward { edge; _ }
+  | Model.Register { edge; _ }
+  | Model.Link { edge; _ } ->
+      edge
+
+let env_flag name =
+  match Sys.getenv_opt name with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let cone_budget_bytes () =
+  let mb =
+    match Sys.getenv_opt "LIDTOOL_CONE_MB" with
+    | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 512)
+    | None -> 512
+  in
+  mb * 1024 * 1024
+
+(* Order-preserving split into chunks of [size]. *)
+let chunk ~size items =
+  if size < 1 then invalid_arg "Fault_driver.chunk";
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 items
+
+let window_starts faults = List.map (fun (f : Model.t) -> f.cycle) faults
+
+(* A recording costs one monitored fault-free run plus snapshots; refuse
+   the incremental path when [jobs] concurrent recordings would blow the
+   budget (LIDTOOL_CONE_MB, default 512).  The per-snapshot word count is
+   a deliberate overestimate of the packed state (planes, pearls,
+   stations, sink tails). *)
+let cone_fits (config : Fault.Campaign.config) net ~jobs ~faults =
+  let edges = Topology.Network.n_edges net in
+  let nodes = Topology.Network.n_nodes net in
+  let snapshots =
+    List.length (List.sort_uniq compare (window_starts faults))
+    + (config.cycles / Classify.recording_checkpoint)
+    + 2
+  in
+  let state_words = nodes + (4 * edges) + 16 in
+  let estimate =
+    Classify.recording_estimate ~cycles:config.cycles ~edges ~snapshots
+      ~state_words
+  in
+  estimate * jobs <= cone_budget_bytes ()
+
+let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?cone ?on_lanes
+    ?on_report (config : Fault.Campaign.config) net =
   let faults = Fault.Campaign.faults_of_config config net in
   let baseline =
-    Fault.Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
+    Classify.baseline ~cycles:config.cycles ~flavour:config.flavour net
+  in
+  let jobs_n =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_jobs ()
+  in
+  let cone_on =
+    (match cone with
+    | Some b -> b
+    | None -> not (env_flag "LIDTOOL_NO_CONE"))
+    && faults <> []
+    && cone_fits config net ~jobs:jobs_n ~faults
   in
   let note n reason = match on_lanes with Some f -> f n reason | None -> () in
   let reports =
     if lanes <= 1 then begin
       note 1 None;
-      Parallel.map ?jobs
-        (fun fault -> Fault.Classify.classify_fast baseline fault)
-        faults
+      if not cone_on then
+        Parallel.map ?jobs
+          (fun fault -> Classify.classify_fast baseline fault)
+          faults
+      else begin
+        (* Contiguous chunks, about two per worker; a chunk below four
+           faults cannot amortize its recording's fault-free run. *)
+        let n = List.length faults in
+        let size = max 4 ((n + (2 * jobs_n) - 1) / (2 * jobs_n)) in
+        List.concat
+          (Parallel.map ?jobs
+             (fun ch ->
+               match
+                 Classify.record baseline ~window_starts:(window_starts ch)
+               with
+               | None -> List.map (Classify.classify_fast baseline) ch
+               | Some rc -> List.map (Classify.classify_incr baseline rc) ch)
+             (chunk ~size faults))
+      end
     end
     else begin
       let lanes = min lanes Skeleton.Packed_lanes.max_lanes in
-      let replay = Fault.Classify.replay baseline in
+      let replay = Classify.replay baseline in
       (match replay with
       | None ->
           (* every batch will re-simulate each fault individually *)
@@ -23,12 +107,53 @@ let run ?jobs ?(lanes = Skeleton.Packed_lanes.max_lanes) ?on_lanes ?on_report
                "fault-free run unusable as a replay (monitor violation or \
                 stream mismatch); classifying every fault individually")
       | Some _ -> note lanes None);
-      List.concat
-        (Parallel.map ?jobs
-           (fun batch ->
-             Fault.Campaign.classify_lane_batch baseline replay config net
-               ~lanes batch)
-           (Fault.Campaign.lane_batches ~lanes faults))
+      (* Group faults whose cones overlap: one packed engine computes
+         (and memoizes) each channel's forward cone, and sorting by the
+         cone's representative edge clusters faults that perturb the
+         same region into the same lane batch, so a batch's shared
+         recording re-steps similar wakes.  The stable sort is undone
+         after classification — reports keep campaign order. *)
+      let tagged = List.mapi (fun i f -> (i, f)) faults in
+      let ordered =
+        if not cone_on then tagged
+        else begin
+          let eng = Packed.create ~flavour:config.flavour net in
+          let rep f =
+            Packed.Cone.rep (Packed.Cone.of_edge eng (edge_of_fault f))
+          in
+          List.stable_sort (fun (_, a) (_, b) -> compare (rep a) (rep b)) tagged
+        end
+      in
+      let classified =
+        Parallel.map ?jobs
+          (fun batch ->
+            let fs = List.map snd batch in
+            let classify =
+              if not cone_on then None
+              else begin
+                (* Lazy: a batch whose lanes all filter clean never pays
+                   for its recording. *)
+                let rc =
+                  lazy
+                    (Classify.record baseline ~window_starts:(window_starts fs))
+                in
+                Some
+                  (fun fault ->
+                    match Lazy.force rc with
+                    | Some rc -> Classify.classify_incr baseline rc fault
+                    | None -> Classify.classify_fast baseline fault)
+              end
+            in
+            let rs =
+              Fault.Campaign.classify_lane_batch ?classify baseline replay
+                config net ~lanes fs
+            in
+            List.map2 (fun (i, _) r -> (i, r)) batch rs)
+          (chunk ~size:(lanes - 1) ordered)
+      in
+      List.concat classified
+      |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+      |> List.map snd
     end
   in
   (match on_report with Some f -> List.iter f reports | None -> ());

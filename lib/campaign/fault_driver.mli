@@ -12,13 +12,25 @@
     - {b jobs}: batches (or single faults, with [lanes <= 1]) are fanned
       out over domains with {!Parallel.map}.
 
+    A third axis — {b cone-incremental re-simulation} — changes how a
+    fault that must be simulated is simulated: each worker records one
+    fault-free run with state snapshots ({!Fault.Classify.record}), and
+    every fault of its chunk restores to its window start, re-steps only
+    the perturbed middle, and splices the recorded tail back on once the
+    state has provably reconverged ({!Fault.Classify.classify_incr}).
+    On the lane path, faults are grouped into batches by the
+    representative edge of their fault site's forward cone
+    ({!Skeleton.Packed.Cone}) so a batch's shared recording re-steps
+    similar wakes; report order is restored afterwards.
+
     Every injection (and the shared baseline/replay) is self-contained
     and read-only once built, so the result is bit-identical to the
-    serial run for every [jobs] and [lanes] combination. *)
+    serial run for every [jobs], [lanes] and [cone] combination. *)
 
 val run :
   ?jobs:int ->
   ?lanes:int ->
+  ?cone:bool ->
   ?on_lanes:(int -> string option -> unit) ->
   ?on_report:(Fault.Classify.report -> unit) ->
   Fault.Campaign.config ->
@@ -29,10 +41,18 @@ val run :
     lane batching).  Dynamic networks — variable-latency channels,
     retransmitting stations — ride the lane path like any other: the
     lane engine keeps per-lane go-back-N state and injects link-plane
-    faults through it.  [on_lanes] is called once, before any
-    classification, with the lane width actually used and, when that
-    differs from the request, the reason it was downgraded (currently:
-    the fault-free run was unusable as a replay).  [on_report] is
-    invoked on the calling domain in campaign order — after the parallel
-    phase, so in parallel mode it is a post-hoc iterator rather than
-    live progress. *)
+    faults through it.
+
+    [cone] selects the incremental path; default on, unless the
+    [LIDTOOL_NO_CONE=1] environment variable is set or the estimated
+    recording footprint across [jobs] workers exceeds the
+    [LIDTOOL_CONE_MB] budget (default 512 MB) — either way the driver
+    silently falls back to {!Fault.Classify.classify_fast} with
+    identical reports.
+
+    [on_lanes] is called once, before any classification, with the lane
+    width actually used and, when that differs from the request, the
+    reason it was downgraded (currently: the fault-free run was unusable
+    as a replay).  [on_report] is invoked on the calling domain in
+    campaign order — after the parallel phase, so in parallel mode it is
+    a post-hoc iterator rather than live progress. *)

@@ -121,6 +121,16 @@ let sreg = function
 let recoveries = function Retx_state r -> r.r_recov | _ -> 0
 let dup_discards = function Retx_state r -> r.r_dups | _ -> 0
 
+(* Equality of everything that drives future transitions and signature
+   codes: structural equality with the monotone observability counters
+   masked out.  Two behaviourally equal states evolve identically under
+   fault-free stepping, differing only by constant counter offsets. *)
+let behavioural_equal a b =
+  match (a, b) with
+  | Retx_state ra, Retx_state rb ->
+      { ra with r_recov = 0; r_dups = 0 } = { rb with r_recov = 0; r_dups = 0 }
+  | _ -> a = b
+
 let flit_arriving = function
   | Retx_state { r_flit = Some f; _ } -> f.f_wait = 0
   | _ -> false

@@ -98,6 +98,14 @@ val dup_discards : state -> int
 (** Retransmitting stations: stale duplicates the receiver discarded to
     preserve exactly-once delivery.  0 for other kinds. *)
 
+val behavioural_equal : state -> state -> bool
+(** Structural equality with the monotone observability counters
+    ({!recoveries}, {!dup_discards}) masked out — true iff the two states
+    evolve identically under further stepping and produce equal
+    {!signature_code}s, differing at most by constant counter offsets.
+    The convergence test of incremental re-simulation
+    ([Skeleton.Packed.converged]) is built on this. *)
+
 val flit_arriving : state -> bool
 (** A retransmitting station's internal-hop flit completes its traversal
     on the next {!step} — i.e. a [link] fault passed to that step will

@@ -149,11 +149,16 @@ let filterable (f : Model.t) (lr : Lanes.lane_report) =
     ->
       true
 
-let classify_lane_batch baseline replay config net ~lanes batch =
+let classify_lane_batch ?classify baseline replay config net ~lanes batch =
+  let classify =
+    match classify with
+    | Some f -> f
+    | None -> Classify.classify_fast baseline
+  in
   match (replay, batch) with
   | None, _ ->
       (* no usable fault-free replay: simulate every fault *)
-      List.map (Classify.classify_fast baseline) batch
+      List.map classify batch
   | _, [] -> []
   | Some rp, _ ->
       let lanes_t =
@@ -166,7 +171,7 @@ let classify_lane_batch baseline replay config net ~lanes batch =
         (fun i fault ->
           if filterable fault lane_reports.(i) then
             Classify.masked_report baseline rp fault
-          else Classify.classify_fast baseline fault)
+          else classify fault)
         batch
 
 let run_lanes ?(lanes = Lanes.max_lanes) ?on_report config net =

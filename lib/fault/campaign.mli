@@ -57,6 +57,7 @@ val lane_batches : lanes:int -> Model.t list -> Model.t list list
     (lane 0 is the reference), order preserved.  [lanes >= 2]. *)
 
 val classify_lane_batch :
+  ?classify:(Model.t -> Classify.report) ->
   Classify.baseline ->
   Classify.replay option ->
   config ->
@@ -66,8 +67,11 @@ val classify_lane_batch :
   Classify.report list
 (** Classify one batch through the lane engine (batch length at most
     [lanes - 1]).  With no replay every fault is simulated individually.
-    Exposed so parallel drivers ([Campaign.Fault_driver]) can fan batches
-    over workers. *)
+    [classify] is how divergent (and replay-less) faults are simulated —
+    default {!Classify.classify_fast}; the parallel driver substitutes
+    {!Classify.classify_incr} against a per-batch recording.  Exposed so
+    parallel drivers ([Campaign.Fault_driver]) can fan batches over
+    workers. *)
 
 val run_lanes :
   ?lanes:int ->

@@ -325,3 +325,183 @@ let masked_report baseline rp fault =
     rp.rp_keys;
   bin baseline fault ~violations:[] ~wd ~recoveries:rp.rp_recoveries
     ~streams:rp.rp_streams
+
+(* ------------------------------------------------------------------ *)
+(* Incremental classification.
+
+   [classify_fast] pays a full horizon of simulation per fault even
+   though a fault only perturbs the system between its window start and
+   the cycle the protocol has absorbed it.  A {!recording} captures one
+   fault-free run — per-cycle probes, interned signature keys, progress
+   bits, and full state snapshots at fault window starts and at a fixed
+   checkpoint stride — sharing ONE packed engine (and thus one signature
+   intern) for every fault classified against it.  {!classify_incr} then
+   restores that engine to the fault's window start (the pre-window
+   prefix of a faulted run IS the fault-free run: hooks are identity
+   before the window), re-steps the perturbed middle with hooks exactly
+   as [classify_fast] would, and, at each checkpoint past the window,
+   tests exact behavioural state equality against the recorded snapshot.
+   On convergence the recorded tail is spliced on: remaining watchdog
+   keys and dirty-channel probe rows come from the recording, sink
+   streams and recovery totals from the snapshot deltas.
+
+   Bit-identity with [classify_fast] rests on:
+   - the restored state at the window start equals what a fresh faulted
+     run would hold there (pre-window hooks are [None], and the packed
+     engine is deterministic);
+   - watchdog verdicts depend only on which cycles share a signature —
+     and the shared intern makes id equality coincide with state
+     equality across the recorded prefix/tail and the live middle, while
+     {!Skeleton.Packed.converged}'s counter-masked equality is exactly
+     signature-code equality (relay-station codes exclude the monotone
+     counters);
+   - each channel's monitor obligations are a pure function of its own
+     probe history, so a channel is fed lazily: recorded rows (provably
+     violation-free) up to its first divergence, live rows after, and
+     recorded rows again past convergence — ascending edge order within
+     each cycle preserves the canonical violation order;
+   - sink streams and recovery counts after convergence replay the
+     recording exactly, so the spliced totals are the live run's. *)
+
+module Bitset = Bitvec.Bitset
+
+type recording = {
+  rc_engine : Packed.t;
+      (* restored and re-stepped per fault — single-threaded by design;
+         build one recording per domain *)
+  rc_cycles : int;
+  rc_keys : int array; (* post-commit interned signature id per cycle *)
+  rc_progress : bool array;
+  rc_probes : Engine.probe array array; (* cycle -> edge -> probe *)
+  rc_snaps : (int, Packed.snapshot) Hashtbl.t; (* pre-step cycle -> state *)
+  rc_final : Packed.snapshot; (* state at the horizon *)
+}
+
+let recording_checkpoint = 16
+
+(* Rough recording footprint in bytes, for the driver's memory gate:
+   dominated by the per-cycle probe rows (one 7-word block per edge per
+   cycle, counting the two boxed tokens). *)
+let recording_estimate ~cycles ~edges ~snapshots ~state_words =
+  (cycles * edges * 7 * 8) + (snapshots * state_words * 8)
+
+let record ?(checkpoint = recording_checkpoint) baseline ~window_starts =
+  let packed = Packed.create ~flavour:baseline.b_flavour baseline.net in
+  let mon = Monitor.create baseline.net in
+  let n = baseline.b_cycles in
+  let keys = Array.make n 0
+  and progress = Array.make n false
+  and probes = Array.make n [||] in
+  let want = Array.make (n + 1) false in
+  List.iter (fun w -> if w >= 0 && w < n then want.(w) <- true) window_starts;
+  let c = ref 0 in
+  while !c < n do
+    want.(!c) <- true;
+    c := !c + checkpoint
+  done;
+  let snaps = Hashtbl.create 64 in
+  for c = 0 to n - 1 do
+    if want.(c) then Hashtbl.replace snaps c (Packed.snapshot packed);
+    let pv = Packed.probe_next packed in
+    Monitor.observe_probes mon ~cycle:pv.Packed.pv_cycle pv.Packed.pv_probes;
+    keys.(c) <- Packed.signature_id packed;
+    progress.(c) <- pv.Packed.pv_any_fired || pv.Packed.pv_sink_valid;
+    probes.(c) <- pv.Packed.pv_probes
+  done;
+  let streams = packed_sink_streams packed baseline.net in
+  (* Same validity rule as {!replay}: a fault-free run that trips a
+     monitor or contradicts the baseline streams cannot stand in for
+     anything — callers fall back to [classify_fast]. *)
+  if Monitor.violations mon <> [] || streams <> baseline.base_streams then None
+  else
+    Some
+      {
+        rc_engine = packed;
+        rc_cycles = n;
+        rc_keys = keys;
+        rc_progress = progress;
+        rc_probes = probes;
+        rc_snaps = snaps;
+        rc_final = Packed.snapshot packed;
+      }
+
+let classify_incr baseline rc fault =
+  let n = rc.rc_cycles in
+  let first = fault.Model.cycle and last = Model.last_cycle fault in
+  let w = min (max first 0) n in
+  let start =
+    if w = n then Some rc.rc_final else Hashtbl.find_opt rc.rc_snaps w
+  in
+  match start with
+  | None -> classify_fast baseline fault (* no snapshot: fall back *)
+  | Some start ->
+      let t = rc.rc_engine in
+      Packed.restore t start;
+      let hooks = Some (Model.hooks [ fault ]) in
+      let mon = Monitor.create baseline.net in
+      let wd = Monitor.Watchdog.create ~quiesce_after:(last + 1) () in
+      for c = 0 to w - 1 do
+        Monitor.Watchdog.note wd ~cycle:c
+          ~signature:(string_of_int rc.rc_keys.(c))
+          ~progress:rc.rc_progress.(c)
+      done;
+      let n_edges = List.length (Net.edges baseline.net) in
+      let dirty = Bitset.create n_edges in
+      let spliced = ref None in
+      let c = ref w in
+      while !spliced = None && !c < n do
+        let cy = !c in
+        Packed.set_fault_hooks t
+          (if cy >= first && cy <= last then hooks else None);
+        let pv = Packed.probe_next t in
+        let live = pv.Packed.pv_probes and recorded = rc.rc_probes.(cy) in
+        for e = 0 to n_edges - 1 do
+          if (not (Bitset.get dirty e)) && live.(e) <> recorded.(e) then begin
+            Bitset.set dirty e;
+            (* first divergence of this channel: reconstruct its monitor
+               from the recorded (violation-free) history *)
+            for c0 = 0 to cy - 1 do
+              Monitor.observe_chan mon ~cycle:c0 ~edge:e rc.rc_probes.(c0).(e)
+            done
+          end
+        done;
+        Bitset.iter_set dirty (fun e ->
+            Monitor.observe_chan mon ~cycle:cy ~edge:e live.(e));
+        Monitor.Watchdog.note wd ~cycle:cy
+          ~signature:(string_of_int (Packed.signature_id t))
+          ~progress:(pv.Packed.pv_any_fired || pv.Packed.pv_sink_valid);
+        incr c;
+        if !c > last then begin
+          match
+            if !c = n then Some rc.rc_final
+            else Hashtbl.find_opt rc.rc_snaps !c
+          with
+          | Some s when Packed.converged t s -> spliced := Some s
+          | _ -> ()
+        end
+      done;
+      Packed.set_fault_hooks t None;
+      let recoveries, streams =
+        match !spliced with
+        | None ->
+            (* ran to the horizon: the live engine holds the whole run *)
+            (Packed.recovery_count t, packed_sink_streams t baseline.net)
+        | Some s ->
+            let c' = Packed.snapshot_cycle s in
+            for cy = c' to n - 1 do
+              Monitor.Watchdog.note wd ~cycle:cy
+                ~signature:(string_of_int rc.rc_keys.(cy))
+                ~progress:rc.rc_progress.(cy);
+              Bitset.iter_set dirty (fun e ->
+                  Monitor.observe_chan mon ~cycle:cy ~edge:e
+                    rc.rc_probes.(cy).(e))
+            done;
+            Packed.splice_sinks t ~at:s ~final:rc.rc_final;
+            ( Packed.recovery_count t
+              + (Packed.snapshot_recoveries rc.rc_final
+                - Packed.snapshot_recoveries s),
+              packed_sink_streams t baseline.net )
+      in
+      bin baseline fault
+        ~violations:(Monitor.violations mon)
+        ~wd ~recoveries ~streams

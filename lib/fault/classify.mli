@@ -89,3 +89,49 @@ val masked_report : baseline -> replay -> Model.t -> report
     is observationally identical to the fault-free run: no simulation,
     just the fault's own watchdog window re-played over the recorded
     keys.  Sound only for faults the lane engine proved non-divergent. *)
+
+(** {1 Incremental classification}
+
+    A {!recording} captures one fault-free run — per-cycle probes,
+    signature keys, progress bits, and full state snapshots at fault
+    window starts and a fixed checkpoint stride — on a single packed
+    engine whose signature intern is shared by every fault classified
+    against it.  {!classify_incr} restores that engine to a fault's
+    window start, re-steps only the perturbed middle, and splices the
+    recorded tail back on once {!Skeleton.Packed.converged} proves the
+    live state is behaviourally back on the recorded trajectory.
+    Reports are structurally identical to {!classify_fast}'s (asserted
+    by the lockstep tests); post-window cycles cost a state compare at
+    checkpoints instead of a re-simulation whenever the perturbation
+    has been absorbed. *)
+
+type recording
+
+val recording_checkpoint : int
+(** Default checkpoint stride (cycles between convergence tests). *)
+
+val recording_estimate :
+  cycles:int -> edges:int -> snapshots:int -> state_words:int -> int
+(** Rough recording footprint in bytes — the campaign driver's memory
+    gate compares this against its budget before choosing the
+    incremental path. *)
+
+val record :
+  ?checkpoint:int -> baseline -> window_starts:int list -> recording option
+(** Run the fault-free system once, monitored, snapshotting before each
+    cycle in [window_starts] (clamped to the horizon), every
+    [checkpoint] cycles, and at the horizon.  [None] under the same
+    conditions as {!replay} — then every fault of the batch must be
+    simulated with {!classify_fast}.
+
+    The recording owns its engine: classifying against it mutates that
+    engine, so a recording must not be shared across domains — build one
+    per worker. *)
+
+val classify_incr : baseline -> recording -> Model.t -> report
+(** As {!classify_fast}, against a recording: restore, re-step the
+    window and the wake of the perturbation, splice the recorded tail at
+    the first checkpoint where the state has provably reconverged.
+    Falls back to {!classify_fast} when the fault's window start has no
+    snapshot (a caller that listed it in [window_starts] never hits
+    this). *)

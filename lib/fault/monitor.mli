@@ -59,6 +59,16 @@ val observe_probes :
     {!Skeleton.Packed.probe_next} captures) — the same obligations and
     violation order as {!observe}, without a full snapshot. *)
 
+val observe_chan : t -> cycle:int -> edge:Topology.Network.edge_id -> Skeleton.Engine.probe -> unit
+(** Feed one cycle of ONE channel.  Per-channel state is independent —
+    each edge's obligations are a pure function of its own probe history
+    — so a caller may feed different edges at different paces, provided
+    each edge sees consecutive cycles.  Violations are ordered by feed
+    order, so for the canonical [(cycle, edge)] lexicographic order feed
+    ascending edges within each cycle.  The incremental fault classifier
+    uses this to reconstruct a channel's monitor lazily from recorded
+    probes when the channel first diverges from the fault-free run. *)
+
 val violations : t -> violation list
 (** All violations so far, oldest first. *)
 

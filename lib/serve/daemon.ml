@@ -2,6 +2,7 @@ type t = {
   jobs : int;
   results : (Lidjson.t, string) result Cache.t;
   engines : Skeleton.Packed.t Cache.t;
+  lock : Mutex.t;  (* serializes batches: caches are not thread-safe *)
   mutable batches : int;
   mutable dup_hits : int;
 }
@@ -16,6 +17,7 @@ let create ?jobs ?(result_capacity = 256) ?(engine_capacity = 32) () =
     jobs;
     results = Cache.create ~capacity:result_capacity;
     engines = Cache.create ~capacity:engine_capacity;
+    lock = Mutex.create ();
     batches = 0;
     dup_hits = 0;
   }
@@ -34,6 +36,8 @@ type batch_stats = {
   hits : int;
   misses : int;
   errors : int;
+  cone_reuse : bool;
+  reused_compilation : string option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -72,7 +76,7 @@ type slot =
   | Bad of Lidjson.t * string  (* echoed id, error *)
   | Ready of Handler.prepared
 
-let process t reqs =
+let process_locked t reqs =
   t.batches <- t.batches + 1;
   (* phase 1: parse + canonicalize in parallel — pure per request *)
   let slots =
@@ -93,6 +97,7 @@ let process t reqs =
   let pending = Hashtbl.create 16 in
   let work = ref [] in
   let hits = ref 0 and misses = ref 0 and errors = ref 0 in
+  let reused = ref None in
   List.iter
     (function
       | Bad _ -> incr errors
@@ -111,9 +116,25 @@ let process t reqs =
                 incr misses;
                 Hashtbl.replace pending key ();
                 let engine =
-                  if Handler.wants_engine p then
-                    Cache.take t.engines (Handler.engine_key p)
-                  else None
+                  if not (Handler.wants_engine p) then None
+                  else
+                    match Cache.take t.engines (Handler.engine_key p) with
+                    | Some e -> Some (Handler.Pooled e)
+                    | None -> (
+                        (* no engine for the edited topology; resume one
+                           compiled for its unedited base instead of
+                           recompiling.  [find], not [take]: resume only
+                           reads the base's immutable compiled structure,
+                           so the base engine stays in the pool. *)
+                        match Handler.base_engine_key p with
+                        | None -> None
+                        | Some bk -> (
+                            match Cache.find t.engines bk with
+                            | Some base ->
+                                if !reused = None then
+                                  reused := Handler.base_hash p;
+                                Some (Handler.Resume base)
+                            | None -> None))
                 in
                 work := (p, engine) :: !work))
     slots;
@@ -151,19 +172,28 @@ let process t reqs =
       hits = !hits;
       misses = !misses;
       errors = !errors;
+      cone_reuse = !reused <> None;
+      reused_compilation = !reused;
     } )
+
+let process t reqs = Mutex.protect t.lock (fun () -> process_locked t reqs)
 
 let stats_json t (s : batch_stats) =
   Lidjson.to_string
     (Lidjson.Obj
-       [
-         ("batch", Lidjson.Int s.batch);
-         ("requests", Lidjson.Int s.requests);
-         ("hits", Lidjson.Int s.hits);
-         ("misses", Lidjson.Int s.misses);
-         ("errors", Lidjson.Int s.errors);
-         ("jobs", Lidjson.Int t.jobs);
-       ])
+       ([
+          ("batch", Lidjson.Int s.batch);
+          ("requests", Lidjson.Int s.requests);
+          ("hits", Lidjson.Int s.hits);
+          ("misses", Lidjson.Int s.misses);
+          ("errors", Lidjson.Int s.errors);
+          ("jobs", Lidjson.Int t.jobs);
+          ("cone_reuse", Lidjson.Bool s.cone_reuse);
+        ]
+       @
+       match s.reused_compilation with
+       | Some h -> [ ("reused_compilation", Lidjson.String h) ]
+       | None -> []))
 
 (* ------------------------------------------------------------------ *)
 (* Framing.                                                             *)
@@ -199,19 +229,62 @@ let serve_channel ?(stats = false) t ic oc =
   in
   loop ()
 
-let serve_socket ?stats t path =
+let serve_socket ?stats ?connections t path =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (try Unix.unlink path with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  let rec accept_loop () =
-    let fd, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr fd
-    and oc = Unix.out_channel_of_descr fd in
-    (try serve_channel ?stats t ic oc
-     with Sys_error _ | Unix.Unix_error (_, _, _) | End_of_file -> ());
-    (try close_out oc with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
-    accept_loop ()
+  Unix.listen sock (max 8 t.jobs);
+  (* One handler domain per connection, at most [t.jobs] live at once:
+     the accept loop blocks on the condvar when the bound is reached.
+     Handlers only read lines and call [process] (which serializes on
+     the daemon lock), so responses per connection are byte-identical
+     to the sequential server's.  Finished domains flag themselves and
+     are joined opportunistically from the accept loop. *)
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let active = ref 0 in
+  let handlers = ref [] in
+  let reap ~all =
+    handlers :=
+      List.filter
+        (fun (fin, d) ->
+          if all || Atomic.get fin then (
+            Domain.join d;
+            false)
+          else true)
+        !handlers
   in
-  accept_loop ()
+  let served = ref 0 in
+  let more () = match connections with Some n -> !served < n | None -> true in
+  while more () do
+    let fd, _ = Unix.accept sock in
+    incr served;
+    Mutex.lock lock;
+    while !active >= t.jobs do
+      Condition.wait cond lock
+    done;
+    incr active;
+    Mutex.unlock lock;
+    reap ~all:false;
+    let fin = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          let ic = Unix.in_channel_of_descr fd
+          and oc = Unix.out_channel_of_descr fd in
+          (try serve_channel ?stats t ic oc
+           with Sys_error _ | Unix.Unix_error (_, _, _) | End_of_file -> ());
+          (try close_out oc
+           with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+          Mutex.lock lock;
+          decr active;
+          Condition.signal cond;
+          Mutex.unlock lock;
+          Atomic.set fin true)
+    in
+    handlers := (fin, d) :: !handlers
+  done;
+  (* only reachable with [connections]: drain and release the socket *)
+  reap ~all:true;
+  (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+  try Unix.unlink path with Unix.Unix_error (_, _, _) | Sys_error _ -> ()

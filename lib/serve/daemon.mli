@@ -46,21 +46,36 @@ type batch_stats = {
   hits : int;  (** answered from the memo cache or an in-batch twin *)
   misses : int;  (** unique keys actually computed *)
   errors : int;  (** requests that failed to parse or prepare *)
+  cone_reuse : bool;
+      (** some computed request resumed a pooled engine of its unedited
+          base topology instead of recompiling *)
+  reused_compilation : string option;
+      (** topology hash of the first such reused compilation *)
 }
 
 val process : t -> Lidjson.t list -> Lidjson.t list * batch_stats
-(** Process one batch; responses are in request order. *)
+(** Process one batch; responses are in request order.  Serialized on
+    an internal lock, so concurrent connections may call it freely —
+    batches never interleave and the caches see one writer at a time. *)
 
 val stats_json : t -> batch_stats -> string
 (** One compact JSON line for stderr:
-    [{"batch":k,"requests":n,"hits":h,"misses":m,"errors":e,"jobs":j}]. *)
+    [{"batch":k,"requests":n,"hits":h,"misses":m,"errors":e,"jobs":j,
+    "cone_reuse":b}], plus ["reused_compilation"] when a pooled engine
+    was resumed. *)
 
 val serve_channel : ?stats:bool -> t -> in_channel -> out_channel -> unit
 (** Read request lines until EOF, writing one response line each,
     flushing per line.  [stats] (default false) emits {!stats_json}
     lines on stderr after every batch. *)
 
-val serve_socket : ?stats:bool -> t -> string -> unit
+val serve_socket : ?stats:bool -> ?connections:int -> t -> string -> unit
 (** Bind a Unix domain socket at the given path (unlinking any stale
-    one) and serve clients sequentially, each with the stdin protocol;
-    the memo cache persists across connections.  Never returns. *)
+    one) and serve clients concurrently — one handler domain per
+    connection, at most {!jobs} live at once (further clients queue in
+    the listen backlog); the memo cache persists across connections and
+    batches serialize on the daemon lock, so each connection's
+    responses are byte-identical to what a sequential server would
+    send.  Never returns — unless [connections] bounds how many to
+    accept (tests), after which remaining handlers are drained and the
+    socket is unlinked. *)

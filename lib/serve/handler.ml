@@ -4,7 +4,40 @@ type prepared = {
   canonical : string;
   hash_hex : string;
   key : string;
+  edits : (Topology.Network.edge_id * Lid.Latency.profile option) list;
+  base_canonical : string option;
 }
+
+(* Map the request's channel labels ("SRC.P->DST.P", the label channels
+   print as) onto the parsed topology's edge ids. *)
+let resolve_edits net (edits : (string * Lid.Latency.profile option) list) =
+  match edits with
+  | [] -> Ok []
+  | _ ->
+      let label (e : Topology.Network.edge) =
+        Printf.sprintf "%s.%d->%s.%d"
+          (Topology.Network.node net e.src.node).name e.src.port
+          (Topology.Network.node net e.dst.node).name e.dst.port
+      in
+      let ids = Hashtbl.create 16 in
+      List.iter
+        (fun (e : Topology.Network.edge) -> Hashtbl.replace ids (label e) e.id)
+        (Topology.Network.edges net);
+      List.fold_left
+        (fun acc (chan, profile) ->
+          match acc with
+          | Error _ as e -> e
+          | Ok resolved -> (
+              match Hashtbl.find_opt ids chan with
+              | Some id -> Ok ((id, profile) :: resolved)
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "edit names unknown channel %S (want \"SRC.PORT->\
+                        DST.PORT\")"
+                       chan)))
+        (Ok []) edits
+      |> Result.map List.rev
 
 let prepare (request : Request.t) =
   let allow_direct =
@@ -12,27 +45,48 @@ let prepare (request : Request.t) =
   in
   match Topology.Spec.parse ~allow_direct request.spec with
   | Error m -> Error m
-  | Ok net ->
-      let canonical = Topo_hash.canonical net in
-      Ok
-        {
-          request;
-          net;
-          canonical;
-          hash_hex = Topo_hash.hex canonical;
-          key = Request.analysis_key request ^ "\n" ^ canonical;
-        }
+  | Ok base -> (
+      match resolve_edits base request.edits with
+      | Error m -> Error m
+      | Ok edits -> (
+          match
+            List.fold_left
+              (fun n (id, p) -> Topology.Network.with_latency n id p)
+              base edits
+          with
+          | exception Invalid_argument m -> Error m
+          | net ->
+              let canonical = Topo_hash.canonical net in
+              Ok
+                {
+                  request;
+                  net;
+                  canonical;
+                  hash_hex = Topo_hash.hex canonical;
+                  key = Request.analysis_key request ^ "\n" ^ canonical;
+                  edits;
+                  base_canonical =
+                    (if edits = [] then None
+                     else Some (Topo_hash.canonical base));
+                }))
 
 let wants_engine p =
   match p.request.analysis with
   | Request.Throughput _ | Request.Inject _ -> true
   | Request.Lint _ | Request.Equalize -> false
 
-let engine_key p =
-  (match p.request.flavour with
+let engine_key_of flavour canonical =
+  (match flavour with
   | Lid.Protocol.Optimized -> "optimized\n"
   | Lid.Protocol.Original -> "original\n")
-  ^ p.canonical
+  ^ canonical
+
+let engine_key p = engine_key_of p.request.flavour p.canonical
+
+let base_engine_key p =
+  Option.map (engine_key_of p.request.flavour) p.base_canonical
+
+let base_hash p = Option.map Topo_hash.hex p.base_canonical
 
 (* ------------------------------------------------------------------ *)
 (* The analyses.  Each returns the payload of the response's "result"
@@ -125,10 +179,15 @@ let inject ~engine ~seed ~cycles ~sites ~per_site p =
         (Lidjson.parse_exn
            (Fault.Campaign.json ~jobs:1 ~lanes_used:!lanes_used result))
 
+type engine_source =
+  | Pooled of Skeleton.Packed.t
+  | Resume of Skeleton.Packed.t
+
 let compute ?engine p =
   let fresh_engine () =
     match engine with
-    | Some e -> e
+    | Some (Pooled e) -> e
+    | Some (Resume base) -> Skeleton.Packed.resume base ~edits:p.edits
     | None -> Skeleton.Packed.create ~flavour:p.request.flavour p.net
   in
   match p.request.analysis with

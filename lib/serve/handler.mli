@@ -16,15 +16,26 @@
 type prepared = {
   request : Request.t;
   net : Topology.Network.t;
+      (** the parsed topology {e with the request's edits applied} *)
   canonical : string;  (** {!Topo_hash.canonical} of [net] *)
   hash_hex : string;  (** {!Topo_hash.hex} — the response's [topology_hash] *)
   key : string;  (** result memo-cache key: analysis params + canonical *)
+  edits : (Topology.Network.edge_id * Lid.Latency.profile option) list;
+      (** the request's latency edits, channel labels resolved to edge
+          ids of the parsed topology *)
+  base_canonical : string option;
+      (** canonical of the {e unedited} topology; [Some] iff the request
+          carried edits — the daemon uses it to find a pooled engine to
+          {!Skeleton.Packed.resume} instead of recompiling *)
 }
 
 val prepare : Request.t -> (prepared, string) result
 (** Parse and canonicalize.  Lint requests parse with [allow_direct]
     (the linter reports what the builder refuses); everything else
-    parses strictly, exactly as the corresponding CLI subcommand. *)
+    parses strictly, exactly as the corresponding CLI subcommand.
+    Latency edits are resolved against the parsed topology and applied
+    here, so [canonical], [hash_hex] and [key] all describe the edited
+    network — a cached result can never leak across different edits. *)
 
 val wants_engine : prepared -> bool
 (** Whether {!compute} can reuse a pooled packed engine (throughput
@@ -32,15 +43,33 @@ val wants_engine : prepared -> bool
     never simulate). *)
 
 val engine_key : prepared -> string
-(** Engine-pool key: flavour + canonical topology. *)
+(** Engine-pool key: flavour + canonical (edited) topology. *)
+
+val base_engine_key : prepared -> string option
+(** Engine-pool key of the unedited topology, when the request carried
+    edits — the incremental-compilation fallback lookup. *)
+
+val base_hash : prepared -> string option
+(** {!Topo_hash.hex} of the unedited topology, for the daemon's
+    [reused_compilation] statistic. *)
+
+type engine_source =
+  | Pooled of Skeleton.Packed.t
+      (** exclusively owned, reset, compiled for the edited topology *)
+  | Resume of Skeleton.Packed.t
+      (** an engine of the {e unedited} topology still sitting in the
+          pool; {!compute} derives a fresh engine from it with
+          {!Skeleton.Packed.resume} (sharing the compiled structure,
+          re-packing only the edited channels) without taking ownership
+          — resume reads only immutable compile-time arrays *)
 
 val compute :
-  ?engine:Skeleton.Packed.t ->
+  ?engine:engine_source ->
   prepared ->
   (Lidjson.t, string) result * Skeleton.Packed.t option
-(** Run the analysis.  [engine], when given, must be exclusively owned
-    and in reset state; the returned engine (the one given, or one
-    created locally when the analysis needed it) is {e not} reset — the
-    daemon resets it when pooling it back.  The payload/error is
-    deterministic for a given [prepared], independent of engine reuse,
-    jobs, or cache state. *)
+(** Run the analysis.  A [Pooled] engine must be exclusively owned and
+    in reset state; the returned engine (the one given, the one resumed,
+    or one created locally when the analysis needed it) is {e not} reset
+    — the daemon resets it when pooling it back under {!engine_key}.
+    The payload/error is deterministic for a given [prepared],
+    independent of engine reuse, jobs, or cache state. *)

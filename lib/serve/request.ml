@@ -9,6 +9,11 @@ type t = {
   spec : string;
   flavour : Lid.Protocol.flavour;
   analysis : analysis;
+  edits : (string * Lid.Latency.profile option) list;
+      (** channel label (as [Fault.Model.pp] prints it,
+          ["SRC.P->DST.P"]) to new latency profile; [None] strips the
+          channel's profile.  Resolved against the parsed topology in
+          {!Handler.prepare}. *)
 }
 
 let ( let* ) = Result.bind
@@ -88,7 +93,40 @@ let of_json j =
                   inject)"
                  a)
       in
-      Ok { id; spec; flavour; analysis }
+      let* edits =
+        match Lidjson.member "edits" j with
+        | None -> Ok []
+        | Some (Lidjson.List items) ->
+            let edit = function
+              | Lidjson.Obj _ as e -> (
+                  let* chan = string_member "channel" e in
+                  let* lat = string_member "latency" e in
+                  match (chan, lat) with
+                  | None, _ -> Error "an edit needs a \"channel\""
+                  | _, None -> Error "an edit needs a \"latency\""
+                  | Some c, Some "none" -> Ok (c, None)
+                  | Some c, Some l -> (
+                      match Lid.Latency.of_string l with
+                      | Some p -> Ok (c, Some p)
+                      | None ->
+                          Error
+                            (Printf.sprintf
+                               "bad latency profile %S (want fixed:D, \
+                                jitter:BASE:BOUND:SEED, dist:LENGTH:PITCH, \
+                                table:D0,D1,... or none)"
+                               l)))
+              | _ -> Error "each edit must be an object"
+            in
+            List.fold_left
+              (fun acc e ->
+                let* acc = acc in
+                let* e = edit e in
+                Ok (e :: acc))
+              (Ok []) items
+            |> Result.map List.rev
+        | Some _ -> Error "member \"edits\" must be an array"
+      in
+      Ok { id; spec; flavour; analysis; edits }
   | _ -> Error "a request must be a JSON object"
 
 let flavour_name = function

@@ -21,6 +21,22 @@
       defaults 1, 0 = derive from the fault-free steady state, 0 =
       exhaustive, 1).
 
+    An optional [edits] member patches channel latency profiles before
+    the analysis, without resending a whole new spec:
+
+    {v
+    {"spec": "...", "analysis": "throughput",
+     "edits": [{"channel": "u.0->v.0", "latency": "jitter:0:3:7"},
+               {"channel": "v.0->w.0", "latency": "none"}]}
+    v}
+
+    [channel] is the label {!Topology.Spec} channels print as
+    (["SRC.PORT->DST.PORT"]); [latency] is the {!Lid.Latency.of_string}
+    syntax, or ["none"] to strip the profile.  Edits are shape
+    preserving — stations and wiring stay put — which is what lets the
+    daemon {!Skeleton.Packed.resume} a pooled engine of the unedited
+    topology instead of recompiling.
+
     Unknown object members are ignored (forward compatibility); wrong
     member types and missing/ambiguous topology are errors. *)
 
@@ -35,6 +51,9 @@ type t = {
   spec : string;  (** description text, possibly a [generate] line *)
   flavour : Lid.Protocol.flavour;
   analysis : analysis;
+  edits : (string * Lid.Latency.profile option) list;
+      (** channel-label to latency-profile patches, request order;
+          [None] strips the channel's profile *)
 }
 
 val of_json : Lidjson.t -> (t, string) result

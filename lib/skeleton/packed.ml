@@ -3,26 +3,27 @@ module Net = Topology.Network
 module RS = Lid.Relay_station
 module Bitset = Bitvec.Bitset
 
-(* Raw-word bit operations over a plane's backing array ([Bitset.words]).
+(* Raw bit operations over a plane's backing buffer ([Bitset.bytes]).
    This compiler has no cross-module inlining, so every [Bitset.get] in the
    hot loops would cost a call (~2ns) per wire read; these same-module
-   twins inline (the library compiles with [-inline 200]).  The layout
-   constants come from [Bitset] itself, so the two cannot drift. *)
-let bget (w : int array) i =
-  Array.unsafe_get w (i lsr Bitset.word_shift)
-  lsr (i land Bitset.bit_mask)
-  land 1
-  = 1
+   twins inline (the library compiles with [-inline 200]).  They are
+   byte-granular on purpose: without flambda an int64-word read would box
+   per wire access, while [i lsr 3] / [i land 7] over characters compile
+   to a shift and a mask.  The whole-word (unboxed int64) view of the same
+   buffers is only taken on batch paths (signatures, set algebra). *)
+let bget (w : Bytes.t) i =
+  Char.code (Bytes.unsafe_get w (i lsr 3)) lsr (i land 7) land 1 = 1
 
-let bset (w : int array) i =
-  let k = i lsr Bitset.word_shift in
-  Array.unsafe_set w k
-    (Array.unsafe_get w k lor (1 lsl (i land Bitset.bit_mask)))
+let bset (w : Bytes.t) i =
+  let k = i lsr 3 in
+  Bytes.unsafe_set w k
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get w k) lor (1 lsl (i land 7))))
 
-let bclr (w : int array) i =
-  let k = i lsr Bitset.word_shift in
-  Array.unsafe_set w k
-    (Array.unsafe_get w k land lnot (1 lsl (i land Bitset.bit_mask)))
+let bclr (w : Bytes.t) i =
+  let k = i lsr 3 in
+  Bytes.unsafe_set w k
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get w k) land lnot (1 lsl (i land 7))))
 
 let bassign w i b = if b then bset w i else bclr w i
 
@@ -46,11 +47,21 @@ let fnv1a_string s =
   String.iter (fun c -> h := fnv1a_fold !h (Char.code c)) s;
   !h
 
-module Sig_key = struct
-  type t = int array
+(* Signature buffers are whole numbers of 64-bit words (the [Bitset]
+   backing-store invariant carries over), so hash them one unboxed int64
+   read at a time. *)
+let fnv1a_bytes b =
+  let h = ref fnv1a_basis in
+  for w = 0 to (Bytes.length b lsr 3) - 1 do
+    h := fnv1a_fold !h (Int64.to_int (Bytes.get_int64_ne b (w lsl 3)))
+  done;
+  !h
 
-  let equal (a : int array) b = a = b
-  let hash = fnv1a_words
+module Sig_key = struct
+  type t = Bytes.t
+
+  let equal = Bytes.equal
+  let hash = fnv1a_bytes
 end
 
 module Sig_tbl = Hashtbl.Make (Sig_key)
@@ -63,6 +74,17 @@ type pgate = {
   mutable pg_d : int;
   mutable pg_timer : int;
   mutable pg_count : int;
+}
+
+(* Forward cone of influence of one edge: everything a perturbation at
+   that edge can ever reach.  Computed once per (topology, edge) and
+   memoized on the engine — see the [Cone] module below. *)
+type cone = {
+  cn_site : int;
+  cn_edges : Bitset.t;
+  cn_nodes : Bitset.t;
+  cn_order : int array;
+  cn_rep : int;
 }
 
 type t = {
@@ -115,24 +137,64 @@ type t = {
   fire : Bytes.t; (* 0 unknown, 1 in progress, 2 no, 3 yes *)
   stop_known : Bytes.t;
   in_scratch : int array array; (* shell -> reused pearl-input buffer *)
-  (* cached backing words of the planes above, addressed via [bget] &c. *)
-  w_out_valid : int array;
-  w_st_full : int array;
-  w_st_retx : int array;
-  w_st_v0 : int array;
-  w_st_v1 : int array;
-  w_seg_valid : int array;
-  w_out_stop : int array;
-  w_st_stop_in : int array;
+  (* cached backing buffers of the planes above, addressed via [bget] &c. *)
+  w_out_valid : Bytes.t;
+  w_st_full : Bytes.t;
+  w_st_retx : Bytes.t;
+  w_st_v0 : Bytes.t;
+  w_st_v1 : Bytes.t;
+  w_seg_valid : Bytes.t;
+  w_out_stop : Bytes.t;
+  w_st_stop_in : Bytes.t;
   (* --- signature interning --- *)
-  sig_words : int array;
+  sig_bytes : Bytes.t;
   sig_intern : int Sig_tbl.t;
   mutable sig_next : int;
+  (* --- cone-of-influence memo (shared across [resume] siblings) --- *)
+  cone_memo : cone option array;
 }
 
 let pattern_word p =
   let n = Topology.Pattern.period p in
   Array.init n (fun cycle -> Topology.Pattern.active p ~cycle)
+
+(* Boxed initial states for retransmitting stations; the channel's
+   latency profile drives the FIRST retx station of its chain (same
+   elaboration as [Engine.chain_states]).  Top-level because [resume]
+   re-runs it against an edited network with the same station layout. *)
+let initial_retx_st net st_off n_st =
+  let a = Array.make n_st None in
+  List.iteri
+    (fun i (e : Net.edge) ->
+      let table = Net.delay_table net i in
+      let used = ref false in
+      List.iteri
+        (fun j k ->
+          match k with
+          | RS.Retx _ ->
+              let st =
+                if not !used then begin
+                  used := true;
+                  match table with
+                  | Some table -> RS.initial ~table k
+                  | None -> RS.initial k
+                end
+                else RS.initial k
+              in
+              a.(st_off.(i) + j) <- Some st
+          | _ -> ())
+        e.stations)
+    (Net.edges net);
+  a
+
+let initial_gates net n_edges =
+  Array.init n_edges (fun e ->
+      if Net.edge_is_gated net e then
+        match Net.delay_table net e with
+        | Some pg_table ->
+            Some { pg_table; pg_v = false; pg_d = 0; pg_timer = 0; pg_count = 0 }
+        | None -> None
+      else None)
 
 let create ?(flavour = Lid.Protocol.Optimized) net =
   let nodes = Array.of_list (Net.nodes net) in
@@ -177,43 +239,6 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
           | RS.Half -> ())
         e.stations)
     edges;
-  (* boxed initial states for retransmitting stations; the channel's
-     latency profile drives the FIRST retx station of its chain (same
-     elaboration as [Engine.chain_states]) *)
-  let initial_retx_st () =
-    let a = Array.make n_st None in
-    Array.iteri
-      (fun i (e : Net.edge) ->
-        let table = Net.delay_table net i in
-        let used = ref false in
-        List.iteri
-          (fun j k ->
-            match k with
-            | RS.Retx _ ->
-                let st =
-                  if not !used then begin
-                    used := true;
-                    match table with
-                    | Some table -> RS.initial ~table k
-                    | None -> RS.initial k
-                  end
-                  else RS.initial k
-                in
-                a.(st_off.(i) + j) <- Some st
-            | _ -> ())
-          e.stations)
-      edges;
-    a
-  in
-  let initial_gates () =
-    Array.init n_edges (fun e ->
-        if Net.edge_is_gated net e then
-          match Net.delay_table net e with
-          | Some pg_table ->
-              Some { pg_table; pg_v = false; pg_d = 0; pg_timer = 0; pg_count = 0 }
-          | None -> None
-        else None)
-  in
   let in_last_seg = Array.make in_off.(n_nodes) 0 in
   let out_edge = Array.make out_off.(n_nodes) 0 in
   for i = 0 to n_nodes - 1 do
@@ -247,11 +272,9 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
   let seg_valid = Bitset.create n_seg in
   let out_stop = Bitset.create out_off.(n_nodes) in
   let st_stop_in = Bitset.create n_st in
-  let out_words = Bitset.n_words out_valid in
-  let st_words = Bitset.n_words st_full in
-  let retx_init = initial_retx_st () in
+  let retx_init = initial_retx_st net st_off n_st in
   let retx_st = Array.copy retx_init in
-  let gates = initial_gates () in
+  let gates = initial_gates net n_edges in
   let n_retx = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 retx_st in
   let n_gates = Array.fold_left (fun n g -> if g = None then n else n + 1) 0 gates in
   let t =
@@ -319,17 +342,23 @@ let create ?(flavour = Lid.Protocol.Optimized) net =
             if kind.(i) = k_shell then
               Array.make (in_off.(i + 1) - in_off.(i)) 0
             else [||]);
-      w_out_valid = Bitset.words out_valid;
-      w_st_full = Bitset.words st_full;
-      w_st_retx = Bitset.words st_retx;
-      w_st_v0 = Bitset.words st_v0;
-      w_st_v1 = Bitset.words st_v1;
-      w_seg_valid = Bitset.words seg_valid;
-      w_out_stop = Bitset.words out_stop;
-      w_st_stop_in = Bitset.words st_stop_in;
-      sig_words = Array.make (out_words + (2 * st_words) + 1 + n_retx + n_gates) 0;
+      w_out_valid = Bitset.bytes out_valid;
+      w_st_full = Bitset.bytes st_full;
+      w_st_retx = Bitset.bytes st_retx;
+      w_st_v0 = Bitset.bytes st_v0;
+      w_st_v1 = Bitset.bytes st_v1;
+      w_seg_valid = Bitset.bytes seg_valid;
+      w_out_stop = Bitset.bytes out_stop;
+      w_st_stop_in = Bitset.bytes st_stop_in;
+      sig_bytes =
+        Bytes.make
+          (Bitset.n_bytes out_valid
+          + (2 * Bitset.n_bytes st_full)
+          + (8 * (1 + n_retx + n_gates)))
+          '\000';
       sig_intern = Sig_tbl.create 1024;
       sig_next = 0;
+      cone_memo = Array.make n_edges None;
     }
   in
   (* initial state: shell buffers valid with the pearl's initial output,
@@ -1072,15 +1101,16 @@ let probe_next t =
 (* Interned signatures.                                                *)
 
 let signature_id t =
-  let w = t.sig_words in
+  let b = t.sig_bytes in
   let pos = ref 0 in
-  Bitset.blit_words t.out_valid w !pos;
-  pos := !pos + Bitset.n_words t.out_valid;
-  Bitset.blit_words t.st_v0 w !pos;
-  pos := !pos + Bitset.n_words t.st_v0;
-  Bitset.blit_words t.st_v1 w !pos;
-  pos := !pos + Bitset.n_words t.st_v1;
-  w.(!pos) <- t.cycle mod t.env_period;
+  Bitset.blit_into t.out_valid b !pos;
+  pos := !pos + Bitset.n_bytes t.out_valid;
+  Bitset.blit_into t.st_v0 b !pos;
+  pos := !pos + Bitset.n_bytes t.st_v0;
+  Bitset.blit_into t.st_v1 b !pos;
+  pos := !pos + Bitset.n_bytes t.st_v1;
+  Bytes.set_int64_ne b !pos (Int64.of_int (t.cycle mod t.env_period));
+  pos := !pos + 8;
   if t.has_dyn then begin
     (* dynamic state lives in boxed records, not the planes: fold each
        retx station's dense code and each gate's register into the key *)
@@ -1088,28 +1118,29 @@ let signature_id t =
       (fun st ->
         match st with
         | Some st ->
-            incr pos;
-            w.(!pos) <- RS.signature_code st
+            Bytes.set_int64_ne b !pos (Int64.of_int (RS.signature_code st));
+            pos := !pos + 8
         | None -> ())
       t.retx_st;
     Array.iter
       (fun g ->
         match g with
         | Some g ->
-            incr pos;
-            w.(!pos) <-
-              (if g.pg_v then 1 else 0)
-              lor (g.pg_timer lsl 1)
-              lor (g.pg_count lsl 16)
+            Bytes.set_int64_ne b !pos
+              (Int64.of_int
+                 ((if g.pg_v then 1 else 0)
+                 lor (g.pg_timer lsl 1)
+                 lor (g.pg_count lsl 16)));
+            pos := !pos + 8
         | None -> ())
       t.gates
   end;
-  match Sig_tbl.find_opt t.sig_intern w with
+  match Sig_tbl.find_opt t.sig_intern b with
   | Some id -> id
   | None ->
       let id = t.sig_next in
       t.sig_next <- id + 1;
-      Sig_tbl.add t.sig_intern (Array.copy w) id;
+      Sig_tbl.add t.sig_intern (Bytes.copy b) id;
       id
 
 let signature_intern_size t = Sig_tbl.length t.sig_intern
@@ -1117,3 +1148,380 @@ let signature_intern_size t = Sig_tbl.length t.sig_intern
 let signature_intern_clear t =
   Sig_tbl.reset t.sig_intern;
   t.sig_next <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Cone of influence.
+
+   The forward-reachable closure of one edge over the CSR: every edge a
+   perturbation at the site can ever touch, every node it can ever make
+   fire or stall differently.  Stop wires run combinationally upstream,
+   so this is NOT a sound bound on single-cycle dirtiness — it is the
+   locality structure the campaign driver uses to group faults whose
+   perturbations overlap (shared snapshots, shared cache footprint) and
+   the statistic the cone benchmark reports.  Correctness of incremental
+   classification rests on exact convergence checks ([converged] below),
+   never on these masks. *)
+
+module Cone = struct
+  type c = cone
+
+  let site c = c.cn_site
+  let edges c = c.cn_edges
+  let nodes c = c.cn_nodes
+  let order c = c.cn_order
+  let rep c = c.cn_rep
+  let size c = Array.length c.cn_order
+
+  let compute t e0 =
+    let in_cone = Bitset.create t.n_edges in
+    let in_nodes = Bitset.create t.n_nodes in
+    let stack = ref [ e0 ] in
+    Bitset.set in_cone e0;
+    let running = ref true in
+    while !running do
+      match !stack with
+      | [] -> running := false
+      | e :: rest ->
+          stack := rest;
+          let dn = t.e_dst_node.(e) in
+          if not (Bitset.get in_nodes dn) then begin
+            Bitset.set in_nodes dn;
+            for p = t.out_off.(dn) to t.out_off.(dn + 1) - 1 do
+              let e' = t.out_edge.(p) in
+              if not (Bitset.get in_cone e') then begin
+                Bitset.set in_cone e';
+                stack := e' :: !stack
+              end
+            done
+          end
+    done;
+    let size = Bitset.popcount in_cone in
+    (* Kahn's algorithm restricted to the cone, min-id tie-break through
+       a binary heap (Blarney's partialTopologicalSort idiom); edges
+       stuck on cycles are appended in id order afterwards *)
+    let indeg = Array.make t.n_edges 0 in
+    Bitset.iter_set in_cone (fun e ->
+        let dn = t.e_dst_node.(e) in
+        for p = t.out_off.(dn) to t.out_off.(dn + 1) - 1 do
+          let e' = t.out_edge.(p) in
+          if Bitset.get in_cone e' then indeg.(e') <- indeg.(e') + 1
+        done);
+    let heap = Array.make (max size 1) 0 in
+    let hn = ref 0 in
+    let swap i j =
+      let v = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- v
+    in
+    let push v =
+      heap.(!hn) <- v;
+      incr hn;
+      let i = ref (!hn - 1) in
+      while !i > 0 && heap.((!i - 1) / 2) > heap.(!i) do
+        swap ((!i - 1) / 2) !i;
+        i := (!i - 1) / 2
+      done
+    in
+    let pop () =
+      let v = heap.(0) in
+      decr hn;
+      heap.(0) <- heap.(!hn);
+      let i = ref 0 in
+      let sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < !hn && heap.(l) < heap.(!m) then m := l;
+        if r < !hn && heap.(r) < heap.(!m) then m := r;
+        if !m = !i then sifting := false
+        else begin
+          swap !m !i;
+          i := !m
+        end
+      done;
+      v
+    in
+    Bitset.iter_set in_cone (fun e -> if indeg.(e) = 0 then push e);
+    let order = Array.make size 0 in
+    let placed = Bitset.create t.n_edges in
+    let k = ref 0 in
+    while !hn > 0 do
+      let e = pop () in
+      order.(!k) <- e;
+      incr k;
+      Bitset.set placed e;
+      let dn = t.e_dst_node.(e) in
+      for p = t.out_off.(dn) to t.out_off.(dn + 1) - 1 do
+        let e' = t.out_edge.(p) in
+        if Bitset.get in_cone e' then begin
+          indeg.(e') <- indeg.(e') - 1;
+          if indeg.(e') = 0 then push e'
+        end
+      done
+    done;
+    Bitset.iter_set in_cone (fun e ->
+        if not (Bitset.get placed e) then begin
+          order.(!k) <- e;
+          incr k
+        end);
+    let rep = ref e0 in
+    Bitset.iter_set in_cone (fun e -> if e < !rep then rep := e);
+    {
+      cn_site = e0;
+      cn_edges = in_cone;
+      cn_nodes = in_nodes;
+      cn_order = order;
+      cn_rep = !rep;
+    }
+
+  (* The memo is shared across [resume] siblings (cones depend only on
+     the topology shape, which [resume] preserves).  Concurrent domains
+     may race to fill a slot: the computation is deterministic and the
+     slot write is a single pointer store, so the worst case is a wasted
+     recomputation, never a torn value. *)
+  let of_edge t e =
+    if e < 0 || e >= t.n_edges then invalid_arg "Packed.Cone.of_edge";
+    match t.cone_memo.(e) with
+    | Some c -> c
+    | None ->
+        let c = compute t e in
+        t.cone_memo.(e) <- Some c;
+        c
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.
+
+   The registered state, captured and restored wholesale.  The
+   incremental fault classifier ([Fault.Classify.classify_incr]) records
+   the fault-free run's state at checkpoint cycles, restores to a
+   fault's window start, re-steps only the perturbed middle, and splices
+   the recorded tail back on once [converged] proves the live engine is
+   behaviourally back on the recorded trajectory. *)
+
+type snapshot = {
+  sn_cycle : int;
+  sn_out_valid : Bitset.t;
+  sn_out_val : int array;
+  sn_pearl_state : int array array;
+  sn_st_v0 : Bitset.t;
+  sn_st_v1 : Bitset.t;
+  sn_st_d0 : int array;
+  sn_st_d1 : int array;
+  sn_src_next : int array;
+  sn_fired : int array;
+  sn_gated : int array;
+  sn_starved : int array;
+  sn_snk_count : int array;
+  sn_snk_vals : int list array;
+  sn_retx : RS.state option array;
+  sn_gates : (bool * int * int * int) option array;
+  sn_recoveries : int;
+}
+
+let snapshot t =
+  {
+    sn_cycle = t.cycle;
+    sn_out_valid = Bitset.copy t.out_valid;
+    sn_out_val = Array.copy t.out_val;
+    sn_pearl_state = Array.map Array.copy t.pearl_state;
+    sn_st_v0 = Bitset.copy t.st_v0;
+    sn_st_v1 = Bitset.copy t.st_v1;
+    sn_st_d0 = Array.copy t.st_d0;
+    sn_st_d1 = Array.copy t.st_d1;
+    sn_src_next = Array.copy t.src_next;
+    sn_fired = Array.copy t.fired;
+    sn_gated = Array.copy t.gated;
+    sn_starved = Array.copy t.starved;
+    sn_snk_count = Array.copy t.snk_count;
+    sn_snk_vals = Array.copy t.snk_vals;
+    (* [RS.state] values are immutable; sharing them is safe *)
+    sn_retx = Array.copy t.retx_st;
+    sn_gates =
+      Array.map
+        (Option.map (fun g -> (g.pg_v, g.pg_d, g.pg_timer, g.pg_count)))
+        t.gates;
+    sn_recoveries = recovery_count t;
+  }
+
+let restore t s =
+  t.cycle <- s.sn_cycle;
+  Bitset.blit ~src:s.sn_out_valid ~dst:t.out_valid;
+  Array.blit s.sn_out_val 0 t.out_val 0 (Array.length t.out_val);
+  for i = 0 to t.n_nodes - 1 do
+    t.pearl_state.(i) <- Array.copy s.sn_pearl_state.(i)
+  done;
+  Bitset.blit ~src:s.sn_st_v0 ~dst:t.st_v0;
+  Bitset.blit ~src:s.sn_st_v1 ~dst:t.st_v1;
+  Array.blit s.sn_st_d0 0 t.st_d0 0 (Array.length t.st_d0);
+  Array.blit s.sn_st_d1 0 t.st_d1 0 (Array.length t.st_d1);
+  Array.blit s.sn_src_next 0 t.src_next 0 t.n_nodes;
+  Array.blit s.sn_fired 0 t.fired 0 t.n_nodes;
+  Array.blit s.sn_gated 0 t.gated 0 t.n_nodes;
+  Array.blit s.sn_starved 0 t.starved 0 t.n_nodes;
+  Array.blit s.sn_snk_count 0 t.snk_count 0 t.n_nodes;
+  Array.blit s.sn_snk_vals 0 t.snk_vals 0 t.n_nodes;
+  Array.blit s.sn_retx 0 t.retx_st 0 (Array.length t.retx_st);
+  Array.iteri
+    (fun e saved ->
+      match (saved, t.gates.(e)) with
+      | Some (v, d, timer, count), Some g ->
+          g.pg_v <- v;
+          g.pg_d <- d;
+          g.pg_timer <- timer;
+          g.pg_count <- count
+      | None, None -> ()
+      | _ -> invalid_arg "Packed.restore: snapshot from a different engine")
+    s.sn_gates
+
+let snapshot_cycle s = s.sn_cycle
+let snapshot_recoveries s = s.sn_recoveries
+let snapshot_sink_count s node = s.sn_snk_count.(node)
+
+exception Differ
+
+(* Behavioural state equality: true only if the engine and the snapshot
+   evolve identically from here on and produce the same monitor/watchdog/
+   sink observations.  Dead data is masked (a datum is compared only
+   where its validity bit is set — invalid payloads are never read by
+   [forward]/[commit] before being overwritten, and probes erase them
+   behind [Token.void]).  The monotone progress counters (fired/gated/
+   starved/sink/recovery totals) are deliberately excluded: they do not
+   drive evolution, relay-station signature codes exclude them too, and
+   the classifier splices them from recorded totals instead. *)
+let converged t s =
+  let check b = if not b then raise Differ in
+  try
+    check (t.cycle = s.sn_cycle);
+    check (Bitset.equal t.out_valid s.sn_out_valid);
+    check (Bitset.equal t.st_v0 s.sn_st_v0);
+    check (Bitset.equal t.st_v1 s.sn_st_v1);
+    Bitset.iter_set t.out_valid (fun i -> check (t.out_val.(i) = s.sn_out_val.(i)));
+    Bitset.iter_set t.st_v0 (fun j -> check (t.st_d0.(j) = s.sn_st_d0.(j)));
+    Bitset.iter_set t.st_v1 (fun j ->
+        if Bitset.get t.st_full j then check (t.st_d1.(j) = s.sn_st_d1.(j)));
+    check (t.src_next = s.sn_src_next);
+    for i = 0 to t.n_nodes - 1 do
+      check (t.pearl_state.(i) = s.sn_pearl_state.(i))
+    done;
+    Array.iteri
+      (fun j st ->
+        match (st, s.sn_retx.(j)) with
+        | None, None -> ()
+        | Some a, Some b -> check (RS.behavioural_equal a b)
+        | _ -> raise Differ)
+      t.retx_st;
+    Array.iteri
+      (fun e go ->
+        match (go, s.sn_gates.(e)) with
+        | None, None -> ()
+        | Some g, Some (v, d, timer, count) ->
+            check (g.pg_v = v && g.pg_timer = timer && g.pg_count = count);
+            if v then check (g.pg_d = d)
+        | _ -> raise Differ)
+      t.gates;
+    true
+  with Differ -> false
+
+(* Splice the recorded tail's sink consumption onto the live engine:
+   the tokens the recording consumed between snapshot [at] and the final
+   snapshot are exactly what the live engine would consume after
+   reconverging at [at]. *)
+let splice_sinks t ~at ~final =
+  let rec take k l =
+    if k = 0 then []
+    else match l with [] -> [] | x :: rest -> x :: take (k - 1) rest
+  in
+  for n = 0 to t.n_nodes - 1 do
+    if t.kind.(n) = k_sink then begin
+      let extra = final.sn_snk_count.(n) - at.sn_snk_count.(n) in
+      if extra > 0 then begin
+        (* both lists are newest-first; the recorded tail's consumption
+           is the first [extra] elements of the final snapshot's list *)
+        t.snk_vals.(n) <- take extra final.sn_snk_vals.(n) @ t.snk_vals.(n);
+        t.snk_count.(n) <- t.snk_count.(n) + extra
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-elaboration.
+
+   [resume t ~edits] compiles the network obtained by re-profiling the
+   edited channels, sharing every immutable compiled array (CSR offsets,
+   kinds, pearls, patterns, station layout) and the cone memo with [t].
+   [Network.with_latency] preserves the topology shape, so only the
+   dynamic-channel artifacts (delay tables, entrance gates, retx initial
+   states) and the mutable state need rebuilding. *)
+
+let resume t ~edits =
+  let net =
+    List.fold_left (fun n (e, p) -> Net.with_latency n e p) t.net edits
+  in
+  let n_out = t.out_off.(t.n_nodes) in
+  let n_st = t.st_off.(t.n_edges) in
+  let n_seg = t.seg_off.(t.n_edges) in
+  let retx_init = initial_retx_st net t.st_off n_st in
+  let gates = initial_gates net t.n_edges in
+  let n_retx =
+    Array.fold_left (fun n s -> if s = None then n else n + 1) 0 retx_init
+  in
+  let n_gates =
+    Array.fold_left (fun n g -> if g = None then n else n + 1) 0 gates
+  in
+  let out_valid = Bitset.create n_out in
+  let st_v0 = Bitset.create n_st and st_v1 = Bitset.create n_st in
+  let seg_valid = Bitset.create n_seg in
+  let out_stop = Bitset.create n_out in
+  let st_stop_in = Bitset.create n_st in
+  let t' =
+    {
+      t with
+      net;
+      env_period = Net.env_period net;
+      has_dyn = Net.has_dynamics net;
+      retx_st = Array.copy retx_init;
+      retx_init;
+      gates;
+      out_valid;
+      out_val = Array.make n_out 0;
+      pearl_state = Array.make t.n_nodes [||];
+      st_v0;
+      st_v1;
+      st_d0 = Array.make n_st 0;
+      st_d1 = Array.make n_st 0;
+      src_next = Array.make t.n_nodes 0;
+      fired = Array.make t.n_nodes 0;
+      gated = Array.make t.n_nodes 0;
+      starved = Array.make t.n_nodes 0;
+      snk_count = Array.make t.n_nodes 0;
+      snk_vals = Array.make t.n_nodes [];
+      cycle = 0;
+      hooks = None;
+      seg_valid;
+      seg_val = Array.make n_seg 0;
+      fire = Bytes.create t.n_nodes;
+      stop_known = Bytes.create t.n_nodes;
+      in_scratch =
+        Array.init t.n_nodes (fun i ->
+            if t.kind.(i) = k_shell then
+              Array.make (t.in_off.(i + 1) - t.in_off.(i)) 0
+            else [||]);
+      w_out_valid = Bitset.bytes out_valid;
+      w_st_v0 = Bitset.bytes st_v0;
+      w_st_v1 = Bitset.bytes st_v1;
+      w_seg_valid = Bitset.bytes seg_valid;
+      w_out_stop = Bitset.bytes out_stop;
+      w_st_stop_in = Bitset.bytes st_stop_in;
+      sig_bytes =
+        Bytes.make
+          (Bitset.n_bytes out_valid
+          + (2 * Bitset.n_bytes st_v0)
+          + (8 * (1 + n_retx + n_gates)))
+          '\000';
+      sig_intern = Sig_tbl.create 1024;
+      sig_next = 0;
+    }
+  in
+  reset t';
+  t'

@@ -83,6 +83,10 @@ val fnv1a_fold : int -> int -> int
 val fnv1a_words : int array -> int
 val fnv1a_string : string -> int
 
+val fnv1a_bytes : Bytes.t -> int
+(** Fold a buffer that is a whole number of 64-bit words (the signature
+    buffers are), one unboxed int64 read at a time. *)
+
 (** {1 Probe capture}
 
     The boundary beliefs the runtime monitors ([Fault.Monitor]) consume,
@@ -111,3 +115,90 @@ val probe_next : t -> probe_view
 val set_fault_hooks : t -> Engine.fault_hooks option -> unit
 (** Install (or clear) the same hooks {!Engine.set_fault_hooks} takes.
     Hooks survive {!reset}. *)
+
+(** {1 Cone of influence}
+
+    The forward-reachable closure of one edge over the compiled CSR:
+    every edge a perturbation at the site can ever touch, every node it
+    can make fire or stall differently, in a Blarney-style partial
+    topological order.  Computed once per (topology, edge) and memoized
+    on the engine; {!resume} siblings share the memo.
+
+    Stop wires propagate combinationally {e upstream}, so a forward cone
+    is {e not} a sound bound on which elements change within one cycle —
+    it is the locality structure the campaign driver uses to group
+    faults with overlapping perturbations, and a statistic for the cone
+    benchmarks.  Correctness of incremental classification rests on the
+    exact convergence test ({!converged}), never on these masks. *)
+
+module Cone : sig
+  type c
+
+  val of_edge : t -> Topology.Network.edge_id -> c
+  (** Memoized forward cone of an edge.  Raises [Invalid_argument] on an
+      out-of-range id. *)
+
+  val site : c -> Topology.Network.edge_id
+  val edges : c -> Bitvec.Bitset.t
+  (** Edge membership mask, indexed by edge id (includes the site). *)
+
+  val nodes : c -> Bitvec.Bitset.t
+  (** Nodes reachable downstream of the site edge. *)
+
+  val order : c -> int array
+  (** The cone's edges in partial topological order: Kahn's algorithm
+      restricted to the cone with min-id tie-breaking; edges on cycles
+      are appended in id order. *)
+
+  val rep : c -> Topology.Network.edge_id
+  (** Canonical representative (minimum edge id in the cone) — equal
+      reps mean equal-or-overlapping cones, the grouping key the lane
+      batcher sorts by. *)
+
+  val size : c -> int
+end
+
+(** {1 Snapshots — the substrate of incremental re-simulation}
+
+    [snapshot] captures the registered state (planes, payloads, pearl
+    and station state, progress counters); [restore] writes it back.
+    The incremental fault classifier records the fault-free run at
+    checkpoint cycles, restores to a fault's window start, re-steps the
+    perturbed middle, and splices the recorded tail on once {!converged}
+    holds. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+(** Raises [Invalid_argument] if the snapshot came from an engine of a
+    different shape. *)
+
+val converged : t -> snapshot -> bool
+(** Behavioural state equality: true only if the engine and the snapshot
+    evolve identically from here on and yield the same monitor, watchdog
+    and sink observations.  Dead payloads (validity bit clear) are
+    masked; the monotone progress counters (fired/gated/starved totals,
+    sink and recovery counts) are excluded — they do not drive evolution
+    and are spliced from recorded totals instead. *)
+
+val splice_sinks : t -> at:snapshot -> final:snapshot -> unit
+(** Append the sink tokens the recording consumed between [at] and
+    [final] onto the live engine's streams — the convergence splice. *)
+
+val snapshot_cycle : snapshot -> int
+val snapshot_recoveries : snapshot -> int
+val snapshot_sink_count : snapshot -> Topology.Network.node_id -> int
+
+(** {1 Incremental re-elaboration} *)
+
+val resume : t -> edits:(Topology.Network.edge_id * Lid.Latency.profile option) list -> t
+(** [resume t ~edits] is an engine for the network [t] simulates with
+    the given channels re-profiled ([None] strips a profile), in its
+    initial state.  [Network.with_latency] preserves the topology shape,
+    so the compiled CSR (offsets, kinds, pearls, patterns, station
+    layout) and the cone memo are shared with [t] rather than rebuilt —
+    only delay tables, entrance gates, retx initial states and the
+    mutable state are re-elaborated.  [t] itself is untouched (sharing
+    is read-only), so a cached engine can keep serving its own topology
+    while spawning edited variants. *)

@@ -52,9 +52,12 @@ module Token = Lid.Token
    Link-plane faults (corrupt/drop/duplicate in flight) are injected per
    lane through the station's own [link] parameter. *)
 
-(* One lane per bit of a native int, minus the sign bit and minus one
-   more so [(1 lsl lanes) - 1] never overflows: 62 lanes on 64-bit. *)
-let max_lanes = Sys.int_size - 1
+(* One lane per bit of a native int, sign bit included: 63 lanes on
+   64-bit.  Every lane-word operation is bitwise or a logical shift, so
+   the top bit carries a lane like any other; the only care needed is
+   the all-lanes mask, which is [-1] (not [(1 lsl lanes) - 1], which
+   would overflow) at full width — see [create]. *)
+let max_lanes = Sys.int_size
 
 type site =
   | Forward of { edge : Net.edge_id; seg : int }
@@ -320,7 +323,7 @@ let create ?(flavour = Lid.Protocol.Optimized) ~lanes net specs =
     {
       optimized = (flavour = Lid.Protocol.Optimized);
       lanes;
-      ones = (1 lsl lanes) - 1;
+      ones = (if lanes >= Sys.int_size then -1 else (1 lsl lanes) - 1);
       n_specs = Array.length specs;
       specs;
       n_nodes;

@@ -48,8 +48,9 @@
     rules. *)
 
 val max_lanes : int
-(** Lanes per machine word: [Sys.int_size - 1] (62 on 64-bit), keeping
-    [(1 lsl lanes) - 1] inside a native int. *)
+(** Lanes per machine word: [Sys.int_size] (63 on 64-bit).  Every
+    lane-word operation is bitwise or a logical shift, so the sign bit
+    carries a lane like any other. *)
 
 (** {1 Fault sites}
 

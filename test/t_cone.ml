@@ -1,0 +1,298 @@
+(* Cone-of-influence incremental re-simulation.  The load-bearing
+   property is bit-identity: [Classify.classify_incr] (restore at the
+   fault window, re-step the perturbed middle, splice the recorded tail
+   at the first proven convergence) must produce structurally the very
+   report [Classify.classify_fast] computes by re-simulating the whole
+   horizon — outcome, evidence, violations, recovery counts — on every
+   topology class, static and dynamic; the driver's cone path must be
+   bit-identical to the cone-off path for every jobs x lanes; and
+   [Packed.resume] must be lockstep with a fresh compile of the edited
+   network.  The cone masks themselves are only a grouping heuristic
+   (stop wires propagate upstream), so their tests are structural. *)
+
+module G = Topology.Generators
+module C = Fault.Campaign
+module Cl = Fault.Classify
+module P = Skeleton.Packed
+module PL = Skeleton.Packed_lanes
+module Net = Topology.Network
+
+let config ~seed ~cycles ~max_sites =
+  { C.default_config with seed; cycles; max_sites_per_kind = max_sites }
+
+let retx_jitter_net () =
+  Topology.Spec.parse_exn
+    "source src\n\
+     shell  A identity\n\
+     sink   out\n\
+     src.0 -> A.0 latency=jitter:0:2:5 : retx:6\n\
+     A.0 -> out.0 : full\n"
+
+let dyn_mixed_net () =
+  Topology.Spec.parse_exn
+    "source src\n\
+     shell  A identity\n\
+     shell  B identity\n\
+     sink   out pattern=%0010011\n\
+     src.0 -> A.0 latency=table:0,2,1 : retx:3 full\n\
+     A.0 -> B.0 latency=fixed:2 : full\n\
+     B.0 -> out.0 : retx:2\n"
+
+(* ------------------------------------------------------------------ *)
+(* classify_incr = classify_fast, fault by fault.                       *)
+
+let check_incr_matches_fast label net config =
+  let faults = C.faults_of_config config net in
+  Alcotest.(check bool)
+    (label ^ ": campaign is non-trivial")
+    true
+    (List.length faults >= 8);
+  let baseline =
+    Cl.baseline ~cycles:config.C.cycles ~flavour:config.C.flavour net
+  in
+  match
+    Cl.record baseline
+      ~window_starts:(List.map (fun (f : Fault.Model.t) -> f.cycle) faults)
+  with
+  | None -> Alcotest.failf "%s: fault-free run unusable as a recording" label
+  | Some rc ->
+      List.iteri
+        (fun i fault ->
+          let fast = Cl.classify_fast baseline fault in
+          let incr = Cl.classify_incr baseline rc fault in
+          if fast <> incr then
+            Alcotest.failf "%s: fault %d (%s) differs: fast %s, incr %s" label
+              i
+              (Fault.Model.kind_to_string fault.Fault.Model.kind)
+              (Cl.outcome_to_string fast.Cl.outcome)
+              (Cl.outcome_to_string incr.Cl.outcome))
+        faults
+
+let test_incr_matches_fast_static () =
+  List.iter
+    (fun (label, net) ->
+      check_incr_matches_fast label net
+        { (config ~seed:11 ~cycles:160 ~max_sites:2) with
+          C.injections_per_site = 3
+        })
+    [
+      ("fig1", G.fig1 ());
+      ("fig2", G.fig2 ());
+      ("mesh 3x3", G.mesh ~n:3 ~m:3 ());
+      ("torus 3x3", G.torus ~n:3 ~m:3 ());
+    ]
+
+let test_incr_matches_fast_dynamic () =
+  List.iter
+    (fun (label, net, seed) ->
+      check_incr_matches_fast label net
+        { (config ~seed ~cycles:192 ~max_sites:2) with
+          C.injections_per_site = 4
+        })
+    [
+      ("retx/jitter", retx_jitter_net (), 5);
+      ("mixed dynamics", dyn_mixed_net (), 9);
+    ]
+
+let prop_incr_matches_fast_random =
+  QCheck.Test.make ~name:"classify_incr = classify_fast on random SoCs"
+    ~count:6 QCheck.small_int (fun seed ->
+      let rng = Random.State.make [| 0xc0; 0x9e; seed |] in
+      let net = G.random_soc ~rng ~n_shells:6 () in
+      let config =
+        { (config ~seed ~cycles:128 ~max_sites:1) with
+          C.injections_per_site = 2
+        }
+      in
+      let faults = C.faults_of_config config net in
+      let baseline =
+        Cl.baseline ~cycles:config.C.cycles ~flavour:config.C.flavour net
+      in
+      match
+        Cl.record baseline
+          ~window_starts:(List.map (fun (f : Fault.Model.t) -> f.cycle) faults)
+      with
+      | None -> true (* driver falls back to classify_fast; nothing to pin *)
+      | Some rc ->
+          List.for_all
+            (fun fault ->
+              Cl.classify_fast baseline fault
+              = Cl.classify_incr baseline rc fault)
+            faults)
+
+(* ------------------------------------------------------------------ *)
+(* The driver: cone on = cone off = serial, at every width.             *)
+
+let test_driver_cone_on_off () =
+  List.iter
+    (fun (label, net, seed) ->
+      let config =
+        { (config ~seed ~cycles:160 ~max_sites:2) with
+          C.injections_per_site = 3
+        }
+      in
+      let serial = C.run config net in
+      List.iter
+        (fun (jobs, lanes) ->
+          let on = Campaign.Fault_driver.run ~jobs ~lanes ~cone:true config net
+          and off =
+            Campaign.Fault_driver.run ~jobs ~lanes ~cone:false config net
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s jobs=%d lanes=%d: cone on = off" label jobs
+               lanes)
+            true
+            (on.C.reports = off.C.reports);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s jobs=%d lanes=%d: cone on = serial" label jobs
+               lanes)
+            true
+            (serial.C.reports = on.C.reports))
+        [ (1, 1); (3, 1); (1, PL.max_lanes); (3, PL.max_lanes) ])
+    [
+      ("fig1", G.fig1 (), 13);
+      ("retx/jitter", retx_jitter_net (), 5);
+      ("torus 3x3", G.torus ~n:3 ~m:3 (), 3);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* resume: lockstep with a fresh compile of the edited network.         *)
+
+let probes_equal (a : P.probe_view) (b : P.probe_view) =
+  a.P.pv_cycle = b.P.pv_cycle
+  && a.P.pv_any_fired = b.P.pv_any_fired
+  && a.P.pv_sink_valid = b.P.pv_sink_valid
+  && a.P.pv_probes = b.P.pv_probes
+
+let check_resume_lockstep label base edits ~cycles =
+  let edited =
+    List.fold_left (fun n (e, p) -> Net.with_latency n e p) base edits
+  in
+  let from_base = P.resume (P.create base) ~edits in
+  let fresh = P.create edited in
+  for cy = 1 to cycles do
+    let pa = P.probe_next from_base and pb = P.probe_next fresh in
+    if not (probes_equal pa pb) then
+      Alcotest.failf "%s: probes differ at cycle %d" label cy
+  done;
+  List.iter
+    (fun (n : Net.node) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: sink %s stream" label n.name)
+        (P.sink_values fresh n.id)
+        (P.sink_values from_base n.id))
+    (Net.sinks edited);
+  Alcotest.(check int)
+    (label ^ ": recoveries")
+    (P.recovery_count fresh)
+    (P.recovery_count from_base)
+
+let test_resume_lockstep () =
+  let jitter e = (e, Some (Lid.Latency.Jitter { base = 0; bound = 3; seed = 7 }))
+  and fixed e = (e, Some (Lid.Latency.Fixed 2))
+  and strip e = (e, None) in
+  let first_edges n net =
+    List.filteri (fun i _ -> i < n) (Net.edges net)
+    |> List.map (fun (e : Net.edge) -> e.id)
+  in
+  let fig1 = G.fig1 () in
+  (match first_edges 2 fig1 with
+  | [ a; b ] ->
+      check_resume_lockstep "fig1 + profiles" fig1 [ jitter a; fixed b ]
+        ~cycles:200
+  | _ -> Alcotest.fail "fig1 has at least two edges");
+  let rj = retx_jitter_net () in
+  (match first_edges 1 rj with
+  | [ a ] ->
+      (* re-profile the retx channel, then strip it entirely *)
+      check_resume_lockstep "retx re-profiled" rj [ fixed a ] ~cycles:256;
+      check_resume_lockstep "retx stripped" rj [ strip a ] ~cycles:256
+  | _ -> Alcotest.fail "retx net has an edge");
+  let mixed = dyn_mixed_net () in
+  match first_edges 3 mixed with
+  | [ a; b; c ] ->
+      check_resume_lockstep "mixed re-profiled" mixed
+        [ jitter a; strip b; fixed c ]
+        ~cycles:256
+  | _ -> Alcotest.fail "mixed net has three edges"
+
+let test_resume_base_untouched () =
+  (* resuming must not perturb the base engine mid-flight *)
+  let base = P.create (retx_jitter_net ()) in
+  P.run base ~cycles:50;
+  let sig_before = P.signature_id base in
+  let edited =
+    P.resume base
+      ~edits:
+        [ (List.hd (Net.edges (P.network base))).Net.id, None ]
+  in
+  Alcotest.(check int) "base cycle unchanged" 50 (P.cycle base);
+  Alcotest.(check int)
+    "base signature unchanged" sig_before (P.signature_id base);
+  Alcotest.(check int) "edited engine starts at 0" 0 (P.cycle edited)
+
+(* ------------------------------------------------------------------ *)
+(* Cone structure.                                                      *)
+
+let test_cone_structure () =
+  let net = G.chain ~n_shells:4 () in
+  let t = P.create net in
+  let edges = Net.edges net in
+  let n_edges = Net.n_edges net in
+  List.iter
+    (fun (e : Net.edge) ->
+      let c = P.Cone.of_edge t e.id in
+      Alcotest.(check int) "site" e.id (P.Cone.site c);
+      Alcotest.(check bool)
+        "cone contains its site" true
+        (Bitvec.Bitset.get (P.Cone.edges c) e.id);
+      Alcotest.(check bool)
+        "rep is the minimum edge in the cone" true
+        (P.Cone.rep c
+        = List.fold_left min max_int
+            (List.filter
+               (Bitvec.Bitset.get (P.Cone.edges c))
+               (List.init n_edges Fun.id)));
+      Alcotest.(check int)
+        "order covers the cone" (P.Cone.size c)
+        (Array.length (P.Cone.order c));
+      (* memoized: same structure back *)
+      Alcotest.(check bool)
+        "memo idempotent" true
+        (P.Cone.of_edge t e.id == c))
+    edges;
+  (* a chain is totally ordered: the first edge reaches everything *)
+  let head = P.Cone.of_edge t (List.hd edges).Net.id in
+  Alcotest.(check int) "head cone spans the chain" n_edges (P.Cone.size head);
+  (* a torus is one strongly connected fabric: every cone is everything,
+     so every fault shares one rep *)
+  let torus = G.torus ~n:3 ~m:3 () in
+  let tt = P.create torus in
+  let reps =
+    List.sort_uniq compare
+      (List.map
+         (fun (e : Net.edge) -> P.Cone.rep (P.Cone.of_edge tt e.id))
+         (Net.edges torus))
+  in
+  Alcotest.(check int) "torus: one cone class" 1 (List.length reps)
+
+let test_lane_width_63 () =
+  Alcotest.(check int) "max_lanes is the full word" Sys.int_size PL.max_lanes
+
+let suite =
+  [
+    Alcotest.test_case "incremental = fast (static nets)" `Quick
+      test_incr_matches_fast_static;
+    Alcotest.test_case "incremental = fast (dynamic nets)" `Quick
+      test_incr_matches_fast_dynamic;
+    QCheck_alcotest.to_alcotest ~long:false prop_incr_matches_fast_random;
+    Alcotest.test_case "driver: cone on = off = serial" `Quick
+      test_driver_cone_on_off;
+    Alcotest.test_case "resume lockstep with fresh compile" `Quick
+      test_resume_lockstep;
+    Alcotest.test_case "resume leaves the base engine alone" `Quick
+      test_resume_base_untouched;
+    Alcotest.test_case "cone structure and memoization" `Quick
+      test_cone_structure;
+    Alcotest.test_case "lane width covers the word" `Quick test_lane_width_63;
+  ]

@@ -215,6 +215,226 @@ let test_canonical_hash () =
   | _ -> Alcotest.fail "hashes expected"
 
 (* ------------------------------------------------------------------ *)
+(* Latency edits and incremental recompilation. *)
+
+let edit_spec =
+  "source src\n\
+   shell  A identity\n\
+   sink   out\n\
+   src.0 -> A.0 : full\n\
+   A.0 -> out.0 : full\n"
+
+let spec_req ?(id = 1) ?(analysis = "throughput") ?(extras = []) spec =
+  J.Obj
+    ([
+       ("id", J.Int id);
+       ("spec", J.String spec);
+       ("analysis", J.String analysis);
+     ]
+    @ extras)
+
+let edits_member pairs =
+  ( "edits",
+    J.List
+      (List.map
+         (fun (c, l) ->
+           J.Obj [ ("channel", J.String c); ("latency", J.String l) ])
+         pairs) )
+
+let strip_id r =
+  match r with
+  | J.Obj kvs -> J.Obj (List.filter (fun (k, _) -> k <> "id") kvs)
+  | r -> r
+
+let test_edits_equal_inline_spec () =
+  (* an edited request and an inline spec carrying the same profile are
+     the same analysis: one canonical, one memo slot, one answer *)
+  let daemon = D.create ~jobs:1 () in
+  let net = Topology.Spec.parse_exn edit_spec in
+  let edge = List.hd (Topology.Network.edges net) in
+  let inline =
+    Topology.Spec.print
+      (Topology.Network.with_latency net edge.Topology.Network.id
+         (Some (Lid.Latency.Fixed 2)))
+  in
+  let batch =
+    [
+      spec_req ~id:1
+        ~extras:[ edits_member [ ("src.0->A.0", "fixed:2") ] ]
+        edit_spec;
+      spec_req ~id:2 inline;
+    ]
+  in
+  let responses, s = D.process daemon batch in
+  Alcotest.(check int) "one compute for both spellings" 1 s.D.misses;
+  match responses with
+  | [ a; b ] ->
+      Alcotest.(check string)
+        "identical answers"
+        (J.to_string (strip_id a))
+        (J.to_string (strip_id b))
+  | _ -> Alcotest.fail "two responses expected"
+
+let test_edits_resume_pooled_engine () =
+  let daemon = D.create ~jobs:1 () in
+  let edited =
+    spec_req ~id:2
+      ~extras:
+        [ edits_member [ ("src.0->A.0", "table:0,2,1"); ("A.0->out.0", "none") ] ]
+      edit_spec
+  in
+  (* 1: the unedited analysis pools a compiled engine; nothing reused *)
+  let r1, s1 = D.process daemon [ spec_req ~id:1 edit_spec ] in
+  Alcotest.(check bool) "cold batch: no reuse" false s1.D.cone_reuse;
+  (* 2: the edited analysis finds that engine and resumes it *)
+  let r2, s2 = D.process daemon [ edited ] in
+  Alcotest.(check int) "edited key is a distinct slot" 1 s2.D.misses;
+  Alcotest.(check bool) "resumed a pooled compilation" true s2.D.cone_reuse;
+  let base_hash =
+    match r1 with
+    | [ r ] -> (
+        match J.member "topology_hash" r with
+        | Some (J.String h) -> h
+        | _ -> Alcotest.fail "base hash expected")
+    | _ -> Alcotest.fail "one response expected"
+  in
+  Alcotest.(check (option string))
+    "stats name the reused compilation" (Some base_hash)
+    s2.D.reused_compilation;
+  let stats_line = D.stats_json daemon s2 in
+  Alcotest.(check bool)
+    "stats line reports the reuse" true
+    (Astring.String.is_infix ~affix:"\"cone_reuse\": true" stats_line
+    && Astring.String.is_infix ~affix:"\"reused_compilation\"" stats_line);
+  (* the resumed answer is byte-identical to a cold daemon's *)
+  let cold = D.create ~jobs:1 () in
+  let r2', s2' = D.process cold [ edited ] in
+  Alcotest.(check bool) "cold daemon resumes nothing" false s2'.D.cone_reuse;
+  Alcotest.(check (list string))
+    "resumed = compiled from scratch" (render r2') (render r2);
+  (* 3: the edited engine is pooled under its own key now — a repeat
+     batch with a fresh analysis parameter reuses it as-is *)
+  let r3, s3 =
+    D.process daemon
+      [
+        spec_req ~id:3
+          ~extras:
+            [
+              edits_member
+                [ ("src.0->A.0", "table:0,2,1"); ("A.0->out.0", "none") ];
+              ("max_cycles", J.Int 512);
+            ]
+          edit_spec;
+      ]
+  in
+  Alcotest.(check int) "distinct params recompute" 1 s3.D.misses;
+  Alcotest.(check bool) "no resume needed this time" false s3.D.cone_reuse;
+  match (r2, r3) with
+  | [ a ], [ b ] ->
+      Alcotest.(check bool)
+        "same steady state either way" true
+        (J.member "result" a = J.member "result" b)
+  | _ -> Alcotest.fail "one response each expected"
+
+let test_edits_errors () =
+  let daemon = D.create ~jobs:1 () in
+  let cases =
+    [
+      ( spec_req ~extras:[ ("edits", J.String "nope") ] edit_spec,
+        "must be an array" );
+      ( spec_req ~extras:[ ("edits", J.List [ J.Int 3 ]) ] edit_spec,
+        "must be an object" );
+      ( spec_req
+          ~extras:
+            [
+              ( "edits",
+                J.List [ J.Obj [ ("latency", J.String "fixed:1") ] ] );
+            ]
+          edit_spec,
+        "needs a \"channel\"" );
+      ( spec_req
+          ~extras:[ edits_member [ ("src.0->A.0", "warp:9") ] ]
+          edit_spec,
+        "bad latency profile" );
+      ( spec_req
+          ~extras:[ edits_member [ ("src.9->A.9", "fixed:1") ] ]
+          edit_spec,
+        "unknown channel" );
+    ]
+  in
+  List.iter2
+    (fun (_input, fragment) r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: not ok" fragment)
+        true
+        (J.member "ok" r = Some (J.Bool false));
+      match J.member "error" r with
+      | Some (J.String m) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %S (got %S)" fragment m)
+            true
+            (Astring.String.is_infix ~affix:fragment m)
+      | _ -> Alcotest.fail "no error member")
+    cases
+    (respond daemon (List.map fst cases))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent socket clients. *)
+
+let test_socket_concurrent_clients () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lid-serve-%d.sock" (Unix.getpid ()))
+  in
+  let daemon = D.create ~jobs:2 () in
+  let server =
+    Domain.spawn (fun () -> D.serve_socket ~connections:3 daemon path)
+  in
+  let rec await n =
+    if not (Sys.file_exists path) then
+      if n = 0 then Alcotest.fail "socket never appeared"
+      else (
+        Unix.sleepf 0.01;
+        await (n - 1))
+  in
+  await 500;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+  in
+  let ask (ic, oc) request =
+    output_string oc (J.to_string request);
+    output_char oc '\n';
+    flush oc;
+    J.parse_exn (input_line ic)
+  in
+  let reference = D.create ~jobs:2 () in
+  let expect request =
+    match fst (D.process reference [ request ]) with
+    | [ r ] -> J.to_string r
+    | _ -> Alcotest.fail "one reference response expected"
+  in
+  let check_answer label conn request =
+    Alcotest.(check string) label (expect request) (J.to_string (ask conn request))
+  in
+  (* two clients live at once (the daemon's bound), interleaved *)
+  let c1 = connect () and c2 = connect () in
+  check_answer "c2 first" c2 (req ~id:21 "mesh 2 2");
+  check_answer "c1 interleaved" c1 (req ~id:11 "mesh 2 3");
+  check_answer "c1 again" c1 (req ~id:12 ~analysis:"lint" "mesh 2 3");
+  check_answer "c2 cached twin" c2 (req ~id:22 "mesh 2 3");
+  close_out (snd c1);
+  (* a third client takes the freed slot *)
+  let c3 = connect () in
+  check_answer "c3 after a slot freed" c3 (req ~id:31 "mesh 2 2");
+  close_out (snd c2);
+  close_out (snd c3);
+  Domain.join server;
+  Alcotest.(check bool) "socket unlinked on exit" false (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
 (* The NoC-scale acceptance topology. *)
 
 let test_mesh_64 () =
@@ -244,5 +464,11 @@ let suite =
       test_distinct_params_distinct_slots;
     Alcotest.test_case "LRU bound" `Quick test_lru_bound;
     Alcotest.test_case "canonical hash" `Quick test_canonical_hash;
+    Alcotest.test_case "edits = inline spec" `Quick test_edits_equal_inline_spec;
+    Alcotest.test_case "edits resume a pooled engine" `Quick
+      test_edits_resume_pooled_engine;
+    Alcotest.test_case "edit errors" `Quick test_edits_errors;
+    Alcotest.test_case "concurrent socket clients" `Quick
+      test_socket_concurrent_clients;
     Alcotest.test_case "64x64 mesh" `Slow test_mesh_64;
   ]

@@ -19,6 +19,7 @@ let () =
       ("packed", T_packed.suite);
       ("lanes", T_lanes.suite);
       ("campaign", T_campaign.suite);
+      ("cone", T_cone.suite);
       ("verify", T_verify.suite);
       ("cure-trace", T_cure_trace.suite);
       ("rtl-net", T_rtl_net.suite);
