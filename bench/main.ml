@@ -27,6 +27,7 @@ let experiments =
     ("e16", "lint-predicted vs packed-measured", Experiments.e16_lint_vs_packed);
     ("e17", "dynamic LID: jitter vs replay depth", Experiments.e17_dynamic_lid);
     ("e18", "dynamic nets on the lane fast path", Experiments.e18_dynamic_lanes);
+    ("e21", "compositional vs explicit-state verification", Experiments.e21_compose);
     ("a1", "stall attribution (ablation)", Experiments.a1_attribution);
   ]
 

@@ -360,27 +360,65 @@ let blocks_cmd =
 (* verify                                                               *)
 
 let verify_cmd =
-  let run flavour =
-    let show name outcome =
-      match outcome with
-      | Verify.Reach.Holds { states; transitions } ->
-          Format.printf "%-22s HOLDS (%d states, %d transitions)@." name states
-            transitions
-      | Verify.Reach.Fails { trace } ->
-          Format.printf "%-22s FAILS (%d-step counterexample)@." name
-            (List.length trace - 1)
+  let file_arg =
+    let doc =
+      "Network description file (or - for stdin): run the compositional \
+       assume-guarantee discharge on the whole network.  Without FILE, \
+       model-check the paper's safety properties for the block library."
     in
-    show "full relay station"
-      (Verify.Props.check_relay_station ~flavour Lid.Relay_station.Full);
-    show "half relay station"
-      (Verify.Props.check_relay_station ~flavour Lid.Relay_station.Half);
-    show "identity shell" (Verify.Props.check_shell ~flavour Verify.Props.Identity);
-    show "adder shell" (Verify.Props.check_shell ~flavour Verify.Props.Adder)
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let term = Term.(const run $ flavour_arg) in
+  let compose_arg =
+    Arg.(
+      value & flag
+      & info [ "compose" ]
+          ~doc:"Compositional whole-network verification: discharge every \
+                component class once against its protocol contract, then \
+                check the contract graph (LID009-LID011).  Implied when \
+                FILE is given.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run file compose json flavour =
+    with_diagnostics @@ fun () ->
+    match file with
+    | None when compose ->
+        Printf.eprintf "error: --compose needs a network FILE\n";
+        exit 2
+    | None ->
+        let show name outcome =
+          match outcome with
+          | Verify.Reach.Holds { states; transitions } ->
+              Format.printf "%-22s HOLDS (%d states, %d transitions)@." name
+                states transitions
+          | Verify.Reach.Fails { trace } ->
+              Format.printf "%-22s FAILS (%d-step counterexample)@." name
+                (List.length trace - 1)
+        in
+        show "full relay station"
+          (Verify.Props.check_relay_station ~flavour Lid.Relay_station.Full);
+        show "half relay station"
+          (Verify.Props.check_relay_station ~flavour Lid.Relay_station.Half);
+        show "identity shell"
+          (Verify.Props.check_shell ~flavour Verify.Props.Identity);
+        show "adder shell" (Verify.Props.check_shell ~flavour Verify.Props.Adder)
+    | Some file ->
+        (* allow_direct, like lint: report what the builder would refuse *)
+        let net = load_network ~allow_direct:true file in
+        let report = Lint.Compose.run ~flavour net in
+        if json then print_string (Lint.Compose.to_json report)
+        else Format.printf "%a@." Lint.Compose.pp report;
+        if Lint.Compose.max_severity report = Some Lint.Diagnostic.Error then
+          exit 1
+  in
+  let term = Term.(const run $ file_arg $ compose_arg $ json_arg $ flavour_arg) in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Model-check the paper's safety properties for all blocks.")
+       ~doc:"Model-check the protocol: the paper's safety properties for \
+             the block library, or — given a network — the compositional \
+             assume-guarantee discharge over the contract graph \
+             (LID009-LID011), NoC-scale.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -680,6 +718,16 @@ let bench_cmd =
                 fault campaigns with the incremental classifier off and \
                 on, lane and flat paths, all four asserted bit-identical.")
   in
+  let compose_bench_arg =
+    Arg.(
+      value & flag
+      & info [ "compose" ]
+          ~doc:"Run only the compositional-verification leg (E21): composed \
+                deadlock verdicts cross-checked against explicit-state \
+                reachability on every topology small enough to decide both \
+                ways, plus the 64x64-mesh discharge flat reachability \
+                cannot attempt.")
+  in
   let write_out out text =
     match out with
     | Some path ->
@@ -689,10 +737,21 @@ let bench_cmd =
     | None -> ()
   in
   let run quick jobs out lanes max_cycles signature_capacity dynamic serve cone
-      =
+      compose =
     with_diagnostics @@ fun () ->
     let jobs = if jobs <= 0 then None else Some jobs in
-    if cone then begin
+    if compose then begin
+      let r = Lint.Compose_bench.run ~quick () in
+      Format.printf "%a" Lint.Compose_bench.pp r;
+      write_out out (Lint.Compose_bench.to_json r);
+      if not r.Lint.Compose_bench.identical then begin
+        Printf.eprintf
+          "benchmark aborted: composed verdicts diverged from explicit-state \
+           reachability\n";
+        exit 1
+      end
+    end
+    else if cone then begin
       match Campaign.Bench.run_cone ~quick ?lanes:(opt_pos lanes) () with
       | stats ->
           Format.printf "%a" Campaign.Bench.pp_cone stats;
@@ -736,7 +795,8 @@ let bench_cmd =
   let term =
     Term.(
       const run $ quick_arg $ jobs_arg $ out_arg $ lanes_arg $ max_cycles_arg
-      $ signature_capacity_arg $ dynamic_arg $ serve_bench_arg $ cone_bench_arg)
+      $ signature_capacity_arg $ dynamic_arg $ serve_bench_arg $ cone_bench_arg
+      $ compose_bench_arg)
   in
   Cmd.v
     (Cmd.info "bench"

@@ -351,6 +351,43 @@ let upset ~payload = function
    enter only as clamped differences, and the monotone observability
    counters not at all — otherwise no periodic run would ever repeat a
    signature. *)
+(* Sequence numbers only ever meet in equalities and differences (ack
+   prefix drops, duplicate detection, go-back-N rewinds), so shifting
+   every seq field by one common offset is a bisimulation.  Shifting by a
+   multiple of [granule] additionally preserves any payload = seq mod
+   granule correspondence an external observer tracks.  The verifier's
+   contract discharge folds this into the transition function so the
+   reachable quotient of a retx station is finite. *)
+let rebase ~granule state =
+  match state with
+  | Full_state _ | Half_state _ -> state
+  | Retx_state r ->
+      let granule = max 1 granule in
+      let seqs =
+        r.r_next_seq :: r.r_expect
+        :: List.map fst r.r_buf
+        @ (match r.r_flit with Some f -> [ f.f_seq ] | None -> [])
+        @ (match r.r_ack with Some a -> [ a.a_seq ] | None -> [])
+      in
+      let base =
+        List.fold_left min max_int seqs / granule * granule
+      in
+      if base <= 0 then Retx_state { r with r_recov = 0; r_dups = 0 }
+      else
+        Retx_state
+          {
+            r with
+            r_buf = List.map (fun (s, v) -> (s - base, v)) r.r_buf;
+            r_next_seq = r.r_next_seq - base;
+            r_flit =
+              Option.map (fun f -> { f with f_seq = f.f_seq - base }) r.r_flit;
+            r_ack =
+              Option.map (fun a -> { a with a_seq = a.a_seq - base }) r.r_ack;
+            r_expect = r.r_expect - base;
+            r_recov = 0;
+            r_dups = 0;
+          }
+
 let signature_code state =
   match state with
   | Full_state _ | Half_state _ ->

@@ -158,6 +158,19 @@ val upset : payload:int -> state -> state
     Models a soft error in the relay register file — the fault the
     fault-injection campaigns address by station index. *)
 
+val rebase : granule:int -> state -> state
+(** Shift a retransmitting station's absolute sequence numbers (sender
+    next/cursor base, replay-buffer tags, in-flight flit and ack, receiver
+    expectation) down by the largest multiple of [granule] not exceeding
+    their minimum, and zero the monotone observability counters
+    ({!recoveries}, {!dup_discards}).  Sequence numbers only ever meet in
+    equalities and differences, so the result is bisimilar to the input —
+    but the reachable quotient under repeated [rebase . step] is {e finite},
+    which is what lets an explicit-state contract discharge of a retx
+    station terminate.  Rebasing by multiples of [granule] keeps any
+    payload-modulo-[granule] correspondence an observer tracks intact.
+    Identity for full and half stations (their state is already finite). *)
+
 val signature_code : state -> int
 (** A dense integer capturing every protocol-relevant field of the
     station — for full/half the occupancy plus the half station's [sreg]

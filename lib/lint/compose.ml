@@ -1,0 +1,531 @@
+module Net = Topology.Network
+module D = Diagnostic
+module C = Verify.Contract
+module Csr = Skeleton.Packed.Csr
+module RS = Lid.Relay_station
+
+type report = {
+  net : Net.t;
+  flavour : Lid.Protocol.flavour;
+  classes : C.verdict list;
+  diagnostics : D.t list;
+  deadlock_free : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Contract classes of one channel: entrance gate first (if the profile
+   compiled to one), then the station chain producer-to-consumer.  The
+   first retx station of a profiled chain consumes the channel's delay
+   table — the same elaboration rule as both engines — and the table is
+   part of the class (it fixes the retransmission timeout).             *)
+
+let chain_classes pk net e =
+  let gate =
+    match Csr.gate_table pk e with
+    | Some table -> [ C.Gate { table } ]
+    | None -> []
+  in
+  let table = Net.delay_table net e in
+  let first_retx = ref true in
+  let stations =
+    List.map
+      (fun kind ->
+        match kind with
+        | RS.Retx _ ->
+            let t =
+              if !first_retx then Option.value ~default:[| 0 |] table
+              else [| 0 |]
+            in
+            first_retx := false;
+            C.Station { kind; table = t }
+        | _ -> C.Station { kind; table = [||] })
+      (Csr.stations pk e)
+  in
+  gate @ stations
+
+(* ------------------------------------------------------------------ *)
+(* Iterative Tarjan over the weak-channel subgraph of the shells —
+   explicit frames, so NoC-size meshes don't touch the OCaml stack.     *)
+
+let weak_sccs ~n ~participates ~succ =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let frames = Stack.create () in
+  let push v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref (succ v)) frames
+  in
+  for root = 0 to n - 1 do
+    if participates root && index.(root) = -1 then begin
+      push root;
+      while not (Stack.is_empty frames) do
+        let v, rest = Stack.top frames in
+        match !rest with
+        | w :: tl ->
+            rest := tl;
+            if index.(w) = -1 then push w
+            else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+        | [] ->
+            ignore (Stack.pop frames);
+            (match Stack.top_opt frames with
+            | Some (p, _) -> low.(p) <- min low.(p) low.(v)
+            | None -> ());
+            if low.(v) = index.(v) then begin
+              let rec pop acc =
+                match !stack with
+                | w :: tl ->
+                    stack := tl;
+                    on_stack.(w) <- false;
+                    if w = v then w :: acc else pop (w :: acc)
+                | [] -> assert false
+              in
+              out := pop [] :: !out
+            end
+      done
+    end
+  done;
+  !out
+
+(* A concrete cycle through [r] inside its SCC, following only weak
+   edges whose endpoints stay in the SCC: BFS with parent tracking until
+   an edge closes back on [r].  Returns the node list of the loop.      *)
+let cycle_through ~succ ~in_scc r =
+  let parent = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Queue.push r q;
+  Hashtbl.replace parent r r;
+  let rec path v acc = if v = r then r :: acc else path (Hashtbl.find parent v) (v :: acc) in
+  let result = ref None in
+  while !result = None && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun w ->
+        if !result = None && in_scc w then
+          if w = r then result := Some (path v [])
+          else if not (Hashtbl.mem parent w) then begin
+            Hashtbl.replace parent w v;
+            Queue.push w q
+          end)
+      (succ v)
+  done;
+  match !result with Some c -> c | None -> [ r ]
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(flavour = Lid.Protocol.Optimized) ?max_states ?station_step net =
+  let pk = Skeleton.Packed.create ~flavour net in
+  let n = Csr.n_nodes pk and m = Csr.n_edges pk in
+  (* --- class discovery and once-per-class discharge ---------------- *)
+  let order = ref [] in
+  let verdicts : (string, C.verdict) Hashtbl.t = Hashtbl.create 16 in
+  let rep : (string, D.location) Hashtbl.t = Hashtbl.create 16 in
+  let discharge loc cls =
+    let key = C.class_key ~flavour cls in
+    if not (Hashtbl.mem rep key) then Hashtbl.replace rep key loc;
+    match Hashtbl.find_opt verdicts key with
+    | Some v -> v
+    | None ->
+        let step =
+          match cls with C.Station _ -> station_step | _ -> None
+        in
+        let v = C.discharge ~flavour ?max_states ?step cls in
+        Hashtbl.replace verdicts key v;
+        order := v :: !order;
+        v
+  in
+  let node_verdict = Array.make n None in
+  for v = 0 to n - 1 do
+    if Csr.is_shell pk v then
+      node_verdict.(v) <-
+        Some
+          (discharge (D.L_node v)
+             (C.Shell
+                {
+                  n_inputs = Csr.in_degree pk v;
+                  n_outputs = Csr.out_degree pk v;
+                }))
+  done;
+  let edge_chain =
+    Array.init m (fun e ->
+        List.map
+          (fun cls -> (cls, discharge (D.L_edge e) cls))
+          (chain_classes pk net e))
+  in
+  let classes = List.rev !order in
+  (* --- LID009: refuted classes (error) / assumed obligations (info) - *)
+  let lid009 =
+    List.concat_map
+      (fun (v : C.verdict) ->
+        let key = C.class_key ~flavour:v.flavour v.cls in
+        let loc = Option.value ~default:D.L_network (Hashtbl.find_opt rep key) in
+        let finding obligation outcome =
+          match outcome with
+          | C.Refuted _ ->
+              [
+                {
+                  D.code = D.LID009;
+                  severity = D.Error;
+                  loc;
+                  message =
+                    Printf.sprintf "component class %s refutes its %s obligation: %s"
+                      (C.cls_to_string v.cls) obligation
+                      (C.outcome_to_string outcome);
+                  params =
+                    D.P_contract
+                      {
+                        cls = key;
+                        obligation;
+                        outcome = C.outcome_to_string outcome;
+                      };
+                  fixits = [];
+                };
+              ]
+          | C.Assumed _ ->
+              [
+                {
+                  D.code = D.LID009;
+                  severity = D.Info;
+                  loc;
+                  message =
+                    Printf.sprintf
+                      "component class %s: %s obligation carried as an \
+                       assumption (%s)"
+                      (C.cls_to_string v.cls) obligation
+                      (C.outcome_to_string outcome);
+                  params =
+                    D.P_contract
+                      {
+                        cls = key;
+                        obligation;
+                        outcome = C.outcome_to_string outcome;
+                      };
+                  fixits = [];
+                };
+              ]
+          | C.Proved _ -> []
+        in
+        finding "handshake" v.handshake @ finding "responsive" v.responsive)
+      classes
+  in
+  (* --- channel strength -------------------------------------------- *)
+  let edge_weak =
+    Array.init m (fun e ->
+        not
+          (List.exists
+             (fun ((_ : C.cls), v) -> v.C.stall_implies_token)
+             edge_chain.(e)))
+  in
+  (* --- environment reachability over the full graph ---------------- *)
+  let out_succ v =
+    List.init (Csr.out_degree pk v) (fun k ->
+        Csr.edge_dst pk (Csr.out_edge pk v k))
+  in
+  let rev_adj = Array.make n [] in
+  for e = 0 to m - 1 do
+    let d = Csr.edge_dst pk e in
+    rev_adj.(d) <- Csr.edge_src pk e :: rev_adj.(d)
+  done;
+  let bfs seeds succ =
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end)
+      seeds;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            Queue.push w q
+          end)
+        (succ v)
+    done;
+    seen
+  in
+  let all_of pred =
+    List.filter pred (List.init n (fun v -> v))
+  in
+  let from_sources = bfs (all_of (Csr.is_source pk)) out_succ in
+  let to_sinks = bfs (all_of (Csr.is_sink pk)) (fun v -> rev_adj.(v)) in
+  (* --- LID010: reachable token-starved cycles ---------------------- *)
+  let weak_succ v =
+    List.filter_map
+      (fun k ->
+        let e = Csr.out_edge pk v k in
+        let d = Csr.edge_dst pk e in
+        if edge_weak.(e) && Csr.is_shell pk d then Some d else None)
+      (List.init (Csr.out_degree pk v) (fun k -> k))
+  in
+  let sccs =
+    weak_sccs ~n ~participates:(fun v -> Csr.is_shell pk v) ~succ:weak_succ
+  in
+  let lid010 =
+    List.filter_map
+      (fun scc ->
+        let in_scc =
+          let h = Hashtbl.create (List.length scc) in
+          List.iter (fun v -> Hashtbl.replace h v ()) scc;
+          fun v -> Hashtbl.mem h v
+        in
+        let cyclic =
+          match scc with
+          | [ v ] -> List.exists (fun w -> w = v) (weak_succ v)
+          | _ :: _ :: _ -> true
+          | [] -> false
+        in
+        let touchable =
+          List.exists (fun v -> from_sources.(v) || to_sinks.(v)) scc
+        in
+        if not (cyclic && touchable) then None
+        else begin
+          let r = List.fold_left min (List.hd scc) scc in
+          let cycle = cycle_through ~succ:weak_succ ~in_scc r in
+          (* the weak edges along the cycle, for the fix-it and params *)
+          let edge_between a b =
+            let best = ref None in
+            for k = 0 to Csr.out_degree pk a - 1 do
+              let e = Csr.out_edge pk a k in
+              if edge_weak.(e) && Csr.edge_dst pk e = b then
+                match !best with
+                | Some e' when e' <= e -> ()
+                | _ -> best := Some e
+            done;
+            !best
+          in
+          let cycle_edges =
+            let rec pairs = function
+              | a :: (b :: _ as tl) -> edge_between a b :: pairs tl
+              | [ last ] -> [ edge_between last (List.hd cycle) ]
+              | [] -> []
+            in
+            List.filter_map (fun e -> e) (pairs cycle)
+          in
+          let classes_of e =
+            match edge_chain.(e) with
+            | [] -> [ "direct" ]
+            | chain -> List.map (fun (cls, _) -> C.cls_to_string cls) chain
+          in
+          let weak_classes =
+            List.sort_uniq Stdlib.compare
+              (List.concat_map classes_of cycle_edges)
+          in
+          let fix_edge = List.fold_left min (List.hd cycle_edges) cycle_edges in
+          Some
+            {
+              D.code = D.LID010;
+              severity = D.Error;
+              loc = D.L_loop cycle;
+              message =
+                Printf.sprintf
+                  "token-starved cycle: all %d channels can sustain \
+                   back-pressure while holding no token (%s); one full \
+                   station breaks it"
+                  (List.length cycle)
+                  (String.concat ", " weak_classes);
+              params =
+                D.P_cycle
+                  { length = List.length cycle; classes = weak_classes };
+              fixits = [ { D.fix_edge; fix_spare = 1 } ];
+            }
+        end)
+      sccs
+  in
+  (* --- LID011: producer guarantee vs consumer assumption ------------ *)
+  let lid011_tagged =
+    List.filter_map
+      (fun e ->
+        let dst = Csr.edge_dst pk e in
+        if not (Csr.is_shell pk dst) then None
+        else begin
+          let src = Csr.edge_src pk e in
+          let tainted0, desc0 =
+            if Csr.is_shell pk src then
+              match node_verdict.(src) with
+              | Some v when not (C.verdict_ok v) ->
+                  (true, "refuted class " ^ C.cls_to_string v.C.cls)
+              | _ -> (false, "")
+            else (false, "" (* sources are environment: conformant *))
+          in
+          let tainted, has_memory, desc =
+            List.fold_left
+              (fun (t, _mem, desc) (cls, v) ->
+                if not (C.verdict_ok v) then
+                  (true, true, "refuted class " ^ C.cls_to_string cls)
+                else
+                  match cls with
+                  | C.Station { kind = RS.Half; _ } ->
+                      (* Mealy pass-through: the upstream face shines
+                         through when the hold register is empty *)
+                      (t, true, desc)
+                  | C.Station _ | C.Gate _ ->
+                      (* proved Moore face: guarantee re-established *)
+                      (false, true, desc)
+                  | C.Shell _ -> (t, true, desc))
+              (tainted0, false, desc0)
+              edge_chain.(e)
+          in
+          let has_memory = has_memory || edge_chain.(e) <> [] in
+          (* The glue obligation the cross-validation suite caught: the
+             shell's interface assumption is not just "a memory element",
+             it is a memory element whose stall implies a held token.  A
+             weak final element (the Original-flavour half station) facing
+             a shell wedges the pair as soon as the environment lets a
+             void through — measured on the explicit engine: the chain
+             src -[half]-> shell deadlocks under Original in three steps,
+             while half stations facing sinks, or followed by a full
+             station, stay live.  Channels no source can reach never see
+             a void, so closed rings/tori of weak elements are exempt
+             (they provably keep circulating their initial tokens). *)
+          let weak_final =
+            if not from_sources.(src) then None
+            else
+              match List.rev edge_chain.(e) with
+              | (cls, v) :: _ when not v.C.stall_implies_token -> Some cls
+              | _ -> None
+          in
+          let mismatch =
+            if tainted then
+              Some
+                (desc, "registered protocol face (>= 1 memory element)",
+                 weak_final <> None)
+            else if not has_memory then
+              Some
+                ( "combinational (no memory element on the channel)",
+                  "registered protocol face (>= 1 memory element)",
+                  false )
+            else
+              match weak_final with
+              | Some cls ->
+                  Some
+                    ( Printf.sprintf
+                        "weak (class %s facing the shell can sustain \
+                         back-pressure while holding no token)"
+                        (C.cls_to_string cls),
+                      "a strong producer face (a stalled producer holds a \
+                       token)",
+                      true )
+              | None -> None
+          in
+          match mismatch with
+          | None -> None
+          | Some (producer, consumer, wedging) ->
+              Some
+                ( {
+                    D.code = D.LID011;
+                    severity = D.Error;
+                    loc = D.L_edge e;
+                    message =
+                      Printf.sprintf
+                        "producer guarantee is %s, weaker than the consumer \
+                         shell's assumption of %s"
+                        producer consumer;
+                    params = D.P_assume { producer; consumer };
+                    fixits = [ { D.fix_edge = e; fix_spare = 1 } ];
+                  },
+                  wedging )
+        end)
+      (List.init m (fun e -> e))
+  in
+  let lid011 = List.map fst lid011_tagged in
+  let wedging_link = List.exists snd lid011_tagged in
+  let diagnostics =
+    List.sort D.compare (lid009 @ lid010 @ lid011)
+  in
+  {
+    net;
+    flavour;
+    classes;
+    diagnostics;
+    deadlock_free = lid010 = [] && not wedging_link;
+  }
+
+(* --- report accessors ----------------------------------------------- *)
+
+let count r sev =
+  List.length (List.filter (fun (d : D.t) -> d.severity = sev) r.diagnostics)
+
+let max_severity r =
+  List.fold_left
+    (fun acc (d : D.t) ->
+      match acc with
+      | None -> Some d.severity
+      | Some s ->
+          if D.severity_rank d.severity > D.severity_rank s then
+            Some d.severity
+          else acc)
+    None r.diagnostics
+
+(* --- rendering ------------------------------------------------------ *)
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "compose (%s): %d component class%s@,"
+    (Lid.Protocol.to_string r.flavour)
+    (List.length r.classes)
+    (if List.length r.classes = 1 then "" else "es");
+  List.iter
+    (fun (v : C.verdict) ->
+      Format.fprintf fmt "  %-28s handshake %s; responsive %s; %s%s@,"
+        (C.cls_to_string v.cls)
+        (C.outcome_to_string v.handshake)
+        (C.outcome_to_string v.responsive)
+        (if v.stall_implies_token then "strong" else "weak")
+        (match v.symbolic with
+        | None -> ""
+        | Some (_, true) -> "; rtl-confirmed"
+        | Some (_, false) -> "; rtl-weak"))
+    r.classes;
+  List.iter (fun d -> Format.fprintf fmt "%a@," (D.pp r.net) d) r.diagnostics;
+  Format.fprintf fmt "verdict: %s@]"
+    (if r.deadlock_free then "deadlock-free (composed)"
+     else "NOT deadlock-free (composed)")
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"flavour\": %s,\n"
+    (Lidjson.quote (Lid.Protocol.to_string r.flavour));
+  Buffer.add_string b "  \"classes\": [";
+  List.iteri
+    (fun i (v : C.verdict) ->
+      Buffer.add_string b (if i = 0 then "\n    " else ",\n    ");
+      Printf.bprintf b
+        "{\"key\": %s, \"handshake\": %s, \"responsive\": %s, \
+         \"stall_implies_token\": %b, \"symbolic\": %s}"
+        (Lidjson.quote (C.class_key ~flavour:v.flavour v.cls))
+        (Lidjson.quote (C.outcome_to_string v.handshake))
+        (Lidjson.quote (C.outcome_to_string v.responsive))
+        v.stall_implies_token
+        (match v.symbolic with
+        | None -> "null"
+        | Some (prop, holds) ->
+            Printf.sprintf "{\"property\": %s, \"holds\": %b}"
+              (Lidjson.quote prop) holds))
+    r.classes;
+  Buffer.add_string b (if r.classes = [] then "],\n" else "\n  ],\n");
+  Buffer.add_string b "  \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      Buffer.add_string b (if i = 0 then "\n    " else ",\n    ");
+      D.json_to_buffer r.net b d)
+    r.diagnostics;
+  Buffer.add_string b (if r.diagnostics = [] then "],\n" else "\n  ],\n");
+  Printf.bprintf b
+    "  \"summary\": {\"errors\": %d, \"warnings\": %d, \"infos\": %d},\n"
+    (count r D.Error) (count r D.Warning) (count r D.Info);
+  Printf.bprintf b "  \"deadlock_free\": %b\n" r.deadlock_free;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,74 @@
+(** Whole-network assume-guarantee discharge over the contract graph.
+
+    The compositional counterpart of explicit-state reachability: every
+    component {e class} occurring in the network (shell port shapes,
+    relay-station kinds, entrance gates) is discharged once against its
+    protocol contract ({!Verify.Contract}, memoized process-wide), and the
+    network-level verdict is then computed purely over the {e contract
+    graph} — the dense-id CSR of {!Skeleton.Packed}, traversed in the
+    same label-propagation style as the stop-path prover.  A 64×64 mesh
+    costs a handful of class discharges plus a linear graph pass, where
+    flat reachability is infeasible.
+
+    Network-level findings:
+
+    - {b LID009} — a component class refutes its handshake or
+      stall-response obligation (error; informational when a discharge
+      merely ran out of state budget and is carried as an assumption);
+    - {b LID010} — contract-graph deadlock: a reachable cycle every
+      channel of which is {e weak} (no gate and no station whose class
+      proves [stall_implies_token] — so the whole cycle can sustain
+      back-pressure while holding no token).  Cycles unreachable from any
+      source and not reaching any sink are exempt (no environment can
+      drain their initial tokens).  The flavour sensitivity is organic:
+      the half station's class is weak under [Original] and strong under
+      [Optimized], which is exactly the paper's deadlock/cure story;
+    - {b LID011} — assumption mismatch on a channel into a shell: the
+      producer-side guarantee arriving at the consumer is weaker than
+      what shells assume — no memory element at all on the chain, a
+      refuted class whose face shines through pass-through (Mealy) half
+      stations without being re-established by a proved Moore element
+      (full/retx station or gate), or a {e weak} final element (one that
+      can sustain back-pressure while holding no token, the
+      Original-flavour half station) facing the shell on a channel some
+      source can reach.  The last form is the glue obligation of the
+      composition and wedges in the explicit model (a void arriving at
+      the weak element deadlocks the pair), so it also flips
+      [deadlock_free]; channels unreachable from every source are exempt
+      — a closed ring of weak elements provably keeps circulating its
+      initial tokens. *)
+
+module Net = Topology.Network
+
+type report = {
+  net : Net.t;
+  flavour : Lid.Protocol.flavour;
+  classes : Verify.Contract.verdict list;
+      (** distinct component classes, in discovery order *)
+  diagnostics : Diagnostic.t list;  (** sorted with {!Diagnostic.compare} *)
+  deadlock_free : bool;
+      (** no token-starvation finding: neither a LID010 cycle nor a
+          wedging weak-link LID011 *)
+}
+
+val run :
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_states:int ->
+  ?station_step:Verify.Props.rs_step ->
+  Net.t ->
+  report
+(** Compile the network ({!Skeleton.Packed.create}) and discharge it
+    compositionally.  [max_states] bounds each class discharge;
+    [station_step] substitutes the relay-station transition function
+    (seeded mutants for the cross-validation suite — it bypasses the
+    contract memo). *)
+
+val count : report -> Diagnostic.severity -> int
+val max_severity : report -> Diagnostic.severity option
+
+val pp : Format.formatter -> report -> unit
+(** Class table, diagnostics, and the composed verdict. *)
+
+val to_json : report -> string
+(** The machine-readable report: class verdicts, diagnostics (same shape
+    as the lint report's), summary counts, and [deadlock_free]. *)

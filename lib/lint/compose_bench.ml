@@ -1,0 +1,189 @@
+module G = Topology.Generators
+module RS = Lid.Relay_station
+
+type case = {
+  case_name : string;
+  case_flavour : Lid.Protocol.flavour;
+  composed_free : bool;
+  explicit_free : bool option;
+  agree : bool;
+}
+
+type result = {
+  cases : case list;
+  identical : bool;
+  mesh_n : int;
+  mesh_shells : int;
+  mesh_classes : int;
+  mesh_deadlock_free : bool;
+  compose_s : float;
+  explicit_mesh_n : int;
+  explicit_budget : int;
+  explicit_exceeded : bool;
+  explicit_s : float;
+}
+
+let crosscheck ~closed_budget (name, flavour, net) =
+  let composed_free = (Compose.run ~flavour net).Compose.deadlock_free in
+  let explicit_free =
+    match
+      Verify.Closed.check_deadlock_free ~flavour ~max_states:closed_budget net
+    with
+    | Verify.Reach.Live _ -> Some true
+    | Verify.Reach.Wedged _ -> Some false
+    | exception Verify.Reach.State_space_exceeded _ -> None
+  in
+  {
+    case_name = name;
+    case_flavour = flavour;
+    composed_free;
+    explicit_free;
+    agree =
+      (match explicit_free with
+      | Some e -> e = composed_free
+      | None -> true);
+  }
+
+(* Which topologies the flat engine can actually decide was measured,
+   not guessed: fig-sized systems and station rings finish in
+   milliseconds; a retransmitting chain exceeds 200k states (the go-back
+   sequence space) and a 2x2 mesh's 256 environment choices per state
+   already push one 200k-budget run past five minutes.  So the
+   cross-check list holds the decidable systems — the paper's figures,
+   chains, tapped rings, closed toruses — and one retx chain kept
+   deliberately to show the budget-exceeded outcome. *)
+let workload ~quick =
+  let original = Lid.Protocol.Original and optimized = Lid.Protocol.Optimized in
+  let base =
+    [
+      ("fig1", optimized, G.fig1 ());
+      ("fig1", original, G.fig1 ());
+      ("fig2", optimized, G.fig2 ());
+      ("chain4/full", original, G.chain ~n_shells:4 ());
+      ("chain4/half", optimized, G.chain ~n_shells:4 ~stations:[ RS.Half ] ());
+      ("ring4/half", original, G.ring_tapped ~n_shells:4 ~stations:[ RS.Half ] ());
+      ("ring4/half", optimized, G.ring_tapped ~n_shells:4 ~stations:[ RS.Half ] ());
+      ("ring4/half+full", original,
+       G.ring_tapped ~n_shells:4 ~stations:[ RS.Half; RS.Full ] ());
+      ("torus2x2/half", original, G.torus ~stations:[ RS.Half ] ~n:2 ~m:2 ());
+      ("torus2x2/full", optimized, G.torus ~n:2 ~m:2 ());
+    ]
+  in
+  if quick then base
+  else
+    base
+    @ [
+        ("ring6/half", original, G.ring_tapped ~n_shells:6 ~stations:[ RS.Half ] ());
+        ("chain1/retx2", optimized,
+         G.chain ~n_shells:1 ~stations:[ RS.Retx { depth = 2 } ] ());
+      ]
+
+let run ?(quick = false) () =
+  Verify.Contract.memo_clear ();
+  let closed_budget = if quick then 50_000 else 200_000 in
+  let cases = List.map (crosscheck ~closed_budget) (workload ~quick) in
+  let identical = List.for_all (fun c -> c.agree) cases in
+  (* scale leg: the NoC-size mesh *)
+  let mesh_n = if quick then 16 else 64 in
+  let mesh = G.mesh ~n:mesh_n ~m:mesh_n () in
+  let t0 = Sys.time () in
+  let report = Compose.run mesh in
+  let compose_s = Sys.time () -. t0 in
+  (* for contrast, flat all-environments reachability.  Not on the big
+     mesh — its choice set alone (2^(2*2*mesh_n)) cannot be enumerated —
+     but on a 2x2 mesh, where the flat engine runs yet still drowns:
+     256 environment choices per state make even a modest state budget
+     a multi-second affair before it gives up. *)
+  let explicit_mesh_n = 2 in
+  let explicit_budget = if quick then 2_000 else 20_000 in
+  let t0 = Sys.time () in
+  let explicit_exceeded =
+    match
+      Verify.Closed.check_deadlock_free ~max_states:explicit_budget
+        (G.mesh ~n:explicit_mesh_n ~m:explicit_mesh_n ())
+    with
+    | Verify.Reach.Live _ | Verify.Reach.Wedged _ -> false
+    | exception Verify.Reach.State_space_exceeded _ -> true
+  in
+  let explicit_s = Sys.time () -. t0 in
+  {
+    cases;
+    identical;
+    mesh_n;
+    mesh_shells = mesh_n * mesh_n;
+    mesh_classes = List.length report.Compose.classes;
+    mesh_deadlock_free = report.Compose.deadlock_free;
+    compose_s;
+    explicit_mesh_n;
+    explicit_budget;
+    explicit_exceeded;
+    explicit_s;
+  }
+
+let verdict = function
+  | Some true -> "live"
+  | Some false -> "wedged"
+  | None -> "budget-exceeded"
+
+let pp fmt r =
+  Format.fprintf fmt
+    "E21 compositional vs explicit-state verification (%d cross-checks)@."
+    (List.length r.cases);
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %-18s %-9s composed %-8s explicit %-15s %s@."
+        c.case_name
+        (Lid.Protocol.to_string c.case_flavour)
+        (if c.composed_free then "free" else "deadlock")
+        (verdict c.explicit_free)
+        (if c.agree then "agree" else "DIVERGED"))
+    r.cases;
+  Format.fprintf fmt "  cross-check: %s@."
+    (if r.identical then "all decided cases agree" else "DIVERGED");
+  Format.fprintf fmt
+    "  scale: %dx%d mesh (%d shells): composed verdict %s in %.3f s (%d \
+     classes)@."
+    r.mesh_n r.mesh_n r.mesh_shells
+    (if r.mesh_deadlock_free then "deadlock-free" else "NOT deadlock-free")
+    r.compose_s r.mesh_classes;
+  Format.fprintf fmt
+    "         flat reachability on a %dx%d mesh: %s after %.3f s (the \
+     %dx%d mesh's environment choice set alone is 2^%d)@."
+    r.explicit_mesh_n r.explicit_mesh_n
+    (if r.explicit_exceeded then
+       Printf.sprintf "gave up at %d states" r.explicit_budget
+     else "decided (unexpectedly)")
+    r.explicit_s r.mesh_n r.mesh_n (4 * r.mesh_n)
+
+let to_json r =
+  Lidjson.to_string
+    (Lidjson.Obj
+       [
+         ("experiment", Lidjson.String "E21");
+         ( "cases",
+           Lidjson.List
+             (List.map
+                (fun c ->
+                  Lidjson.Obj
+                    [
+                      ("name", Lidjson.String c.case_name);
+                      ( "flavour",
+                        Lidjson.String (Lid.Protocol.to_string c.case_flavour)
+                      );
+                      ("composed_deadlock_free", Lidjson.Bool c.composed_free);
+                      ( "explicit",
+                        Lidjson.String (verdict c.explicit_free) );
+                      ("agree", Lidjson.Bool c.agree);
+                    ])
+                r.cases) );
+         ("identical", Lidjson.Bool r.identical);
+         ("mesh_n", Lidjson.Int r.mesh_n);
+         ("mesh_shells", Lidjson.Int r.mesh_shells);
+         ("mesh_classes", Lidjson.Int r.mesh_classes);
+         ("mesh_deadlock_free", Lidjson.Bool r.mesh_deadlock_free);
+         ("compose_s", Lidjson.Float r.compose_s);
+         ("explicit_mesh_n", Lidjson.Int r.explicit_mesh_n);
+         ("explicit_budget", Lidjson.Int r.explicit_budget);
+         ("explicit_exceeded", Lidjson.Bool r.explicit_exceeded);
+         ("explicit_s", Lidjson.Float r.explicit_s);
+       ])

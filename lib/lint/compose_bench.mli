@@ -1,0 +1,44 @@
+(** E21 — compositional verdicts against explicit-state reachability.
+
+    Two legs.  The {e cross-check} leg runs every test topology small
+    enough to decide both ways: the composed deadlock verdict
+    ({!Compose.run}) against the exhaustive all-environments liveness
+    check ({!Verify.Closed.check_deadlock_free}), asserted to agree.
+    The {e scale} leg runs the composed discharge on a generated 64x64
+    mesh (4096 shells) and, for contrast, lets flat reachability try the
+    same network under a generous state budget until it gives up —
+    demonstrating the verdict compositionality buys. *)
+
+type case = {
+  case_name : string;
+  case_flavour : Lid.Protocol.flavour;
+  composed_free : bool;  (** {!Compose.run}'s [deadlock_free] *)
+  explicit_free : bool option;
+      (** [Closed]'s verdict; [None] when the state budget ran out *)
+  agree : bool;  (** vacuously true when [explicit_free = None] *)
+}
+
+type result = {
+  cases : case list;
+  identical : bool;  (** every decided case agrees *)
+  mesh_n : int;  (** mesh side: the scale leg runs [mesh_n x mesh_n] *)
+  mesh_shells : int;
+  mesh_classes : int;  (** distinct component classes discharged *)
+  mesh_deadlock_free : bool;
+  compose_s : float;  (** composed discharge wall time on the mesh *)
+  explicit_mesh_n : int;
+      (** side of the small mesh the flat engine is given for contrast.
+          The big mesh is out of reach {e by construction}: the flat
+          engine enumerates all environment choices up front — 2^(2n+2m)
+          of them, 2^256 for the 64x64 mesh *)
+  explicit_budget : int;  (** flat-reachability state budget *)
+  explicit_exceeded : bool;  (** flat reachability gave up at the budget *)
+  explicit_s : float;  (** time it spent before giving up *)
+}
+
+val run : ?quick:bool -> unit -> result
+(** [quick] (default false) shrinks the mesh to 16x16 and trims the
+    cross-check workload to CI-smoke size. *)
+
+val pp : Format.formatter -> result -> unit
+val to_json : result -> string

@@ -11,6 +11,9 @@ type code =
   | LID006
   | LID007
   | LID008
+  | LID009
+  | LID010
+  | LID011
 
 type location =
   | L_network
@@ -26,6 +29,9 @@ type params =
   | P_duty of { active : int; period : int }
   | P_stop_sources of string list
   | P_retx of { depth : int; rtt : int }
+  | P_contract of { cls : string; obligation : string; outcome : string }
+  | P_cycle of { length : int; classes : string list }
+  | P_assume of { producer : string; consumer : string }
 
 type fixit = { fix_edge : Net.edge_id; fix_spare : int }
 
@@ -39,7 +45,19 @@ type t = {
 }
 
 let all_codes =
-  [ LID001; LID002; LID003; LID004; LID005; LID006; LID007; LID008 ]
+  [
+    LID001;
+    LID002;
+    LID003;
+    LID004;
+    LID005;
+    LID006;
+    LID007;
+    LID008;
+    LID009;
+    LID010;
+    LID011;
+  ]
 
 let code_id = function
   | LID001 -> "LID001"
@@ -50,6 +68,9 @@ let code_id = function
   | LID006 -> "LID006"
   | LID007 -> "LID007"
   | LID008 -> "LID008"
+  | LID009 -> "LID009"
+  | LID010 -> "LID010"
+  | LID011 -> "LID011"
 
 let code_slug = function
   | LID001 -> "combinational-stop-path"
@@ -60,6 +81,9 @@ let code_slug = function
   | LID006 -> "env-duty-cap"
   | LID007 -> "potential-deadlock"
   | LID008 -> "retx-buffer-undersized"
+  | LID009 -> "contract-violation"
+  | LID010 -> "contract-deadlock"
+  | LID011 -> "assumption-mismatch"
 
 let code_doc = function
   | LID001 ->
@@ -80,6 +104,15 @@ let code_doc = function
   | LID008 ->
       "a retransmitting station's replay buffer is shallower than the \
        channel's worst-case round trip"
+  | LID009 ->
+      "a component class refutes its protocol contract (handshake or \
+       stall-response obligation)"
+  | LID010 ->
+      "contract-graph deadlock: a token-starved cycle every channel of \
+       which can sustain back-pressure while holding no token"
+  | LID011 ->
+      "assumption mismatch on a channel: the producer-side guarantee is \
+       weaker than the consumer's interface assumption"
 
 let severity_to_string = function
   | Info -> "info"
@@ -118,14 +151,25 @@ let pp_location net fmt = function
         (String.concat " -> " (List.map (node_name net) ids))
   | L_signal s -> Format.fprintf fmt "signal %s" s
 
+(* The replacement declaration a fix-it proposes: the channel's canonical
+   [Spec.print] line with the spare full stations appended — pasteable
+   into a .lid file verbatim. *)
+let fixit_line net f =
+  let e = Net.edge net f.fix_edge in
+  let stations =
+    e.Net.stations
+    @ List.init f.fix_spare (fun _ -> Lid.Relay_station.Full)
+  in
+  Topology.Spec.channel_line ~stations net f.fix_edge
+
 let pp net fmt d =
   Format.fprintf fmt "%s %-7s %a: %s" (code_id d.code)
     (severity_to_string d.severity)
     (pp_location net) d.loc d.message;
   List.iter
     (fun f ->
-      Format.fprintf fmt "@,    fix: append %d full station(s) to %s"
-        f.fix_spare (edge_label net f.fix_edge))
+      Format.fprintf fmt "@,    fix: append %d full station(s): %s"
+        f.fix_spare (fixit_line net f))
     d.fixits
 
 (* --- JSON ----------------------------------------------------------- *)
@@ -170,6 +214,15 @@ let json_params b = function
         (String.concat ", " (List.map Lidjson.quote names))
   | P_retx { depth; rtt } ->
       Printf.bprintf b "{\"depth\": %d, \"rtt\": %d}" depth rtt
+  | P_contract { cls; obligation; outcome } ->
+      Printf.bprintf b "{\"class\": %s, \"obligation\": %s, \"outcome\": %s}"
+        (Lidjson.quote cls) (Lidjson.quote obligation) (Lidjson.quote outcome)
+  | P_cycle { length; classes } ->
+      Printf.bprintf b "{\"length\": %d, \"classes\": [%s]}" length
+        (String.concat ", " (List.map Lidjson.quote classes))
+  | P_assume { producer; consumer } ->
+      Printf.bprintf b "{\"producer\": %s, \"consumer\": %s}"
+        (Lidjson.quote producer) (Lidjson.quote consumer)
 
 let json_to_buffer net b d =
   Buffer.add_string b "{";
@@ -188,9 +241,11 @@ let json_to_buffer net b d =
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_string b ", ";
-      Printf.bprintf b "{\"edge_id\": %d, \"edge\": %s, \"spare\": %d}"
+      Printf.bprintf b
+        "{\"edge_id\": %d, \"edge\": %s, \"spare\": %d, \"line\": %s}"
         f.fix_edge
         (Lidjson.quote (edge_label net f.fix_edge))
-        f.fix_spare)
+        f.fix_spare
+        (Lidjson.quote (fixit_line net f)))
     d.fixits;
   Buffer.add_string b "]}"

@@ -29,6 +29,15 @@ type code =
   | LID008  (** retx buffer undersized: a retransmitting station's replay
                 buffer is shallower than the channel's worst-case round
                 trip, so the sender can stall fault-free waiting for acks *)
+  | LID009  (** contract violation: a component class refutes its protocol
+                contract (handshake or stall-response obligation) in the
+                assume-guarantee discharge *)
+  | LID010  (** contract-graph deadlock: a token-starved cycle every
+                channel of which can sustain back-pressure while holding
+                no token — the compositional generalization of LID007 *)
+  | LID011  (** assumption mismatch: a channel whose producer-side
+                guarantee is weaker than its consumer's interface
+                assumption *)
 
 type location =
   | L_network  (** the system as a whole *)
@@ -52,6 +61,15 @@ type params =
       (** the stop origins combinationally visible at a channel *)
   | P_retx of { depth : int; rtt : int }
       (** replay-buffer depth vs the worst-case flit round trip *)
+  | P_contract of { cls : string; obligation : string; outcome : string }
+      (** which class key refuted which contract obligation, and the
+          discharge outcome text *)
+  | P_cycle of { length : int; classes : string list }
+      (** a token-starved contract-graph cycle: its length and the weak
+          component classes fueling it *)
+  | P_assume of { producer : string; consumer : string }
+      (** the producer-side guarantee vs the consumer-side assumption on
+          a mismatched channel *)
 
 type fixit = { fix_edge : Net.edge_id; fix_spare : int }
 (** "append [fix_spare] full relay stations to channel [fix_edge]". *)
@@ -82,6 +100,11 @@ val severity_rank : severity -> int
 
 val compare : t -> t -> int
 (** Sort key for reports: descending severity, then code, then location. *)
+
+val fixit_line : Net.t -> fixit -> string
+(** The full replacement channel declaration a fix-it proposes, rendered
+    with {!Topology.Spec.channel_line} — pasteable into a [.lid] spec
+    verbatim. *)
 
 val pp_location : Net.t -> Format.formatter -> location -> unit
 val pp : Net.t -> Format.formatter -> t -> unit

@@ -41,7 +41,9 @@ let resolve_edits net (edits : (string * Lid.Latency.profile option) list) =
 
 let prepare (request : Request.t) =
   let allow_direct =
-    match request.analysis with Request.Lint _ -> true | _ -> false
+    match request.analysis with
+    | Request.Lint _ | Request.Verify -> true
+    | _ -> false
   in
   match Topology.Spec.parse ~allow_direct request.spec with
   | Error m -> Error m
@@ -73,7 +75,7 @@ let prepare (request : Request.t) =
 let wants_engine p =
   match p.request.analysis with
   | Request.Throughput _ | Request.Inject _ -> true
-  | Request.Lint _ | Request.Equalize -> false
+  | Request.Lint _ | Request.Verify | Request.Equalize -> false
 
 let engine_key_of flavour canonical =
   (match flavour with
@@ -98,6 +100,10 @@ let lint ~gate p =
     Lint.Checks.run ~flavour:p.request.flavour ~data_width:16 ~gate p.net
   in
   Ok (Lidjson.parse_exn (Lint.Checks.to_json report))
+
+let verify p =
+  let report = Lint.Compose.run ~flavour:p.request.flavour p.net in
+  Ok (Lidjson.parse_exn (Lint.Compose.to_json report))
 
 let throughput ~engine ~max_cycles ~signature_capacity =
   match
@@ -192,6 +198,7 @@ let compute ?engine p =
   in
   match p.request.analysis with
   | Request.Lint { gate } -> (lint ~gate p, None)
+  | Request.Verify -> (verify p, None)
   | Request.Equalize -> (equalize p, None)
   | Request.Throughput { max_cycles; signature_capacity } ->
       let e = fresh_engine () in

@@ -30,8 +30,10 @@ type prepared = {
 }
 
 val prepare : Request.t -> (prepared, string) result
-(** Parse and canonicalize.  Lint requests parse with [allow_direct]
-    (the linter reports what the builder refuses); everything else
+(** Parse and canonicalize.  Lint and verify requests parse with
+    [allow_direct] (the analyzers report what the builder refuses —
+    verify flags a station-less shell-to-shell channel as an assumption
+    mismatch); everything else
     parses strictly, exactly as the corresponding CLI subcommand.
     Latency edits are resolved against the parsed topology and applied
     here, so [canonical], [hash_hex] and [key] all describe the edited

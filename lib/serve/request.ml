@@ -1,5 +1,6 @@
 type analysis =
   | Lint of { gate : bool }
+  | Verify
   | Throughput of { max_cycles : int option; signature_capacity : int option }
   | Equalize
   | Inject of { seed : int; cycles : int; sites : int; per_site : int }
@@ -79,6 +80,7 @@ let of_json j =
                    max_cycles = opt_pos max_cycles;
                    signature_capacity = opt_pos signature_capacity;
                  })
+        | Ok (Some "verify") -> Ok Verify
         | Ok (Some "equalize") -> Ok Equalize
         | Ok (Some "inject") ->
             let* seed = int_member ~default:1 "seed" j in
@@ -89,8 +91,8 @@ let of_json j =
         | Ok (Some a) ->
             Error
               (Printf.sprintf
-                 "unknown analysis %S (want lint, throughput, equalize or \
-                  inject)"
+                 "unknown analysis %S (want lint, verify, throughput, \
+                  equalize or inject)"
                  a)
       in
       let* edits =
@@ -137,6 +139,7 @@ let analysis_key t =
   let params =
     match t.analysis with
     | Lint { gate } -> Printf.sprintf "lint gate=%b" gate
+    | Verify -> "verify"
     | Throughput { max_cycles; signature_capacity } ->
         Printf.sprintf "throughput max_cycles=%d signature_capacity=%d"
           (Option.value max_cycles ~default:0)

@@ -13,7 +13,8 @@
     - topology: exactly one of [spec] (inline description text, the
       {!Topology.Spec} format) or [generate] (the arguments of a
       [generate] line, e.g. ["torus 6 6 stations=full,full"]).
-    - [analysis]: ["lint"], ["throughput"], ["equalize"] or ["inject"].
+    - [analysis]: ["lint"], ["verify"], ["throughput"], ["equalize"] or
+      ["inject"].
     - [flavour]: ["optimized"] (default) or ["original"].
     - analysis parameters, all optional: [gate] (lint, default true);
       [max_cycles], [signature_capacity] (throughput, 0 or absent =
@@ -42,6 +43,8 @@
 
 type analysis =
   | Lint of { gate : bool }
+  | Verify
+      (** compositional assume-guarantee discharge ({!Lint.Compose}) *)
   | Throughput of { max_cycles : int option; signature_capacity : int option }
   | Equalize
   | Inject of { seed : int; cycles : int; sites : int; per_site : int }

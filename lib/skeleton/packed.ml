@@ -1525,3 +1525,48 @@ let resume t ~edits =
   in
   reset t';
   t'
+
+(* ------------------------------------------------------------------ *)
+(* Read-only views of the compiled CSR topology, for static analyses
+   (the compositional contract checker) that want dense-id traversal
+   without touching simulation state.                                  *)
+
+module Csr = struct
+  let n_nodes t = t.n_nodes
+  let n_edges t = t.n_edges
+  let is_shell t n = t.kind.(n) = k_shell
+  let is_source t n = t.kind.(n) = k_source
+  let is_sink t n = t.kind.(n) = k_sink
+  let node_name t n = t.names.(n)
+  let in_degree t n = t.in_off.(n + 1) - t.in_off.(n)
+  let out_degree t n = t.out_off.(n + 1) - t.out_off.(n)
+  let out_edge t n k = t.out_edge.(t.out_off.(n) + k)
+  let edge_dst t e = t.e_dst_node.(e)
+
+  let edge_src t e =
+    (* invert [e_src_slot] by binary search over the out-slot offsets *)
+    let slot = t.e_src_slot.(e) in
+    let lo = ref 0 and hi = ref t.n_nodes in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.out_off.(mid) <= slot then lo := mid else hi := mid
+    done;
+    !lo
+
+  let stations t e =
+    List.init
+      (t.st_off.(e + 1) - t.st_off.(e))
+      (fun k ->
+        let s = t.st_off.(e) + k in
+        if Bitset.get t.st_retx s then
+          match t.retx_init.(s) with
+          | Some st -> Lid.Relay_station.kind st
+          | None -> assert false
+        else if Bitset.get t.st_full s then Lid.Relay_station.Full
+        else Lid.Relay_station.Half)
+
+  let gate_table t e =
+    match t.gates.(e) with
+    | Some g -> Some (Array.copy g.pg_table)
+    | None -> None
+end

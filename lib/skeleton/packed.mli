@@ -202,3 +202,39 @@ val resume : t -> edits:(Topology.Network.edge_id * Lid.Latency.profile option) 
     mutable state are re-elaborated.  [t] itself is untouched (sharing
     is read-only), so a cached engine can keep serving its own topology
     while spawning edited variants. *)
+
+(** {1 Read-only CSR views}
+
+    Dense-id accessors over the compiled topology, for static analyses
+    that traverse the contract graph ({!Lint.Compose}) in the same
+    label-propagation style as the stop-path prover — no simulation
+    state is read or written.  Node and edge ids coincide with
+    {!Topology.Network} ids. *)
+
+module Csr : sig
+  val n_nodes : t -> int
+  val n_edges : t -> int
+  val is_shell : t -> int -> bool
+  val is_source : t -> int -> bool
+  val is_sink : t -> int -> bool
+  val node_name : t -> int -> string
+
+  val in_degree : t -> int -> int
+  val out_degree : t -> int -> int
+
+  val out_edge : t -> int -> int -> int
+  (** [out_edge t n k] is the edge id leaving node [n]'s [k]-th output
+      port, [0 <= k < out_degree t n]. *)
+
+  val edge_src : t -> int -> int
+  (** Producer node of an edge (by binary search over the CSR offsets). *)
+
+  val edge_dst : t -> int -> int
+
+  val stations : t -> int -> Lid.Relay_station.kind list
+  (** Station kinds of an edge's chain, producer-to-consumer order. *)
+
+  val gate_table : t -> int -> int array option
+  (** The entrance gate's compiled delay schedule, when the edge carries
+      a latency profile with no retransmitting station in its chain. *)
+end

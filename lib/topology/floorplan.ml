@@ -33,6 +33,7 @@ type channel_report = {
   distance : float;
   wire_cycles : int;
   stations : Lid.Relay_station.kind list;
+  profile : Lid.Latency.profile option;
 }
 
 type report = {
@@ -42,22 +43,23 @@ type report = {
   half_stations : int;
 }
 
-let synthesize ~reach t =
+let wire_plans ~reach t =
   if reach <= 0. then invalid_arg "Floorplan.synthesize: reach must be positive";
   let coord id =
     match List.assoc_opt id t.coords with
     | Some p -> p
     | None -> invalid_arg "Floorplan: module without coordinates"
   in
-  let plans =
-    List.rev_map
-      (fun (((sn, _) as src), ((dn, _) as dst)) ->
-        let a = coord sn and b = coord dn in
-        let distance = abs_float (a.x -. b.x) +. abs_float (a.y -. b.y) in
-        let wire_cycles = max 1 (int_of_float (ceil (distance /. reach))) in
-        (src, dst, distance, wire_cycles))
-      t.connections
-  in
+  List.rev_map
+    (fun (((sn, _) as src), ((dn, _) as dst)) ->
+      let a = coord sn and b = coord dn in
+      let distance = abs_float (a.x -. b.x) +. abs_float (a.y -. b.y) in
+      let wire_cycles = max 1 (int_of_float (ceil (distance /. reach))) in
+      (src, dst, distance, wire_cycles))
+    t.connections
+
+let synthesize ~reach t =
+  let plans = wire_plans ~reach t in
   let channels = ref [] in
   List.iter
     (fun ((src, dst, distance, wire_cycles) :
@@ -94,6 +96,85 @@ let synthesize ~reach t =
           distance;
           wire_cycles;
           stations = e.stations;
+          profile = None;
+        })
+      channels (Net.edges net)
+  in
+  let count k =
+    List.fold_left
+      (fun acc c -> acc + List.length (List.filter (( = ) k) c.stations))
+      0 channel_reports
+  in
+  ( net,
+    {
+      reach;
+      channels = channel_reports;
+      full_stations = count Lid.Relay_station.Full;
+      half_stations = count Lid.Relay_station.Half;
+    } )
+
+let synthesize_latency ~reach ?(pitch = 100) t =
+  if pitch <= 0 then
+    invalid_arg "Floorplan.synthesize_latency: pitch must be positive";
+  let plans = wire_plans ~reach t in
+  (* A [wire_cycles]-cycle wire becomes ONE memory element plus a
+     [Distance] latency profile carrying the remaining [wire_cycles - 1]
+     cycles (the entrance gate meters the launches), instead of
+     [wire_cycles - 1] pipelining stations.  The profile's integer
+     [length] is the Manhattan distance rescaled to [pitch] units per
+     clock, then clamped into ((wire_cycles-1)*pitch, wire_cycles*pitch]
+     so float rounding can never shift the derived delay off the
+     geometric cycle count. *)
+  let profile_of distance wire_cycles =
+    if wire_cycles <= 1 then None
+    else
+      let scaled =
+        int_of_float (Float.round (distance /. reach *. float_of_int pitch))
+      in
+      let length =
+        min (wire_cycles * pitch) (max (((wire_cycles - 1) * pitch) + 1) scaled)
+      in
+      Some (Lid.Latency.Distance { length; pitch })
+  in
+  let channels =
+    List.rev
+      (List.rev_map
+         (fun (src, dst, distance, wire_cycles) ->
+           let stations =
+             if wire_cycles > 1 then [ Lid.Relay_station.Full ]
+             else [ Lid.Relay_station.Half ]
+           in
+           (src, dst, distance, wire_cycles, stations))
+         plans)
+  in
+  List.iter
+    (fun (src, dst, distance, wire_cycles, stations) ->
+      ignore
+        (Net.connect t.builder ~stations
+           ?latency:(profile_of distance wire_cycles)
+           ~src ~dst ()))
+    channels;
+  let net = Net.build t.builder in
+  (* as in [synthesize]: single-cycle channels into sinks do not need
+     their half station *)
+  let net =
+    List.fold_left
+      (fun net (e : Net.edge) ->
+        match ((Net.node net e.dst.node).kind, e.stations) with
+        | Net.Sink _, [ Lid.Relay_station.Half ] -> Net.with_stations net e.id []
+        | _ -> net)
+      net (Net.edges net)
+  in
+  let channel_reports =
+    List.map2
+      (fun (_, _, distance, wire_cycles, _) (e : Net.edge) ->
+        {
+          src_name = (Net.node net e.src.node).name;
+          dst_name = (Net.node net e.dst.node).name;
+          distance;
+          wire_cycles;
+          stations = e.stations;
+          profile = e.latency;
         })
       channels (Net.edges net)
   in
@@ -115,8 +196,11 @@ let pp_report fmt r =
     r.full_stations r.half_stations;
   List.iter
     (fun c ->
-      Format.fprintf fmt "  %-10s -> %-10s dist %6.2f  %d cycle(s)  [%s]@."
+      Format.fprintf fmt "  %-10s -> %-10s dist %6.2f  %d cycle(s)  [%s]%s@."
         c.src_name c.dst_name c.distance c.wire_cycles
         (String.concat " "
-           (List.map Lid.Relay_station.kind_to_string c.stations)))
+           (List.map Lid.Relay_station.kind_to_string c.stations))
+        (match c.profile with
+        | None -> ""
+        | Some p -> "  latency=" ^ Lid.Latency.to_string p))
     r.channels

@@ -47,6 +47,8 @@ type channel_report = {
   distance : float;  (** Manhattan *)
   wire_cycles : int;  (** [ceil (distance / reach)], at least 1 *)
   stations : Lid.Relay_station.kind list;
+  profile : Lid.Latency.profile option;
+      (** the derived wire-latency profile ({!synthesize_latency} only) *)
 }
 
 type report = {
@@ -58,5 +60,21 @@ type report = {
 
 val synthesize : reach:float -> t -> Network.t * report
 (** Raises [Invalid_argument] if [reach <= 0]. *)
+
+val synthesize_latency : reach:float -> ?pitch:int -> t -> Network.t * report
+(** The dynamic-LID rendering of the same floorplan: a [c]-cycle wire
+    becomes {e one} full relay station plus a derived
+    [Lid.Latency.Distance] profile carrying the remaining [c - 1] cycles
+    (the skeleton's entrance gate meters the launches), instead of
+    [c - 1] pipelining stations.  [pitch] (default 100) is the profile's
+    distance-per-clock unit; the profile length is rescaled from the
+    Manhattan distance and clamped so the derived per-launch delay is
+    exactly [wire_cycles - 1] — latency-equivalent to the pipelined
+    rendering by construction, and checked in lockstep against an
+    explicit [table:] profile by the floorplan tests.  Throughput is the
+    trade-off, not latency: the profile wire is unpipelined (one token in
+    flight), so a dominant [c]-cycle wire sustains [1/c] where the [c - 1]
+    stations it replaces doubled as storage and sustained full rate.
+    Raises [Invalid_argument] if [reach <= 0] or [pitch <= 0]. *)
 
 val pp_report : Format.formatter -> report -> unit

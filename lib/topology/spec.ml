@@ -300,6 +300,22 @@ let load ?allow_direct path =
 (* ------------------------------------------------------------------ *)
 (* Printing.                                                           *)
 
+let channel_line ?stations net eid =
+  let e = Net.edge net eid in
+  let stations = Option.value ~default:e.Net.stations stations in
+  let buf = Buffer.create 64 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%s.%d -> %s.%d" (Net.node net e.src.node).name e.src.port
+    (Net.node net e.dst.node).name e.dst.port;
+  (match e.latency with
+  | Some p -> pr " latency=%s" (Lid.Latency.to_string p)
+  | None -> ());
+  if stations <> [] then begin
+    pr " :";
+    List.iter (fun k -> pr " %s" (Lid.Relay_station.kind_to_string k)) stations
+  end;
+  Buffer.contents buf
+
 let print net =
   let buf = Buffer.create 256 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -320,18 +336,6 @@ let print net =
              else ""))
     (Net.nodes net);
   List.iter
-    (fun (e : Net.edge) ->
-      pr "%s.%d -> %s.%d" (Net.node net e.src.node).name e.src.port
-        (Net.node net e.dst.node).name e.dst.port;
-      (match e.latency with
-      | Some p -> pr " latency=%s" (Lid.Latency.to_string p)
-      | None -> ());
-      if e.stations <> [] then begin
-        pr " :";
-        List.iter
-          (fun k -> pr " %s" (Lid.Relay_station.kind_to_string k))
-          e.stations
-      end;
-      pr "\n")
+    (fun (e : Net.edge) -> pr "%s\n" (channel_line net e.Net.id))
     (Net.edges net);
   Buffer.contents buf

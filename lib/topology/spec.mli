@@ -52,5 +52,12 @@ val print : Network.t -> string
 (** Render a network back to the format; [parse (print net)] reconstructs
     an isomorphic network provided all pearls are standard. *)
 
+val channel_line :
+  ?stations:Lid.Relay_station.kind list -> Network.t -> Network.edge_id -> string
+(** The canonical declaration line of one channel, exactly as {!print}
+    emits it (no trailing newline) — so tooling output (lint fix-its)
+    pastes back into a spec file unchanged.  [stations] substitutes the
+    printed station list, e.g. a fix-it's proposed one. *)
+
 val load : ?allow_direct:bool -> string -> (Network.t, string) result
 (** [load path] reads and parses a file. *)

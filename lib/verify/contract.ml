@@ -1,0 +1,267 @@
+module RS = Lid.Relay_station
+
+type cls =
+  | Shell of { n_inputs : int; n_outputs : int }
+  | Station of { kind : RS.kind; table : int array }
+  | Gate of { table : int array }
+
+type outcome =
+  | Proved of { states : int }
+  | Refuted of { reason : string }
+  | Assumed of { budget : int }
+
+type verdict = {
+  cls : cls;
+  flavour : Lid.Protocol.flavour;
+  handshake : outcome;
+  responsive : outcome;
+  stall_implies_token : bool;
+  symbolic : (string * bool) option;
+}
+
+let table_to_string t =
+  "[" ^ String.concat "," (List.map string_of_int (Array.to_list t)) ^ "]"
+
+let cls_to_string = function
+  | Shell { n_inputs; n_outputs } ->
+      Printf.sprintf "shell:%dx%d" n_inputs n_outputs
+  | Station { kind = RS.Retx _ as kind; table } ->
+      Printf.sprintf "station:%s%s" (RS.kind_to_string kind)
+        (table_to_string table)
+  | Station { kind; _ } -> "station:" ^ RS.kind_to_string kind
+  | Gate { table } -> "gate" ^ table_to_string table
+
+let class_key ~flavour cls =
+  Lid.Protocol.to_string flavour ^ ":" ^ cls_to_string cls
+
+let outcome_to_string = function
+  | Proved { states } -> Printf.sprintf "proved (%d states)" states
+  | Refuted { reason } -> "refuted: " ^ reason
+  | Assumed { budget } -> Printf.sprintf "assumed (budget %d exceeded)" budget
+
+let outcome_ok = function Refuted _ -> false | Proved _ | Assumed _ -> true
+let verdict_ok v = outcome_ok v.handshake && outcome_ok v.responsive
+
+(* ------------------------------------------------------------------ *)
+(* Discharge primitives over the Props product machines.               *)
+
+let safety ~violation fsm ~budget ~invariant =
+  match Reach.check_invariant ~max_states:budget fsm ~invariant with
+  | Reach.Holds { states; _ } -> Proved { states }
+  | Reach.Fails { trace } ->
+      let reason =
+        match List.rev trace with
+        | (_, last) :: _ ->
+            Option.value ~default:"handshake violation" (violation last)
+        | [] -> "handshake violation"
+      in
+      Refuted { reason }
+  | exception Reach.State_space_exceeded _ -> Assumed { budget }
+
+let liveness ~reason fsm ~budget ~progress =
+  match Reach.check_progress ~max_states:budget fsm ~progress with
+  | Reach.Live { states } -> Proved { states }
+  | Reach.Wedged _ -> Refuted { reason }
+  | exception Reach.State_space_exceeded _ -> Assumed { budget }
+
+(* Is there a reachable infinite run every state of which satisfies [bad]
+   — i.e. a reachable cycle inside the bad subgraph, or a bad dead end?
+   This is the sustained version of a state predicate: a retx station
+   transiently shows stop with an empty receiver while its replay window
+   is in flight, but fault-free internal progress always forces it out of
+   the bad region, whereas the half station under [Original] can sit in
+   stop-while-empty forever (the environment keeps stop asserted and the
+   sticky sreg loops).  Only the sustained form is deadlock fuel. *)
+let exists_sustained ~max_states fsm ~bad =
+  let seen = Hashtbl.create 1024 in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem seen s) then begin
+        Hashtbl.add seen s ();
+        Queue.push s q
+      end)
+    fsm.Fsm.initial;
+  while not (Queue.is_empty q) do
+    let s = Queue.pop q in
+    List.iter
+      (fun i ->
+        let s' = fsm.Fsm.next s i in
+        if not (Hashtbl.mem seen s') then begin
+          if Hashtbl.length seen >= max_states then
+            raise (Reach.State_space_exceeded max_states);
+          Hashtbl.add seen s' ();
+          Queue.push s' q
+        end)
+      (fsm.Fsm.inputs s)
+  done;
+  let grey = 1 and black = 2 in
+  let color = Hashtbl.create 97 in
+  let found = ref false in
+  let rec dfs s =
+    match Hashtbl.find_opt color s with
+    | Some c when c = grey -> found := true
+    | Some _ -> ()
+    | None ->
+        Hashtbl.replace color s grey;
+        let inputs = fsm.Fsm.inputs s in
+        if inputs = [] then found := true
+        else
+          List.iter
+            (fun i ->
+              if not !found then
+                let s' = fsm.Fsm.next s i in
+                if bad s' then dfs s')
+            inputs;
+        Hashtbl.replace color s black
+  in
+  Hashtbl.iter (fun s () -> if (not !found) && bad s then dfs s) seen;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* The symbolic cross-check: the same stop-implies-occupied property over
+   the generated RTL with a datapath too wide for explicit enumeration.  *)
+
+let symbolic_station ~flavour kind =
+  match kind with
+  | RS.Retx _ -> None
+  | RS.Full | RS.Half -> (
+      try
+        let circ = Lid.Rtl_gen.relay_station ~flavour ~data_width:5 kind in
+        let sym = Symbolic.of_circuit circ in
+        let man = Symbolic.man sym in
+        let stop_out = (Symbolic.output_vector sym "stop_out").(0) in
+        let occupied =
+          match kind with
+          | RS.Full ->
+              Bdd.or_ man
+                (Symbolic.reg_vector sym "v_main_r").(0)
+                (Symbolic.reg_vector sym "v_aux_r").(0)
+          | _ -> (Symbolic.reg_vector sym "v_hold_r").(0)
+        in
+        let holds =
+          match Symbolic.check_invariant sym (Bdd.imp man stop_out occupied) with
+          | Symbolic.Holds -> true
+          | Symbolic.Violation _ -> false
+        in
+        Some ("stop_out implies occupied (RTL, 5-bit datapath)", holds)
+      with _ -> None)
+
+(* ------------------------------------------------------------------ *)
+
+let responsive_reason =
+  "a state is reachable from which no environment future yields a delivery"
+
+let compute ~flavour ~budget ?step cls =
+  match cls with
+  | Shell { n_inputs; n_outputs } ->
+      let fsm, stalls_empty =
+        Props.shell_shape_fsm ~flavour ~n_inputs ~n_outputs
+      in
+      let handshake =
+        safety ~violation:Props.shell_violation fsm ~budget
+          ~invariant:Props.shell_ok
+      in
+      let responsive =
+        liveness ~reason:responsive_reason fsm ~budget ~progress:(fun pre _ post ->
+            Props.shell_delivered ~pre ~post)
+      in
+      let stall_implies_token =
+        match handshake with
+        | Refuted _ -> false
+        | _ -> (
+            (* instantaneous suffices for shells: a starved shell's stop
+               persists as long as the starvation does *)
+            match
+              Reach.check_invariant ~max_states:budget fsm
+                ~invariant:(fun s ->
+                  not (List.exists (stalls_empty s) (fsm.Fsm.inputs s)))
+            with
+            | Reach.Holds _ -> true
+            | Reach.Fails _ -> false
+            | exception Reach.State_space_exceeded _ -> false)
+      in
+      { cls; flavour; handshake; responsive; stall_implies_token; symbolic = None }
+  | Station { kind; table } ->
+      let table = if Array.length table = 0 then None else Some table in
+      let fsm = Props.rs_fsm ~flavour ?step ?table kind in
+      let handshake =
+        safety ~violation:Props.rs_violation fsm ~budget ~invariant:Props.rs_ok
+      in
+      let responsive =
+        liveness ~reason:responsive_reason fsm ~budget ~progress:(fun pre _ post ->
+            Props.rs_delivered ~pre ~post)
+      in
+      let stall_implies_token =
+        match handshake with
+        | Refuted _ -> false
+        | _ -> (
+            try
+              not
+                (exists_sustained ~max_states:budget fsm ~bad:(fun s ->
+                     let st = Props.rs_station s in
+                     RS.stop_upstream st && RS.occupancy st = 0))
+            with Reach.State_space_exceeded _ -> false)
+      in
+      let symbolic =
+        match step with
+        | Some _ -> None
+        | None -> symbolic_station ~flavour kind
+      in
+      { cls; flavour; handshake; responsive; stall_implies_token; symbolic }
+  | Gate { table } ->
+      let fsm = Props.gate_fsm ~table in
+      let handshake =
+        safety ~violation:Props.gate_violation fsm ~budget
+          ~invariant:Props.gate_ok
+      in
+      let responsive =
+        liveness ~reason:responsive_reason fsm ~budget ~progress:(fun pre _ post ->
+            Props.gate_delivered ~pre ~post)
+      in
+      (* the gate's upstream stop is [pg_v && _]: structurally it cannot be
+         asserted while the slot is empty, in either flavour *)
+      let stall_implies_token =
+        match handshake with Refuted _ -> false | _ -> true
+      in
+      { cls; flavour; handshake; responsive; stall_implies_token; symbolic = None }
+
+(* ------------------------------------------------------------------ *)
+(* Memoization: once per class key for the whole process (the daemon
+   serves many topologies; classes repeat endlessly).  Guarded by a
+   mutex — campaign workers run on separate domains.                   *)
+
+let memo : (string, verdict) Hashtbl.t = Hashtbl.create 31
+let hits = ref 0
+let lock = Mutex.create ()
+
+let memo_stats () =
+  Mutex.lock lock;
+  let r = (Hashtbl.length memo, !hits) in
+  Mutex.unlock lock;
+  r
+
+let memo_clear () =
+  Mutex.lock lock;
+  Hashtbl.reset memo;
+  hits := 0;
+  Mutex.unlock lock
+
+let discharge ?(flavour = Lid.Protocol.Optimized) ?(max_states = 1_000_000)
+    ?step cls =
+  match step with
+  | Some _ -> compute ~flavour ~budget:max_states ?step cls
+  | None -> (
+      let key = Printf.sprintf "%s max=%d" (class_key ~flavour cls) max_states in
+      Mutex.lock lock;
+      let cached = Hashtbl.find_opt memo key in
+      if cached <> None then incr hits;
+      Mutex.unlock lock;
+      match cached with
+      | Some v -> v
+      | None ->
+          let v = compute ~flavour ~budget:max_states cls in
+          Mutex.lock lock;
+          Hashtbl.replace memo key v;
+          Mutex.unlock lock;
+          v)

@@ -1,0 +1,92 @@
+(** Protocol-contract automata and their once-per-class discharge.
+
+    Assume-guarantee compositional verification in the style the paper's
+    §5 decidability argument (and the NVIDIA follow-up) calls for: each
+    {e component class} — a shell port shape, a relay-station kind, an
+    entrance gate with a delay schedule — is checked {e once} against the
+    LID valid/stop handshake contract, and whole-network verdicts are then
+    discharged statically over the contract graph ({!Lint.Compose}) instead
+    of over the product state space.
+
+    The contract obligations per class:
+
+    - {b handshake} — under producers that keep valid inputs stable while
+      stopped, the component never drops a valid datum without an accept,
+      never changes a datum while stalled, and delivers in order without
+      duplication (the {!Props} observers);
+    - {b responsive} — a fresh delivery always remains reachable under
+      some environment future (bounded stall response: the component
+      cannot wedge itself);
+    - {b stall_implies_token} — the derived {e strength} of the upstream
+      guarantee: [true] iff the component cannot sustain stop toward its
+      producer indefinitely while holding no token.  Components for which
+      this fails (the half station under the [Original] flavour, a bare
+      wire) are the fuel of token-starved deadlock cycles — LID010.
+
+    Each discharge is memoized by {!class_key}, so a 10⁶-node network pays
+    for as many reachability runs as it has distinct classes (~4 for a
+    typical NoC). *)
+
+type cls =
+  | Shell of { n_inputs : int; n_outputs : int }
+      (** any shell of this port shape, pearl-independent *)
+  | Station of { kind : Lid.Relay_station.kind; table : int array }
+      (** a relay station; [table] is the compiled internal-hop delay
+          schedule (meaningful for [Retx] only — it fixes the
+          retransmission timeout; normalized away for full/half) *)
+  | Gate of { table : int array }
+      (** the entrance gate a channel latency profile compiles to *)
+
+val cls_to_string : cls -> string
+(** ["shell:2x1"], ["station:half"], ["station:retx:4[0,2]"],
+    ["gate[1,0,3]"]. *)
+
+val class_key : flavour:Lid.Protocol.flavour -> cls -> string
+(** The memoization key; stable across runs. *)
+
+type outcome =
+  | Proved of { states : int }  (** exhaustively discharged; state count *)
+  | Refuted of { reason : string }
+      (** a counterexample exists; [reason] is the observer's verdict *)
+  | Assumed of { budget : int }
+      (** the state budget was exceeded before a verdict — the obligation
+          is carried as an assumption, reported but not refuted *)
+
+val outcome_to_string : outcome -> string
+val outcome_ok : outcome -> bool
+(** [true] unless [Refuted]. *)
+
+type verdict = {
+  cls : cls;
+  flavour : Lid.Protocol.flavour;
+  handshake : outcome;
+  responsive : outcome;
+  stall_implies_token : bool;
+      (** the strength bit (conservatively [false] when the probe runs out
+          of budget or the handshake is refuted) *)
+  symbolic : (string * bool) option;
+      (** BDD cross-check over the generated RTL (full/half stations,
+          8-bit datapath): property text and whether it holds.  For
+          full/half the instantaneous property coincides with the
+          sustained probe, so this independently confirms
+          [stall_implies_token]. *)
+}
+
+val verdict_ok : verdict -> bool
+(** Handshake and responsiveness both non-refuted. *)
+
+val discharge :
+  ?flavour:Lid.Protocol.flavour ->
+  ?max_states:int ->
+  ?step:Props.rs_step ->
+  cls ->
+  verdict
+(** Check [cls] against its contract ([flavour] defaults to [Optimized],
+    [max_states] to 1_000_000).  [step] substitutes the relay-station
+    transition function (mutants); discharges with [step] bypass the memo
+    and skip the symbolic leg (the mutant is not the RTL). *)
+
+val memo_stats : unit -> int * int
+(** [(distinct classes discharged, memo hits)] since the last clear. *)
+
+val memo_clear : unit -> unit

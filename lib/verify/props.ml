@@ -76,17 +76,25 @@ let pp_rs_state fmt s =
     s.rs s.rs_obs.expect
     (match s.rs_viol with None -> "" | Some v -> " VIOLATION: " ^ v)
 
-let rs_fsm ?(flavour = Lid.Protocol.Optimized) ?(step : rs_step option) kind =
+let rs_fsm ?(flavour = Lid.Protocol.Optimized) ?(step : rs_step option) ?table
+    kind =
   let step =
     match step with
     | Some f -> f
     | None -> fun st ~input ~stop_in -> RS.step ~flavour st ~input ~stop_in
   in
+  (* Sequence numbers are rebased after every step: a bisimulation (seqs
+     only meet in equalities and differences, and the shift is a multiple
+     of the payload modulus), under which the retx station's reachable
+     quotient is finite — explicit-state discharge terminates. *)
+  let step st ~input ~stop_in =
+    RS.rebase ~granule:modulus (step st ~input ~stop_in)
+  in
   let initial =
     [
       {
         rs_prod = producer_init ~first:0;
-        rs = RS.initial kind;
+        rs = RS.initial ?table kind;
         rs_obs = observer_init;
         rs_viol = None;
       };
@@ -115,6 +123,11 @@ let rs_fsm ?(flavour = Lid.Protocol.Optimized) ?(step : rs_step option) kind =
 let check_relay_station ?flavour ?step ?max_states kind =
   Reach.check_invariant ?max_states (rs_fsm ?flavour ?step kind)
     ~invariant:(fun s -> s.rs_viol = None)
+
+let rs_station s = s.rs
+let rs_ok s = s.rs_viol = None
+let rs_violation s = s.rs_viol
+let rs_delivered ~pre ~post = post.rs_obs.expect <> pre.rs_obs.expect
 
 (* ------------------------------------------------------------------ *)
 (* Relay stations at RTL level: the same environment and observer, run
@@ -210,33 +223,11 @@ let rec bool_tuples = function
         (fun rest -> [ false :: rest; true :: rest ])
         (bool_tuples (n - 1))
 
-let shell_fsm ~flavour pearl_kind =
-  let pearl, predictor =
-    match pearl_kind with
-    | Identity -> (Lid.Pearl.identity (), counting_predictor ~advance:1)
-    | Fork ->
-        (* the same ordered stream must appear on both output ports, even
-           though their buffers drain independently under mixed stops *)
-        (Lid.Pearl.fork2 (), counting_predictor ~advance:1)
-    | Adder ->
-        (* sum modulo [modulus], so the observer's modular arithmetic is
-           exact *)
-        ( Lid.Pearl.combine ~name:"mod-adder" (fun a b -> (a + b) mod modulus),
-          counting_predictor ~advance:2 )
-    | Accumulator ->
-        (* running sum modulo [modulus] of the stream 1,2,3,... — the k-th
-           firing must see exactly the k-th input, so this is an exhaustive
-           check of clock gating (a single spurious pearl tick breaks the
-           prediction) *)
-        ( Lid.Pearl.create ~name:"mod-accumulator" ~n_inputs:1 ~n_outputs:1
-            ~init_state:[| 0 |] ~initial_output:[| 0 |]
-            (fun st ins ->
-              let acc = (st.(0) + ins.(0)) mod modulus in
-              ([| acc |], [| acc |])),
-          fun expect aux ->
-            (* aux is the index of the next input to be consumed *)
-            ((expect + aux) mod modulus, (aux + 1) mod modulus) )
-  in
+(* The product of shell, per-input producers and per-output observers,
+   shared by the named-pearl checks below and the shape-generic contract
+   discharge.  Also returns the shell handle so callers can interrogate
+   [input_stops] on reached states. *)
+let shell_product ~name ~flavour pearl predictor =
   let shell = Lid.Shell.create ~flavour pearl in
   let n_in = pearl.Lid.Pearl.n_inputs in
   let n_out = pearl.Lid.Pearl.n_outputs in
@@ -296,20 +287,179 @@ let shell_fsm ~flavour pearl_kind =
           sh_viol = None;
         }
   in
-  Fsm.create
-    ~name:
-      (Printf.sprintf "%s shell (%s)"
-         (match pearl_kind with
-         | Identity -> "identity"
-         | Fork -> "fork"
-         | Adder -> "adder"
-         | Accumulator -> "accumulator")
-         (Lid.Protocol.to_string flavour))
-    ~initial ~inputs next
+  (Fsm.create ~name ~initial ~inputs next, shell)
+
+let shell_fsm ~flavour pearl_kind =
+  let pearl, predictor =
+    match pearl_kind with
+    | Identity -> (Lid.Pearl.identity (), counting_predictor ~advance:1)
+    | Fork ->
+        (* the same ordered stream must appear on both output ports, even
+           though their buffers drain independently under mixed stops *)
+        (Lid.Pearl.fork2 (), counting_predictor ~advance:1)
+    | Adder ->
+        (* sum modulo [modulus], so the observer's modular arithmetic is
+           exact *)
+        ( Lid.Pearl.combine ~name:"mod-adder" (fun a b -> (a + b) mod modulus),
+          counting_predictor ~advance:2 )
+    | Accumulator ->
+        (* running sum modulo [modulus] of the stream 1,2,3,... — the k-th
+           firing must see exactly the k-th input, so this is an exhaustive
+           check of clock gating (a single spurious pearl tick breaks the
+           prediction) *)
+        ( Lid.Pearl.create ~name:"mod-accumulator" ~n_inputs:1 ~n_outputs:1
+            ~init_state:[| 0 |] ~initial_output:[| 0 |]
+            (fun st ins ->
+              let acc = (st.(0) + ins.(0)) mod modulus in
+              ([| acc |], [| acc |])),
+          fun expect aux ->
+            (* aux is the index of the next input to be consumed *)
+            ((expect + aux) mod modulus, (aux + 1) mod modulus) )
+  in
+  fst
+    (shell_product
+       ~name:
+         (Printf.sprintf "%s shell (%s)"
+            (match pearl_kind with
+            | Identity -> "identity"
+            | Fork -> "fork"
+            | Adder -> "adder"
+            | Accumulator -> "accumulator")
+            (Lid.Protocol.to_string flavour))
+       ~flavour pearl predictor)
+
+(* The contract face of a shell depends only on its port shape: the
+   handshake obligations (hold under stop, no drop, no reorder, AND-fire
+   only when every input is valid and no buffered output stalls) are the
+   wrapper's, not the pearl's.  An n-ary sum modulo [modulus] broadcast to
+   every output port keeps the observers' order prediction exact, so one
+   discharge per (n_inputs, n_outputs) covers every pearl of that shape. *)
+let shell_shape_fsm ~flavour ~n_inputs ~n_outputs =
+  let pearl =
+    Lid.Pearl.create
+      ~name:(Printf.sprintf "sum-%dto%d" n_inputs n_outputs)
+      ~n_inputs ~n_outputs ~init_state:[||]
+      ~initial_output:(Array.make n_outputs 0)
+      (fun st ins ->
+        (st, Array.make n_outputs (Array.fold_left ( + ) 0 ins mod modulus)))
+  in
+  let fsm, shell =
+    shell_product
+      ~name:
+        (Printf.sprintf "%dx%d shell (%s)" n_inputs n_outputs
+           (Lid.Protocol.to_string flavour))
+      ~flavour pearl
+      (counting_predictor ~advance:n_inputs)
+  in
+  let stalls_empty s ((_, stops) : bool list * bool list) =
+    (* Under this enabled choice, does the shell back-pressure some
+       producer while holding no buffered output token at all?  Reachable
+       under [Original] (a starved shell stops unconditionally), never
+       under [Optimized] — the weak/strong classification LID010 feeds on. *)
+    let inputs = Array.of_list (List.map (fun p -> p.pres) s.sh_prods) in
+    let out_stops = Array.of_list stops in
+    let in_stops = Lid.Shell.input_stops shell s.sh ~inputs ~out_stops in
+    Array.exists Fun.id in_stops
+    && not
+         (List.exists
+            (fun port -> Token.is_valid (Lid.Shell.present s.sh port))
+            (List.init n_outputs Fun.id))
+  in
+  (fsm, stalls_empty)
+
+let shell_ok s = s.sh_viol = None
+let shell_violation s = s.sh_viol
+
+let shell_delivered ~pre ~post =
+  List.exists2 (fun a b -> a.expect <> b.expect) pre.sh_obs post.sh_obs
 
 let check_shell ?max_states ~flavour pearl_kind =
   Reach.check_invariant ?max_states (shell_fsm ~flavour pearl_kind)
     ~invariant:(fun s -> s.sh_viol = None)
+
+(* ------------------------------------------------------------------ *)
+(* Entrance gates.  The automaton mirrors Skeleton.Packed's commit_gate
+   / consumer_stop semantics field for field: a one-slot register whose
+   datum is invisible while the per-launch delay timer runs, stop toward
+   the producer asserted exactly while the slot is occupied and cannot
+   drain this cycle.                                                     *)
+
+type gate_state = {
+  g_prod : producer;
+  g_table : int array; (* static per-launch delay schedule *)
+  g_v : bool;
+  g_d : int;
+  g_timer : int;
+  g_count : int;
+  g_obs : observer;
+  g_viol : violation option;
+}
+
+let pp_gate_state fmt s =
+  Format.fprintf fmt "prod=%a gate=%s timer=%d expect=%d%s" Token.pp
+    s.g_prod.pres
+    (if s.g_v then string_of_int s.g_d else "-")
+    s.g_timer s.g_obs.expect
+    (match s.g_viol with None -> "" | Some v -> " VIOLATION: " ^ v)
+
+let gate_fsm ~table =
+  let table = if Array.length table = 0 then [| 0 |] else Array.copy table in
+  let initial =
+    [
+      {
+        g_prod = producer_init ~first:0;
+        g_table = table;
+        g_v = false;
+        g_d = 0;
+        g_timer = 0;
+        g_count = 0;
+        g_obs = observer_init;
+        g_viol = None;
+      };
+    ]
+  in
+  let inputs s =
+    if s.g_viol <> None then []
+    else [ (false, false); (false, true); (true, false); (true, true) ]
+  in
+  let next s (emit, stop_in) =
+    let out =
+      if s.g_v && s.g_timer = 0 then Token.valid s.g_d else Token.void
+    in
+    let stop_up = s.g_v && (s.g_timer > 0 || stop_in) in
+    match
+      observe ~next:(counting_predictor ~advance:1) s.g_obs ~out ~stop_in
+    with
+    | Error v -> { s with g_viol = Some v }
+    | Ok obs ->
+        let pres = s.g_prod.pres in
+        let departs = s.g_v && s.g_timer = 0 && not stop_in in
+        let accept = Token.is_valid pres && ((not s.g_v) || departs) in
+        let s' =
+          if accept then
+            {
+              s with
+              g_v = true;
+              g_d = Option.value ~default:0 (Token.value_opt pres);
+              g_timer = s.g_table.(s.g_count);
+              g_count = (s.g_count + 1) mod Array.length s.g_table;
+            }
+          else if departs then { s with g_v = false }
+          else if s.g_v && s.g_timer > 0 then { s with g_timer = s.g_timer - 1 }
+          else s
+        in
+        {
+          s' with
+          g_prod = producer_next s.g_prod ~stopped:stop_up ~emit;
+          g_obs = obs;
+          g_viol = None;
+        }
+  in
+  Fsm.create ~name:"entrance gate" ~initial ~inputs next
+
+let gate_ok s = s.g_viol = None
+let gate_violation s = s.g_viol
+let gate_delivered ~pre ~post = post.g_obs.expect <> pre.g_obs.expect
 
 (* ------------------------------------------------------------------ *)
 (* Mutants.                                                             *)

@@ -38,6 +38,28 @@ type rs_state
 
 val pp_rs_state : Format.formatter -> rs_state -> unit
 
+val rs_fsm :
+  ?flavour:Lid.Protocol.flavour ->
+  ?step:rs_step ->
+  ?table:int array ->
+  Lid.Relay_station.kind ->
+  (rs_state, bool * bool) Fsm.t
+(** The raw product of station, producer environment and order/hold
+    observer — exposed so the contract layer can run liveness probes over
+    it.  Retransmitting stations' sequence numbers are rebased after every
+    step ({!Lid.Relay_station.rebase}), making the reachable quotient
+    finite; [table] is their internal-hop delay schedule. *)
+
+val rs_station : rs_state -> Lid.Relay_station.state
+val rs_ok : rs_state -> bool
+(** No observer violation recorded (the safety invariant). *)
+
+val rs_violation : rs_state -> violation option
+
+val rs_delivered : pre:rs_state -> post:rs_state -> bool
+(** The observer matched a fresh in-order output on this transition — the
+    progress event of the bounded-stall-response probe. *)
+
 val check_relay_station :
   ?flavour:Lid.Protocol.flavour ->
   ?step:rs_step ->
@@ -75,6 +97,43 @@ val check_shell :
 (** Inputs are [(producer_emits per input channel, consumer_stops per
     output channel)] — for [Fork], the independent per-port stops
     exhaustively exercise the mixed-stop buffer logic. *)
+
+val shell_shape_fsm :
+  flavour:Lid.Protocol.flavour ->
+  n_inputs:int ->
+  n_outputs:int ->
+  (shell_state, bool list * bool list) Fsm.t
+  * (shell_state -> bool list * bool list -> bool)
+(** The contract face of an [(n_inputs, n_outputs)] shell shape: an n-ary
+    sum-modulo-{!modulus} pearl broadcast to every output port.  The
+    handshake obligations are the wrapper's, not the pearl's, so one
+    discharge per shape covers every pearl of that shape.  The second
+    component answers, for a reached state and an enabled choice, whether
+    the shell back-pressures some producer while holding no buffered
+    output token — the weak-stop probe LID010's flavour distinction rests
+    on. *)
+
+val shell_ok : shell_state -> bool
+val shell_violation : shell_state -> violation option
+val shell_delivered : pre:shell_state -> post:shell_state -> bool
+(** Some output observer matched a fresh in-order value on this
+    transition. *)
+
+(** {1 Entrance gates} *)
+
+type gate_state
+
+val pp_gate_state : Format.formatter -> gate_state -> unit
+
+val gate_fsm : table:int array -> (gate_state, bool * bool) Fsm.t
+(** Product of producer, entrance gate (the one-slot metering register a
+    latency profile compiles to — semantics identical to
+    [Skeleton.Packed]'s gate commit) and order/hold observer.  [table] is
+    the compiled per-launch delay schedule; [[||]] means no extra delay. *)
+
+val gate_ok : gate_state -> bool
+val gate_violation : gate_state -> violation option
+val gate_delivered : pre:gate_state -> post:gate_state -> bool
 
 (** {1 Mutants}
 

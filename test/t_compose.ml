@@ -1,0 +1,395 @@
+(* The assume-guarantee layer: per-class contract discharge (the measured
+   strength matrix, memoization), the composed network verdicts LID009-
+   LID011, and the qcheck cross-validation of the composed deadlock
+   verdict against explicit-state reachability wherever both decide. *)
+
+module Net = Topology.Network
+module G = Topology.Generators
+module RS = Lid.Relay_station
+module C = Verify.Contract
+module D = Lint.Diagnostic
+module Compose = Lint.Compose
+
+let optimized = Lid.Protocol.Optimized
+let original = Lid.Protocol.Original
+
+let codes (r : Compose.report) =
+  List.sort_uniq compare
+    (List.map (fun (d : D.t) -> D.code_id d.D.code) r.Compose.diagnostics)
+
+let find_code (r : Compose.report) code =
+  List.filter (fun (d : D.t) -> D.code_id d.D.code = code) r.Compose.diagnostics
+
+(* ------------------------------------------------------------------ *)
+(* Class discharge: the strength matrix. *)
+
+let proved = function C.Proved _ -> true | _ -> false
+
+let check_class ~flavour cls ~strong =
+  let v = C.discharge ~flavour cls in
+  let name = C.class_key ~flavour cls in
+  Alcotest.(check bool) (name ^ " handshake proved") true (proved v.C.handshake);
+  Alcotest.(check bool)
+    (name ^ " responsive proved")
+    true
+    (proved v.C.responsive);
+  Alcotest.(check bool)
+    (name ^ " stall_implies_token")
+    strong v.C.stall_implies_token
+
+let test_strength_matrix_optimized () =
+  check_class ~flavour:optimized (C.Shell { n_inputs = 1; n_outputs = 1 })
+    ~strong:true;
+  check_class ~flavour:optimized (C.Shell { n_inputs = 1; n_outputs = 2 })
+    ~strong:true;
+  check_class ~flavour:optimized (C.Shell { n_inputs = 2; n_outputs = 1 })
+    ~strong:false;
+  check_class ~flavour:optimized (C.Shell { n_inputs = 2; n_outputs = 2 })
+    ~strong:false;
+  check_class ~flavour:optimized (C.Station { kind = RS.Full; table = [||] })
+    ~strong:true;
+  (* the cure: the optimized half station is a strong guarantee *)
+  check_class ~flavour:optimized (C.Station { kind = RS.Half; table = [||] })
+    ~strong:true
+
+let test_strength_matrix_original () =
+  check_class ~flavour:original (C.Shell { n_inputs = 1; n_outputs = 1 })
+    ~strong:false;
+  check_class ~flavour:original (C.Shell { n_inputs = 2; n_outputs = 2 })
+    ~strong:false;
+  check_class ~flavour:original (C.Station { kind = RS.Full; table = [||] })
+    ~strong:true;
+  (* the paper's deadlock: the original half station can sustain stop
+     while empty *)
+  check_class ~flavour:original (C.Station { kind = RS.Half; table = [||] })
+    ~strong:false
+
+let test_retx_and_gate_classes () =
+  check_class ~flavour:optimized
+    (C.Station { kind = RS.Retx { depth = 4 }; table = [| 0 |] })
+    ~strong:true;
+  check_class ~flavour:original
+    (C.Station { kind = RS.Retx { depth = 4 }; table = [| 0 |] })
+    ~strong:true;
+  check_class ~flavour:optimized (C.Gate { table = [| 1; 0 |] }) ~strong:true
+
+let test_symbolic_cross_check () =
+  (* full/half station verdicts carry an independent BDD confirmation
+     over the generated RTL *)
+  List.iter
+    (fun (flavour, kind) ->
+      let v = C.discharge ~flavour (C.Station { kind; table = [||] }) in
+      match v.C.symbolic with
+      | Some (_, holds) ->
+          Alcotest.(check bool)
+            (C.class_key ~flavour v.C.cls ^ " symbolic = probed")
+            v.C.stall_implies_token holds
+      | None ->
+          Alcotest.fail
+            (C.class_key ~flavour v.C.cls ^ ": expected a symbolic leg"))
+    [
+      (optimized, RS.Full);
+      (optimized, RS.Half);
+      (original, RS.Full);
+      (original, RS.Half);
+    ]
+
+let test_memoization () =
+  C.memo_clear ();
+  let net = G.mesh ~n:4 ~m:4 () in
+  let r1 = Compose.run ~flavour:optimized net in
+  let distinct1, _ = C.memo_stats () in
+  Alcotest.(check int)
+    "distinct classes = class table size" distinct1
+    (List.length r1.Compose.classes);
+  let r2 = Compose.run ~flavour:optimized net in
+  let distinct2, hits2 = C.memo_stats () in
+  Alcotest.(check int) "second run discharges nothing new" distinct1 distinct2;
+  Alcotest.(check bool)
+    "second run hits the memo" true
+    (hits2 >= List.length r2.Compose.classes)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded contract mutants refute their class: LID009. *)
+
+let mutant_refuted step =
+  let net = G.chain ~n_shells:2 ~stations:[ RS.Full ] () in
+  let r = Compose.run ~flavour:optimized ~station_step:step net in
+  let lid009 = find_code r "LID009" in
+  Alcotest.(check bool) "LID009 emitted" true (lid009 <> []);
+  Alcotest.(check bool)
+    "LID009 is an error" true
+    (List.exists (fun (d : D.t) -> d.D.severity = D.Error) lid009);
+  List.iter
+    (fun (d : D.t) ->
+      match d.D.params with
+      | D.P_contract { cls; outcome; _ } ->
+          Alcotest.(check bool)
+            "names the station class" true
+            (Astring.String.is_infix ~affix:"station:full" cls);
+          Alcotest.(check bool)
+            "outcome is a refutation" true
+            (Astring.String.is_infix ~affix:"refuted" outcome)
+      | _ -> Alcotest.fail "LID009 params should be P_contract")
+    lid009
+
+let test_mutant_drop_on_stop () = mutant_refuted Verify.Props.mutant_drop_on_stop
+let test_mutant_no_hold () = mutant_refuted Verify.Props.mutant_no_hold
+let test_mutant_duplicate () = mutant_refuted Verify.Props.mutant_duplicate
+
+(* ------------------------------------------------------------------ *)
+(* Composed verdicts on known topologies. *)
+
+let test_clean_networks () =
+  List.iter
+    (fun (name, flavour, net) ->
+      let r = Compose.run ~flavour net in
+      Alcotest.(check int)
+        (name ^ ": no errors")
+        0
+        (Compose.count r D.Error);
+      Alcotest.(check bool) (name ^ ": deadlock free") true r.Compose.deadlock_free)
+    [
+      ("fig1/optimized", optimized, G.fig1 ());
+      ("fig1/original", original, G.fig1 ());
+      ("fig2/optimized", optimized, G.fig2 ());
+      ("mesh4x4/optimized", optimized, G.mesh ~n:4 ~m:4 ());
+      ("mesh4x4/original", original, G.mesh ~n:4 ~m:4 ());
+      ("torus3x3/optimized", optimized, G.torus ~n:3 ~m:3 ());
+      ("ring4-half/optimized", optimized,
+       G.ring_tapped ~n_shells:4 ~stations:[ RS.Half ] ());
+    ]
+
+let test_lid010_half_ring_original () =
+  (* the paper's deadlock/cure story, found compositionally: an open ring
+     of half stations starves under Original and is safe under Optimized *)
+  let net () = G.ring_tapped ~n_shells:4 ~stations:[ RS.Half ] () in
+  let r = Compose.run ~flavour:original (net ()) in
+  let lid010 = find_code r "LID010" in
+  Alcotest.(check int) "one LID010" 1 (List.length lid010);
+  Alcotest.(check bool) "not deadlock free" false r.Compose.deadlock_free;
+  let d = List.hd lid010 in
+  Alcotest.(check bool) "it is an error" true (d.D.severity = D.Error);
+  (match d.D.params with
+  | D.P_cycle { length; classes } ->
+      Alcotest.(check int) "cycle length" 4 length;
+      Alcotest.(check bool)
+        "half station fuels it" true
+        (List.exists (Astring.String.is_infix ~affix:"station:half") classes)
+  | _ -> Alcotest.fail "LID010 params should be P_cycle");
+  (* the fix-it proposes one full station on a loop channel; applying it
+     cures the composed verdict *)
+  (match d.D.fixits with
+  | [ { D.fix_edge; fix_spare } ] ->
+      Alcotest.(check int) "one spare station" 1 fix_spare;
+      let e = List.find (fun (e : Net.edge) -> e.Net.id = fix_edge)
+          (Net.edges r.Compose.net) in
+      let cured =
+        Net.with_stations r.Compose.net fix_edge (e.Net.stations @ [ RS.Full ])
+      in
+      let r' = Compose.run ~flavour:original cured in
+      Alcotest.(check (list string))
+        "fix-it cures the cycle" []
+        (List.map (fun (d : D.t) -> D.code_id d.D.code) (find_code r' "LID010"))
+      (* not deadlock-free yet: the other half->shell weak links still
+         wedge — exactly what the explicit engine says of the cured ring *)
+  | _ -> Alcotest.fail "LID010 should carry exactly one fix-it");
+  Alcotest.(check bool)
+    "optimized flavour is the cure" true
+    (Compose.run ~flavour:optimized (net ())).Compose.deadlock_free
+
+let test_lid011_weak_link_wedges () =
+  (* the glue obligation: under Original a half station facing a shell
+     wedges as soon as a void arrives — composed and explicit agree *)
+  let net = G.chain ~n_shells:2 ~stations:[ RS.Half ] () in
+  let r = Compose.run ~flavour:original net in
+  Alcotest.(check bool) "LID011 emitted" true (find_code r "LID011" <> []);
+  Alcotest.(check bool) "not deadlock free" false r.Compose.deadlock_free;
+  Alcotest.(check bool)
+    "no cycle finding on a pipeline" true
+    (find_code r "LID010" = []);
+  (* a full station after the half re-establishes the strong face *)
+  let r' =
+    Compose.run ~flavour:original
+      (G.chain ~n_shells:2 ~stations:[ RS.Half; RS.Full ] ())
+  in
+  Alcotest.(check bool) "half+full is clean" true r'.Compose.deadlock_free;
+  (* facing a sink (not a shell) the weak face is harmless *)
+  Alcotest.(check (list string))
+    "codes on the weak chain" [ "LID011" ] (codes r);
+  (* and with no sources (closed torus) the voids never come: exempt *)
+  let torus = Compose.run ~flavour:original (G.torus ~n:2 ~m:2 ~stations:[ RS.Half ] ()) in
+  Alcotest.(check bool) "closed torus exempt" true torus.Compose.deadlock_free
+
+let test_lid011_direct_channel () =
+  (* a station-less shell-to-shell channel: no memory element backs the
+     consumer's interface assumption *)
+  let b = Net.builder () in
+  let src = Net.add_source b ~name:"src" () in
+  let a = Net.add_shell b ~name:"a" (Lid.Pearl.identity ()) in
+  let c = Net.add_shell b ~name:"c" (Lid.Pearl.identity ()) in
+  let k = Net.add_sink b ~name:"k" () in
+  ignore (Net.connect b ~stations:[ RS.Full ] ~src:(src, 0) ~dst:(a, 0) ());
+  ignore (Net.connect b ~stations:[] ~src:(a, 0) ~dst:(c, 0) ());
+  ignore (Net.connect b ~stations:[] ~src:(c, 0) ~dst:(k, 0) ());
+  let net = Net.build ~allow_direct:true b in
+  let r = Compose.run ~flavour:optimized net in
+  let lid011 = find_code r "LID011" in
+  Alcotest.(check int) "one LID011" 1 (List.length lid011);
+  let d = List.hd lid011 in
+  Alcotest.(check bool) "it is an error" true (d.D.severity = D.Error);
+  match d.D.params with
+  | D.P_assume { producer; consumer } ->
+      Alcotest.(check bool)
+        "producer side is combinational" true
+        (Astring.String.is_infix ~affix:"combinational" producer);
+      Alcotest.(check bool)
+        "consumer assumes a registered face" true
+        (Astring.String.is_infix ~affix:"registered" consumer)
+  | _ -> Alcotest.fail "LID011 params should be P_assume"
+
+let test_lid011_refuted_guarantee_through_half () =
+  (* a refuted station class taints every channel it feeds: the mismatch
+     is reported at the consumer, through the pass-through half station *)
+  let net = G.chain ~n_shells:2 ~stations:[ RS.Half ] () in
+  let r =
+    Compose.run ~flavour:optimized
+      ~station_step:Verify.Props.mutant_drop_on_stop net
+  in
+  Alcotest.(check bool) "LID009 present" true (find_code r "LID009" <> []);
+  Alcotest.(check bool) "LID011 present" true (find_code r "LID011" <> [])
+
+let test_json_shape () =
+  let r =
+    Compose.run ~flavour:original
+      (G.ring_tapped ~n_shells:3 ~stations:[ RS.Half ] ())
+  in
+  let json = Compose.to_json r in
+  (match Lidjson.parse json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("verify report is not valid JSON: " ^ e));
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) ("contains " ^ affix) true
+        (Astring.String.is_infix ~affix json))
+    [
+      "\"flavour\""; "\"classes\""; "\"stall_implies_token\"";
+      "\"diagnostics\""; "\"LID010\""; "\"deadlock_free\"";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: composed deadlock verdict == explicit-state
+   reachability, wherever the flat engine can decide at all. *)
+
+let explicit_verdict ?(max_states = 200_000) ~flavour net =
+  match Verify.Closed.check_deadlock_free ~flavour ~max_states net with
+  | Verify.Reach.Live _ -> Some true
+  | Verify.Reach.Wedged _ -> Some false
+  | exception Verify.Reach.State_space_exceeded _ -> None
+
+let agree ?max_states name ~flavour net =
+  let composed = (Compose.run ~flavour net).Compose.deadlock_free in
+  match explicit_verdict ?max_states ~flavour net with
+  | None -> true (* undecided: nothing to compare *)
+  | Some explicit ->
+      if composed = explicit then true
+      else
+        QCheck.Test.fail_reportf
+          "%s: composed says deadlock_free=%b, explicit says %b" name composed
+          explicit
+
+let prop_composed_matches_explicit =
+  (* the paper figures, chains, open rings, tori, retx chains and small
+     meshes over both flavours and every station kind mix.  Retx chains
+     and meshes are measured to exceed any reasonable explicit budget
+     (the choice enumeration alone is exponential in environment size),
+     so they run under a small budget and compare vacuously when the
+     flat engine gives up — the composed side still runs in full *)
+  QCheck.Test.make ~name:"composed deadlock verdict = explicit-state verdict"
+    ~count:60
+    QCheck.(
+      triple (int_range 0 6) (int_range 0 2) (pair small_int bool))
+    (fun (shape, station_mix, (size_seed, orig)) ->
+      let flavour = if orig then original else optimized in
+      let stations =
+        match station_mix with
+        | 0 -> [ RS.Full ]
+        | 1 -> [ RS.Half ]
+        | _ -> [ RS.Half; RS.Full ]
+      in
+      let n = 2 + (size_seed mod 3) in
+      let name, net, max_states =
+        match shape with
+        | 0 -> ("fig1", G.fig1 (), None)
+        | 1 -> ("fig2", G.fig2 (), None)
+        | 2 ->
+            (Printf.sprintf "chain%d" n, G.chain ~n_shells:n ~stations (), None)
+        | 3 ->
+            ( Printf.sprintf "ring%d" (n + 1),
+              G.ring_tapped ~n_shells:(n + 1) ~stations (),
+              None )
+        | 4 -> ("torus2x2", G.torus ~n:2 ~m:2 ~stations (), None)
+        | 5 ->
+            ( "retx-chain",
+              G.chain ~n_shells:1
+                ~stations:[ RS.Retx { depth = 2 + (size_seed mod 3) } ]
+                (),
+              Some 2_000 )
+        | _ -> ("mesh2x2", G.mesh ~n:2 ~m:2 ~stations (), Some 2_000)
+      in
+      agree ?max_states
+        (Printf.sprintf "%s/%s/%s" name
+           (Lid.Protocol.to_string flavour)
+           (String.concat "+" (List.map RS.kind_to_string stations)))
+        ~flavour net)
+
+let prop_random_soc_composed_matches_explicit =
+  QCheck.Test.make ~name:"random SoC: composed verdict = explicit-state verdict"
+    ~count:15
+    QCheck.(pair (int_range 1 5) small_int)
+    (fun (n_shells, seed) ->
+      let rng = Random.State.make [| 0xc05e; seed |] in
+      let net =
+        G.random_soc ~rng ~n_shells ~loop_density:0.3 ~half_probability:0.4 ()
+      in
+      (* the flat engine enumerates 2^(sources+sinks) environment choices
+         per state; cap the environment so the explicit leg terminates *)
+      let env =
+        List.length (Net.sources net) + List.length (Net.sinks net)
+      in
+      env > 6
+      || agree ~max_states:20_000
+           (Printf.sprintf "soc%d seed %d orig" n_shells seed)
+           ~flavour:original net
+         && agree ~max_states:20_000
+              (Printf.sprintf "soc%d seed %d opt" n_shells seed)
+              ~flavour:optimized net)
+
+let suite =
+  [
+    Alcotest.test_case "strength matrix (optimized)" `Quick
+      test_strength_matrix_optimized;
+    Alcotest.test_case "strength matrix (original)" `Quick
+      test_strength_matrix_original;
+    Alcotest.test_case "retx and gate classes" `Quick test_retx_and_gate_classes;
+    Alcotest.test_case "symbolic cross-check" `Quick test_symbolic_cross_check;
+    Alcotest.test_case "class discharge is memoized" `Quick test_memoization;
+    Alcotest.test_case "mutant drop-on-stop refuted (LID009)" `Quick
+      test_mutant_drop_on_stop;
+    Alcotest.test_case "mutant no-hold refuted (LID009)" `Quick
+      test_mutant_no_hold;
+    Alcotest.test_case "mutant duplicate refuted (LID009)" `Quick
+      test_mutant_duplicate;
+    Alcotest.test_case "clean networks verify clean" `Quick test_clean_networks;
+    Alcotest.test_case "half-ring deadlock and cure (LID010)" `Quick
+      test_lid010_half_ring_original;
+    Alcotest.test_case "weak link wedges (LID011)" `Quick
+      test_lid011_weak_link_wedges;
+    Alcotest.test_case "direct channel mismatch (LID011)" `Quick
+      test_lid011_direct_channel;
+    Alcotest.test_case "refuted guarantee through half (LID011)" `Quick
+      test_lid011_refuted_guarantee_through_half;
+    Alcotest.test_case "verify report JSON" `Quick test_json_shape;
+    QCheck_alcotest.to_alcotest prop_composed_matches_explicit;
+    QCheck_alcotest.to_alcotest prop_random_soc_composed_matches_explicit;
+  ]

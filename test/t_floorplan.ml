@@ -67,6 +67,110 @@ let test_balanced_floorplan_needs_nothing () =
   Alcotest.(check (float 1e-9)) "full speed" 1.0
     (Topology.Elastic.throughput_bound net)
 
+let steady net =
+  match Skeleton.Measure.steady_ratio_packed (Skeleton.Packed.create net) with
+  | Some (fired, period) -> float_of_int fired /. float_of_int period
+  | None -> Alcotest.fail "no steady period found"
+
+let test_latency_synthesis_profiles () =
+  let reach = 4.0 in
+  let _, r = F.synthesize_latency ~reach (simple ()) in
+  let multi = List.filter (fun c -> c.F.wire_cycles > 1) r.F.channels in
+  Alcotest.(check bool) "floorplan has long wires" true (multi <> []);
+  List.iter
+    (fun c ->
+      let label = c.F.src_name ^ "->" ^ c.F.dst_name in
+      match c.F.profile with
+      | Some (Lid.Latency.Distance _ as p) ->
+          Alcotest.(check int)
+            (label ^ " profile delay = wire_cycles - 1")
+            (c.F.wire_cycles - 1) (Lid.Latency.max_delay p);
+          Alcotest.(check (list string))
+            (label ^ " one full station")
+            [ "full" ]
+            (List.map Lid.Relay_station.kind_to_string c.F.stations)
+      | _ -> Alcotest.fail (label ^ ": expected a Distance profile"))
+    multi;
+  List.iter
+    (fun c ->
+      match c.F.profile with
+      | None -> ()
+      | Some _ ->
+          Alcotest.fail (c.F.src_name ^ ": single-cycle wire got a profile"))
+    (List.filter (fun c -> c.F.wire_cycles <= 1) r.F.channels);
+  (* one full station per long wire, instead of [wire_cycles - 1] *)
+  Alcotest.(check int) "full stations" (List.length multi) r.F.full_stations
+
+let with_explicit_tables net =
+  List.fold_left
+    (fun net (e : Net.edge) ->
+      match e.Net.latency with
+      | Some p ->
+          Net.with_latency net e.Net.id
+            (Some (Lid.Latency.Table [| Lid.Latency.max_delay p |]))
+      | None -> net)
+    net (Net.edges net)
+
+let test_latency_synthesis_lockstep () =
+  (* the derived [Distance] profile and the hand-written [Table] profile it
+     is documented to equal must drive the skeleton identically, and the
+     dynamic rendering must still compute the same values as the reference
+     model *)
+  let check_reach reach =
+    let net_stations, _ = F.synthesize ~reach (simple ()) in
+    let net_profile, _ = F.synthesize_latency ~reach (simple ()) in
+    let p = steady net_profile in
+    Alcotest.(check (float 1e-9))
+      (Printf.sprintf "reach %.1f: distance lockstep with explicit table" reach)
+      p
+      (steady (with_explicit_tables net_profile));
+    (* the profile wire is unpipelined (one token in flight), so it can never
+       beat the pipelining stations it replaces *)
+    Alcotest.(check bool)
+      (Printf.sprintf "reach %.1f: profile cannot beat stations" reach)
+      true
+      (p <= steady net_stations +. 1e-9);
+    match Skeleton.Equiv.check net_profile with
+    | Skeleton.Equiv.Equivalent { checked } ->
+        Alcotest.(check bool) "values flowed" true (checked > 20)
+    | Skeleton.Equiv.Divergent _ ->
+        Alcotest.fail
+          (Printf.sprintf "reach %.1f: dynamic rendering diverged" reach)
+  in
+  List.iter check_reach [ 2.0; 3.0; 4.0 ]
+
+let pipeline () =
+  (* src --1--> a --8--> b --1--> sink: one dominant long wire *)
+  let f = F.create () in
+  let src = F.add_source f ~name:"src" ~x:0.0 ~y:0.0 () in
+  let a = F.add_shell f ~name:"a" ~x:1.0 ~y:0.0 (Lid.Pearl.identity ()) in
+  let b = F.add_shell f ~name:"b" ~x:9.0 ~y:0.0 (Lid.Pearl.identity ()) in
+  let k = F.add_sink f ~name:"k" ~x:10.0 ~y:0.0 () in
+  F.connect f ~src:(src, 0) ~dst:(a, 0);
+  F.connect f ~src:(a, 0) ~dst:(b, 0);
+  F.connect f ~src:(b, 0) ~dst:(k, 0);
+  f
+
+let test_latency_synthesis_pipeline_cost () =
+  (* on a linear pipeline the pipelined rendering runs at full speed while
+     the unpipelined profile wire serializes to [1 / wire_cycles] — the
+     storage the removed stations provided is exactly what it gives up *)
+  List.iter
+    (fun reach ->
+      let net_s, _ = F.synthesize ~reach (pipeline ()) in
+      let net_p, r = F.synthesize_latency ~reach (pipeline ()) in
+      let max_wc =
+        List.fold_left (fun m c -> max m c.F.wire_cycles) 1 r.F.channels
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "reach %.1f: stations full speed" reach)
+        1.0 (steady net_s);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "reach %.1f: profile serializes to 1/%d" reach max_wc)
+        (1.0 /. float_of_int max_wc)
+        (steady net_p))
+    [ 2.0; 4.0; 8.0 ]
+
 let test_reach_validation () =
   Alcotest.check_raises "reach 0"
     (Invalid_argument "Floorplan.synthesize: reach must be positive") (fun () ->
@@ -101,6 +205,12 @@ let suite =
       test_throughput_drops_then_equalizes;
     Alcotest.test_case "balanced floorplan free" `Quick
       test_balanced_floorplan_needs_nothing;
+    Alcotest.test_case "latency synthesis derives distance profiles" `Quick
+      test_latency_synthesis_profiles;
+    Alcotest.test_case "latency synthesis lockstep with explicit table" `Quick
+      test_latency_synthesis_lockstep;
+    Alcotest.test_case "latency synthesis pipeline cost" `Quick
+      test_latency_synthesis_pipeline_cost;
     Alcotest.test_case "reach validation" `Quick test_reach_validation;
     Alcotest.test_case "dot export" `Quick test_dot_export;
     Alcotest.test_case "dot highlight" `Quick test_dot_highlight;

@@ -76,6 +76,37 @@ let test_fig1_fixit_restores_throughput () =
       | None -> Alcotest.fail "expected a predicted throughput")
   | _ -> Alcotest.fail "expected one LID003 on fig1"
 
+(* The fix-it lines a report prints are pasteable: replacing the flagged
+   channel declaration of the spec text with the fix-it's line — pure
+   string surgery, no network API — must parse back and lint clean. *)
+let test_fixit_line_pastes_back () =
+  let net = G.fig1 () in
+  let spec = Topology.Spec.print net in
+  let r = C.run ~gate:false net in
+  match with_code r D.LID003 with
+  | [ d ] ->
+      let patched =
+        List.fold_left
+          (fun text (f : D.fixit) ->
+            let old_line = Topology.Spec.channel_line net f.fix_edge in
+            let new_line = D.fixit_line net f in
+            Alcotest.(check bool)
+              ("spec contains " ^ old_line)
+              true
+              (Astring.String.is_infix ~affix:(old_line ^ "\n") text);
+            Astring.String.cuts ~sep:(old_line ^ "\n") text
+            |> String.concat (new_line ^ "\n"))
+          spec d.fixits
+      in
+      (match Topology.Spec.parse patched with
+      | Error m -> Alcotest.failf "patched spec does not parse: %s" m
+      | Ok cured ->
+          let r' = C.run ~gate:false cured in
+          Alcotest.(check int) "no LID003 after pasting the fix-it" 0
+            (List.length (with_code r' D.LID003));
+          Alcotest.(check int) "no errors either" 0 (C.count r' D.Error))
+  | _ -> Alcotest.fail "expected one LID003 on fig1"
+
 (* --- protocol violations (LID001 / LID002) -------------------------- *)
 
 let direct_chain () =
@@ -417,6 +448,9 @@ let test_code_table_is_stable () =
       "LID006";
       "LID007";
       "LID008";
+      "LID009";
+      "LID010";
+      "LID011";
     ]
     (List.map D.code_id D.all_codes)
 
@@ -428,6 +462,8 @@ let suite =
       test_fig2_closed_form;
     Alcotest.test_case "fig1 fix-it restores throughput 1" `Quick
       test_fig1_fixit_restores_throughput;
+    Alcotest.test_case "fix-it lines paste back into the spec text" `Quick
+      test_fixit_line_pastes_back;
     Alcotest.test_case "direct channel: LID001 + LID002" `Quick
       test_direct_channel_violations;
     Alcotest.test_case "stop-path pass localizes the violation" `Quick
